@@ -1,0 +1,207 @@
+// Command busenc analyzes a trace file under one or more bus encodings:
+// it reports stream statistics, transition counts, and savings versus the
+// binary reference.
+//
+// Usage:
+//
+//	busenc -codes t0,businvert,dualt0bi trace.bin
+//	busenc -codes all -stride 4 -format text trace.txt
+//	busenc -stats trace.bin          # stream statistics only
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"busenc/internal/codec"
+	"busenc/internal/trace"
+	"busenc/internal/workload"
+)
+
+func main() {
+	codes := flag.String("codes", "all", "comma-separated codec list, or \"all\"")
+	stride := flag.Uint64("stride", 4, "in-sequence stride S (power of two)")
+	format := flag.String("format", "binary", "trace file format: binary | text")
+	width := flag.Int("width", 0, "override bus width (0 = use the trace header)")
+	statsOnly := flag.Bool("stats", false, "print stream statistics only")
+	partitions := flag.Int("partitions", 1, "bus-invert partitions")
+	emit := flag.String("emit", "", "encode the trace with this code and write the bus words (hex, one per line) to -o")
+	out := flag.String("o", "-", "output file for -emit (- for stdout)")
+	fit := flag.Bool("fit", false, "fit a synthetic-twin workload model to the trace and print its parameters")
+	profile := flag.Int("profile", 0, "windowed phase profile with this window size (0 = off)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: busenc [flags] <trace-file>")
+		os.Exit(2)
+	}
+	var err error
+	switch {
+	case *profile > 0:
+		err = profileWindows(flag.Arg(0), *profile, *stride, *format, *width)
+	case *fit:
+		err = fitTwin(flag.Arg(0), *stride, *format, *width)
+	case *emit != "":
+		err = emitWords(flag.Arg(0), *emit, *stride, *format, *width, *partitions, *out)
+	default:
+		err = run(flag.Arg(0), *codes, *stride, *format, *width, *partitions, *statsOnly)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "busenc:", err)
+		os.Exit(1)
+	}
+}
+
+// profileWindows prints the windowed phase profile of the trace: per
+// window, the in-sequence fraction, data fraction and binary activity —
+// with detected phase boundaries marked.
+func profileWindows(path string, size int, stride uint64, format string, width int) error {
+	s, err := load(path, format, width)
+	if err != nil {
+		return err
+	}
+	ws := s.Windows(size, stride)
+	changes := map[int]bool{}
+	for _, i := range trace.PhaseChanges(ws, 0.25) {
+		changes[i] = true
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "phase profile of %q: %d windows of %d refs\n", s.Name, len(ws), size)
+	fmt.Fprintln(tw, "window\tstart\tin-seq\tdata\ttrans/cycle\tphase")
+	for i, w := range ws {
+		mark := ""
+		if changes[i] {
+			mark = "<- phase change"
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%.1f%%\t%.1f%%\t%.2f\t%s\n",
+			i, w.Start, w.InSeqFrac*100, w.DataFrac*100, w.AvgTransitions, mark)
+	}
+	return tw.Flush()
+}
+
+// fitTwin prints the parameters of a synthetic workload model matched to
+// the trace, for reproducible sharing of unshippable traces.
+func fitTwin(path string, stride uint64, format string, width int) error {
+	s, err := load(path, format, width)
+	if err != nil {
+		return err
+	}
+	b := workload.Fit(s.Name+"-twin", s, stride)
+	fmt.Printf("synthetic twin of %q (%d refs):\n", s.Name, s.Len())
+	fmt.Printf("  workload.Benchmark{Name: %q, InstrSeq: %.4f, DataSeq: %.4f, DataFrac: %.4f, Length: %d, Seed: %d}\n",
+		b.Name, b.InstrSeq, b.DataSeq, b.DataFrac, b.Length, b.Seed)
+	twin := b.Muxed()
+	fmt.Printf("  twin muxed in-seq %.2f%% vs original %.2f%%\n",
+		twin.InSeqFraction(stride)*100, s.InSeqFraction(stride)*100)
+	return nil
+}
+
+// emitWords writes the encoded bus-word sequence, for feeding external
+// tools (waveform generators, RTL testbenches for cmd/hwgen output).
+func emitWords(path, code string, stride uint64, format string, width, partitions int, out string) error {
+	s, err := load(path, format, width)
+	if err != nil {
+		return err
+	}
+	c, err := codec.New(code, s.Width, codec.Options{Stride: stride, Partitions: partitions, Train: s})
+	if err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# busenc encoded stream: code %s, %d bus lines (payload %d)\n", code, c.BusWidth(), c.PayloadWidth())
+	for _, word := range codec.EncodeAll(c, s) {
+		fmt.Fprintf(bw, "%0*x\n", (c.BusWidth()+3)/4, word)
+	}
+	return bw.Flush()
+}
+
+// load reads a trace file in the given format.
+func load(path, format string, width int) (*trace.Stream, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var s *trace.Stream
+	switch format {
+	case "binary":
+		s, err = trace.ReadBinary(f)
+	case "text":
+		s, err = trace.ReadText(f)
+	default:
+		err = fmt.Errorf("unknown format %q", format)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if width > 0 {
+		s.Width = width
+	}
+	return s, nil
+}
+
+func run(path, codes string, stride uint64, format string, width, partitions int, statsOnly bool) error {
+	s, err := load(path, format, width)
+	if err != nil {
+		return err
+	}
+
+	st := s.Analyze(stride)
+	fmt.Printf("stream %q: %d references, width %d\n", s.Name, st.Length, s.Width)
+	fmt.Printf("  in-sequence (stride %d): %.2f%%  (max run %d, mean run %.1f)\n",
+		stride, st.InSeqFrac*100, st.MaxRunLen, st.MeanRunLen)
+	fmt.Printf("  unique addresses: %d   binary transitions: %d (%.3f/cycle)\n",
+		st.UniqueAddrs, st.BinaryTransitions, float64(st.BinaryTransitions)/float64(max64(1, int64(st.Length-1))))
+	if statsOnly {
+		return nil
+	}
+
+	var names []string
+	if codes == "all" {
+		names = codec.Names()
+	} else {
+		names = strings.Split(codes, ",")
+	}
+	opts := codec.Options{Stride: stride, Partitions: partitions, Train: s}
+	binRes, err := codec.Run(codec.MustNew("binary", s.Width, codec.Options{}), s)
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "code\tbus lines\ttransitions\tper cycle\tsavings")
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		c, err := codec.New(name, s.Width, opts)
+		if err != nil {
+			return err
+		}
+		res, err := codec.Run(c, s)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.3f\t%.2f%%\n",
+			name, res.BusWidth, res.Transitions, res.AvgPerCycle(), res.SavingsVs(binRes)*100)
+	}
+	return tw.Flush()
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"busenc/internal/trace"
+	"busenc/internal/workload"
+)
+
+// captureStdout runs f with os.Stdout redirected and returns what it wrote.
+func captureStdout(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if ferr != nil {
+		t.Fatalf("command failed: %v\noutput: %s", ferr, out)
+	}
+	return out
+}
+
+// writeTempTrace persists a synthetic benchmark trace for the CLI to read.
+func writeTempTrace(t *testing.T, format string) string {
+	t.Helper()
+	s := workload.Suite()[0].Muxed().Slice(0, 3000)
+	path := filepath.Join(t.TempDir(), "trace."+format)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if format == "text" {
+		err = trace.WriteText(f, s)
+	} else {
+		err = trace.WriteBinary(f, s)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAnalyzesTrace(t *testing.T) {
+	path := writeTempTrace(t, "binary")
+	out := captureStdout(t, func() error {
+		return run(path, "t0,businvert,dualt0bi", 4, "binary", 0, 1, false)
+	})
+	for _, want := range []string{"in-sequence", "t0", "businvert", "dualt0bi", "savings"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAllCodesAndStatsOnly(t *testing.T) {
+	path := writeTempTrace(t, "text")
+	out := captureStdout(t, func() error {
+		return run(path, "all", 4, "text", 0, 2, false)
+	})
+	if !strings.Contains(out, "adaptive") || !strings.Contains(out, "beach") {
+		t.Errorf("\"all\" should cover every registered code:\n%s", out)
+	}
+	stats := captureStdout(t, func() error {
+		return run(path, "all", 4, "text", 0, 1, true)
+	})
+	if strings.Contains(stats, "adaptive") {
+		t.Error("-stats must not run the codecs")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeTempTrace(t, "binary")
+	// Suppress the stats lines run() prints before hitting each error.
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer null.Close()
+	old := os.Stdout
+	os.Stdout = null
+	defer func() { os.Stdout = old }()
+	if err := run(path, "nope", 4, "binary", 0, 1, false); err == nil {
+		t.Error("unknown code accepted")
+	}
+	if err := run(path, "all", 4, "yaml", 0, 1, false); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if err := run(filepath.Join(t.TempDir(), "missing"), "all", 4, "binary", 0, 1, false); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestEmitWordsRoundTrip(t *testing.T) {
+	path := writeTempTrace(t, "binary")
+	out := filepath.Join(t.TempDir(), "words.txt")
+	if err := emitWords(path, "t0", 4, "binary", 0, 1, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	// Header plus one word per reference.
+	if len(lines) != 3001 {
+		t.Fatalf("emitted %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "# busenc encoded stream: code t0") {
+		t.Errorf("header: %q", lines[0])
+	}
+	if len(lines[1]) != 9 { // 33 bus lines -> 9 hex digits
+		t.Errorf("word width: %q", lines[1])
+	}
+}
+
+func TestFitTwinOutput(t *testing.T) {
+	path := writeTempTrace(t, "binary")
+	out := captureStdout(t, func() error {
+		return fitTwin(path, 4, "binary", 0)
+	})
+	if !strings.Contains(out, "workload.Benchmark{") || !strings.Contains(out, "InstrSeq") {
+		t.Errorf("fit output:\n%s", out)
+	}
+}
+
+func TestProfileWindowsOutput(t *testing.T) {
+	path := writeTempTrace(t, "binary")
+	out := captureStdout(t, func() error {
+		return profileWindows(path, 500, 4, "binary", 0)
+	})
+	if !strings.Contains(out, "phase profile") || !strings.Contains(out, "window") {
+		t.Errorf("profile output:\n%s", out)
+	}
+	if got := strings.Count(out, "\n"); got < 6 {
+		t.Errorf("expected 6 windows, output:\n%s", out)
+	}
+}
+
+func TestLoadWidthOverride(t *testing.T) {
+	path := writeTempTrace(t, "binary")
+	s, err := load(path, "binary", 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Width != 24 {
+		t.Errorf("width override ignored: %d", s.Width)
+	}
+}

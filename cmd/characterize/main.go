@@ -1,0 +1,55 @@
+// Command characterize runs the paper's future-work study: for each
+// processor architecture profile (MIPS, SPARC, PowerPC, Alpha, PA-RISC,
+// x86) it measures the characteristic address streams and recommends the
+// bus encoding per bus.
+//
+// Usage:
+//
+//	characterize            # all profiles
+//	characterize -arch mips # one profile
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+
+	"busenc/internal/arch"
+)
+
+func main() {
+	only := flag.String("arch", "", "characterize one architecture (default: all)")
+	n := flag.Int("n", 50000, "stream length per bus")
+	flag.Parse()
+
+	if err := run(os.Stdout, *only, *n); err != nil {
+		fmt.Fprintln(os.Stderr, "characterize:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, only string, n int) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "arch\taddr bits\tbus org\tbus\tin-seq\tbest code\tsavings")
+	found := false
+	for _, p := range arch.Profiles() {
+		if only != "" && p.Name != only {
+			continue
+		}
+		found = true
+		recs, err := arch.Characterize(p, n, 1)
+		if err != nil {
+			return err
+		}
+		for _, r := range recs {
+			fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%.1f%%\t%s\t%.2f%%\n",
+				p.Name, p.AddrBits, p.Bus, r.Bus, r.InSeqPct, r.Best, r.SavingsPct)
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown architecture %q", only)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingleArch(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "mips", 10000); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"mips", "muxed", "instruction", "data"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "sparc") {
+		t.Error("-arch mips printed other profiles")
+	}
+}
+
+func TestRunAllArchs(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "", 8000); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"mips", "sparc", "powerpc", "alpha", "parisc", "x86"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("profile %q missing", want)
+		}
+	}
+}
+
+func TestRunUnknownArch(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "z80", 1000); err == nil {
+		t.Error("unknown architecture accepted")
+	}
+}

@@ -1,0 +1,124 @@
+// Command hwgen synthesizes a bus codec's encoder or decoder at gate level
+// and emits it as structural Verilog, along with a cell/area/power report.
+//
+// Usage:
+//
+//	hwgen -code dualt0bi -width 32 -stride 4 -part encoder -o enc.v
+//	hwgen -code t0 -report            # report only, no Verilog
+//	hwgen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/bits"
+	"os"
+
+	"busenc/internal/core"
+	"busenc/internal/hw"
+	"busenc/internal/netlist"
+)
+
+var generators = map[string]func(width, strideLog int) hw.Codec{
+	"binary":    func(w, _ int) hw.Codec { return hw.Binary(w) },
+	"gray":      hw.Gray,
+	"businvert": func(w, _ int) hw.Codec { return hw.BusInvert(w) },
+	"t0":        hw.T0,
+	"t0bi":      hw.T0BI,
+	"dualt0":    hw.DualT0,
+	"dualt0bi":  hw.DualT0BI,
+	"incxor":    hw.IncXor,
+}
+
+func main() {
+	code := flag.String("code", "", "codec to synthesize (see -list)")
+	width := flag.Int("width", 32, "payload width")
+	stride := flag.Uint64("stride", 4, "in-sequence stride (power of two)")
+	part := flag.String("part", "encoder", "which side: encoder | decoder")
+	out := flag.String("o", "-", "Verilog output file (- for stdout)")
+	report := flag.Bool("report", false, "print the cell/area/power report instead of Verilog")
+	compare := flag.Bool("compare", false, "print the extended all-codec hardware comparison")
+	list := flag.Bool("list", false, "list synthesizable codecs")
+	flag.Parse()
+
+	if *list {
+		for name := range generators {
+			fmt.Println(name)
+		}
+		return
+	}
+	if *compare {
+		if *stride == 0 || *stride&(*stride-1) != 0 {
+			fmt.Fprintln(os.Stderr, "hwgen: stride must be a power of two")
+			os.Exit(1)
+		}
+		rows, err := core.HWComparison(core.ReferenceMuxedStream(3000), bits.TrailingZeros64(*stride), 0.1e-12)
+		if err == nil {
+			err = core.RenderHWComparison(os.Stdout, rows)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hwgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*code, *width, *stride, *part, *out, *report); err != nil {
+		fmt.Fprintln(os.Stderr, "hwgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(code string, width int, stride uint64, part, out string, report bool) error {
+	gen, ok := generators[code]
+	if !ok {
+		return fmt.Errorf("unknown codec %q (try -list)", code)
+	}
+	if stride == 0 || stride&(stride-1) != 0 {
+		return fmt.Errorf("stride %d is not a power of two", stride)
+	}
+	c := gen(width, bits.TrailingZeros64(stride))
+	var n *netlist.Netlist
+	switch part {
+	case "encoder":
+		n = c.Enc
+	case "decoder":
+		n = c.Dec
+	default:
+		return fmt.Errorf("unknown part %q", part)
+	}
+
+	if report {
+		lib := netlist.DefaultLibrary()
+		fmt.Printf("codec %s %s: %d-bit payload, %d bus lines\n", code, part, c.Width, c.BusWidth())
+		fmt.Printf("  cells: %d (DFF %d, XOR %d, MUX %d)\n",
+			n.NumCells(), n.CountCells(netlist.KindDFF), n.CountCells(netlist.KindXor2), n.CountCells(netlist.KindMux2))
+		fmt.Printf("  area (NAND2-equivalent): %.1f\n", lib.Area(n))
+		if delay, path, err := lib.CriticalPath(n); err == nil && delay > 0 {
+			fmt.Printf("  critical path: %.2f ns (%d stages, max clock %.0f MHz)\n",
+				delay*1e9, len(path), 1e-6/delay)
+		}
+		m, err := core.MeasureHW(c, core.ReferenceMuxedStream(3000))
+		if err != nil {
+			return err
+		}
+		act := m.EncAct
+		if part == "decoder" {
+			act = m.DecAct
+		}
+		fmt.Printf("  power on the reference stream @100MHz, 0.1pF: %.4f mW\n",
+			lib.Power(n, act, 100e6, 0.1e-12)*1e3)
+		return nil
+	}
+
+	var w io.Writer = os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return netlist.WriteVerilog(w, n)
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunEmitsVerilogFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "enc.v")
+	if err := run("t0", 16, 4, "encoder", out, false); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := string(data)
+	for _, want := range []string{"module t0_enc", "busenc_dff", "endmodule", "output wire INC"} {
+		if !strings.Contains(v, want) {
+			t.Errorf("verilog missing %q", want)
+		}
+	}
+}
+
+func TestRunDecoderPart(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "dec.v")
+	if err := run("dualt0bi", 16, 4, "decoder", out, false); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(out)
+	if !strings.Contains(string(data), "module dualt0bi_dec") {
+		t.Error("decoder module missing")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tmp := filepath.Join(t.TempDir(), "x.v")
+	if err := run("nope", 16, 4, "encoder", tmp, false); err == nil {
+		t.Error("unknown codec accepted")
+	}
+	if err := run("t0", 16, 3, "encoder", tmp, false); err == nil {
+		t.Error("non-power-of-two stride accepted")
+	}
+	if err := run("t0", 16, 4, "sideways", tmp, false); err == nil {
+		t.Error("unknown part accepted")
+	}
+}
+
+func TestGeneratorsCoverHWFamily(t *testing.T) {
+	for _, name := range []string{"binary", "gray", "businvert", "t0", "t0bi", "dualt0", "dualt0bi", "incxor"} {
+		if _, ok := generators[name]; !ok {
+			t.Errorf("generator %q missing", name)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Command paper regenerates the tables of Benini et al., "Address Bus
+// Encoding Techniques for System-Level Power Optimization" (DATE 1998).
+//
+// Usage:
+//
+//	paper                 # print every table (1-9)
+//	paper -table 7        # print one table
+//	paper -source mips    # drive Tables 2-7 from the MIPS simulator
+//	paper -sweep          # with -table 9: print the crossover summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"busenc/internal/core"
+)
+
+func main() {
+	tableNum := flag.Int("table", 0, "table to print (1-9; 0 = all)")
+	source := flag.String("source", "synthetic", "stream source for Tables 2-7: synthetic | mips")
+	hwStream := flag.Int("hwstream", 5000, "reference stream length for Tables 8-9")
+	sweep := flag.Bool("sweep", false, "print the off-chip crossover summary with Table 9")
+	asJSON := flag.Bool("json", false, "emit JSON instead of aligned text")
+	flag.Parse()
+
+	src := core.Source(*source)
+	if err := run(*tableNum, src, *hwStream, *sweep, *asJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "paper:", err)
+		os.Exit(1)
+	}
+}
+
+func run(tableNum int, src core.Source, hwStream int, sweep, asJSON bool) error {
+	want := func(n int) bool { return tableNum == 0 || tableNum == n }
+
+	if want(1) {
+		rows, err := core.Table1(core.Width, 200000)
+		if err != nil {
+			return err
+		}
+		render := core.RenderTable1
+		if asJSON {
+			render = core.WriteTable1JSON
+		}
+		if err := render(os.Stdout, rows); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	streamTables := []struct {
+		n int
+		f func(core.Source) (*core.Table, error)
+	}{
+		{2, core.Table2}, {3, core.Table3}, {4, core.Table4},
+		{5, core.Table5}, {6, core.Table6}, {7, core.Table7},
+	}
+	for _, st := range streamTables {
+		if !want(st.n) {
+			continue
+		}
+		tab, err := st.f(src)
+		if err != nil {
+			return err
+		}
+		render := (*core.Table).Render
+		if asJSON {
+			render = (*core.Table).WriteJSON
+		}
+		if err := render(tab, os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	if want(8) || want(9) {
+		ref := core.ReferenceMuxedStream(hwStream)
+		if want(8) {
+			rows, err := core.Table8(ref, core.OnChipLoads)
+			if err != nil {
+				return err
+			}
+			render := core.RenderTable8
+			if asJSON {
+				render = core.WriteTable8JSON
+			}
+			if err := render(os.Stdout, rows); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		if want(9) {
+			rows, err := core.Table9(ref, core.OffChipLoads)
+			if err != nil {
+				return err
+			}
+			render := core.RenderTable9
+			if asJSON {
+				render = core.WriteTable9JSON
+			}
+			if err := render(os.Stdout, rows); err != nil {
+				return err
+			}
+			if sweep {
+				if load, ok := core.Crossover(rows); ok {
+					fmt.Printf("\nCrossover: dual T0_BI global power drops below T0 at %.0f pF\n", load*1e12)
+				} else {
+					fmt.Println("\nCrossover: not reached within the sweep")
+				}
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}

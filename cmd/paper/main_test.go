@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"busenc/internal/core"
+)
+
+func captureStdout(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if ferr != nil {
+		t.Fatalf("run failed: %v", ferr)
+	}
+	return out
+}
+
+func TestRunSingleTables(t *testing.T) {
+	out := captureStdout(t, func() error { return run(7, core.Synthetic, 500, false, false) })
+	if !strings.Contains(out, "Table 7") || !strings.Contains(out, "dualt0bi") {
+		t.Errorf("table 7 output:\n%s", out)
+	}
+	if strings.Contains(out, "Table 2") {
+		t.Error("-table 7 printed other tables")
+	}
+	out = captureStdout(t, func() error { return run(9, core.Synthetic, 500, true, false) })
+	if !strings.Contains(out, "Crossover") {
+		t.Error("sweep summary missing")
+	}
+}
+
+func TestRunJSONMode(t *testing.T) {
+	out := captureStdout(t, func() error { return run(3, core.Synthetic, 500, false, true) })
+	if !strings.Contains(out, `"Title"`) || !strings.Contains(out, "Table 3") {
+		t.Errorf("JSON output:\n%s", out)
+	}
+	out = captureStdout(t, func() error { return run(8, core.Synthetic, 400, false, true) })
+	if !strings.Contains(out, `"experiment": "table8"`) {
+		t.Error("table 8 JSON header missing")
+	}
+}
+
+func TestRunUnknownSource(t *testing.T) {
+	if err := run(2, core.Source("nope"), 500, false, false); err == nil {
+		t.Error("unknown source accepted")
+	}
+}

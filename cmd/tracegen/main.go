@@ -1,0 +1,114 @@
+// Command tracegen generates address trace files, either by running one of
+// the bundled benchmark programs on the MIPS simulator or from the
+// calibrated synthetic workload models.
+//
+// Usage:
+//
+//	tracegen -bench gzip -o gzip.trace            # MIPS simulation
+//	tracegen -bench gzip -synthetic -o g.trace    # synthetic model
+//	tracegen -bench gzip -class instr -o i.trace  # instruction sub-stream
+//	tracegen -list                                # list benchmarks
+//	tracegen -bench gzip -format text -o -        # text format to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"busenc/internal/mips"
+	"busenc/internal/mips/progs"
+	"busenc/internal/trace"
+	"busenc/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark name (see -list)")
+	list := flag.Bool("list", false, "list available benchmarks")
+	synthetic := flag.Bool("synthetic", false, "use the synthetic workload model instead of the MIPS simulator")
+	class := flag.String("class", "muxed", "stream class: instr | data | muxed")
+	format := flag.String("format", "binary", "trace file format: binary | text")
+	out := flag.String("o", "-", "output file (- for stdout)")
+	flag.Parse()
+
+	if *list {
+		for _, n := range progs.PaperOrder() {
+			b, _ := progs.Get(n)
+			fmt.Printf("%-10s %s\n", b.Name, b.About)
+		}
+		return
+	}
+	if *bench == "" {
+		fmt.Fprintln(os.Stderr, "tracegen: -bench is required (or -list)")
+		os.Exit(2)
+	}
+	s, err := generate(*bench, *synthetic, *class)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "binary":
+		err = trace.WriteBinary(w, s)
+	case "text":
+		err = trace.WriteText(w, s)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func generate(bench string, synthetic bool, class string) (*trace.Stream, error) {
+	var muxed *trace.Stream
+	if synthetic {
+		for _, b := range workload.Suite() {
+			if b.Name == bench {
+				switch class {
+				case "instr":
+					return b.Instr(), nil
+				case "data":
+					return b.Data(), nil
+				case "muxed":
+					return b.Muxed(), nil
+				}
+				return nil, fmt.Errorf("unknown class %q", class)
+			}
+		}
+		return nil, fmt.Errorf("unknown synthetic benchmark %q", bench)
+	}
+	b, err := progs.Get(bench)
+	if err != nil {
+		return nil, err
+	}
+	p, err := b.Assemble()
+	if err != nil {
+		return nil, err
+	}
+	muxed, _, err = mips.Run(p, bench, b.MaxCycles)
+	if err != nil {
+		return nil, err
+	}
+	switch class {
+	case "instr":
+		return muxed.InstrOnly(), nil
+	case "data":
+		return muxed.DataOnly(), nil
+	case "muxed":
+		return muxed, nil
+	}
+	return nil, fmt.Errorf("unknown class %q", class)
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestGenerateMIPSClasses(t *testing.T) {
+	for _, class := range []string{"instr", "data", "muxed"} {
+		s, err := generate("ghostview", false, class)
+		if err != nil {
+			t.Fatalf("%s: %v", class, err)
+		}
+		if s.Len() == 0 {
+			t.Errorf("%s: empty stream", class)
+		}
+	}
+	instr, _ := generate("ghostview", false, "instr")
+	muxed, _ := generate("ghostview", false, "muxed")
+	if instr.Len() >= muxed.Len() {
+		t.Error("instruction sub-stream should be shorter than the muxed stream")
+	}
+}
+
+func TestGenerateSyntheticClasses(t *testing.T) {
+	for _, class := range []string{"instr", "data", "muxed"} {
+		s, err := generate("gzip", true, class)
+		if err != nil {
+			t.Fatalf("%s: %v", class, err)
+		}
+		if s.Len() == 0 {
+			t.Errorf("%s: empty stream", class)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := generate("nope", false, "muxed"); err == nil {
+		t.Error("unknown MIPS benchmark accepted")
+	}
+	if _, err := generate("nope", true, "muxed"); err == nil {
+		t.Error("unknown synthetic benchmark accepted")
+	}
+	if _, err := generate("gzip", true, "zipped"); err == nil {
+		t.Error("unknown class accepted (synthetic)")
+	}
+	if _, err := generate("gzip", false, "zipped"); err == nil {
+		t.Error("unknown class accepted (mips)")
+	}
+}

@@ -1,0 +1,57 @@
+// Hardware scenario: synthesize the paper's encoder/decoder architectures
+// at gate level, verify them against the reference codecs, and sweep the
+// bus load to find where each code's activity savings outweigh its codec
+// logic — the Section 4 experiment.
+//
+//	go run ./examples/hardware
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"busenc/internal/core"
+	"busenc/internal/hw"
+	"busenc/internal/netlist"
+)
+
+func main() {
+	lib := netlist.DefaultLibrary()
+
+	// Build the three hardware codecs of the paper.
+	bin := hw.Binary(32)
+	t0 := hw.T0(32, 2) // stride 4
+	dbi := hw.DualT0BI(32, 2)
+	for _, c := range []hw.Codec{bin, t0, dbi} {
+		fmt.Printf("%-9s encoder: %4d cells (area %6.1f), decoder: %4d cells (area %6.1f)\n",
+			c.Name, c.Enc.NumCells(), lib.Area(c.Enc), c.Dec.NumCells(), lib.Area(c.Dec))
+	}
+
+	// Exercise them with a reference muxed stream and measure switching.
+	s := core.ReferenceMuxedStream(5000)
+	fmt.Printf("\nreference stream: %d refs, %.1f%% in-seq\n\n", s.Len(), s.InSeqFraction(4)*100)
+
+	rows8, err := core.Table8(s, core.OnChipLoads)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := core.RenderTable8(os.Stdout, rows8); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	rows9, err := core.Table9(s, core.OffChipLoads)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := core.RenderTable9(os.Stdout, rows9); err != nil {
+		log.Fatal(err)
+	}
+
+	if load, ok := core.Crossover(rows9); ok {
+		fmt.Printf("\nrecommendation: plain T0 below %.0f pF; dual T0_BI at and above (its logic overhead is repaid by pad-activity savings)\n", load*1e12)
+	} else {
+		fmt.Println("\nno crossover within the sweep: T0 remains preferable")
+	}
+}

@@ -1,0 +1,92 @@
+// Linker scenario: the high-level complement to bus encoding discussed in
+// the paper's related work (Panda/Dutt, reference [1]) — before any
+// encoder is added, the *placement* of data in the address space already
+// determines how many bus transitions an access pattern costs. This
+// example profiles a synthetic embedded application, optimizes its data
+// layout with internal/memmap, and then stacks a bus code on top,
+// showing the two techniques compose.
+//
+//	go run ./examples/linker
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"busenc/internal/codec"
+	"busenc/internal/memmap"
+)
+
+func main() {
+	// An embedded app's data: two hot ping-pong buffers, a coefficient
+	// table accessed with them, and assorted cold blocks between them in
+	// declaration order.
+	blocks := []memmap.Block{
+		{Name: "rx_buf", Size: 2048},   // 0: hot
+		{Name: "log_area", Size: 8192}, // 1: cold
+		{Name: "tx_buf", Size: 2048},   // 2: hot, pairs with rx_buf
+		{Name: "config", Size: 256},    // 3: cold
+		{Name: "coeffs", Size: 512},    // 4: hot, pairs with both buffers
+		{Name: "scratch", Size: 4096},  // 5: cold
+	}
+	rng := rand.New(rand.NewSource(42))
+	var accs []memmap.Access
+	for i := 0; i < 20000; i++ {
+		switch {
+		case i%50 == 49: // occasional cold access
+			b := []int{1, 3, 5}[rng.Intn(3)]
+			accs = append(accs, memmap.Access{Block: b, Offset: uint64(rng.Intn(int(blocks[b].Size)))})
+		default: // hot loop: rx -> coeffs -> tx
+			off := uint64(4 * (i % 512))
+			accs = append(accs,
+				memmap.Access{Block: 0, Offset: off % blocks[0].Size},
+				memmap.Access{Block: 4, Offset: (off * 2) % blocks[4].Size},
+				memmap.Access{Block: 2, Offset: off % blocks[2].Size, Write: true},
+			)
+		}
+	}
+
+	seq := memmap.Sequential(blocks, 0x10000000, 16)
+	opt, err := memmap.Optimize(blocks, accs, 0x10000000, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("layout               declaration-order    optimized")
+	for i, b := range blocks {
+		fmt.Printf("  %-10s         %#010x           %#010x\n", b.Name, seq.Addr[i], opt.Addr[i])
+	}
+
+	tSeq, err := memmap.Transitions(seq, accs, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tOpt, err := memmap.Transitions(opt, accs, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbinary bus transitions: %d -> %d (%.1f%% saved by placement alone)\n",
+		tSeq, tOpt, 100*(1-float64(tOpt)/float64(tSeq)))
+
+	// Now stack a bus code on top of each layout.
+	for _, layout := range []struct {
+		name string
+		l    *memmap.Layout
+	}{{"declaration-order", seq}, {"optimized", opt}} {
+		stream, err := layout.l.Trace("app", 32, accs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bin := codec.MustRun(codec.MustNew("binary", 32, codec.Options{}), stream)
+		best, bestT := "binary", bin.Transitions
+		for _, name := range []string{"businvert", "t0", "incxor", "workzone", "gray"} {
+			res := codec.MustRun(codec.MustNew(name, 32, codec.Options{Stride: 4}), stream)
+			if res.Transitions < bestT {
+				best, bestT = name, res.Transitions
+			}
+		}
+		fmt.Printf("%-18s + best code (%s): %d transitions (%.1f%% vs unoptimized binary)\n",
+			layout.name, best, bestT, 100*(1-float64(bestT)/float64(tSeq)))
+	}
+}

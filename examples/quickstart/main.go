@@ -1,0 +1,51 @@
+// Quickstart: encode one address stream with the paper's codes and print
+// the transition savings.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"busenc/internal/codec"
+	"busenc/internal/trace"
+)
+
+func main() {
+	// Build a small instruction-fetch-like stream: two sequential runs
+	// separated by a jump, as a program with one branch would produce.
+	s := trace.New("quickstart", 32)
+	for i := 0; i < 16; i++ {
+		s.Append(0x00400000+uint64(i)*4, trace.Instr)
+	}
+	for i := 0; i < 16; i++ {
+		s.Append(0x00401000+uint64(i)*4, trace.Instr)
+	}
+
+	// Binary is the reference every code is measured against.
+	opts := codec.Options{Stride: 4}
+	binary := codec.MustRun(codec.MustNew("binary", 32, codec.Options{}), s)
+	fmt.Printf("stream: %d references, %.1f%% in sequence\n", s.Len(), s.InSeqFraction(4)*100)
+	fmt.Printf("binary reference: %d transitions\n\n", binary.Transitions)
+
+	for _, name := range []string{"gray", "businvert", "t0", "t0bi"} {
+		c, err := codec.New(name, 32, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := codec.Run(c, s) // Run also verifies decode(encode(x)) == x
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s %2d bus lines, %4d transitions, %6.2f%% savings\n",
+			name, res.BusWidth, res.Transitions, res.SavingsVs(binary)*100)
+	}
+
+	// Under the hood: a codec is an encoder/decoder state-machine pair.
+	c := codec.MustNew("t0", 32, opts)
+	enc, dec := c.NewEncoder(), c.NewDecoder()
+	word := enc.Encode(codec.Symbol{Addr: 0x00400000, Sel: true})
+	fmt.Printf("\nfirst encoded word: %#011x (INC line is bit 32)\n", word)
+	fmt.Printf("decoded back:       %#011x\n", dec.Decode(word, true))
+}

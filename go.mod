@@ -1,0 +1,3 @@
+module busenc
+
+go 1.22

@@ -1,0 +1,143 @@
+package analytic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"busenc/internal/codec"
+	"busenc/internal/trace"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestBinaryRandom(t *testing.T) {
+	if BinaryRandom(32) != 16 {
+		t.Errorf("BinaryRandom(32) = %v", BinaryRandom(32))
+	}
+}
+
+func TestBinarySequentialApproachesTwo(t *testing.T) {
+	got := BinarySequential(32)
+	if !almost(got, 2, 1e-6) {
+		t.Errorf("BinarySequential(32) = %v, want ~2", got)
+	}
+	// Exact small case: N=2, addresses 0,1,2,3 wrap. Flips: 1,2,1,2 -> 1.5.
+	if got := BinarySequential(2); !almost(got, 1.5, 1e-12) {
+		t.Errorf("BinarySequential(2) = %v, want 1.5", got)
+	}
+}
+
+func TestGrayAndT0Limits(t *testing.T) {
+	if GraySequential(32) != 1 {
+		t.Error("Gray sequential must be exactly 1")
+	}
+	if T0Sequential(32) != 0 {
+		t.Error("T0 sequential must be exactly 0")
+	}
+	if T0Random(32) != 16 || GrayRandom(32) != 16 {
+		t.Error("random-stream averages must equal binary's N/2")
+	}
+}
+
+func TestBusInvertRandomSmall(t *testing.T) {
+	// N=2 by hand: eta = 2^-2 * [0*C(3,0) + 1*C(3,1)] = 3/4.
+	if got := BusInvertRandom(2); !almost(got, 0.75, 1e-12) {
+		t.Errorf("BusInvertRandom(2) = %v, want 0.75", got)
+	}
+	// The code must beat binary's N/2 for any width.
+	for _, n := range []int{2, 4, 8, 16, 32, 64} {
+		if BusInvertRandom(n) >= float64(n)/2 {
+			t.Errorf("BusInvertRandom(%d) = %v does not beat N/2", n, BusInvertRandom(n))
+		}
+	}
+}
+
+func TestBusInvertRandomMatchesSimulation(t *testing.T) {
+	const n = 8
+	want := BusInvertRandom(n)
+	c := codec.MustNew("businvert", n, codec.Options{})
+	rng := rand.New(rand.NewSource(11))
+	s := trace.New("rand", n)
+	const cycles = 200000
+	for i := 0; i < cycles; i++ {
+		s.Append(rng.Uint64(), trace.DataRead)
+	}
+	res := codec.MustRun(c, s)
+	got := res.AvgPerCycle()
+	if !almost(got, want, 0.03) {
+		t.Errorf("simulated eta = %v, analytical = %v", got, want)
+	}
+}
+
+func TestBinaryRandomMatchesSimulation(t *testing.T) {
+	const n = 16
+	rng := rand.New(rand.NewSource(12))
+	s := trace.New("rand", n)
+	for i := 0; i < 100000; i++ {
+		s.Append(rng.Uint64(), trace.DataRead)
+	}
+	res := codec.MustRun(codec.MustNew("binary", n, codec.Options{}), s)
+	if !almost(res.AvgPerCycle(), BinaryRandom(n), 0.05) {
+		t.Errorf("simulated = %v, analytical = %v", res.AvgPerCycle(), BinaryRandom(n))
+	}
+}
+
+func TestBinarySequentialMatchesSimulation(t *testing.T) {
+	const n = 16
+	s := trace.New("seq", n)
+	for i := 0; i < 1<<n; i++ { // a full wrap covers the exact distribution
+		s.Append(uint64(i), trace.Instr)
+	}
+	s.Append(0, trace.Instr) // complete the cycle for the wrap term
+	res := codec.MustRun(codec.MustNew("binary", n, codec.Options{}), s)
+	if !almost(res.AvgPerCycle(), BinarySequential(n), 1e-3) {
+		t.Errorf("simulated = %v, analytical = %v", res.AvgPerCycle(), BinarySequential(n))
+	}
+}
+
+func TestBusInvertSequentialMatchesSimulation(t *testing.T) {
+	const n = 10
+	s := trace.New("seq", n)
+	for i := 0; i <= 1<<n; i++ {
+		s.Append(uint64(i&(1<<n-1)), trace.Instr)
+	}
+	res := codec.MustRun(codec.MustNew("businvert", n, codec.Options{}), s)
+	if !almost(res.AvgPerCycle(), BusInvertSequential(n), 0.02) {
+		t.Errorf("simulated = %v, analytical = %v", res.AvgPerCycle(), BusInvertSequential(n))
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	rows := Table1(32)
+	if len(rows) != 8 {
+		t.Fatalf("Table1 has %d rows", len(rows))
+	}
+	byKey := map[string]Row{}
+	for _, r := range rows {
+		byKey[r.Stream+"/"+r.Code] = r
+	}
+	// Random stream: binary == T0 == Gray, bus-invert strictly better.
+	if byKey["random/binary"].PerClk != byKey["random/t0"].PerClk {
+		t.Error("random: T0 must match binary")
+	}
+	if byKey["random/businvert"].PerClk >= byKey["random/binary"].PerClk {
+		t.Error("random: bus-invert must beat binary")
+	}
+	if byKey["random/businvert"].RelPow >= 1 {
+		t.Error("random: bus-invert relative power must be below 1")
+	}
+	// Sequential stream: T0 < Gray < binary ~ bus-invert.
+	if byKey["sequential/t0"].PerClk != 0 {
+		t.Error("sequential: T0 must be zero")
+	}
+	if byKey["sequential/gray"].PerClk != 1 {
+		t.Error("sequential: Gray must be one")
+	}
+	if !(byKey["sequential/gray"].PerClk < byKey["sequential/binary"].PerClk) {
+		t.Error("sequential: Gray must beat binary")
+	}
+	if byKey["sequential/binary"].RelPow != 1 {
+		t.Error("binary relative power must be 1 by definition")
+	}
+}

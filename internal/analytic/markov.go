@@ -1,0 +1,66 @@
+package analytic
+
+// Markov-stream closed forms (EXTENSION): the paper evaluates the codes
+// on measured streams; these formulas predict the same quantities from
+// two parameters a designer can estimate without a full trace — the
+// in-sequence probability p and the size of the jump-target window.
+//
+// Model: addresses live on a stride-aligned grid inside one region of
+// 2^m grid points. Each cycle is in-sequence (addr += stride) with
+// probability p, independent across cycles, or jumps to a uniformly
+// random grid point with probability 1-p.
+//
+// Under this model:
+//
+//   - the address grid index immediately after a jump is uniform, and
+//     two distinct jump targets are independent, so the Hamming distance
+//     between them averages exactly m/2;
+//   - the binary cost of an in-sequence step is the average carry-chain
+//     flip count, 2 - 2^(1-m) (see BinarySequential);
+//   - the T0 bus freezes during runs: its payload lines change only on
+//     jumps, from the previous jump's target (plus however far the run
+//     carried it) to the new target — approximately independent
+//     uniforms, i.e. m/2 — and its INC line toggles whenever consecutive
+//     cycles disagree on sequentiality, 2p(1-p) per cycle.
+//
+// The in-sequence-step Hamming cost uses the stationary-uniform
+// approximation (the counter value before an increment is treated as
+// uniform); the tests bound the resulting error against simulation.
+
+// BinaryMarkov returns the expected binary-code transitions per cycle on
+// the Markov stream with in-sequence probability p over a 2^m-point
+// stride grid. Only the m grid bits toggle; the region base is constant.
+func BinaryMarkov(p float64, m int) float64 {
+	return p*BinarySequential(m) + (1-p)*float64(m)/2
+}
+
+// T0Markov returns the expected T0-code transitions per cycle (payload
+// plus INC line) on the same stream.
+func T0Markov(p float64, m int) float64 {
+	jumpCost := (1 - p) * float64(m) / 2 // frozen payload changes only on jumps
+	incCost := 2 * p * (1 - p)           // INC toggles at run boundaries
+	return jumpCost + incCost
+}
+
+// T0MarkovSavings returns the predicted fractional transition savings of
+// T0 over binary as a function of the stream's in-sequence probability:
+// the design-aid curve "how sequential must my bus be before T0 pays?".
+func T0MarkovSavings(p float64, m int) float64 {
+	b := BinaryMarkov(p, m)
+	if b == 0 {
+		return 0
+	}
+	return 1 - T0Markov(p, m)/b
+}
+
+// T0MarkovBreakEven returns the smallest in-sequence probability at which
+// T0 saves at least the given fraction, found by scanning p in steps of
+// 1e-3 (the curve is monotone in p for practical m).
+func T0MarkovBreakEven(target float64, m int) (float64, bool) {
+	for p := 0.0; p <= 1.0; p += 1e-3 {
+		if T0MarkovSavings(p, m) >= target {
+			return p, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,115 @@
+package analytic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"busenc/internal/codec"
+	"busenc/internal/trace"
+)
+
+// markovStream generates the exact model the closed forms assume: a
+// stride-aligned grid of 2^m points, in-sequence with probability p.
+func markovStream(p float64, m int, n int, seed int64) *trace.Stream {
+	rng := rand.New(rand.NewSource(seed))
+	s := trace.New("markov", m+2) // grid bits only; stride 1 on the grid
+	addr := uint64(rng.Intn(1 << m))
+	mask := uint64(1)<<uint(m) - 1
+	for i := 0; i < n; i++ {
+		s.Append(addr, trace.Instr)
+		if rng.Float64() < p {
+			addr = (addr + 1) & mask
+		} else {
+			addr = rng.Uint64() & mask
+		}
+	}
+	return s
+}
+
+func TestMarkovClosedFormsMatchSimulation(t *testing.T) {
+	const m = 16
+	for _, p := range []float64{0.0, 0.3, 0.63, 0.9, 0.99} {
+		s := markovStream(p, m, 150000, int64(p*1000))
+		bin := codec.MustRun(codec.MustNew("binary", m, codec.Options{}), s)
+		t0 := codec.MustRun(codec.MustNew("t0", m, codec.Options{Stride: 1}), s)
+		wantBin := BinaryMarkov(p, m)
+		wantT0 := T0Markov(p, m)
+		if got := bin.AvgPerCycle(); math.Abs(got-wantBin) > 0.05*wantBin+0.05 {
+			t.Errorf("p=%.2f: binary simulated %.4f vs predicted %.4f", p, got, wantBin)
+		}
+		if p < 1 {
+			tol := 0.06*wantT0 + 0.05
+			if got := t0.AvgPerCycle(); math.Abs(got-wantT0) > tol {
+				t.Errorf("p=%.2f: t0 simulated %.4f vs predicted %.4f", p, got, wantT0)
+			}
+		}
+	}
+}
+
+func TestMarkovLimits(t *testing.T) {
+	const m = 16
+	// p=0: both codes see pure random grid traffic, m/2 per cycle
+	// (T0 adds no INC activity: the line never rises).
+	if got := T0Markov(0, m); got != 8 {
+		t.Errorf("T0Markov(0) = %v, want 8", got)
+	}
+	if got := BinaryMarkov(0, m); got != 8 {
+		t.Errorf("BinaryMarkov(0) = %v, want 8", got)
+	}
+	// p=1: T0 freezes entirely; binary pays the increment cost.
+	if got := T0Markov(1, m); got != 0 {
+		t.Errorf("T0Markov(1) = %v, want 0", got)
+	}
+	if got := BinaryMarkov(1, m); math.Abs(got-BinarySequential(m)) > 1e-12 {
+		t.Errorf("BinaryMarkov(1) = %v", got)
+	}
+}
+
+func TestMarkovSavingsCurveShape(t *testing.T) {
+	const m = 16
+	// Savings are (near) zero at p=0 and approach 100% at p->1, and the
+	// curve is monotone over the practical range.
+	if s := T0MarkovSavings(0, m); math.Abs(s) > 1e-9 {
+		t.Errorf("savings at p=0: %v", s)
+	}
+	if s := T0MarkovSavings(0.999, m); s < 0.95 {
+		t.Errorf("savings at p~1: %v", s)
+	}
+	prev := -1.0
+	for p := 0.0; p <= 0.999; p += 0.05 {
+		s := T0MarkovSavings(p, m)
+		if s < prev-1e-9 {
+			t.Fatalf("savings curve not monotone at p=%.2f", p)
+		}
+		prev = s
+	}
+	// At the paper's aggregate in-sequence fraction (p = 0.63) the
+	// single-state model predicts only ~19% savings — far below Table 2's
+	// 35.5%. That is the model's diagnostic value, not an error: with
+	// independent per-cycle sequentiality the mean run is 1/(1-p) ~ 2.7
+	// references, and the INC-line toggles at the 2p(1-p) run boundaries
+	// eat the savings. Real instruction streams at the same aggregate
+	// fraction have much longer runs (the regime model in
+	// internal/workload), which is exactly why the fraction alone
+	// under-predicts T0.
+	if s := T0MarkovSavings(0.63, m); s < 0.12 || s > 0.28 {
+		t.Errorf("predicted savings at the paper's p: %v, want ~0.19", s)
+	}
+}
+
+func TestMarkovBreakEven(t *testing.T) {
+	p, ok := T0MarkovBreakEven(0.25, 16)
+	if !ok {
+		t.Fatal("no break-even found")
+	}
+	if p < 0.2 || p > 0.8 {
+		t.Errorf("25%%-savings break-even at p=%.3f, implausible", p)
+	}
+	if s := T0MarkovSavings(p, 16); s < 0.25 {
+		t.Errorf("break-even point does not reach the target: %v", s)
+	}
+	if _, ok := T0MarkovBreakEven(1.5, 16); ok {
+		t.Error("impossible target reported reachable")
+	}
+}

@@ -1,0 +1,240 @@
+// Package arch characterizes processor architectures with respect to
+// address bus encoding — the paper's stated future work: "we are working
+// on the characterization of existing microprocessors (e.g., MIPS, SPARC,
+// PowerPC, DEC-Alpha, PA-RISC, Intel) with respect to these architectural
+// options."
+//
+// Each profile captures the architecturally visible properties the codes
+// are sensitive to: address width, fetch stride, whether the external
+// address bus multiplexes instructions and data, and the memory map that
+// shapes jump-target Hamming distances. Characterize runs the full code
+// family on a profile's streams and reports the best code per bus, so a
+// system designer can pick the encoding for a given part.
+package arch
+
+import (
+	"fmt"
+	"math/bits"
+
+	"busenc/internal/codec"
+	"busenc/internal/trace"
+	"busenc/internal/workload"
+)
+
+// BusKind distinguishes split instruction/data buses from a multiplexed
+// external address bus (as on the MIPS parts the paper measured).
+type BusKind int
+
+const (
+	// Split means separate external instruction and data address buses.
+	Split BusKind = iota
+	// Muxed means one time-multiplexed address bus with a SEL signal.
+	Muxed
+)
+
+// String returns the bus-kind name.
+func (k BusKind) String() string {
+	if k == Muxed {
+		return "muxed"
+	}
+	return "split"
+}
+
+// Profile describes one processor architecture.
+type Profile struct {
+	Name string
+	// AddrBits is the implemented external address width.
+	AddrBits int
+	// Stride is the instruction fetch increment in bytes.
+	Stride uint64
+	// Bus is the external address bus organization.
+	Bus BusKind
+	// TextBase/LibBase anchor the code regions; DataBase/HeapBase/
+	// StackTop anchor the data regions of the conventional memory map.
+	TextBase, LibBase             uint64
+	DataBase, HeapBase, StackTop  uint64
+	InstrSeq, DataSeq, DataFrac   float64
+	textSpan, libSpan, regionSpan uint64
+}
+
+func (p Profile) spans() Profile {
+	if p.textSpan == 0 {
+		p.textSpan = 1 << 18
+	}
+	if p.libSpan == 0 {
+		p.libSpan = 1 << 20
+	}
+	if p.regionSpan == 0 {
+		p.regionSpan = 1 << 16
+	}
+	return p
+}
+
+// InstrSpec returns the instruction stream generator of the profile.
+func (p Profile) InstrSpec() workload.InstrSpec {
+	p = p.spans()
+	return workload.InstrSpec{
+		Target: p.InstrSeq,
+		Stride: p.Stride,
+		Far: workload.Model{
+			Regions: []workload.Region{
+				{Base: p.TextBase, Size: p.textSpan, Weight: 8},
+				{Base: p.LibBase, Size: p.libSpan, Weight: 2},
+			},
+		},
+	}
+}
+
+// DataSpec returns the data stream generator of the profile.
+func (p Profile) DataSpec() workload.DataSpec {
+	p = p.spans()
+	return workload.DataSpec{
+		Target: p.DataSeq,
+		Jump: workload.Model{
+			Stride: p.Stride,
+			Regions: []workload.Region{
+				{Base: p.DataBase, Size: p.regionSpan << 4, Weight: 4},
+				{Base: p.HeapBase, Size: p.regionSpan, Weight: 4},
+				{Base: p.StackTop - p.regionSpan, Size: p.regionSpan, Weight: 3},
+			},
+		},
+	}
+}
+
+// Streams generates the profile's characteristic streams: instruction,
+// data, and — for muxed-bus parts — the multiplexed stream.
+func (p Profile) Streams(n int, seed int64) (instr, data, muxed *trace.Stream) {
+	instr = p.InstrSpec().Stream(p.Name+".instr", p.AddrBits, n, seed)
+	data = p.DataSpec().Stream(p.Name+".data", p.AddrBits, n, seed+10)
+	if p.Bus == Muxed {
+		m := workload.MuxSpec{Instr: p.InstrSpec(), Data: p.DataSpec(), DataFrac: p.DataFrac}
+		muxed = m.Stream(p.Name+".muxed", p.AddrBits, n, seed+20)
+	}
+	return instr, data, muxed
+}
+
+// Profiles returns the characterization targets named by the paper. The
+// stream statistics reuse the paper's measured MIPS values as the common
+// baseline; the memory maps and widths are per-architecture.
+func Profiles() []Profile {
+	return []Profile{
+		{
+			Name: "mips", AddrBits: 32, Stride: 4, Bus: Muxed,
+			TextBase: 0x00400000, LibBase: 0x00480000,
+			DataBase: 0x10000000, HeapBase: 0x10010000, StackTop: 0x7FFFF000,
+			InstrSeq: 0.63, DataSeq: 0.11, DataFrac: 0.045,
+		},
+		{
+			Name: "sparc", AddrBits: 32, Stride: 4, Bus: Split,
+			TextBase: 0x00010000, LibBase: 0x00100000,
+			DataBase: 0x00200000, HeapBase: 0x00300000, StackTop: 0xF0000000,
+			InstrSeq: 0.61, DataSeq: 0.12, DataFrac: 0.3,
+		},
+		{
+			Name: "powerpc", AddrBits: 40, Stride: 4, Bus: Split,
+			TextBase: 0x01800000, LibBase: 0x01C00000,
+			DataBase: 0x30000000, HeapBase: 0x30100000, StackTop: 0x7FFE0000,
+			InstrSeq: 0.64, DataSeq: 0.13, DataFrac: 0.3,
+		},
+		{
+			Name: "alpha", AddrBits: 43, Stride: 4, Bus: Split,
+			TextBase: 0x000120000000, LibBase: 0x000160000000,
+			DataBase: 0x000140000000, HeapBase: 0x000141000000, StackTop: 0x00011FFFF000,
+			InstrSeq: 0.65, DataSeq: 0.12, DataFrac: 0.3,
+		},
+		{
+			Name: "parisc", AddrBits: 32, Stride: 4, Bus: Split,
+			TextBase: 0x00001000, LibBase: 0x40000000,
+			DataBase: 0x40001000, HeapBase: 0x40100000, StackTop: 0x7B03A000,
+			InstrSeq: 0.62, DataSeq: 0.12, DataFrac: 0.3,
+		},
+		{
+			Name: "x86", AddrBits: 32, Stride: 4, Bus: Split,
+			TextBase: 0x08048000, LibBase: 0x40000000,
+			DataBase: 0x08100000, HeapBase: 0x08200000, StackTop: 0xBFFFF000,
+			// Variable-length instructions make the fetch stream less
+			// regular at the bus: lower effective sequentiality.
+			InstrSeq: 0.55, DataSeq: 0.13, DataFrac: 0.3,
+		},
+	}
+}
+
+// Recommendation is the characterization verdict for one bus of one part.
+type Recommendation struct {
+	Arch string
+	Bus  string // "instruction", "data" or "muxed"
+	// Best is the winning code; SavingsPct its savings vs binary.
+	Best       string
+	SavingsPct float64
+	// InSeqPct is the measured in-sequence fraction of the bus's stream.
+	InSeqPct float64
+}
+
+// characterizationCodes is the code family considered per bus. The dual
+// codes only make sense on a muxed bus (they need SEL).
+var splitCodes = []string{"gray", "businvert", "t0", "t0bi", "incxor"}
+var muxedCodes = []string{"gray", "businvert", "t0", "t0bi", "dualt0", "dualt0bi", "incxor"}
+
+// Characterize runs the code family on each of the profile's buses and
+// returns one recommendation per bus.
+func Characterize(p Profile, n int, seed int64) ([]Recommendation, error) {
+	instr, data, muxed := p.Streams(n, seed)
+	buses := []struct {
+		name  string
+		s     *trace.Stream
+		codes []string
+	}{
+		{"instruction", instr, splitCodes},
+		{"data", data, splitCodes},
+	}
+	if muxed != nil {
+		buses = append(buses, struct {
+			name  string
+			s     *trace.Stream
+			codes []string
+		}{"muxed", muxed, muxedCodes})
+	}
+	var out []Recommendation
+	for _, b := range buses {
+		rec, err := bestCode(p, b.name, b.s, b.codes)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+func bestCode(p Profile, busName string, s *trace.Stream, codes []string) (Recommendation, error) {
+	if p.Stride == 0 || p.Stride&(p.Stride-1) != 0 {
+		return Recommendation{}, fmt.Errorf("arch %s: stride %d not a power of two", p.Name, p.Stride)
+	}
+	opts := codec.Options{Stride: p.Stride}
+	bin, err := codec.Run(codec.MustNew("binary", p.AddrBits, codec.Options{}), s)
+	if err != nil {
+		return Recommendation{}, err
+	}
+	rec := Recommendation{
+		Arch:     p.Name,
+		Bus:      busName,
+		Best:     "binary",
+		InSeqPct: s.InSeqFraction(p.Stride) * 100,
+	}
+	for _, name := range codes {
+		c, err := codec.New(name, p.AddrBits, opts)
+		if err != nil {
+			return Recommendation{}, err
+		}
+		res, err := codec.Run(c, s)
+		if err != nil {
+			return Recommendation{}, err
+		}
+		if save := res.SavingsVs(bin) * 100; save > rec.SavingsPct {
+			rec.Best, rec.SavingsPct = name, save
+		}
+	}
+	return rec, nil
+}
+
+// strideLog returns log2 of the profile stride, for hardware generation.
+func (p Profile) StrideLog() int { return bits.TrailingZeros64(p.Stride) }

@@ -1,0 +1,144 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProfilesCoverPaperList(t *testing.T) {
+	want := []string{"mips", "sparc", "powerpc", "alpha", "parisc", "x86"}
+	got := map[string]Profile{}
+	for _, p := range Profiles() {
+		got[p.Name] = p
+	}
+	for _, name := range want {
+		if _, ok := got[name]; !ok {
+			t.Errorf("profile %q missing", name)
+		}
+	}
+}
+
+func TestProfilesAreWellFormed(t *testing.T) {
+	for _, p := range Profiles() {
+		if p.AddrBits < 16 || p.AddrBits > 63 {
+			t.Errorf("%s: address width %d outside codec range", p.Name, p.AddrBits)
+		}
+		if p.Stride == 0 || p.Stride&(p.Stride-1) != 0 {
+			t.Errorf("%s: stride %d not a power of two", p.Name, p.Stride)
+		}
+		if p.InstrSeq <= p.DataSeq {
+			t.Errorf("%s: instruction streams must be more sequential than data", p.Name)
+		}
+		limit := uint64(1) << uint(p.AddrBits)
+		for _, a := range []uint64{p.TextBase, p.LibBase, p.DataBase, p.HeapBase, p.StackTop} {
+			if a >= limit {
+				t.Errorf("%s: memory-map address %#x outside %d-bit space", p.Name, a, p.AddrBits)
+			}
+		}
+	}
+}
+
+func TestStreamsMatchProfileStatistics(t *testing.T) {
+	for _, p := range Profiles() {
+		instr, data, muxed := p.Streams(30000, 1)
+		if got := instr.InSeqFraction(p.Stride); got < p.InstrSeq-0.04 || got > p.InstrSeq+0.04 {
+			t.Errorf("%s: instr in-seq %.3f, target %.3f", p.Name, got, p.InstrSeq)
+		}
+		if got := data.InSeqFraction(p.Stride); got < p.DataSeq-0.04 || got > p.DataSeq+0.04 {
+			t.Errorf("%s: data in-seq %.3f, target %.3f", p.Name, got, p.DataSeq)
+		}
+		if p.Bus == Muxed && muxed == nil {
+			t.Errorf("%s: muxed profile produced no muxed stream", p.Name)
+		}
+		if p.Bus == Split && muxed != nil {
+			t.Errorf("%s: split profile produced a muxed stream", p.Name)
+		}
+	}
+}
+
+func TestStreamsStayInsideAddressSpace(t *testing.T) {
+	for _, p := range Profiles() {
+		instr, data, _ := p.Streams(20000, 2)
+		limit := uint64(1) << uint(p.AddrBits)
+		for _, s := range []interface{ Addresses() []uint64 }{instr, data} {
+			for _, a := range s.Addresses() {
+				if a >= limit {
+					t.Fatalf("%s: address %#x outside the %d-bit space", p.Name, a, p.AddrBits)
+				}
+			}
+		}
+	}
+}
+
+func TestCharacterizeRecommendsSensibly(t *testing.T) {
+	for _, p := range Profiles() {
+		recs, err := Characterize(p, 30000, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		wantBuses := 2
+		if p.Bus == Muxed {
+			wantBuses = 3
+		}
+		if len(recs) != wantBuses {
+			t.Fatalf("%s: %d recommendations", p.Name, len(recs))
+		}
+		byBus := map[string]Recommendation{}
+		for _, r := range recs {
+			byBus[r.Bus] = r
+		}
+		// Instruction buses must prefer a sequentiality-exploiting code.
+		in := byBus["instruction"]
+		if !strings.Contains(in.Best, "t0") && in.Best != "incxor" && in.Best != "gray" {
+			t.Errorf("%s instruction bus: recommended %q", p.Name, in.Best)
+		}
+		if in.SavingsPct < 15 {
+			t.Errorf("%s instruction bus: savings %.1f%% too low", p.Name, in.SavingsPct)
+		}
+		// Data buses must not recommend the dual codes (no SEL benefit).
+		d := byBus["data"]
+		if strings.HasPrefix(d.Best, "dual") {
+			t.Errorf("%s data bus: recommended %q", p.Name, d.Best)
+		}
+		if m, ok := byBus["muxed"]; ok {
+			if m.SavingsPct <= 0 {
+				t.Errorf("%s muxed bus: no code saved anything", p.Name)
+			}
+		}
+	}
+}
+
+func TestMIPSMuxedRecommendationMatchesPaper(t *testing.T) {
+	// The paper's conclusion: dual T0_BI is the most effective code for
+	// the MIPS muxed address bus.
+	var mips Profile
+	for _, p := range Profiles() {
+		if p.Name == "mips" {
+			mips = p
+		}
+	}
+	recs, err := Characterize(mips, 50000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.Bus == "muxed" {
+			if r.Best != "dualt0bi" && r.Best != "dualt0" {
+				t.Errorf("muxed recommendation = %q, want a dual code (paper: dualt0bi)", r.Best)
+			}
+		}
+	}
+}
+
+func TestStrideLog(t *testing.T) {
+	p := Profile{Stride: 4}
+	if p.StrideLog() != 2 {
+		t.Errorf("StrideLog = %d", p.StrideLog())
+	}
+}
+
+func TestBusKindString(t *testing.T) {
+	if Split.String() != "split" || Muxed.String() != "muxed" {
+		t.Error("bus kind names wrong")
+	}
+}

@@ -1,0 +1,79 @@
+package bus
+
+import "math/bits"
+
+// Coupling-aware activity accounting (EXTENSION — beyond the 1998 paper).
+// In deep-submicron processes the capacitance *between* adjacent bus lines
+// rivals the line-to-ground capacitance, so the energy of a cycle depends
+// not only on how many lines toggle but on how neighbouring lines move
+// relative to each other:
+//
+//   - a line toggling next to a quiet line charges the coupling cap once;
+//   - two adjacent lines toggling in opposite directions charge it twice
+//     (the worst case);
+//   - two adjacent lines toggling together leave it uncharged.
+//
+// CouplingStats classifies every adjacent pair per cycle so codes can be
+// ranked under a coupling-dominated energy model: the ranking of codes
+// changes when lambda (the coupling-to-ground ratio) grows, which is why
+// later bus-encoding work revisits the 1998 conclusions for DSM buses.
+type CouplingStats struct {
+	// Toggles is the plain self-transition count (as Bus.Transitions).
+	Toggles int64
+	// Single counts adjacent pairs where exactly one line toggled.
+	Single int64
+	// Opposite counts adjacent pairs toggling in opposite directions.
+	Opposite int64
+	// Together counts adjacent pairs toggling in the same direction.
+	Together int64
+	// Cycles is the number of transitions observed (words - 1).
+	Cycles int64
+}
+
+// Energy returns the normalized switching energy of the observed
+// sequence: self transitions cost 1 each; coupling events cost lambda
+// for a single-toggle pair and 2*lambda for an opposite-toggle pair
+// (the standard DSM bus energy model; lambda is Cc/Cg).
+func (c CouplingStats) Energy(lambda float64) float64 {
+	return float64(c.Toggles) + lambda*(float64(c.Single)+2*float64(c.Opposite))
+}
+
+// AvgEnergyPerCycle normalizes Energy by the observed cycles.
+func (c CouplingStats) AvgEnergyPerCycle(lambda float64) float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return c.Energy(lambda) / float64(c.Cycles)
+}
+
+// CouplingTransitions classifies the activity of driving seq onto a bus
+// of the given width, pair by adjacent pair.
+func CouplingTransitions(seq []uint64, width int) CouplingStats {
+	m := Mask(width)
+	var st CouplingStats
+	for i := 1; i < len(seq); i++ {
+		prev, cur := seq[i-1]&m, seq[i]&m
+		diff := prev ^ cur
+		st.Toggles += int64(bits.OnesCount64(diff))
+		st.Cycles++
+		// Rising lines: 0 -> 1 (falling is the complement within diff).
+		rising := diff & cur
+		for line := 0; line < width-1; line++ {
+			aT := diff>>uint(line)&1 == 1
+			bT := diff>>uint(line+1)&1 == 1
+			switch {
+			case aT && bT:
+				aUp := rising>>uint(line)&1 == 1
+				bUp := rising>>uint(line+1)&1 == 1
+				if aUp == bUp {
+					st.Together++
+				} else {
+					st.Opposite++
+				}
+			case aT || bT:
+				st.Single++
+			}
+		}
+	}
+	return st
+}

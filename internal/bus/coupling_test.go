@@ -1,0 +1,141 @@
+package bus
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCouplingClassification(t *testing.T) {
+	// 4-bit bus, hand-checked cycles.
+	cases := []struct {
+		name     string
+		seq      []uint64
+		toggles  int64
+		single   int64
+		opposite int64
+		together int64
+	}{
+		{
+			name: "one line toggles, both neighbours quiet",
+			seq:  []uint64{0b0000, 0b0010},
+			// Pairs (0,1) and (1,2) each see a single toggle.
+			toggles: 1, single: 2,
+		},
+		{
+			name: "adjacent lines rise together",
+			seq:  []uint64{0b0000, 0b0110},
+			// Pair (1,2) together; pairs (0,1) and (2,3) single.
+			toggles: 2, single: 2, together: 1,
+		},
+		{
+			name: "adjacent lines swing opposite",
+			seq:  []uint64{0b0010, 0b0100},
+			// Line 1 falls while line 2 rises.
+			toggles: 2, single: 2, opposite: 1,
+		},
+		{
+			name:    "all lines rise together",
+			seq:     []uint64{0b0000, 0b1111},
+			toggles: 4, together: 3,
+		},
+		{
+			name:    "alternating pattern flips",
+			seq:     []uint64{0b0101, 0b1010},
+			toggles: 4, opposite: 3,
+		},
+		{
+			name: "quiet bus",
+			seq:  []uint64{0b1001, 0b1001},
+		},
+	}
+	for _, tc := range cases {
+		st := CouplingTransitions(tc.seq, 4)
+		if st.Toggles != tc.toggles || st.Single != tc.single ||
+			st.Opposite != tc.opposite || st.Together != tc.together {
+			t.Errorf("%s: got %+v", tc.name, st)
+		}
+	}
+}
+
+func TestCouplingEnergyModel(t *testing.T) {
+	st := CouplingStats{Toggles: 10, Single: 4, Opposite: 3, Together: 5, Cycles: 2}
+	if e := st.Energy(0); e != 10 {
+		t.Errorf("lambda=0 energy = %v, want toggles only", e)
+	}
+	// lambda=1: 10 + (4 + 2*3) = 20.
+	if e := st.Energy(1); e != 20 {
+		t.Errorf("lambda=1 energy = %v, want 20", e)
+	}
+	if got := st.AvgEnergyPerCycle(1); got != 10 {
+		t.Errorf("avg energy = %v", got)
+	}
+	if (CouplingStats{}).AvgEnergyPerCycle(1) != 0 {
+		t.Error("empty stats must average to zero")
+	}
+}
+
+func TestCouplingTogglesMatchPlainCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	seq := make([]uint64, 500)
+	for i := range seq {
+		seq[i] = rng.Uint64()
+	}
+	st := CouplingTransitions(seq, 24)
+	if st.Toggles != CountTransitions(seq, 24) {
+		t.Errorf("coupling toggle count %d != plain count %d", st.Toggles, CountTransitions(seq, 24))
+	}
+	if st.Cycles != int64(len(seq)-1) {
+		t.Errorf("cycles = %d", st.Cycles)
+	}
+}
+
+// Property: per cycle, each adjacent pair is classified exactly once, so
+// single + opposite + together <= (width-1) * cycles, with equality only
+// if every pair toggles every cycle.
+func TestCouplingPairAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	seq := make([]uint64, 300)
+	for i := range seq {
+		seq[i] = rng.Uint64()
+	}
+	const width = 16
+	st := CouplingTransitions(seq, width)
+	pairs := st.Single + st.Opposite + st.Together
+	if pairs > int64(width-1)*st.Cycles {
+		t.Errorf("pair events %d exceed capacity %d", pairs, int64(width-1)*st.Cycles)
+	}
+}
+
+func TestGraySequentialCouplingBehaviour(t *testing.T) {
+	// A sequential Gray-coded stream toggles exactly one line per cycle,
+	// so it can never produce opposite-direction coupling events — but
+	// that lone toggle always charges both neighbouring coupling caps.
+	// Binary's carry runs move adjacent lines *together* (coupling-free
+	// within the run), so — the classic DSM result — Gray's factor-two
+	// advantage over binary *erodes* as coupling grows.
+	var grayWords, binWords []uint64
+	for i := uint64(0); i < 1024; i++ {
+		binWords = append(binWords, i)
+		grayWords = append(grayWords, i^(i>>1))
+	}
+	gray := CouplingTransitions(grayWords, 10)
+	bin := CouplingTransitions(binWords, 10)
+	if gray.Opposite != 0 {
+		t.Errorf("gray opposite events = %d, want 0", gray.Opposite)
+	}
+	if bin.Opposite == 0 {
+		t.Error("binary counting should produce opposite swings")
+	}
+	if bin.Together == 0 {
+		t.Error("binary carry runs should move adjacent lines together")
+	}
+	weak := gray.Energy(0) / bin.Energy(0)
+	strong := gray.Energy(2) / bin.Energy(2)
+	if strong <= weak {
+		t.Errorf("gray/binary energy ratio should erode with coupling: %.3f -> %.3f", weak, strong)
+	}
+	// Gray still wins in absolute terms at moderate coupling.
+	if gray.Energy(2) >= bin.Energy(2) {
+		t.Error("gray should still beat binary at lambda=2 on sequential streams")
+	}
+}

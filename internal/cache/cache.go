@@ -1,0 +1,188 @@
+// Package cache implements a set-associative cache simulator used to study
+// bus encoding at different levels of the memory hierarchy — the direction
+// named in the paper's "Conclusions and Future Work" section. Filtering a
+// processor address stream through a cache yields the address stream seen
+// on the next-level bus (refills and write-backs), whose locality profile
+// differs sharply from the processor-side stream: sequentiality drops and
+// block alignment appears, changing which code wins.
+package cache
+
+import (
+	"fmt"
+
+	"busenc/internal/trace"
+)
+
+// Config describes one cache level.
+type Config struct {
+	// Size is the total capacity in bytes.
+	Size int
+	// LineSize is the block size in bytes (a power of two).
+	LineSize int
+	// Ways is the associativity (1 = direct mapped).
+	Ways int
+	// WriteBack selects write-back (true) or write-through (false).
+	// Write-allocate is used in both cases.
+	WriteBack bool
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Size <= 0 || c.LineSize <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache: non-positive geometry %+v", c)
+	}
+	if c.LineSize&(c.LineSize-1) != 0 {
+		return fmt.Errorf("cache: line size %d not a power of two", c.LineSize)
+	}
+	if c.Size%(c.LineSize*c.Ways) != 0 {
+		return fmt.Errorf("cache: size %d not divisible by line*ways=%d", c.Size, c.LineSize*c.Ways)
+	}
+	sets := c.Size / (c.LineSize * c.Ways)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	age   int64
+}
+
+// Cache is one simulated cache level.
+type Cache struct {
+	cfg      Config
+	sets     [][]line
+	setMask  uint64
+	lineBits uint
+	clock    int64
+
+	// Statistics.
+	Accesses int64
+	Misses   int64
+	Evicts   int64
+	WBacks   int64
+}
+
+// New builds a cache from a validated configuration.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sets := cfg.Size / (cfg.LineSize * cfg.Ways)
+	c := &Cache{cfg: cfg, setMask: uint64(sets - 1)}
+	for cfg.LineSize>>c.lineBits > 1 {
+		c.lineBits++
+	}
+	c.sets = make([][]line, sets)
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	return c, nil
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// HitRate returns the fraction of accesses that hit.
+func (c *Cache) HitRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return 1 - float64(c.Misses)/float64(c.Accesses)
+}
+
+// Access simulates one reference and returns the resulting next-level bus
+// traffic (zero, one or two block-aligned references): a refill read on a
+// miss, preceded by a write-back if a dirty line is evicted; plus the
+// write-through store itself when configured.
+func (c *Cache) Access(addr uint64, write bool) []trace.Entry {
+	c.Accesses++
+	c.clock++
+	blk := addr >> c.lineBits
+	set := blk & c.setMask
+	tag := blk >> uint(setBits(c.setMask))
+	lines := c.sets[set]
+
+	var out []trace.Entry
+	if !c.cfg.WriteBack && write {
+		// Write-through: the store always reaches the next level.
+		out = append(out, trace.Entry{Addr: addr, Kind: trace.DataWrite})
+	}
+	for i := range lines {
+		if lines[i].valid && lines[i].tag == tag {
+			lines[i].age = c.clock
+			if write && c.cfg.WriteBack {
+				lines[i].dirty = true
+			}
+			return out
+		}
+	}
+	// Miss: choose the LRU victim.
+	c.Misses++
+	victim := 0
+	for i := range lines {
+		if !lines[i].valid {
+			victim = i
+			break
+		}
+		if lines[i].age < lines[victim].age {
+			victim = i
+		}
+	}
+	if lines[victim].valid {
+		c.Evicts++
+		if lines[victim].dirty {
+			c.WBacks++
+			evAddr := (lines[victim].tag<<uint(setBits(c.setMask)) | set) << c.lineBits
+			out = append(out, trace.Entry{Addr: evAddr, Kind: trace.DataWrite})
+		}
+	}
+	// Write-allocate fetches the block before modifying it, so the refill
+	// is a read regardless of the triggering access.
+	out = append(out, trace.Entry{Addr: blk << c.lineBits, Kind: trace.DataRead})
+	lines[victim] = line{tag: tag, valid: true, dirty: write && c.cfg.WriteBack, age: c.clock}
+	return out
+}
+
+func setBits(mask uint64) int {
+	n := 0
+	for mask != 0 {
+		n++
+		mask >>= 1
+	}
+	return n
+}
+
+// Filter runs the whole stream through the cache and returns the
+// next-level address stream. Instruction entries refill as instruction
+// reads so the downstream SEL signal stays meaningful.
+func (c *Cache) Filter(s *trace.Stream) *trace.Stream {
+	out := trace.New(s.Name+".miss", s.Width)
+	for _, e := range s.Entries {
+		refs := c.Access(e.Addr, e.Kind == trace.DataWrite)
+		for _, r := range refs {
+			kind := r.Kind
+			if e.Kind == trace.Instr && kind == trace.DataRead {
+				kind = trace.Instr
+			}
+			out.Append(r.Addr, kind)
+		}
+	}
+	return out
+}
+
+// Hierarchy chains cache levels: Filter applies each level in order and
+// returns the streams observed on every bus (index 0 = processor bus,
+// index i = bus below level i).
+func Hierarchy(s *trace.Stream, levels ...*Cache) []*trace.Stream {
+	out := []*trace.Stream{s}
+	cur := s
+	for _, l := range levels {
+		cur = l.Filter(cur)
+		out = append(out, cur)
+	}
+	return out
+}

@@ -1,0 +1,275 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"busenc/internal/trace"
+	"busenc/internal/workload"
+)
+
+func mk(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{Size: 0, LineSize: 16, Ways: 1},
+		{Size: 1024, LineSize: 24, Ways: 1},  // line not power of two
+		{Size: 1000, LineSize: 16, Ways: 1},  // size not divisible
+		{Size: 3072, LineSize: 16, Ways: 1},  // sets not power of two
+		{Size: 1024, LineSize: 16, Ways: -1}, // negative ways
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: %+v validated", i, cfg)
+		}
+	}
+	good := Config{Size: 8192, LineSize: 32, Ways: 2, WriteBack: true}
+	if err := good.Validate(); err != nil {
+		t.Errorf("%+v rejected: %v", good, err)
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	c := mk(t, Config{Size: 1024, LineSize: 16, Ways: 1})
+	refs := c.Access(0x100, false)
+	if len(refs) != 1 || refs[0].Addr != 0x100 {
+		t.Fatalf("cold miss refs = %+v", refs)
+	}
+	if refs := c.Access(0x104, false); len(refs) != 0 {
+		t.Errorf("same-line access missed: %+v", refs)
+	}
+	if c.Misses != 1 || c.Accesses != 2 {
+		t.Errorf("misses=%d accesses=%d", c.Misses, c.Accesses)
+	}
+	if c.HitRate() != 0.5 {
+		t.Errorf("hit rate = %v", c.HitRate())
+	}
+}
+
+func TestRefillIsBlockAligned(t *testing.T) {
+	c := mk(t, Config{Size: 1024, LineSize: 64, Ways: 1})
+	refs := c.Access(0x12345, false)
+	if len(refs) != 1 {
+		t.Fatal("expected one refill")
+	}
+	if refs[0].Addr%64 != 0 {
+		t.Errorf("refill address %#x not aligned to the line", refs[0].Addr)
+	}
+}
+
+func TestDirectMappedConflict(t *testing.T) {
+	// Two addresses that map to the same set of a direct-mapped cache
+	// evict each other; a 2-way cache holds both.
+	dm := mk(t, Config{Size: 1024, LineSize: 16, Ways: 1})
+	a, b := uint64(0x0000), uint64(0x0000+1024)
+	dm.Access(a, false)
+	dm.Access(b, false)
+	dm.Access(a, false)
+	if dm.Misses != 3 {
+		t.Errorf("direct-mapped misses = %d, want 3", dm.Misses)
+	}
+	sa := mk(t, Config{Size: 1024, LineSize: 16, Ways: 2})
+	sa.Access(a, false)
+	sa.Access(b, false)
+	sa.Access(a, false)
+	if sa.Misses != 2 {
+		t.Errorf("2-way misses = %d, want 2", sa.Misses)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// 2-way set: touch A, B, then A again; C must evict B (the LRU), so A
+	// still hits afterwards.
+	c := mk(t, Config{Size: 64, LineSize: 16, Ways: 2}) // 2 sets
+	a, b, x := uint64(0), uint64(64), uint64(128)       // same set 0
+	c.Access(a, false)
+	c.Access(b, false)
+	c.Access(a, false)
+	c.Access(x, false) // evicts b
+	miss := c.Misses
+	c.Access(a, false)
+	if c.Misses != miss {
+		t.Error("LRU evicted the recently used line")
+	}
+	c.Access(b, false)
+	if c.Misses != miss+1 {
+		t.Error("expected b to have been evicted")
+	}
+}
+
+func TestWriteBackEmitsDirtyEviction(t *testing.T) {
+	c := mk(t, Config{Size: 64, LineSize: 16, Ways: 1, WriteBack: true}) // 4 sets
+	c.Access(0x00, true)                                                 // dirty line in set 0
+	refs := c.Access(0x40, false)                                        // conflicts, evicts dirty
+	if len(refs) != 2 {
+		t.Fatalf("refs = %+v, want write-back + refill", refs)
+	}
+	if refs[0].Kind != trace.DataWrite || refs[0].Addr != 0x00 {
+		t.Errorf("write-back ref = %+v", refs[0])
+	}
+	if refs[1].Kind != trace.DataRead || refs[1].Addr != 0x40 {
+		t.Errorf("refill ref = %+v", refs[1])
+	}
+	if c.WBacks != 1 {
+		t.Errorf("WBacks = %d", c.WBacks)
+	}
+}
+
+func TestWriteThroughAlwaysWrites(t *testing.T) {
+	c := mk(t, Config{Size: 64, LineSize: 16, Ways: 1, WriteBack: false})
+	c.Access(0x00, true)
+	refs := c.Access(0x04, true) // hit, but write-through still emits
+	if len(refs) != 1 || refs[0].Kind != trace.DataWrite || refs[0].Addr != 0x04 {
+		t.Errorf("write-through refs = %+v", refs)
+	}
+}
+
+func TestCleanEvictionSilent(t *testing.T) {
+	c := mk(t, Config{Size: 64, LineSize: 16, Ways: 1, WriteBack: true})
+	c.Access(0x00, false)
+	refs := c.Access(0x40, false)
+	if len(refs) != 1 {
+		t.Errorf("clean eviction produced extra traffic: %+v", refs)
+	}
+	if c.Evicts != 1 || c.WBacks != 0 {
+		t.Errorf("evicts=%d wbacks=%d", c.Evicts, c.WBacks)
+	}
+}
+
+func TestFilterSequentialStreamCompresses(t *testing.T) {
+	// A sequential instruction stream through a 32-byte-line cache
+	// produces one refill per 8 words: the miss stream is 1/8 the length
+	// and still sequential (with stride = line size).
+	s := workload.Sequential(32, 8000, 0x400000, 4)
+	c := mk(t, Config{Size: 4096, LineSize: 32, Ways: 2})
+	miss := c.Filter(s)
+	if got, want := miss.Len(), 1000; got != want {
+		t.Errorf("miss stream length = %d, want %d", got, want)
+	}
+	if f := miss.InSeqFraction(32); f != 1 {
+		t.Errorf("miss stream in-seq fraction at line stride = %v, want 1", f)
+	}
+	// Instruction kind is preserved for refills of instruction misses.
+	for _, e := range miss.Entries {
+		if e.Kind != trace.Instr {
+			t.Fatalf("refill kind = %v", e.Kind)
+		}
+	}
+}
+
+func TestHierarchyChainsLevels(t *testing.T) {
+	s := workload.Sequential(32, 4096, 0, 4)
+	l1 := mk(t, Config{Size: 1024, LineSize: 16, Ways: 1})
+	l2 := mk(t, Config{Size: 8192, LineSize: 64, Ways: 2})
+	buses := Hierarchy(s, l1, l2)
+	if len(buses) != 3 {
+		t.Fatalf("buses = %d", len(buses))
+	}
+	if buses[0] != s {
+		t.Error("bus 0 must be the processor stream")
+	}
+	if !(buses[1].Len() > buses[2].Len()) {
+		t.Errorf("L2 bus (%d) should be quieter than L1 bus (%d)", buses[2].Len(), buses[1].Len())
+	}
+}
+
+func TestHitRateOnLoopingWorkload(t *testing.T) {
+	// A loop over a working set that fits in the cache must approach 100%
+	// hits after the cold pass.
+	s := trace.New("loop", 32)
+	for pass := 0; pass < 10; pass++ {
+		for a := uint64(0); a < 1024; a += 4 {
+			s.Append(a, trace.Instr)
+		}
+	}
+	c := mk(t, Config{Size: 4096, LineSize: 32, Ways: 2})
+	c.Filter(s)
+	if c.HitRate() < 0.98 {
+		t.Errorf("hit rate = %v, want ~1", c.HitRate())
+	}
+}
+
+// Property: miss count is at least the number of distinct blocks touched
+// (compulsory misses) and at most the access count; a cache whose capacity
+// covers the whole working set in one set-associative group never misses
+// after the cold pass.
+func TestCacheMissBoundsQuick(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		if len(addrs) == 0 {
+			return true
+		}
+		c, err := New(Config{Size: 2048, LineSize: 16, Ways: 2})
+		if err != nil {
+			return false
+		}
+		blocks := map[uint64]struct{}{}
+		for _, a := range addrs {
+			c.Access(uint64(a), false)
+			blocks[uint64(a)>>4] = struct{}{}
+		}
+		// Every distinct block compulsorily misses once; misses can never
+		// exceed accesses.
+		return c.Misses >= int64(len(blocks)) && c.Misses <= c.Accesses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFullyCoveringCacheOnlyColdMisses(t *testing.T) {
+	// Working set of 32 lines inside a 64-line fully-covering cache:
+	// after the first pass every access hits, for any access order.
+	rng := rand.New(rand.NewSource(12))
+	c := mk(t, Config{Size: 64 * 16, LineSize: 16, Ways: 4})
+	warm := map[uint64]struct{}{}
+	for i := 0; i < 5000; i++ {
+		a := uint64(rng.Intn(32)) * 16
+		miss0 := c.Misses
+		c.Access(a, false)
+		if _, seen := warm[a]; seen && c.Misses != miss0 {
+			t.Fatalf("warm line %#x missed", a)
+		}
+		warm[a] = struct{}{}
+	}
+	if c.Misses != 32 {
+		t.Errorf("misses = %d, want exactly the 32 compulsory ones", c.Misses)
+	}
+}
+
+// Property: Filter emits exactly one read per miss plus one write per
+// write-back (plus write-throughs when configured).
+func TestFilterTrafficAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	s := trace.New("p", 32)
+	for i := 0; i < 4000; i++ {
+		k := trace.DataRead
+		if rng.Intn(3) == 0 {
+			k = trace.DataWrite
+		}
+		s.Append(uint64(rng.Intn(1<<14)), k)
+	}
+	c := mk(t, Config{Size: 1024, LineSize: 16, Ways: 2, WriteBack: true})
+	miss := c.Filter(s)
+	if int64(miss.Len()) != c.Misses+c.WBacks {
+		t.Errorf("traffic %d != misses %d + writebacks %d", miss.Len(), c.Misses, c.WBacks)
+	}
+	wt := mk(t, Config{Size: 1024, LineSize: 16, Ways: 2, WriteBack: false})
+	writes := 0
+	for _, e := range s.Entries {
+		if e.Kind == trace.DataWrite {
+			writes++
+		}
+	}
+	missWT := wt.Filter(s)
+	if int64(missWT.Len()) != wt.Misses+int64(writes) {
+		t.Errorf("write-through traffic %d != misses %d + writes %d", missWT.Len(), wt.Misses, writes)
+	}
+}

@@ -1,0 +1,141 @@
+package codec
+
+import (
+	"fmt"
+	"math/bits"
+
+	"busenc/internal/bus"
+)
+
+func init() {
+	Register("adaptive", func(width int, opts Options) (Codec, error) {
+		entries := opts.Entries
+		if entries == 0 {
+			entries = 16
+			if entries > width {
+				entries = width
+			}
+		}
+		return NewAdaptive(width, entries)
+	})
+}
+
+// Adaptive is a self-organizing-list code (EXTENSION — in the spirit of
+// Mamidipaka, Hirschberg and Dutt's adaptive low-power address encoding):
+// both ends of the bus maintain an identical move-to-front list of the
+// most recent distinct addresses. When the new address is in the list, the
+// encoder asserts the HIT line and transmits the entry's index as a
+// one-hot pattern on the low lines while freezing the rest of the bus; a
+// re-reference to a recent address then costs at most two payload
+// transitions, and an immediate repeat costs zero. On a miss the raw
+// address is transmitted and inserted at the front.
+//
+// The code targets temporal locality (repeated addresses — branch targets,
+// spin loops, hot globals) rather than the spatial locality T0 exploits,
+// so the two compose well across bus types.
+type Adaptive struct {
+	width   int
+	entries int
+	mask    uint64
+	lowMask uint64
+	hitBit  uint
+}
+
+// NewAdaptive returns an adaptive code over width lines with the given
+// list size (at most width, so indices encode one-hot on the payload).
+func NewAdaptive(width, entries int) (*Adaptive, error) {
+	if err := checkWidth("adaptive", width, 1); err != nil {
+		return nil, err
+	}
+	if entries <= 0 || entries > width {
+		return nil, fmt.Errorf("codec adaptive: entries %d out of range (1..%d)", entries, width)
+	}
+	return &Adaptive{
+		width:   width,
+		entries: entries,
+		mask:    bus.Mask(width),
+		lowMask: bus.Mask(entries),
+		hitBit:  uint(width),
+	}, nil
+}
+
+// Name implements Codec.
+func (a *Adaptive) Name() string { return "adaptive" }
+
+// PayloadWidth implements Codec.
+func (a *Adaptive) PayloadWidth() int { return a.width }
+
+// BusWidth implements Codec.
+func (a *Adaptive) BusWidth() int { return a.width + 1 }
+
+// NewEncoder implements Codec.
+func (a *Adaptive) NewEncoder() Encoder { return &adaptiveEnd{a: a} }
+
+// NewDecoder implements Codec.
+func (a *Adaptive) NewDecoder() Decoder { return &adaptiveEnd{a: a} }
+
+// adaptiveEnd is the shared state machine: the MTF list evolves
+// identically at both ends because every update is a function of
+// information both ends have (the decoded address and hit index).
+type adaptiveEnd struct {
+	a    *Adaptive
+	list []uint64
+	prev uint64 // previous payload lines
+}
+
+func (e *adaptiveEnd) find(addr uint64) int {
+	for i, v := range e.list {
+		if v == addr {
+			return i
+		}
+	}
+	return -1
+}
+
+// touch applies the move-to-front update for a hit at index i.
+func (e *adaptiveEnd) touch(i int) {
+	v := e.list[i]
+	copy(e.list[1:i+1], e.list[:i])
+	e.list[0] = v
+}
+
+// insert pushes a new address at the front, evicting the oldest.
+func (e *adaptiveEnd) insert(addr uint64) {
+	if len(e.list) < e.a.entries {
+		e.list = append(e.list, 0)
+	}
+	copy(e.list[1:], e.list[:len(e.list)-1])
+	e.list[0] = addr
+}
+
+func (e *adaptiveEnd) Encode(s Symbol) uint64 {
+	addr := s.Addr & e.a.mask
+	if i := e.find(addr); i >= 0 {
+		payload := (e.prev &^ e.a.lowMask) | 1<<uint(i)
+		e.touch(i)
+		e.prev = payload
+		return payload | 1<<e.a.hitBit
+	}
+	e.insert(addr)
+	e.prev = addr
+	return addr
+}
+
+func (e *adaptiveEnd) Decode(word uint64, _ bool) uint64 {
+	payload := word & e.a.mask
+	if word&(1<<e.a.hitBit) != 0 {
+		i := bits.TrailingZeros64(payload & e.a.lowMask)
+		addr := e.list[i]
+		e.touch(i)
+		e.prev = payload
+		return addr
+	}
+	e.insert(payload)
+	e.prev = payload
+	return payload
+}
+
+func (e *adaptiveEnd) Reset() {
+	e.list = e.list[:0]
+	e.prev = 0
+}

@@ -1,0 +1,166 @@
+// Package codec implements the address bus encoding schemes studied in
+// Benini et al., "Address Bus Encoding Techniques for System-Level Power
+// Optimization" (DATE 1998), plus a small set of related codes from the
+// literature the paper builds on.
+//
+// Paper codes:
+//
+//   - Binary: the identity code, reference for all savings figures.
+//   - Gray: single-transition code for consecutive addresses (Su/Tsui/
+//     Despain; stride-aware per Mehta/Owens/Irwin).
+//   - Bus-Invert: Stan/Burleson redundant code, INV line, caps per-cycle
+//     Hamming distance at ceil((N+1)/2).
+//   - T0: the authors' asymptotic-zero-transition code; redundant INC line
+//     freezes the bus during in-sequence runs.
+//   - T0_BI: T0 for in-sequence patterns, bus-invert otherwise (INC+INV).
+//   - Dual T0: T0 keyed to the SEL signal of a multiplexed bus; the
+//     instruction-address reference register is updated only when SEL=1.
+//   - Dual T0_BI: single INCV line; T0 on the instruction sub-stream,
+//     bus-invert on the data sub-stream.
+//
+// Extension codes (beyond the paper, from the surrounding literature):
+// Offset (delta) code, Working-Zone, Beach-style profiled XOR code, and
+// partitioned Bus-Invert.
+//
+// Encoders and decoders are separate state machines, mirroring the two
+// ends of a physical bus: the decoder sees only the encoded word and the
+// SEL control signal.
+package codec
+
+import (
+	"fmt"
+	"sort"
+
+	"busenc/internal/trace"
+)
+
+// Symbol is one reference presented to an encoder: the address to be
+// transmitted and the SEL control signal (asserted for instruction
+// addresses on a multiplexed bus). Codes that do not use SEL ignore it.
+type Symbol struct {
+	Addr uint64
+	Sel  bool
+}
+
+// SymbolOf converts a trace entry to an encoder input.
+func SymbolOf(e trace.Entry) Symbol { return Symbol{Addr: e.Addr, Sel: e.Sel()} }
+
+// Encoder transforms an address stream into an encoded bus-word stream.
+// The returned word occupies BusWidth bits: the low PayloadWidth bits are
+// the address lines, redundant control lines (INC/INV/INCV/...) occupy the
+// bits immediately above.
+type Encoder interface {
+	Encode(s Symbol) uint64
+	Reset()
+}
+
+// Decoder recovers the address stream from the encoded words. SEL is
+// available at the receiver in the standard bus interface, so it is an
+// input to Decode.
+type Decoder interface {
+	Decode(word uint64, sel bool) uint64
+	Reset()
+}
+
+// Codec describes an encoding scheme and creates encoder/decoder
+// instances. Implementations are immutable and safe for concurrent use;
+// the Encoder/Decoder instances they create are not.
+type Codec interface {
+	// Name is a short identifier, e.g. "t0" or "dualt0bi".
+	Name() string
+	// PayloadWidth is the number of address lines N.
+	PayloadWidth() int
+	// BusWidth is PayloadWidth plus the number of redundant lines.
+	BusWidth() int
+	NewEncoder() Encoder
+	NewDecoder() Decoder
+}
+
+// Options carries the tunable parameters of the codes.
+type Options struct {
+	// Stride is the in-sequence address increment S (a power of two). The
+	// zero value means 1.
+	Stride uint64
+	// Partitions is the number of independently inverted sub-buses for
+	// the partitioned bus-invert code. The zero value means 1 (classic BI).
+	Partitions int
+	// Zones is the number of zone registers for the working-zone code.
+	// The zero value means 4.
+	Zones int
+	// ZoneBits is the offset width of a working-zone hit. The zero value
+	// means 8 (a 256-byte zone).
+	ZoneBits int
+	// Entries is the list size of the adaptive (self-organizing list)
+	// code. The zero value means 16.
+	Entries int
+	// Train is the profiling stream for the Beach code; nil means the
+	// Beach code degenerates to binary.
+	Train *trace.Stream
+}
+
+func (o Options) stride() uint64 {
+	if o.Stride == 0 {
+		return 1
+	}
+	return o.Stride
+}
+
+func (o Options) partitions() int {
+	if o.Partitions == 0 {
+		return 1
+	}
+	return o.Partitions
+}
+
+// Factory builds a codec for a payload width with options.
+type Factory func(width int, opts Options) (Codec, error)
+
+var registry = map[string]Factory{}
+
+// Register adds a codec factory under a unique name. It is intended to be
+// called from package init functions and panics on duplicates.
+func Register(name string, f Factory) {
+	if _, dup := registry[name]; dup {
+		panic("codec: duplicate registration of " + name)
+	}
+	registry[name] = f
+}
+
+// New builds a registered codec by name.
+func New(name string, width int, opts Options) (Codec, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("codec: unknown code %q (have %v)", name, Names())
+	}
+	return f(width, opts)
+}
+
+// Names lists the registered codec names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MustNew is New panicking on error; for tests and tables with known-good
+// parameters.
+func MustNew(name string, width int, opts Options) Codec {
+	c, err := New(name, width, opts)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func checkWidth(name string, width, redundant int) error {
+	if width <= 0 {
+		return fmt.Errorf("codec %s: payload width must be positive, got %d", name, width)
+	}
+	if width+redundant > 64 {
+		return fmt.Errorf("codec %s: bus width %d exceeds 64 lines", name, width+redundant)
+	}
+	return nil
+}

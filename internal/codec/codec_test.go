@@ -1,0 +1,240 @@
+package codec
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"busenc/internal/trace"
+)
+
+// drive runs symbols through a fresh encoder and returns the encoded words.
+func drive(c Codec, syms []Symbol) []uint64 {
+	enc := c.NewEncoder()
+	out := make([]uint64, len(syms))
+	for i, s := range syms {
+		out[i] = enc.Encode(s)
+	}
+	return out
+}
+
+// instrSyms builds an all-instruction symbol sequence from addresses.
+func instrSyms(addrs ...uint64) []Symbol {
+	out := make([]Symbol, len(addrs))
+	for i, a := range addrs {
+		out[i] = Symbol{Addr: a, Sel: true}
+	}
+	return out
+}
+
+func streamOf(width int, syms []Symbol) *trace.Stream {
+	s := trace.New("test", width)
+	for _, sym := range syms {
+		k := trace.DataRead
+		if sym.Sel {
+			k = trace.Instr
+		}
+		s.Append(sym.Addr, k)
+	}
+	return s
+}
+
+func TestRegistryNames(t *testing.T) {
+	names := Names()
+	for _, want := range []string{"binary", "gray", "businvert", "t0", "t0bi", "dualt0", "dualt0bi", "offset", "workzone", "beach"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("codec %q not registered (have %v)", want, names)
+		}
+	}
+}
+
+func TestNewUnknown(t *testing.T) {
+	if _, err := New("nope", 32, Options{}); err == nil {
+		t.Error("unknown codec accepted")
+	} else if !strings.Contains(err.Error(), "nope") {
+		t.Errorf("error does not name the codec: %v", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew did not panic on bad name")
+		}
+	}()
+	MustNew("nope", 32, Options{})
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	Register("binary", func(int, Options) (Codec, error) { return nil, nil })
+}
+
+func TestWidthValidation(t *testing.T) {
+	for _, name := range []string{"binary", "gray", "businvert", "t0", "t0bi", "dualt0", "dualt0bi", "offset"} {
+		if _, err := New(name, 0, Options{}); err == nil {
+			t.Errorf("%s accepted width 0", name)
+		}
+		if _, err := New(name, 65, Options{}); err == nil {
+			t.Errorf("%s accepted width 65", name)
+		}
+	}
+	// Codes with redundant lines must reject widths whose bus exceeds 64.
+	if _, err := New("t0", 64, Options{}); err == nil {
+		t.Error("t0 accepted width 64 (bus would be 65 lines)")
+	}
+	if _, err := New("t0bi", 63, Options{}); err == nil {
+		t.Error("t0bi accepted width 63 (bus would be 65 lines)")
+	}
+}
+
+func TestStrideValidation(t *testing.T) {
+	for _, name := range []string{"gray", "t0", "t0bi", "dualt0", "dualt0bi"} {
+		if _, err := New(name, 32, Options{Stride: 3}); err == nil {
+			t.Errorf("%s accepted non-power-of-two stride", name)
+		}
+	}
+}
+
+func TestBinaryIsIdentity(t *testing.T) {
+	c := MustNew("binary", 16, Options{})
+	if c.BusWidth() != 16 || c.PayloadWidth() != 16 {
+		t.Errorf("binary widths: payload %d, bus %d", c.PayloadWidth(), c.BusWidth())
+	}
+	enc := c.NewEncoder()
+	dec := c.NewDecoder()
+	for _, a := range []uint64{0, 1, 0xFFFF, 0x12345} {
+		w := enc.Encode(Symbol{Addr: a})
+		if w != a&0xFFFF {
+			t.Errorf("Encode(%#x) = %#x", a, w)
+		}
+		if got := dec.Decode(w, false); got != a&0xFFFF {
+			t.Errorf("Decode(%#x) = %#x", w, got)
+		}
+	}
+}
+
+func TestGrayHelpers(t *testing.T) {
+	for x := uint64(0); x < 1024; x++ {
+		if FromGray(ToGray(x)) != x {
+			t.Fatalf("FromGray(ToGray(%d)) != %d", x, x)
+		}
+	}
+	// Adjacent values differ by exactly one bit in Gray code.
+	for x := uint64(0); x < 1024; x++ {
+		d := ToGray(x) ^ ToGray(x+1)
+		if d == 0 || d&(d-1) != 0 {
+			t.Fatalf("ToGray(%d) and ToGray(%d) differ in more than one bit", x, x+1)
+		}
+	}
+}
+
+func TestGraySingleTransitionPerSequentialAddress(t *testing.T) {
+	for _, stride := range []uint64{1, 4} {
+		c := MustNew("gray", 32, Options{Stride: stride})
+		syms := make([]Symbol, 64)
+		for i := range syms {
+			syms[i] = Symbol{Addr: 0x400000 + uint64(i)*stride, Sel: true}
+		}
+		words := drive(c, syms)
+		for i := 1; i < len(words); i++ {
+			d := words[i-1] ^ words[i]
+			if d == 0 || d&(d-1) != 0 {
+				t.Errorf("stride %d: step %d toggles more than one line (%#x -> %#x)", stride, i, words[i-1], words[i])
+			}
+		}
+	}
+}
+
+func TestGrayStrideMustFit(t *testing.T) {
+	if _, err := NewGray(4, 16); err == nil {
+		t.Error("gray accepted a stride wider than the bus")
+	}
+}
+
+func TestBusInvertCapsHammingDistance(t *testing.T) {
+	const n = 8
+	c := MustNew("businvert", n, Options{})
+	if c.BusWidth() != n+1 {
+		t.Fatalf("BusWidth = %d", c.BusWidth())
+	}
+	rng := rand.New(rand.NewSource(7))
+	enc := c.NewEncoder()
+	prev := enc.Encode(Symbol{Addr: rng.Uint64()})
+	for i := 0; i < 2000; i++ {
+		w := enc.Encode(Symbol{Addr: rng.Uint64()})
+		h := popcount(prev ^ w)
+		if h > (n+1+1)/2 {
+			t.Fatalf("step %d: %d transitions exceed ceil((N+1)/2)", i, h)
+		}
+		prev = w
+	}
+}
+
+func TestBusInvertDecisions(t *testing.T) {
+	// 8-bit bus, starting state 0 (INV=0).
+	c := MustNew("businvert", 8, Options{})
+	enc := c.NewEncoder()
+	// 0x0F: H=4 vs threshold 4 -> not inverted.
+	if w := enc.Encode(Symbol{Addr: 0x0F}); w != 0x0F {
+		t.Errorf("H=N/2 case: got %#x, want 0x0F (no invert)", w)
+	}
+	// From 0x0F to 0xF0: H=8 > 4 -> inverted: payload ^0xF0 = 0x0F, INV set.
+	if w := enc.Encode(Symbol{Addr: 0xF0}); w != 0x0F|1<<8 {
+		t.Errorf("H>N/2 case: got %#x, want %#x", w, uint64(0x0F|1<<8))
+	}
+	// Decoder undoes the inversion regardless of its own history.
+	dec := c.NewDecoder()
+	if got := dec.Decode(0x0F|1<<8, false); got != 0xF0 {
+		t.Errorf("Decode inverted word = %#x, want 0xF0", got)
+	}
+	if got := dec.Decode(0x0F, false); got != 0x0F {
+		t.Errorf("Decode plain word = %#x, want 0x0F", got)
+	}
+}
+
+func TestBusInvertPartitioned(t *testing.T) {
+	c, err := NewBusInvert(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.BusWidth() != 20 {
+		t.Errorf("BusWidth = %d, want 20", c.BusWidth())
+	}
+	// Each nibble decides independently: flipping one nibble completely
+	// should only assert that nibble's INV line.
+	enc := c.NewEncoder()
+	enc.Encode(Symbol{Addr: 0x0000})
+	w := enc.Encode(Symbol{Addr: 0x000F})
+	if w&0xFFFF != 0x0000 || w>>16 != 0b0001 {
+		t.Errorf("partitioned invert: got %#x", w)
+	}
+}
+
+func TestBusInvertPartitionValidation(t *testing.T) {
+	if _, err := NewBusInvert(4, 8); err == nil {
+		t.Error("more partitions than lines accepted")
+	}
+	if _, err := NewBusInvert(60, 8); err == nil {
+		t.Error("bus width over 64 accepted")
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}

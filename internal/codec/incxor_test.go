@@ -1,0 +1,78 @@
+package codec
+
+import (
+	"testing"
+
+	"busenc/internal/bus"
+	"busenc/internal/trace"
+)
+
+func TestIncXorSequentialIsZeroWord(t *testing.T) {
+	c := MustNew("incxor", 32, Options{Stride: 4})
+	if c.BusWidth() != 32 {
+		t.Fatalf("incxor must be irredundant, BusWidth = %d", c.BusWidth())
+	}
+	syms := make([]Symbol, 50)
+	for i := range syms {
+		syms[i] = Symbol{Addr: 0x400000 + 4*uint64(i), Sel: true}
+	}
+	words := drive(c, syms)
+	// After the first word (the raw address) the bus carries constant 0.
+	for i := 1; i < len(words); i++ {
+		if words[i] != 0 {
+			t.Fatalf("word %d = %#x, want 0", i, words[i])
+		}
+	}
+	// Total transitions: only the first->second settling.
+	if total := bus.CountTransitions(words[1:], 32); total != 0 {
+		t.Errorf("steady-state transitions = %d", total)
+	}
+}
+
+func TestIncXorJumpTransmitsPredictionError(t *testing.T) {
+	c := MustNew("incxor", 16, Options{Stride: 1})
+	enc := c.NewEncoder()
+	enc.Encode(Symbol{Addr: 0x10})
+	// Prediction is 0x11; jumping to 0x13 transmits 0x11^0x13 = 0x02.
+	if w := enc.Encode(Symbol{Addr: 0x13}); w != 0x02 {
+		t.Errorf("prediction-error word = %#x, want 0x02", w)
+	}
+}
+
+func TestIncXorRoundTripWrap(t *testing.T) {
+	c := MustNew("incxor", 16, Options{Stride: 4})
+	enc := c.NewEncoder()
+	dec := c.NewDecoder()
+	for _, a := range []uint64{0xFFFC, 0x0000, 0x0004, 0x1234, 0xFFFF} {
+		w := enc.Encode(Symbol{Addr: a})
+		if got := dec.Decode(w, false); got != a {
+			t.Errorf("decoded %#x, want %#x", got, a)
+		}
+	}
+}
+
+func TestIncXorBeatsBinaryOnInstrStreams(t *testing.T) {
+	s := trace.New("instr", 32)
+	addr := uint64(0x400000)
+	for i := 0; i < 2000; i++ {
+		if i%17 == 0 {
+			addr = 0x400000 + uint64(i*64)
+		}
+		addr += 4
+		s.Append(addr, trace.Instr)
+	}
+	bin := MustRun(MustNew("binary", 32, Options{}), s)
+	ix := MustRun(MustNew("incxor", 32, Options{Stride: 4}), s)
+	if ix.Transitions >= bin.Transitions {
+		t.Errorf("incxor %d vs binary %d", ix.Transitions, bin.Transitions)
+	}
+}
+
+func TestIncXorValidation(t *testing.T) {
+	if _, err := New("incxor", 32, Options{Stride: 3}); err == nil {
+		t.Error("non-power-of-two stride accepted")
+	}
+	if _, err := New("incxor", 0, Options{}); err == nil {
+		t.Error("zero width accepted")
+	}
+}

@@ -1,0 +1,162 @@
+package codec
+
+import (
+	"testing"
+
+	"busenc/internal/bus"
+)
+
+func TestT0FreezesSequentialStream(t *testing.T) {
+	c := MustNew("t0", 32, Options{Stride: 4})
+	if c.BusWidth() != 33 {
+		t.Fatalf("BusWidth = %d", c.BusWidth())
+	}
+	syms := make([]Symbol, 100)
+	for i := range syms {
+		syms[i] = Symbol{Addr: 0x400000 + 4*uint64(i), Sel: true}
+	}
+	words := drive(c, syms)
+	// First word is the binary address with INC=0; all following words are
+	// that address frozen with INC=1, so exactly one transition total (the
+	// INC line rising once).
+	if words[0] != 0x400000 {
+		t.Errorf("first word = %#x", words[0])
+	}
+	for i := 1; i < len(words); i++ {
+		if words[i] != 0x400000|1<<32 {
+			t.Fatalf("word %d = %#x, want frozen bus with INC", i, words[i])
+		}
+	}
+	if total := bus.CountTransitions(words, 33); total != 1 {
+		t.Errorf("sequential stream total transitions = %d, want 1 (INC rising)", total)
+	}
+}
+
+func TestT0OutOfSequenceIsBinary(t *testing.T) {
+	c := MustNew("t0", 16, Options{Stride: 1})
+	words := drive(c, instrSyms(0x10, 0x20, 0x30))
+	for i, want := range []uint64{0x10, 0x20, 0x30} {
+		if words[i] != want {
+			t.Errorf("word %d = %#x, want %#x (INC must stay low)", i, words[i], want)
+		}
+	}
+}
+
+func TestT0ResumeAfterJump(t *testing.T) {
+	c := MustNew("t0", 16, Options{Stride: 1})
+	words := drive(c, instrSyms(1, 2, 3, 100, 101))
+	// 1 (binary), 2,3 frozen at 1 with INC, 100 binary, 101 frozen at 100.
+	want := []uint64{1, 1 | 1<<16, 1 | 1<<16, 100, 100 | 1<<16}
+	for i := range want {
+		if words[i] != want[i] {
+			t.Errorf("word %d = %#x, want %#x", i, words[i], want[i])
+		}
+	}
+}
+
+func TestT0DecoderRegeneratesAddresses(t *testing.T) {
+	c := MustNew("t0", 32, Options{Stride: 4})
+	syms := instrSyms(0x1000, 0x1004, 0x1008, 0x2000, 0x2004, 0x1000)
+	enc := c.NewEncoder()
+	dec := c.NewDecoder()
+	for i, s := range syms {
+		w := enc.Encode(s)
+		if got := dec.Decode(w, true); got != s.Addr {
+			t.Errorf("entry %d: decoded %#x, want %#x", i, got, s.Addr)
+		}
+	}
+}
+
+func TestT0WrapAround(t *testing.T) {
+	// Address arithmetic is modulo 2^N: 0xFFFF + 1 wraps to 0.
+	c := MustNew("t0", 16, Options{Stride: 1})
+	enc := c.NewEncoder()
+	dec := c.NewDecoder()
+	w1 := enc.Encode(Symbol{Addr: 0xFFFF})
+	if got := dec.Decode(w1, true); got != 0xFFFF {
+		t.Fatalf("decoded %#x", got)
+	}
+	w2 := enc.Encode(Symbol{Addr: 0x0000})
+	if w2&(1<<16) == 0 {
+		t.Error("wrap-around increment not detected as in-sequence")
+	}
+	if got := dec.Decode(w2, true); got != 0 {
+		t.Errorf("decoded %#x, want 0", got)
+	}
+}
+
+func TestT0StrideMattersForSequenceDetection(t *testing.T) {
+	c1 := MustNew("t0", 32, Options{Stride: 1})
+	c4 := MustNew("t0", 32, Options{Stride: 4})
+	syms := instrSyms(0, 4, 8, 12)
+	w1 := drive(c1, syms)
+	w4 := drive(c4, syms)
+	if bus.CountTransitions(w1, 33) <= bus.CountTransitions(w4, 33) {
+		t.Error("stride-1 T0 should not beat stride-4 T0 on a stride-4 stream")
+	}
+}
+
+func TestT0BISelectsAllThreeBranches(t *testing.T) {
+	const n = 8
+	c := MustNew("t0bi", n, Options{Stride: 1})
+	if c.BusWidth() != n+2 {
+		t.Fatalf("BusWidth = %d", c.BusWidth())
+	}
+	enc := c.NewEncoder()
+	// Branch 2 (binary): first word.
+	w := enc.Encode(Symbol{Addr: 0x01})
+	if w != 0x01 {
+		t.Fatalf("first word = %#x", w)
+	}
+	// Branch 1 (T0): in-sequence, payload frozen at 0x01, INC set.
+	w = enc.Encode(Symbol{Addr: 0x02})
+	if w != 0x01|1<<n {
+		t.Fatalf("in-seq word = %#x, want %#x", w, uint64(0x01|1<<n))
+	}
+	// Branch 3 (invert): from word 0x01|INC, address 0xFE has Hamming
+	// distance 8 (payload) + 1 (INC falls) = 9 > (8+2)/2 = 5 -> invert.
+	w = enc.Encode(Symbol{Addr: 0xFE})
+	wantPayload := uint64(^uint64(0xFE) & 0xFF)
+	if w != wantPayload|1<<(n+1) {
+		t.Fatalf("invert word = %#x, want %#x", w, wantPayload|1<<(n+1))
+	}
+	// Decoder follows the same three branches.
+	dec := c.NewDecoder()
+	if got := dec.Decode(0x01, false); got != 0x01 {
+		t.Errorf("binary decode = %#x", got)
+	}
+	if got := dec.Decode(0x01|1<<n, false); got != 0x02 {
+		t.Errorf("T0 decode = %#x, want 0x02", got)
+	}
+	if got := dec.Decode(wantPayload|1<<(n+1), false); got != 0xFE {
+		t.Errorf("invert decode = %#x, want 0xFE", got)
+	}
+}
+
+func TestT0BISequentialAfterInvertedWord(t *testing.T) {
+	// The freeze in branch 1 copies the previous *encoded* payload, even
+	// when that payload was transmitted inverted: the decoder relies on
+	// the INC line alone, not on the payload value.
+	c := MustNew("t0bi", 8, Options{Stride: 1})
+	enc := c.NewEncoder()
+	dec := c.NewDecoder()
+	addrs := []uint64{0x00, 0xFF, 0x00, 0x01, 0x02}
+	for i, a := range addrs {
+		w := enc.Encode(Symbol{Addr: a})
+		if got := dec.Decode(w, false); got != a {
+			t.Fatalf("entry %d: decoded %#x, want %#x", i, got, a)
+		}
+	}
+}
+
+func TestT0BIInSequenceBeatsPlainBIOnInstrStreams(t *testing.T) {
+	c := MustNew("t0bi", 32, Options{Stride: 4})
+	syms := make([]Symbol, 200)
+	for i := range syms {
+		syms[i] = Symbol{Addr: 0x400000 + 4*uint64(i), Sel: true}
+	}
+	words := drive(c, syms)
+	if total := bus.CountTransitions(words, 34); total != 1 {
+		t.Errorf("pure sequential stream costs %d transitions under T0_BI, want 1", total)
+	}
+}

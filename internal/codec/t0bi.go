@@ -1,0 +1,118 @@
+package codec
+
+import (
+	"fmt"
+	"math/bits"
+
+	"busenc/internal/bus"
+)
+
+func init() {
+	Register("t0bi", func(width int, opts Options) (Codec, error) {
+		return NewT0BI(width, opts.stride())
+	})
+}
+
+// T0BI is the first mixed code of the paper (Section 3.1): two redundant
+// lines, INC and INV. In-sequence addresses freeze the bus with INC
+// asserted, exactly as in T0; out-of-sequence addresses fall back to
+// bus-invert over the N+2 lines, with threshold (N+2)/2 (eq. 6):
+//
+//	(B, INC, INV) = (B(t-1), 1, 0)  if b(t) = b(t-1) + S
+//	              = (b(t),   0, 0)  if not in seq and H <= (N+2)/2
+//	              = (~b(t),  0, 1)  if not in seq and H >  (N+2)/2
+//
+// where H is the Hamming distance between the previous encoded word
+// (including both redundant lines) and b(t) extended with INC=INV=0.
+type T0BI struct {
+	width  int
+	mask   uint64
+	stride uint64
+	incBit uint
+	invBit uint
+}
+
+// NewT0BI returns the T0_BI code over width lines with stride S.
+func NewT0BI(width int, stride uint64) (*T0BI, error) {
+	if err := checkWidth("t0bi", width, 2); err != nil {
+		return nil, err
+	}
+	if stride == 0 || stride&(stride-1) != 0 {
+		return nil, fmt.Errorf("codec t0bi: stride must be a power of two, got %d", stride)
+	}
+	return &T0BI{
+		width:  width,
+		mask:   bus.Mask(width),
+		stride: stride,
+		incBit: uint(width),
+		invBit: uint(width + 1),
+	}, nil
+}
+
+// Name implements Codec.
+func (t *T0BI) Name() string { return "t0bi" }
+
+// PayloadWidth implements Codec.
+func (t *T0BI) PayloadWidth() int { return t.width }
+
+// BusWidth implements Codec.
+func (t *T0BI) BusWidth() int { return t.width + 2 }
+
+// NewEncoder implements Codec.
+func (t *T0BI) NewEncoder() Encoder { return &t0biEncoder{t: t} }
+
+// NewDecoder implements Codec.
+func (t *T0BI) NewDecoder() Decoder { return &t0biDecoder{t: t} }
+
+type t0biEncoder struct {
+	t        *T0BI
+	prevAddr uint64 // previous raw address
+	prevWord uint64 // previous encoded word incl. INC and INV lines
+	valid    bool
+}
+
+func (e *t0biEncoder) Encode(s Symbol) uint64 {
+	t := e.t
+	addr := s.Addr & t.mask
+	var out uint64
+	switch {
+	case e.valid && addr == (e.prevAddr+t.stride)&t.mask:
+		// Freeze payload, assert INC, de-assert INV.
+		out = (e.prevWord & t.mask) | 1<<t.incBit
+	default:
+		h := bits.OnesCount64(e.prevWord ^ addr)
+		if 2*h > t.width+2 {
+			out = (^addr & t.mask) | 1<<t.invBit
+		} else {
+			out = addr
+		}
+	}
+	e.prevAddr = addr
+	e.prevWord = out
+	e.valid = true
+	return out
+}
+
+func (e *t0biEncoder) Reset() { e.prevAddr, e.prevWord, e.valid = 0, 0, false }
+
+type t0biDecoder struct {
+	t        *T0BI
+	prevAddr uint64
+}
+
+func (d *t0biDecoder) Decode(word uint64, _ bool) uint64 {
+	t := d.t
+	var addr uint64
+	switch {
+	case word&(1<<t.incBit) != 0:
+		addr = (d.prevAddr + t.stride) & t.mask
+	case word&(1<<t.invBit) != 0:
+		addr = ^word & t.mask
+	default:
+		addr = word & t.mask
+	}
+	d.prevAddr = addr
+	return addr
+}
+
+func (d *t0biDecoder) Reset() { d.prevAddr = 0 }

@@ -1,0 +1,175 @@
+package codec
+
+import (
+	"fmt"
+	"math/bits"
+
+	"busenc/internal/bus"
+)
+
+func init() {
+	Register("workzone", func(width int, opts Options) (Codec, error) {
+		zones := opts.Zones
+		if zones == 0 {
+			zones = 4
+		}
+		zoneBits := opts.ZoneBits
+		if zoneBits == 0 {
+			zoneBits = 8
+		}
+		return NewWorkZone(width, zones, zoneBits)
+	})
+}
+
+// WorkZone is a simplified working-zone code (EXTENSION — Musoll et al.,
+// referenced by the post-DATE'98 literature; the paper's conclusion points
+// at exactly this class of locality exploitation for data buses). The
+// encoder keeps K zone registers. When the new address falls within
+// 2^zoneBits of a zone register, only the zone index and the offset are
+// transmitted (Gray-coded so near offsets cost few transitions) and a HIT
+// line is asserted; the matched zone register is advanced to the address.
+// On a miss the full address is transmitted, HIT is de-asserted, and the
+// least-recently-used zone register is replaced.
+//
+// Redundant lines: HIT plus ceil(log2(K)) zone-index lines.
+type WorkZone struct {
+	width    int
+	mask     uint64
+	zones    int
+	zoneBits int
+	idxBits  int
+	hitBit   uint
+	idxShift uint
+}
+
+// NewWorkZone returns a working-zone code with the given number of zone
+// registers (a power of two) and zone offset width.
+func NewWorkZone(width, zones, zoneBits int) (*WorkZone, error) {
+	if zones < 2 || zones&(zones-1) != 0 {
+		return nil, fmt.Errorf("codec workzone: zones must be a power of two >= 2, got %d", zones)
+	}
+	if zoneBits <= 0 || zoneBits >= width {
+		return nil, fmt.Errorf("codec workzone: zoneBits %d out of range for width %d", zoneBits, width)
+	}
+	idxBits := bits.Len(uint(zones - 1))
+	if err := checkWidth("workzone", width, 1+idxBits); err != nil {
+		return nil, err
+	}
+	return &WorkZone{
+		width:    width,
+		mask:     bus.Mask(width),
+		zones:    zones,
+		zoneBits: zoneBits,
+		idxBits:  idxBits,
+		hitBit:   uint(width),
+		idxShift: uint(width + 1),
+	}, nil
+}
+
+// Name implements Codec.
+func (w *WorkZone) Name() string { return "workzone" }
+
+// PayloadWidth implements Codec.
+func (w *WorkZone) PayloadWidth() int { return w.width }
+
+// BusWidth implements Codec.
+func (w *WorkZone) BusWidth() int { return w.width + 1 + w.idxBits }
+
+// NewEncoder implements Codec.
+func (w *WorkZone) NewEncoder() Encoder { return newWZEnd(w) }
+
+// NewDecoder implements Codec.
+func (w *WorkZone) NewDecoder() Decoder { return newWZEnd(w) }
+
+// wzEnd holds the zone-register state, which evolves identically at both
+// ends of the bus, so a single implementation serves as encoder and
+// decoder.
+type wzEnd struct {
+	w    *WorkZone
+	regs []uint64 // zone base registers
+	age  []int    // LRU ages; larger = older
+	prev uint64   // previous payload lines (held on hits beyond offset bits)
+}
+
+func newWZEnd(w *WorkZone) *wzEnd {
+	e := &wzEnd{w: w, regs: make([]uint64, w.zones), age: make([]int, w.zones)}
+	e.Reset()
+	return e
+}
+
+func (e *wzEnd) Reset() {
+	for i := range e.regs {
+		e.regs[i] = 0
+		e.age[i] = i
+	}
+	e.prev = 0
+}
+
+func (e *wzEnd) touch(idx int) {
+	for i := range e.age {
+		e.age[i]++
+	}
+	e.age[idx] = 0
+}
+
+func (e *wzEnd) lru() int {
+	worst, at := -1, 0
+	for i, a := range e.age {
+		if a > worst {
+			worst, at = a, i
+		}
+	}
+	return at
+}
+
+func (e *wzEnd) match(addr uint64) int {
+	span := uint64(1) << uint(e.w.zoneBits)
+	for i, r := range e.regs {
+		if addr >= r && addr-r < span {
+			return i
+		}
+	}
+	return -1
+}
+
+func (e *wzEnd) Encode(s Symbol) uint64 {
+	w := e.w
+	addr := s.Addr & w.mask
+	idx := e.match(addr)
+	var out uint64
+	if idx >= 0 {
+		off := addr - e.regs[idx]
+		// Gray-code the offset and hold the remaining payload lines at
+		// their previous value to minimize toggles.
+		payload := (e.prev &^ bus.Mask(w.zoneBits)) | ToGray(off)
+		out = payload | 1<<w.hitBit | uint64(idx)<<w.idxShift
+		e.regs[idx] = addr
+		e.touch(idx)
+	} else {
+		v := e.lru()
+		e.regs[v] = addr
+		e.touch(v)
+		out = addr | uint64(v)<<w.idxShift
+	}
+	e.prev = out & w.mask
+	return out
+}
+
+func (e *wzEnd) Decode(word uint64, _ bool) uint64 {
+	w := e.w
+	payload := word & w.mask
+	idx := int(word >> w.idxShift & bus.Mask(w.idxBits))
+	var addr uint64
+	if word&(1<<w.hitBit) != 0 {
+		off := FromGray(payload & bus.Mask(w.zoneBits))
+		addr = (e.regs[idx] + off) & w.mask
+		e.regs[idx] = addr
+		e.touch(idx)
+	} else {
+		addr = payload
+		e.regs[idx] = addr
+		e.touch(idx)
+	}
+	e.prev = payload
+	return addr
+}

@@ -1,0 +1,245 @@
+// Package core is the top-level experiment API: it ties the stream sources
+// (MIPS simulator, calibrated synthetic workloads), the codecs, and the
+// power models together, and regenerates every table of the paper's
+// evaluation (Tables 1-9). cmd/paper and the repository benchmarks are
+// thin wrappers around this package.
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"text/tabwriter"
+
+	"busenc/internal/codec"
+	"busenc/internal/mips"
+	"busenc/internal/mips/progs"
+	"busenc/internal/trace"
+	"busenc/internal/workload"
+)
+
+// Width is the address bus width of all paper experiments.
+const Width = workload.Width
+
+// Stride is the in-sequence increment of the 32-bit byte-addressed MIPS.
+const Stride = workload.Stride
+
+// StreamSet is one benchmark's three address streams, as in Tables 2-7.
+type StreamSet struct {
+	Name  string
+	Instr *trace.Stream
+	Data  *trace.Stream
+	Muxed *trace.Stream
+}
+
+// Source selects where benchmark streams come from.
+type Source string
+
+const (
+	// Synthetic uses the calibrated Markov workload models whose
+	// statistics match the values reported in the paper.
+	Synthetic Source = "synthetic"
+	// MIPS runs the bundled benchmark programs on the MIPS simulator.
+	MIPS Source = "mips"
+)
+
+// Streams returns the nine-benchmark stream sets from the chosen source.
+func Streams(src Source) ([]StreamSet, error) {
+	switch src {
+	case Synthetic:
+		suite := workload.Suite()
+		out := make([]StreamSet, len(suite))
+		var wg sync.WaitGroup
+		for i, b := range suite {
+			wg.Add(1)
+			go func(i int, b workload.Benchmark) {
+				defer wg.Done()
+				out[i] = StreamSet{Name: b.Name, Instr: b.Instr(), Data: b.Data(), Muxed: b.Muxed()}
+			}(i, b)
+		}
+		wg.Wait()
+		return out, nil
+	case MIPS:
+		names := progs.PaperOrder()
+		out := make([]StreamSet, len(names))
+		errs := make([]error, len(names))
+		var wg sync.WaitGroup
+		for i, name := range names {
+			wg.Add(1)
+			go func(i int, name string) {
+				defer wg.Done()
+				b, err := progs.Get(name)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				p, err := b.Assemble()
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				muxed, _, err := mips.Run(p, name, b.MaxCycles)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				out[i] = StreamSet{
+					Name:  name,
+					Instr: muxed.InstrOnly(),
+					Data:  muxed.DataOnly(),
+					Muxed: muxed,
+				}
+			}(i, name)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("core: unknown stream source %q", src)
+	}
+}
+
+// Column is one codec's result within a table row.
+type Column struct {
+	Code        string
+	Transitions int64
+	// SavingsPct is the percentage of transitions saved vs. binary.
+	SavingsPct float64
+}
+
+// Row is one benchmark line of a comparison table.
+type Row struct {
+	Bench    string
+	Length   int
+	InSeqPct float64
+	Binary   int64
+	Cols     []Column
+}
+
+// Table is a full codec-comparison table in the layout of Tables 2-7.
+type Table struct {
+	Title string
+	Codes []string
+	Rows  []Row
+	// AvgInSeqPct and AvgSavingsPct summarize the table like the paper's
+	// "Average" line.
+	AvgInSeqPct   float64
+	AvgSavingsPct []float64
+}
+
+// Compare runs binary plus the named codecs over each stream and builds
+// the comparison table. The stream picker selects which of the three
+// streams of a set the table is about.
+func Compare(title string, sets []StreamSet, pick func(StreamSet) *trace.Stream, codes []string, opts codec.Options) (*Table, error) {
+	t := &Table{Title: title, Codes: codes}
+	t.AvgSavingsPct = make([]float64, len(codes))
+	// Validate codec names up front so concurrent rows can use MustNew.
+	for _, code := range codes {
+		if _, err := codec.New(code, Width, opts); err != nil {
+			return nil, err
+		}
+	}
+	rows := make([]Row, len(sets))
+	errs := make([]error, len(sets))
+	var wg sync.WaitGroup
+	for i, set := range sets {
+		wg.Add(1)
+		go func(i int, set StreamSet) {
+			defer wg.Done()
+			s := pick(set)
+			stats := s.Analyze(uint64(Stride))
+			binRes, err := codec.Run(codec.MustNew("binary", Width, codec.Options{}), s)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			row := Row{
+				Bench:    set.Name,
+				Length:   s.Len(),
+				InSeqPct: stats.InSeqFrac * 100,
+				Binary:   binRes.Transitions,
+			}
+			for _, code := range codes {
+				res, err := codec.Run(codec.MustNew(code, Width, opts), s)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				row.Cols = append(row.Cols, Column{
+					Code:        code,
+					Transitions: res.Transitions,
+					SavingsPct:  res.SavingsVs(binRes) * 100,
+				})
+			}
+			rows[i] = row
+		}(i, set)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	t.Rows = rows
+	for _, row := range rows {
+		t.AvgInSeqPct += row.InSeqPct
+		for ci, col := range row.Cols {
+			t.AvgSavingsPct[ci] += col.SavingsPct
+		}
+	}
+	if n := float64(len(t.Rows)); n > 0 {
+		t.AvgInSeqPct /= n
+		for i := range t.AvgSavingsPct {
+			t.AvgSavingsPct[i] /= n
+		}
+	}
+	return t, nil
+}
+
+// Render writes the table as aligned text in the paper's column layout.
+func (t *Table) Render(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "%s\n", t.Title)
+	fmt.Fprint(tw, "Benchmark\tLength\tIn-Seq%\tBinary Trans.")
+	for _, c := range t.Codes {
+		fmt.Fprintf(tw, "\t%s Trans.\tSavings", c)
+	}
+	fmt.Fprintln(tw)
+	for _, r := range t.Rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.2f%%\t%d", r.Bench, r.Length, r.InSeqPct, r.Binary)
+		for _, c := range r.Cols {
+			fmt.Fprintf(tw, "\t%d\t%.2f%%", c.Transitions, c.SavingsPct)
+		}
+		fmt.Fprintln(tw)
+	}
+	fmt.Fprintf(tw, "Average\t\t%.2f%%\t", t.AvgInSeqPct)
+	for _, s := range t.AvgSavingsPct {
+		fmt.Fprintf(tw, "\t\t%.2f%%", s)
+	}
+	fmt.Fprintln(tw)
+	return tw.Flush()
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if err := t.Render(&sb); err != nil {
+		return err.Error()
+	}
+	return sb.String()
+}
+
+// AvgSavingsFor returns the table-average savings of one code.
+func (t *Table) AvgSavingsFor(code string) (float64, error) {
+	for i, c := range t.Codes {
+		if c == code {
+			return t.AvgSavingsPct[i], nil
+		}
+	}
+	return 0, fmt.Errorf("core: code %q not in table", code)
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"busenc/internal/trace"
+)
+
+func table(t *testing.T, f func(Source) (*Table, error), src Source) *Table {
+	t.Helper()
+	tab, err := f(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func savings(t *testing.T, tab *Table, code string) float64 {
+	t.Helper()
+	s, err := tab.AvgSavingsFor(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStreamsSources(t *testing.T) {
+	for _, src := range []Source{Synthetic, MIPS} {
+		sets, err := Streams(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if len(sets) != 9 {
+			t.Fatalf("%s: %d benchmarks", src, len(sets))
+		}
+		for _, set := range sets {
+			if set.Instr.Len() == 0 || set.Data.Len() == 0 || set.Muxed.Len() == 0 {
+				t.Errorf("%s/%s: empty stream", src, set.Name)
+			}
+		}
+	}
+	if _, err := Streams("nope"); err == nil {
+		t.Error("unknown source accepted")
+	}
+}
+
+// TestTable2Shape: instruction streams. Paper: in-seq 63.04%, T0 saves
+// 35.52%, bus-invert 0.03%.
+func TestTable2Shape(t *testing.T) {
+	tab := table(t, Table2, Synthetic)
+	if math.Abs(tab.AvgInSeqPct-63.04) > 2 {
+		t.Errorf("in-seq avg = %.2f%%, paper 63.04%%", tab.AvgInSeqPct)
+	}
+	t0 := savings(t, tab, "t0")
+	bi := savings(t, tab, "businvert")
+	if t0 < 28 || t0 > 43 {
+		t.Errorf("T0 savings = %.2f%%, paper 35.52%%", t0)
+	}
+	if math.Abs(bi) > 3 {
+		t.Errorf("bus-invert savings = %.2f%%, paper 0.03%%", bi)
+	}
+	if !(t0 > bi+20) {
+		t.Error("T0 must dominate bus-invert on instruction streams")
+	}
+}
+
+// TestTable3Shape: data streams. Paper: in-seq 11.39%, T0 3.37%,
+// bus-invert 10.78% — bus-invert wins.
+func TestTable3Shape(t *testing.T) {
+	tab := table(t, Table3, Synthetic)
+	if math.Abs(tab.AvgInSeqPct-11.39) > 2 {
+		t.Errorf("in-seq avg = %.2f%%, paper 11.39%%", tab.AvgInSeqPct)
+	}
+	t0 := savings(t, tab, "t0")
+	bi := savings(t, tab, "businvert")
+	if t0 > 8 || t0 < -2 {
+		t.Errorf("T0 savings = %.2f%%, paper 3.37%% (must be marginal)", t0)
+	}
+	if bi < 5 || bi > 22 {
+		t.Errorf("bus-invert savings = %.2f%%, paper 10.78%%", bi)
+	}
+	if bi <= t0 {
+		t.Error("bus-invert must win on data streams")
+	}
+}
+
+// TestTable4Shape: multiplexed streams show intermediate behaviour; T0
+// still edges out bus-invert (paper: 10.25% vs 9.79%).
+func TestTable4Shape(t *testing.T) {
+	tab := table(t, Table4, Synthetic)
+	if math.Abs(tab.AvgInSeqPct-57.62) > 3 {
+		t.Errorf("in-seq avg = %.2f%%, paper 57.62%%", tab.AvgInSeqPct)
+	}
+	t0 := savings(t, tab, "t0")
+	bi := savings(t, tab, "businvert")
+	if t0 <= bi {
+		t.Errorf("T0 (%.2f%%) must beat bus-invert (%.2f%%) on muxed streams", t0, bi)
+	}
+	// Intermediate: below the instruction-stream savings, above data.
+	instr := savings(t, table(t, Table2, Synthetic), "t0")
+	data := savings(t, table(t, Table3, Synthetic), "t0")
+	if !(data < t0 && t0 < instr) {
+		t.Errorf("muxed T0 savings %.2f%% not between data %.2f%% and instruction %.2f%%", t0, data, instr)
+	}
+}
+
+// TestTable5Shape: on instruction streams every mixed code matches plain
+// T0 (paper: 34.92 / 35.52 / 35.52 vs 35.52).
+func TestTable5Shape(t *testing.T) {
+	tab := table(t, Table5, Synthetic)
+	t0 := savings(t, table(t, Table2, Synthetic), "t0")
+	for _, code := range MixedCodes {
+		s := savings(t, tab, code)
+		if math.Abs(s-t0) > 3 {
+			t.Errorf("%s savings %.2f%% should match plain T0's %.2f%% on instruction streams", code, s, t0)
+		}
+	}
+	// T0_BI pays for its second redundant line: it must not beat dual T0.
+	if savings(t, tab, "t0bi") > savings(t, tab, "dualt0")+0.5 {
+		t.Error("t0bi should trail dualt0 slightly, as in the paper")
+	}
+}
+
+// TestTable6Shape: data streams. Paper: t0bi 12.82%, dual t0 0.00%, dual
+// t0_bi 10.66%.
+func TestTable6Shape(t *testing.T) {
+	tab := table(t, Table6, Synthetic)
+	t0bi := savings(t, tab, "t0bi")
+	dual := savings(t, tab, "dualt0")
+	dbi := savings(t, tab, "dualt0bi")
+	if math.Abs(dual) > 0.5 {
+		t.Errorf("dual T0 savings = %.2f%%, paper 0.00%% (no instruction addresses to exploit)", dual)
+	}
+	if t0bi < 8 || dbi < 8 {
+		t.Errorf("BI-family codes too weak on data: t0bi %.2f%%, dualt0bi %.2f%%", t0bi, dbi)
+	}
+	if t0bi < dbi-1 {
+		t.Errorf("t0bi (%.2f%%) should not trail dualt0bi (%.2f%%) on data streams", t0bi, dbi)
+	}
+}
+
+// TestTable7Shape: the headline result — dual T0_BI is the best code for
+// the multiplexed address bus (paper: 22.25% vs 19.56% and 12.15%).
+func TestTable7Shape(t *testing.T) {
+	tab := table(t, Table7, Synthetic)
+	t0bi := savings(t, tab, "t0bi")
+	dual := savings(t, tab, "dualt0")
+	dbi := savings(t, tab, "dualt0bi")
+	if !(dbi > t0bi && dbi > dual) {
+		t.Errorf("dual T0_BI (%.2f%%) must be the best muxed code (t0bi %.2f%%, dualt0 %.2f%%)", dbi, t0bi, dual)
+	}
+	if dbi < 15 {
+		t.Errorf("dual T0_BI savings = %.2f%%, paper 22.25%%", dbi)
+	}
+	// It must also beat plain T0 from Table 4 (paper: 22.25 vs 10.25).
+	t0 := savings(t, table(t, Table4, Synthetic), "t0")
+	if dbi <= t0 {
+		t.Errorf("dual T0_BI (%.2f%%) must beat plain T0 (%.2f%%) on the muxed bus", dbi, t0)
+	}
+}
+
+// TestMIPSSourceShapes: the simulator-generated streams must reproduce the
+// qualitative orderings too.
+func TestMIPSSourceShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mips simulation in -short mode")
+	}
+	t2 := table(t, Table2, MIPS)
+	if s := savings(t, t2, "t0"); s < 20 {
+		t.Errorf("MIPS instruction T0 savings = %.2f%%, want substantial", s)
+	}
+	t7 := table(t, Table7, MIPS)
+	dbi := savings(t, t7, "dualt0bi")
+	dual := savings(t, t7, "dualt0")
+	t0bi := savings(t, t7, "t0bi")
+	if !(dbi >= dual-0.5 && dbi > t0bi-3) {
+		t.Errorf("MIPS muxed: dualt0bi %.2f%% should be at or near the top (dualt0 %.2f%%, t0bi %.2f%%)", dbi, dual, t0bi)
+	}
+}
+
+func TestTable1RowsAndSimulation(t *testing.T) {
+	rows, err := Table1(16, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		// Closed forms and Monte-Carlo agree.
+		tol := 0.15
+		if r.Stream == "random" {
+			tol = 0.25
+		}
+		if math.Abs(r.PerClk-r.Simulated) > tol {
+			t.Errorf("%s/%s: analytical %.3f vs simulated %.3f", r.Stream, r.Code, r.PerClk, r.Simulated)
+		}
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	tab := table(t, Table2, Synthetic)
+	out := tab.String()
+	for _, want := range []string{"gzip", "oracle", "Average", "t0", "businvert"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	rows, err := Table1(8, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := RenderTable1(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "businvert") {
+		t.Error("table 1 render incomplete")
+	}
+}
+
+func TestAvgSavingsForUnknown(t *testing.T) {
+	tab := table(t, Table2, Synthetic)
+	if _, err := tab.AvgSavingsFor("nope"); err == nil {
+		t.Error("unknown code accepted")
+	}
+}
+
+func TestCompareRejectsBadCode(t *testing.T) {
+	sets, _ := Streams(Synthetic)
+	_, err := Compare("x", sets[:1], func(s StreamSet) *trace.Stream { return s.Instr }, []string{"nope"}, DefaultOptions)
+	if err == nil {
+		t.Error("bad codec name accepted")
+	}
+}
+
+func TestReferenceMuxedStreamTruncation(t *testing.T) {
+	s := ReferenceMuxedStream(100)
+	if s.Len() != 100 {
+		t.Errorf("len = %d", s.Len())
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"busenc/internal/hw"
+	"busenc/internal/netlist"
+	"busenc/internal/power"
+	"busenc/internal/trace"
+)
+
+// HWRow is one codec's line in the extended hardware comparison: gate-
+// level cost and measured behaviour on a reference stream (EXTENSION —
+// the paper implements three codecs; this covers the whole family).
+type HWRow struct {
+	Name      string
+	BusLines  int
+	EncCells  int
+	DecCells  int
+	EncArea   float64
+	DecArea   float64
+	EncPowerW float64 // at the given on-chip load
+	DecPowerW float64 // at the decoder internal load
+	// EncDelayS is the encoder's critical path under the delay model.
+	EncDelayS float64
+	// BusSavingsPct is the transition savings of the encoded bus vs the
+	// binary bus on the reference stream.
+	BusSavingsPct float64
+}
+
+// HWComparison builds, verifies activity for, and measures every hardware
+// codec on the stream at the given encoder output load.
+func HWComparison(s *trace.Stream, strideLog int, loadF float64) ([]HWRow, error) {
+	codecs := []hw.Codec{
+		hw.Binary(Width),
+		hw.Gray(Width, strideLog),
+		hw.BusInvert(Width),
+		hw.T0(Width, strideLog),
+		hw.T0BI(Width, strideLog),
+		hw.DualT0(Width, strideLog),
+		hw.DualT0BI(Width, strideLog),
+		hw.IncXor(Width, strideLog),
+	}
+	lib := netlist.DefaultLibrary()
+	m := power.Default()
+	var binTotal float64
+	rows := make([]HWRow, 0, len(codecs))
+	for _, c := range codecs {
+		meas, err := MeasureHW(c, s)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", c.Name, err)
+		}
+		total := 0.0
+		for _, a := range meas.LineAlphas {
+			total += a
+		}
+		if c.Name == "binary" {
+			binTotal = total
+		}
+		encDelay, _, err := lib.CriticalPath(c.Enc)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", c.Name, err)
+		}
+		row := HWRow{
+			Name:      c.Name,
+			BusLines:  c.BusWidth(),
+			EncCells:  c.Enc.NumCells(),
+			DecCells:  c.Dec.NumCells(),
+			EncArea:   lib.Area(c.Enc),
+			DecArea:   lib.Area(c.Dec),
+			EncPowerW: lib.Power(c.Enc, meas.EncAct, m.FreqHz, loadF),
+			DecPowerW: lib.Power(c.Dec, meas.DecAct, m.FreqHz, DecoderInternalLoadF),
+			EncDelayS: encDelay,
+		}
+		if binTotal > 0 {
+			row.BusSavingsPct = (1 - total/binTotal) * 100
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderHWComparison writes the extended comparison as aligned text.
+func RenderHWComparison(w io.Writer, rows []HWRow) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Extended hardware comparison (all codecs)")
+	fmt.Fprintln(tw, "code\tbus lines\tenc cells\tenc area\tenc ns\tenc mW\tdec cells\tdec area\tdec mW\tbus savings")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.1f\t%.2f\t%.4f\t%d\t%.1f\t%.4f\t%.2f%%\n",
+			r.Name, r.BusLines, r.EncCells, r.EncArea, r.EncDelayS*1e9, r.EncPowerW*1e3,
+			r.DecCells, r.DecArea, r.DecPowerW*1e3, r.BusSavingsPct)
+	}
+	return tw.Flush()
+}

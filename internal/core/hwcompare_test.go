@@ -1,0 +1,128 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestHWComparisonCoversFamily(t *testing.T) {
+	s := ReferenceMuxedStream(1500)
+	rows, err := HWComparison(s, 2, 0.1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byName := map[string]HWRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	// Binary is the zero reference for bus savings and the cheapest codec.
+	if byName["binary"].BusSavingsPct != 0 {
+		t.Errorf("binary bus savings = %v", byName["binary"].BusSavingsPct)
+	}
+	for name, r := range byName {
+		if name == "binary" {
+			continue
+		}
+		if r.EncArea <= byName["binary"].EncArea && name != "gray" && name != "incxor" {
+			t.Errorf("%s encoder area %.1f should exceed binary's %.1f", name, r.EncArea, byName["binary"].EncArea)
+		}
+	}
+	// On the muxed reference stream the dual codes must reduce bus
+	// activity the most among the family.
+	if byName["dualt0bi"].BusSavingsPct < byName["t0"].BusSavingsPct {
+		t.Error("dual T0_BI must beat T0 on the muxed reference stream")
+	}
+	// The gray codec is combinational: strictly cheaper than the T0
+	// encoder (which carries registers).
+	if byName["gray"].EncPowerW >= byName["t0"].EncPowerW {
+		t.Errorf("gray encoder (%.3g) should be cheaper than t0's (%.3g)", byName["gray"].EncPowerW, byName["t0"].EncPowerW)
+	}
+	// Every codec's power must be positive.
+	for name, r := range byName {
+		if r.EncPowerW <= 0 || r.DecPowerW <= 0 {
+			t.Errorf("%s: non-positive power", name)
+		}
+	}
+}
+
+func TestRenderHWComparison(t *testing.T) {
+	s := ReferenceMuxedStream(500)
+	rows, err := HWComparison(s, 2, 0.1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := RenderHWComparison(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"dualt0bi", "incxor", "bus savings"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestJSONWriters(t *testing.T) {
+	tab, err := Table2(Synthetic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := tab.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Table
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("table JSON does not round-trip: %v", err)
+	}
+	if decoded.Title != tab.Title || len(decoded.Rows) != len(tab.Rows) {
+		t.Error("table JSON lost content")
+	}
+
+	s := ReferenceMuxedStream(400)
+	rows8, err := Table8(s, OnChipLoads[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := WriteTable8JSON(&sb, rows8); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"experiment": "table8"`) {
+		t.Error("table8 JSON header missing")
+	}
+	rows9, err := Table9(s, OffChipLoads[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := WriteTable9JSON(&sb, rows9); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"experiment": "table9"`) {
+		t.Error("table9 JSON header missing")
+	}
+	rows1, err := Table1(8, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := WriteTable1JSON(&sb, rows1); err != nil {
+		t.Fatal(err)
+	}
+	hw, err := HWComparison(s, 2, 0.1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := WriteHWComparisonJSON(&sb, hw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "dualt0bi") {
+		t.Error("hw comparison JSON incomplete")
+	}
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"busenc/internal/bus"
+	"busenc/internal/hw"
+	"busenc/internal/netlist"
+	"busenc/internal/power"
+	"busenc/internal/trace"
+)
+
+// DecoderInternalLoadF is the on-chip capacitance each decoder output
+// drives (register inputs of the receiving memory controller).
+const DecoderInternalLoadF = 0.05e-12
+
+// HWMeasure holds the measured electrical behaviour of one codec's
+// hardware on a reference stream.
+type HWMeasure struct {
+	Codec hw.Codec
+	// EncAct and DecAct are the netlist switching activities.
+	EncAct, DecAct netlist.Activity
+	// LineAlphas are the per-bus-line toggle probabilities of the
+	// encoded stream (payload + redundant lines) — what the bus wires or
+	// pads see.
+	LineAlphas []float64
+}
+
+// MeasureHW simulates the encoder and decoder netlists over the stream and
+// records all switching activities.
+func MeasureHW(c hw.Codec, s *trace.Stream) (*HWMeasure, error) {
+	encSim, err := netlist.NewSimulator(c.Enc)
+	if err != nil {
+		return nil, err
+	}
+	decSim, err := netlist.NewSimulator(c.Dec)
+	if err != nil {
+		return nil, err
+	}
+	lines := bus.New(c.BusWidth())
+	for _, e := range s.Entries {
+		encSim.Step(c.EncInputs(e))
+		word := c.EncodedWord(encSim)
+		lines.Drive(word)
+		decSim.Step(c.DecInputs(word, e.Sel()))
+	}
+	per := lines.PerLine()
+	alphas := make([]float64, len(per))
+	denom := float64(s.Len() - 1)
+	for i, t := range per {
+		if denom > 0 {
+			alphas[i] = float64(t) / denom
+		}
+	}
+	return &HWMeasure{
+		Codec:      c,
+		EncAct:     encSim.Activity(),
+		DecAct:     decSim.Activity(),
+		LineAlphas: alphas,
+	}, nil
+}
+
+// Table8Row is one on-chip load point: encoder and decoder power in watts
+// for the three hardware codecs (paper Table 8).
+type Table8Row struct {
+	LoadF                float64
+	BinaryEnc, BinaryDec float64
+	T0Enc, T0Dec         float64
+	DbiEnc, DbiDec       float64
+}
+
+// hwSet builds and measures the three hardware codecs once.
+type hwSet struct {
+	bin, t0, dbi *HWMeasure
+}
+
+func measureAll(s *trace.Stream) (*hwSet, error) {
+	strideLog := 2 // stride 4
+	bin, err := MeasureHW(hw.Binary(Width), s)
+	if err != nil {
+		return nil, err
+	}
+	t0, err := MeasureHW(hw.T0(Width, strideLog), s)
+	if err != nil {
+		return nil, err
+	}
+	dbi, err := MeasureHW(hw.DualT0BI(Width, strideLog), s)
+	if err != nil {
+		return nil, err
+	}
+	return &hwSet{bin: bin, t0: t0, dbi: dbi}, nil
+}
+
+// Table8 computes the on-chip codec power sweep: every encoder output
+// drives loadF per line; decoders drive the fixed internal load.
+func Table8(s *trace.Stream, loadsF []float64) ([]Table8Row, error) {
+	set, err := measureAll(s)
+	if err != nil {
+		return nil, err
+	}
+	lib := netlist.DefaultLibrary()
+	m := power.Default()
+	rows := make([]Table8Row, 0, len(loadsF))
+	for _, load := range loadsF {
+		rows = append(rows, Table8Row{
+			LoadF:     load,
+			BinaryEnc: lib.Power(set.bin.Codec.Enc, set.bin.EncAct, m.FreqHz, load),
+			BinaryDec: lib.Power(set.bin.Codec.Dec, set.bin.DecAct, m.FreqHz, DecoderInternalLoadF),
+			T0Enc:     lib.Power(set.t0.Codec.Enc, set.t0.EncAct, m.FreqHz, load),
+			T0Dec:     lib.Power(set.t0.Codec.Dec, set.t0.DecAct, m.FreqHz, DecoderInternalLoadF),
+			DbiEnc:    lib.Power(set.dbi.Codec.Enc, set.dbi.EncAct, m.FreqHz, load),
+			DbiDec:    lib.Power(set.dbi.Codec.Dec, set.dbi.DecAct, m.FreqHz, DecoderInternalLoadF),
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable8 writes the on-chip power table (values in mW).
+func RenderTable8(w io.Writer, rows []Table8Row) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Table 8: Enc/Dec Power Consumption for On-Chip Loads (mW)")
+	fmt.Fprintln(tw, "Load(pF)\tBinary Enc\tBinary Dec\tT0 Enc\tT0 Dec\tDualT0BI Enc\tDualT0BI Dec")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.2f\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f\n",
+			r.LoadF*1e12, r.BinaryEnc*1e3, r.BinaryDec*1e3, r.T0Enc*1e3, r.T0Dec*1e3, r.DbiEnc*1e3, r.DbiDec*1e3)
+	}
+	return tw.Flush()
+}
+
+// Table9Row is one off-chip load point: pad power and global (encoder
+// logic + pads + decoder logic) power in watts (paper Table 9).
+type Table9Row struct {
+	LoadF        float64
+	BinaryPads   float64
+	BinaryGlobal float64
+	T0Pads       float64
+	T0Global     float64
+	DbiPads      float64
+	DbiGlobal    float64
+}
+
+// Table9 computes the off-chip sweep: the encoders drive output pads
+// (their on-chip load is the pad input capacitance), the pads drive the
+// external load at the encoded stream's per-line activity, and the
+// decoders run from the received stream. Input-pad power is neglected, as
+// in the paper.
+func Table9(s *trace.Stream, loadsF []float64) ([]Table9Row, error) {
+	set, err := measureAll(s)
+	if err != nil {
+		return nil, err
+	}
+	lib := netlist.DefaultLibrary()
+	m := power.Default()
+	pad := power.DefaultPad()
+	global := func(hm *HWMeasure, loadF float64) (pads, total float64) {
+		pads = power.PadBankPower(m, pad, hm.LineAlphas, loadF)
+		encLogic := lib.Power(hm.Codec.Enc, hm.EncAct, m.FreqHz, pad.InputCapF)
+		decLogic := lib.Power(hm.Codec.Dec, hm.DecAct, m.FreqHz, DecoderInternalLoadF)
+		return pads, encLogic + pads + decLogic
+	}
+	rows := make([]Table9Row, 0, len(loadsF))
+	for _, load := range loadsF {
+		r := Table9Row{LoadF: load}
+		r.BinaryPads, r.BinaryGlobal = global(set.bin, load)
+		r.T0Pads, r.T0Global = global(set.t0, load)
+		r.DbiPads, r.DbiGlobal = global(set.dbi, load)
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// RenderTable9 writes the off-chip power table (values in mW).
+func RenderTable9(w io.Writer, rows []Table9Row) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Table 9: Enc/Dec Power Consumption for Off-Chip Loads (mW)")
+	fmt.Fprintln(tw, "Load(pF)\tBinary Pads\tBinary Global\tT0 Pads\tT0 Global\tDualT0BI Pads\tDualT0BI Global")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.0f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\n",
+			r.LoadF*1e12, r.BinaryPads*1e3, r.BinaryGlobal*1e3, r.T0Pads*1e3, r.T0Global*1e3, r.DbiPads*1e3, r.DbiGlobal*1e3)
+	}
+	return tw.Flush()
+}
+
+// OnChipLoads are the paper's Table 8 load points.
+var OnChipLoads = []float64{0.1e-12, 0.2e-12, 0.4e-12, 0.6e-12, 0.8e-12, 1.0e-12}
+
+// OffChipLoads are the paper's Table 9 load points.
+var OffChipLoads = []float64{20e-12, 50e-12, 100e-12, 200e-12, 500e-12, 1000e-12}
+
+// Crossover finds the smallest off-chip load (by linear scan over the
+// sweep) at which the dual T0_BI global power drops below the T0 global
+// power — the paper's recommendation boundary ("T0 for 20-100 pF, dual
+// T0_BI above").
+func Crossover(rows []Table9Row) (loadF float64, found bool) {
+	for _, r := range rows {
+		if r.DbiGlobal < r.T0Global {
+			return r.LoadF, true
+		}
+	}
+	return 0, false
+}

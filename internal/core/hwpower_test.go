@@ -1,0 +1,138 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// The hardware-power tables simulate three gate-level codecs over a
+// reference stream; keep the stream short enough for unit tests.
+const hwTestStreamLen = 2000
+
+func TestTable8Shape(t *testing.T) {
+	s := ReferenceMuxedStream(hwTestStreamLen)
+	rows, err := Table8(s, OnChipLoads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(OnChipLoads) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	// At every load: binary codec cheapest, dual T0_BI encoder most
+	// expensive (paper Table 8 structure).
+	for _, r := range rows {
+		if !(r.BinaryEnc < r.T0Enc && r.T0Enc < r.DbiEnc) {
+			t.Errorf("load %.1fpF: encoder ordering violated: bin %.3g, t0 %.3g, dbi %.3g",
+				r.LoadF*1e12, r.BinaryEnc, r.T0Enc, r.DbiEnc)
+		}
+		if r.T0Dec <= 0 || r.DbiDec <= 0 {
+			t.Error("decoder power must be positive")
+		}
+	}
+	// Decoders are load-independent in this table (fixed internal load).
+	if first.T0Dec != last.T0Dec {
+		t.Error("T0 decoder power should not depend on the bus load")
+	}
+	// The paper: T0 and dual T0_BI decoders are comparable.
+	if ratio := first.DbiDec / first.T0Dec; ratio > 2 || ratio < 0.5 {
+		t.Errorf("decoder powers diverge: ratio %.2f", ratio)
+	}
+	// Encoder power grows with load; the relative gap between dual T0_BI
+	// and T0 narrows as the load term dominates ("for higher values the
+	// difference is reduced").
+	if !(last.T0Enc > first.T0Enc) {
+		t.Error("T0 encoder power must grow with load")
+	}
+	gapSmall := rows[0].DbiEnc / rows[0].T0Enc
+	gapBig := last.DbiEnc / last.T0Enc
+	if gapBig >= gapSmall {
+		t.Errorf("dual/T0 encoder power ratio should shrink with load: %.2f -> %.2f", gapSmall, gapBig)
+	}
+}
+
+func TestTable9ShapeAndCrossover(t *testing.T) {
+	s := ReferenceMuxedStream(hwTestStreamLen)
+	rows, err := Table9(s, OffChipLoads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Encoding reduces pad power relative to binary at every load.
+		if !(r.T0Pads < r.BinaryPads) {
+			t.Errorf("load %.0fpF: T0 pads %.3g not below binary pads %.3g", r.LoadF*1e12, r.T0Pads, r.BinaryPads)
+		}
+		if !(r.DbiPads < r.BinaryPads) {
+			t.Errorf("load %.0fpF: dual T0_BI pads %.3g not below binary pads %.3g", r.LoadF*1e12, r.DbiPads, r.BinaryPads)
+		}
+		// Dual T0_BI reduces bus activity more than T0 on muxed streams.
+		if !(r.DbiPads < r.T0Pads) {
+			t.Errorf("load %.0fpF: dual T0_BI pads %.3g not below T0 pads %.3g", r.LoadF*1e12, r.DbiPads, r.T0Pads)
+		}
+	}
+	// The paper's recommendation structure: at moderate loads T0's global
+	// power is competitive (cheap logic); at large loads dual T0_BI wins
+	// because pad power dominates. The crossover must exist within the
+	// sweep and the largest load must favor dual T0_BI.
+	last := rows[len(rows)-1]
+	if !(last.DbiGlobal < last.T0Global && last.T0Global < last.BinaryGlobal) {
+		t.Errorf("at %.0fpF want dbi < t0 < binary global power, got %.3g %.3g %.3g",
+			last.LoadF*1e12, last.DbiGlobal, last.T0Global, last.BinaryGlobal)
+	}
+	if _, found := Crossover(rows); !found {
+		t.Error("no dual-T0_BI-vs-T0 crossover found in the off-chip sweep")
+	}
+	// Encoded codecs must beat raw binary globally once loads are large.
+	if !(last.T0Global < last.BinaryGlobal) {
+		t.Error("T0 must beat binary at large off-chip loads")
+	}
+}
+
+func TestHWTablesRender(t *testing.T) {
+	s := ReferenceMuxedStream(500)
+	rows8, err := Table8(s, OnChipLoads[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := RenderTable8(&sb, rows8); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "On-Chip") {
+		t.Error("table 8 render incomplete")
+	}
+	rows9, err := Table9(s, OffChipLoads[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := RenderTable9(&sb, rows9); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Off-Chip") {
+		t.Error("table 9 render incomplete")
+	}
+}
+
+func TestMeasureHWLineActivities(t *testing.T) {
+	s := ReferenceMuxedStream(1000)
+	set, err := measureAll(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Binary drives 32 lines, the others 33.
+	if len(set.bin.LineAlphas) != 32 || len(set.t0.LineAlphas) != 33 || len(set.dbi.LineAlphas) != 33 {
+		t.Fatalf("line counts: %d %d %d", len(set.bin.LineAlphas), len(set.t0.LineAlphas), len(set.dbi.LineAlphas))
+	}
+	sum := func(a []float64) float64 {
+		t := 0.0
+		for _, v := range a {
+			t += v
+		}
+		return t
+	}
+	// Total line activity: encoded buses quieter than binary.
+	if !(sum(set.dbi.LineAlphas) < sum(set.bin.LineAlphas)) {
+		t.Error("dual T0_BI bus must toggle less than binary")
+	}
+}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSON export of the experiment tables, for plotting or regression
+// tracking outside Go.
+
+// WriteJSON writes the comparison table as indented JSON.
+func (t *Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// jsonDoc wraps any table payload with an identifying header.
+type jsonDoc struct {
+	Experiment string      `json:"experiment"`
+	Rows       interface{} `json:"rows"`
+}
+
+// WriteTable1JSON writes the analytical table as JSON.
+func WriteTable1JSON(w io.Writer, rows []Table1Row) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonDoc{Experiment: "table1", Rows: rows})
+}
+
+// WriteTable8JSON writes the on-chip power sweep as JSON.
+func WriteTable8JSON(w io.Writer, rows []Table8Row) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonDoc{Experiment: "table8", Rows: rows})
+}
+
+// WriteTable9JSON writes the off-chip power sweep as JSON.
+func WriteTable9JSON(w io.Writer, rows []Table9Row) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonDoc{Experiment: "table9", Rows: rows})
+}
+
+// WriteHWComparisonJSON writes the extended hardware table as JSON.
+func WriteHWComparisonJSON(w io.Writer, rows []HWRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonDoc{Experiment: "hwcompare", Rows: rows})
+}

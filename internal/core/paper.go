@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"busenc/internal/analytic"
+	"busenc/internal/codec"
+	"busenc/internal/trace"
+	"busenc/internal/workload"
+)
+
+// Paper table regeneration. One function per table of the DATE'98 paper;
+// cmd/paper and bench_test.go call these.
+
+// ExistingCodes are the columns of Tables 2-4.
+var ExistingCodes = []string{"t0", "businvert"}
+
+// MixedCodes are the columns of Tables 5-7.
+var MixedCodes = []string{"t0bi", "dualt0", "dualt0bi"}
+
+// DefaultOptions are the codec parameters of the paper's experiments:
+// stride 4 (word-addressed instructions on a byte-addressed 32-bit MIPS).
+var DefaultOptions = codec.Options{Stride: Stride}
+
+// Table1 returns the analytical comparison rows plus a Monte-Carlo
+// cross-check column measured over n random / sequential references.
+type Table1Row struct {
+	analytic.Row
+	Simulated float64 // measured avg transitions/clock for the same case
+}
+
+// Table1 computes the analytical table for an n-bit bus and verifies each
+// closed form by simulation over the given number of references.
+func Table1(nBits, refs int) ([]Table1Row, error) {
+	rows := analytic.Table1(nBits)
+	out := make([]Table1Row, 0, len(rows))
+	random := workload.Random(nBits, refs, 7)
+	sequential := workload.Sequential(nBits, refs, 0, 1)
+	for _, r := range rows {
+		s := random
+		if r.Stream == "sequential" {
+			s = sequential
+		}
+		c, err := codec.New(r.Code, nBits, codec.Options{Stride: 1})
+		if err != nil {
+			return nil, err
+		}
+		res, err := codec.Run(c, s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Table1Row{Row: r, Simulated: res.AvgPerCycle()})
+	}
+	return out, nil
+}
+
+// RenderTable1 writes the analytical table as text.
+func RenderTable1(w io.Writer, rows []Table1Row) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Table 1: Analytical Performance Comparison")
+	fmt.Fprintln(tw, "Stream\tCode\tAvg Trans/Clock\tAvg Trans/Line\tRel. I/O Power\tSimulated")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%.4f\t%.4f\t%.4f\t%.4f\n", r.Stream, r.Code, r.PerClk, r.PerLine, r.RelPow, r.Simulated)
+	}
+	return tw.Flush()
+}
+
+// pickers for the three stream classes.
+func pickInstr(s StreamSet) *trace.Stream { return s.Instr }
+func pickData(s StreamSet) *trace.Stream  { return s.Data }
+func pickMuxed(s StreamSet) *trace.Stream { return s.Muxed }
+
+// Table2 compares the existing codes on instruction address streams.
+func Table2(src Source) (*Table, error) {
+	sets, err := Streams(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compare("Table 2: Existing Encoding Schemes, Instruction Address Streams ("+string(src)+")",
+		sets, pickInstr, ExistingCodes, DefaultOptions)
+}
+
+// Table3 compares the existing codes on data address streams.
+func Table3(src Source) (*Table, error) {
+	sets, err := Streams(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compare("Table 3: Existing Encoding Schemes, Data Address Streams ("+string(src)+")",
+		sets, pickData, ExistingCodes, DefaultOptions)
+}
+
+// Table4 compares the existing codes on multiplexed address streams.
+func Table4(src Source) (*Table, error) {
+	sets, err := Streams(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compare("Table 4: Existing Encoding Schemes, Multiplexed Address Streams ("+string(src)+")",
+		sets, pickMuxed, ExistingCodes, DefaultOptions)
+}
+
+// Table5 compares the mixed codes on instruction address streams.
+func Table5(src Source) (*Table, error) {
+	sets, err := Streams(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compare("Table 5: Mixed Encoding Schemes, Instruction Address Streams ("+string(src)+")",
+		sets, pickInstr, MixedCodes, DefaultOptions)
+}
+
+// Table6 compares the mixed codes on data address streams.
+func Table6(src Source) (*Table, error) {
+	sets, err := Streams(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compare("Table 6: Mixed Encoding Schemes, Data Address Streams ("+string(src)+")",
+		sets, pickData, MixedCodes, DefaultOptions)
+}
+
+// Table7 compares the mixed codes on multiplexed address streams.
+func Table7(src Source) (*Table, error) {
+	sets, err := Streams(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compare("Table 7: Mixed Encoding Schemes, Multiplexed Address Streams ("+string(src)+")",
+		sets, pickMuxed, MixedCodes, DefaultOptions)
+}
+
+// ReferenceMuxedStream returns the stream used to exercise the hardware
+// codecs in Tables 8-9: the first synthetic benchmark's muxed stream,
+// truncated for simulation speed.
+func ReferenceMuxedStream(n int) *trace.Stream {
+	b := workload.Suite()[0]
+	s := b.Muxed()
+	if s.Len() > n {
+		s = s.Slice(0, n)
+	}
+	return s
+}

@@ -1,0 +1,213 @@
+package hw
+
+import (
+	"math/rand"
+	"testing"
+
+	"busenc/internal/codec"
+	"busenc/internal/netlist"
+	"busenc/internal/trace"
+)
+
+// mixedStream builds an adversarial muxed stream: sequential fetch runs,
+// jumps, and scattered data accesses.
+func mixedStream(width, n int, seed int64) *trace.Stream {
+	rng := rand.New(rand.NewSource(seed))
+	s := trace.New("mix", width)
+	addr := uint64(0x40)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(5) {
+		case 0, 1:
+			addr += 4
+			s.Append(addr, trace.Instr)
+		case 2:
+			addr = rng.Uint64()
+			s.Append(addr, trace.Instr)
+		default:
+			s.Append(rng.Uint64(), trace.DataRead)
+		}
+	}
+	return s
+}
+
+// checkEquivalence drives the stream through the hardware encoder and
+// decoder and the reference software codec, comparing every word and every
+// decoded address.
+func checkEquivalence(t *testing.T, hwCodec Codec, swCodec codec.Codec, s *trace.Stream) {
+	t.Helper()
+	encSim, err := netlist.NewSimulator(hwCodec.Enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decSim, err := netlist.NewSimulator(hwCodec.Dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swEnc := swCodec.NewEncoder()
+	mask := uint64(1)<<uint(hwCodec.Width) - 1
+	for i, e := range s.Entries {
+		encSim.Step(hwCodec.EncInputs(e))
+		hwWord := hwCodec.EncodedWord(encSim)
+		swWord := swEnc.Encode(codec.SymbolOf(e))
+		if hwWord != swWord {
+			t.Fatalf("%s: entry %d (%+v): hardware word %#x, software word %#x", hwCodec.Name, i, e, hwWord, swWord)
+		}
+		decSim.Step(hwCodec.DecInputs(hwWord, e.Sel()))
+		if got := decSim.OutputWord("b", hwCodec.Width); got != e.Addr&mask {
+			t.Fatalf("%s: entry %d: hardware decoded %#x, want %#x", hwCodec.Name, i, got, e.Addr&mask)
+		}
+	}
+}
+
+func TestBinaryHardwareEquivalence(t *testing.T) {
+	const w = 16
+	checkEquivalence(t, Binary(w), codec.MustNew("binary", w, codec.Options{}), mixedStream(w, 2000, 1))
+}
+
+func TestT0HardwareEquivalence(t *testing.T) {
+	const w = 16
+	checkEquivalence(t, T0(w, 2), codec.MustNew("t0", w, codec.Options{Stride: 4}), mixedStream(w, 2000, 2))
+}
+
+func TestT0HardwareEquivalenceStride1(t *testing.T) {
+	const w = 12
+	checkEquivalence(t, T0(w, 0), codec.MustNew("t0", w, codec.Options{Stride: 1}), mixedStream(w, 2000, 3))
+}
+
+func TestDualT0BIHardwareEquivalence(t *testing.T) {
+	const w = 16
+	checkEquivalence(t, DualT0BI(w, 2), codec.MustNew("dualt0bi", w, codec.Options{Stride: 4}), mixedStream(w, 3000, 4))
+}
+
+func TestDualT0BIHardwareEquivalenceOddWidth(t *testing.T) {
+	// Odd payload width exercises the majority threshold rounding.
+	const w = 9
+	checkEquivalence(t, DualT0BI(w, 0), codec.MustNew("dualt0bi", w, codec.Options{Stride: 1}), mixedStream(w, 3000, 5))
+}
+
+func TestT0HardwareSequentialFreeze(t *testing.T) {
+	// On a pure sequential stream the encoder's payload outputs must stop
+	// toggling entirely after the first address.
+	const w = 16
+	c := T0(w, 2)
+	sim, err := netlist.NewSimulator(c.Enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		sim.Step(c.EncInputs(trace.Entry{Addr: 0x100 + uint64(i)*4, Kind: trace.Instr}))
+	}
+	act := sim.Activity()
+	// All payload outputs quiet: the only toggling output line is INC
+	// during warm-up.
+	total := 0.0
+	for _, out := range c.Enc.Outputs() {
+		total += act.NetAlpha[out]
+	}
+	if total > 0.05 {
+		t.Errorf("frozen encoder outputs still toggling: total alpha %v", total)
+	}
+}
+
+func TestHardwareComplexityOrdering(t *testing.T) {
+	// The paper reports the dual T0_BI encoder to be roughly an order of
+	// magnitude more power-hungry than the T0 encoder at small loads; at
+	// minimum its gate count and area must dominate, and binary must be
+	// negligible.
+	const w = 32
+	lib := netlist.DefaultLibrary()
+	bin := Binary(w)
+	t0 := T0(w, 2)
+	dbi := DualT0BI(w, 2)
+	if !(lib.Area(bin.Enc) < lib.Area(t0.Enc) && lib.Area(t0.Enc) < lib.Area(dbi.Enc)) {
+		t.Errorf("encoder areas: binary %.1f, t0 %.1f, dualt0bi %.1f — expected strict ordering",
+			lib.Area(bin.Enc), lib.Area(t0.Enc), lib.Area(dbi.Enc))
+	}
+	// Decoders of T0 and dual T0_BI are architecturally similar; the
+	// paper calls their power comparable. Allow a factor of two.
+	at0, adbi := lib.Area(t0.Dec), lib.Area(dbi.Dec)
+	if adbi > 2*at0 || at0 > 2*adbi {
+		t.Errorf("decoder areas diverge: t0 %.1f vs dualt0bi %.1f", at0, adbi)
+	}
+}
+
+func TestEncoderPowerMeasurement(t *testing.T) {
+	// Simulation-based encoder power on a muxed stream: dual T0_BI must
+	// cost more than T0, which must cost more than binary, at zero load.
+	const w = 32
+	lib := netlist.DefaultLibrary()
+	s := mixedStream(w, 3000, 6)
+	measure := func(c Codec) float64 {
+		sim, err := netlist.NewSimulator(c.Enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range s.Entries {
+			sim.Step(c.EncInputs(e))
+		}
+		return lib.Power(c.Enc, sim.Activity(), 100e6, 0)
+	}
+	pBin := measure(Binary(w))
+	pT0 := measure(T0(w, 2))
+	pDbi := measure(DualT0BI(w, 2))
+	if !(pBin < pT0 && pT0 < pDbi) {
+		t.Errorf("encoder powers: binary %.3g, t0 %.3g, dualt0bi %.3g — expected strict ordering", pBin, pT0, pDbi)
+	}
+	// The paper reports ~10x at small loads for its implementation; our
+	// library yields a smaller but still clear gap (~2x). Assert the
+	// qualitative dominance.
+	if pDbi < 1.5*pT0 {
+		t.Errorf("dual T0_BI encoder (%.3g) should dominate T0 encoder (%.3g) clearly", pDbi, pT0)
+	}
+}
+
+func TestProbabilisticEncoderEstimateTracksSimulation(t *testing.T) {
+	const w = 16
+	lib := netlist.DefaultLibrary()
+	c := T0(w, 2)
+	s := mixedStream(w, 5000, 7)
+	sim, err := netlist.NewSimulator(c.Enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Measure per-input statistics while simulating.
+	nIn := len(c.Enc.Inputs())
+	ones := make([]int64, nIn)
+	toggles := make([]int64, nIn)
+	var prev []bool
+	for _, e := range s.Entries {
+		in := c.EncInputs(e)
+		for i, v := range in {
+			if v {
+				ones[i]++
+			}
+			if prev != nil && v != prev[i] {
+				toggles[i]++
+			}
+		}
+		prev = in
+		sim.Step(in)
+	}
+	cycles := float64(len(s.Entries))
+	stats := make([]netlist.ProbIn, nIn)
+	for i := range stats {
+		stats[i] = netlist.ProbIn{P: float64(ones[i]) / cycles, D: float64(toggles[i]) / (cycles - 1)}
+	}
+	inMap, err := netlist.MeasuredInputs(c.Enc, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := netlist.Propagate(c.Enc, inMap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pSim := lib.Power(c.Enc, sim.Activity(), 100e6, 0)
+	pEst := lib.Power(c.Enc, est, 100e6, 0)
+	ratio := pEst / pSim
+	// Probabilistic estimation ignores temporal/spatial correlation of
+	// address bits, so allow a generous band — the point is order of
+	// magnitude agreement, as for the commercial tool.
+	if ratio < 0.3 || ratio > 3.5 {
+		t.Errorf("probabilistic %.3g vs simulated %.3g (ratio %.2f)", pEst, pSim, ratio)
+	}
+}

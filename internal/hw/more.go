@@ -1,0 +1,182 @@
+package hw
+
+import (
+	"fmt"
+
+	"busenc/internal/netlist"
+)
+
+// Additional hardware codecs beyond the three the paper evaluates in
+// Section 4 — the rest of the code family, so any codec in this
+// repository can be synthesized, power-analyzed and exported (EXTENSION).
+
+// Gray returns the stride-aware Gray codec hardware. The encoder is a
+// rank of XOR gates (out[i] = b[i] ^ b[i+1] above the stride bits); the
+// decoder is the prefix-XOR chain. Both are purely combinational.
+func Gray(width, strideLog int) Codec {
+	if strideLog < 0 || strideLog >= width {
+		panic(fmt.Sprintf("hw: strideLog %d out of range", strideLog))
+	}
+	enc := netlist.New("gray-enc")
+	b := enc.InputBus("b", width)
+	out := make([]netlist.NetID, width)
+	for i := 0; i < strideLog; i++ {
+		out[i] = enc.Buf(b[i])
+	}
+	for i := strideLog; i < width-1; i++ {
+		out[i] = enc.Xor(b[i], b[i+1])
+	}
+	out[width-1] = enc.Buf(b[width-1])
+	enc.OutputBus("B", out)
+
+	dec := netlist.New("gray-dec")
+	g := dec.InputBus("B", width)
+	d := make([]netlist.NetID, width)
+	d[width-1] = dec.Buf(g[width-1])
+	for i := width - 2; i >= strideLog; i-- {
+		d[i] = dec.Xor(g[i], d[i+1])
+	}
+	for i := 0; i < strideLog; i++ {
+		d[i] = dec.Buf(g[i])
+	}
+	dec.OutputBus("b", d)
+	return Codec{Name: "gray", Width: width, Enc: enc, Dec: dec}
+}
+
+// BusInvert returns the classic bus-invert codec hardware: a Hamming
+// distance evaluator against the previous encoded word (including the INV
+// line), a majority voter, and the conditional inversion bank. The
+// decoder is a stateless XOR bank keyed on INV.
+func BusInvert(width int) Codec {
+	enc := netlist.New("businvert-enc")
+	b := enc.InputBus("b", width)
+	prevWord, connectPrevWord := enc.RegBankFeedback(width + 1)
+	hamBits := append(enc.XorBank(prevWord[:width], b), prevWord[width])
+	count := enc.PopCount(hamBits)
+	inv := enc.GreaterThanConst(count, uint64(width/2))
+	outB := enc.InvertBank(b, inv)
+	connectPrevWord(append(append([]netlist.NetID{}, outB...), inv))
+	enc.OutputBus("B", outB)
+	enc.Output("INV", inv)
+
+	dec := netlist.New("businvert-dec")
+	dB := dec.InputBus("B", width)
+	dInv := dec.Input("INV")
+	dec.OutputBus("b", dec.InvertBank(dB, dInv))
+	return Codec{Name: "businvert", Width: width, Redundant: 1, Enc: enc, Dec: dec, ctrlOuts: []string{"INV"}}
+}
+
+// T0BI returns the T0_BI codec hardware (paper eq. 6/7): a T0 section over
+// the raw address register plus a bus-invert section with threshold
+// (N+2)/2 over the previous encoded word including both redundant lines.
+func T0BI(width, strideLog int) Codec {
+	if strideLog < 0 || strideLog >= width {
+		panic(fmt.Sprintf("hw: strideLog %d out of range", strideLog))
+	}
+	enc := netlist.New("t0bi-enc")
+	b := enc.InputBus("b", width)
+	prevAddr, connectPrevAddr := enc.RegBankFeedback(width)
+	connectPrevAddr(b)
+	valid, connectValid := enc.DFFFeedback()
+	connectValid(enc.Const1())
+	expected := enc.PrefixIncrementer(prevAddr, strideLog)
+	incCond := enc.And(enc.Equal(expected, b), valid)
+
+	prevWord, connectPrevWord := enc.RegBankFeedback(width + 2)
+	hamBits := append(enc.XorBank(prevWord[:width], b), prevWord[width], prevWord[width+1])
+	count := enc.PopCount(hamBits)
+	maj := enc.GreaterThanConst(count, uint64((width+2)/2))
+	invCond := enc.And(enc.Not(incCond), maj)
+
+	inverted := enc.InvertBank(b, invCond)
+	outB := enc.MuxBank(inverted, prevWord[:width], incCond)
+	connectPrevWord(append(append([]netlist.NetID{}, outB...), incCond, invCond))
+	enc.OutputBus("B", outB)
+	enc.Output("INC", incCond)
+	enc.Output("INV", invCond)
+
+	dec := netlist.New("t0bi-dec")
+	dB := dec.InputBus("B", width)
+	dInc := dec.Input("INC")
+	dInv := dec.Input("INV")
+	prevDec, connectPrevDec := dec.RegBankFeedback(width)
+	regen := dec.PrefixIncrementer(prevDec, strideLog)
+	payload := dec.InvertBank(dB, dInv)
+	addr := dec.MuxBank(payload, regen, dInc)
+	connectPrevDec(addr)
+	dec.OutputBus("b", addr)
+	return Codec{Name: "t0bi", Width: width, Redundant: 2, Enc: enc, Dec: dec, ctrlOuts: []string{"INC", "INV"}}
+}
+
+// DualT0 returns the dual T0 codec hardware (paper eq. 8/9/10): the T0
+// section of DualT0BI without the bus-invert path.
+func DualT0(width, strideLog int) Codec {
+	if strideLog < 0 || strideLog >= width {
+		panic(fmt.Sprintf("hw: strideLog %d out of range", strideLog))
+	}
+	enc := netlist.New("dualt0-enc")
+	b := enc.InputBus("b", width)
+	sel := enc.Input("SEL")
+	ref, connectRef := enc.RegBankFeedback(width)
+	connectRef(enc.MuxBank(ref, b, sel))
+	valid, connectValid := enc.DFFFeedback()
+	connectValid(enc.Or(valid, sel))
+	expected := enc.PrefixIncrementer(ref, strideLog)
+	inc := enc.And(enc.And(sel, valid), enc.Equal(expected, b))
+	prevBus, connectPrevBus := enc.RegBankFeedback(width)
+	outB := enc.MuxBank(b, prevBus, inc)
+	connectPrevBus(outB)
+	enc.OutputBus("B", outB)
+	enc.Output("INC", inc)
+
+	dec := netlist.New("dualt0-dec")
+	dB := dec.InputBus("B", width)
+	dInc := dec.Input("INC")
+	dSel := dec.Input("SEL")
+	refD, connectRefD := dec.RegBankFeedback(width)
+	regen := dec.PrefixIncrementer(refD, strideLog)
+	addr := dec.MuxBank(dB, regen, dInc)
+	connectRefD(dec.MuxBank(refD, addr, dSel))
+	dec.OutputBus("b", addr)
+	return Codec{Name: "dualt0", Width: width, Redundant: 1, Enc: enc, Dec: dec, UsesSel: true, ctrlOuts: []string{"INC"}}
+}
+
+// IncXor returns the INC-XOR codec hardware: the encoder XORs the address
+// with the prediction (previous address plus stride); the decoder mirrors
+// it. Both ends carry an address register and an incrementer.
+func IncXor(width, strideLog int) Codec {
+	if strideLog < 0 || strideLog >= width {
+		panic(fmt.Sprintf("hw: strideLog %d out of range", strideLog))
+	}
+	build := func(name string, decode bool) *netlist.Netlist {
+		n := netlist.New(name)
+		inName := "b"
+		if decode {
+			inName = "B"
+		}
+		in := n.InputBus(inName, width)
+		prevAddr, connectPrevAddr := n.RegBankFeedback(width)
+		valid, connectValid := n.DFFFeedback()
+		connectValid(n.Const1())
+		expected := n.PrefixIncrementer(prevAddr, strideLog)
+		prediction := make([]netlist.NetID, width)
+		for i := range prediction {
+			prediction[i] = n.And(expected[i], valid)
+		}
+		out := n.XorBank(in, prediction)
+		if decode {
+			connectPrevAddr(out)
+			n.OutputBus("b", out)
+		} else {
+			connectPrevAddr(in)
+			n.OutputBus("B", out)
+		}
+		return n
+	}
+	return Codec{
+		Name:  "incxor",
+		Width: width,
+		Enc:   build("incxor-enc", false),
+		Dec:   build("incxor-dec", true),
+	}
+}

@@ -1,0 +1,193 @@
+package hw
+
+import (
+	"strings"
+	"testing"
+
+	"busenc/internal/codec"
+	"busenc/internal/netlist"
+)
+
+func TestGrayHardwareEquivalence(t *testing.T) {
+	for _, strideLog := range []int{0, 2} {
+		stride := uint64(1) << uint(strideLog)
+		checkEquivalence(t, Gray(16, strideLog),
+			codec.MustNew("gray", 16, codec.Options{Stride: stride}),
+			mixedStream(16, 2000, 10+int64(strideLog)))
+	}
+}
+
+func TestBusInvertHardwareEquivalence(t *testing.T) {
+	checkEquivalence(t, BusInvert(16),
+		codec.MustNew("businvert", 16, codec.Options{}),
+		mixedStream(16, 3000, 11))
+}
+
+func TestBusInvertHardwareEquivalenceOddWidth(t *testing.T) {
+	checkEquivalence(t, BusInvert(11),
+		codec.MustNew("businvert", 11, codec.Options{}),
+		mixedStream(11, 3000, 12))
+}
+
+func TestT0BIHardwareEquivalence(t *testing.T) {
+	checkEquivalence(t, T0BI(16, 2),
+		codec.MustNew("t0bi", 16, codec.Options{Stride: 4}),
+		mixedStream(16, 3000, 13))
+}
+
+func TestT0BIHardwareEquivalenceOddWidth(t *testing.T) {
+	checkEquivalence(t, T0BI(9, 0),
+		codec.MustNew("t0bi", 9, codec.Options{Stride: 1}),
+		mixedStream(9, 3000, 14))
+}
+
+func TestDualT0HardwareEquivalence(t *testing.T) {
+	checkEquivalence(t, DualT0(16, 2),
+		codec.MustNew("dualt0", 16, codec.Options{Stride: 4}),
+		mixedStream(16, 3000, 15))
+}
+
+func TestIncXorHardwareEquivalence(t *testing.T) {
+	checkEquivalence(t, IncXor(16, 2),
+		codec.MustNew("incxor", 16, codec.Options{Stride: 4}),
+		mixedStream(16, 3000, 16))
+}
+
+func TestGrayHardwareIsCombinational(t *testing.T) {
+	c := Gray(32, 2)
+	if c.Enc.CountCells(netlist.KindDFF) != 0 || c.Dec.CountCells(netlist.KindDFF) != 0 {
+		t.Error("gray codec must be stateless")
+	}
+}
+
+func TestBusInvertDecoderIsStateless(t *testing.T) {
+	c := BusInvert(32)
+	if c.Dec.CountCells(netlist.KindDFF) != 0 {
+		t.Error("bus-invert decoder must be stateless")
+	}
+}
+
+func TestAllHardwareCodecsConstructAtFullWidth(t *testing.T) {
+	// The paper's bus is 32 bits; every generator must levelize cleanly
+	// (no combinational cycles) at that width.
+	codecs := []Codec{
+		Binary(32), Gray(32, 2), BusInvert(32), T0(32, 2),
+		T0BI(32, 2), DualT0(32, 2), DualT0BI(32, 2), IncXor(32, 2),
+	}
+	for _, c := range codecs {
+		if _, err := netlist.NewSimulator(c.Enc); err != nil {
+			t.Errorf("%s encoder: %v", c.Name, err)
+		}
+		if _, err := netlist.NewSimulator(c.Dec); err != nil {
+			t.Errorf("%s decoder: %v", c.Name, err)
+		}
+		if c.BusWidth() != c.Width+c.Redundant {
+			t.Errorf("%s: bus width accounting wrong", c.Name)
+		}
+	}
+}
+
+func TestStrideLogValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { Gray(8, 8) },
+		func() { T0BI(8, -1) },
+		func() { DualT0(8, 9) },
+		func() { IncXor(8, 8) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range strideLog accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAllHardwareCodecsEmitVerilog(t *testing.T) {
+	codecs := []Codec{
+		Binary(16), Gray(16, 2), BusInvert(16), T0(16, 2),
+		T0BI(16, 2), DualT0(16, 2), DualT0BI(16, 2), IncXor(16, 2),
+	}
+	for _, c := range codecs {
+		for _, n := range []*netlist.Netlist{c.Enc, c.Dec} {
+			var sb strings.Builder
+			if err := netlist.WriteVerilog(&sb, n); err != nil {
+				t.Fatalf("%s/%s: %v", c.Name, n.Name, err)
+			}
+			v := sb.String()
+			if !strings.Contains(v, "module ") || !strings.Contains(v, "endmodule") {
+				t.Errorf("%s/%s: malformed Verilog", c.Name, n.Name)
+			}
+			// Sequential codecs must ship the flip-flop model.
+			if n.CountCells(netlist.KindDFF) > 0 && !strings.Contains(v, "module busenc_dff") {
+				t.Errorf("%s/%s: missing flip-flop model", c.Name, n.Name)
+			}
+		}
+	}
+}
+
+func TestCriticalPathThroughBusInvertSection(t *testing.T) {
+	// The paper reports the dual T0_BI encoder's critical path running
+	// through the bus-invert section and the output mux. Under our delay
+	// model the dual encoder must be slower than the plain T0 encoder,
+	// and its critical path must traverse the popcount tree (XOR-heavy).
+	lib := netlist.DefaultLibrary()
+	t0Delay, _, err := lib.CriticalPath(T0(32, 2).Enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbiDelay, path, err := lib.CriticalPath(DualT0BI(32, 2).Enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dbiDelay <= t0Delay {
+		t.Errorf("dual T0_BI encoder critical path %.2fns not beyond T0's %.2fns", dbiDelay*1e9, t0Delay*1e9)
+	}
+	// A 0.35um-class implementation lands in single-digit nanoseconds
+	// (the paper: 5.36 ns).
+	if dbiDelay < 1e-9 || dbiDelay > 20e-9 {
+		t.Errorf("dual T0_BI critical path %.2fns implausible", dbiDelay*1e9)
+	}
+	xors := 0
+	for _, st := range path {
+		if st.Kind == netlist.KindXor2 || st.Kind == netlist.KindXnor2 {
+			xors++
+		}
+	}
+	if xors < 3 {
+		t.Errorf("critical path has only %d XOR stages; expected it through the Hamming tree (path %+v)", xors, path)
+	}
+}
+
+func TestOptimizedCodecsStayEquivalent(t *testing.T) {
+	// Run the netlist optimizer over every hardware codec and re-verify
+	// bit-exact equivalence against the software reference.
+	mk := func(c Codec) Codec {
+		encOpt, err := netlist.Optimize(c.Enc)
+		if err != nil {
+			t.Fatalf("%s enc: %v", c.Name, err)
+		}
+		decOpt, err := netlist.Optimize(c.Dec)
+		if err != nil {
+			t.Fatalf("%s dec: %v", c.Name, err)
+		}
+		if encOpt.NumCells() > c.Enc.NumCells() || decOpt.NumCells() > c.Dec.NumCells() {
+			t.Errorf("%s: optimization grew the netlist (%d->%d enc, %d->%d dec)",
+				c.Name, c.Enc.NumCells(), encOpt.NumCells(), c.Dec.NumCells(), decOpt.NumCells())
+		}
+		c.Enc, c.Dec = encOpt, decOpt
+		return c
+	}
+	checkEquivalence(t, mk(T0(16, 2)),
+		codec.MustNew("t0", 16, codec.Options{Stride: 4}), mixedStream(16, 2500, 30))
+	checkEquivalence(t, mk(DualT0BI(16, 2)),
+		codec.MustNew("dualt0bi", 16, codec.Options{Stride: 4}), mixedStream(16, 2500, 31))
+	checkEquivalence(t, mk(T0BI(11, 0)),
+		codec.MustNew("t0bi", 11, codec.Options{Stride: 1}), mixedStream(11, 2500, 32))
+	checkEquivalence(t, mk(BusInvert(16)),
+		codec.MustNew("businvert", 16, codec.Options{}), mixedStream(16, 2500, 33))
+	checkEquivalence(t, mk(IncXor(16, 2)),
+		codec.MustNew("incxor", 16, codec.Options{Stride: 4}), mixedStream(16, 2500, 34))
+}

@@ -1,0 +1,469 @@
+package mips
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Default segment bases, matching the conventional MIPS memory map the
+// paper's address streams reflect (text at 0x00400000, data at
+// 0x10000000, stack below 0x7FFFF000).
+const (
+	DefaultTextBase  = 0x00400000
+	DefaultDataBase  = 0x10000000
+	DefaultStackTop  = 0x7FFFF000
+	DefaultStackSize = 0x00010000
+)
+
+// Segment-size guards: keep hostile or buggy sources from exhausting
+// memory (.space of 4 GiB, .align 31, ...).
+const (
+	maxSpace    = 16 << 20 // bytes per .space directive
+	maxAlignPow = 12       // .align up to 4 KiB boundaries
+)
+
+// Assemble translates MIPS assembly source into a Program. The supported
+// syntax covers labels, the directives .text/.data/.word/.half/.byte/
+// .space/.asciiz/.align/.globl, the MIPS-I integer instruction set, and
+// the common pseudo-instructions (li, la, move, nop, b, beqz, bnez, blt,
+// bgt, ble, bge, neg, not, mul).
+func Assemble(src string) (*Program, error) {
+	a := &assembler{
+		symbols: make(map[string]uint32),
+		text:    newImage(DefaultTextBase),
+		data:    newImage(DefaultDataBase),
+	}
+	if err := a.run(src); err != nil {
+		return nil, err
+	}
+	prog := &Program{Entry: a.entry(), Symbols: a.symbols}
+	if len(a.text.bytes) > 0 {
+		prog.Segments = append(prog.Segments, Segment{Base: a.text.base, Bytes: a.text.bytes})
+	}
+	if len(a.data.bytes) > 0 {
+		prog.Segments = append(prog.Segments, Segment{Base: a.data.base, Bytes: a.data.bytes})
+	}
+	return prog, nil
+}
+
+// MustAssemble is Assemble panicking on error, for the bundled programs.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type image struct {
+	base  uint32
+	bytes []byte
+}
+
+func newImage(base uint32) *image { return &image{base: base} }
+
+func (im *image) pc() uint32 { return im.base + uint32(len(im.bytes)) }
+
+func (im *image) emitWord(w uint32) {
+	im.bytes = append(im.bytes, byte(w>>24), byte(w>>16), byte(w>>8), byte(w))
+}
+
+func (im *image) emitHalf(h uint16) {
+	im.bytes = append(im.bytes, byte(h>>8), byte(h))
+}
+
+func (im *image) alignTo(n int) {
+	for len(im.bytes)%n != 0 {
+		im.bytes = append(im.bytes, 0)
+	}
+}
+
+type assembler struct {
+	symbols map[string]uint32
+	text    *image
+	data    *image
+}
+
+func (a *assembler) entry() uint32 {
+	if e, ok := a.symbols["main"]; ok {
+		return e
+	}
+	return a.text.base
+}
+
+// statement is one parsed source line element retained for pass 2.
+type statement struct {
+	line    int
+	label   string
+	mnem    string
+	ops     []string
+	raw     string
+	addr    uint32 // filled in pass 1 (for instructions)
+	inText  bool
+	nwords  int // instruction words this statement expands to
+	isInstr bool
+}
+
+func (a *assembler) run(src string) error {
+	stmts, err := a.parse(src)
+	if err != nil {
+		return err
+	}
+	if err := a.pass1(stmts); err != nil {
+		return err
+	}
+	return a.pass2(stmts)
+}
+
+func (a *assembler) parse(src string) ([]*statement, error) {
+	var stmts []*statement
+	for i, line := range strings.Split(src, "\n") {
+		lineNo := i + 1
+		line = stripComment(line)
+		line = strings.TrimSpace(strings.ReplaceAll(line, "\t", " "))
+		for line != "" {
+			// Peel off any leading labels.
+			if idx := strings.IndexByte(line, ':'); idx >= 0 && isLabelName(strings.TrimSpace(line[:idx])) {
+				stmts = append(stmts, &statement{line: lineNo, label: strings.TrimSpace(line[:idx])})
+				line = strings.TrimSpace(line[idx+1:])
+				continue
+			}
+			break
+		}
+		if line == "" {
+			continue
+		}
+		mnem, rest, _ := strings.Cut(line, " ")
+		mnem = strings.ToLower(strings.TrimSpace(mnem))
+		st := &statement{line: lineNo, mnem: mnem, raw: line}
+		if rest = strings.TrimSpace(rest); rest != "" {
+			if mnem == ".asciiz" || mnem == ".ascii" {
+				st.ops = []string{rest}
+			} else {
+				for _, op := range strings.Split(rest, ",") {
+					st.ops = append(st.ops, strings.TrimSpace(op))
+				}
+			}
+		}
+		stmts = append(stmts, st)
+	}
+	return stmts, nil
+}
+
+// stripComment removes a '#' comment, ignoring '#' inside string literals.
+func stripComment(line string) string {
+	inStr := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			inStr = !inStr
+		case '\\':
+			if inStr {
+				i++ // skip the escaped character
+			}
+		case '#':
+			if !inStr {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+func isLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r == '_' || r == '.':
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// instrSize returns how many machine words a (pseudo-)instruction expands
+// to; needed for label resolution in pass 1.
+func (a *assembler) instrSize(st *statement) (int, error) {
+	switch st.mnem {
+	case "li":
+		if len(st.ops) != 2 {
+			return 0, a.errf(st, "li needs 2 operands")
+		}
+		v, err := parseImm32(st.ops[1])
+		if err != nil {
+			return 0, a.errf(st, "li immediate: %v", err)
+		}
+		if int64(int16(v)) == int64(int32(v)) || v&0xFFFF0000 == 0 {
+			return 1, nil
+		}
+		if v&0xFFFF == 0 {
+			return 1, nil // lui alone
+		}
+		return 2, nil
+	case "la", "mul", "rem", "blt", "bgt", "ble", "bge", "bltu", "bgeu":
+		return 2, nil
+	default:
+		return 1, nil
+	}
+}
+
+func (a *assembler) pass1(stmts []*statement) error {
+	cur := a.text
+	inText := true
+	for _, st := range stmts {
+		if st.label != "" {
+			if _, dup := a.symbols[st.label]; dup {
+				return fmt.Errorf("line %d: duplicate label %q", st.line, st.label)
+			}
+			a.symbols[st.label] = cur.pc()
+			continue
+		}
+		if strings.HasPrefix(st.mnem, ".") {
+			var err error
+			cur, inText, err = a.directiveSize(st, cur, inText)
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		if !inText {
+			return a.errf(st, "instruction outside .text")
+		}
+		n, err := a.instrSize(st)
+		if err != nil {
+			return err
+		}
+		st.addr = cur.pc()
+		st.inText = true
+		st.isInstr = true
+		st.nwords = n
+		for i := 0; i < n; i++ {
+			cur.emitWord(0) // placeholder, sized
+		}
+	}
+	// Reset images for pass 2 re-emission.
+	a.text.bytes = a.text.bytes[:0]
+	a.data.bytes = a.data.bytes[:0]
+	return nil
+}
+
+func (a *assembler) directiveSize(st *statement, cur *image, inText bool) (*image, bool, error) {
+	switch st.mnem {
+	case ".text":
+		if len(st.ops) == 1 {
+			v, err := parseImm32(st.ops[0])
+			if err != nil {
+				return cur, inText, a.errf(st, ".text base: %v", err)
+			}
+			if len(a.text.bytes) > 0 {
+				return cur, inText, a.errf(st, ".text base change after emission")
+			}
+			a.text.base = v
+		}
+		return a.text, true, nil
+	case ".data":
+		if len(st.ops) == 1 {
+			v, err := parseImm32(st.ops[0])
+			if err != nil {
+				return cur, inText, a.errf(st, ".data base: %v", err)
+			}
+			if len(a.data.bytes) > 0 {
+				return cur, inText, a.errf(st, ".data base change after emission")
+			}
+			a.data.base = v
+		}
+		return a.data, false, nil
+	case ".globl", ".global", ".ent", ".end":
+		return cur, inText, nil
+	case ".word":
+		for range st.ops {
+			cur.emitWord(0)
+		}
+		return cur, inText, nil
+	case ".half":
+		for range st.ops {
+			cur.emitHalf(0)
+		}
+		return cur, inText, nil
+	case ".byte":
+		for range st.ops {
+			cur.bytes = append(cur.bytes, 0)
+		}
+		return cur, inText, nil
+	case ".space":
+		if len(st.ops) != 1 {
+			return cur, inText, a.errf(st, ".space needs a size")
+		}
+		n, err := parseImm32(st.ops[0])
+		if err != nil {
+			return cur, inText, a.errf(st, ".space size: %v", err)
+		}
+		if n > maxSpace {
+			return cur, inText, a.errf(st, ".space size %d exceeds the %d-byte segment limit", n, maxSpace)
+		}
+		cur.bytes = append(cur.bytes, make([]byte, n)...)
+		return cur, inText, nil
+	case ".align":
+		if len(st.ops) != 1 {
+			return cur, inText, a.errf(st, ".align needs a power")
+		}
+		p, err := parseImm32(st.ops[0])
+		if err != nil || p > maxAlignPow {
+			return cur, inText, a.errf(st, "bad .align power %q (max %d)", st.ops[0], maxAlignPow)
+		}
+		cur.alignTo(1 << p)
+		return cur, inText, nil
+	case ".asciiz", ".ascii":
+		s, err := parseString(st.ops[0])
+		if err != nil {
+			return cur, inText, a.errf(st, "%v", err)
+		}
+		cur.bytes = append(cur.bytes, s...)
+		if st.mnem == ".asciiz" {
+			cur.bytes = append(cur.bytes, 0)
+		}
+		return cur, inText, nil
+	default:
+		return cur, inText, a.errf(st, "unknown directive %s", st.mnem)
+	}
+}
+
+func (a *assembler) pass2(stmts []*statement) error {
+	cur := a.text
+	inText := true
+	for _, st := range stmts {
+		if st.label != "" {
+			continue
+		}
+		if strings.HasPrefix(st.mnem, ".") {
+			var err error
+			cur, inText, err = a.directiveEmit(st, cur, inText)
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		words, err := a.encode(st)
+		if err != nil {
+			return err
+		}
+		if len(words) != st.nwords {
+			return a.errf(st, "internal: sized %d words, emitted %d", st.nwords, len(words))
+		}
+		for _, w := range words {
+			cur.emitWord(w)
+		}
+	}
+	return nil
+}
+
+func (a *assembler) directiveEmit(st *statement, cur *image, inText bool) (*image, bool, error) {
+	switch st.mnem {
+	case ".text":
+		return a.text, true, nil
+	case ".data":
+		return a.data, false, nil
+	case ".globl", ".global", ".ent", ".end":
+		return cur, inText, nil
+	case ".word":
+		for _, op := range st.ops {
+			v, err := a.value(op)
+			if err != nil {
+				return cur, inText, a.errf(st, ".word: %v", err)
+			}
+			cur.emitWord(v)
+		}
+		return cur, inText, nil
+	case ".half":
+		for _, op := range st.ops {
+			v, err := a.value(op)
+			if err != nil {
+				return cur, inText, a.errf(st, ".half: %v", err)
+			}
+			cur.emitHalf(uint16(v))
+		}
+		return cur, inText, nil
+	case ".byte":
+		for _, op := range st.ops {
+			v, err := a.value(op)
+			if err != nil {
+				return cur, inText, a.errf(st, ".byte: %v", err)
+			}
+			cur.bytes = append(cur.bytes, byte(v))
+		}
+		return cur, inText, nil
+	case ".space":
+		n, _ := parseImm32(st.ops[0]) // validated in pass 1
+		cur.bytes = append(cur.bytes, make([]byte, n)...)
+		return cur, inText, nil
+	case ".align":
+		p, _ := parseImm32(st.ops[0])
+		cur.alignTo(1 << p)
+		return cur, inText, nil
+	case ".asciiz", ".ascii":
+		s, _ := parseString(st.ops[0])
+		cur.bytes = append(cur.bytes, s...)
+		if st.mnem == ".asciiz" {
+			cur.bytes = append(cur.bytes, 0)
+		}
+		return cur, inText, nil
+	}
+	return cur, inText, a.errf(st, "unknown directive %s", st.mnem)
+}
+
+func (a *assembler) errf(st *statement, format string, args ...interface{}) error {
+	return fmt.Errorf("line %d (%s): %s", st.line, st.raw, fmt.Sprintf(format, args...))
+}
+
+// value resolves an operand that may be a numeric literal or a label.
+func (a *assembler) value(op string) (uint32, error) {
+	if v, err := parseImm32(op); err == nil {
+		return v, nil
+	}
+	if v, ok := a.symbols[op]; ok {
+		return v, nil
+	}
+	return 0, fmt.Errorf("cannot resolve %q", op)
+}
+
+func parseImm32(s string) (uint32, error) {
+	s = strings.TrimSpace(s)
+	if len(s) >= 3 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		body, err := strconv.Unquote(s)
+		if err != nil || len(body) != 1 {
+			return 0, fmt.Errorf("bad char literal %q", s)
+		}
+		return uint32(body[0]), nil
+	}
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	v, err := strconv.ParseUint(s, 0, 32)
+	if err != nil {
+		return 0, err
+	}
+	if neg {
+		return uint32(-int32(uint32(v))), nil
+	}
+	return uint32(v), nil
+}
+
+func parseString(s string) ([]byte, error) {
+	s = strings.TrimSpace(s)
+	unq, err := strconv.Unquote(s)
+	if err != nil {
+		return nil, fmt.Errorf("bad string literal %s: %v", s, err)
+	}
+	return []byte(unq), nil
+}

@@ -1,0 +1,198 @@
+package mips
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAssembleBasicRTypes(t *testing.T) {
+	p, err := Assemble(`
+        .text
+main:   add  $t0, $t1, $t2
+        subu $s0, $s1, $s2
+        and  $a0, $a1, $a2
+        sll  $t0, $t1, 4
+        srav $t0, $t1, $t2
+        jr   $ra
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := p.Segments[0].Bytes
+	get := func(i int) uint32 {
+		return uint32(words[i*4])<<24 | uint32(words[i*4+1])<<16 | uint32(words[i*4+2])<<8 | uint32(words[i*4+3])
+	}
+	// add $t0,$t1,$t2: rs=9 rt=10 rd=8 fn=0x20
+	if w := get(0); w != 9<<21|10<<16|8<<11|0x20 {
+		t.Errorf("add encoded %#08x", w)
+	}
+	// sll $t0,$t1,4: rt=9 rd=8 sh=4 fn=0
+	if w := get(3); w != 9<<16|8<<11|4<<6 {
+		t.Errorf("sll encoded %#08x", w)
+	}
+	if w := get(5); w != 31<<21|0x08 {
+		t.Errorf("jr encoded %#08x", w)
+	}
+}
+
+func TestAssembleBranchesAndLabels(t *testing.T) {
+	p, err := Assemble(`
+        .text
+main:   beq $t0, $t1, done
+        nop
+done:   nop
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := uint32(p.Segments[0].Bytes[0])<<24 | uint32(p.Segments[0].Bytes[1])<<16 |
+		uint32(p.Segments[0].Bytes[2])<<8 | uint32(p.Segments[0].Bytes[3])
+	// Offset from pc+4 (=main+4) to done (=main+8) is 1 word.
+	if imm(w) != 1 {
+		t.Errorf("branch offset = %d, want 1", imm(w))
+	}
+	if p.Symbols["done"] != DefaultTextBase+8 {
+		t.Errorf("done = %#x", p.Symbols["done"])
+	}
+}
+
+func TestAssembleDataDirectives(t *testing.T) {
+	p, err := Assemble(`
+        .data
+vals:   .word 1, 2, 0x10
+half:   .half 0xBEEF
+bytes:  .byte 1, 2, 3
+        .align 2
+str:    .asciiz "hi"
+buf:    .space 8
+end:    .word 0xDEADBEEF
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Segments) != 1 {
+		t.Fatalf("segments: %d", len(p.Segments))
+	}
+	seg := p.Segments[0]
+	if seg.Base != DefaultDataBase {
+		t.Errorf("data base = %#x", seg.Base)
+	}
+	if p.Symbols["vals"] != DefaultDataBase || p.Symbols["half"] != DefaultDataBase+12 {
+		t.Errorf("symbols: %#x %#x", p.Symbols["vals"], p.Symbols["half"])
+	}
+	// .align 2 pads 14+3=17 bytes to 20.
+	if p.Symbols["str"] != DefaultDataBase+20 {
+		t.Errorf("str = %#x", p.Symbols["str"])
+	}
+	if p.Symbols["buf"] != DefaultDataBase+23 {
+		t.Errorf("buf = %#x", p.Symbols["buf"])
+	}
+	if seg.Bytes[0] != 0 || seg.Bytes[3] != 1 {
+		t.Errorf("first word bytes: %v", seg.Bytes[:4])
+	}
+	if string(seg.Bytes[20:23]) != "hi\x00" {
+		t.Errorf("asciiz bytes: %q", seg.Bytes[20:23])
+	}
+}
+
+func TestAssemblePseudoInstructions(t *testing.T) {
+	p, err := Assemble(`
+        .text
+main:   li  $t0, 7
+        li  $t1, 0x12345678
+        li  $t2, 0x00010000
+        la  $t3, main
+        move $t4, $t0
+        blt $t0, $t1, main
+        nop
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sizes: 1 + 2 + 1 + 2 + 1 + 2 + 1 = 10 words.
+	if got := len(p.Segments[0].Bytes); got != 40 {
+		t.Errorf("text size = %d bytes, want 40", got)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"bogus $t0, $t1",           // unknown mnemonic
+		"add $t0, $t1",             // wrong arity
+		"addi $t0, $t1, 0x20000",   // immediate too large
+		"lw $t0, 8",                // bare absolute addresses are fine...
+		"main: nop\nmain: nop",     // duplicate label
+		".word nope",               // unresolvable
+		"sw $t0, 0x20000($t1)",     // offset out of range
+		".data\nadd $t0, $t1, $t2", // instruction in .data
+	}
+	for i, src := range cases {
+		_, err := Assemble(".text\n" + src)
+		if i == 3 {
+			if err != nil {
+				t.Errorf("case %d should assemble (absolute small address): %v", i, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("case %d (%q) assembled, want error", i, src)
+		}
+	}
+}
+
+func TestAssembleCommentsAndStrings(t *testing.T) {
+	p, err := Assemble(`
+        .data
+s:      .asciiz "a#b"   # the hash inside the string stays
+        .text
+main:   nop             # trailing comment
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var data []byte
+	for _, seg := range p.Segments {
+		if seg.Base == DefaultDataBase {
+			data = seg.Bytes
+		}
+	}
+	if string(data) != "a#b\x00" {
+		t.Errorf("string bytes: %q", data)
+	}
+}
+
+func TestDisassembleRoundTripish(t *testing.T) {
+	src := `
+        .text
+main:   addiu $sp, $sp, -16
+        lw    $t0, 4($sp)
+        sw    $t0, 8($sp)
+        lui   $t1, 0x1000
+        beq   $t0, $t1, main
+        j     main
+        syscall
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := p.Segments[0].Bytes
+	wantPrefixes := []string{"addiu", "lw", "sw", "lui", "beq", "j", "syscall"}
+	for i, want := range wantPrefixes {
+		w := uint32(b[i*4])<<24 | uint32(b[i*4+1])<<16 | uint32(b[i*4+2])<<8 | uint32(b[i*4+3])
+		got := Disassemble(DefaultTextBase+uint32(i*4), w)
+		if !strings.HasPrefix(got, want) {
+			t.Errorf("word %d: disassembled %q, want prefix %q", i, got, want)
+		}
+	}
+}
+
+func TestProgramSymbolLookup(t *testing.T) {
+	p := MustAssemble(".text\nmain: nop\n")
+	if _, err := p.Symbol("main"); err != nil {
+		t.Error(err)
+	}
+	if _, err := p.Symbol("nope"); err == nil {
+		t.Error("undefined symbol resolved")
+	}
+}

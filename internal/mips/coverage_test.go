@@ -1,0 +1,249 @@
+package mips
+
+import "testing"
+
+// TestOpcodeCoverage exercises every remaining instruction and pseudo
+// through execution, checking architectural results.
+func TestOpcodeCoverage(t *testing.T) {
+	c := runSrc(t, `
+        .text
+main:
+        li    $t0, 0xF0
+        li    $t1, 4
+        sllv  $t2, $t0, $t1      # 0xF00
+        srlv  $t3, $t2, $t1      # 0xF0
+        li    $t4, -16
+        srav  $t5, $t4, $t1      # -1
+        mthi  $t0
+        mfhi  $t6                # 0xF0
+        mtlo  $t1
+        mflo  $t7                # 4
+        andi  $s0, $t0, 0x30     # 0x30
+        ori   $s1, $t0, 0x0F     # 0xFF
+        xori  $s2, $t0, 0xFF     # 0x0F
+        slti  $s3, $t4, 0        # 1
+        sltiu $s4, $t4, 0        # 0 (unsigned -16 is huge)
+        not   $s5, $zero         # 0xFFFFFFFF
+        neg   $s6, $t1           # -4
+        rem   $s7, $t2, $t1      # 0xF00 % 4 = 0
+        li    $v0, 10
+        syscall
+`, 200)
+	checks := []struct {
+		reg  int
+		want uint32
+	}{
+		{RegT2, 0xF00}, {RegT3, 0xF0}, {RegT5, 0xFFFFFFFF},
+		{RegT6, 0xF0}, {RegT7, 4},
+		{RegS0, 0x30}, {RegS1, 0xFF}, {RegS2, 0x0F},
+		{RegS3, 1}, {RegS4, 0},
+		{RegS5, 0xFFFFFFFF}, {RegS6, 0xFFFFFFFC}, {RegS7, 0},
+	}
+	for _, ch := range checks {
+		if c.Regs[ch.reg] != ch.want {
+			t.Errorf("%s = %#x, want %#x", RegName(ch.reg), c.Regs[ch.reg], ch.want)
+		}
+	}
+}
+
+func TestBranchVariants(t *testing.T) {
+	c := runSrc(t, `
+        .text
+main:
+        li    $t0, -3
+        li    $t1, 3
+        li    $s0, 0
+        bltz  $t0, a            # taken
+        li    $s0, 1
+a:      bgez  $t1, b            # taken
+        li    $s0, 2
+b:      blez  $zero, c          # taken (== 0)
+        li    $s0, 3
+c:      bgtz  $t1, d            # taken
+        li    $s0, 4
+d:      beqz  $zero, e          # taken
+        li    $s0, 5
+e:      bnez  $t1, f            # taken
+        li    $s0, 6
+f:      bltu  $t1, $t0, g       # taken: 3 < 0xFFFFFFFD unsigned
+        li    $s0, 7
+g:      bgeu  $t0, $t1, h       # taken
+        li    $s0, 8
+h:      ble   $t0, $t1, i       # taken signed
+        li    $s0, 9
+i:      bgt   $t1, $t0, done    # taken signed
+        li    $s0, 10
+done:   b     exit
+        li    $s0, 11
+exit:   li    $v0, 10
+        syscall
+`, 200)
+	if c.Regs[RegS0] != 0 {
+		t.Errorf("a branch fell through: marker = %d", c.Regs[RegS0])
+	}
+}
+
+func TestJalrVariants(t *testing.T) {
+	c := runSrc(t, `
+        .text
+main:
+        la    $t0, fn
+        jalr  $t0               # $ra form
+        move  $s0, $v0
+        la    $t1, fn2
+        jalr  $t2, $t1          # explicit link register
+        move  $s1, $v0
+        li    $v0, 10
+        syscall
+fn:     li    $v0, 7
+        jr    $ra
+fn2:    li    $v0, 9
+        jr    $t2
+`, 200)
+	if c.Regs[RegS0] != 7 || c.Regs[RegS1] != 9 {
+		t.Errorf("jalr results: %d %d", c.Regs[RegS0], c.Regs[RegS1])
+	}
+}
+
+func TestBreakHalts(t *testing.T) {
+	c := runSrc(t, ".text\nmain: li $t0, 5\n break\n li $t0, 9\n", 100)
+	if c.Regs[RegT0] != 5 {
+		t.Error("break did not halt before the next instruction")
+	}
+}
+
+func TestLuiAndLiVariants(t *testing.T) {
+	c := runSrc(t, `
+        .text
+main:
+        lui  $t0, 0x1234        # 0x12340000
+        li   $t1, 0x00010000    # single lui
+        li   $t2, 0xFFFF        # single ori
+        li   $t3, -1            # addiu sign-extends
+        li   $t4, 0x12345678    # lui+ori
+        li   $v0, 10
+        syscall
+`, 100)
+	want := map[int]uint32{
+		RegT0: 0x12340000, RegT1: 0x00010000, RegT2: 0xFFFF,
+		RegT3: 0xFFFFFFFF, RegT4: 0x12345678,
+	}
+	for reg, w := range want {
+		if c.Regs[reg] != w {
+			t.Errorf("%s = %#x, want %#x", RegName(reg), c.Regs[reg], w)
+		}
+	}
+}
+
+func TestNumericRegisterNames(t *testing.T) {
+	c := runSrc(t, ".text\nmain: li $8, 42\n li $v0, 10\n syscall\n", 100)
+	if c.Regs[RegT0] != 42 {
+		t.Error("numeric register name $8 not honoured")
+	}
+}
+
+func TestDirectiveLimits(t *testing.T) {
+	if _, err := Assemble(".data\nbig: .space 0x40000000\n"); err == nil {
+		t.Error(".space of 1 GiB accepted")
+	}
+	if _, err := Assemble(".data\n.align 30\n"); err == nil {
+		t.Error(".align 30 accepted")
+	}
+	if _, err := Assemble(".data\nok: .space 64\n.align 3\nw: .word 1\n"); err != nil {
+		t.Errorf("reasonable directives rejected: %v", err)
+	}
+}
+
+func TestDisassembleAllEncodedForms(t *testing.T) {
+	// Assemble a program touching every mnemonic family and check the
+	// disassembler names each word with the right mnemonic.
+	src := `
+        .text
+main:   add $t0, $t1, $t2
+        sub $t0, $t1, $t2
+        and $t0, $t1, $t2
+        or $t0, $t1, $t2
+        xor $t0, $t1, $t2
+        nor $t0, $t1, $t2
+        slt $t0, $t1, $t2
+        sltu $t0, $t1, $t2
+        addu $t0, $t1, $t2
+        subu $t0, $t1, $t2
+        sll $t0, $t1, 3
+        srl $t0, $t1, 3
+        sra $t0, $t1, 3
+        sllv $t0, $t1, $t2
+        srlv $t0, $t1, $t2
+        srav $t0, $t1, $t2
+        mult $t1, $t2
+        multu $t1, $t2
+        div $t1, $t2
+        divu $t1, $t2
+        mfhi $t0
+        mflo $t0
+        mthi $t0
+        mtlo $t0
+        jr $ra
+        jalr $t0
+        syscall
+        break
+        addi $t0, $t1, -5
+        addiu $t0, $t1, 5
+        slti $t0, $t1, 5
+        sltiu $t0, $t1, 5
+        andi $t0, $t1, 5
+        ori $t0, $t1, 5
+        xori $t0, $t1, 5
+        lui $t0, 5
+        lb $t0, 1($t1)
+        lbu $t0, 1($t1)
+        lh $t0, 2($t1)
+        lhu $t0, 2($t1)
+        lw $t0, 4($t1)
+        sb $t0, 1($t1)
+        sh $t0, 2($t1)
+        sw $t0, 4($t1)
+        beq $t0, $t1, main
+        bne $t0, $t1, main
+        blez $t0, main
+        bgtz $t0, main
+        bltz $t0, main
+        bgez $t0, main
+        j main
+        jal main
+`
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMnems := []string{
+		"add", "sub", "and", "or", "xor", "nor", "slt", "sltu", "addu", "subu",
+		"sll", "srl", "sra", "sllv", "srlv", "srav",
+		"mult", "multu", "div", "divu", "mfhi", "mflo", "mthi", "mtlo",
+		"jr", "jalr", "syscall", "break",
+		"addi", "addiu", "slti", "sltiu", "andi", "ori", "xori", "lui",
+		"lb", "lbu", "lh", "lhu", "lw", "sb", "sh", "sw",
+		"beq", "bne", "blez", "bgtz", "bltz", "bgez", "j", "jal",
+	}
+	bytes := p.Segments[0].Bytes
+	for i, want := range wantMnems {
+		w := uint32(bytes[i*4])<<24 | uint32(bytes[i*4+1])<<16 | uint32(bytes[i*4+2])<<8 | uint32(bytes[i*4+3])
+		got := Disassemble(DefaultTextBase+uint32(i*4), w)
+		mnem := got
+		if idx := indexByte(got, ' '); idx > 0 {
+			mnem = got[:idx]
+		}
+		if mnem != want {
+			t.Errorf("word %d: disassembled as %q, want mnemonic %q", i, got, want)
+		}
+	}
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}

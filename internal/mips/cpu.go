@@ -1,0 +1,363 @@
+package mips
+
+import (
+	"fmt"
+	"strings"
+
+	"busenc/internal/trace"
+)
+
+// BusProbe observes the address bus of a running CPU: one call per bus
+// cycle, in true bus order (the fetch of an instruction precedes the data
+// access it performs).
+type BusProbe func(addr uint32, kind trace.Kind)
+
+// CPU is a MIPS-I subset simulator.
+type CPU struct {
+	PC   uint32
+	Regs [32]uint32
+	HI   uint32
+	LO   uint32
+	Mem  *Memory
+
+	// Probe, when set, observes every address bus cycle.
+	Probe BusProbe
+	// Output accumulates bytes written via the print syscalls.
+	Output strings.Builder
+
+	halted bool
+	cycles int64
+}
+
+// NewCPU returns a CPU loaded with the program, SP initialized below the
+// conventional stack top and PC at the program entry.
+func NewCPU(p *Program) *CPU {
+	c := &CPU{Mem: NewMemory(), PC: p.Entry}
+	for _, seg := range p.Segments {
+		c.Mem.LoadBytes(seg.Base, seg.Bytes)
+	}
+	c.Regs[RegSP] = DefaultStackTop
+	c.Regs[RegRA] = haltAddress
+	return c
+}
+
+// haltAddress is a sentinel return address: returning to it halts the CPU,
+// so a bare "jr $ra" from main terminates cleanly.
+const haltAddress = 0xFFFFFFF0
+
+// Halted reports whether the CPU has stopped (exit syscall, break, or
+// return from main).
+func (c *CPU) Halted() bool { return c.halted }
+
+// Cycles returns the number of instructions executed.
+func (c *CPU) Cycles() int64 { return c.cycles }
+
+func (c *CPU) probe(addr uint32, kind trace.Kind) {
+	if c.Probe != nil {
+		c.Probe(addr, kind)
+	}
+}
+
+// ErrRuntime wraps simulator-detected program faults.
+type ErrRuntime struct {
+	PC     uint32
+	Cycle  int64
+	Reason string
+}
+
+func (e *ErrRuntime) Error() string {
+	return fmt.Sprintf("mips: runtime fault at pc=%#x cycle=%d: %s", e.PC, e.Cycle, e.Reason)
+}
+
+func (c *CPU) fault(reason string, args ...interface{}) error {
+	return &ErrRuntime{PC: c.PC, Cycle: c.cycles, Reason: fmt.Sprintf(reason, args...)}
+}
+
+// Step executes one instruction. It returns an error on faults (bad
+// opcode, unaligned access, division by zero).
+func (c *CPU) Step() error {
+	if c.halted {
+		return nil
+	}
+	if c.PC == haltAddress {
+		c.halted = true
+		return nil
+	}
+	if c.PC%4 != 0 {
+		return c.fault("unaligned pc")
+	}
+	c.probe(c.PC, trace.Instr)
+	w := c.Mem.ReadWord(c.PC)
+	next := c.PC + 4
+	c.cycles++
+
+	r := &c.Regs
+	switch opcode(w) {
+	case opSPECIAL:
+		switch funct(w) {
+		case fnSLL:
+			r[rd(w)] = r[rt(w)] << shamt(w)
+		case fnSRL:
+			r[rd(w)] = r[rt(w)] >> shamt(w)
+		case fnSRA:
+			r[rd(w)] = uint32(int32(r[rt(w)]) >> shamt(w))
+		case fnSLLV:
+			r[rd(w)] = r[rt(w)] << (r[rs(w)] & 31)
+		case fnSRLV:
+			r[rd(w)] = r[rt(w)] >> (r[rs(w)] & 31)
+		case fnSRAV:
+			r[rd(w)] = uint32(int32(r[rt(w)]) >> (r[rs(w)] & 31))
+		case fnJR:
+			next = r[rs(w)]
+		case fnJALR:
+			r[rd(w)] = c.PC + 4
+			next = r[rs(w)]
+		case fnSYSCALL:
+			if err := c.syscall(); err != nil {
+				return err
+			}
+		case fnBREAK:
+			c.halted = true
+		case fnMFHI:
+			r[rd(w)] = c.HI
+		case fnMTHI:
+			c.HI = r[rs(w)]
+		case fnMFLO:
+			r[rd(w)] = c.LO
+		case fnMTLO:
+			c.LO = r[rs(w)]
+		case fnMULT:
+			p := int64(int32(r[rs(w)])) * int64(int32(r[rt(w)]))
+			c.HI, c.LO = uint32(uint64(p)>>32), uint32(uint64(p))
+		case fnMULTU:
+			p := uint64(r[rs(w)]) * uint64(r[rt(w)])
+			c.HI, c.LO = uint32(p>>32), uint32(p)
+		case fnDIV:
+			d := int32(r[rt(w)])
+			if d == 0 {
+				return c.fault("integer division by zero")
+			}
+			n := int32(r[rs(w)])
+			c.LO, c.HI = uint32(n/d), uint32(n%d)
+		case fnDIVU:
+			d := r[rt(w)]
+			if d == 0 {
+				return c.fault("integer division by zero")
+			}
+			c.LO, c.HI = r[rs(w)]/d, r[rs(w)]%d
+		case fnADD:
+			// Overflow traps are not modeled; behaves as ADDU.
+			r[rd(w)] = r[rs(w)] + r[rt(w)]
+		case fnADDU:
+			r[rd(w)] = r[rs(w)] + r[rt(w)]
+		case fnSUB:
+			r[rd(w)] = r[rs(w)] - r[rt(w)]
+		case fnSUBU:
+			r[rd(w)] = r[rs(w)] - r[rt(w)]
+		case fnAND:
+			r[rd(w)] = r[rs(w)] & r[rt(w)]
+		case fnOR:
+			r[rd(w)] = r[rs(w)] | r[rt(w)]
+		case fnXOR:
+			r[rd(w)] = r[rs(w)] ^ r[rt(w)]
+		case fnNOR:
+			r[rd(w)] = ^(r[rs(w)] | r[rt(w)])
+		case fnSLT:
+			r[rd(w)] = b2u(int32(r[rs(w)]) < int32(r[rt(w)]))
+		case fnSLTU:
+			r[rd(w)] = b2u(r[rs(w)] < r[rt(w)])
+		default:
+			return c.fault("unknown SPECIAL function %#x", funct(w))
+		}
+	case opREGIMM:
+		switch uint32(rt(w)) {
+		case rtBLTZ:
+			if int32(r[rs(w)]) < 0 {
+				next = c.branchTarget(w)
+			}
+		case rtBGEZ:
+			if int32(r[rs(w)]) >= 0 {
+				next = c.branchTarget(w)
+			}
+		default:
+			return c.fault("unknown REGIMM rt %#x", rt(w))
+		}
+	case opJ:
+		next = c.PC&0xF0000000 | target(w)<<2
+	case opJAL:
+		r[RegRA] = c.PC + 4
+		next = c.PC&0xF0000000 | target(w)<<2
+	case opBEQ:
+		if r[rs(w)] == r[rt(w)] {
+			next = c.branchTarget(w)
+		}
+	case opBNE:
+		if r[rs(w)] != r[rt(w)] {
+			next = c.branchTarget(w)
+		}
+	case opBLEZ:
+		if int32(r[rs(w)]) <= 0 {
+			next = c.branchTarget(w)
+		}
+	case opBGTZ:
+		if int32(r[rs(w)]) > 0 {
+			next = c.branchTarget(w)
+		}
+	case opADDI, opADDIU:
+		r[rt(w)] = r[rs(w)] + uint32(simm(w))
+	case opSLTI:
+		r[rt(w)] = b2u(int32(r[rs(w)]) < simm(w))
+	case opSLTIU:
+		r[rt(w)] = b2u(r[rs(w)] < uint32(simm(w)))
+	case opANDI:
+		r[rt(w)] = r[rs(w)] & imm(w)
+	case opORI:
+		r[rt(w)] = r[rs(w)] | imm(w)
+	case opXORI:
+		r[rt(w)] = r[rs(w)] ^ imm(w)
+	case opLUI:
+		r[rt(w)] = imm(w) << 16
+	case opLB:
+		a := r[rs(w)] + uint32(simm(w))
+		c.probe(a, trace.DataRead)
+		r[rt(w)] = uint32(int32(int8(c.Mem.LoadByte(a))))
+	case opLBU:
+		a := r[rs(w)] + uint32(simm(w))
+		c.probe(a, trace.DataRead)
+		r[rt(w)] = uint32(c.Mem.LoadByte(a))
+	case opLH:
+		a := r[rs(w)] + uint32(simm(w))
+		if a%2 != 0 {
+			return c.fault("unaligned halfword load at %#x", a)
+		}
+		c.probe(a, trace.DataRead)
+		r[rt(w)] = uint32(int32(int16(c.Mem.ReadHalf(a))))
+	case opLHU:
+		a := r[rs(w)] + uint32(simm(w))
+		if a%2 != 0 {
+			return c.fault("unaligned halfword load at %#x", a)
+		}
+		c.probe(a, trace.DataRead)
+		r[rt(w)] = uint32(c.Mem.ReadHalf(a))
+	case opLW:
+		a := r[rs(w)] + uint32(simm(w))
+		if a%4 != 0 {
+			return c.fault("unaligned word load at %#x", a)
+		}
+		c.probe(a, trace.DataRead)
+		r[rt(w)] = c.Mem.ReadWord(a)
+	case opSB:
+		a := r[rs(w)] + uint32(simm(w))
+		c.probe(a, trace.DataWrite)
+		c.Mem.StoreByte(a, byte(r[rt(w)]))
+	case opSH:
+		a := r[rs(w)] + uint32(simm(w))
+		if a%2 != 0 {
+			return c.fault("unaligned halfword store at %#x", a)
+		}
+		c.probe(a, trace.DataWrite)
+		c.Mem.WriteHalf(a, uint16(r[rt(w)]))
+	case opSW:
+		a := r[rs(w)] + uint32(simm(w))
+		if a%4 != 0 {
+			return c.fault("unaligned word store at %#x", a)
+		}
+		c.probe(a, trace.DataWrite)
+		c.Mem.WriteWord(a, r[rt(w)])
+	default:
+		return c.fault("unknown opcode %#x (word %#08x)", opcode(w), w)
+	}
+	r[RegZero] = 0 // $zero is hardwired
+	if !c.halted {
+		c.PC = next
+	}
+	return nil
+}
+
+func (c *CPU) branchTarget(w uint32) uint32 {
+	return c.PC + 4 + uint32(simm(w))<<2
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Syscall numbers follow the SPIM convention.
+const (
+	SysPrintInt    = 1
+	SysPrintString = 4
+	SysExit        = 10
+	SysPrintChar   = 11
+)
+
+func (c *CPU) syscall() error {
+	switch c.Regs[RegV0] {
+	case SysPrintInt:
+		fmt.Fprintf(&c.Output, "%d", int32(c.Regs[RegA0]))
+	case SysPrintString:
+		a := c.Regs[RegA0]
+		for i := 0; ; i++ {
+			if i > 1<<20 {
+				return c.fault("unterminated string passed to print")
+			}
+			c.probe(a, trace.DataRead)
+			b := c.Mem.LoadByte(a)
+			if b == 0 {
+				break
+			}
+			c.Output.WriteByte(b)
+			a++
+		}
+	case SysExit:
+		c.halted = true
+	case SysPrintChar:
+		c.Output.WriteByte(byte(c.Regs[RegA0]))
+	default:
+		return c.fault("unknown syscall %d", c.Regs[RegV0])
+	}
+	return nil
+}
+
+// RunStats summarizes a completed simulation.
+type RunStats struct {
+	Cycles     int64
+	InstrRefs  int64
+	DataReads  int64
+	DataWrites int64
+	Output     string
+}
+
+// Run executes the program until it halts or maxCycles instructions have
+// been executed, recording the multiplexed address stream. It returns the
+// stream (name tagged with the given name), run statistics, and an error
+// if the program faulted or failed to halt in time.
+func Run(p *Program, name string, maxCycles int64) (*trace.Stream, RunStats, error) {
+	c := NewCPU(p)
+	s := trace.New(name, 32)
+	var stats RunStats
+	c.Probe = func(addr uint32, kind trace.Kind) {
+		s.Append(uint64(addr), kind)
+		switch kind {
+		case trace.Instr:
+			stats.InstrRefs++
+		case trace.DataRead:
+			stats.DataReads++
+		case trace.DataWrite:
+			stats.DataWrites++
+		}
+	}
+	for !c.Halted() {
+		if c.Cycles() >= maxCycles {
+			return s, stats, fmt.Errorf("mips: %s did not halt within %d cycles", name, maxCycles)
+		}
+		if err := c.Step(); err != nil {
+			return s, stats, err
+		}
+	}
+	stats.Cycles = c.Cycles()
+	stats.Output = c.Output.String()
+	return s, stats, nil
+}

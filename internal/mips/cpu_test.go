@@ -1,0 +1,316 @@
+package mips
+
+import (
+	"strings"
+	"testing"
+
+	"busenc/internal/trace"
+)
+
+// runSrc assembles and runs a program to completion, returning the CPU.
+func runSrc(t *testing.T, src string, maxCycles int64) *CPU {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCPU(p)
+	for !c.Halted() {
+		if c.Cycles() > maxCycles {
+			t.Fatalf("program did not halt in %d cycles (pc=%#x)", maxCycles, c.PC)
+		}
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestArithmeticAndHalt(t *testing.T) {
+	c := runSrc(t, `
+        .text
+main:   li   $t0, 21
+        add  $t1, $t0, $t0
+        li   $v0, 1
+        move $a0, $t1
+        syscall
+        li   $v0, 10
+        syscall
+`, 100)
+	if got := c.Output.String(); got != "42" {
+		t.Errorf("output = %q, want 42", got)
+	}
+}
+
+func TestLoadsStoresBigEndian(t *testing.T) {
+	c := runSrc(t, `
+        .data
+w:      .word 0x11223344
+        .text
+main:   la   $t0, w
+        lw   $t1, 0($t0)
+        lbu  $t2, 0($t0)
+        lbu  $t3, 3($t0)
+        lh   $t4, 2($t0)
+        sb   $t3, 4($t0)
+        sh   $t4, 6($t0)
+        li   $v0, 10
+        syscall
+`, 100)
+	if c.Regs[RegT1] != 0x11223344 {
+		t.Errorf("lw = %#x", c.Regs[RegT1])
+	}
+	if c.Regs[RegT2] != 0x11 {
+		t.Errorf("lbu[0] = %#x (big-endian expected)", c.Regs[RegT2])
+	}
+	if c.Regs[RegT3] != 0x44 {
+		t.Errorf("lbu[3] = %#x", c.Regs[RegT3])
+	}
+	if c.Regs[RegT4] != 0x3344 {
+		t.Errorf("lh = %#x", c.Regs[RegT4])
+	}
+}
+
+func TestSignExtensionLoads(t *testing.T) {
+	c := runSrc(t, `
+        .data
+b:      .byte 0xFF
+        .align 1
+h:      .half 0x8000
+        .text
+main:   la  $t0, b
+        lb  $t1, 0($t0)
+        lbu $t2, 0($t0)
+        la  $t0, h
+        lh  $t3, 0($t0)
+        lhu $t4, 0($t0)
+        li  $v0, 10
+        syscall
+`, 100)
+	if c.Regs[RegT1] != 0xFFFFFFFF {
+		t.Errorf("lb = %#x, want sign-extended", c.Regs[RegT1])
+	}
+	if c.Regs[RegT2] != 0xFF {
+		t.Errorf("lbu = %#x", c.Regs[RegT2])
+	}
+	if c.Regs[RegT3] != 0xFFFF8000 {
+		t.Errorf("lh = %#x", c.Regs[RegT3])
+	}
+	if c.Regs[RegT4] != 0x8000 {
+		t.Errorf("lhu = %#x", c.Regs[RegT4])
+	}
+}
+
+func TestBranchesAndLoop(t *testing.T) {
+	c := runSrc(t, `
+        .text
+main:   li   $t0, 0      # sum
+        li   $t1, 1      # i
+loop:   add  $t0, $t0, $t1
+        addiu $t1, $t1, 1
+        li   $t2, 11
+        bne  $t1, $t2, loop
+        li   $v0, 1
+        move $a0, $t0
+        syscall
+        li   $v0, 10
+        syscall
+`, 1000)
+	if got := c.Output.String(); got != "55" {
+		t.Errorf("sum 1..10 = %q, want 55", got)
+	}
+}
+
+func TestMultDivHiLo(t *testing.T) {
+	c := runSrc(t, `
+        .text
+main:   li   $t0, -6
+        li   $t1, 7
+        mult $t0, $t1
+        mflo $t2        # -42
+        li   $t3, 100
+        li   $t4, 30
+        div  $t3, $t4
+        mflo $t5        # 3
+        mfhi $t6        # 10
+        multu $t3, $t3
+        mflo $t7        # 10000
+        li   $v0, 10
+        syscall
+`, 100)
+	if int32(c.Regs[RegT2]) != -42 {
+		t.Errorf("mult = %d", int32(c.Regs[RegT2]))
+	}
+	if c.Regs[RegT5] != 3 || c.Regs[RegT6] != 10 {
+		t.Errorf("div = %d rem %d", c.Regs[RegT5], c.Regs[RegT6])
+	}
+	if c.Regs[RegT7] != 10000 {
+		t.Errorf("multu = %d", c.Regs[RegT7])
+	}
+}
+
+func TestSltAndPseudoBranches(t *testing.T) {
+	c := runSrc(t, `
+        .text
+main:   li   $t0, -5
+        li   $t1, 3
+        slt  $t2, $t0, $t1    # 1 (signed)
+        sltu $t3, $t0, $t1    # 0 (unsigned: big number)
+        li   $t4, 0
+        blt  $t0, $t1, took
+        li   $t4, 99
+took:   li   $v0, 10
+        syscall
+`, 100)
+	if c.Regs[RegT2] != 1 || c.Regs[RegT3] != 0 {
+		t.Errorf("slt=%d sltu=%d", c.Regs[RegT2], c.Regs[RegT3])
+	}
+	if c.Regs[RegT4] != 0 {
+		t.Error("blt not taken")
+	}
+}
+
+func TestJalAndFunctionCall(t *testing.T) {
+	c := runSrc(t, `
+        .text
+main:   li   $a0, 5
+        jal  double
+        move $t0, $v0
+        li   $v0, 10
+        syscall
+double: add  $v0, $a0, $a0
+        jr   $ra
+`, 100)
+	if c.Regs[RegT0] != 10 {
+		t.Errorf("double(5) = %d", c.Regs[RegT0])
+	}
+}
+
+func TestReturnFromMainHalts(t *testing.T) {
+	c := runSrc(t, `
+        .text
+main:   li  $t0, 1
+        jr  $ra
+`, 100)
+	if !c.Halted() {
+		t.Error("jr $ra from main did not halt")
+	}
+}
+
+func TestZeroRegisterHardwired(t *testing.T) {
+	c := runSrc(t, `
+        .text
+main:   li   $t0, 7
+        addu $zero, $t0, $t0
+        move $t1, $zero
+        li   $v0, 10
+        syscall
+`, 100)
+	if c.Regs[RegZero] != 0 || c.Regs[RegT1] != 0 {
+		t.Error("$zero was written")
+	}
+}
+
+func TestPrintStringSyscall(t *testing.T) {
+	c := runSrc(t, `
+        .data
+msg:    .asciiz "ok!"
+        .text
+main:   la  $a0, msg
+        li  $v0, 4
+        syscall
+        li  $v0, 10
+        syscall
+`, 100)
+	if got := c.Output.String(); got != "ok!" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func TestRuntimeFaults(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"div0", "main: li $t0, 1\n li $t1, 0\n div $t0, $t1", "division by zero"},
+		{"unaligned-lw", "main: li $t0, 2\n lw $t1, 0($t0)", "unaligned word load"},
+		{"unaligned-sh", "main: li $t0, 1\n sh $t1, 0($t0)", "unaligned halfword store"},
+		{"bad-syscall", "main: li $v0, 99\n syscall", "unknown syscall"},
+	}
+	for _, tc := range cases {
+		p, err := Assemble(".text\n" + tc.src)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		c := NewCPU(p)
+		var stepErr error
+		for !c.Halted() && stepErr == nil && c.Cycles() < 100 {
+			stepErr = c.Step()
+		}
+		if stepErr == nil || !strings.Contains(stepErr.Error(), tc.want) {
+			t.Errorf("%s: error = %v, want containing %q", tc.name, stepErr, tc.want)
+		}
+	}
+}
+
+func TestBusProbeOrderAndKinds(t *testing.T) {
+	p := MustAssemble(`
+        .data
+w:      .word 5
+        .text
+main:   la  $t0, w
+        lw  $t1, 0($t0)
+        sw  $t1, 4($t0)
+        li  $v0, 10
+        syscall
+`)
+	s, stats, err := Run(p, "probe", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DataReads != 1 || stats.DataWrites != 1 {
+		t.Errorf("reads=%d writes=%d", stats.DataReads, stats.DataWrites)
+	}
+	// The muxed stream must interleave: I I I(lw) R I(sw) W I I.
+	var kinds []trace.Kind
+	for _, e := range s.Entries {
+		kinds = append(kinds, e.Kind)
+	}
+	want := []trace.Kind{trace.Instr, trace.Instr, trace.Instr, trace.DataRead, trace.Instr, trace.DataWrite, trace.Instr, trace.Instr}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("cycle %d kind = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+	// Instruction fetches are sequential here.
+	if s.Entries[0].Addr != DefaultTextBase || s.Entries[1].Addr != DefaultTextBase+4 {
+		t.Errorf("fetch addresses: %#x %#x", s.Entries[0].Addr, s.Entries[1].Addr)
+	}
+	// The data read hits the data segment.
+	if s.Entries[3].Addr != DefaultDataBase {
+		t.Errorf("read address = %#x", s.Entries[3].Addr)
+	}
+}
+
+func TestRunTimeout(t *testing.T) {
+	p := MustAssemble(".text\nmain: j main\n")
+	if _, _, err := Run(p, "spin", 1000); err == nil {
+		t.Error("infinite loop did not report timeout")
+	}
+}
+
+func TestMemoryFootprintSparse(t *testing.T) {
+	m := NewMemory()
+	m.WriteWord(0x00400000, 1)
+	m.WriteWord(0x7FFF0000, 2)
+	if m.Footprint() != 2 {
+		t.Errorf("footprint = %d pages", m.Footprint())
+	}
+	if m.LoadByte(0x12345678) != 0 {
+		t.Error("untouched memory must read zero")
+	}
+}

@@ -1,0 +1,149 @@
+package mips
+
+import "fmt"
+
+// Disassemble renders one instruction word at the given pc as assembler
+// text. Unknown encodings render as ".word 0x...".
+func Disassemble(pc, w uint32) string {
+	switch opcode(w) {
+	case opSPECIAL:
+		return disSpecial(w)
+	case opREGIMM:
+		off := pc + 4 + uint32(simm(w))<<2
+		switch uint32(rt(w)) {
+		case rtBLTZ:
+			return fmt.Sprintf("bltz %s, 0x%x", RegName(rs(w)), off)
+		case rtBGEZ:
+			return fmt.Sprintf("bgez %s, 0x%x", RegName(rs(w)), off)
+		}
+	case opJ:
+		return fmt.Sprintf("j 0x%x", pc&0xF0000000|target(w)<<2)
+	case opJAL:
+		return fmt.Sprintf("jal 0x%x", pc&0xF0000000|target(w)<<2)
+	case opBEQ:
+		if rs(w) == 0 && rt(w) == 0 {
+			return fmt.Sprintf("b 0x%x", pc+4+uint32(simm(w))<<2)
+		}
+		return fmt.Sprintf("beq %s, %s, 0x%x", RegName(rs(w)), RegName(rt(w)), pc+4+uint32(simm(w))<<2)
+	case opBNE:
+		return fmt.Sprintf("bne %s, %s, 0x%x", RegName(rs(w)), RegName(rt(w)), pc+4+uint32(simm(w))<<2)
+	case opBLEZ:
+		return fmt.Sprintf("blez %s, 0x%x", RegName(rs(w)), pc+4+uint32(simm(w))<<2)
+	case opBGTZ:
+		return fmt.Sprintf("bgtz %s, 0x%x", RegName(rs(w)), pc+4+uint32(simm(w))<<2)
+	case opADDI:
+		return disImm("addi", w)
+	case opADDIU:
+		return disImm("addiu", w)
+	case opSLTI:
+		return disImm("slti", w)
+	case opSLTIU:
+		return disImm("sltiu", w)
+	case opANDI:
+		return disImmU("andi", w)
+	case opORI:
+		return disImmU("ori", w)
+	case opXORI:
+		return disImmU("xori", w)
+	case opLUI:
+		return fmt.Sprintf("lui %s, 0x%x", RegName(rt(w)), imm(w))
+	case opLB:
+		return disMem("lb", w)
+	case opLBU:
+		return disMem("lbu", w)
+	case opLH:
+		return disMem("lh", w)
+	case opLHU:
+		return disMem("lhu", w)
+	case opLW:
+		return disMem("lw", w)
+	case opSB:
+		return disMem("sb", w)
+	case opSH:
+		return disMem("sh", w)
+	case opSW:
+		return disMem("sw", w)
+	}
+	return fmt.Sprintf(".word 0x%08x", w)
+}
+
+func disImm(m string, w uint32) string {
+	return fmt.Sprintf("%s %s, %s, %d", m, RegName(rt(w)), RegName(rs(w)), simm(w))
+}
+
+func disImmU(m string, w uint32) string {
+	return fmt.Sprintf("%s %s, %s, 0x%x", m, RegName(rt(w)), RegName(rs(w)), imm(w))
+}
+
+func disMem(m string, w uint32) string {
+	return fmt.Sprintf("%s %s, %d(%s)", m, RegName(rt(w)), simm(w), RegName(rs(w)))
+}
+
+func disSpecial(w uint32) string {
+	if w == 0 {
+		return "nop"
+	}
+	switch funct(w) {
+	case fnSLL:
+		return fmt.Sprintf("sll %s, %s, %d", RegName(rd(w)), RegName(rt(w)), shamt(w))
+	case fnSRL:
+		return fmt.Sprintf("srl %s, %s, %d", RegName(rd(w)), RegName(rt(w)), shamt(w))
+	case fnSRA:
+		return fmt.Sprintf("sra %s, %s, %d", RegName(rd(w)), RegName(rt(w)), shamt(w))
+	case fnSLLV:
+		return fmt.Sprintf("sllv %s, %s, %s", RegName(rd(w)), RegName(rt(w)), RegName(rs(w)))
+	case fnSRLV:
+		return fmt.Sprintf("srlv %s, %s, %s", RegName(rd(w)), RegName(rt(w)), RegName(rs(w)))
+	case fnSRAV:
+		return fmt.Sprintf("srav %s, %s, %s", RegName(rd(w)), RegName(rt(w)), RegName(rs(w)))
+	case fnJR:
+		return fmt.Sprintf("jr %s", RegName(rs(w)))
+	case fnJALR:
+		return fmt.Sprintf("jalr %s, %s", RegName(rd(w)), RegName(rs(w)))
+	case fnSYSCALL:
+		return "syscall"
+	case fnBREAK:
+		return "break"
+	case fnMFHI:
+		return fmt.Sprintf("mfhi %s", RegName(rd(w)))
+	case fnMTHI:
+		return fmt.Sprintf("mthi %s", RegName(rs(w)))
+	case fnMFLO:
+		return fmt.Sprintf("mflo %s", RegName(rd(w)))
+	case fnMTLO:
+		return fmt.Sprintf("mtlo %s", RegName(rs(w)))
+	case fnMULT:
+		return fmt.Sprintf("mult %s, %s", RegName(rs(w)), RegName(rt(w)))
+	case fnMULTU:
+		return fmt.Sprintf("multu %s, %s", RegName(rs(w)), RegName(rt(w)))
+	case fnDIV:
+		return fmt.Sprintf("div %s, %s", RegName(rs(w)), RegName(rt(w)))
+	case fnDIVU:
+		return fmt.Sprintf("divu %s, %s", RegName(rs(w)), RegName(rt(w)))
+	case fnADD:
+		return disR3("add", w)
+	case fnADDU:
+		return disR3("addu", w)
+	case fnSUB:
+		return disR3("sub", w)
+	case fnSUBU:
+		return disR3("subu", w)
+	case fnAND:
+		return disR3("and", w)
+	case fnOR:
+		return disR3("or", w)
+	case fnXOR:
+		return disR3("xor", w)
+	case fnNOR:
+		return disR3("nor", w)
+	case fnSLT:
+		return disR3("slt", w)
+	case fnSLTU:
+		return disR3("sltu", w)
+	}
+	return fmt.Sprintf(".word 0x%08x", w)
+}
+
+func disR3(m string, w uint32) string {
+	return fmt.Sprintf("%s %s, %s, %s", m, RegName(rd(w)), RegName(rs(w)), RegName(rt(w)))
+}

@@ -1,0 +1,585 @@
+package mips
+
+import (
+	"fmt"
+	"strings"
+)
+
+var regAliases = map[string]int{
+	"$zero": 0, "$at": 1, "$v0": 2, "$v1": 3,
+	"$a0": 4, "$a1": 5, "$a2": 6, "$a3": 7,
+	"$t0": 8, "$t1": 9, "$t2": 10, "$t3": 11,
+	"$t4": 12, "$t5": 13, "$t6": 14, "$t7": 15,
+	"$s0": 16, "$s1": 17, "$s2": 18, "$s3": 19,
+	"$s4": 20, "$s5": 21, "$s6": 22, "$s7": 23,
+	"$t8": 24, "$t9": 25, "$k0": 26, "$k1": 27,
+	"$gp": 28, "$sp": 29, "$fp": 30, "$s8": 30, "$ra": 31,
+}
+
+func parseReg(s string) (int, error) {
+	s = strings.TrimSpace(strings.ToLower(s))
+	if r, ok := regAliases[s]; ok {
+		return r, nil
+	}
+	if strings.HasPrefix(s, "$") {
+		if n, err := parseImm32(s[1:]); err == nil && n < 32 {
+			return int(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+// parseMem parses "offset(base)" or "(base)" or "offset" forms.
+func (a *assembler) parseMem(op string) (int32, int, error) {
+	op = strings.TrimSpace(op)
+	open := strings.IndexByte(op, '(')
+	if open < 0 {
+		v, err := a.value(op)
+		if err != nil {
+			return 0, 0, err
+		}
+		return int32(v), RegZero, nil
+	}
+	close := strings.IndexByte(op, ')')
+	if close < open {
+		return 0, 0, fmt.Errorf("bad memory operand %q", op)
+	}
+	base, err := parseReg(op[open+1 : close])
+	if err != nil {
+		return 0, 0, err
+	}
+	offStr := strings.TrimSpace(op[:open])
+	if offStr == "" {
+		return 0, base, nil
+	}
+	off, err := a.value(offStr)
+	if err != nil {
+		return 0, 0, err
+	}
+	return int32(off), base, nil
+}
+
+func fitsSigned16(v int32) bool { return v >= -32768 && v <= 32767 }
+
+// branchOff computes the signed word offset field for a branch located at
+// pc targeting the label address.
+func branchOff(pc, target uint32) (uint32, error) {
+	diff := int32(target) - int32(pc+4)
+	if diff%4 != 0 {
+		return 0, fmt.Errorf("branch target %#x not word-aligned relative to %#x", target, pc)
+	}
+	words := diff / 4
+	if !fitsSigned16(words) {
+		return 0, fmt.Errorf("branch target out of range (%d words)", words)
+	}
+	return uint32(words) & 0xFFFF, nil
+}
+
+var r3ops = map[string]uint32{
+	"add": fnADD, "addu": fnADDU, "sub": fnSUB, "subu": fnSUBU,
+	"and": fnAND, "or": fnOR, "xor": fnXOR, "nor": fnNOR,
+	"slt": fnSLT, "sltu": fnSLTU,
+}
+
+var shiftOps = map[string]uint32{"sll": fnSLL, "srl": fnSRL, "sra": fnSRA}
+var shiftVOps = map[string]uint32{"sllv": fnSLLV, "srlv": fnSRLV, "srav": fnSRAV}
+var hiloOps = map[string]uint32{"mult": fnMULT, "multu": fnMULTU, "div": fnDIV, "divu": fnDIVU}
+
+var immOps = map[string]uint32{
+	"addi": opADDI, "addiu": opADDIU, "slti": opSLTI, "sltiu": opSLTIU,
+	"andi": opANDI, "ori": opORI, "xori": opXORI,
+}
+
+var memOps = map[string]uint32{
+	"lw": opLW, "sw": opSW, "lb": opLB, "lbu": opLBU,
+	"lh": opLH, "lhu": opLHU, "sb": opSB, "sh": opSH,
+}
+
+// encode expands one parsed statement into machine words.
+func (a *assembler) encode(st *statement) ([]uint32, error) {
+	ops := st.ops
+	need := func(n int) error {
+		if len(ops) != n {
+			return a.errf(st, "%s needs %d operands, got %d", st.mnem, n, len(ops))
+		}
+		return nil
+	}
+	reg := func(i int) (int, error) {
+		r, err := parseReg(ops[i])
+		if err != nil {
+			return 0, a.errf(st, "%v", err)
+		}
+		return r, nil
+	}
+
+	m := st.mnem
+	_, isR3 := r3ops[m]
+	_, isShift := shiftOps[m]
+	_, isShiftV := shiftVOps[m]
+	_, isHiLo := hiloOps[m]
+	_, isImm := immOps[m]
+	_, isMem := memOps[m]
+
+	switch {
+	case isR3:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := reg(2)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{encodeR(r3ops[m], rd, rs, rt, 0)}, nil
+
+	case isShift:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		sh, err := a.value(ops[2])
+		if err != nil || sh > 31 {
+			return nil, a.errf(st, "bad shift amount %q", ops[2])
+		}
+		return []uint32{encodeR(shiftOps[m], rd, 0, rt, sh)}, nil
+
+	case isShiftV:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(2)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{encodeR(shiftVOps[m], rd, rs, rt, 0)}, nil
+
+	case isHiLo:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{encodeR(hiloOps[m], 0, rs, rt, 0)}, nil
+
+	case m == "mfhi" || m == "mflo":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		fn := uint32(fnMFHI)
+		if m == "mflo" {
+			fn = fnMFLO
+		}
+		return []uint32{encodeR(fn, rd, 0, 0, 0)}, nil
+
+	case m == "mthi" || m == "mtlo":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		fn := uint32(fnMTHI)
+		if m == "mtlo" {
+			fn = fnMTLO
+		}
+		return []uint32{encodeR(fn, 0, rs, 0, 0)}, nil
+
+	case m == "jr":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{encodeR(fnJR, 0, rs, 0, 0)}, nil
+
+	case m == "jalr":
+		var rd, rs int
+		var err error
+		switch len(ops) {
+		case 1:
+			rd = RegRA
+			if rs, err = reg(0); err != nil {
+				return nil, err
+			}
+		case 2:
+			if rd, err = reg(0); err != nil {
+				return nil, err
+			}
+			if rs, err = reg(1); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, a.errf(st, "jalr needs 1 or 2 operands")
+		}
+		return []uint32{encodeR(fnJALR, rd, rs, 0, 0)}, nil
+
+	case m == "syscall":
+		return []uint32{encodeR(fnSYSCALL, 0, 0, 0, 0)}, nil
+	case m == "break":
+		return []uint32{encodeR(fnBREAK, 0, 0, 0, 0)}, nil
+	case m == "nop":
+		return []uint32{0}, nil
+
+	case isImm:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rt, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		v, err := a.value(ops[2])
+		if err != nil {
+			return nil, a.errf(st, "immediate: %v", err)
+		}
+		logical := m == "andi" || m == "ori" || m == "xori"
+		if logical {
+			if v > 0xFFFF {
+				return nil, a.errf(st, "immediate %#x exceeds 16 bits", v)
+			}
+		} else if !fitsSigned16(int32(v)) {
+			return nil, a.errf(st, "immediate %d out of signed 16-bit range", int32(v))
+		}
+		return []uint32{encodeI(immOps[m], rt, rs, v)}, nil
+
+	case m == "lui":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rt, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		v, err := a.value(ops[1])
+		if err != nil || v > 0xFFFF {
+			return nil, a.errf(st, "bad lui immediate %q", ops[1])
+		}
+		return []uint32{encodeI(opLUI, rt, 0, v)}, nil
+
+	case isMem:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rt, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		off, base, err := a.parseMem(ops[1])
+		if err != nil {
+			return nil, a.errf(st, "%v", err)
+		}
+		if !fitsSigned16(off) {
+			return nil, a.errf(st, "offset %d out of range", off)
+		}
+		return []uint32{encodeI(memOps[m], rt, base, uint32(off)&0xFFFF)}, nil
+
+	case m == "beq" || m == "bne":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		tgt, err := a.value(ops[2])
+		if err != nil {
+			return nil, a.errf(st, "branch target: %v", err)
+		}
+		off, err := branchOff(st.addr, tgt)
+		if err != nil {
+			return nil, a.errf(st, "%v", err)
+		}
+		op := uint32(opBEQ)
+		if m == "bne" {
+			op = opBNE
+		}
+		return []uint32{encodeI(op, rt, rs, off)}, nil
+
+	case m == "blez" || m == "bgtz" || m == "bltz" || m == "bgez":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		tgt, err := a.value(ops[1])
+		if err != nil {
+			return nil, a.errf(st, "branch target: %v", err)
+		}
+		off, err := branchOff(st.addr, tgt)
+		if err != nil {
+			return nil, a.errf(st, "%v", err)
+		}
+		switch m {
+		case "blez":
+			return []uint32{encodeI(opBLEZ, 0, rs, off)}, nil
+		case "bgtz":
+			return []uint32{encodeI(opBGTZ, 0, rs, off)}, nil
+		case "bltz":
+			return []uint32{encodeI(opREGIMM, rtBLTZ, rs, off)}, nil
+		default:
+			return []uint32{encodeI(opREGIMM, rtBGEZ, rs, off)}, nil
+		}
+
+	case m == "beqz" || m == "bnez":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		tgt, err := a.value(ops[1])
+		if err != nil {
+			return nil, a.errf(st, "branch target: %v", err)
+		}
+		off, err := branchOff(st.addr, tgt)
+		if err != nil {
+			return nil, a.errf(st, "%v", err)
+		}
+		op := uint32(opBEQ)
+		if m == "bnez" {
+			op = opBNE
+		}
+		return []uint32{encodeI(op, 0, rs, off)}, nil
+
+	case m == "b":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		tgt, err := a.value(ops[0])
+		if err != nil {
+			return nil, a.errf(st, "branch target: %v", err)
+		}
+		off, err := branchOff(st.addr, tgt)
+		if err != nil {
+			return nil, a.errf(st, "%v", err)
+		}
+		return []uint32{encodeI(opBEQ, 0, 0, off)}, nil
+
+	case m == "j" || m == "jal":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		tgt, err := a.value(ops[0])
+		if err != nil {
+			return nil, a.errf(st, "jump target: %v", err)
+		}
+		if tgt%4 != 0 {
+			return nil, a.errf(st, "jump target %#x not aligned", tgt)
+		}
+		op := uint32(opJ)
+		if m == "jal" {
+			op = opJAL
+		}
+		return []uint32{encodeJ(op, tgt>>2)}, nil
+
+	case m == "move":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{encodeR(fnADDU, rd, rs, 0, 0)}, nil
+
+	case m == "neg":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{encodeR(fnSUBU, rd, 0, rs, 0)}, nil
+
+	case m == "not":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{encodeR(fnNOR, rd, rs, 0, 0)}, nil
+
+	case m == "li":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rt, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		v, err := parseImm32(ops[1])
+		if err != nil {
+			return nil, a.errf(st, "li immediate: %v", err)
+		}
+		switch {
+		case fitsSigned16(int32(v)):
+			return []uint32{encodeI(opADDIU, rt, 0, v&0xFFFF)}, nil
+		case v&0xFFFF0000 == 0:
+			return []uint32{encodeI(opORI, rt, 0, v)}, nil
+		case v&0xFFFF == 0:
+			return []uint32{encodeI(opLUI, rt, 0, v>>16)}, nil
+		default:
+			return []uint32{
+				encodeI(opLUI, rt, 0, v>>16),
+				encodeI(opORI, rt, rt, v&0xFFFF),
+			}, nil
+		}
+
+	case m == "la":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rt, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		v, err := a.value(ops[1])
+		if err != nil {
+			return nil, a.errf(st, "la target: %v", err)
+		}
+		return []uint32{
+			encodeI(opLUI, rt, 0, v>>16),
+			encodeI(opORI, rt, rt, v&0xFFFF),
+		}, nil
+
+	case m == "mul":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := reg(2)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{
+			encodeR(fnMULT, 0, rs, rt, 0),
+			encodeR(fnMFLO, rd, 0, 0, 0),
+		}, nil
+
+	case m == "rem":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := reg(2)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{
+			encodeR(fnDIV, 0, rs, rt, 0),
+			encodeR(fnMFHI, rd, 0, 0, 0),
+		}, nil
+
+	case m == "blt" || m == "bge" || m == "bgt" || m == "ble" || m == "bltu" || m == "bgeu":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := reg(1)
+		if err != nil {
+			return nil, err
+		}
+		tgt, err := a.value(ops[2])
+		if err != nil {
+			return nil, a.errf(st, "branch target: %v", err)
+		}
+		// The branch is the second emitted word.
+		off, err := branchOff(st.addr+4, tgt)
+		if err != nil {
+			return nil, a.errf(st, "%v", err)
+		}
+		slt := uint32(fnSLT)
+		if m == "bltu" || m == "bgeu" {
+			slt = fnSLTU
+		}
+		switch m {
+		case "blt", "bltu": // rs < rt
+			return []uint32{encodeR(slt, RegAT, rs, rt, 0), encodeI(opBNE, 0, RegAT, off)}, nil
+		case "bge", "bgeu": // !(rs < rt)
+			return []uint32{encodeR(slt, RegAT, rs, rt, 0), encodeI(opBEQ, 0, RegAT, off)}, nil
+		case "bgt": // rt < rs
+			return []uint32{encodeR(slt, RegAT, rt, rs, 0), encodeI(opBNE, 0, RegAT, off)}, nil
+		default: // ble: !(rt < rs)
+			return []uint32{encodeR(slt, RegAT, rt, rs, 0), encodeI(opBEQ, 0, RegAT, off)}, nil
+		}
+	}
+	return nil, a.errf(st, "unknown mnemonic %q", st.mnem)
+}

@@ -1,0 +1,142 @@
+package mips
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEncodeErrorPaths drives every operand-validation branch of the
+// encoder with malformed statements.
+func TestEncodeErrorPaths(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string // substring of the expected error
+	}{
+		{"add $t0, $t1", "needs 3 operands"},
+		{"add $zz, $t1, $t2", "bad register"},
+		{"sll $t0, $t1, 99", "bad shift"},
+		{"sll $t0, $t1, $t2", "bad shift"}, // register instead of amount
+		{"mult $t0", "needs 2 operands"},
+		{"mfhi", "needs 1 operand"},
+		{"jr $t0, $t1", "needs 1 operand"},
+		{"jalr $t0, $t1, $t2", "needs 1 or 2"},
+		{"lui $t0, 0x10000", "bad lui immediate"},
+		{"lui $t0", "needs 2 operands"},
+		{"andi $t0, $t1, 0x10000", "exceeds 16 bits"},
+		{"addi $t0, $t1, 40000", "out of signed 16-bit range"},
+		{"lw $t0", "needs 2 operands"},
+		{"lw $t0, 0($zz)", "bad register"},
+		{"lw $t0, 0(t1", "bad memory operand"},
+		{"beq $t0, $t1", "needs 3 operands"},
+		{"beq $t0, $t1, nowhere", "branch target"},
+		{"blez $t0", "needs 2 operands"},
+		{"bnez $t0", "needs 2 operands"},
+		{"b", "needs 1 operand"},
+		{"j nowhere", "jump target"},
+		{"j 2", "not aligned"},
+		{"move $t0", "needs 2 operands"},
+		{"li $t0", "li needs 2 operands"},
+		{"li $t0, oops", "li immediate"},
+		{"la $t0, nowhere", "la target"},
+		{"mul $t0, $t1", "needs 3 operands"},
+		{"blt $t0, $t1", "needs 3 operands"},
+		{"blt $t0, $t1, nowhere", "branch target"},
+		{"frobnicate $t0", "unknown mnemonic"},
+		{".word", ""}, // empty .word emits nothing; must assemble
+	}
+	for _, tc := range cases {
+		_, err := Assemble(".text\nmain: " + tc.src + "\n")
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%q: unexpected error %v", tc.src, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%q assembled, want error containing %q", tc.src, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%q: error %q does not contain %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestBranchOutOfRange(t *testing.T) {
+	// A branch across more than 2^15 instruction words must be rejected.
+	var sb strings.Builder
+	sb.WriteString(".text\nmain: beq $t0, $t1, far\n")
+	for i := 0; i < 40000; i++ {
+		sb.WriteString(" nop\n")
+	}
+	sb.WriteString("far: nop\n")
+	if _, err := Assemble(sb.String()); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("long branch error = %v", err)
+	}
+}
+
+func TestUnknownOpcodeFaults(t *testing.T) {
+	// Hand-plant an undefined opcode (0x3F) in memory and step it.
+	p := MustAssemble(".text\nmain: nop\n")
+	c := NewCPU(p)
+	c.Mem.WriteWord(DefaultTextBase, 0xFC000000)
+	if err := c.Step(); err == nil || !strings.Contains(err.Error(), "unknown opcode") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestUnknownSpecialAndRegimm(t *testing.T) {
+	p := MustAssemble(".text\nmain: nop\n")
+	c := NewCPU(p)
+	c.Mem.WriteWord(DefaultTextBase, 0x0000003F) // SPECIAL fn=0x3F
+	if err := c.Step(); err == nil || !strings.Contains(err.Error(), "unknown SPECIAL") {
+		t.Errorf("error = %v", err)
+	}
+	c2 := NewCPU(p)
+	c2.Mem.WriteWord(DefaultTextBase, 0x041F0000) // REGIMM rt=0x1F
+	if err := c2.Step(); err == nil || !strings.Contains(err.Error(), "unknown REGIMM") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestUnalignedPCFaults(t *testing.T) {
+	p := MustAssemble(".text\nmain: nop\n")
+	c := NewCPU(p)
+	c.PC = 2
+	if err := c.Step(); err == nil || !strings.Contains(err.Error(), "unaligned pc") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestUnterminatedPrintString(t *testing.T) {
+	// A print-string syscall pointed at unterminated memory must fault
+	// rather than loop forever (memory reads as zero, so craft a huge
+	// non-zero region is impractical; instead point at the text segment
+	// which is finite and zero-terminated far away — use the guard).
+	src := `
+        .text
+main:   la  $a0, main
+        li  $v0, 4
+        syscall
+`
+	p := MustAssemble(src)
+	c := NewCPU(p)
+	for !c.Halted() && c.Cycles() < 100 {
+		if err := c.Step(); err != nil {
+			return // fault is acceptable
+		}
+	}
+	// Reading zeroed memory terminates the string quickly; either way we
+	// must not hang — reaching here within the cycle budget is the pass.
+}
+
+func TestStepAfterHaltIsNoop(t *testing.T) {
+	c := runSrc(t, ".text\nmain: li $v0, 10\n syscall\n", 10)
+	pc := c.PC
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if c.PC != pc || !c.Halted() {
+		t.Error("Step after halt changed state")
+	}
+}

@@ -1,0 +1,43 @@
+package mips_test
+
+import (
+	"fmt"
+	"log"
+
+	"busenc/internal/mips"
+)
+
+// ExampleAssemble assembles and runs a small program, collecting its
+// address trace.
+func ExampleAssemble() {
+	prog, err := mips.Assemble(`
+        .data
+msg:    .asciiz "hi"
+        .text
+main:   la  $a0, msg
+        li  $v0, 4
+        syscall
+        li  $v0, 10
+        syscall
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stream, stats, err := mips.Run(prog, "hello", 1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("output: %q\n", stats.Output)
+	fmt.Printf("bus references: %d (%d fetches)\n", stream.Len(), stats.InstrRefs)
+	// Output:
+	// output: "hi"
+	// bus references: 9 (6 fetches)
+}
+
+// ExampleDisassemble renders a machine word back to assembly.
+func ExampleDisassemble() {
+	// addiu $sp, $sp, -16
+	fmt.Println(mips.Disassemble(0x00400000, 0x27BDFFF0))
+	// Output:
+	// addiu $sp, $sp, -16
+}

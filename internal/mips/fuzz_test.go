@@ -1,0 +1,55 @@
+package mips
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAssemble checks that the assembler never panics and that whatever
+// it accepts can be loaded and stepped without crashing the simulator.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"",
+		".text\nmain: nop\n",
+		".text\nmain: addiu $sp, $sp, -8\n jr $ra\n",
+		".data\nx: .word 1,2,3\n.text\nmain: la $t0, x\n lw $t1, 0($t0)\n break\n",
+		".text\nmain: j main\n",
+		"main: li $v0, 10\n syscall",
+		".text\nloop: beq $t0, $t1, loop\n",
+		".asciiz \"unterminated",
+		".space -1",
+		"lw $t0, 99999999($t1)",
+		"label-with-dash: nop",
+		".align 31",
+		"# just a comment",
+		"\tsll $0, $0, 0",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		c := NewCPU(p)
+		for !c.Halted() && c.Cycles() < 200 {
+			if err := c.Step(); err != nil {
+				return // runtime faults are fine
+			}
+		}
+	})
+}
+
+// FuzzDisassemble checks the disassembler is total over the word space.
+func FuzzDisassemble(f *testing.F) {
+	for _, w := range []uint32{0, 0xFFFFFFFF, 0x27BDFFF0, 0x0C100000, 0xAFBF0014} {
+		f.Add(w)
+	}
+	f.Fuzz(func(t *testing.T, w uint32) {
+		out := Disassemble(0x00400000, w)
+		if strings.TrimSpace(out) == "" {
+			t.Errorf("empty disassembly for %#08x", w)
+		}
+	})
+}

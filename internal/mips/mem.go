@@ -1,0 +1,99 @@
+package mips
+
+import "fmt"
+
+// pageBits selects a 4 KiB page size for the sparse memory.
+const pageBits = 12
+
+// Memory is a sparse, byte-addressable, big-endian 32-bit memory.
+type Memory struct {
+	pages map[uint32]*[1 << pageBits]byte
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint32]*[1 << pageBits]byte)}
+}
+
+func (m *Memory) page(addr uint32, create bool) *[1 << pageBits]byte {
+	key := addr >> pageBits
+	p := m.pages[key]
+	if p == nil && create {
+		p = new([1 << pageBits]byte)
+		m.pages[key] = p
+	}
+	return p
+}
+
+// LoadByte returns the byte at addr (0 for untouched memory).
+func (m *Memory) LoadByte(addr uint32) byte {
+	p := m.page(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p[addr&(1<<pageBits-1)]
+}
+
+// StoreByte stores one byte.
+func (m *Memory) StoreByte(addr uint32, v byte) {
+	m.page(addr, true)[addr&(1<<pageBits-1)] = v
+}
+
+// ReadWord returns the big-endian 32-bit word at addr.
+func (m *Memory) ReadWord(addr uint32) uint32 {
+	return uint32(m.LoadByte(addr))<<24 | uint32(m.LoadByte(addr+1))<<16 |
+		uint32(m.LoadByte(addr+2))<<8 | uint32(m.LoadByte(addr+3))
+}
+
+// WriteWord stores a big-endian 32-bit word.
+func (m *Memory) WriteWord(addr uint32, v uint32) {
+	m.StoreByte(addr, byte(v>>24))
+	m.StoreByte(addr+1, byte(v>>16))
+	m.StoreByte(addr+2, byte(v>>8))
+	m.StoreByte(addr+3, byte(v))
+}
+
+// ReadHalf returns the big-endian 16-bit halfword at addr.
+func (m *Memory) ReadHalf(addr uint32) uint16 {
+	return uint16(m.LoadByte(addr))<<8 | uint16(m.LoadByte(addr+1))
+}
+
+// WriteHalf stores a big-endian 16-bit halfword.
+func (m *Memory) WriteHalf(addr uint32, v uint16) {
+	m.StoreByte(addr, byte(v>>8))
+	m.StoreByte(addr+1, byte(v))
+}
+
+// LoadBytes copies data into memory starting at addr.
+func (m *Memory) LoadBytes(addr uint32, data []byte) {
+	for i, b := range data {
+		m.StoreByte(addr+uint32(i), b)
+	}
+}
+
+// Footprint returns the number of resident pages, for tests.
+func (m *Memory) Footprint() int { return len(m.pages) }
+
+// Segment is a contiguous chunk of an assembled program image.
+type Segment struct {
+	Base  uint32
+	Bytes []byte
+}
+
+// Program is an assembled program ready to load into a CPU.
+type Program struct {
+	// Entry is the initial program counter.
+	Entry uint32
+	// Segments are the memory images (text and data).
+	Segments []Segment
+	// Symbols maps label names to addresses.
+	Symbols map[string]uint32
+}
+
+// Symbol returns a label's address or an error naming it.
+func (p *Program) Symbol(name string) (uint32, error) {
+	if a, ok := p.Symbols[name]; ok {
+		return a, nil
+	}
+	return 0, fmt.Errorf("mips: undefined symbol %q", name)
+}

@@ -1,0 +1,161 @@
+package progs
+
+func init() {
+	register(Bench{
+		Name:      "gzip",
+		About:     "run-length compression of an LCG-generated buffer; prints encoded length and checksum",
+		MaxCycles: 1_000_000,
+		Source: `
+        .text
+main:
+        # Fill src[2048] with 3-bit LCG values (small alphabet -> runs).
+        la    $s0, src
+        li    $s1, 2048
+        li    $s2, 12345            # LCG state
+        li    $s3, 1103515245
+        li    $t9, 0
+fill:
+        mul   $s2, $s2, $s3
+        addiu $s2, $s2, 12345
+        srl   $t0, $s2, 28
+        andi  $t0, $t0, 7
+        addu  $t1, $s0, $t9
+        sb    $t0, 0($t1)
+        addiu $t9, $t9, 1
+        bne   $t9, $s1, fill
+
+        # RLE-encode src into (count, value) byte pairs at dst.
+        la    $s4, dst
+        li    $t9, 0                # src index
+        li    $s5, 0                # dst length
+encode:
+        bge   $t9, $s1, cksum
+        addu  $t1, $s0, $t9
+        lbu   $t2, 0($t1)           # run value
+        li    $t3, 0                # run length
+run:
+        addu  $t1, $s0, $t9
+        lbu   $t4, 0($t1)
+        bne   $t4, $t2, emit
+        addiu $t3, $t3, 1
+        addiu $t9, $t9, 1
+        li    $t5, 255
+        beq   $t3, $t5, emit        # cap run length at one byte
+        bne   $t9, $s1, run
+emit:
+        addu  $t6, $s4, $s5
+        sb    $t3, 0($t6)
+        addiu $s5, $s5, 1
+        addu  $t6, $s4, $s5
+        sb    $t2, 0($t6)
+        addiu $s5, $s5, 1
+        j     encode
+
+        # Checksum the encoded buffer.
+cksum:
+        li    $t9, 0
+        li    $s6, 0
+cks:
+        beq   $t9, $s5, print
+        addu  $t1, $s4, $t9
+        lbu   $t2, 0($t1)
+        add   $s6, $s6, $t2
+        addiu $t9, $t9, 1
+        j     cks
+print:
+        li    $v0, 1
+        move  $a0, $s5
+        syscall
+        li    $v0, 11
+        li    $a0, 32
+        syscall
+        li    $v0, 1
+        move  $a0, $s6
+        syscall
+        li    $v0, 10
+        syscall
+
+        .data
+src:    .space 2048
+dst:    .space 4200
+`,
+	})
+}
+
+func init() {
+	register(Bench{
+		Name:      "gunzip",
+		About:     "run-length decompression of LCG-generated (count,value) pairs; prints output length and checksum",
+		MaxCycles: 1_000_000,
+		Source: `
+        .text
+main:
+        # Generate 1024 (count, value) pairs, counts in 1..8.
+        la    $s0, enc
+        li    $s1, 1024
+        li    $s2, 987654321
+        li    $s3, 1103515245
+        li    $t9, 0
+genp:
+        mul   $s2, $s2, $s3
+        addiu $s2, $s2, 12345
+        srl   $t0, $s2, 24
+        andi  $t0, $t0, 7
+        addiu $t0, $t0, 1           # count 1..8
+        sll   $t1, $t9, 1
+        addu  $t2, $s0, $t1
+        sb    $t0, 0($t2)
+        srl   $t0, $s2, 16
+        andi  $t0, $t0, 255
+        sb    $t0, 1($t2)
+        addiu $t9, $t9, 1
+        bne   $t9, $s1, genp
+
+        # Decode into dst.
+        la    $s4, dst
+        li    $s5, 0                # output length
+        li    $t9, 0
+dec:
+        beq   $t9, $s1, cksum
+        sll   $t1, $t9, 1
+        addu  $t2, $s0, $t1
+        lbu   $t3, 0($t2)           # count
+        lbu   $t4, 1($t2)           # value
+rep:
+        addu  $t5, $s4, $s5
+        sb    $t4, 0($t5)
+        addiu $s5, $s5, 1
+        addiu $t3, $t3, -1
+        bgtz  $t3, rep
+        addiu $t9, $t9, 1
+        j     dec
+
+cksum:
+        li    $t9, 0
+        li    $s6, 0
+cks:
+        beq   $t9, $s5, print
+        addu  $t1, $s4, $t9
+        lbu   $t2, 0($t1)
+        add   $s6, $s6, $t2
+        addiu $t9, $t9, 1
+        j     cks
+print:
+        li    $v0, 1
+        move  $a0, $s5
+        syscall
+        li    $v0, 11
+        li    $a0, 32
+        syscall
+        li    $v0, 1
+        move  $a0, $s6
+        syscall
+        li    $v0, 10
+        syscall
+
+        .data
+enc:    .space 2048
+dst:    .space 8400
+`,
+	})
+}

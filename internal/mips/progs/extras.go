@@ -1,0 +1,235 @@
+package progs
+
+// Extra kernels beyond the paper's nine benchmarks (EXTENSION): a sorting
+// kernel with heavy swap traffic and an explicit work stack, and a
+// pointer-chasing kernel whose data stream has the temporal-locality
+// profile (hot revisited addresses, no spatial order) that the adaptive
+// and working-zone codes target.
+
+// Extras lists the bonus benchmarks not part of the paper's tables.
+func Extras() []string { return []string{"qsort", "lists"} }
+
+func init() {
+	register(Bench{
+		Name:      "qsort",
+		About:     "iterative Lomuto quicksort of 512 LCG words with an explicit range stack; prints inversions (0) and the xor checksum",
+		MaxCycles: 3_000_000,
+		Source: `
+        .text
+main:
+        # Fill arr[512] with 16-bit LCG values.
+        la    $s0, arr
+        li    $s1, 512
+        li    $s2, 99991
+        li    $s3, 1103515245
+        li    $t9, 0
+fill:
+        mul   $s2, $s2, $s3
+        addiu $s2, $s2, 12345
+        srl   $t0, $s2, 16
+        sll   $t1, $t9, 2
+        addu  $t2, $s0, $t1
+        sw    $t0, 0($t2)
+        addiu $t9, $t9, 1
+        bne   $t9, $s1, fill
+
+        # Explicit stack of (lo, hi) pairs; push (0, 511).
+        la    $s4, stk
+        sw    $zero, 0($s4)
+        li    $t0, 511
+        sw    $t0, 4($s4)
+        li    $s5, 1                # stack entries
+qloop:
+        beq   $s5, $zero, check
+        addiu $s5, $s5, -1
+        sll   $t0, $s5, 3
+        addu  $t1, $s4, $t0
+        lw    $s6, 0($t1)           # lo
+        lw    $s7, 4($t1)           # hi
+        bge   $s6, $s7, qloop
+        # Lomuto partition with pivot arr[hi].
+        sll   $t0, $s7, 2
+        addu  $t0, $s0, $t0
+        lw    $t8, 0($t0)           # pivot
+        move  $t9, $s6              # i
+        move  $t7, $s6              # j
+part:
+        beq   $t7, $s7, partend
+        sll   $t0, $t7, 2
+        addu  $t0, $s0, $t0
+        lw    $t1, 0($t0)           # arr[j]
+        bge   $t1, $t8, noswap
+        sll   $t2, $t9, 2
+        addu  $t2, $s0, $t2
+        lw    $t3, 0($t2)
+        sw    $t1, 0($t2)
+        sw    $t3, 0($t0)
+        addiu $t9, $t9, 1
+noswap:
+        addiu $t7, $t7, 1
+        j     part
+partend:
+        # Swap arr[i] and arr[hi] to place the pivot.
+        sll   $t0, $t9, 2
+        addu  $t0, $s0, $t0
+        lw    $t1, 0($t0)
+        sll   $t2, $s7, 2
+        addu  $t2, $s0, $t2
+        lw    $t3, 0($t2)
+        sw    $t3, 0($t0)
+        sw    $t1, 0($t2)
+        # Push (lo, i-1) if non-trivial.
+        addiu $t4, $t9, -1
+        bge   $s6, $t4, tryright
+        sll   $t0, $s5, 3
+        addu  $t0, $s4, $t0
+        sw    $s6, 0($t0)
+        sw    $t4, 4($t0)
+        addiu $s5, $s5, 1
+tryright:
+        addiu $t4, $t9, 1
+        bge   $t4, $s7, qloop
+        sll   $t0, $s5, 3
+        addu  $t0, $s4, $t0
+        sw    $t4, 0($t0)
+        sw    $s7, 4($t0)
+        addiu $s5, $s5, 1
+        j     qloop
+
+check:
+        # Count inversions (must be 0) and xor-checksum the array.
+        li    $t9, 1
+        li    $t6, 0                # inversions
+        lw    $t5, 0($s0)           # checksum seed = arr[0]
+chk:
+        beq   $t9, $s1, print
+        sll   $t0, $t9, 2
+        addu  $t0, $s0, $t0
+        lw    $t1, 0($t0)
+        lw    $t2, -4($t0)
+        xor   $t5, $t5, $t1
+        ble   $t2, $t1, inorder
+        addiu $t6, $t6, 1
+inorder:
+        addiu $t9, $t9, 1
+        j     chk
+print:
+        li    $v0, 1
+        move  $a0, $t6
+        syscall
+        li    $v0, 11
+        li    $a0, 32
+        syscall
+        li    $v0, 1
+        move  $a0, $t5
+        syscall
+        li    $v0, 10
+        syscall
+
+        .data
+arr:    .space 2048
+stk:    .space 8192
+`,
+	})
+}
+
+func init() {
+	register(Bench{
+		Name:      "lists",
+		About:     "builds a 256-node linked list in Fisher-Yates-shuffled order and traverses it 10 times; prints the sum (326400)",
+		MaxCycles: 3_000_000,
+		Source: `
+        .text
+main:
+        la    $s0, nodes
+        li    $s1, 256
+        la    $s2, perm
+        # perm[i] = i
+        li    $t9, 0
+initp:
+        sll   $t0, $t9, 2
+        addu  $t0, $s2, $t0
+        sw    $t9, 0($t0)
+        addiu $t9, $t9, 1
+        bne   $t9, $s1, initp
+
+        # Fisher-Yates shuffle with an LCG.
+        li    $s3, 777
+        li    $s4, 1103515245
+        li    $t9, 255
+shuf:
+        blez  $t9, build
+        mul   $s3, $s3, $s4
+        addiu $s3, $s3, 12345
+        srl   $t0, $s3, 8
+        addiu $t1, $t9, 1
+        divu  $t0, $t1
+        mfhi  $t2                   # j = rnd % (i+1)
+        sll   $t3, $t9, 2
+        addu  $t3, $s2, $t3
+        lw    $t4, 0($t3)
+        sll   $t5, $t2, 2
+        addu  $t5, $s2, $t5
+        lw    $t6, 0($t5)
+        sw    $t6, 0($t3)
+        sw    $t4, 0($t5)
+        addiu $t9, $t9, -1
+        j     shuf
+
+build:
+        # node[perm[k]] = {value: perm[k], next: &node[perm[k+1]]}.
+        li    $t9, 0
+bloop:
+        addiu $t0, $s1, -1
+        beq   $t9, $t0, lastnode
+        sll   $t1, $t9, 2
+        addu  $t1, $s2, $t1
+        lw    $t2, 0($t1)
+        lw    $t3, 4($t1)
+        sll   $t4, $t2, 3
+        addu  $t4, $s0, $t4
+        sw    $t2, 0($t4)
+        sll   $t5, $t3, 3
+        addu  $t5, $s0, $t5
+        sw    $t5, 4($t4)
+        addiu $t9, $t9, 1
+        j     bloop
+lastnode:
+        sll   $t1, $t9, 2
+        addu  $t1, $s2, $t1
+        lw    $t2, 0($t1)
+        sll   $t4, $t2, 3
+        addu  $t4, $s0, $t4
+        sw    $t2, 0($t4)
+        sw    $zero, 4($t4)         # terminator
+
+        # Traverse the list 10 times, summing node values.
+        li    $s5, 10
+        li    $s6, 0
+trav:
+        blez  $s5, print
+        lw    $t2, 0($s2)           # head index = perm[0]
+        sll   $t4, $t2, 3
+        addu  $t0, $s0, $t4
+walk:
+        beq   $t0, $zero, pass
+        lw    $t1, 0($t0)
+        addu  $s6, $s6, $t1
+        lw    $t0, 4($t0)
+        j     walk
+pass:
+        addiu $s5, $s5, -1
+        j     trav
+print:
+        li    $v0, 1
+        move  $a0, $s6
+        syscall
+        li    $v0, 10
+        syscall
+
+        .data
+nodes:  .space 2048
+perm:   .space 1024
+`,
+	})
+}

@@ -1,0 +1,151 @@
+package progs
+
+func init() {
+	register(Bench{
+		Name:      "nova",
+		About:     "Newton-iteration integer square roots over a 512-element array; prints the sum of roots",
+		MaxCycles: 2_000_000,
+		Source: `
+        .text
+main:
+        # vals[i] = i*i + i for i in 0..511.
+        la    $s0, vals
+        li    $s1, 512
+        li    $t9, 0
+gen:
+        mul   $t0, $t9, $t9
+        addu  $t0, $t0, $t9
+        sll   $t1, $t9, 2
+        addu  $t2, $s0, $t1
+        sw    $t0, 0($t2)
+        addiu $t9, $t9, 1
+        bne   $t9, $s1, gen
+
+        # For each value run 16 Newton steps x = (x + v/x) / 2.
+        li    $t9, 0
+        li    $s6, 0                # sum of roots
+newton:
+        sll   $t1, $t9, 2
+        addu  $t2, $s0, $t1
+        lw    $t3, 0($t2)           # v
+        beq   $t3, $zero, accum0
+        move  $t4, $t3              # x = v
+        li    $t5, 16               # iterations
+step:
+        div   $t3, $t4
+        mflo  $t6                   # v / x
+        addu  $t4, $t4, $t6
+        srl   $t4, $t4, 1           # x = (x + v/x) >> 1
+        beq   $t4, $zero, stepdone
+        addiu $t5, $t5, -1
+        bgtz  $t5, step
+stepdone:
+        addu  $s6, $s6, $t4
+        j     next
+accum0:
+        # isqrt(0) = 0, nothing to add.
+next:
+        addiu $t9, $t9, 1
+        bne   $t9, $s1, newton
+
+        li    $v0, 1
+        move  $a0, $s6
+        syscall
+        li    $v0, 10
+        syscall
+
+        .data
+vals:   .space 2048
+`,
+	})
+}
+
+func init() {
+	register(Bench{
+		Name:      "matlab",
+		About:     "16x16 integer matrix multiply C = A*B with A[i][j]=i+j, B[i][j]=i^j; prints trace(C)",
+		MaxCycles: 2_000_000,
+		Source: `
+        .text
+main:
+        li    $s7, 16               # matrix side
+        # Fill A[i][j] = i + j and B[i][j] = i ^ j.
+        la    $s0, matA
+        la    $s1, matB
+        li    $t8, 0                # i
+filli:
+        li    $t9, 0                # j
+fillj:
+        mul   $t0, $t8, $s7
+        addu  $t0, $t0, $t9
+        sll   $t0, $t0, 2           # word offset
+        addu  $t1, $t8, $t9
+        addu  $t2, $s0, $t0
+        sw    $t1, 0($t2)
+        xor   $t1, $t8, $t9
+        addu  $t2, $s1, $t0
+        sw    $t1, 0($t2)
+        addiu $t9, $t9, 1
+        bne   $t9, $s7, fillj
+        addiu $t8, $t8, 1
+        bne   $t8, $s7, filli
+
+        # C = A * B, row-major triple loop.
+        la    $s2, matC
+        li    $t8, 0                # i
+mi:
+        li    $t9, 0                # j
+mj:
+        li    $s5, 0                # acc
+        li    $s6, 0                # k
+mk:
+        mul   $t0, $t8, $s7
+        addu  $t0, $t0, $s6
+        sll   $t0, $t0, 2
+        addu  $t1, $s0, $t0
+        lw    $t2, 0($t1)           # A[i][k]
+        mul   $t0, $s6, $s7
+        addu  $t0, $t0, $t9
+        sll   $t0, $t0, 2
+        addu  $t1, $s1, $t0
+        lw    $t3, 0($t1)           # B[k][j]
+        mul   $t4, $t2, $t3
+        addu  $s5, $s5, $t4
+        addiu $s6, $s6, 1
+        bne   $s6, $s7, mk
+        mul   $t0, $t8, $s7
+        addu  $t0, $t0, $t9
+        sll   $t0, $t0, 2
+        addu  $t1, $s2, $t0
+        sw    $s5, 0($t1)
+        addiu $t9, $t9, 1
+        bne   $t9, $s7, mj
+        addiu $t8, $t8, 1
+        bne   $t8, $s7, mi
+
+        # trace(C) = sum C[i][i].
+        li    $t8, 0
+        li    $s6, 0
+tr:
+        mul   $t0, $t8, $s7
+        addu  $t0, $t0, $t8
+        sll   $t0, $t0, 2
+        addu  $t1, $s2, $t0
+        lw    $t2, 0($t1)
+        addu  $s6, $s6, $t2
+        addiu $t8, $t8, 1
+        bne   $t8, $s7, tr
+
+        li    $v0, 1
+        move  $a0, $s6
+        syscall
+        li    $v0, 10
+        syscall
+
+        .data
+matA:   .space 1024
+matB:   .space 1024
+matC:   .space 1024
+`,
+	})
+}

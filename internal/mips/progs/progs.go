@@ -1,0 +1,70 @@
+// Package progs bundles the nine benchmark programs used to generate
+// address streams. The paper measured MIPS traces of gzip, gunzip,
+// ghostview, espresso, nova, jedi, latex, matlab and oracle; the original
+// binaries and inputs are not available, so each bundled program is a
+// small MIPS assembly kernel exercising the same *kind* of computation
+// (compression, decompression, rendering, logic minimization, numerics,
+// searching, text formatting, linear algebra, key-value lookups), sized so
+// its address stream exhibits the corresponding locality class.
+package progs
+
+import (
+	"fmt"
+	"sort"
+
+	"busenc/internal/mips"
+)
+
+// Bench is one bundled benchmark program.
+type Bench struct {
+	// Name matches the paper's benchmark name.
+	Name string
+	// About describes what the kernel computes.
+	About string
+	// Source is the MIPS assembly text.
+	Source string
+	// MaxCycles bounds the simulation.
+	MaxCycles int64
+}
+
+// Assemble returns the assembled program.
+func (b Bench) Assemble() (*mips.Program, error) {
+	p, err := mips.Assemble(b.Source)
+	if err != nil {
+		return nil, fmt.Errorf("progs: %s: %w", b.Name, err)
+	}
+	return p, nil
+}
+
+var all = map[string]Bench{}
+
+func register(b Bench) {
+	if _, dup := all[b.Name]; dup {
+		panic("progs: duplicate benchmark " + b.Name)
+	}
+	all[b.Name] = b
+}
+
+// Names lists the bundled benchmarks, sorted.
+func Names() []string {
+	out := make([]string, 0, len(all))
+	for n := range all {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get returns a bundled benchmark by name.
+func Get(name string) (Bench, error) {
+	b, ok := all[name]
+	if !ok {
+		return Bench{}, fmt.Errorf("progs: unknown benchmark %q (have %v)", name, Names())
+	}
+	return b, nil
+}
+
+// PaperOrder lists the benchmarks in the row order of the paper's tables.
+func PaperOrder() []string {
+	return []string{"gzip", "gunzip", "ghostview", "espresso", "nova", "jedi", "latex", "matlab", "oracle"}
+}

@@ -1,0 +1,298 @@
+package progs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"busenc/internal/mips"
+	"busenc/internal/workload"
+)
+
+func runBench(t *testing.T, name string) (string, *mips.CPU) {
+	t.Helper()
+	b, err := Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := mips.NewCPU(p)
+	for !c.Halted() {
+		if c.Cycles() > b.MaxCycles {
+			t.Fatalf("%s did not halt within %d cycles (pc=%#x)", name, b.MaxCycles, c.PC)
+		}
+		if err := c.Step(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	return c.Output.String(), c
+}
+
+func TestAllBenchmarksAssembleAndHalt(t *testing.T) {
+	for _, name := range Names() {
+		out, c := runBench(t, name)
+		if out == "" {
+			t.Errorf("%s produced no output", name)
+		}
+		if c.Cycles() < 10000 {
+			t.Errorf("%s ran only %d cycles; stream too short to be useful", name, c.Cycles())
+		}
+		t.Logf("%s: %d cycles, output %q", name, c.Cycles(), out)
+	}
+}
+
+func TestPaperOrderCoversAll(t *testing.T) {
+	if len(PaperOrder())+len(Extras()) != len(Names()) {
+		t.Fatalf("PaperOrder (%d) + Extras (%d) != registry (%d)",
+			len(PaperOrder()), len(Extras()), len(Names()))
+	}
+	for _, n := range append(PaperOrder(), Extras()...) {
+		if _, err := Get(n); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("fortnite"); err == nil {
+		t.Error("unknown benchmark resolved")
+	}
+}
+
+// lcg replicates the benchmarks' generator.
+func lcg(s uint32) uint32 { return s*1103515245 + 12345 }
+
+func TestGzipOutputMatchesReference(t *testing.T) {
+	// Replicate: fill 2048 bytes with (s>>28)&7, RLE with runs capped at
+	// 255, checksum the (count, value) stream.
+	s := uint32(12345)
+	src := make([]byte, 2048)
+	for i := range src {
+		s = lcg(s)
+		src[i] = byte(s >> 28 & 7)
+	}
+	var dst []byte
+	for i := 0; i < len(src); {
+		v := src[i]
+		run := byte(0)
+		for i < len(src) && src[i] == v && run < 255 {
+			run++
+			i++
+		}
+		dst = append(dst, run, v)
+	}
+	sum := 0
+	for _, b := range dst {
+		sum += int(b)
+	}
+	want := fmt.Sprintf("%d %d", len(dst), sum)
+	got, _ := runBench(t, "gzip")
+	if got != want {
+		t.Errorf("gzip output = %q, want %q", got, want)
+	}
+}
+
+func TestGunzipOutputMatchesReference(t *testing.T) {
+	s := uint32(987654321)
+	total, sum := 0, 0
+	for i := 0; i < 1024; i++ {
+		s = lcg(s)
+		count := int(s>>24&7) + 1
+		val := int(s >> 16 & 255)
+		total += count
+		sum += count * val
+	}
+	want := fmt.Sprintf("%d %d", total, sum)
+	got, _ := runBench(t, "gunzip")
+	if got != want {
+		t.Errorf("gunzip output = %q, want %q", got, want)
+	}
+}
+
+func TestGhostviewExpectedPixelCount(t *testing.T) {
+	// 32 even rows (2048) + 32 even columns (2048) - overlap (1024)
+	// + 32 odd diagonal pixels = 3104.
+	got, _ := runBench(t, "ghostview")
+	if got != "3104" {
+		t.Errorf("ghostview output = %q, want 3104", got)
+	}
+}
+
+func TestMatlabTraceMatchesReference(t *testing.T) {
+	const n = 16
+	want := 0
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			want += (i + k) * (k ^ i)
+		}
+	}
+	got, _ := runBench(t, "matlab")
+	if got != fmt.Sprint(want) {
+		t.Errorf("matlab output = %q, want %d", got, want)
+	}
+}
+
+func TestNovaRootsMatchReference(t *testing.T) {
+	// Same Newton iteration in Go: 16 steps of x = (x + v/x) / 2.
+	sum := uint32(0)
+	for i := uint32(0); i < 512; i++ {
+		v := i*i + i
+		if v == 0 {
+			continue
+		}
+		x := v
+		for it := 0; it < 16 && x != 0; it++ {
+			x = (x + v/x) >> 1
+			if x == 0 {
+				break
+			}
+		}
+		sum += x
+	}
+	got, _ := runBench(t, "nova")
+	if got != fmt.Sprint(sum) {
+		t.Errorf("nova output = %q, want %d", got, sum)
+	}
+}
+
+func TestJediMatchesReference(t *testing.T) {
+	s := uint32(31337)
+	text := make([]byte, 4096)
+	for i := range text {
+		s = lcg(s)
+		text[i] = byte(s>>27&3) + 'a'
+	}
+	want := strings.Count(string(text), "abca")
+	// strings.Count does not count overlapping matches; "abcabca" has an
+	// overlap only if the pattern overlaps itself, which "abca" does
+	// (suffix "a" = prefix "a"). Count manually like the kernel does.
+	want = 0
+	for i := 0; i+4 <= len(text); i++ {
+		if string(text[i:i+4]) == "abca" {
+			want++
+		}
+	}
+	got, _ := runBench(t, "jedi")
+	if got != fmt.Sprint(want) {
+		t.Errorf("jedi output = %q, want %d", got, want)
+	}
+}
+
+func TestOracleHitsAtLeastInsertedKeys(t *testing.T) {
+	got, _ := runBench(t, "oracle")
+	var hits int
+	if _, err := fmt.Sscan(got, &hits); err != nil {
+		t.Fatalf("oracle output %q: %v", got, err)
+	}
+	if hits < 512 || hits > 1024 {
+		t.Errorf("oracle hits = %d, want within [512, 1024]", hits)
+	}
+}
+
+func TestLatexOutputsTwoCounts(t *testing.T) {
+	got, _ := runBench(t, "latex")
+	var words, lines int
+	if _, err := fmt.Sscanf(got, "%d %d", &words, &lines); err != nil {
+		t.Fatalf("latex output %q: %v", got, err)
+	}
+	// ~6144 chars, 1/8 space probability: roughly 680 words; wraps at 72.
+	if words < 300 || words > 1500 {
+		t.Errorf("latex words = %d, implausible", words)
+	}
+	if lines < 40 || lines > 200 {
+		t.Errorf("latex lines = %d, implausible", lines)
+	}
+}
+
+func TestBenchmarkStreamsHaveExpectedLocalityClasses(t *testing.T) {
+	// On average over the suite, instruction streams must be far more
+	// sequential than data streams — the property the paper's experiments
+	// hinge on. (Individual kernels may invert it: nova walks one array
+	// strictly in order, and the paper itself notes arrays are the
+	// sequential exception among data accesses.)
+	var instrSum, dataSum float64
+	for _, name := range PaperOrder() {
+		b, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := b.Assemble()
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream, _, err := mips.Run(p, name, b.MaxCycles)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		instr := stream.InstrOnly().InSeqFraction(workload.Stride)
+		data := stream.DataOnly().InSeqFraction(workload.Stride)
+		if instr < 0.4 {
+			t.Errorf("%s: instruction stream in-seq fraction %v is too low", name, instr)
+		}
+		instrSum += instr
+		dataSum += data
+		t.Logf("%s: instr in-seq %.3f, data in-seq %.3f, refs %d", name, instr, data, stream.Len())
+	}
+	n := float64(len(PaperOrder()))
+	if instrSum/n < 2*(dataSum/n) {
+		t.Errorf("suite averages: instr %.3f vs data %.3f — instruction streams should dominate", instrSum/n, dataSum/n)
+	}
+}
+
+func TestQsortSortsAndChecksums(t *testing.T) {
+	// Replicate the kernel: fill with s>>16 of the LCG, xor-checksum.
+	// The xor of a multiset is permutation-invariant, so the checksum
+	// equals the xor of the inputs; inversions must be zero.
+	s := uint32(99991)
+	sum := uint32(0)
+	for i := 0; i < 512; i++ {
+		s = lcg(s)
+		sum ^= s >> 16
+	}
+	got, _ := runBench(t, "qsort")
+	want := fmt.Sprintf("0 %d", sum)
+	if got != want {
+		t.Errorf("qsort output = %q, want %q", got, want)
+	}
+}
+
+func TestListsTraversalSum(t *testing.T) {
+	// 10 traversals of values 0..255: 10 * 255*256/2 = 326400.
+	got, _ := runBench(t, "lists")
+	if got != "326400" {
+		t.Errorf("lists output = %q, want 326400", got)
+	}
+}
+
+func TestListsDataStreamIsPointerChasing(t *testing.T) {
+	b, err := Get("lists")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, _, err := mips.Run(p, "lists", b.MaxCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tail of the run is the traversal phase (the setup's array init
+	// and shuffle are sequential walks): temporally hot (few distinct
+	// addresses revisited) but spatially scattered (low in-seq).
+	data := stream.DataOnly()
+	tail := data.Slice(data.Len()*2/3, data.Len())
+	// Each node visit loads value then next (addr, addr+4): half the
+	// pairs are field-sequential, but *node-to-node* order is shuffled,
+	// so the fraction saturates near 0.5 instead of an array walk's ~1.
+	if f := tail.InSeqFraction(workload.Stride); f > 0.6 {
+		t.Errorf("pointer chase in-seq fraction = %.3f, want ~0.5 (field pairs only)", f)
+	}
+	st := tail.Analyze(workload.Stride)
+	if st.UniqueAddrs > 600 {
+		t.Errorf("pointer chase touches %d unique addresses; expected a hot working set", st.UniqueAddrs)
+	}
+}

@@ -1,0 +1,144 @@
+package progs
+
+func init() {
+	register(Bench{
+		Name:      "ghostview",
+		About:     "renders horizontal, vertical and diagonal lines into a 64x64 framebuffer and prints the lit-pixel count (expected 3104)",
+		MaxCycles: 1_000_000,
+		Source: `
+        .text
+main:
+        la    $s0, fb
+        li    $s7, 64               # framebuffer side
+        li    $s1, 0                # k: even rows and columns
+lines:
+        # Horizontal line: row k.
+        mul   $t0, $s1, $s7
+        addu  $t0, $s0, $t0
+        li    $t1, 0
+hrow:
+        addu  $t2, $t0, $t1
+        li    $t3, 1
+        sb    $t3, 0($t2)
+        addiu $t1, $t1, 1
+        bne   $t1, $s7, hrow
+        # Vertical line: column k.
+        li    $t1, 0
+vcol:
+        mul   $t2, $t1, $s7
+        addu  $t2, $s0, $t2
+        addu  $t2, $t2, $s1
+        li    $t3, 1
+        sb    $t3, 0($t2)
+        addiu $t1, $t1, 1
+        bne   $t1, $s7, vcol
+        addiu $s1, $s1, 2
+        blt   $s1, $s7, lines
+
+        # Main diagonal.
+        li    $t1, 0
+diag:
+        mul   $t2, $t1, $s7
+        addu  $t2, $s0, $t2
+        addu  $t2, $t2, $t1
+        li    $t3, 1
+        sb    $t3, 0($t2)
+        addiu $t1, $t1, 1
+        bne   $t1, $s7, diag
+
+        # Count lit pixels.
+        li    $t1, 0
+        li    $s6, 0
+        li    $t4, 4096
+pcount:
+        addu  $t2, $s0, $t1
+        lbu   $t3, 0($t2)
+        addu  $s6, $s6, $t3
+        addiu $t1, $t1, 1
+        bne   $t1, $t4, pcount
+
+        li    $v0, 1
+        move  $a0, $s6
+        syscall
+        li    $v0, 10
+        syscall
+
+        .data
+fb:     .space 4096
+`,
+	})
+}
+
+func init() {
+	register(Bench{
+		Name:      "espresso",
+		About:     "cube intersection over two LCG-filled 512-word cover arrays; prints the intersecting-pair count and the OR-reduction",
+		MaxCycles: 1_000_000,
+		Source: `
+        .text
+main:
+        # Fill A[512] and B[512] with sparse LCG words (AND of two draws).
+        la    $s0, cubesA
+        la    $s1, cubesB
+        li    $s2, 512
+        li    $s3, 22222
+        li    $s4, 1103515245
+        li    $t9, 0
+fill:
+        mul   $s3, $s3, $s4
+        addiu $s3, $s3, 12345
+        move  $t0, $s3
+        mul   $s3, $s3, $s4
+        addiu $s3, $s3, 12345
+        and   $t0, $t0, $s3         # sparser bits
+        sll   $t1, $t9, 2
+        addu  $t2, $s0, $t1
+        sw    $t0, 0($t2)
+        mul   $s3, $s3, $s4
+        addiu $s3, $s3, 12345
+        move  $t0, $s3
+        mul   $s3, $s3, $s4
+        addiu $s3, $s3, 12345
+        and   $t0, $t0, $s3
+        addu  $t2, $s1, $t1
+        sw    $t0, 0($t2)
+        addiu $t9, $t9, 1
+        bne   $t9, $s2, fill
+
+        # Count positions whose cubes intersect, and OR-reduce everything.
+        li    $t9, 0
+        li    $s5, 0                # intersect count
+        li    $s6, 0                # OR reduction
+isect:
+        sll   $t1, $t9, 2
+        addu  $t2, $s0, $t1
+        lw    $t3, 0($t2)
+        addu  $t2, $s1, $t1
+        lw    $t4, 0($t2)
+        or    $s6, $s6, $t3
+        or    $s6, $s6, $t4
+        and   $t5, $t3, $t4
+        beq   $t5, $zero, next
+        addiu $s5, $s5, 1
+next:
+        addiu $t9, $t9, 1
+        bne   $t9, $s2, isect
+
+        li    $v0, 1
+        move  $a0, $s5
+        syscall
+        li    $v0, 11
+        li    $a0, 32
+        syscall
+        li    $v0, 1
+        move  $a0, $s6
+        syscall
+        li    $v0, 10
+        syscall
+
+        .data
+cubesA: .space 2048
+cubesB: .space 2048
+`,
+	})
+}

@@ -1,0 +1,237 @@
+package progs
+
+func init() {
+	register(Bench{
+		Name:      "jedi",
+		About:     "naive substring search for a 4-byte pattern in LCG-generated text; prints match count",
+		MaxCycles: 2_000_000,
+		Source: `
+        .text
+main:
+        # text[4096] over alphabet 'a'..'d'.
+        la    $s0, text
+        li    $s1, 4096
+        li    $s2, 31337
+        li    $s3, 1103515245
+        li    $t9, 0
+gen:
+        mul   $s2, $s2, $s3
+        addiu $s2, $s2, 12345
+        srl   $t0, $s2, 27
+        andi  $t0, $t0, 3
+        addiu $t0, $t0, 97          # 'a' + 0..3
+        addu  $t1, $s0, $t9
+        sb    $t0, 0($t1)
+        addiu $t9, $t9, 1
+        bne   $t9, $s1, gen
+
+        # Count occurrences of the pattern.
+        la    $s4, pat
+        li    $s5, 4                # pattern length
+        li    $s6, 0                # matches
+        li    $t9, 0                # text position
+        subu  $s7, $s1, $s5         # last start position (inclusive)
+search:
+        bgt   $t9, $s7, report
+        li    $t5, 0                # pattern index
+cmp:
+        addu  $t1, $s0, $t9
+        addu  $t1, $t1, $t5
+        lbu   $t2, 0($t1)
+        addu  $t3, $s4, $t5
+        lbu   $t4, 0($t3)
+        bne   $t2, $t4, miss
+        addiu $t5, $t5, 1
+        bne   $t5, $s5, cmp
+        addiu $s6, $s6, 1           # full match
+miss:
+        addiu $t9, $t9, 1
+        j     search
+report:
+        li    $v0, 1
+        move  $a0, $s6
+        syscall
+        li    $v0, 10
+        syscall
+
+        .data
+pat:    .asciiz "abca"
+text:   .space 4096
+`,
+	})
+}
+
+func init() {
+	register(Bench{
+		Name:      "latex",
+		About:     "word counting and greedy line wrapping at column 72 over LCG-generated text; prints words and lines",
+		MaxCycles: 2_000_000,
+		Source: `
+        .text
+main:
+        # text[6144]: letters with ~1/8 probability of a space.
+        la    $s0, text
+        li    $s1, 6144
+        li    $s2, 777777
+        li    $s3, 1103515245
+        li    $t9, 0
+gen:
+        mul   $s2, $s2, $s3
+        addiu $s2, $s2, 12345
+        srl   $t0, $s2, 24
+        andi  $t1, $t0, 7
+        bne   $t1, $zero, letter
+        li    $t0, 32               # space
+        j     store
+letter:
+        andi  $t0, $t0, 15
+        addiu $t0, $t0, 97          # 'a'..'p'
+store:
+        addu  $t1, $s0, $t9
+        sb    $t0, 0($t1)
+        addiu $t9, $t9, 1
+        bne   $t9, $s1, gen
+
+        # Pass 1: count words (space -> letter transitions).
+        li    $t9, 0
+        li    $s5, 0                # words
+        li    $t6, 1                # previous-was-space flag
+words:
+        addu  $t1, $s0, $t9
+        lbu   $t2, 0($t1)
+        li    $t3, 32
+        beq   $t2, $t3, wspace
+        beq   $t6, $zero, wnext     # still inside a word
+        addiu $s5, $s5, 1
+        li    $t6, 0
+        j     wnext
+wspace:
+        li    $t6, 1
+wnext:
+        addiu $t9, $t9, 1
+        bne   $t9, $s1, words
+
+        # Pass 2: greedy wrap at column 72: scan words, break lines.
+        li    $t9, 0
+        li    $s6, 1                # lines
+        li    $t7, 0                # column
+        li    $t6, 1                # previous-was-space
+wrap:
+        addu  $t1, $s0, $t9
+        lbu   $t2, 0($t1)
+        li    $t3, 32
+        beq   $t2, $t3, wsp2
+        addiu $t7, $t7, 1           # letter advances the column
+        li    $t6, 0
+        li    $t4, 72
+        blt   $t7, $t4, wnext2
+        addiu $s6, $s6, 1           # wrap
+        li    $t7, 0
+        j     wnext2
+wsp2:
+        beq   $t6, $zero, advsp
+        j     wnext2                # collapse runs of spaces
+advsp:
+        addiu $t7, $t7, 1
+        li    $t6, 1
+wnext2:
+        addiu $t9, $t9, 1
+        bne   $t9, $s1, wrap
+
+        li    $v0, 1
+        move  $a0, $s5
+        syscall
+        li    $v0, 11
+        li    $a0, 32
+        syscall
+        li    $v0, 1
+        move  $a0, $s6
+        syscall
+        li    $v0, 10
+        syscall
+
+        .data
+text:   .space 6144
+`,
+	})
+}
+
+func init() {
+	register(Bench{
+		Name:      "oracle",
+		About:     "open-addressing hash table: insert 512 LCG keys into 2048 slots, then probe 1024 keys; prints hit count",
+		MaxCycles: 2_000_000,
+		Source: `
+        .text
+main:
+        # Insert 512 keys. Table: 2048 word slots, 0 = empty.
+        la    $s0, table
+        li    $s1, 2047             # index mask
+        li    $s2, 424242           # LCG state
+        li    $s3, 1103515245
+        li    $s4, 512
+        li    $t9, 0
+insert:
+        mul   $s2, $s2, $s3
+        addiu $s2, $s2, 12345
+        srl   $t0, $s2, 8
+        bne   $t0, $zero, okkey
+        li    $t0, 1                # avoid the empty marker
+okkey:
+        # h = key & mask; linear probe for an empty slot.
+        and   $t1, $t0, $s1
+probe:
+        sll   $t2, $t1, 2
+        addu  $t3, $s0, $t2
+        lw    $t4, 0($t3)
+        beq   $t4, $zero, place
+        beq   $t4, $t0, placed      # duplicate key already present
+        addiu $t1, $t1, 1
+        and   $t1, $t1, $s1
+        j     probe
+place:
+        sw    $t0, 0($t3)
+placed:
+        addiu $t9, $t9, 1
+        bne   $t9, $s4, insert
+
+        # Probe 1024 keys from a re-seeded LCG: the first 512 hit,
+        # the rest mostly miss.
+        li    $s2, 424242
+        li    $s5, 0                # hits
+        li    $s6, 1024
+        li    $t9, 0
+lookup:
+        mul   $s2, $s2, $s3
+        addiu $s2, $s2, 12345
+        srl   $t0, $s2, 8
+        bne   $t0, $zero, okkey2
+        li    $t0, 1
+okkey2:
+        and   $t1, $t0, $s1
+probe2:
+        sll   $t2, $t1, 2
+        addu  $t3, $s0, $t2
+        lw    $t4, 0($t3)
+        beq   $t4, $zero, misskey
+        beq   $t4, $t0, hitkey
+        addiu $t1, $t1, 1
+        and   $t1, $t1, $s1
+        j     probe2
+hitkey:
+        addiu $s5, $s5, 1
+misskey:
+        addiu $t9, $t9, 1
+        bne   $t9, $s6, lookup
+
+        li    $v0, 1
+        move  $a0, $s5
+        syscall
+        li    $v0, 10
+        syscall
+
+        .data
+table:  .space 8192
+`,
+	})
+}

@@ -1,0 +1,232 @@
+package netlist
+
+import "fmt"
+
+// Component generators: the datapath building blocks of the paper's
+// encoder and decoder architectures (Section 4.1) — incrementers,
+// comparators, the Hamming-distance evaluator (XOR bank + population-count
+// tree) and the majority voter.
+
+// Incrementer returns a + 2^strideLog over the width of a (ripple carry;
+// the result wraps modulo 2^len(a)).
+func (n *Netlist) Incrementer(a []NetID, strideLog int) []NetID {
+	if strideLog < 0 || strideLog >= len(a) {
+		panic(fmt.Sprintf("netlist: strideLog %d out of range for %d bits", strideLog, len(a)))
+	}
+	out := make([]NetID, len(a))
+	for i := 0; i < strideLog; i++ {
+		out[i] = a[i]
+	}
+	// Adding 1 at bit position strideLog: sum = a ^ carry chain.
+	carry := a[strideLog] // carry out of bit strideLog when adding 1
+	out[strideLog] = n.Not(a[strideLog])
+	for i := strideLog + 1; i < len(a); i++ {
+		out[i] = n.Xor(a[i], carry)
+		if i+1 < len(a) {
+			carry = n.And(a[i], carry)
+		}
+	}
+	return out
+}
+
+// PrefixIncrementer returns a + 2^strideLog like Incrementer, but with a
+// Kogge-Stone prefix-AND carry network: O(N log N) gates at O(log N)
+// depth instead of the ripple chain's O(N) depth. Used by the hardware
+// codec generators so the T0 sections' timing reflects a realistic
+// implementation rather than a worst-case ripple.
+func (n *Netlist) PrefixIncrementer(a []NetID, strideLog int) []NetID {
+	if strideLog < 0 || strideLog >= len(a) {
+		panic(fmt.Sprintf("netlist: strideLog %d out of range for %d bits", strideLog, len(a)))
+	}
+	out := make([]NetID, len(a))
+	for i := 0; i < strideLog; i++ {
+		out[i] = a[i]
+	}
+	out[strideLog] = n.Not(a[strideLog])
+	m := len(a) - strideLog
+	if m == 1 {
+		return out
+	}
+	// pre[j] = AND(a[strideLog .. strideLog+j]) via a Kogge-Stone scan.
+	pre := make([]NetID, m)
+	copy(pre, a[strideLog:])
+	for d := 1; d < m; d <<= 1 {
+		next := make([]NetID, m)
+		copy(next, pre)
+		for j := d; j < m; j++ {
+			next[j] = n.And(pre[j], pre[j-d])
+		}
+		pre = next
+	}
+	for i := strideLog + 1; i < len(a); i++ {
+		// Carry into bit i is the AND of all lower bits from strideLog.
+		out[i] = n.Xor(a[i], pre[i-1-strideLog])
+	}
+	return out
+}
+
+// Equal returns a single net that is high when buses a and b are equal.
+func (n *Netlist) Equal(a, b []NetID) NetID {
+	if len(a) != len(b) {
+		panic("netlist: Equal on unequal widths")
+	}
+	terms := make([]NetID, len(a))
+	for i := range a {
+		terms[i] = n.Xnor(a[i], b[i])
+	}
+	return n.AndTree(terms)
+}
+
+// AndTree reduces nets with a balanced AND tree.
+func (n *Netlist) AndTree(in []NetID) NetID {
+	return n.tree(in, n.And)
+}
+
+// OrTree reduces nets with a balanced OR tree.
+func (n *Netlist) OrTree(in []NetID) NetID {
+	return n.tree(in, n.Or)
+}
+
+func (n *Netlist) tree(in []NetID, op func(a, b NetID) NetID) NetID {
+	if len(in) == 0 {
+		panic("netlist: empty reduction")
+	}
+	for len(in) > 1 {
+		var next []NetID
+		for i := 0; i+1 < len(in); i += 2 {
+			next = append(next, op(in[i], in[i+1]))
+		}
+		if len(in)%2 == 1 {
+			next = append(next, in[len(in)-1])
+		}
+		in = next
+	}
+	return in[0]
+}
+
+// XorBank returns a[i] ^ b[i] for each line — the per-line difference
+// stage of the Hamming-distance evaluator.
+func (n *Netlist) XorBank(a, b []NetID) []NetID {
+	if len(a) != len(b) {
+		panic("netlist: XorBank on unequal widths")
+	}
+	out := make([]NetID, len(a))
+	for i := range a {
+		out[i] = n.Xor(a[i], b[i])
+	}
+	return out
+}
+
+// InvertBank returns a[i] ^ inv for each line — conditional inversion.
+func (n *Netlist) InvertBank(a []NetID, inv NetID) []NetID {
+	out := make([]NetID, len(a))
+	for i := range a {
+		out[i] = n.Xor(a[i], inv)
+	}
+	return out
+}
+
+// MuxBank returns sel ? b[i] : a[i] per line.
+func (n *Netlist) MuxBank(a, b []NetID, sel NetID) []NetID {
+	if len(a) != len(b) {
+		panic("netlist: MuxBank on unequal widths")
+	}
+	out := make([]NetID, len(a))
+	for i := range a {
+		out[i] = n.Mux(a[i], b[i], sel)
+	}
+	return out
+}
+
+// RegBank returns DFF outputs for each line of d.
+func (n *Netlist) RegBank(d []NetID) []NetID {
+	out := make([]NetID, len(d))
+	for i := range d {
+		out[i] = n.DFF(d[i])
+	}
+	return out
+}
+
+// RegBankFeedback allocates a register bank whose Q nets are available
+// before the D nets; returns the Qs and the connect function.
+func (n *Netlist) RegBankFeedback(width int) (q []NetID, connect func(d []NetID)) {
+	q = make([]NetID, width)
+	conns := make([]func(NetID), width)
+	for i := 0; i < width; i++ {
+		q[i], conns[i] = n.DFFFeedback()
+	}
+	return q, func(d []NetID) {
+		if len(d) != width {
+			panic("netlist: RegBankFeedback width mismatch")
+		}
+		for i := range d {
+			conns[i](d[i])
+		}
+	}
+}
+
+// fullAdder returns (sum, carry) of three bits.
+func (n *Netlist) fullAdder(a, b, c NetID) (sum, carry NetID) {
+	axb := n.Xor(a, b)
+	sum = n.Xor(axb, c)
+	carry = n.Or(n.And(a, b), n.And(axb, c))
+	return sum, carry
+}
+
+// halfAdder returns (sum, carry) of two bits.
+func (n *Netlist) halfAdder(a, b NetID) (sum, carry NetID) {
+	return n.Xor(a, b), n.And(a, b)
+}
+
+// PopCount builds a carry-save adder tree counting the high inputs; the
+// result bus is ceil(log2(len(in)+1)) bits, LSB first.
+func (n *Netlist) PopCount(in []NetID) []NetID {
+	if len(in) == 0 {
+		panic("netlist: PopCount of nothing")
+	}
+	// columns[i] holds bits of weight 2^i awaiting reduction.
+	columns := [][]NetID{append([]NetID(nil), in...)}
+	for w := 0; w < len(columns); w++ {
+		for len(columns[w]) > 1 {
+			col := columns[w]
+			if len(columns) == w+1 {
+				columns = append(columns, nil)
+			}
+			switch {
+			case len(col) >= 3:
+				s, c := n.fullAdder(col[0], col[1], col[2])
+				columns[w] = append(col[3:], s)
+				columns[w+1] = append(columns[w+1], c)
+			default:
+				s, c := n.halfAdder(col[0], col[1])
+				columns[w] = append(col[2:], s)
+				columns[w+1] = append(columns[w+1], c)
+			}
+		}
+	}
+	out := make([]NetID, len(columns))
+	for i, col := range columns {
+		out[i] = col[0]
+	}
+	return out
+}
+
+// GreaterThanConst returns a net that is high when the unsigned value on
+// bus v (LSB first) is strictly greater than the constant k — the
+// majority-voter comparison of the bus-invert section.
+func (n *Netlist) GreaterThanConst(v []NetID, k uint64) NetID {
+	// Scan from MSB: gt' = gt | (eq & v_i & !k_i); eq' = eq & (v_i == k_i).
+	gt := n.Const0()
+	eq := n.Const1()
+	for i := len(v) - 1; i >= 0; i-- {
+		kbit := k>>uint(i)&1 == 1
+		if kbit {
+			// v_i must be 1 to stay equal; can never become greater here.
+			eq = n.And(eq, v[i])
+		} else {
+			gt = n.Or(gt, n.And(eq, v[i]))
+			eq = n.And(eq, n.Not(v[i]))
+		}
+	}
+	return gt
+}

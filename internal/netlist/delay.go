@@ -1,0 +1,134 @@
+package netlist
+
+// Gate-delay model and critical-path extraction. The paper reports its
+// dual T0_BI encoder's critical path (5.36 ns in a 0.35um library,
+// through the bus-invert section and the output mux); this file provides
+// the equivalent analysis for generated netlists.
+
+// delays returns a per-kind propagation delay in seconds, loosely
+// calibrated to a 0.35um standard-cell library. Load-dependent delay is
+// not modeled; the numbers represent a typical fanout-of-4 stage.
+func (lib *Library) delayOf(k Kind) float64 {
+	switch k {
+	case KindInv:
+		return 0.10e-9
+	case KindBuf:
+		return 0.15e-9
+	case KindNand2, KindNor2:
+		return 0.15e-9
+	case KindAnd2, KindOr2:
+		return 0.20e-9
+	case KindXor2, KindXnor2:
+		return 0.30e-9
+	case KindMux2:
+		return 0.25e-9
+	case KindDFF:
+		return 0.45e-9 // clock-to-Q
+	default:
+		return 0.20e-9
+	}
+}
+
+// PathStage is one cell on a timing path.
+type PathStage struct {
+	Cell   int
+	Kind   Kind
+	Out    NetID
+	DelayS float64
+}
+
+// CriticalPath returns the slowest register-to-register (or input-to-
+// output) combinational path: its total delay in seconds and the cells
+// along it, driver first. DFF outputs contribute their clock-to-Q delay
+// as the path's starting point.
+func (lib *Library) CriticalPath(n *Netlist) (float64, []PathStage, error) {
+	order, err := levelize(n)
+	if err != nil {
+		return 0, nil, err
+	}
+	cells := n.Cells()
+	arrival := make([]float64, n.NumNets())
+	from := make([]int, n.NumNets()) // driving cell index along the worst path
+	for i := range from {
+		from[i] = -1
+	}
+	// DFF outputs start paths at clock-to-Q.
+	for ci, c := range cells {
+		if c.Kind == KindDFF {
+			arrival[c.Out] = lib.delayOf(KindDFF)
+			from[c.Out] = ci
+		}
+	}
+	worstNet := NetID(-1)
+	worst := 0.0
+	for _, ci := range order {
+		c := cells[ci]
+		in := 0.0
+		for _, id := range c.In {
+			if arrival[id] > in {
+				in = arrival[id]
+			}
+		}
+		t := in + lib.delayOf(c.Kind)
+		arrival[c.Out] = t
+		from[c.Out] = ci
+		if t > worst {
+			worst = t
+			worstNet = c.Out
+		}
+	}
+	// Also account for DFF data inputs: the path must settle before the
+	// next clock edge, so the endpoint is the D pin arrival.
+	for _, c := range cells {
+		if c.Kind != KindDFF {
+			continue
+		}
+		if t := arrival[c.In[0]]; t > worst {
+			worst = t
+			worstNet = c.In[0]
+		}
+	}
+	if worstNet < 0 {
+		return 0, nil, nil
+	}
+	// Walk the path backwards.
+	var rev []PathStage
+	for net := worstNet; net >= 0 && from[net] >= 0; {
+		ci := from[net]
+		c := cells[ci]
+		rev = append(rev, PathStage{Cell: ci, Kind: c.Kind, Out: c.Out, DelayS: lib.delayOf(c.Kind)})
+		if c.Kind == KindDFF {
+			break
+		}
+		next := NetID(-1)
+		best := -1.0
+		for _, id := range c.In {
+			if arrival[id] > best {
+				best = arrival[id]
+				next = id
+			}
+		}
+		if next < 0 {
+			break
+		}
+		net = next
+	}
+	path := make([]PathStage, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		path = append(path, rev[i])
+	}
+	return worst, path, nil
+}
+
+// MaxFrequencyHz returns the clock rate the netlist supports under the
+// delay model (1 / critical path).
+func (lib *Library) MaxFrequencyHz(n *Netlist) (float64, error) {
+	t, _, err := lib.CriticalPath(n)
+	if err != nil {
+		return 0, err
+	}
+	if t <= 0 {
+		return 0, nil
+	}
+	return 1 / t, nil
+}

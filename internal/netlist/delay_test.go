@@ -1,0 +1,105 @@
+package netlist
+
+import "testing"
+
+func TestPrefixIncrementerExhaustive(t *testing.T) {
+	for _, strideLog := range []int{0, 1, 3} {
+		n := New("pinc")
+		a := n.InputBus("a", 7)
+		n.OutputBus("y", n.PrefixIncrementer(a, strideLog))
+		sim, err := NewSimulator(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := uint64(0); v < 128; v++ {
+			sim.Step(setBus(v, 7))
+			want := (v + 1<<uint(strideLog)) & 127
+			if got := sim.OutputWord("y", 7); got != want {
+				t.Errorf("strideLog %d: inc(%d) = %d, want %d", strideLog, v, got, want)
+			}
+		}
+	}
+}
+
+func TestPrefixIncrementerShallowerThanRipple(t *testing.T) {
+	depthOf := func(build func(n *Netlist, a []NetID) []NetID) int {
+		n := New("d")
+		a := n.InputBus("a", 32)
+		n.OutputBus("y", build(n, a))
+		max := 0
+		for _, d := range n.Depths() {
+			if d > max {
+				max = d
+			}
+		}
+		return max
+	}
+	ripple := depthOf(func(n *Netlist, a []NetID) []NetID { return n.Incrementer(a, 0) })
+	prefix := depthOf(func(n *Netlist, a []NetID) []NetID { return n.PrefixIncrementer(a, 0) })
+	if prefix*3 > ripple {
+		t.Errorf("prefix depth %d not clearly below ripple depth %d", prefix, ripple)
+	}
+}
+
+func TestCriticalPathSimpleChain(t *testing.T) {
+	lib := DefaultLibrary()
+	n := New("chain")
+	a := n.Input("a")
+	x := n.Xor(a, n.Not(a)) // inv 0.10 + xor 0.30
+	n.Output("y", x)
+	delay, path, err := lib.CriticalPath(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := lib.delayOf(KindInv) + lib.delayOf(KindXor2)
+	if diff := delay - want; diff > 1e-15 || diff < -1e-15 {
+		t.Errorf("delay = %g, want %g", delay, want)
+	}
+	if len(path) != 2 || path[0].Kind != KindInv || path[1].Kind != KindXor2 {
+		t.Errorf("path = %+v", path)
+	}
+}
+
+func TestCriticalPathStartsAtRegister(t *testing.T) {
+	lib := DefaultLibrary()
+	n := New("r2r")
+	a := n.Input("a")
+	q := n.DFF(a)
+	q2 := n.DFF(n.Xor(q, a)) // reg -> xor -> reg: clk-to-Q + xor
+	n.Output("y", q2)
+	delay, path, err := lib.CriticalPath(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := lib.delayOf(KindDFF) + lib.delayOf(KindXor2)
+	if diff := delay - want; diff > 1e-15 || diff < -1e-15 {
+		t.Errorf("delay = %g, want %g", delay, want)
+	}
+	if len(path) == 0 || path[0].Kind != KindDFF {
+		t.Errorf("path should start at the register: %+v", path)
+	}
+}
+
+func TestCriticalPathEmptyNetlist(t *testing.T) {
+	lib := DefaultLibrary()
+	n := New("empty")
+	n.Input("a")
+	delay, path, err := lib.CriticalPath(n)
+	if err != nil || delay != 0 || path != nil {
+		t.Errorf("empty netlist: %v %v %v", delay, path, err)
+	}
+}
+
+func TestMaxFrequency(t *testing.T) {
+	lib := DefaultLibrary()
+	n := New("f")
+	a := n.Input("a")
+	n.Output("q", n.DFF(n.Xor(a, a)))
+	f, err := lib.MaxFrequencyHz(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f <= 0 || f > 10e9 {
+		t.Errorf("implausible max frequency %g", f)
+	}
+}

@@ -1,0 +1,88 @@
+package netlist
+
+// CellSpec carries the electrical parameters of one library cell, loosely
+// modeled on a 0.35um, 3.3V standard-cell library of the kind the paper's
+// encoders were mapped to (SGS-Thomson). Values are order-of-magnitude
+// realistic; the experiments depend on ratios and trends, not absolutes.
+type CellSpec struct {
+	// InputCapF is the capacitance of each input pin, in farads.
+	InputCapF float64
+	// OutputCapF is the parasitic capacitance of the output pin.
+	OutputCapF float64
+	// InternalEnergyJ is the short-circuit/internal energy dissipated per
+	// output transition, in joules.
+	InternalEnergyJ float64
+	// ClockEnergyJ is energy per clock edge (sequential cells only).
+	ClockEnergyJ float64
+	// Area is relative cell area (NAND2 = 1), for reporting.
+	Area float64
+}
+
+// Library maps each cell kind to its electrical spec.
+type Library struct {
+	Specs [kindCount]CellSpec
+	// WireCapF is the fixed parasitic wire capacitance added to each net.
+	WireCapF float64
+	// Vdd is the supply voltage in volts.
+	Vdd float64
+	// GlitchFactor models the extra transitions of deep combinational
+	// logic under real (non-zero) gate delays: a cell at combinational
+	// depth d dissipates (1 + GlitchFactor*(d-1)) times its zero-delay
+	// switching energy. The zero-delay simulator counts one settled
+	// transition per net per cycle; unbalanced arithmetic such as
+	// ripple carries and population-count trees glitches several times
+	// per useful transition, which a timing-accurate estimator (the
+	// paper used Synopsys Design Power) captures. Zero disables the
+	// correction.
+	GlitchFactor float64
+	// MaxGlitch caps the depth multiplier: very deep chains (ripple
+	// carries) settle mostly monotonically, so glitching saturates
+	// rather than growing without bound. Zero means no cap.
+	MaxGlitch float64
+}
+
+// DefaultLibrary returns the 0.35um/3.3V-class library used throughout the
+// experiments.
+func DefaultLibrary() *Library {
+	lib := &Library{WireCapF: 5e-15, Vdd: 3.3, GlitchFactor: 0.8, MaxGlitch: 10}
+	lib.Specs[KindInv] = CellSpec{InputCapF: 8e-15, OutputCapF: 4e-15, InternalEnergyJ: 10e-15, Area: 0.6}
+	lib.Specs[KindBuf] = CellSpec{InputCapF: 8e-15, OutputCapF: 5e-15, InternalEnergyJ: 20e-15, Area: 0.9}
+	lib.Specs[KindAnd2] = CellSpec{InputCapF: 10e-15, OutputCapF: 5e-15, InternalEnergyJ: 25e-15, Area: 1.2}
+	lib.Specs[KindOr2] = CellSpec{InputCapF: 10e-15, OutputCapF: 5e-15, InternalEnergyJ: 25e-15, Area: 1.2}
+	lib.Specs[KindNand2] = CellSpec{InputCapF: 10e-15, OutputCapF: 5e-15, InternalEnergyJ: 18e-15, Area: 1.0}
+	lib.Specs[KindNor2] = CellSpec{InputCapF: 10e-15, OutputCapF: 5e-15, InternalEnergyJ: 18e-15, Area: 1.0}
+	lib.Specs[KindXor2] = CellSpec{InputCapF: 14e-15, OutputCapF: 6e-15, InternalEnergyJ: 40e-15, Area: 2.2}
+	lib.Specs[KindXnor2] = CellSpec{InputCapF: 14e-15, OutputCapF: 6e-15, InternalEnergyJ: 40e-15, Area: 2.2}
+	lib.Specs[KindMux2] = CellSpec{InputCapF: 12e-15, OutputCapF: 6e-15, InternalEnergyJ: 35e-15, Area: 2.0}
+	lib.Specs[KindDFF] = CellSpec{InputCapF: 12e-15, OutputCapF: 6e-15, InternalEnergyJ: 60e-15, ClockEnergyJ: 25e-15, Area: 4.5}
+	return lib
+}
+
+// NetCaps computes the capacitance of every net: the driver's output pin
+// cap, the wire cap, and the input pin caps of all fanout cells. Primary
+// outputs additionally see loadF (the external load per line).
+func (lib *Library) NetCaps(n *Netlist, loadF float64) []float64 {
+	caps := make([]float64, n.NumNets())
+	for i := range caps {
+		caps[i] = lib.WireCapF
+	}
+	for _, c := range n.Cells() {
+		caps[c.Out] += lib.Specs[c.Kind].OutputCapF
+		for _, in := range c.In {
+			caps[in] += lib.Specs[c.Kind].InputCapF
+		}
+	}
+	for _, out := range n.Outputs() {
+		caps[out] += loadF
+	}
+	return caps
+}
+
+// Area returns the total relative cell area.
+func (lib *Library) Area(n *Netlist) float64 {
+	total := 0.0
+	for _, c := range n.Cells() {
+		total += lib.Specs[c.Kind].Area
+	}
+	return total
+}

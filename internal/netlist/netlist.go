@@ -1,0 +1,264 @@
+// Package netlist provides a structural gate-level netlist with a small
+// standard-cell library, a zero-delay logic simulator that counts per-net
+// switching activity, and a probabilistic activity estimator. It is the
+// substitute for the Synopsys Design Compiler / Design Power flow the
+// paper used to evaluate its encoder and decoder implementations (Section
+// 4): power is alpha * C * Vdd^2 * f at every net, so counting weighted
+// toggles reproduces the experiment's structure.
+package netlist
+
+import "fmt"
+
+// NetID identifies one net (wire) in the netlist.
+type NetID int
+
+// Kind enumerates the available standard cells.
+type Kind int
+
+// The cell library. MUX2 selects In[1] when In[2] is high, else In[0].
+const (
+	KindInv Kind = iota
+	KindBuf
+	KindAnd2
+	KindOr2
+	KindNand2
+	KindNor2
+	KindXor2
+	KindXnor2
+	KindMux2
+	KindDFF
+	kindCount
+)
+
+// String returns the cell name.
+func (k Kind) String() string {
+	names := [...]string{"INV", "BUF", "AND2", "OR2", "NAND2", "NOR2", "XOR2", "XNOR2", "MUX2", "DFF"}
+	if k < 0 || int(k) >= len(names) {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return names[k]
+}
+
+func (k Kind) arity() int {
+	switch k {
+	case KindInv, KindBuf, KindDFF:
+		return 1
+	case KindMux2:
+		return 3
+	default:
+		return 2
+	}
+}
+
+// Cell is one instantiated gate.
+type Cell struct {
+	Kind Kind
+	In   []NetID
+	Out  NetID
+}
+
+// Netlist is a gate-level circuit under construction or analysis.
+type Netlist struct {
+	Name string
+
+	nets    int
+	cells   []Cell
+	inputs  []NetID
+	outputs []NetID
+	inName  map[string]NetID
+	outName map[string]NetID
+	netName map[NetID]string
+
+	const0 NetID
+	const1 NetID
+	hasC0  bool
+	hasC1  bool
+}
+
+// New returns an empty netlist.
+func New(name string) *Netlist {
+	return &Netlist{
+		Name:    name,
+		inName:  make(map[string]NetID),
+		outName: make(map[string]NetID),
+		netName: make(map[NetID]string),
+	}
+}
+
+func (n *Netlist) newNet() NetID {
+	id := NetID(n.nets)
+	n.nets++
+	return id
+}
+
+// NumNets returns the total net count.
+func (n *Netlist) NumNets() int { return n.nets }
+
+// NumCells returns the total cell count.
+func (n *Netlist) NumCells() int { return len(n.cells) }
+
+// CountCells returns the number of cells of one kind.
+func (n *Netlist) CountCells(k Kind) int {
+	c := 0
+	for _, cell := range n.cells {
+		if cell.Kind == k {
+			c++
+		}
+	}
+	return c
+}
+
+// Input declares a named primary input and returns its net.
+func (n *Netlist) Input(name string) NetID {
+	if _, dup := n.inName[name]; dup {
+		panic("netlist: duplicate input " + name)
+	}
+	id := n.newNet()
+	n.inputs = append(n.inputs, id)
+	n.inName[name] = id
+	n.netName[id] = name
+	return id
+}
+
+// InputBus declares width named inputs "name[0]".."name[w-1]", LSB first.
+func (n *Netlist) InputBus(name string, width int) []NetID {
+	out := make([]NetID, width)
+	for i := range out {
+		out[i] = n.Input(fmt.Sprintf("%s[%d]", name, i))
+	}
+	return out
+}
+
+// Output marks a net as a named primary output.
+func (n *Netlist) Output(name string, id NetID) {
+	if _, dup := n.outName[name]; dup {
+		panic("netlist: duplicate output " + name)
+	}
+	n.outputs = append(n.outputs, id)
+	n.outName[name] = id
+}
+
+// OutputBus marks nets as outputs "name[0]".."name[w-1]".
+func (n *Netlist) OutputBus(name string, ids []NetID) {
+	for i, id := range ids {
+		n.Output(fmt.Sprintf("%s[%d]", name, i), id)
+	}
+}
+
+// Inputs returns the primary input nets in declaration order.
+func (n *Netlist) Inputs() []NetID { return n.inputs }
+
+// Outputs returns the primary output nets in declaration order.
+func (n *Netlist) Outputs() []NetID { return n.outputs }
+
+// InputNet returns a named input's net.
+func (n *Netlist) InputNet(name string) (NetID, bool) {
+	id, ok := n.inName[name]
+	return id, ok
+}
+
+// OutputNet returns a named output's net.
+func (n *Netlist) OutputNet(name string) (NetID, bool) {
+	id, ok := n.outName[name]
+	return id, ok
+}
+
+func (n *Netlist) addCell(k Kind, out NetID, in ...NetID) NetID {
+	if len(in) != k.arity() {
+		panic(fmt.Sprintf("netlist: %s takes %d inputs, got %d", k, k.arity(), len(in)))
+	}
+	n.cells = append(n.cells, Cell{Kind: k, In: in, Out: out})
+	return out
+}
+
+// Const0 returns the constant-zero net (created on first use).
+func (n *Netlist) Const0() NetID {
+	if !n.hasC0 {
+		n.const0 = n.newNet()
+		n.hasC0 = true
+	}
+	return n.const0
+}
+
+// Const1 returns the constant-one net (created on first use).
+func (n *Netlist) Const1() NetID {
+	if !n.hasC1 {
+		n.const1 = n.newNet()
+		n.hasC1 = true
+	}
+	return n.const1
+}
+
+// Gate constructors. Each allocates the output net.
+
+// Not returns !a.
+func (n *Netlist) Not(a NetID) NetID { return n.addCell(KindInv, n.newNet(), a) }
+
+// Buf returns a through a buffer.
+func (n *Netlist) Buf(a NetID) NetID { return n.addCell(KindBuf, n.newNet(), a) }
+
+// And returns a & b.
+func (n *Netlist) And(a, b NetID) NetID { return n.addCell(KindAnd2, n.newNet(), a, b) }
+
+// Or returns a | b.
+func (n *Netlist) Or(a, b NetID) NetID { return n.addCell(KindOr2, n.newNet(), a, b) }
+
+// Nand returns !(a & b).
+func (n *Netlist) Nand(a, b NetID) NetID { return n.addCell(KindNand2, n.newNet(), a, b) }
+
+// Nor returns !(a | b).
+func (n *Netlist) Nor(a, b NetID) NetID { return n.addCell(KindNor2, n.newNet(), a, b) }
+
+// Xor returns a ^ b.
+func (n *Netlist) Xor(a, b NetID) NetID { return n.addCell(KindXor2, n.newNet(), a, b) }
+
+// Xnor returns !(a ^ b).
+func (n *Netlist) Xnor(a, b NetID) NetID { return n.addCell(KindXnor2, n.newNet(), a, b) }
+
+// Mux returns sel ? b : a.
+func (n *Netlist) Mux(a, b, sel NetID) NetID { return n.addCell(KindMux2, n.newNet(), a, b, sel) }
+
+// DFF returns the Q output of a new flip-flop with data input d. State
+// updates at each simulation step's clock edge; Q initializes to zero.
+func (n *Netlist) DFF(d NetID) NetID { return n.addCell(KindDFF, n.newNet(), d) }
+
+// DFFFeedback allocates a flip-flop whose Q net is available before its D
+// input exists, so Q can feed the combinational logic that computes D
+// (state-holding registers). Call connect exactly once.
+func (n *Netlist) DFFFeedback() (q NetID, connect func(d NetID)) {
+	q = n.newNet()
+	connected := false
+	return q, func(d NetID) {
+		if connected {
+			panic("netlist: DFFFeedback connected twice")
+		}
+		connected = true
+		n.addCell(KindDFF, q, d)
+	}
+}
+
+// Cells returns the cell slice (shared; callers must not mutate).
+func (n *Netlist) Cells() []Cell { return n.cells }
+
+// Depths returns the combinational depth of every net: 0 for primary
+// inputs, constants and DFF outputs; 1 + max(input depths) for nets driven
+// by combinational cells. Panics on a combinational cycle (use
+// NewSimulator for a checked levelization first).
+func (n *Netlist) Depths() []int {
+	depth := make([]int, n.NumNets())
+	order, err := levelize(n)
+	if err != nil {
+		panic(err)
+	}
+	for _, ci := range order {
+		c := n.cells[ci]
+		d := 0
+		for _, in := range c.In {
+			if depth[in] > d {
+				d = depth[in]
+			}
+		}
+		depth[c.Out] = d + 1
+	}
+	return depth
+}

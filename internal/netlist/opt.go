@@ -1,0 +1,240 @@
+package netlist
+
+import "fmt"
+
+// Optimize returns a logically equivalent netlist with constants folded,
+// aliases removed and dead logic eliminated:
+//
+//   - gates with constant inputs are folded (AND(x,0) -> 0, NAND(x,1) ->
+//     INV(x), XOR(x,1) -> INV(x), MUX with a constant select, ...);
+//   - buffers and other identity gates become wire aliases;
+//   - gates with identical inputs simplify (XOR(x,x) -> 0, AND(x,x) -> x);
+//   - cells whose outputs reach no primary output or flip-flop are dropped.
+//
+// Flip-flops are never folded (their cycle-0 state is architectural).
+// Primary input and output names are preserved, so simulators driving the
+// optimized netlist are drop-in compatible.
+func Optimize(n *Netlist) (*Netlist, error) {
+	order, err := levelize(n)
+	if err != nil {
+		return nil, err
+	}
+	cells := n.Cells()
+
+	// Analysis state over original net ids.
+	type constVal struct {
+		known bool
+		v     bool
+	}
+	consts := make([]constVal, n.NumNets())
+	alias := make([]NetID, n.NumNets())
+	for i := range alias {
+		alias[i] = NetID(i)
+	}
+	var resolve func(NetID) NetID
+	resolve = func(x NetID) NetID {
+		for alias[x] != x {
+			alias[x] = alias[alias[x]]
+			x = alias[x]
+		}
+		return x
+	}
+	if n.hasC0 {
+		consts[n.const0] = constVal{known: true, v: false}
+	}
+	if n.hasC1 {
+		consts[n.const1] = constVal{known: true, v: true}
+	}
+
+	// rewrittenKind[i] overrides the cell kind when a fold turns a
+	// two-input gate into an inverter of `rewrittenIn[i]`.
+	rewrittenKind := make(map[int]Kind)
+	rewrittenIn := make(map[int]NetID)
+	dropped := make([]bool, len(cells))
+
+	setConst := func(out NetID, v bool) {
+		consts[out] = constVal{known: true, v: v}
+	}
+	cv := func(id NetID) constVal { return consts[resolve(id)] }
+
+	for _, ci := range order {
+		c := cells[ci]
+		in := make([]NetID, len(c.In))
+		for k, id := range c.In {
+			in[k] = resolve(id)
+		}
+		allKnown := true
+		vals := make([]bool, len(in))
+		for k, id := range in {
+			cvk := cv(id)
+			if !cvk.known {
+				allKnown = false
+			}
+			vals[k] = cvk.v
+		}
+		if allKnown {
+			setConst(c.Out, eval(c.Kind, vals))
+			dropped[ci] = true
+			continue
+		}
+		switch c.Kind {
+		case KindBuf:
+			alias[c.Out] = in[0]
+			dropped[ci] = true
+		case KindAnd2, KindNand2, KindOr2, KindNor2:
+			neg := c.Kind == KindNand2 || c.Kind == KindNor2
+			isAnd := c.Kind == KindAnd2 || c.Kind == KindNand2
+			a, b := in[0], in[1]
+			ca, cbv := cv(a), cv(b)
+			// Normalize: if either side is constant, put it in ca/a.
+			if cbv.known {
+				a, b = b, a
+				ca = cbv
+			}
+			switch {
+			case ca.known && ca.v == isAnd:
+				// AND(x,1) / OR(x,0): identity (or inversion for N-gates).
+				if neg {
+					rewrittenKind[ci] = KindInv
+					rewrittenIn[ci] = b
+				} else {
+					alias[c.Out] = b
+					dropped[ci] = true
+				}
+			case ca.known:
+				// AND(x,0) = 0; OR(x,1) = 1; negated for N-gates.
+				setConst(c.Out, neg == isAnd)
+				dropped[ci] = true
+			case a == b:
+				if neg {
+					rewrittenKind[ci] = KindInv
+					rewrittenIn[ci] = a
+				} else {
+					alias[c.Out] = a
+					dropped[ci] = true
+				}
+			}
+		case KindXor2, KindXnor2:
+			inv := c.Kind == KindXnor2
+			a, b := in[0], in[1]
+			ca, cbv := cv(a), cv(b)
+			if cbv.known {
+				a, b = b, a
+				ca = cbv
+			}
+			switch {
+			case ca.known && ca.v == inv:
+				alias[c.Out] = b
+				dropped[ci] = true
+			case ca.known:
+				rewrittenKind[ci] = KindInv
+				rewrittenIn[ci] = b
+			case a == b:
+				setConst(c.Out, inv)
+				dropped[ci] = true
+			}
+		case KindMux2:
+			a, b, s := in[0], in[1], in[2]
+			if cs := cv(s); cs.known {
+				if cs.v {
+					alias[c.Out] = b
+				} else {
+					alias[c.Out] = a
+				}
+				dropped[ci] = true
+			} else if a == b {
+				alias[c.Out] = a
+				dropped[ci] = true
+			}
+		}
+	}
+
+	// Liveness: outputs and (transitively) DFF data inputs keep cells.
+	driver := make(map[NetID]int)
+	for ci, c := range cells {
+		if !dropped[ci] {
+			driver[c.Out] = ci
+		}
+	}
+	live := make([]bool, len(cells))
+	var mark func(NetID)
+	mark = func(id NetID) {
+		id = resolve(id)
+		ci, ok := driver[id]
+		if !ok || live[ci] {
+			return
+		}
+		live[ci] = true
+		if k, rewritten := rewrittenKind[ci]; rewritten && k == KindInv {
+			mark(rewrittenIn[ci])
+			return
+		}
+		for _, in := range cells[ci].In {
+			mark(in)
+		}
+	}
+	for _, out := range n.Outputs() {
+		mark(out)
+	}
+
+	// Rebuild.
+	out := New(n.Name)
+	newID := make(map[NetID]NetID)
+	for _, id := range n.Inputs() {
+		newID[id] = out.Input(n.netName[id])
+	}
+	lookup := func(id NetID) NetID {
+		id = resolve(id)
+		if c := consts[id]; c.known {
+			if c.v {
+				return out.Const1()
+			}
+			return out.Const0()
+		}
+		nid, ok := newID[id]
+		if !ok {
+			panic(fmt.Sprintf("netlist: optimize lost net %d", id))
+		}
+		return nid
+	}
+	// Allocate DFF outputs first so feedback resolves.
+	dffConnect := make(map[int]func(NetID))
+	for ci, c := range cells {
+		if live[ci] && c.Kind == KindDFF {
+			q, connect := out.DFFFeedback()
+			newID[c.Out] = q
+			dffConnect[ci] = connect
+		}
+	}
+	// Copy surviving combinational cells in topological order.
+	for _, ci := range order {
+		if !live[ci] || dropped[ci] {
+			continue
+		}
+		c := cells[ci]
+		if k, ok := rewrittenKind[ci]; ok && k == KindInv {
+			newID[c.Out] = out.Not(lookup(rewrittenIn[ci]))
+			continue
+		}
+		ins := make([]NetID, len(c.In))
+		for k, id := range c.In {
+			ins[k] = lookup(id)
+		}
+		newID[c.Out] = out.addCell(c.Kind, out.newNet(), ins...)
+	}
+	// Connect flip-flops.
+	for ci, connect := range dffConnect {
+		connect(lookup(cells[ci].In[0]))
+	}
+	// Re-declare outputs under their original names.
+	for name, id := range n.outName {
+		out.Output(name, lookup(id))
+	}
+	// Preserve declaration order of outputs for simulators that index
+	// positionally: rebuild the ordered slice to match the original.
+	out.outputs = out.outputs[:0]
+	for _, id := range n.outputs {
+		out.outputs = append(out.outputs, lookup(id))
+	}
+	return out, nil
+}

@@ -1,0 +1,109 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomCircuit builds a random sequential DAG circuit: gates draw inputs
+// from earlier nets (inputs, constants, DFF outputs, gate outputs), and a
+// few feedback registers close loops through the existing logic.
+func randomCircuit(rng *rand.Rand, nInputs, nGates, nRegs, nOutputs int) *Netlist {
+	n := New("fuzz")
+	var pool []NetID
+	for i := 0; i < nInputs; i++ {
+		pool = append(pool, n.Input("in"+string(rune('a'+i))))
+	}
+	pool = append(pool, n.Const0(), n.Const1())
+	// Feedback registers: allocate Q nets up front so gates can use them.
+	type pending struct{ connect func(NetID) }
+	var regs []pending
+	for i := 0; i < nRegs; i++ {
+		q, connect := n.DFFFeedback()
+		pool = append(pool, q)
+		regs = append(regs, pending{connect})
+	}
+	pick := func() NetID { return pool[rng.Intn(len(pool))] }
+	kinds := []Kind{KindInv, KindBuf, KindAnd2, KindOr2, KindNand2, KindNor2, KindXor2, KindXnor2, KindMux2}
+	for i := 0; i < nGates; i++ {
+		k := kinds[rng.Intn(len(kinds))]
+		var out NetID
+		switch k.arity() {
+		case 1:
+			out = n.addCell(k, n.newNet(), pick())
+		case 2:
+			out = n.addCell(k, n.newNet(), pick(), pick())
+		default:
+			out = n.addCell(k, n.newNet(), pick(), pick(), pick())
+		}
+		pool = append(pool, out)
+	}
+	for _, r := range regs {
+		r.connect(pick())
+	}
+	for i := 0; i < nOutputs; i++ {
+		n.Output("out"+string(rune('a'+i)), pick())
+	}
+	return n
+}
+
+// TestOptimizeRandomCircuits fuzzes the optimizer against the simulator on
+// hundreds of random circuits with feedback.
+func TestOptimizeRandomCircuits(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		n := randomCircuit(rng, 2+rng.Intn(5), 5+rng.Intn(60), rng.Intn(5), 1+rng.Intn(4))
+		opt, err := Optimize(n)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		simA, err := NewSimulator(n)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		simB, err := NewSimulator(opt)
+		if err != nil {
+			t.Fatalf("trial %d: optimized netlist broken: %v", trial, err)
+		}
+		if opt.NumCells() > n.NumCells() {
+			t.Fatalf("trial %d: optimization grew %d -> %d cells", trial, n.NumCells(), opt.NumCells())
+		}
+		in := make([]bool, len(n.Inputs()))
+		for cyc := 0; cyc < 40; cyc++ {
+			for i := range in {
+				in[i] = rng.Intn(2) == 1
+			}
+			simA.Step(in)
+			simB.Step(in)
+			for name, idA := range n.outName {
+				idB, ok := opt.OutputNet(name)
+				if !ok {
+					t.Fatalf("trial %d: output %q lost", trial, name)
+				}
+				if simA.Value(idA) != simB.Value(idB) {
+					t.Fatalf("trial %d cycle %d: output %q differs", trial, cyc, name)
+				}
+			}
+		}
+	}
+}
+
+// TestOptimizeRandomCircuitsReduce reports the aggregate reduction, as a
+// sanity check that the optimizer does real work on random logic.
+func TestOptimizeRandomCircuitsReduce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	before, after := 0, 0
+	for trial := 0; trial < 50; trial++ {
+		n := randomCircuit(rng, 4, 80, 3, 3)
+		opt, err := Optimize(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before += n.NumCells()
+		after += opt.NumCells()
+	}
+	if after >= before {
+		t.Errorf("no aggregate reduction: %d -> %d cells", before, after)
+	}
+	t.Logf("aggregate: %d -> %d cells (%.1f%% removed)", before, after, 100*(1-float64(after)/float64(before)))
+}

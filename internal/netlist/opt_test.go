@@ -1,0 +1,167 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// checkOptEquivalence simulates the original and optimized netlists on the
+// same random input vectors and compares every named output every cycle.
+func checkOptEquivalence(t *testing.T, n *Netlist, cycles int, seed int64) *Netlist {
+	t.Helper()
+	opt, err := Optimize(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simA, err := NewSimulator(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simB, err := NewSimulator(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opt.Inputs()) != len(n.Inputs()) {
+		t.Fatalf("input count changed: %d -> %d", len(n.Inputs()), len(opt.Inputs()))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	in := make([]bool, len(n.Inputs()))
+	for cyc := 0; cyc < cycles; cyc++ {
+		for i := range in {
+			in[i] = rng.Intn(2) == 1
+		}
+		simA.Step(in)
+		simB.Step(in)
+		for name, idA := range n.outName {
+			idB, ok := opt.OutputNet(name)
+			if !ok {
+				t.Fatalf("output %q lost", name)
+			}
+			if simA.Value(idA) != simB.Value(idB) {
+				t.Fatalf("cycle %d: output %q differs (%v vs %v)", cyc, name, simA.Value(idA), simB.Value(idB))
+			}
+		}
+	}
+	return opt
+}
+
+func TestOptimizeFoldsConstants(t *testing.T) {
+	n := New("consts")
+	a := n.Input("a")
+	n.Output("y", n.And(a, n.Const1()))           // -> a
+	n.Output("z", n.Or(a, n.Const1()))            // -> 1
+	n.Output("w", n.Xor(a, n.Const1()))           // -> INV a
+	n.Output("q", n.Mux(a, n.Not(a), n.Const0())) // -> a
+	opt := checkOptEquivalence(t, n, 50, 1)
+	// Only the inverter for w should survive.
+	if opt.NumCells() != 1 || opt.CountCells(KindInv) != 1 {
+		t.Errorf("optimized to %d cells (%d INV), want a single inverter", opt.NumCells(), opt.CountCells(KindInv))
+	}
+}
+
+func TestOptimizeIdenticalInputs(t *testing.T) {
+	n := New("same")
+	a := n.Input("a")
+	n.Output("x", n.Xor(a, a))  // -> 0
+	n.Output("y", n.And(a, a))  // -> a
+	n.Output("z", n.Nand(a, a)) // -> INV a
+	opt := checkOptEquivalence(t, n, 20, 2)
+	if opt.NumCells() != 1 {
+		t.Errorf("optimized to %d cells, want 1", opt.NumCells())
+	}
+}
+
+func TestOptimizeRemovesDeadLogic(t *testing.T) {
+	n := New("dead")
+	a := n.Input("a")
+	b := n.Input("b")
+	n.Output("y", n.And(a, b))
+	// A whole dead cone: computed but never output.
+	dead := n.Xor(n.Or(a, b), n.Not(a))
+	_ = n.DFF(dead) // dead register too
+	opt := checkOptEquivalence(t, n, 20, 3)
+	if opt.NumCells() != 1 {
+		t.Errorf("optimized to %d cells, want 1 (dead cone kept?)", opt.NumCells())
+	}
+}
+
+func TestOptimizeKeepsLiveRegisters(t *testing.T) {
+	n := New("live")
+	a := n.Input("a")
+	q, connect := n.DFFFeedback()
+	connect(n.Xor(q, a)) // toggle register: live feedback
+	n.Output("q", q)
+	opt := checkOptEquivalence(t, n, 100, 4)
+	if opt.CountCells(KindDFF) != 1 || opt.CountCells(KindXor2) != 1 {
+		t.Errorf("feedback register mangled: %d DFF, %d XOR", opt.CountCells(KindDFF), opt.CountCells(KindXor2))
+	}
+}
+
+func TestOptimizeDFFWithConstInputKept(t *testing.T) {
+	// DFF(1) is NOT foldable: its output is 0 on cycle 0 and 1 after.
+	n := New("dffconst")
+	v := n.DFF(n.Const1())
+	a := n.Input("a")
+	n.Output("y", n.And(a, v))
+	opt := checkOptEquivalence(t, n, 10, 5)
+	if opt.CountCells(KindDFF) != 1 {
+		t.Error("warm-up register folded away")
+	}
+}
+
+func TestOptimizeBufferChains(t *testing.T) {
+	n := New("bufs")
+	a := n.Input("a")
+	x := a
+	for i := 0; i < 5; i++ {
+		x = n.Buf(x)
+	}
+	n.Output("y", x)
+	opt := checkOptEquivalence(t, n, 10, 6)
+	if opt.NumCells() != 0 {
+		t.Errorf("buffer chain not collapsed: %d cells", opt.NumCells())
+	}
+}
+
+func TestOptimizeGreaterThanConst(t *testing.T) {
+	// GreaterThanConst seeds Const0/Const1 into AND/OR chains — prime
+	// folding territory. The optimized circuit must stay exact.
+	n := New("gt")
+	a := n.InputBus("a", 6)
+	n.Output("gt", n.GreaterThanConst(a, 21))
+	opt := checkOptEquivalence(t, n, 200, 7)
+	if opt.NumCells() >= n.NumCells() {
+		t.Errorf("no reduction: %d -> %d cells", n.NumCells(), opt.NumCells())
+	}
+	// Exhaustive check on top of the random one.
+	sim, err := NewSimulator(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := opt.OutputNet("gt")
+	for v := uint64(0); v < 64; v++ {
+		sim.Step(setBus(v, 6))
+		if sim.Value(id) != (v > 21) {
+			t.Errorf("optimized GT(%d > 21) = %v", v, sim.Value(id))
+		}
+	}
+}
+
+func TestOptimizePreservesOutputOrder(t *testing.T) {
+	n := New("order")
+	a := n.Input("a")
+	b := n.Input("b")
+	n.Output("first", n.And(a, b))
+	n.Output("second", n.Buf(a)) // aliases to a
+	opt, err := Optimize(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opt.Outputs()) != 2 {
+		t.Fatalf("outputs: %d", len(opt.Outputs()))
+	}
+	id, _ := opt.OutputNet("second")
+	if opt.Outputs()[1] != id {
+		t.Error("output declaration order not preserved")
+	}
+}

@@ -1,0 +1,187 @@
+package netlist
+
+import (
+	"fmt"
+	"math"
+)
+
+// ProbIn is the statistical description of a primary input: the signal
+// probability P (fraction of cycles the net is high) and the transition
+// density D (toggle probability per cycle).
+type ProbIn struct {
+	P, D float64
+}
+
+// Propagate computes per-net signal probabilities and transition densities
+// under the spatial-independence assumption — the same abstraction as the
+// "probabilistic mode" of the commercial power estimator the paper used.
+// Sequential feedback is resolved by fixed-point iteration; flip-flop
+// outputs use the lag-one independence estimate D(q) = 2*P(1-P).
+//
+// Every primary input must be present in the in map.
+func Propagate(n *Netlist, in map[NetID]ProbIn) (Activity, error) {
+	p := make([]float64, n.NumNets())
+	d := make([]float64, n.NumNets())
+	for _, id := range n.Inputs() {
+		pi, ok := in[id]
+		if !ok {
+			return Activity{}, fmt.Errorf("netlist %s: missing probability for input net %d", n.Name, id)
+		}
+		p[id], d[id] = clamp01(pi.P), clamp01(pi.D)
+	}
+	if n.hasC0 {
+		p[n.const0], d[n.const0] = 0, 0
+	}
+	if n.hasC1 {
+		p[n.const1], d[n.const1] = 1, 0
+	}
+	order, err := levelize(n)
+	if err != nil {
+		return Activity{}, err
+	}
+	cells := n.Cells()
+	// Fixed-point over DFF state probabilities.
+	const maxIter = 200
+	for iter := 0; ; iter++ {
+		for _, ci := range order {
+			c := cells[ci]
+			po, do := gateProb(c.Kind, c.In, p, d)
+			p[c.Out], d[c.Out] = po, do
+		}
+		delta := 0.0
+		for _, c := range cells {
+			if c.Kind != KindDFF {
+				continue
+			}
+			// Damped update so oscillating feedback (e.g. a toggle
+			// flip-flop, whose exact iteration maps p to 1-p) converges
+			// to its stationary distribution.
+			np := 0.5*p[c.Out] + 0.5*p[c.In[0]]
+			nd := clamp01(2 * np * (1 - np))
+			delta = math.Max(delta, math.Abs(np-p[c.Out]))
+			p[c.Out], d[c.Out] = np, nd
+		}
+		if delta < 1e-9 {
+			break
+		}
+		if iter >= maxIter {
+			return Activity{}, fmt.Errorf("netlist %s: probability fixed point did not converge (delta %g)", n.Name, delta)
+		}
+	}
+	// One final combinational pass with the converged state.
+	for _, ci := range order {
+		c := cells[ci]
+		po, do := gateProb(c.Kind, c.In, p, d)
+		p[c.Out], d[c.Out] = po, do
+	}
+	act := Activity{NetAlpha: d, CellAlpha: make([]float64, len(cells))}
+	for ci, c := range cells {
+		act.CellAlpha[ci] = d[c.Out]
+	}
+	return act, nil
+}
+
+// gateProb returns the output signal probability and lag-one transition
+// probability of one gate. Each input is modeled as a two-state process
+// described by its probability p and toggle probability d; under
+// spatio-temporal independence of distinct inputs the output statistics
+// are computed exactly by enumerating every (value(t), value(t+1))
+// combination of the inputs. This avoids the classic boolean-difference
+// overestimate, where two inputs toggling together (e.g. into an XOR) are
+// counted as two output transitions that in fact cancel.
+func gateProb(k Kind, in []NetID, p, d []float64) (float64, float64) {
+	switch k {
+	case KindInv:
+		return 1 - p[in[0]], d[in[0]]
+	case KindBuf, KindDFF:
+		// DFF statistics are assigned by the fixed-point driver.
+		return p[in[0]], d[in[0]]
+	}
+	type pair struct {
+		t, t1 bool
+		w     float64
+	}
+	// Per input: joint distribution of (value at t, value at t+1).
+	joint := func(id NetID) [4]pair {
+		pi, di := p[id], d[id]
+		// Consistency: a signal cannot toggle more often than its level
+		// allows (P(0->1) = P(1->0) = d/2 must fit inside p and 1-p).
+		if lim := 2 * pi; di > lim {
+			di = lim
+		}
+		if lim := 2 * (1 - pi); di > lim {
+			di = lim
+		}
+		h := di / 2
+		return [4]pair{
+			{false, false, 1 - pi - h},
+			{false, true, h},
+			{true, false, h},
+			{true, true, pi - h},
+		}
+	}
+	fn := func(vals []bool) bool { return eval(k, vals) }
+	ins := make([][4]pair, len(in))
+	for i, id := range in {
+		ins[i] = joint(id)
+	}
+	var pOut, dOut float64
+	var rec func(i int, w float64, vt, vt1 []bool)
+	vt := make([]bool, len(in))
+	vt1 := make([]bool, len(in))
+	rec = func(i int, w float64, vt, vt1 []bool) {
+		if w == 0 {
+			return
+		}
+		if i == len(in) {
+			ft := fn(vt)
+			ft1 := fn(vt1)
+			if ft1 {
+				pOut += w
+			}
+			if ft != ft1 {
+				dOut += w
+			}
+			return
+		}
+		for _, pr := range ins[i] {
+			vt[i], vt1[i] = pr.t, pr.t1
+			rec(i+1, w*pr.w, vt, vt1)
+		}
+	}
+	rec(0, 1, vt, vt1)
+	return clamp01(pOut), clamp01(dOut)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// UniformInputs builds a ProbIn map assigning the same statistics to every
+// primary input — handy for quick estimates.
+func UniformInputs(n *Netlist, pi ProbIn) map[NetID]ProbIn {
+	m := make(map[NetID]ProbIn, len(n.Inputs()))
+	for _, id := range n.Inputs() {
+		m[id] = pi
+	}
+	return m
+}
+
+// MeasuredInputs converts a per-input activity measurement (probability
+// and density per declared input, in order) into the Propagate input map.
+func MeasuredInputs(n *Netlist, stats []ProbIn) (map[NetID]ProbIn, error) {
+	if len(stats) != len(n.Inputs()) {
+		return nil, fmt.Errorf("netlist %s: %d stats for %d inputs", n.Name, len(stats), len(n.Inputs()))
+	}
+	m := make(map[NetID]ProbIn, len(stats))
+	for i, id := range n.Inputs() {
+		m[id] = stats[i]
+	}
+	return m, nil
+}

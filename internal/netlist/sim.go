@@ -1,0 +1,275 @@
+package netlist
+
+import "fmt"
+
+// Simulator evaluates a netlist cycle by cycle under a zero-delay model
+// (each net settles once per cycle; glitch power is not modeled, matching
+// the paper's probabilistic estimation granularity) and accumulates
+// per-net toggle counts and per-cell output toggle counts.
+type Simulator struct {
+	n      *Netlist
+	order  []int // combinational cell evaluation order
+	values []bool
+	prev   []bool
+
+	toggles     []int64 // per net
+	cellToggles []int64 // per cell (output transitions)
+	cycles      int64
+	initialized bool
+}
+
+// NewSimulator levelizes the netlist. It returns an error if the
+// combinational logic contains a cycle (feedback must go through a DFF).
+func NewSimulator(n *Netlist) (*Simulator, error) {
+	order, err := levelize(n)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{
+		n:           n,
+		order:       order,
+		values:      make([]bool, n.NumNets()),
+		prev:        make([]bool, n.NumNets()),
+		toggles:     make([]int64, n.NumNets()),
+		cellToggles: make([]int64, len(n.Cells())),
+	}, nil
+}
+
+// levelize returns combinational cells in topological order. DFF outputs,
+// constants and primary inputs are sources.
+func levelize(n *Netlist) ([]int, error) {
+	cells := n.Cells()
+	// Map net -> driving combinational cell.
+	combDriver := make(map[NetID]int)
+	for i, c := range cells {
+		if c.Kind != KindDFF {
+			combDriver[c.Out] = i
+		}
+	}
+	state := make([]int, len(cells)) // 0 unvisited, 1 visiting, 2 done
+	var order []int
+	var visit func(i int) error
+	visit = func(i int) error {
+		switch state[i] {
+		case 1:
+			return fmt.Errorf("netlist %s: combinational cycle through cell %d (%s)", n.Name, i, cells[i].Kind)
+		case 2:
+			return nil
+		}
+		state[i] = 1
+		for _, in := range cells[i].In {
+			if d, ok := combDriver[in]; ok {
+				if err := visit(d); err != nil {
+					return err
+				}
+			}
+		}
+		state[i] = 2
+		order = append(order, i)
+		return nil
+	}
+	for i, c := range cells {
+		if c.Kind == KindDFF {
+			continue
+		}
+		if err := visit(i); err != nil {
+			return nil, err
+		}
+	}
+	// DFF data inputs must also be reachable; they are evaluated as part
+	// of the combinational order above (their drivers are).
+	_ = combDriver
+	return order, nil
+}
+
+func eval(k Kind, in []bool) bool {
+	switch k {
+	case KindInv:
+		return !in[0]
+	case KindBuf:
+		return in[0]
+	case KindAnd2:
+		return in[0] && in[1]
+	case KindOr2:
+		return in[0] || in[1]
+	case KindNand2:
+		return !(in[0] && in[1])
+	case KindNor2:
+		return !(in[0] || in[1])
+	case KindXor2:
+		return in[0] != in[1]
+	case KindXnor2:
+		return in[0] == in[1]
+	case KindMux2:
+		if in[2] {
+			return in[1]
+		}
+		return in[0]
+	default:
+		panic("netlist: eval on " + k.String())
+	}
+}
+
+// Step applies the primary input values (keyed by declared input order),
+// settles the combinational logic, clocks all flip-flops and accumulates
+// toggle counts. The first cycle establishes the reference values without
+// counting transitions.
+func (s *Simulator) Step(inputs []bool) {
+	n := s.n
+	if len(inputs) != len(n.Inputs()) {
+		panic(fmt.Sprintf("netlist %s: %d input values for %d inputs", n.Name, len(inputs), len(n.Inputs())))
+	}
+	for i, id := range n.Inputs() {
+		s.values[id] = inputs[i]
+	}
+	if n.hasC0 {
+		s.values[n.const0] = false
+	}
+	if n.hasC1 {
+		s.values[n.const1] = true
+	}
+	cells := n.Cells()
+	inBuf := make([]bool, 3)
+	for _, ci := range s.order {
+		c := cells[ci]
+		for k, in := range c.In {
+			inBuf[k] = s.values[in]
+		}
+		s.values[c.Out] = eval(c.Kind, inBuf[:len(c.In)])
+	}
+	// Count toggles against the previous settled cycle.
+	if s.initialized {
+		for id := 0; id < len(s.values); id++ {
+			if s.values[id] != s.prev[id] {
+				s.toggles[id]++
+			}
+		}
+		for ci, c := range cells {
+			if s.values[c.Out] != s.prev[c.Out] {
+				s.cellToggles[ci]++
+			}
+		}
+		s.cycles++
+	} else {
+		s.initialized = true
+		s.cycles++
+	}
+	copy(s.prev, s.values)
+	// Clock edge: DFF outputs take their data-input values; the change
+	// becomes visible (and is counted) in the next cycle's settle. Read
+	// data values from the settled snapshot so chained flip-flops shift
+	// correctly regardless of cell order.
+	for _, c := range cells {
+		if c.Kind == KindDFF {
+			s.values[c.Out] = s.prev[c.In[0]]
+		}
+	}
+}
+
+// Value returns the settled value of a net after the last Step.
+func (s *Simulator) Value(id NetID) bool { return s.prev[id] }
+
+// OutputWord packs the named output bus "name[0..w-1]" into a uint64.
+func (s *Simulator) OutputWord(name string, width int) uint64 {
+	var w uint64
+	for i := 0; i < width; i++ {
+		id, ok := s.n.OutputNet(fmt.Sprintf("%s[%d]", name, i))
+		if !ok {
+			panic("netlist: no output " + fmt.Sprintf("%s[%d]", name, i))
+		}
+		if s.Value(id) {
+			w |= 1 << uint(i)
+		}
+	}
+	return w
+}
+
+// Cycles returns the number of Steps taken.
+func (s *Simulator) Cycles() int64 { return s.cycles }
+
+// Toggles returns the per-net toggle counts (shared slice; do not mutate).
+func (s *Simulator) Toggles() []int64 { return s.toggles }
+
+// Activity is the measured switching profile of a netlist, consumable by
+// the power model.
+type Activity struct {
+	// NetAlpha is the per-net toggle probability per cycle.
+	NetAlpha []float64
+	// CellAlpha is the per-cell output toggle probability per cycle.
+	CellAlpha []float64
+}
+
+// Activity returns the measured switching activity so far.
+func (s *Simulator) Activity() Activity {
+	denom := float64(s.cycles - 1)
+	a := Activity{
+		NetAlpha:  make([]float64, len(s.toggles)),
+		CellAlpha: make([]float64, len(s.cellToggles)),
+	}
+	if denom <= 0 {
+		return a
+	}
+	for i, t := range s.toggles {
+		a.NetAlpha[i] = float64(t) / denom
+	}
+	for i, t := range s.cellToggles {
+		a.CellAlpha[i] = float64(t) / denom
+	}
+	return a
+}
+
+// Power computes the average power in watts of the netlist switching with
+// the given activity at frequency freqHz, with loadF on each primary
+// output: net switching power + cell internal power + DFF clock power.
+// When the library's GlitchFactor is non-zero, combinational cells deep in
+// the logic see their switching energy scaled up to account for glitching
+// under real gate delays (see Library.GlitchFactor).
+func (lib *Library) Power(n *Netlist, act Activity, freqHz, loadF float64) float64 {
+	caps := lib.NetCaps(n, 0)
+	mult := lib.glitchMultipliers(n)
+	e := 0.0 // energy per cycle
+	for id, c := range caps {
+		if id < len(act.NetAlpha) {
+			e += 0.5 * c * lib.Vdd * lib.Vdd * act.NetAlpha[id] * mult[id]
+		}
+	}
+	// External loads on primary outputs switch at the settled activity:
+	// output drivers are sized and buffered so internal glitches do not
+	// rail-to-rail swing the load.
+	for _, out := range n.Outputs() {
+		if int(out) < len(act.NetAlpha) {
+			e += 0.5 * loadF * lib.Vdd * lib.Vdd * act.NetAlpha[out]
+		}
+	}
+	for ci, cell := range n.Cells() {
+		spec := lib.Specs[cell.Kind]
+		if ci < len(act.CellAlpha) {
+			e += spec.InternalEnergyJ * act.CellAlpha[ci] * mult[cell.Out]
+		}
+		e += spec.ClockEnergyJ // every cycle, clock tree toggles the cell
+	}
+	return e * freqHz
+}
+
+// glitchMultipliers returns the per-net switching-energy multiplier based
+// on combinational depth. Primary inputs, constants and DFF outputs (depth
+// 0) are glitch-free.
+func (lib *Library) glitchMultipliers(n *Netlist) []float64 {
+	mult := make([]float64, n.NumNets())
+	for i := range mult {
+		mult[i] = 1
+	}
+	if lib.GlitchFactor <= 0 {
+		return mult
+	}
+	for net, depth := range n.Depths() {
+		if depth > 1 {
+			m := 1 + lib.GlitchFactor*float64(depth-1)
+			if lib.MaxGlitch > 0 && m > lib.MaxGlitch {
+				m = lib.MaxGlitch
+			}
+			mult[net] = m
+		}
+	}
+	return mult
+}

@@ -1,0 +1,108 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteVerilogCombinational(t *testing.T) {
+	n := New("demo")
+	a := n.InputBus("a", 4)
+	b := n.InputBus("b", 4)
+	n.Output("eq", n.Equal(a, b))
+	var sb strings.Builder
+	if err := WriteVerilog(&sb, n); err != nil {
+		t.Fatal(err)
+	}
+	v := sb.String()
+	for _, want := range []string{
+		"module demo (",
+		"input wire [3:0] a",
+		"input wire [3:0] b",
+		"output wire eq",
+		"xnor u0",
+		"endmodule",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("verilog missing %q:\n%s", want, v)
+		}
+	}
+	if strings.Contains(v, "busenc_dff") {
+		t.Error("combinational module must not emit the flip-flop model")
+	}
+}
+
+func TestWriteVerilogSequential(t *testing.T) {
+	n := New("seq-mod") // name needs sanitizing
+	d := n.Input("d")
+	q := n.DFF(d)
+	n.Output("q", q)
+	var sb strings.Builder
+	if err := WriteVerilog(&sb, n); err != nil {
+		t.Fatal(err)
+	}
+	v := sb.String()
+	if !strings.Contains(v, "module seq_mod (") {
+		t.Errorf("module name not sanitized:\n%s", v)
+	}
+	if !strings.Contains(v, "busenc_dff u0") || !strings.Contains(v, "module busenc_dff") {
+		t.Error("flip-flop instantiation or model missing")
+	}
+	if !strings.Contains(v, "input wire clk") || !strings.Contains(v, "input wire rst") {
+		t.Error("clock/reset ports missing")
+	}
+}
+
+func TestWriteVerilogGateCountsMatch(t *testing.T) {
+	n := New("counts")
+	a := n.Input("a")
+	b := n.Input("b")
+	s := n.Input("s")
+	n.Output("x", n.Mux(n.And(a, b), n.Or(a, b), s))
+	n.Output("y", n.Nand(a, b))
+	var sb strings.Builder
+	if err := WriteVerilog(&sb, n); err != nil {
+		t.Fatal(err)
+	}
+	v := sb.String()
+	if got := strings.Count(v, "\n  and "); got != 1 {
+		t.Errorf("and instances = %d", got)
+	}
+	if got := strings.Count(v, "? n["); got != 1 {
+		t.Errorf("mux assigns = %d", got)
+	}
+	if got := strings.Count(v, "\n  nand "); got != 1 {
+		t.Errorf("nand instances = %d", got)
+	}
+}
+
+func TestWriteVerilogConstants(t *testing.T) {
+	n := New("consts")
+	a := n.Input("a")
+	n.Output("z", n.And(a, n.Const1()))
+	n.Output("w", n.Or(a, n.Const0()))
+	var sb strings.Builder
+	if err := WriteVerilog(&sb, n); err != nil {
+		t.Fatal(err)
+	}
+	v := sb.String()
+	if !strings.Contains(v, "= 1'b0;") || !strings.Contains(v, "= 1'b1;") {
+		t.Errorf("constant assigns missing:\n%s", v)
+	}
+}
+
+func TestSanitizeIdent(t *testing.T) {
+	cases := map[string]string{
+		"t0-enc":   "t0_enc",
+		"9lives":   "_lives",
+		"ok_name":  "ok_name",
+		"":         "m",
+		"a.b[c]":   "a_b_c_",
+		"dualt0bi": "dualt0bi",
+	}
+	for in, want := range cases {
+		if got := sanitizeIdent(in); got != want {
+			t.Errorf("sanitizeIdent(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

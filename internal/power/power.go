@@ -1,0 +1,65 @@
+// Package power converts switching-activity figures into electrical power
+// numbers: bus lines on chip, and output pads driving large external loads
+// off chip (Section 4.3 of the paper — "pads usually represent the most
+// power consuming part of the entire chip").
+package power
+
+// Model fixes the electrical operating point. The paper's experiments run
+// at 3.3 V and 100 MHz.
+type Model struct {
+	Vdd    float64 // supply voltage, volts
+	FreqHz float64 // bus clock, hertz
+}
+
+// Default returns the paper's operating point.
+func Default() Model { return Model{Vdd: 3.3, FreqHz: 100e6} }
+
+// EnergyPerTransition returns the energy to charge or discharge capF.
+func (m Model) EnergyPerTransition(capF float64) float64 {
+	return 0.5 * capF * m.Vdd * m.Vdd
+}
+
+// LinePower returns the average power of one bus line with the given
+// toggle probability per cycle driving capF.
+func (m Model) LinePower(alpha, capF float64) float64 {
+	return m.EnergyPerTransition(capF) * alpha * m.FreqHz
+}
+
+// BusPower returns the total power of a bus whose lines toggle avgPerCycle
+// times per cycle in aggregate, each line loaded with capF.
+func (m Model) BusPower(avgPerCycle, capF float64) float64 {
+	return m.EnergyPerTransition(capF) * avgPerCycle * m.FreqHz
+}
+
+// Pad models one output pad of the chip interface.
+type Pad struct {
+	// InputCapF is the capacitance the core logic sees at the pad input
+	// (the paper uses 0.01 pF for an 8 mA pad).
+	InputCapF float64
+	// DriverCapF is the pad's own output-stage parasitic capacitance.
+	DriverCapF float64
+	// InternalEnergyJ is the short-circuit energy per output transition.
+	InternalEnergyJ float64
+}
+
+// DefaultPad returns an 8 mA-class output pad.
+func DefaultPad() Pad {
+	return Pad{InputCapF: 0.01e-12, DriverCapF: 2e-12, InternalEnergyJ: 20e-12}
+}
+
+// Power returns the pad's average power when its output toggles with
+// probability alpha per cycle into an external load of loadF.
+func (p Pad) Power(m Model, alpha, loadF float64) float64 {
+	perTransition := m.EnergyPerTransition(loadF+p.DriverCapF) + p.InternalEnergyJ
+	return perTransition * alpha * m.FreqHz
+}
+
+// PadBankPower returns the total power of one pad per bus line, given the
+// per-line toggle probabilities of the encoded stream.
+func PadBankPower(m Model, p Pad, lineAlphas []float64, loadF float64) float64 {
+	total := 0.0
+	for _, a := range lineAlphas {
+		total += p.Power(m, a, loadF)
+	}
+	return total
+}

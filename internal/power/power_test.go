@@ -1,0 +1,82 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b, rel float64) bool {
+	if b == 0 {
+		return a == 0
+	}
+	return math.Abs(a-b)/math.Abs(b) <= rel
+}
+
+func TestEnergyPerTransition(t *testing.T) {
+	m := Model{Vdd: 3.3, FreqHz: 100e6}
+	// 0.5 * 1pF * 3.3^2 = 5.445 pJ.
+	if got := m.EnergyPerTransition(1e-12); !almost(got, 5.445e-12, 1e-9) {
+		t.Errorf("E = %g", got)
+	}
+}
+
+func TestLinePower(t *testing.T) {
+	m := Default()
+	// alpha=0.5, C=10pF, 100MHz: 0.5*10p*10.89*0.5*1e8 = 2.7225 mW.
+	if got := m.LinePower(0.5, 10e-12); !almost(got, 2.7225e-3, 1e-9) {
+		t.Errorf("P = %g", got)
+	}
+	if m.LinePower(0, 10e-12) != 0 {
+		t.Error("idle line dissipates nothing")
+	}
+}
+
+func TestBusPowerLinearInActivity(t *testing.T) {
+	m := Default()
+	p1 := m.BusPower(8, 20e-12)
+	p2 := m.BusPower(16, 20e-12)
+	if !almost(p2, 2*p1, 1e-12) {
+		t.Errorf("BusPower not linear: %g vs %g", p1, p2)
+	}
+}
+
+func TestPadPowerDominatedByExternalLoad(t *testing.T) {
+	m := Default()
+	pad := DefaultPad()
+	small := pad.Power(m, 0.5, 1e-12)
+	big := pad.Power(m, 0.5, 100e-12)
+	if big <= small {
+		t.Error("larger external load must increase pad power")
+	}
+	// At 100pF the load term (~272 pJ/transition) dwarfs the internal
+	// energy (20 pJ): the ratio to a 1pF load should be large.
+	if big/small < 5 {
+		t.Errorf("load scaling too weak: %g vs %g", big, small)
+	}
+}
+
+func TestPadBankPowerSumsLines(t *testing.T) {
+	m := Default()
+	pad := DefaultPad()
+	alphas := []float64{0.1, 0.2, 0.3}
+	want := 0.0
+	for _, a := range alphas {
+		want += pad.Power(m, a, 50e-12)
+	}
+	if got := PadBankPower(m, pad, alphas, 50e-12); !almost(got, want, 1e-12) {
+		t.Errorf("bank = %g, want %g", got, want)
+	}
+	if PadBankPower(m, pad, nil, 50e-12) != 0 {
+		t.Error("empty bank must be zero")
+	}
+}
+
+func TestDefaultPadSpecs(t *testing.T) {
+	pad := DefaultPad()
+	if pad.InputCapF != 0.01e-12 {
+		t.Errorf("pad input cap = %g, paper uses 0.01 pF", pad.InputCapF)
+	}
+	if pad.InternalEnergyJ <= 0 || pad.DriverCapF <= 0 {
+		t.Error("pad parameters must be positive")
+	}
+}

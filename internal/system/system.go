@@ -1,0 +1,266 @@
+// Package system composes the repository's substrates into a whole-system
+// power evaluation — the "system-level power optimization" of the paper's
+// title: a workload (a MIPS program or a synthetic stream) drives an
+// optional cache, and each bus level carries an encoding whose transition
+// savings are converted to watts through the electrical model, including
+// the gate-level codec logic overhead when a hardware implementation
+// exists. The report answers the designer's actual question: net system
+// power with and without the encoder.
+package system
+
+import (
+	"fmt"
+	"math/bits"
+
+	"busenc/internal/cache"
+	"busenc/internal/codec"
+	"busenc/internal/core"
+	"busenc/internal/hw"
+	"busenc/internal/mips"
+	"busenc/internal/netlist"
+	"busenc/internal/power"
+	"busenc/internal/trace"
+)
+
+// BusConfig describes one bus level.
+type BusConfig struct {
+	// Code is the encoding name ("binary" for none).
+	Code string
+	// Options are the codec parameters (stride etc.).
+	Options codec.Options
+	// LineCapF is the per-line capacitance the bus drives.
+	LineCapF float64
+	// OffChip includes the output-pad model (pad internal energy plus
+	// the external LineCapF load).
+	OffChip bool
+}
+
+// Config describes the system under evaluation.
+type Config struct {
+	// Program, when set, is executed on the MIPS simulator to produce
+	// the processor bus stream; otherwise Stream is used directly.
+	Program   *mips.Program
+	MaxCycles int64
+	Stream    *trace.Stream
+
+	// CPUBus is the processor-side address bus.
+	CPUBus BusConfig
+	// L1, when non-nil, filters the stream; MemBus then describes the
+	// bus below the cache.
+	L1     *cache.Config
+	MemBus *BusConfig
+
+	// Electrical operating point; the zero value means the paper's
+	// 3.3 V / 100 MHz.
+	Power power.Model
+}
+
+// BusReport is the evaluation of one bus level.
+type BusReport struct {
+	Name string
+	Code string
+	Refs int
+	// Transitions under the chosen code and under plain binary.
+	Transitions, BinaryTransitions int64
+	SavingsPct                     float64
+	// BusPowerW is the line (or pad) power under the chosen code;
+	// BinaryBusPowerW the same without encoding.
+	BusPowerW       float64
+	BinaryBusPowerW float64
+	// CodecPowerW is the encoder+decoder logic power, measured on the
+	// gate-level implementation when one exists (zero otherwise, with
+	// HWModeled false).
+	CodecPowerW float64
+	HWModeled   bool
+	// NetSavingsPct is the total power saving including codec overhead.
+	NetSavingsPct float64
+}
+
+// Report is the whole-system evaluation.
+type Report struct {
+	Cycles int64
+	CPUBus BusReport
+	MemBus *BusReport
+	// HitRate is the L1 hit rate when a cache is configured.
+	HitRate float64
+}
+
+// TotalPowerW sums bus and codec power over all levels.
+func (r *Report) TotalPowerW() float64 {
+	total := r.CPUBus.BusPowerW + r.CPUBus.CodecPowerW
+	if r.MemBus != nil {
+		total += r.MemBus.BusPowerW + r.MemBus.CodecPowerW
+	}
+	return total
+}
+
+// BaselinePowerW is the same system with plain binary buses.
+func (r *Report) BaselinePowerW() float64 {
+	total := r.CPUBus.BinaryBusPowerW
+	if r.MemBus != nil {
+		total += r.MemBus.BinaryBusPowerW
+	}
+	return total
+}
+
+// hwGenerators maps codec names to gate-level implementations for logic-
+// power accounting.
+var hwGenerators = map[string]func(width, strideLog int) hw.Codec{
+	"binary":    func(w, _ int) hw.Codec { return hw.Binary(w) },
+	"gray":      hw.Gray,
+	"businvert": func(w, _ int) hw.Codec { return hw.BusInvert(w) },
+	"t0":        hw.T0,
+	"t0bi":      hw.T0BI,
+	"dualt0":    hw.DualT0,
+	"dualt0bi":  hw.DualT0BI,
+	"incxor":    hw.IncXor,
+}
+
+// Evaluate runs the configured system and reports power per bus level.
+func Evaluate(cfg Config) (*Report, error) {
+	m := cfg.Power
+	if m.Vdd == 0 {
+		m = power.Default()
+	}
+	stream := cfg.Stream
+	rep := &Report{}
+	if cfg.Program != nil {
+		max := cfg.MaxCycles
+		if max == 0 {
+			max = 10_000_000
+		}
+		s, stats, err := mips.Run(cfg.Program, "system", max)
+		if err != nil {
+			return nil, err
+		}
+		stream = s
+		rep.Cycles = stats.Cycles
+	}
+	if stream == nil {
+		return nil, fmt.Errorf("system: no Program or Stream configured")
+	}
+
+	// The system clock ticks once per processor bus reference; lower
+	// buses are idle most cycles, so their power scales by utilization.
+	systemCycles := stream.Len()
+	cpuRep, err := evaluateBus("cpu-bus", stream, cfg.CPUBus, m, systemCycles)
+	if err != nil {
+		return nil, err
+	}
+	rep.CPUBus = *cpuRep
+
+	if cfg.L1 != nil {
+		l1, err := cache.New(*cfg.L1)
+		if err != nil {
+			return nil, err
+		}
+		missStream := l1.Filter(stream)
+		rep.HitRate = l1.HitRate()
+		memCfg := cfg.MemBus
+		if memCfg == nil {
+			memCfg = &BusConfig{Code: "binary", LineCapF: 50e-12, OffChip: true}
+		}
+		memRep, err := evaluateBus("mem-bus", missStream, *memCfg, m, systemCycles)
+		if err != nil {
+			return nil, err
+		}
+		rep.MemBus = memRep
+	}
+	return rep, nil
+}
+
+func evaluateBus(name string, s *trace.Stream, cfg BusConfig, m power.Model, systemCycles int) (*BusReport, error) {
+	width := s.Width
+	c, err := codec.New(cfg.Code, width, cfg.Options)
+	if err != nil {
+		return nil, err
+	}
+	res, err := codec.Run(c, s)
+	if err != nil {
+		return nil, err
+	}
+	binRes, err := codec.Run(codec.MustNew("binary", width, codec.Options{}), s)
+	if err != nil {
+		return nil, err
+	}
+	rep := &BusReport{
+		Name:              name,
+		Code:              cfg.Code,
+		Refs:              s.Len(),
+		Transitions:       res.Transitions,
+		BinaryTransitions: binRes.Transitions,
+		SavingsPct:        res.SavingsVs(binRes) * 100,
+	}
+	rep.BusPowerW = busPower(m, cfg, res, systemCycles)
+	rep.BinaryBusPowerW = busPower(m, cfg, binRes, systemCycles)
+
+	// Utilization: the fraction of system cycles this bus actually
+	// transfers a word (enable-gated codec registers idle otherwise).
+	util := 1.0
+	if systemCycles > 0 {
+		util = float64(s.Len()) / float64(systemCycles)
+	}
+
+	// Codec logic power from the gate-level implementation, when one
+	// exists for this code at this width. Binary needs no codec: its
+	// drivers are part of the line/pad model already, matching the
+	// paper's treatment ("the binary encoder is constituted only by the
+	// output pads").
+	if gen, ok := hwGenerators[cfg.Code]; ok && cfg.Code != "binary" && width+2 <= 64 {
+		stride := cfg.Options.Stride
+		if stride == 0 {
+			stride = 1
+		}
+		hwc := gen(width, bits.TrailingZeros64(stride))
+		meas, err := core.MeasureHW(hwc, sampled(s, 3000))
+		if err != nil {
+			return nil, err
+		}
+		lib := netlist.DefaultLibrary()
+		encLoad := cfg.LineCapF
+		if cfg.OffChip {
+			encLoad = power.DefaultPad().InputCapF
+		}
+		rep.CodecPowerW = util * (lib.Power(hwc.Enc, meas.EncAct, m.FreqHz, encLoad) +
+			lib.Power(hwc.Dec, meas.DecAct, m.FreqHz, core.DecoderInternalLoadF))
+		rep.HWModeled = true
+	}
+	if rep.BinaryBusPowerW > 0 {
+		rep.NetSavingsPct = (1 - (rep.BusPowerW+rep.CodecPowerW)/rep.BinaryBusPowerW) * 100
+	}
+	return rep, nil
+}
+
+// busPower converts a codec run's per-line toggle counts into line or pad
+// power: alpha is toggles per *system* cycle, so rarely-used buses (below
+// a cache) are billed only for the activity they actually carry.
+func busPower(m power.Model, cfg BusConfig, res codec.Result, systemCycles int) float64 {
+	denom := float64(systemCycles - 1)
+	if denom <= 0 {
+		denom = float64(res.Cycles - 1)
+	}
+	if denom <= 0 {
+		return 0
+	}
+	alphas := make([]float64, len(res.PerLine))
+	for i, tr := range res.PerLine {
+		alphas[i] = float64(tr) / denom
+	}
+	if cfg.OffChip {
+		return power.PadBankPower(m, power.DefaultPad(), alphas, cfg.LineCapF)
+	}
+	total := 0.0
+	for _, a := range alphas {
+		total += m.LinePower(a, cfg.LineCapF)
+	}
+	return total
+}
+
+// sampled truncates long streams for gate-level simulation speed; the
+// activity statistics converge long before full length.
+func sampled(s *trace.Stream, n int) *trace.Stream {
+	if s.Len() <= n {
+		return s
+	}
+	return s.Slice(0, n)
+}

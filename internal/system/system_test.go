@@ -1,0 +1,150 @@
+package system
+
+import (
+	"testing"
+
+	"busenc/internal/cache"
+	"busenc/internal/codec"
+	"busenc/internal/mips/progs"
+	"busenc/internal/workload"
+)
+
+func testStream() Config {
+	b := workload.Suite()[0]
+	return Config{
+		Stream: b.Muxed().Slice(0, 8000),
+		CPUBus: BusConfig{
+			Code:     "dualt0bi",
+			Options:  codec.Options{Stride: 4},
+			LineCapF: 50e-12,
+			OffChip:  true,
+		},
+	}
+}
+
+func TestEvaluateSyntheticStream(t *testing.T) {
+	rep, err := Evaluate(testStream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb := rep.CPUBus
+	if cb.Refs != 8000 || cb.Code != "dualt0bi" {
+		t.Fatalf("report header wrong: %+v", cb)
+	}
+	if cb.Transitions >= cb.BinaryTransitions {
+		t.Error("encoding did not reduce transitions")
+	}
+	if cb.BusPowerW >= cb.BinaryBusPowerW {
+		t.Error("encoding did not reduce bus power")
+	}
+	if !cb.HWModeled || cb.CodecPowerW <= 0 {
+		t.Error("codec logic power should be modeled for dualt0bi")
+	}
+	// At 50 pF off-chip the activity savings dominate the codec logic.
+	if cb.NetSavingsPct <= 0 {
+		t.Errorf("net savings %.2f%%, want positive", cb.NetSavingsPct)
+	}
+	if rep.TotalPowerW() >= rep.BaselinePowerW() {
+		t.Error("system with encoding should beat the binary baseline")
+	}
+}
+
+func TestEvaluateWithCacheHierarchy(t *testing.T) {
+	cfg := testStream()
+	cfg.L1 = &cache.Config{Size: 8 << 10, LineSize: 16, Ways: 2, WriteBack: true}
+	cfg.MemBus = &BusConfig{
+		Code:     "businvert",
+		LineCapF: 100e-12,
+		OffChip:  true,
+	}
+	rep, err := Evaluate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MemBus == nil {
+		t.Fatal("memory bus report missing")
+	}
+	if rep.HitRate <= 0 || rep.HitRate >= 1 {
+		t.Errorf("hit rate = %v", rep.HitRate)
+	}
+	if rep.MemBus.Refs >= rep.CPUBus.Refs {
+		t.Error("cache should filter references")
+	}
+	total := rep.TotalPowerW()
+	if total <= 0 {
+		t.Error("total power must be positive")
+	}
+	if rep.MemBus.Code != "businvert" || !rep.MemBus.HWModeled {
+		t.Errorf("mem bus report: %+v", rep.MemBus)
+	}
+}
+
+func TestEvaluateDefaultMemBus(t *testing.T) {
+	cfg := testStream()
+	cfg.L1 = &cache.Config{Size: 4 << 10, LineSize: 32, Ways: 1}
+	rep, err := Evaluate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MemBus == nil || rep.MemBus.Code != "binary" {
+		t.Fatalf("default memory bus should be binary: %+v", rep.MemBus)
+	}
+}
+
+func TestEvaluateFromProgram(t *testing.T) {
+	b, err := progs.Get("matlab")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Evaluate(Config{
+		Program:   p,
+		MaxCycles: b.MaxCycles,
+		CPUBus: BusConfig{
+			Code:     "t0",
+			Options:  codec.Options{Stride: 4},
+			LineCapF: 0.5e-12,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cycles == 0 {
+		t.Error("program cycles not reported")
+	}
+	if rep.CPUBus.SavingsPct < 20 {
+		t.Errorf("T0 savings on matlab = %.2f%%, expected substantial", rep.CPUBus.SavingsPct)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	if _, err := Evaluate(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	cfg := testStream()
+	cfg.CPUBus.Code = "nope"
+	if _, err := Evaluate(cfg); err == nil {
+		t.Error("unknown code accepted")
+	}
+	cfg = testStream()
+	cfg.L1 = &cache.Config{Size: 3, LineSize: 5, Ways: 0}
+	if _, err := Evaluate(cfg); err == nil {
+		t.Error("invalid cache accepted")
+	}
+}
+
+func TestCodecWithoutHardwareModel(t *testing.T) {
+	cfg := testStream()
+	cfg.CPUBus.Code = "workzone"
+	cfg.CPUBus.Options = codec.Options{Stride: 4}
+	rep, err := Evaluate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CPUBus.HWModeled || rep.CPUBus.CodecPowerW != 0 {
+		t.Error("workzone has no hardware model; codec power must be zero and flagged")
+	}
+}

@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Text format: a human-readable trace file.
+//
+//	# busenc trace v1
+//	# name: <name>
+//	# width: <bits>
+//	I 00400000
+//	R 10008fa0
+//	W 10008fa4
+//
+// Lines starting with '#' are comments; each entry line is "<kind> <hex>".
+
+// WriteText writes the stream in the text trace format.
+func WriteText(w io.Writer, s *Stream) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# busenc trace v1\n# name: %s\n# width: %d\n", s.Name, s.Width)
+	for _, e := range s.Entries {
+		fmt.Fprintf(bw, "%s %x\n", e.Kind, e.Addr)
+	}
+	return bw.Flush()
+}
+
+// ReadText parses a text trace.
+func ReadText(r io.Reader) (*Stream, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	s := New("", 32)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			meta := strings.TrimSpace(strings.TrimPrefix(line, "#"))
+			switch {
+			case strings.HasPrefix(meta, "name:"):
+				s.Name = strings.TrimSpace(strings.TrimPrefix(meta, "name:"))
+			case strings.HasPrefix(meta, "width:"):
+				w, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(meta, "width:")))
+				if err != nil {
+					return nil, fmt.Errorf("trace: line %d: bad width: %v", lineNo, err)
+				}
+				s.Width = w
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("trace: line %d: expected \"<kind> <hex>\", got %q", lineNo, line)
+		}
+		var k Kind
+		switch fields[0] {
+		case "I":
+			k = Instr
+		case "R":
+			k = DataRead
+		case "W":
+			k = DataWrite
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown kind %q", lineNo, fields[0])
+		}
+		addr, err := strconv.ParseUint(fields[1], 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad address: %v", lineNo, err)
+		}
+		s.Entries = append(s.Entries, Entry{Addr: addr, Kind: k})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Binary format: a compact delta-encoded trace.
+//
+//	magic "BETR" | u8 version | u8 width | uvarint nameLen | name bytes |
+//	uvarint count | count * (u8 kind | varint addrDelta)
+//
+// Deltas are signed varints relative to the previous address, which makes
+// sequential traces extremely small.
+
+const binMagic = "BETR"
+
+// WriteBinary writes the stream in the compact binary trace format.
+func WriteBinary(w io.Writer, s *Stream) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binMagic); err != nil {
+		return err
+	}
+	bw.WriteByte(1)
+	bw.WriteByte(byte(s.Width))
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(s.Name)))
+	bw.Write(buf[:n])
+	bw.WriteString(s.Name)
+	n = binary.PutUvarint(buf[:], uint64(len(s.Entries)))
+	bw.Write(buf[:n])
+	prev := uint64(0)
+	for _, e := range s.Entries {
+		bw.WriteByte(byte(e.Kind))
+		delta := int64(e.Addr - prev)
+		n = binary.PutVarint(buf[:], delta)
+		bw.Write(buf[:n])
+		prev = e.Addr
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses a binary trace.
+func ReadBinary(r io.Reader) (*Stream, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != binMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != 1 {
+		return nil, fmt.Errorf("trace: unsupported version %d", ver)
+	}
+	widthB, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if nameLen > 1<<20 {
+		return nil, fmt.Errorf("trace: unreasonable name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	s := New(string(name), int(widthB))
+	s.Entries = make([]Entry, 0, count)
+	prev := uint64(0)
+	for i := uint64(0); i < count; i++ {
+		kb, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: entry %d: %w", i, err)
+		}
+		if kb > byte(DataWrite) {
+			return nil, fmt.Errorf("trace: entry %d: bad kind %d", i, kb)
+		}
+		delta, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: entry %d: %w", i, err)
+		}
+		prev += uint64(delta)
+		s.Entries = append(s.Entries, Entry{Addr: prev, Kind: Kind(kb)})
+	}
+	return s, nil
+}

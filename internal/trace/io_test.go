@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func randomStream(n int, seed int64) *Stream {
+	rng := rand.New(rand.NewSource(seed))
+	s := New("rand", 32)
+	for i := 0; i < n; i++ {
+		s.Append(rng.Uint64()&0xFFFFFFFF, Kind(rng.Intn(3)))
+	}
+	return s
+}
+
+func streamsEqual(a, b *Stream) bool {
+	if a.Name != b.Name || a.Width != b.Width || len(a.Entries) != len(b.Entries) {
+		return false
+	}
+	for i := range a.Entries {
+		if a.Entries[i] != b.Entries[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	s := randomStream(500, 1)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !streamsEqual(s, got) {
+		t.Error("text round trip mismatch")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	s := randomStream(500, 2)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !streamsEqual(s, got) {
+		t.Error("binary round trip mismatch")
+	}
+}
+
+func TestBinaryRoundTripEmpty(t *testing.T) {
+	s := New("empty", 24)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "empty" || got.Width != 24 || got.Len() != 0 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestBinaryCompactOnSequential(t *testing.T) {
+	s := New("seq", 32)
+	for i := 0; i < 1000; i++ {
+		s.Append(0x400000+uint64(i)*4, Instr)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	// Delta coding means ~2 bytes per sequential entry.
+	if buf.Len() > 3*1000 {
+		t.Errorf("sequential trace encoded in %d bytes; delta coding broken?", buf.Len())
+	}
+}
+
+func TestReadTextParsesMetadata(t *testing.T) {
+	in := "# busenc trace v1\n# name: hello\n# width: 16\nI 400000\nR ff\n\nW 10\n"
+	s, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "hello" || s.Width != 16 {
+		t.Errorf("metadata: name=%q width=%d", s.Name, s.Width)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Entries[0] != (Entry{0x400000, Instr}) ||
+		s.Entries[1] != (Entry{0xff, DataRead}) ||
+		s.Entries[2] != (Entry{0x10, DataWrite}) {
+		t.Errorf("entries: %+v", s.Entries)
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := []string{
+		"I\n",          // missing address
+		"X 400000\n",   // unknown kind
+		"I zzz\n",      // bad hex
+		"# width: x\n", // bad width
+		"I 1 2 3\n",    // too many fields
+	}
+	for _, in := range cases {
+		if _, err := ReadText(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadText(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestReadBinaryErrors(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("NOPE"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := ReadBinary(bytes.NewReader([]byte("BET"))); err == nil {
+		t.Error("truncated magic accepted")
+	}
+	// Version 2 is unknown.
+	if _, err := ReadBinary(bytes.NewReader([]byte{'B', 'E', 'T', 'R', 2, 32, 0, 0})); err == nil {
+		t.Error("unknown version accepted")
+	}
+	// Truncated entry section.
+	var buf bytes.Buffer
+	s := randomStream(10, 3)
+	if err := WriteBinary(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated trace accepted")
+	}
+}
+
+func TestBinaryRejectsBadKind(t *testing.T) {
+	// Handcraft: magic, v1, width 8, name "", count 1, kind 7, delta 0.
+	raw := []byte{'B', 'E', 'T', 'R', 1, 8, 0, 1, 7, 0}
+	if _, err := ReadBinary(bytes.NewReader(raw)); err == nil {
+		t.Error("bad kind accepted")
+	}
+}

@@ -1,0 +1,163 @@
+package trace
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+
+	"busenc/internal/bus"
+)
+
+// Stats summarizes the statistical behaviour of an address stream; these
+// are the quantities the paper's Tables 2-7 report per benchmark.
+type Stats struct {
+	// Length is the number of references.
+	Length int
+	// InSeq is the number of references whose address equals the previous
+	// address plus the stride (counted over successive references of the
+	// same stream, as in the paper).
+	InSeq int
+	// InSeqFrac is InSeq / (Length-1).
+	InSeqFrac float64
+	// BinaryTransitions is the total bus transition count under plain
+	// binary encoding — the reference column of the paper's tables.
+	BinaryTransitions int64
+	// MeanRunLen is the average length of maximal in-sequence runs.
+	MeanRunLen float64
+	// MaxRunLen is the longest in-sequence run observed.
+	MaxRunLen int
+	// UniqueAddrs is the number of distinct addresses referenced.
+	UniqueAddrs int
+}
+
+// Analyze computes Stats for the stream using the given stride (the
+// paper's S: the address increment of an in-sequence reference, a power of
+// two reflecting the addressability of the architecture).
+func (s *Stream) Analyze(stride uint64) Stats {
+	st := Stats{Length: len(s.Entries)}
+	if len(s.Entries) == 0 {
+		return st
+	}
+	seen := make(map[uint64]struct{}, len(s.Entries))
+	run := 0
+	runs := 0
+	runSum := 0
+	for i, e := range s.Entries {
+		seen[e.Addr] = struct{}{}
+		if i == 0 {
+			continue
+		}
+		if e.Addr == s.Entries[i-1].Addr+stride {
+			st.InSeq++
+			run++
+			if run > st.MaxRunLen {
+				st.MaxRunLen = run
+			}
+		} else if run > 0 {
+			runs++
+			runSum += run
+			run = 0
+		}
+	}
+	if run > 0 {
+		runs++
+		runSum += run
+	}
+	if runs > 0 {
+		st.MeanRunLen = float64(runSum) / float64(runs)
+	}
+	if len(s.Entries) > 1 {
+		st.InSeqFrac = float64(st.InSeq) / float64(len(s.Entries)-1)
+	}
+	st.BinaryTransitions = bus.CountTransitions(s.Addresses(), s.Width)
+	st.UniqueAddrs = len(seen)
+	return st
+}
+
+// InSeqFraction returns the fraction of successive references that are
+// in-sequence for the stride.
+func (s *Stream) InSeqFraction(stride uint64) float64 {
+	return s.Analyze(stride).InSeqFrac
+}
+
+// PerLineActivity returns, per line, the transition probability per cycle
+// under binary encoding.
+func (s *Stream) PerLineActivity() []float64 {
+	b := bus.New(s.Width)
+	for _, e := range s.Entries {
+		b.Drive(e.Addr)
+	}
+	per := b.PerLine()
+	out := make([]float64, len(per))
+	denom := float64(s.Len() - 1)
+	if denom <= 0 {
+		return out
+	}
+	for i, c := range per {
+		out[i] = float64(c) / denom
+	}
+	return out
+}
+
+// JumpHistogram returns the distribution of absolute address deltas for
+// out-of-sequence successive references, bucketed by power of two:
+// bucket i counts deltas d with 2^i <= d < 2^(i+1). Bucket 0 also counts
+// delta 1 when it is out of sequence for the stride.
+func (s *Stream) JumpHistogram(stride uint64) []int {
+	buckets := make([]int, 65)
+	for i := 1; i < len(s.Entries); i++ {
+		prev, cur := s.Entries[i-1].Addr, s.Entries[i].Addr
+		if cur == prev+stride {
+			continue
+		}
+		var d uint64
+		if cur >= prev {
+			d = cur - prev
+		} else {
+			d = prev - cur
+		}
+		if d == 0 {
+			continue
+		}
+		buckets[bits.Len64(d)-1]++
+	}
+	// Trim trailing empty buckets.
+	hi := len(buckets)
+	for hi > 0 && buckets[hi-1] == 0 {
+		hi--
+	}
+	return buckets[:hi]
+}
+
+// Entropy returns the zero-order entropy (bits/reference) of the address
+// sequence; a crude measure of how compressible the stream is.
+func (s *Stream) Entropy() float64 {
+	if len(s.Entries) == 0 {
+		return 0
+	}
+	counts := make(map[uint64]int)
+	for _, e := range s.Entries {
+		counts[e.Addr]++
+	}
+	total := float64(len(s.Entries))
+	h := 0.0
+	for _, c := range counts {
+		p := float64(c) / total
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// WorkingSet returns the addresses touched, sorted ascending.
+func (s *Stream) WorkingSet() []uint64 {
+	set := make(map[uint64]struct{})
+	for _, e := range s.Entries {
+		set[e.Addr] = struct{}{}
+	}
+	out := make([]uint64, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,131 @@
+// Package trace represents address streams observed on a processor bus.
+//
+// A stream is an ordered sequence of bus references. Each reference carries
+// the address, the reference kind (instruction fetch, data read, data
+// write), and therefore the value of the SEL de-multiplexing signal used by
+// the dual codes of the paper (SEL is asserted for instruction addresses).
+//
+// The package also computes the stream statistics the paper reports:
+// in-sequence fraction for a given stride, sequential run lengths, and
+// jump-distance distributions.
+package trace
+
+import "fmt"
+
+// Kind classifies a bus reference.
+type Kind uint8
+
+const (
+	// Instr is an instruction fetch. SEL is asserted for Instr entries.
+	Instr Kind = iota
+	// DataRead is a data load.
+	DataRead
+	// DataWrite is a data store.
+	DataWrite
+)
+
+// String returns a short mnemonic for the kind.
+func (k Kind) String() string {
+	switch k {
+	case Instr:
+		return "I"
+	case DataRead:
+		return "R"
+	case DataWrite:
+		return "W"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// IsData reports whether the reference is a data access (read or write).
+func (k Kind) IsData() bool { return k == DataRead || k == DataWrite }
+
+// Entry is one bus reference.
+type Entry struct {
+	Addr uint64
+	Kind Kind
+}
+
+// Sel returns the value of the SEL bus signal for this entry: true when an
+// instruction address is on the bus.
+func (e Entry) Sel() bool { return e.Kind == Instr }
+
+// Stream is an ordered address stream together with identifying metadata.
+type Stream struct {
+	// Name identifies the originating benchmark or generator.
+	Name string
+	// Width is the significant address width in bits (the paper uses 32).
+	Width int
+	// Entries are the references in bus order.
+	Entries []Entry
+}
+
+// New returns an empty stream with the given name and width.
+func New(name string, width int) *Stream {
+	return &Stream{Name: name, Width: width}
+}
+
+// Append adds a reference to the stream.
+func (s *Stream) Append(addr uint64, kind Kind) {
+	s.Entries = append(s.Entries, Entry{Addr: addr, Kind: kind})
+}
+
+// Len returns the number of references.
+func (s *Stream) Len() int { return len(s.Entries) }
+
+// Addresses returns the raw address sequence.
+func (s *Stream) Addresses() []uint64 {
+	out := make([]uint64, len(s.Entries))
+	for i, e := range s.Entries {
+		out[i] = e.Addr
+	}
+	return out
+}
+
+// Filter returns a new stream containing only entries for which keep
+// returns true, preserving order.
+func (s *Stream) Filter(name string, keep func(Entry) bool) *Stream {
+	out := New(name, s.Width)
+	for _, e := range s.Entries {
+		if keep(e) {
+			out.Entries = append(out.Entries, e)
+		}
+	}
+	return out
+}
+
+// InstrOnly returns the instruction address sub-stream.
+func (s *Stream) InstrOnly() *Stream {
+	return s.Filter(s.Name+".instr", func(e Entry) bool { return e.Kind == Instr })
+}
+
+// DataOnly returns the data address sub-stream.
+func (s *Stream) DataOnly() *Stream {
+	return s.Filter(s.Name+".data", func(e Entry) bool { return e.Kind.IsData() })
+}
+
+// Slice returns a sub-stream view of entries [lo, hi).
+func (s *Stream) Slice(lo, hi int) *Stream {
+	return &Stream{Name: s.Name, Width: s.Width, Entries: s.Entries[lo:hi]}
+}
+
+// Mux interleaves instruction and data streams into one multiplexed stream
+// by simple round-robin against the data stream's original positions: this
+// is only useful for synthetic streams; simulator-produced streams are
+// already in true bus order.
+func Mux(name string, width int, instr, data []uint64, pattern []Kind) *Stream {
+	s := New(name, width)
+	ii, di := 0, 0
+	for _, k := range pattern {
+		switch {
+		case k == Instr && ii < len(instr):
+			s.Append(instr[ii], Instr)
+			ii++
+		case k.IsData() && di < len(data):
+			s.Append(data[di], k)
+			di++
+		}
+	}
+	return s
+}

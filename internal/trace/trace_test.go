@@ -1,0 +1,234 @@
+package trace
+
+import (
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	if Instr.String() != "I" || DataRead.String() != "R" || DataWrite.String() != "W" {
+		t.Error("kind mnemonics wrong")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Errorf("unknown kind: %s", Kind(9))
+	}
+}
+
+func TestKindPredicates(t *testing.T) {
+	if Instr.IsData() {
+		t.Error("Instr should not be data")
+	}
+	if !DataRead.IsData() || !DataWrite.IsData() {
+		t.Error("reads and writes are data")
+	}
+	if !(Entry{Kind: Instr}).Sel() {
+		t.Error("SEL must be asserted for instruction entries")
+	}
+	if (Entry{Kind: DataRead}).Sel() {
+		t.Error("SEL must be de-asserted for data entries")
+	}
+}
+
+func seqStream(name string, n int, start, stride uint64) *Stream {
+	s := New(name, 32)
+	for i := 0; i < n; i++ {
+		s.Append(start+uint64(i)*stride, Instr)
+	}
+	return s
+}
+
+func TestAppendLenAddresses(t *testing.T) {
+	s := seqStream("s", 4, 0x100, 4)
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	want := []uint64{0x100, 0x104, 0x108, 0x10C}
+	for i, a := range s.Addresses() {
+		if a != want[i] {
+			t.Errorf("addr[%d] = %#x, want %#x", i, a, want[i])
+		}
+	}
+}
+
+func TestFilterSplitsKinds(t *testing.T) {
+	s := New("m", 32)
+	s.Append(0x0, Instr)
+	s.Append(0x1000, DataRead)
+	s.Append(0x4, Instr)
+	s.Append(0x2000, DataWrite)
+
+	in := s.InstrOnly()
+	if in.Len() != 2 || in.Entries[0].Addr != 0 || in.Entries[1].Addr != 4 {
+		t.Errorf("InstrOnly wrong: %+v", in.Entries)
+	}
+	if in.Name != "m.instr" {
+		t.Errorf("InstrOnly name = %q", in.Name)
+	}
+	da := s.DataOnly()
+	if da.Len() != 2 || da.Entries[0].Addr != 0x1000 || da.Entries[1].Addr != 0x2000 {
+		t.Errorf("DataOnly wrong: %+v", da.Entries)
+	}
+}
+
+func TestSlice(t *testing.T) {
+	s := seqStream("s", 10, 0, 4)
+	sub := s.Slice(2, 5)
+	if sub.Len() != 3 || sub.Entries[0].Addr != 8 {
+		t.Errorf("Slice wrong: %+v", sub.Entries)
+	}
+}
+
+func TestAnalyzeSequential(t *testing.T) {
+	s := seqStream("s", 100, 0x400000, 4)
+	st := s.Analyze(4)
+	if st.Length != 100 {
+		t.Errorf("Length = %d", st.Length)
+	}
+	if st.InSeq != 99 {
+		t.Errorf("InSeq = %d, want 99", st.InSeq)
+	}
+	if st.InSeqFrac != 1.0 {
+		t.Errorf("InSeqFrac = %v, want 1", st.InSeqFrac)
+	}
+	if st.MaxRunLen != 99 {
+		t.Errorf("MaxRunLen = %d, want 99", st.MaxRunLen)
+	}
+	if st.UniqueAddrs != 100 {
+		t.Errorf("UniqueAddrs = %d", st.UniqueAddrs)
+	}
+}
+
+func TestAnalyzeMixed(t *testing.T) {
+	s := New("mix", 32)
+	// Two runs of 3 in-sequence refs separated by a jump; stride 4.
+	for _, a := range []uint64{0, 4, 8, 0x1000, 0x1004, 0x1008} {
+		s.Append(a, Instr)
+	}
+	st := s.Analyze(4)
+	if st.InSeq != 4 {
+		t.Errorf("InSeq = %d, want 4", st.InSeq)
+	}
+	if st.MaxRunLen != 2 {
+		t.Errorf("MaxRunLen = %d, want 2", st.MaxRunLen)
+	}
+	if st.MeanRunLen != 2 {
+		t.Errorf("MeanRunLen = %v, want 2", st.MeanRunLen)
+	}
+}
+
+func TestAnalyzeWrongStrideSeesNoSequence(t *testing.T) {
+	s := seqStream("s", 50, 0, 4)
+	if f := s.InSeqFraction(1); f != 0 {
+		t.Errorf("stride-1 fraction on stride-4 stream = %v, want 0", f)
+	}
+}
+
+func TestAnalyzeEmptyAndSingle(t *testing.T) {
+	empty := New("e", 32)
+	st := empty.Analyze(4)
+	if st.Length != 0 || st.InSeq != 0 || st.InSeqFrac != 0 {
+		t.Errorf("empty stream stats: %+v", st)
+	}
+	one := seqStream("o", 1, 0, 4)
+	st = one.Analyze(4)
+	if st.Length != 1 || st.InSeqFrac != 0 {
+		t.Errorf("single-entry stream stats: %+v", st)
+	}
+}
+
+func TestBinaryTransitionsReported(t *testing.T) {
+	s := New("t", 8)
+	s.Append(0x00, Instr)
+	s.Append(0x0F, Instr)
+	st := s.Analyze(1)
+	if st.BinaryTransitions != 4 {
+		t.Errorf("BinaryTransitions = %d, want 4", st.BinaryTransitions)
+	}
+}
+
+func TestPerLineActivity(t *testing.T) {
+	s := New("t", 4)
+	s.Append(0b0000, Instr)
+	s.Append(0b0001, Instr)
+	s.Append(0b0000, Instr)
+	act := s.PerLineActivity()
+	if act[0] != 1.0 {
+		t.Errorf("line 0 activity = %v, want 1", act[0])
+	}
+	for i := 1; i < 4; i++ {
+		if act[i] != 0 {
+			t.Errorf("line %d activity = %v, want 0", i, act[i])
+		}
+	}
+}
+
+func TestJumpHistogram(t *testing.T) {
+	s := New("t", 32)
+	s.Append(0, Instr)
+	s.Append(4, Instr)      // in-seq, not a jump
+	s.Append(4+16, Instr)   // jump of 16 -> bucket 4
+	s.Append(4+16+1, Instr) // jump of 1 -> bucket 0
+	h := s.JumpHistogram(4)
+	if len(h) < 5 {
+		t.Fatalf("histogram too short: %v", h)
+	}
+	if h[4] != 1 {
+		t.Errorf("bucket 4 = %d, want 1", h[4])
+	}
+	if h[0] != 1 {
+		t.Errorf("bucket 0 = %d, want 1", h[0])
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	s := New("t", 32)
+	for i := 0; i < 8; i++ {
+		s.Append(uint64(i%2), Instr)
+	}
+	if h := s.Entropy(); h != 1.0 {
+		t.Errorf("entropy of a fair 2-symbol stream = %v, want 1", h)
+	}
+	u := New("u", 32)
+	for i := 0; i < 8; i++ {
+		u.Append(7, Instr)
+	}
+	if h := u.Entropy(); h != 0 {
+		t.Errorf("entropy of a constant stream = %v, want 0", h)
+	}
+	if (New("e", 32)).Entropy() != 0 {
+		t.Error("entropy of an empty stream should be 0")
+	}
+}
+
+func TestWorkingSet(t *testing.T) {
+	s := New("t", 32)
+	for _, a := range []uint64{5, 1, 5, 3, 1} {
+		s.Append(a, DataRead)
+	}
+	ws := s.WorkingSet()
+	want := []uint64{1, 3, 5}
+	if len(ws) != len(want) {
+		t.Fatalf("WorkingSet = %v", ws)
+	}
+	for i := range want {
+		if ws[i] != want[i] {
+			t.Errorf("WorkingSet[%d] = %d, want %d", i, ws[i], want[i])
+		}
+	}
+}
+
+func TestMux(t *testing.T) {
+	instr := []uint64{0, 4, 8}
+	data := []uint64{0x100, 0x200}
+	pattern := []Kind{Instr, DataRead, Instr, DataWrite, Instr}
+	m := Mux("m", 32, instr, data, pattern)
+	if m.Len() != 5 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	wantAddr := []uint64{0, 0x100, 4, 0x200, 8}
+	wantKind := []Kind{Instr, DataRead, Instr, DataWrite, Instr}
+	for i := range wantAddr {
+		if m.Entries[i].Addr != wantAddr[i] || m.Entries[i].Kind != wantKind[i] {
+			t.Errorf("entry %d = %+v", i, m.Entries[i])
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package trace
+
+// Windowed phase analysis: programs move through phases (startup, hot
+// loops, I/O) whose bus behaviour differs wildly from the stream average,
+// which is what an *adaptive* encoding scheme would key on. WindowStats
+// slices the stream into fixed-size windows and reports the statistics of
+// each.
+
+// Window is the statistics of one slice of the stream.
+type Window struct {
+	// Start is the index of the window's first reference.
+	Start int
+	// Len is the number of references in the window.
+	Len int
+	// InSeqFrac is the in-sequence fraction within the window (the pair
+	// crossing into the window counts toward it).
+	InSeqFrac float64
+	// DataFrac is the fraction of data references.
+	DataFrac float64
+	// AvgTransitions is the mean binary bus transitions per cycle.
+	AvgTransitions float64
+}
+
+// Windows computes per-window statistics with the given window size.
+// The final window may be shorter. A non-positive size yields nil.
+func (s *Stream) Windows(size int, stride uint64) []Window {
+	if size <= 0 || s.Len() == 0 {
+		return nil
+	}
+	var out []Window
+	for start := 0; start < s.Len(); start += size {
+		end := start + size
+		if end > s.Len() {
+			end = s.Len()
+		}
+		w := Window{Start: start, Len: end - start}
+		inSeq, data, trans, pairs := 0, 0, int64(0), 0
+		for i := start; i < end; i++ {
+			e := s.Entries[i]
+			if e.Kind.IsData() {
+				data++
+			}
+			if i == 0 {
+				continue
+			}
+			pairs++
+			if e.Addr == s.Entries[i-1].Addr+stride {
+				inSeq++
+			}
+			trans += int64(hammingU64(s.Entries[i-1].Addr, e.Addr, s.Width))
+		}
+		if pairs > 0 {
+			w.InSeqFrac = float64(inSeq) / float64(pairs)
+			w.AvgTransitions = float64(trans) / float64(pairs)
+		}
+		w.DataFrac = float64(data) / float64(w.Len)
+		out = append(out, w)
+	}
+	return out
+}
+
+func hammingU64(a, b uint64, width int) int {
+	x := a ^ b
+	if width < 64 {
+		x &= uint64(1)<<uint(width) - 1
+	}
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// PhaseChanges returns the indices of windows whose in-sequence fraction
+// differs from the previous window by more than threshold — a simple
+// phase-boundary detector.
+func PhaseChanges(windows []Window, threshold float64) []int {
+	var out []int
+	for i := 1; i < len(windows); i++ {
+		d := windows[i].InSeqFrac - windows[i-1].InSeqFrac
+		if d < 0 {
+			d = -d
+		}
+		if d > threshold {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWindowsBasic(t *testing.T) {
+	s := New("w", 32)
+	// First 100 refs sequential, next 100 constant-jumping.
+	for i := 0; i < 100; i++ {
+		s.Append(uint64(0x1000+i*4), Instr)
+	}
+	for i := 0; i < 100; i++ {
+		if i%2 == 0 {
+			s.Append(0x10000000, DataRead)
+		} else {
+			s.Append(0x7FFF0000, DataWrite)
+		}
+	}
+	ws := s.Windows(100, 4)
+	if len(ws) != 2 {
+		t.Fatalf("windows: %d", len(ws))
+	}
+	if ws[0].InSeqFrac < 0.98 {
+		t.Errorf("window 0 in-seq = %v", ws[0].InSeqFrac)
+	}
+	if ws[1].InSeqFrac != 0 {
+		t.Errorf("window 1 in-seq = %v", ws[1].InSeqFrac)
+	}
+	if ws[0].DataFrac != 0 || ws[1].DataFrac != 1 {
+		t.Errorf("data fractions: %v %v", ws[0].DataFrac, ws[1].DataFrac)
+	}
+	// Sequential window: ~2 transitions/cycle; alternating window: the
+	// Hamming distance between the two data addresses every cycle.
+	if ws[0].AvgTransitions > 3 {
+		t.Errorf("window 0 transitions = %v", ws[0].AvgTransitions)
+	}
+	wantAlt := float64(hammingU64(0x10000000, 0x7FFF0000, 32))
+	if math.Abs(ws[1].AvgTransitions-wantAlt) > 0.2 {
+		t.Errorf("window 1 transitions = %v, want ~%v", ws[1].AvgTransitions, wantAlt)
+	}
+}
+
+func TestWindowsEdgeCases(t *testing.T) {
+	s := New("e", 32)
+	if s.Windows(10, 4) != nil {
+		t.Error("empty stream should yield no windows")
+	}
+	s.Append(1, Instr)
+	if s.Windows(0, 4) != nil {
+		t.Error("non-positive window size should yield nil")
+	}
+	ws := s.Windows(10, 4)
+	if len(ws) != 1 || ws[0].Len != 1 {
+		t.Errorf("single-entry stream windows: %+v", ws)
+	}
+	// Uneven tail window.
+	for i := 0; i < 14; i++ {
+		s.Append(uint64(i), Instr)
+	}
+	ws = s.Windows(10, 4)
+	if len(ws) != 2 || ws[1].Len != 5 {
+		t.Errorf("tail window: %+v", ws)
+	}
+}
+
+func TestPhaseChanges(t *testing.T) {
+	ws := []Window{
+		{InSeqFrac: 0.9}, {InSeqFrac: 0.88}, {InSeqFrac: 0.1}, {InSeqFrac: 0.12}, {InSeqFrac: 0.95},
+	}
+	got := PhaseChanges(ws, 0.5)
+	if len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Errorf("phase changes: %v", got)
+	}
+	if PhaseChanges(ws, 2) != nil {
+		t.Error("impossible threshold should find nothing")
+	}
+}

@@ -1,0 +1,39 @@
+package workload
+
+import "busenc/internal/trace"
+
+// Fit estimates the synthetic-model parameters of an observed multiplexed
+// stream, so a reproducible synthetic twin can stand in for a trace that
+// cannot be shipped (the situation this repository is in with the paper's
+// original workloads). The twin matches the statistics the codes are
+// sensitive to: per-class in-sequence fractions and the data fraction of
+// the bus.
+func Fit(name string, s *trace.Stream, stride uint64) Benchmark {
+	instr := s.InstrOnly()
+	data := s.DataOnly()
+	b := Benchmark{
+		Name:   name,
+		Length: s.Len(),
+		Seed:   1,
+	}
+	if s.Len() > 0 {
+		b.DataFrac = float64(data.Len()) / float64(s.Len())
+	}
+	b.InstrSeq = clampTarget(instr.InSeqFraction(stride), instrSeqLow, instrSeqHigh)
+	b.DataSeq = clampTarget(data.InSeqFraction(stride), dataSeqLow, dataSeqHigh)
+	return b
+}
+
+// clampTarget keeps a fitted fraction inside the regime model's reachable
+// band (the generators mix a high and a low regime, so targets outside
+// [low, high] are unreachable).
+func clampTarget(f, lo, hi float64) float64 {
+	const margin = 0.01
+	if f < lo+margin {
+		return lo + margin
+	}
+	if f > hi-margin {
+		return hi - margin
+	}
+	return f
+}

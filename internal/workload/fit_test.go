@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"busenc/internal/mips"
+	"busenc/internal/mips/progs"
+)
+
+func TestFitRecoversSyntheticParameters(t *testing.T) {
+	orig := Benchmark{Name: "orig", InstrSeq: 0.62, DataSeq: 0.12, DataFrac: 0.10, Length: 60000, Seed: 7}
+	fit := Fit("twin", orig.Muxed(), Stride)
+	if math.Abs(fit.InstrSeq-orig.InstrSeq) > 0.03 {
+		t.Errorf("fitted InstrSeq = %.3f, want ~%.3f", fit.InstrSeq, orig.InstrSeq)
+	}
+	if math.Abs(fit.DataSeq-orig.DataSeq) > 0.03 {
+		t.Errorf("fitted DataSeq = %.3f, want ~%.3f", fit.DataSeq, orig.DataSeq)
+	}
+	if math.Abs(fit.DataFrac-orig.DataFrac) > 0.01 {
+		t.Errorf("fitted DataFrac = %.3f, want ~%.3f", fit.DataFrac, orig.DataFrac)
+	}
+}
+
+func TestFitTwinTracksRealTrace(t *testing.T) {
+	// Fit a synthetic twin to a real simulator trace; the twin's muxed
+	// stream statistics must land near the original's.
+	b, err := progs.Get("espresso")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := b.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	real, _, err := mips.Run(p, "espresso", b.MaxCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twinSpec := Fit("espresso-twin", real, Stride)
+	twin := twinSpec.Muxed()
+	if twin.Len() != real.Len() {
+		t.Errorf("twin length %d, want %d", twin.Len(), real.Len())
+	}
+	rf := real.InSeqFraction(Stride)
+	tf := twin.InSeqFraction(Stride)
+	// The muxed in-seq fraction is a derived quantity (not fitted
+	// directly); allow a coarser tolerance.
+	if math.Abs(rf-tf) > 0.10 {
+		t.Errorf("twin muxed in-seq %.3f vs real %.3f", tf, rf)
+	}
+	// Data fractions must match closely.
+	realData := float64(real.DataOnly().Len()) / float64(real.Len())
+	twinData := float64(twin.DataOnly().Len()) / float64(twin.Len())
+	if math.Abs(realData-twinData) > 0.02 {
+		t.Errorf("twin data fraction %.3f vs real %.3f", twinData, realData)
+	}
+}
+
+func TestFitClampsUnreachableTargets(t *testing.T) {
+	// A perfectly sequential stream exceeds the regime model's reachable
+	// band; Fit must clamp rather than produce an invalid generator.
+	s := Sequential(32, 5000, 0, 4)
+	fit := Fit("seq", s, 4)
+	if fit.InstrSeq >= instrSeqHigh {
+		t.Errorf("InstrSeq %.3f not clamped below %v", fit.InstrSeq, instrSeqHigh)
+	}
+	// The generator built from the fit must still work.
+	twin := fit.Instr()
+	if twin.InSeqFraction(4) < 0.85 {
+		t.Errorf("clamped twin in-seq %.3f too low", twin.InSeqFraction(4))
+	}
+}
+
+func TestFitEmptyStream(t *testing.T) {
+	s := Sequential(32, 0, 0, 4)
+	fit := Fit("empty", s, 4)
+	if fit.DataFrac != 0 || fit.Length != 0 {
+		t.Errorf("empty fit: %+v", fit)
+	}
+}

@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"math/rand"
+
+	"busenc/internal/trace"
+)
+
+// InstrSpec parameterizes an instruction-stream generator: the target
+// in-sequence fraction, the fetch stride, and the far-jump region map of
+// the architecture's text segment.
+type InstrSpec struct {
+	// Target is the desired aggregate in-sequence fraction.
+	Target float64
+	// Stride is the fetch increment (instruction size).
+	Stride uint64
+	// Far describes call targets; its Stride field is ignored in favour
+	// of the spec's.
+	Far Model
+}
+
+// Stream generates n instruction references.
+func (sp InstrSpec) Stream(name string, width, n int, seed int64) *trace.Stream {
+	far := sp.Far
+	far.Stride = sp.Stride
+	g := newInstrGenSpec(sp.Target, sp.Stride, far, rand.New(rand.NewSource(seed)))
+	s := trace.New(name, width)
+	for i := 0; i < n; i++ {
+		s.Append(g.next(), trace.Instr)
+	}
+	return s
+}
+
+// DataSpec parameterizes a data-stream generator: the target in-sequence
+// fraction and the jump-region map (globals, heap, stack).
+type DataSpec struct {
+	Target float64
+	// Jump describes scattered-access targets; Jump.Stride is the
+	// element size of array walks.
+	Jump Model
+	// WriteFrac is the fraction of data references that are stores.
+	// Zero means the MIPS-suite default of 0.35.
+	WriteFrac float64
+}
+
+func (sp DataSpec) writeFrac() float64 {
+	if sp.WriteFrac == 0 {
+		return 0.35
+	}
+	return sp.WriteFrac
+}
+
+// Stream generates n data references.
+func (sp DataSpec) Stream(name string, width, n int, seed int64) *trace.Stream {
+	rng := rand.New(rand.NewSource(seed))
+	g := newDataGen(sp.Target, sp.Jump, rng)
+	s := trace.New(name, width)
+	for i := 0; i < n; i++ {
+		k := trace.DataRead
+		if rng.Float64() < sp.writeFrac() {
+			k = trace.DataWrite
+		}
+		s.Append(g.next(), k)
+	}
+	return s
+}
+
+// MuxSpec interleaves an instruction and a data generator on one bus.
+type MuxSpec struct {
+	Instr InstrSpec
+	Data  DataSpec
+	// DataFrac is the fraction of bus cycles carrying a data address.
+	DataFrac float64
+}
+
+// Stream generates n multiplexed references.
+func (sp MuxSpec) Stream(name string, width, n int, seed int64) *trace.Stream {
+	rng := rand.New(rand.NewSource(seed))
+	far := sp.Instr.Far
+	far.Stride = sp.Instr.Stride
+	gi := newInstrGenSpec(sp.Instr.Target, sp.Instr.Stride, far, rand.New(rand.NewSource(seed+1)))
+	gd := newDataGen(sp.Data.Target, sp.Data.Jump, rand.New(rand.NewSource(seed+2)))
+	s := trace.New(name, width)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < sp.DataFrac {
+			k := trace.DataRead
+			if rng.Float64() < sp.Data.writeFrac() {
+				k = trace.DataWrite
+			}
+			s.Append(gd.next(), k)
+		} else {
+			s.Append(gi.next(), trace.Instr)
+		}
+	}
+	return s
+}

@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"busenc/internal/trace"
+)
+
+func testRegions(base uint64) []Region {
+	return []Region{{Base: base, Size: 1 << 16, Weight: 1}}
+}
+
+func TestInstrSpecTargets(t *testing.T) {
+	for _, target := range []float64{0.4, 0.63, 0.85} {
+		sp := InstrSpec{Target: target, Stride: 8, Far: Model{Regions: testRegions(0x1000000)}}
+		s := sp.Stream("i", 32, 40000, 1)
+		if got := s.InSeqFraction(8); math.Abs(got-target) > 0.03 {
+			t.Errorf("target %.2f: got %.3f", target, got)
+		}
+		for _, e := range s.Entries {
+			if e.Kind != trace.Instr {
+				t.Fatal("instruction spec emitted a data reference")
+			}
+		}
+	}
+}
+
+func TestInstrSpecStrideHonoured(t *testing.T) {
+	sp := InstrSpec{Target: 0.8, Stride: 16, Far: Model{Regions: testRegions(0x2000)}}
+	s := sp.Stream("i", 32, 20000, 2)
+	if f := s.InSeqFraction(16); f < 0.7 {
+		t.Errorf("stride-16 in-seq = %.3f", f)
+	}
+	if f := s.InSeqFraction(4); f > 0.05 {
+		t.Errorf("stride-4 should see no sequence: %.3f", f)
+	}
+}
+
+func TestDataSpecWriteFraction(t *testing.T) {
+	sp := DataSpec{Target: 0.1, Jump: Model{Stride: 4, Regions: testRegions(0x8000)}, WriteFrac: 0.6}
+	s := sp.Stream("d", 32, 20000, 3)
+	writes := 0
+	for _, e := range s.Entries {
+		if e.Kind == trace.DataWrite {
+			writes++
+		}
+	}
+	frac := float64(writes) / float64(s.Len())
+	if math.Abs(frac-0.6) > 0.02 {
+		t.Errorf("write fraction = %.3f, want 0.6", frac)
+	}
+}
+
+func TestDataSpecDefaultWriteFraction(t *testing.T) {
+	sp := DataSpec{Target: 0.1, Jump: Model{Stride: 4, Regions: testRegions(0x8000)}}
+	s := sp.Stream("d", 32, 20000, 4)
+	writes := 0
+	for _, e := range s.Entries {
+		if e.Kind == trace.DataWrite {
+			writes++
+		}
+	}
+	frac := float64(writes) / float64(s.Len())
+	if math.Abs(frac-0.35) > 0.02 {
+		t.Errorf("default write fraction = %.3f, want 0.35", frac)
+	}
+}
+
+func TestMuxSpecComposition(t *testing.T) {
+	sp := MuxSpec{
+		Instr:    InstrSpec{Target: 0.7, Stride: 4, Far: Model{Regions: testRegions(0x400000)}},
+		Data:     DataSpec{Target: 0.1, Jump: Model{Stride: 4, Regions: testRegions(0x10000000)}},
+		DataFrac: 0.25,
+	}
+	s := sp.Stream("m", 32, 30000, 5)
+	data := 0
+	for _, e := range s.Entries {
+		if e.Kind.IsData() {
+			data++
+		}
+	}
+	frac := float64(data) / float64(s.Len())
+	if math.Abs(frac-0.25) > 0.02 {
+		t.Errorf("data fraction = %.3f, want 0.25", frac)
+	}
+	// The instruction sub-stream keeps its target.
+	if f := s.InstrOnly().InSeqFraction(4); math.Abs(f-0.7) > 0.04 {
+		t.Errorf("instr sub-stream in-seq = %.3f, want ~0.7", f)
+	}
+}
+
+func TestSpecReproducibility(t *testing.T) {
+	sp := MuxSpec{
+		Instr:    InstrSpec{Target: 0.6, Stride: 4, Far: Model{Regions: testRegions(0x400000)}},
+		Data:     DataSpec{Target: 0.1, Jump: Model{Stride: 4, Regions: testRegions(0x10000000)}},
+		DataFrac: 0.1,
+	}
+	a := sp.Stream("m", 32, 5000, 9).Addresses()
+	b := sp.Stream("m", 32, 5000, 9).Addresses()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}

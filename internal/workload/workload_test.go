@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"busenc/internal/trace"
+)
+
+func TestRandomStreamProperties(t *testing.T) {
+	s := Random(32, 1000, 1)
+	if s.Len() != 1000 || s.Width != 32 {
+		t.Fatalf("len=%d width=%d", s.Len(), s.Width)
+	}
+	// A uniform stream has essentially no sequential pairs.
+	if f := s.InSeqFraction(4); f > 0.01 {
+		t.Errorf("random stream in-seq fraction = %v", f)
+	}
+}
+
+func TestSequentialStreamProperties(t *testing.T) {
+	s := Sequential(32, 1000, 0x400000, 4)
+	if f := s.InSeqFraction(4); f != 1 {
+		t.Errorf("sequential stream in-seq fraction = %v, want 1", f)
+	}
+	if s.Entries[999].Addr != 0x400000+999*4 {
+		t.Errorf("last address = %#x", s.Entries[999].Addr)
+	}
+}
+
+func TestGeneratorReproducible(t *testing.T) {
+	b := Suite()[0]
+	a1 := b.Instr().Addresses()
+	a2 := b.Instr().Addresses()
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestModelHitsTargetInSeqFraction(t *testing.T) {
+	for _, b := range Suite() {
+		if got := b.Instr().InSeqFraction(Stride); math.Abs(got-b.InstrSeq) > 0.02 {
+			t.Errorf("%s: instr in-seq = %v, target %v", b.Name, got, b.InstrSeq)
+		}
+		if got := b.Data().InSeqFraction(Stride); math.Abs(got-b.DataSeq) > 0.02 {
+			t.Errorf("%s: data in-seq = %v, target %v", b.Name, got, b.DataSeq)
+		}
+	}
+}
+
+func TestSuiteAveragesMatchPaper(t *testing.T) {
+	// The paper reports suite-average in-sequence fractions of 63.04%
+	// (instruction), 11.39% (data) and 57.62% (multiplexed). The
+	// calibrated suite must land close to those.
+	var instr, data, mux float64
+	suite := Suite()
+	for _, b := range suite {
+		instr += b.Instr().InSeqFraction(Stride)
+		data += b.Data().InSeqFraction(Stride)
+		mux += b.Muxed().InSeqFraction(Stride)
+	}
+	n := float64(len(suite))
+	instr, data, mux = instr/n, data/n, mux/n
+	if math.Abs(instr-0.6304) > 0.02 {
+		t.Errorf("suite instruction in-seq average = %v, paper 0.6304", instr)
+	}
+	if math.Abs(data-0.1139) > 0.02 {
+		t.Errorf("suite data in-seq average = %v, paper 0.1139", data)
+	}
+	if math.Abs(mux-0.5762) > 0.03 {
+		t.Errorf("suite multiplexed in-seq average = %v, paper 0.5762", mux)
+	}
+}
+
+func TestMuxedStreamComposition(t *testing.T) {
+	b := Suite()[3]
+	m := b.Muxed()
+	dataCount := 0
+	for _, e := range m.Entries {
+		if e.Kind.IsData() {
+			dataCount++
+		}
+	}
+	frac := float64(dataCount) / float64(m.Len())
+	if math.Abs(frac-b.DataFrac) > 0.01 {
+		t.Errorf("data fraction = %v, target %v", frac, b.DataFrac)
+	}
+}
+
+func TestJumpTargetsStrideAligned(t *testing.T) {
+	b := Suite()[0]
+	for _, e := range b.Instr().Entries {
+		if e.Addr%Stride != 0 {
+			t.Fatalf("instruction address %#x not stride-aligned", e.Addr)
+		}
+	}
+}
+
+func TestSuiteHasNinePaperBenchmarks(t *testing.T) {
+	names := map[string]bool{}
+	for _, b := range Suite() {
+		names[b.Name] = true
+	}
+	for _, want := range []string{"gzip", "gunzip", "ghostview", "espresso", "nova", "jedi", "latex", "matlab", "oracle"} {
+		if !names[want] {
+			t.Errorf("suite missing benchmark %q", want)
+		}
+	}
+}
+
+func TestDataStreamHasReadsAndWrites(t *testing.T) {
+	d := Suite()[0].Data()
+	var r, w int
+	for _, e := range d.Entries {
+		switch e.Kind {
+		case trace.DataRead:
+			r++
+		case trace.DataWrite:
+			w++
+		default:
+			t.Fatalf("instruction entry in data stream: %+v", e)
+		}
+	}
+	if r == 0 || w == 0 {
+		t.Errorf("reads=%d writes=%d", r, w)
+	}
+}
