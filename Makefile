@@ -1,0 +1,28 @@
+# CI entry points. `make ci` is what the repository considers green:
+# build, vet, race-enabled tests, and one timed pass of the headline
+# evaluation benchmark.
+
+GO ?= go
+
+.PHONY: all ci build vet test bench benchjson
+
+all: ci
+
+ci: build vet test bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run=NONE -bench=BenchmarkTable4 -benchtime=1x .
+
+# Regenerate the machine-readable engine benchmark record (see README
+# "Performance"): seed reference path vs batched engine on Table 4.
+benchjson:
+	$(GO) run ./cmd/paper -benchjson BENCH_engine.json

@@ -323,6 +323,59 @@ func BenchmarkEncodeOffset(b *testing.B)    { benchCodecThroughput(b, "offset") 
 func BenchmarkEncodeWorkZone(b *testing.B)  { benchCodecThroughput(b, "workzone") }
 func BenchmarkEncodeBeach(b *testing.B)     { benchCodecThroughput(b, "beach") }
 
+// BenchmarkRunFast measures the batched evaluation path per codec: encode
+// in chunks via the codec's batch kernel, count transitions in bulk,
+// verify a sampled prefix. Compare against BenchmarkRunSlowReference for
+// the per-entry dispatch cost the engine removes.
+func BenchmarkRunFast(b *testing.B) {
+	s := workload.Suite()[0].Muxed()
+	for _, name := range []string{"binary", "gray", "t0", "businvert", "t0bi", "dualt0", "dualt0bi"} {
+		b.Run(name, func(b *testing.B) {
+			c := codec.MustNew(name, core.Width, codec.Options{Stride: 4})
+			b.ResetTimer()
+			var res codec.Result
+			for i := 0; i < b.N; i++ {
+				res = codec.MustRunFast(c, s, codec.RunOpts{Verify: codec.VerifySampled})
+			}
+			b.ReportMetric(float64(s.Len())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Msym/s")
+			_ = res
+		})
+	}
+}
+
+// BenchmarkRunSlowReference is the seed evaluation path (codec.Run) over
+// the same stream, for tracking the fast/slow ratio.
+func BenchmarkRunSlowReference(b *testing.B) {
+	s := workload.Suite()[0].Muxed()
+	c := codec.MustNew("dualt0bi", core.Width, codec.Options{Stride: 4})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		codec.MustRun(c, s)
+	}
+	b.ReportMetric(float64(s.Len())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Msym/s")
+}
+
+// BenchmarkEncodeBatch measures the raw batch encode kernels: symbols in,
+// words out, no counting or verification.
+func BenchmarkEncodeBatch(b *testing.B) {
+	s := workload.Suite()[0].Muxed()
+	syms := make([]codec.Symbol, s.Len())
+	for i, e := range s.Entries {
+		syms[i] = codec.SymbolOf(e)
+	}
+	out := make([]uint64, len(syms))
+	for _, name := range []string{"binary", "gray", "t0", "businvert", "t0bi", "dualt0", "dualt0bi"} {
+		b.Run(name, func(b *testing.B) {
+			enc := codec.AsBatch(codec.MustNew(name, core.Width, codec.Options{Stride: 4}).NewEncoder())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				enc.EncodeBatch(syms, out)
+			}
+			b.ReportMetric(float64(len(syms))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Msym/s")
+		})
+	}
+}
+
 // BenchmarkMIPSSimulator measures the trace-generation substrate: one full
 // run of the espresso kernel per iteration, reporting simulated cycles/op.
 func BenchmarkMIPSSimulator(b *testing.B) {

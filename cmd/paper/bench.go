@@ -1,0 +1,155 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"busenc/internal/codec"
+	"busenc/internal/core"
+)
+
+// Engine benchmark: times a Table 4 regeneration on the seed-style
+// reference path (fresh stream generation, one virtual Encode/Drive/
+// Decode per entry, full verification) against the batched evaluation
+// engine (memoized streams, bulk encode kernels, aggregate counting,
+// sampled verification), checks the two agree transition-for-transition,
+// and writes the numbers as JSON so successive PRs can track the
+// trajectory.
+
+// engineBench is the machine-readable benchmark record.
+type engineBench struct {
+	Bench        string  `json:"bench"`
+	Source       string  `json:"source"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	ReferenceNs  int64   `json:"reference_ns"`   // seed path, streams regenerated
+	EngineColdNs int64   `json:"engine_cold_ns"` // first engine call, caches empty
+	EngineWarmNs int64   `json:"engine_warm_ns"` // fastest warm engine call
+	WarmIters    int     `json:"warm_iters"`
+	SpeedupCold  float64 `json:"speedup_cold"`
+	SpeedupWarm  float64 `json:"speedup_warm"`
+	Parity       bool    `json:"parity"` // engine totals == reference totals
+}
+
+// referenceTable4 rebuilds Table 4 the way the seed implementation did:
+// streams generated from scratch and every codec run entry-at-a-time on
+// the fully verified slow path. Row totals are returned for the parity
+// check.
+func referenceTable4(src core.Source) (map[string][]int64, error) {
+	sets, err := core.GenerateStreams(src)
+	if err != nil {
+		return nil, err
+	}
+	totals := make(map[string][]int64, len(sets))
+	for _, set := range sets {
+		s := set.Muxed
+		s.Analyze(uint64(core.Stride))
+		bin, err := codec.Run(codec.MustNew("binary", core.Width, codec.Options{}), s)
+		if err != nil {
+			return nil, err
+		}
+		row := []int64{bin.Transitions}
+		for _, code := range core.ExistingCodes {
+			res, err := codec.Run(codec.MustNew(code, core.Width, core.DefaultOptions), s)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, res.Transitions)
+		}
+		totals[set.Name] = row
+	}
+	return totals, nil
+}
+
+func engineTotals(tab *core.Table) map[string][]int64 {
+	totals := make(map[string][]int64, len(tab.Rows))
+	for _, r := range tab.Rows {
+		row := []int64{r.Binary}
+		for _, c := range r.Cols {
+			row = append(row, c.Transitions)
+		}
+		totals[r.Bench] = row
+	}
+	return totals
+}
+
+func sameTotals(a, b map[string][]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, av := range a {
+		bv, ok := b[k]
+		if !ok || len(av) != len(bv) {
+			return false
+		}
+		for i := range av {
+			if av[i] != bv[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// benchEngine runs the comparison and writes the JSON record to path.
+func benchEngine(path string, src core.Source, warmIters int) error {
+	if warmIters < 1 {
+		warmIters = 1
+	}
+
+	t0 := time.Now()
+	refTotals, err := referenceTable4(src)
+	if err != nil {
+		return err
+	}
+	refNs := time.Since(t0).Nanoseconds()
+
+	t0 = time.Now()
+	tab, err := core.Table4(src)
+	if err != nil {
+		return err
+	}
+	coldNs := time.Since(t0).Nanoseconds()
+	parity := sameTotals(refTotals, engineTotals(tab))
+
+	warmNs := int64(0)
+	for i := 0; i < warmIters; i++ {
+		t0 = time.Now()
+		if _, err := core.Table4(src); err != nil {
+			return err
+		}
+		if ns := time.Since(t0).Nanoseconds(); warmNs == 0 || ns < warmNs {
+			warmNs = ns
+		}
+	}
+
+	rec := engineBench{
+		Bench:        "Table4",
+		Source:       string(src),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		ReferenceNs:  refNs,
+		EngineColdNs: coldNs,
+		EngineWarmNs: warmNs,
+		WarmIters:    warmIters,
+		SpeedupCold:  float64(refNs) / float64(coldNs),
+		SpeedupWarm:  float64(refNs) / float64(warmNs),
+		Parity:       parity,
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("engine bench (%s source): reference %.1f ms, engine cold %.1f ms (%.1fx), warm %.1f ms (%.1fx), parity=%v -> %s\n",
+		src, float64(refNs)/1e6, float64(coldNs)/1e6, rec.SpeedupCold,
+		float64(warmNs)/1e6, rec.SpeedupWarm, parity, path)
+	if !parity {
+		return fmt.Errorf("engine and reference transition totals diverge")
+	}
+	return nil
+}

@@ -7,6 +7,7 @@
 //	paper -table 7        # print one table
 //	paper -source mips    # drive Tables 2-7 from the MIPS simulator
 //	paper -sweep          # with -table 9: print the crossover summary
+//	paper -benchjson BENCH_engine.json   # time the evaluation engine
 package main
 
 import (
@@ -23,9 +24,17 @@ func main() {
 	hwStream := flag.Int("hwstream", 5000, "reference stream length for Tables 8-9")
 	sweep := flag.Bool("sweep", false, "print the off-chip crossover summary with Table 9")
 	asJSON := flag.Bool("json", false, "emit JSON instead of aligned text")
+	benchJSON := flag.String("benchjson", "", "benchmark the batched evaluation engine against the reference path and write machine-readable results to this file (e.g. BENCH_engine.json), then exit")
 	flag.Parse()
 
 	src := core.Source(*source)
+	if *benchJSON != "" {
+		if err := benchEngine(*benchJSON, src, 5); err != nil {
+			fmt.Fprintln(os.Stderr, "paper:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*tableNum, src, *hwStream, *sweep, *asJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "paper:", err)
 		os.Exit(1)

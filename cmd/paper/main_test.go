@@ -2,8 +2,10 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -62,5 +64,30 @@ func TestRunJSONMode(t *testing.T) {
 func TestRunUnknownSource(t *testing.T) {
 	if err := run(2, core.Source("nope"), 500, false, false); err == nil {
 		t.Error("unknown source accepted")
+	}
+}
+
+func TestBenchEngineJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	out := captureStdout(t, func() error { return benchEngine(path, core.Synthetic, 1) })
+	if !strings.Contains(out, "parity=true") {
+		t.Errorf("summary missing parity:\n%s", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec engineBench
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if !rec.Parity {
+		t.Error("engine diverged from the reference path")
+	}
+	if rec.ReferenceNs <= 0 || rec.EngineColdNs <= 0 || rec.EngineWarmNs <= 0 {
+		t.Errorf("timings not recorded: %+v", rec)
+	}
+	if rec.Bench != "Table4" || rec.Source != "synthetic" {
+		t.Errorf("wrong identity: %+v", rec)
 	}
 }

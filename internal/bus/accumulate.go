@@ -1,0 +1,86 @@
+package bus
+
+import "math/bits"
+
+// Bulk transition counting. These are the hot kernels of the batched
+// evaluation engine: a full table regeneration reduces to XOR+popcount
+// over encoded word chunks, so the per-word virtual-call and bit-scan
+// overhead of Drive must not appear on this path.
+
+// Accumulate drives every word of the chunk onto the bus in order,
+// updating the aggregate statistics. It is equivalent to calling Drive on
+// each word but keeps the line state and counters in registers across the
+// whole chunk; the per-line scan runs only when the bus tracks per-line
+// counts (constructed with New rather than NewAggregate).
+func (b *Bus) Accumulate(words []uint64) {
+	if len(words) == 0 {
+		return
+	}
+	i := 0
+	if !b.driven {
+		b.driven = true
+		b.current = words[0] & b.mask
+		b.cycles++
+		i = 1
+	}
+	b.cycles += int64(len(words) - i)
+	cur := b.current
+	mask := b.mask
+	total := b.total
+	maxN := b.maxInWord
+	if b.perLine == nil {
+		for ; i < len(words); i++ {
+			w := words[i] & mask
+			n := bits.OnesCount64(cur ^ w)
+			total += int64(n)
+			if n > maxN {
+				maxN = n
+			}
+			cur = w
+		}
+	} else {
+		for ; i < len(words); i++ {
+			w := words[i] & mask
+			diff := cur ^ w
+			n := bits.OnesCount64(diff)
+			total += int64(n)
+			if n > maxN {
+				maxN = n
+			}
+			for diff != 0 {
+				j := bits.TrailingZeros64(diff)
+				b.perLine[j]++
+				diff &= diff - 1
+			}
+			cur = w
+		}
+	}
+	b.current = cur
+	b.total = total
+	b.maxInWord = maxN
+}
+
+// CountTransitionsInto counts the total line transitions of driving seq
+// onto a width-wide bus, like CountTransitions, and additionally adds the
+// per-line transition counts into perLine when it is non-nil (index 0 is
+// the least significant line). perLine must have at least width entries.
+func CountTransitionsInto(seq []uint64, width int, perLine []int64) int64 {
+	m := Mask(width)
+	var total int64
+	if perLine == nil {
+		for i := 1; i < len(seq); i++ {
+			total += int64(bits.OnesCount64((seq[i-1] ^ seq[i]) & m))
+		}
+		return total
+	}
+	for i := 1; i < len(seq); i++ {
+		diff := (seq[i-1] ^ seq[i]) & m
+		total += int64(bits.OnesCount64(diff))
+		for diff != 0 {
+			j := bits.TrailingZeros64(diff)
+			perLine[j]++
+			diff &= diff - 1
+		}
+	}
+	return total
+}

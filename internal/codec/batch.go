@@ -1,0 +1,170 @@
+package codec
+
+import (
+	"fmt"
+	"sync"
+
+	"busenc/internal/bus"
+	"busenc/internal/trace"
+)
+
+// Batched evaluation engine. The paper's whole evaluation reduces to
+// "encode a stream, count transitions": this file provides the fast path
+// for that loop. Hot codecs implement BatchEncoder with hand-written
+// chunk loops that keep their state in registers; the bus side counts
+// aggregates with XOR+popcount over the chunk (bus.Accumulate); and
+// decode-verification is sampled rather than exhaustive unless the caller
+// asks otherwise. RunFast produces bit-identical Transitions, Cycles and
+// MaxPerCycle to the reference Run for every codec — the parity test in
+// batch_test.go enforces this for all registered codes.
+
+// BatchEncoder is an optional fast-path interface an Encoder may
+// implement: EncodeBatch encodes syms into out (len(out) must be at least
+// len(syms)), advancing the encoder state exactly as the equivalent
+// sequence of Encode calls would. Implementations are free to hoist their
+// state into locals for the duration of the chunk.
+type BatchEncoder interface {
+	EncodeBatch(syms []Symbol, out []uint64)
+}
+
+// AsBatch returns enc's batch fast path if it implements BatchEncoder, or
+// a generic wrapper that loops over Encode otherwise. The wrapper shares
+// enc's state, so batch and scalar calls may be freely interleaved.
+func AsBatch(enc Encoder) BatchEncoder {
+	if be, ok := enc.(BatchEncoder); ok {
+		return be
+	}
+	return genericBatch{enc}
+}
+
+type genericBatch struct{ enc Encoder }
+
+func (g genericBatch) EncodeBatch(syms []Symbol, out []uint64) {
+	for i, s := range syms {
+		out[i] = g.enc.Encode(s)
+	}
+}
+
+// VerifyMode selects how much decode round-trip checking RunFast does.
+type VerifyMode int
+
+const (
+	// VerifyFull decodes and checks every entry — the reference behavior
+	// of Run. This is the zero value, so RunOpts{} is as safe as Run.
+	VerifyFull VerifyMode = iota
+	// VerifySampled decodes and checks only the first VerifySampleLen
+	// entries, then stops running the decoder. Decoder state depends on
+	// every prior word, so a prefix is the only subset that can be checked
+	// without paying for a full decode; it still catches systematic codec
+	// bugs while keeping the hot loop encode-and-count only.
+	VerifySampled
+	// VerifyNone skips decode checking entirely.
+	VerifyNone
+)
+
+// VerifySampleLen is the number of leading entries VerifySampled checks.
+const VerifySampleLen = 1024
+
+// RunOpts tunes the RunFast evaluation path.
+type RunOpts struct {
+	// Verify selects the decode round-trip checking mode.
+	Verify VerifyMode
+	// PerLine requests per-line transition counts in Result.PerLine. When
+	// false (the default) the counting loop is aggregate-only and
+	// Result.PerLine is nil.
+	PerLine bool
+}
+
+// runChunk is the batch granularity: large enough to amortize the chunk
+// setup, small enough that the symbol+word buffers stay cache-resident
+// (4096 × 24 B ≈ 96 KiB).
+const runChunk = 4096
+
+type runBuf struct {
+	syms  []Symbol
+	words []uint64
+}
+
+var runBufPool = sync.Pool{New: func() any {
+	return &runBuf{syms: make([]Symbol, runChunk), words: make([]uint64, runChunk)}
+}}
+
+// RunFast is the batched counterpart of Run: it drives the stream through
+// the codec in chunks, using the codec's BatchEncoder kernel when it has
+// one, and counts transitions in bulk. Transitions, Cycles and
+// MaxPerCycle are identical to Run's for every codec; PerLine is filled
+// only when opts.PerLine is set, and decode verification follows
+// opts.Verify. RunFast is safe for concurrent use across goroutines (each
+// call has its own encoder, decoder, bus and pooled buffers).
+func RunFast(c Codec, s *trace.Stream, opts RunOpts) (Result, error) {
+	enc := AsBatch(c.NewEncoder())
+	var b *bus.Bus
+	if opts.PerLine {
+		b = bus.New(c.BusWidth())
+	} else {
+		b = bus.NewAggregate(c.BusWidth())
+	}
+	var dec Decoder
+	verifyLeft := 0
+	switch opts.Verify {
+	case VerifyFull:
+		dec = c.NewDecoder()
+		verifyLeft = len(s.Entries)
+	case VerifySampled:
+		dec = c.NewDecoder()
+		verifyLeft = VerifySampleLen
+	}
+	mask := bus.Mask(c.PayloadWidth())
+	buf := runBufPool.Get().(*runBuf)
+	defer runBufPool.Put(buf)
+	entries := s.Entries
+	for base := 0; base < len(entries); base += runChunk {
+		end := base + runChunk
+		if end > len(entries) {
+			end = len(entries)
+		}
+		chunk := entries[base:end]
+		syms := buf.syms[:len(chunk)]
+		words := buf.words[:len(chunk)]
+		for i, e := range chunk {
+			syms[i] = SymbolOf(e)
+		}
+		enc.EncodeBatch(syms, words)
+		b.Accumulate(words)
+		if dec != nil && verifyLeft > 0 {
+			n := len(chunk)
+			if n > verifyLeft {
+				n = verifyLeft
+			}
+			for i := 0; i < n; i++ {
+				e := chunk[i]
+				got := dec.Decode(words[i], e.Sel())
+				if want := e.Addr & mask; got != want {
+					return Result{}, fmt.Errorf("codec %s: round-trip mismatch at entry %d: addr %#x decoded as %#x", c.Name(), base+i, want, got)
+				}
+			}
+			verifyLeft -= n
+			if verifyLeft == 0 {
+				dec = nil
+			}
+		}
+	}
+	return Result{
+		Codec:       c.Name(),
+		Stream:      s.Name,
+		BusWidth:    c.BusWidth(),
+		Transitions: b.Transitions(),
+		Cycles:      b.Cycles(),
+		PerLine:     b.PerLine(),
+		MaxPerCycle: b.MaxPerCycle(),
+	}, nil
+}
+
+// MustRunFast is RunFast panicking on round-trip failure.
+func MustRunFast(c Codec, s *trace.Stream, opts RunOpts) Result {
+	r, err := RunFast(c, s, opts)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

@@ -1,0 +1,176 @@
+package codec
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"busenc/internal/trace"
+)
+
+// Fixture streams with the three reference-class shapes of the paper's
+// tables: a mostly in-sequence instruction stream, a scattered data
+// stream, and a SEL-multiplexed mix of the two. Generated here rather
+// than imported from workload to keep the codec package's tests
+// self-contained.
+func fixtureStreams(n int) []*trace.Stream {
+	const stride = 4
+	rng := rand.New(rand.NewSource(42))
+
+	instr := trace.New("fixture.instr", 32)
+	addr := uint64(0x00400000)
+	for i := 0; i < n; i++ {
+		switch {
+		case rng.Float64() < 0.65:
+			addr += stride
+		case rng.Float64() < 0.85:
+			addr = uint64(int64(addr) + int64(rng.Intn(128)-64)*stride)
+		default:
+			addr = 0x00400000 + uint64(rng.Intn(1<<16))*stride
+		}
+		instr.Append(addr, trace.Instr)
+	}
+
+	data := trace.New("fixture.data", 32)
+	daddr := uint64(0x10000000)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.12 {
+			daddr += stride
+		} else {
+			daddr = 0x10000000 + uint64(rng.Intn(1<<18))*stride
+		}
+		kind := trace.DataRead
+		if rng.Float64() < 0.35 {
+			kind = trace.DataWrite
+		}
+		data.Append(daddr, kind)
+	}
+
+	muxed := trace.New("fixture.muxed", 32)
+	ii, di := 0, 0
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.3 && di < data.Len() {
+			muxed.Entries = append(muxed.Entries, data.Entries[di])
+			di++
+		} else if ii < instr.Len() {
+			muxed.Entries = append(muxed.Entries, instr.Entries[ii])
+			ii++
+		}
+	}
+	return []*trace.Stream{instr, data, muxed}
+}
+
+// TestBatchParity is the engine's correctness contract: for every
+// registered codec and every fixture stream class, the batched fast path
+// must agree bit-for-bit with the reference Run on Transitions, Cycles,
+// MaxPerCycle — and on PerLine when requested.
+func TestBatchParity(t *testing.T) {
+	streams := fixtureStreams(20000)
+	train := streams[2].Slice(0, 2000)
+	opts := Options{Stride: 4, Train: train}
+	for _, name := range Names() {
+		for _, s := range streams {
+			c := MustNew(name, 32, opts)
+			slow, err := Run(c, s)
+			if err != nil {
+				t.Fatalf("%s/%s: reference Run: %v", name, s.Name, err)
+			}
+			for _, ro := range []RunOpts{
+				{Verify: VerifyFull, PerLine: true},
+				{Verify: VerifySampled},
+				{Verify: VerifyNone},
+			} {
+				fast, err := RunFast(MustNew(name, 32, opts), s, ro)
+				if err != nil {
+					t.Fatalf("%s/%s %+v: RunFast: %v", name, s.Name, ro, err)
+				}
+				if fast.Transitions != slow.Transitions {
+					t.Errorf("%s/%s %+v: transitions %d != %d", name, s.Name, ro, fast.Transitions, slow.Transitions)
+				}
+				if fast.Cycles != slow.Cycles {
+					t.Errorf("%s/%s %+v: cycles %d != %d", name, s.Name, ro, fast.Cycles, slow.Cycles)
+				}
+				if fast.MaxPerCycle != slow.MaxPerCycle {
+					t.Errorf("%s/%s %+v: maxPerCycle %d != %d", name, s.Name, ro, fast.MaxPerCycle, slow.MaxPerCycle)
+				}
+				if ro.PerLine {
+					if !reflect.DeepEqual(fast.PerLine, slow.PerLine) {
+						t.Errorf("%s/%s: per-line counts diverge", name, s.Name)
+					}
+				} else if fast.PerLine != nil {
+					t.Errorf("%s/%s: PerLine should be nil without opts.PerLine", name, s.Name)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchEncoderMatchesScalar drives the same symbols through Encode
+// and EncodeBatch on separate encoder instances and requires identical
+// words, for every codec that implements the batch interface natively.
+func TestBatchEncoderMatchesScalar(t *testing.T) {
+	s := fixtureStreams(8192)[2]
+	syms := make([]Symbol, s.Len())
+	for i, e := range s.Entries {
+		syms[i] = SymbolOf(e)
+	}
+	for _, name := range Names() {
+		c := MustNew(name, 32, Options{Stride: 4, Train: s.Slice(0, 1000)})
+		scalarEnc := c.NewEncoder()
+		want := make([]uint64, len(syms))
+		for i, sym := range syms {
+			want[i] = scalarEnc.Encode(sym)
+		}
+		got := make([]uint64, len(syms))
+		// Split into uneven chunks to exercise state carry-over.
+		be := AsBatch(c.NewEncoder())
+		for lo := 0; lo < len(syms); {
+			hi := lo + 1000 + lo%777
+			if hi > len(syms) {
+				hi = len(syms)
+			}
+			be.EncodeBatch(syms[lo:hi], got[lo:hi])
+			lo = hi
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s: word %d: batch %#x != scalar %#x", name, i, got[i], want[i])
+				break
+			}
+		}
+	}
+}
+
+// TestRunFastEmptyAndTiny covers the degenerate stream lengths where the
+// first-drive convention matters.
+func TestRunFastEmptyAndTiny(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3} {
+		s := trace.New("tiny", 32)
+		for i := 0; i < n; i++ {
+			s.Append(uint64(0x1000+4*i), trace.Instr)
+		}
+		c := MustNew("t0", 32, Options{Stride: 4})
+		slow := MustRun(c, s)
+		fast := MustRunFast(MustNew("t0", 32, Options{Stride: 4}), s, RunOpts{PerLine: true})
+		if fast.Transitions != slow.Transitions || fast.Cycles != slow.Cycles {
+			t.Errorf("n=%d: fast %+v != slow %+v", n, fast, slow)
+		}
+	}
+}
+
+// TestRunFastDetectsMismatch ensures the verification path still fires:
+// the deliberately broken decoder (shared with property_test.go) must be
+// caught by VerifyFull and by VerifySampled within its prefix.
+func TestRunFastDetectsMismatch(t *testing.T) {
+	s := fixtureStreams(2000)[0]
+	c := brokenCodec{}
+	if _, err := RunFast(c, s, RunOpts{Verify: VerifyFull}); err == nil {
+		t.Error("VerifyFull missed a decoder bug")
+	}
+	if _, err := RunFast(c, s, RunOpts{Verify: VerifySampled}); err == nil {
+		t.Error("VerifySampled missed a decoder bug in its prefix")
+	}
+	if _, err := RunFast(c, s, RunOpts{Verify: VerifyNone}); err != nil {
+		t.Errorf("VerifyNone should not decode at all: %v", err)
+	}
+}

@@ -44,3 +44,11 @@ type binaryEnd struct{ mask uint64 }
 func (e binaryEnd) Encode(s Symbol) uint64            { return s.Addr & e.mask }
 func (e binaryEnd) Decode(word uint64, _ bool) uint64 { return word & e.mask }
 func (e binaryEnd) Reset()                            {}
+
+// EncodeBatch implements BatchEncoder.
+func (e binaryEnd) EncodeBatch(syms []Symbol, out []uint64) {
+	mask := e.mask
+	for i := range syms {
+		out[i] = syms[i].Addr & mask
+	}
+}

@@ -109,6 +109,47 @@ func (e *biEncoder) Encode(s Symbol) uint64 {
 
 func (e *biEncoder) Reset() { e.prev = 0 }
 
+// EncodeBatch implements BatchEncoder. The single-partition case (the
+// classic code, used by every paper table) gets a dedicated loop without
+// the per-group iteration; partitioned variants fall back to the general
+// group loop with the state held in a local.
+func (e *biEncoder) EncodeBatch(syms []Symbol, out []uint64) {
+	prev := e.prev
+	if len(e.bi.groups) == 1 {
+		g := e.bi.groups[0]
+		invMask := uint64(1) << g.invBit
+		sel := g.mask | invMask
+		for i := range syms {
+			payload := syms[i].Addr & g.mask
+			h := bits.OnesCount64((prev & sel) ^ payload)
+			if 2*h > g.width {
+				prev = (^payload & g.mask) | invMask
+			} else {
+				prev = payload
+			}
+			out[i] = prev
+		}
+		e.prev = prev
+		return
+	}
+	for i := range syms {
+		word := uint64(0)
+		for _, g := range e.bi.groups {
+			payload := syms[i].Addr & g.mask
+			prevGroup := prev & (g.mask | 1<<g.invBit)
+			h := bits.OnesCount64(prevGroup ^ payload)
+			if 2*h > g.width {
+				word |= (^payload & g.mask) | 1<<g.invBit
+			} else {
+				word |= payload
+			}
+		}
+		prev = word
+		out[i] = word
+	}
+	e.prev = prev
+}
+
 type biDecoder struct{ bi *BusInvert }
 
 func (d biDecoder) Decode(word uint64, _ bool) uint64 {

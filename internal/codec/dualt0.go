@@ -84,6 +84,29 @@ func (e *dualT0Encoder) Encode(s Symbol) uint64 {
 
 func (e *dualT0Encoder) Reset() { e.ref, e.refValid, e.prevBus = 0, false, 0 }
 
+// EncodeBatch implements BatchEncoder with the encoder state in locals.
+func (e *dualT0Encoder) EncodeBatch(syms []Symbol, out []uint64) {
+	t := e.t
+	mask, stride := t.mask, t.stride
+	incMask := uint64(1) << t.incBit
+	ref, refValid, prevBus := e.ref, e.refValid, e.prevBus
+	for i := range syms {
+		s := syms[i]
+		addr := s.Addr & mask
+		if s.Sel && refValid && addr == (ref+stride)&mask {
+			out[i] = prevBus | incMask
+		} else {
+			out[i] = addr
+			prevBus = addr
+		}
+		if s.Sel {
+			ref = addr
+			refValid = true
+		}
+	}
+	e.ref, e.refValid, e.prevBus = ref, refValid, prevBus
+}
+
 type dualT0Decoder struct {
 	t   *DualT0
 	ref uint64

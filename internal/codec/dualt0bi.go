@@ -90,6 +90,34 @@ func (e *dualT0BIEncoder) Encode(s Symbol) uint64 {
 
 func (e *dualT0BIEncoder) Reset() { e.ref, e.refValid, e.prevWord = 0, false, 0 }
 
+// EncodeBatch implements BatchEncoder with the encoder state in locals.
+func (e *dualT0BIEncoder) EncodeBatch(syms []Symbol, out []uint64) {
+	t := e.t
+	mask, stride, width := t.mask, t.stride, t.width
+	incvMask := uint64(1) << t.incvBit
+	ref, refValid, prevWord := e.ref, e.refValid, e.prevWord
+	for i := range syms {
+		s := syms[i]
+		addr := s.Addr & mask
+		var w uint64
+		switch {
+		case s.Sel && refValid && addr == (ref+stride)&mask:
+			w = (prevWord & mask) | incvMask
+		case !s.Sel && 2*bits.OnesCount64(prevWord^addr) > width:
+			w = (^addr & mask) | incvMask
+		default:
+			w = addr
+		}
+		if s.Sel {
+			ref = addr
+			refValid = true
+		}
+		prevWord = w
+		out[i] = w
+	}
+	e.ref, e.refValid, e.prevWord = ref, refValid, prevWord
+}
+
 type dualT0BIDecoder struct {
 	t   *DualT0BI
 	ref uint64

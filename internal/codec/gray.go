@@ -85,6 +85,16 @@ func (e grayEnd) Decode(word uint64, _ bool) uint64 {
 
 func (e grayEnd) Reset() {}
 
+// EncodeBatch implements BatchEncoder.
+func (e grayEnd) EncodeBatch(syms []Symbol, out []uint64) {
+	mask, shift, lowMask := e.g.mask, e.g.shift, e.g.lowMask
+	for i := range syms {
+		a := syms[i].Addr & mask
+		hi := a >> shift
+		out[i] = (ToGray(hi) << shift) | (a & lowMask)
+	}
+}
+
 // ToGray converts a binary value to its reflected Gray code.
 func ToGray(b uint64) uint64 { return b ^ (b >> 1) }
 

@@ -47,6 +47,12 @@ func (r Result) SavingsVs(ref Result) float64 {
 // transitions on all lines, and verifies on the fly that the decoder
 // recovers every address (returning an error on the first mismatch, which
 // would indicate a codec implementation bug).
+//
+// Run is the reference (slow) evaluation path: one virtual Encode, Drive
+// and Decode call per entry, full per-line accounting, exhaustive
+// verification. RunFast in batch.go is the batched engine that produces
+// identical aggregate counts; Run is kept dispatch-per-entry on purpose
+// so the parity tests compare two independent implementations.
 func Run(c Codec, s *trace.Stream) (Result, error) {
 	enc := c.NewEncoder()
 	dec := c.NewDecoder()
@@ -81,13 +87,16 @@ func MustRun(c Codec, s *trace.Stream) Result {
 }
 
 // EncodeAll returns the encoded word sequence for a stream; useful for
-// feeding gate-level simulations and for tests.
+// feeding gate-level simulations and for tests. It uses the codec's batch
+// kernel when one exists.
 func EncodeAll(c Codec, s *trace.Stream) []uint64 {
-	enc := c.NewEncoder()
-	out := make([]uint64, s.Len())
+	enc := AsBatch(c.NewEncoder())
+	syms := make([]Symbol, s.Len())
 	for i, e := range s.Entries {
-		out[i] = enc.Encode(SymbolOf(e))
+		syms[i] = SymbolOf(e)
 	}
+	out := make([]uint64, s.Len())
+	enc.EncodeBatch(syms, out)
 	return out
 }
 

@@ -76,6 +76,26 @@ func (e *t0Encoder) Encode(s Symbol) uint64 {
 
 func (e *t0Encoder) Reset() { e.prevAddr, e.prevBus, e.valid = 0, 0, false }
 
+// EncodeBatch implements BatchEncoder: the chunk loop keeps the encoder
+// state in locals, paying the pointer writes once per chunk.
+func (e *t0Encoder) EncodeBatch(syms []Symbol, out []uint64) {
+	mask, stride := e.t.mask, e.t.stride
+	incMask := uint64(1) << e.t.incBit
+	prevAddr, prevBus, valid := e.prevAddr, e.prevBus, e.valid
+	for i := range syms {
+		addr := syms[i].Addr & mask
+		if valid && addr == (prevAddr+stride)&mask {
+			out[i] = prevBus | incMask
+		} else {
+			out[i] = addr
+			prevBus = addr
+		}
+		prevAddr = addr
+		valid = true
+	}
+	e.prevAddr, e.prevBus, e.valid = prevAddr, prevBus, valid
+}
+
 type t0Decoder struct {
 	t        *T0
 	prevAddr uint64

@@ -95,6 +95,31 @@ func (e *t0biEncoder) Encode(s Symbol) uint64 {
 
 func (e *t0biEncoder) Reset() { e.prevAddr, e.prevWord, e.valid = 0, 0, false }
 
+// EncodeBatch implements BatchEncoder with the encoder state in locals.
+func (e *t0biEncoder) EncodeBatch(syms []Symbol, out []uint64) {
+	t := e.t
+	mask, stride, width := t.mask, t.stride, t.width
+	incMask := uint64(1) << t.incBit
+	invMask := uint64(1) << t.invBit
+	prevAddr, prevWord, valid := e.prevAddr, e.prevWord, e.valid
+	for i := range syms {
+		addr := syms[i].Addr & mask
+		var w uint64
+		if valid && addr == (prevAddr+stride)&mask {
+			w = (prevWord & mask) | incMask
+		} else if h := bits.OnesCount64(prevWord ^ addr); 2*h > width+2 {
+			w = (^addr & mask) | invMask
+		} else {
+			w = addr
+		}
+		prevAddr = addr
+		prevWord = w
+		valid = true
+		out[i] = w
+	}
+	e.prevAddr, e.prevWord, e.valid = prevAddr, prevWord, valid
+}
+
 type t0biDecoder struct {
 	t        *T0BI
 	prevAddr uint64

@@ -13,8 +13,6 @@ import (
 	"text/tabwriter"
 
 	"busenc/internal/codec"
-	"busenc/internal/mips"
-	"busenc/internal/mips/progs"
 	"busenc/internal/trace"
 	"busenc/internal/workload"
 )
@@ -44,66 +42,6 @@ const (
 	MIPS Source = "mips"
 )
 
-// Streams returns the nine-benchmark stream sets from the chosen source.
-func Streams(src Source) ([]StreamSet, error) {
-	switch src {
-	case Synthetic:
-		suite := workload.Suite()
-		out := make([]StreamSet, len(suite))
-		var wg sync.WaitGroup
-		for i, b := range suite {
-			wg.Add(1)
-			go func(i int, b workload.Benchmark) {
-				defer wg.Done()
-				out[i] = StreamSet{Name: b.Name, Instr: b.Instr(), Data: b.Data(), Muxed: b.Muxed()}
-			}(i, b)
-		}
-		wg.Wait()
-		return out, nil
-	case MIPS:
-		names := progs.PaperOrder()
-		out := make([]StreamSet, len(names))
-		errs := make([]error, len(names))
-		var wg sync.WaitGroup
-		for i, name := range names {
-			wg.Add(1)
-			go func(i int, name string) {
-				defer wg.Done()
-				b, err := progs.Get(name)
-				if err != nil {
-					errs[i] = err
-					return
-				}
-				p, err := b.Assemble()
-				if err != nil {
-					errs[i] = err
-					return
-				}
-				muxed, _, err := mips.Run(p, name, b.MaxCycles)
-				if err != nil {
-					errs[i] = err
-					return
-				}
-				out[i] = StreamSet{
-					Name:  name,
-					Instr: muxed.InstrOnly(),
-					Data:  muxed.DataOnly(),
-					Muxed: muxed,
-				}
-			}(i, name)
-		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
-			}
-		}
-		return out, nil
-	default:
-		return nil, fmt.Errorf("core: unknown stream source %q", src)
-	}
-}
-
 // Column is one codec's result within a table row.
 type Column struct {
 	Code        string
@@ -132,58 +70,86 @@ type Table struct {
 	AvgSavingsPct []float64
 }
 
+// baselineEntry caches the expensive per-stream quantities every table
+// column shares: the stream statistics and the binary reference run.
+// Keyed by stream identity; stream suites are memoized (see streams.go),
+// so the same nine streams recur across all six tables and the cache
+// stays small and hot.
+type baselineEntry struct {
+	stats trace.Stats
+	bin   codec.Result
+}
+
+var baselineCache sync.Map // *trace.Stream -> baselineEntry
+
+func baseline(s *trace.Stream) (baselineEntry, error) {
+	if v, ok := baselineCache.Load(s); ok {
+		return v.(baselineEntry), nil
+	}
+	bin, err := codec.RunFast(codec.MustNew("binary", Width, codec.Options{}), s, codec.RunOpts{Verify: codec.VerifySampled})
+	if err != nil {
+		return baselineEntry{}, err
+	}
+	e := baselineEntry{stats: s.Analyze(uint64(Stride)), bin: bin}
+	baselineCache.Store(s, e)
+	return e, nil
+}
+
 // Compare runs binary plus the named codecs over each stream and builds
 // the comparison table. The stream picker selects which of the three
 // streams of a set the table is about.
+//
+// The work is scheduled as a flattened codec×stream matrix on the bounded
+// worker pool (see sched.go): each cell runs one codec over one stream on
+// the batched fast path, results land in indexed slots, and the table is
+// assembled serially afterwards — so output is deterministic and wide
+// tables cannot oversubscribe the machine.
 func Compare(title string, sets []StreamSet, pick func(StreamSet) *trace.Stream, codes []string, opts codec.Options) (*Table, error) {
 	t := &Table{Title: title, Codes: codes}
 	t.AvgSavingsPct = make([]float64, len(codes))
-	// Validate codec names up front so concurrent rows can use MustNew.
+	// Validate codec names up front so concurrent cells can use MustNew.
 	for _, code := range codes {
 		if _, err := codec.New(code, Width, opts); err != nil {
 			return nil, err
 		}
 	}
-	rows := make([]Row, len(sets))
-	errs := make([]error, len(sets))
-	var wg sync.WaitGroup
-	for i, set := range sets {
-		wg.Add(1)
-		go func(i int, set StreamSet) {
-			defer wg.Done()
-			s := pick(set)
-			stats := s.Analyze(uint64(Stride))
-			binRes, err := codec.Run(codec.MustNew("binary", Width, codec.Options{}), s)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			row := Row{
-				Bench:    set.Name,
-				Length:   s.Len(),
-				InSeqPct: stats.InSeqFrac * 100,
-				Binary:   binRes.Transitions,
-			}
-			for _, code := range codes {
-				res, err := codec.Run(codec.MustNew(code, Width, opts), s)
-				if err != nil {
-					errs[i] = err
-					return
-				}
-				row.Cols = append(row.Cols, Column{
-					Code:        code,
-					Transitions: res.Transitions,
-					SavingsPct:  res.SavingsVs(binRes) * 100,
-				})
-			}
-			rows[i] = row
-		}(i, set)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	nC := len(codes)
+	bases := make([]baselineEntry, len(sets))
+	cells := make([]codec.Result, len(sets)*nC)
+	// Cell k = (set i, column j): column 0 is the stats+binary baseline,
+	// columns 1.. are the codes under comparison.
+	err := forEachN(len(sets)*(nC+1), func(k int) error {
+		i, j := k/(nC+1), k%(nC+1)
+		s := pick(sets[i])
+		if j == 0 {
+			b, err := baseline(s)
+			bases[i] = b
+			return err
 		}
+		res, err := codec.RunFast(codec.MustNew(codes[j-1], Width, opts), s, codec.RunOpts{Verify: codec.VerifySampled})
+		cells[i*nC+j-1] = res
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Row, len(sets))
+	for i, set := range sets {
+		row := Row{
+			Bench:    set.Name,
+			Length:   pick(set).Len(),
+			InSeqPct: bases[i].stats.InSeqFrac * 100,
+			Binary:   bases[i].bin.Transitions,
+		}
+		for j, code := range codes {
+			res := cells[i*nC+j]
+			row.Cols = append(row.Cols, Column{
+				Code:        code,
+				Transitions: res.Transitions,
+				SavingsPct:  res.SavingsVs(bases[i].bin) * 100,
+			})
+		}
+		rows[i] = row
 	}
 	t.Rows = rows
 	for _, row := range rows {

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// TestStreamsMemoized: repeated Streams calls must return the same
+// underlying stream objects — the suite is generated once per process.
+func TestStreamsMemoized(t *testing.T) {
+	a, err := Streams(Synthetic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Streams(Synthetic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Instr != b[i].Instr || a[i].Data != b[i].Data || a[i].Muxed != b[i].Muxed {
+			t.Fatalf("set %d: streams regenerated instead of shared", i)
+		}
+	}
+	// The returned slice header must be a copy: reordering it must not
+	// corrupt the cache.
+	a[0], a[1] = a[1], a[0]
+	c, _ := Streams(Synthetic)
+	if c[0].Name != b[0].Name {
+		t.Error("caller mutation leaked into the cache")
+	}
+}
+
+// TestMIPSSimulatedExactlyOnce is the memoization layer's observability
+// contract: no matter how many tables are regenerated from the MIPS
+// source, each benchmark program is assembled and simulated exactly once
+// per process. The engine counter makes this measurable.
+func TestMIPSSimulatedExactlyOnce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mips simulation in -short mode")
+	}
+	sets, err := Streams(MIPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := StreamEngineStats()
+	if want := int64(len(sets)); after.MIPSRuns != want {
+		t.Errorf("MIPSRuns = %d after warm-up, want exactly %d (one per program)", after.MIPSRuns, want)
+	}
+	if after.MIPSCycles <= 0 {
+		t.Error("MIPSCycles not recorded")
+	}
+	// Six tables' worth of repeat calls must not re-simulate anything.
+	for i := 0; i < 6; i++ {
+		if _, err := Streams(MIPS); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if again := StreamEngineStats(); again.MIPSRuns != after.MIPSRuns {
+		t.Errorf("repeat Streams(MIPS) re-simulated: runs %d -> %d", after.MIPSRuns, again.MIPSRuns)
+	}
+}
+
+// TestCompareDeterministic: the pooled scheduler must not make table
+// content order- or timing-dependent.
+func TestCompareDeterministic(t *testing.T) {
+	a := table(t, Table7, Synthetic)
+	b := table(t, Table7, Synthetic)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("Table7 differs between runs")
+	}
+}
+
+// TestGenerateStreamsBypassesCache: the uncached generation path must
+// produce fresh, equal-content streams (used by cmd/paper -benchjson to
+// time the cold path).
+func TestGenerateStreamsBypassesCache(t *testing.T) {
+	cached, err := Streams(Synthetic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := GenerateStreams(Synthetic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh) != len(cached) {
+		t.Fatalf("%d sets, want %d", len(fresh), len(cached))
+	}
+	for i := range fresh {
+		if fresh[i].Muxed == cached[i].Muxed {
+			t.Fatalf("set %d: GenerateStreams returned a cached stream", i)
+		}
+		if !reflect.DeepEqual(fresh[i].Muxed.Entries, cached[i].Muxed.Entries) {
+			t.Fatalf("set %d: regeneration is not deterministic", i)
+		}
+	}
+}
+
+// TestForEachN exercises the bounded scheduler: full coverage, exactly
+// one call per index, and deterministic (lowest-index) error reporting.
+func TestForEachN(t *testing.T) {
+	const n = 100
+	var calls [n]atomic.Int32
+	if err := forEachN(n, func(i int) error {
+		calls[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range calls {
+		if c := calls[i].Load(); c != 1 {
+			t.Fatalf("index %d called %d times", i, c)
+		}
+	}
+	if err := forEachN(0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	wantErr := errors.New("boom-3")
+	err := forEachN(10, func(i int) error {
+		if i == 3 || i == 7 {
+			return fmt.Errorf("boom-%d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != wantErr.Error() {
+		t.Errorf("err = %v, want %v (lowest failing index)", err, wantErr)
+	}
+}

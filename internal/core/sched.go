@@ -1,0 +1,61 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Bounded work scheduler. Table generation fans out over the flattened
+// codec×stream matrix; running each cell on its own goroutine (the seed
+// behavior) oversubscribes the machine as tables get wider and stream
+// suites get longer. forEachN instead runs a fixed GOMAXPROCS-sized pool
+// of workers that pull indices from a shared counter: results are written
+// to caller-owned index slots, so the output is deterministic regardless
+// of scheduling order.
+
+// forEachN calls fn(0..n-1), each index exactly once, from at most
+// GOMAXPROCS worker goroutines. It returns the error of the
+// lowest-indexed failing call (all calls run regardless), which keeps the
+// reported error deterministic.
+func forEachN(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
