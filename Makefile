@@ -4,11 +4,11 @@
 
 GO ?= go
 
-.PHONY: all ci build vet test bench benchjson
+.PHONY: all ci build vet test test-stream bench benchjson
 
 all: ci
 
-ci: build vet test bench
+ci: build vet test test-stream bench
 
 build:
 	$(GO) build ./...
@@ -19,10 +19,19 @@ vet:
 test:
 	$(GO) test -race ./...
 
+# The streaming pipeline's packages get a dedicated vet + race pass:
+# the fan-out is the only concurrent producer/consumer machinery in the
+# tree, and the pooled-chunk refcounts are easy to get subtly wrong.
+test-stream:
+	$(GO) vet ./internal/trace ./internal/core
+	$(GO) test -race ./internal/trace ./internal/core
+
 bench:
 	$(GO) test -run=NONE -bench=BenchmarkTable4 -benchtime=1x .
 
-# Regenerate the machine-readable engine benchmark record (see README
-# "Performance"): seed reference path vs batched engine on Table 4.
+# Regenerate the machine-readable benchmark records (see README
+# "Performance"): BENCH_engine.json compares the seed reference path to
+# the batched engine on Table 4; BENCH_stream.json is written beside it
+# and compares the materialized path to the streaming fan-out.
 benchjson:
 	$(GO) run ./cmd/paper -benchjson BENCH_engine.json

@@ -6,6 +6,7 @@
 package busenc
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
@@ -374,6 +375,35 @@ func BenchmarkEncodeBatch(b *testing.B) {
 			b.ReportMetric(float64(len(syms))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Msym/s")
 		})
 	}
+}
+
+// BenchmarkStreamPipeline measures the single-pass streaming fan-out:
+// each iteration re-parses a serialized binary trace and prices all
+// seven paper codecs concurrently under the bounded-memory pipeline.
+// The serialization happens once, outside the timer; with -benchmem,
+// allocs/op should stay flat as the trace grows (pooled chunks, bounded
+// channels), unlike the materialize-then-run path.
+func BenchmarkStreamPipeline(b *testing.B) {
+	s := core.ReferenceMuxedStream(1 << 16)
+	var buf bytes.Buffer
+	if err := trace.WriteBinary(&buf, s); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	codes := []string{"binary", "gray", "t0", "businvert", "t0bi", "dualt0", "dualt0bi"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := trace.OpenBinary(bytes.NewReader(data), "bench.bin", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.EvaluateStreaming(r, r.Width(), codes, core.DefaultOptions,
+			core.FanoutConfig{Verify: codec.VerifySampled}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(s.Len())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Msym/s")
 }
 
 // BenchmarkMIPSSimulator measures the trace-generation substrate: one full

@@ -139,9 +139,9 @@ func load(path, format string, width int) (*trace.Stream, error) {
 	var s *trace.Stream
 	switch format {
 	case "binary":
-		s, err = trace.ReadBinary(f)
+		s, err = trace.ReadBinaryNamed(f, path)
 	case "text":
-		s, err = trace.ReadText(f)
+		s, err = trace.ReadTextNamed(f, path)
 	default:
 		err = fmt.Errorf("unknown format %q", format)
 	}

@@ -7,13 +7,17 @@
 //	paper -table 7        # print one table
 //	paper -source mips    # drive Tables 2-7 from the MIPS simulator
 //	paper -sweep          # with -table 9: print the crossover summary
-//	paper -benchjson BENCH_engine.json   # time the evaluation engine
+//	paper -trace prog.bin -stream        # price the codecs over a trace file
+//	                                     # in one bounded-memory pass
+//	paper -benchjson BENCH_engine.json   # time the evaluation engine and the
+//	                                     # streaming pipeline (BENCH_stream.json)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"busenc/internal/core"
 )
@@ -24,12 +28,29 @@ func main() {
 	hwStream := flag.Int("hwstream", 5000, "reference stream length for Tables 8-9")
 	sweep := flag.Bool("sweep", false, "print the off-chip crossover summary with Table 9")
 	asJSON := flag.Bool("json", false, "emit JSON instead of aligned text")
-	benchJSON := flag.String("benchjson", "", "benchmark the batched evaluation engine against the reference path and write machine-readable results to this file (e.g. BENCH_engine.json), then exit")
+	tracePath := flag.String("trace", "", "evaluate the codecs over this trace file (text or binary, auto-detected) instead of the benchmark suites")
+	stream := flag.Bool("stream", false, "with -trace: use the single-pass bounded-memory streaming fan-out instead of materializing the trace")
+	codes := flag.String("codes", "paper", "with -trace: comma-separated codec list, \"paper\" (the seven paper codes) or \"all\"")
+	chunkLen := flag.Int("chunklen", 0, "with -trace: chunk size in entries (0 = default)")
+	benchJSON := flag.String("benchjson", "", "benchmark the batched evaluation engine against the reference path and write machine-readable results to this file (e.g. BENCH_engine.json); also writes the streaming-pipeline record to BENCH_stream.json beside it, then exits")
+	benchEntries := flag.Int("benchentries", 1<<20, "with -benchjson: trace length for the streaming-pipeline benchmark")
 	flag.Parse()
 
 	src := core.Source(*source)
 	if *benchJSON != "" {
 		if err := benchEngine(*benchJSON, src, 5); err != nil {
+			fmt.Fprintln(os.Stderr, "paper:", err)
+			os.Exit(1)
+		}
+		streamPath := filepath.Join(filepath.Dir(*benchJSON), "BENCH_stream.json")
+		if err := benchStream(streamPath, *benchEntries); err != nil {
+			fmt.Fprintln(os.Stderr, "paper:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *tracePath != "" {
+		if err := evalTrace(*tracePath, *codes, *stream, *chunkLen); err != nil {
 			fmt.Fprintln(os.Stderr, "paper:", err)
 			os.Exit(1)
 		}

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"busenc/internal/core"
+	"busenc/internal/trace"
 )
 
 func captureStdout(t *testing.T, f func() error) string {
@@ -67,6 +68,89 @@ func TestRunUnknownSource(t *testing.T) {
 	}
 }
 
+func writeTestTrace(t *testing.T, n int) string {
+	t.Helper()
+	s := core.ReferenceMuxedStream(n)
+	path := filepath.Join(t.TempDir(), "trace.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := trace.WriteBinary(f, s); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestEvalTraceBothPaths(t *testing.T) {
+	path := writeTestTrace(t, 3000)
+	var outs []string
+	for _, streaming := range []bool{false, true} {
+		out := captureStdout(t, func() error { return evalTrace(path, "paper", streaming, 256) })
+		for _, code := range []string{"binary", "t0", "dualt0bi"} {
+			if !strings.Contains(out, code) {
+				t.Errorf("streaming=%v: code %s missing from output:\n%s", streaming, code, out)
+			}
+		}
+		outs = append(outs, out)
+	}
+	// Both paths print the same transition table (only the mode line
+	// differs), pinning materialized/streaming parity end to end.
+	strip := func(s string) string {
+		_, rest, _ := strings.Cut(s, "\n")
+		return rest
+	}
+	if strip(outs[0]) != strip(outs[1]) {
+		t.Errorf("materialized and streaming tables differ:\n%s\nvs\n%s", outs[0], outs[1])
+	}
+	if !strings.Contains(outs[1], "streaming evaluation") {
+		t.Errorf("-stream output does not announce streaming mode:\n%s", outs[1])
+	}
+}
+
+func TestEvalTraceCustomCodes(t *testing.T) {
+	path := writeTestTrace(t, 1000)
+	out := captureStdout(t, func() error { return evalTrace(path, "t0,gray", true, 0) })
+	// binary is always prepended as the savings reference.
+	for _, code := range []string{"binary", "t0", "gray"} {
+		if !strings.Contains(out, code) {
+			t.Errorf("code %s missing:\n%s", code, out)
+		}
+	}
+	if strings.Contains(out, "dualt0") {
+		t.Errorf("unrequested codec in output:\n%s", out)
+	}
+}
+
+func TestBenchStreamJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_stream.json")
+	out := captureStdout(t, func() error { return benchStream(path, 20000) })
+	if !strings.Contains(out, "parity=true") {
+		t.Errorf("summary missing parity:\n%s", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec streamBench
+	if err := json.Unmarshal(data, &rec); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if !rec.Parity {
+		t.Error("streaming diverged from the materialized path")
+	}
+	if rec.MaterializedNs <= 0 || rec.StreamingNs <= 0 {
+		t.Errorf("timings not recorded: %+v", rec)
+	}
+	if rec.MaterializedAllocBytes == 0 || rec.StreamingAllocBytes == 0 {
+		t.Errorf("alloc deltas not recorded: %+v", rec)
+	}
+	if rec.Entries != 20000 || rec.Bench != "StreamPipeline" {
+		t.Errorf("wrong identity: %+v", rec)
+	}
+}
+
 func TestBenchEngineJSON(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
 	out := captureStdout(t, func() error { return benchEngine(path, core.Synthetic, 1) })
@@ -89,5 +173,11 @@ func TestBenchEngineJSON(t *testing.T) {
 	}
 	if rec.Bench != "Table4" || rec.Source != "synthetic" {
 		t.Errorf("wrong identity: %+v", rec)
+	}
+	if rec.GOMAXPROCS != 1 {
+		t.Errorf("serial record at gomaxprocs %d, want 1", rec.GOMAXPROCS)
+	}
+	if rec.Parallel.GOMAXPROCS < 1 || rec.Parallel.EngineWarmNs <= 0 {
+		t.Errorf("parallel run not recorded: %+v", rec.Parallel)
 	}
 }

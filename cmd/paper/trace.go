@@ -1,0 +1,113 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"busenc/internal/codec"
+	"busenc/internal/core"
+	"busenc/internal/trace"
+)
+
+// Trace evaluation mode (-trace): price codecs over an on-disk trace
+// file instead of the generated benchmark suites. With -stream the
+// trace is never materialized — the streaming fan-out reads it once in
+// pooled chunks and evaluates all codecs concurrently under a fixed
+// memory budget; without it the trace is loaded into memory and run
+// through the batched engine codec-by-codec (useful for comparing the
+// two paths on the same file).
+
+// paperCodes are the seven codes of the paper's tables, binary first so
+// savings are always relative to it.
+var paperCodes = []string{"binary", "gray", "t0", "businvert", "t0bi", "dualt0", "dualt0bi"}
+
+// parseCodes expands the -codes flag value.
+func parseCodes(codes string) []string {
+	switch codes {
+	case "", "paper":
+		return paperCodes
+	case "all":
+		return codec.Names()
+	}
+	var out []string
+	for _, c := range strings.Split(codes, ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// evalTrace evaluates the named codecs over the trace file and prints a
+// comparison table.
+func evalTrace(path, codes string, streaming bool, chunkLen int) error {
+	names := parseCodes(codes)
+	// Ensure binary leads so savings have a reference.
+	if len(names) == 0 || names[0] != "binary" {
+		withBin := []string{"binary"}
+		for _, n := range names {
+			if n != "binary" {
+				withBin = append(withBin, n)
+			}
+		}
+		names = withBin
+	}
+
+	var pool *trace.ChunkPool
+	if chunkLen > 0 {
+		pool = trace.NewChunkPool(chunkLen)
+	}
+	r, closer, err := trace.OpenFile(path, pool)
+	if err != nil {
+		return err
+	}
+	defer closer.Close()
+
+	var results []codec.Result
+	var streamName string
+	var entries int64
+	if streaming {
+		results, err = core.EvaluateStreaming(r, r.Width(), names, core.DefaultOptions,
+			core.FanoutConfig{Verify: codec.VerifySampled})
+		if err != nil {
+			return err
+		}
+		streamName = results[0].Stream
+		entries = results[0].Cycles
+	} else {
+		s, err := trace.ReadAll(r)
+		if err != nil {
+			return err
+		}
+		streamName = s.Name
+		entries = int64(s.Len())
+		for _, name := range names {
+			c, err := codec.New(name, s.Width, core.DefaultOptions)
+			if err != nil {
+				return err
+			}
+			res, err := codec.RunFast(c, s, codec.RunOpts{Verify: codec.VerifySampled})
+			if err != nil {
+				return err
+			}
+			results = append(results, res)
+		}
+	}
+
+	mode := "materialized"
+	if streaming {
+		mode = "streaming"
+	}
+	fmt.Printf("trace %q (%s): %d references, width %d, %s evaluation\n",
+		streamName, path, entries, r.Width(), mode)
+	bin := results[0]
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "code\tbus lines\ttransitions\tper cycle\tsavings")
+	for _, res := range results {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.3f\t%.2f%%\n",
+			res.Codec, res.BusWidth, res.Transitions, res.AvgPerCycle(), res.SavingsVs(bin)*100)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,118 @@
+package codec
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"busenc/internal/bus"
+	"busenc/internal/trace"
+)
+
+// Streaming evaluation. RunStream is the chunk-iterator counterpart of
+// RunFast: it drives a trace.ChunkReader through the codec's batch
+// kernel without ever holding the full stream, carrying the sequential
+// encoder/decoder state (T0 reference registers, BI inversion state,
+// INC lines) across chunk boundaries simply by reusing the same encoder
+// instance for every chunk — EncodeBatch is specified to advance state
+// exactly as the equivalent Encode calls would, so chunking is
+// invisible to the codec. Memory use is bounded by the reader's chunk
+// pool plus one pooled symbol/word buffer; trace length only affects
+// wall time. The parity test in stream_test.go pins RunStream
+// bit-for-bit to the reference Run for every registered codec at chunk
+// sizes 1, 7, 4096 and len(stream).
+
+// RunStream evaluates the codec over a chunked trace, producing a
+// Result identical to Run/RunFast on the materialized equivalent
+// (Transitions, Cycles, MaxPerCycle; PerLine when opts.PerLine is set).
+// It consumes r to io.EOF, releasing every chunk; any reader error is
+// returned as-is. Verification follows opts.Verify; VerifyFull checks
+// every entry just like Run.
+func RunStream(c Codec, r trace.ChunkReader, opts RunOpts) (Result, error) {
+	enc := AsBatch(c.NewEncoder())
+	var b *bus.Bus
+	if opts.PerLine {
+		b = bus.New(c.BusWidth())
+	} else {
+		b = bus.NewAggregate(c.BusWidth())
+	}
+	var dec Decoder
+	verifyLeft := 0
+	switch opts.Verify {
+	case VerifyFull:
+		// The stream length is unknown up front; verify until EOF.
+		dec = c.NewDecoder()
+		verifyLeft = math.MaxInt
+	case VerifySampled:
+		dec = c.NewDecoder()
+		verifyLeft = VerifySampleLen
+	}
+	mask := bus.Mask(c.PayloadWidth())
+	buf := runBufPool.Get().(*runBuf)
+	defer runBufPool.Put(buf)
+	idx := 0 // absolute entry index, for mismatch reports
+	for {
+		ch, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Result{}, err
+		}
+		addrs, kinds := ch.Addrs, ch.Kinds
+		// Reader chunks can exceed the engine's batch granularity (e.g.
+		// Stream.Chunks(len(stream))); re-chunk to keep the pooled
+		// buffers fixed-size.
+		for base := 0; base < len(addrs); base += runChunk {
+			end := base + runChunk
+			if end > len(addrs) {
+				end = len(addrs)
+			}
+			n := end - base
+			syms := buf.syms[:n]
+			words := buf.words[:n]
+			for i := 0; i < n; i++ {
+				syms[i] = Symbol{Addr: addrs[base+i], Sel: kinds[base+i] == trace.Instr}
+			}
+			enc.EncodeBatch(syms, words)
+			b.Accumulate(words)
+			if dec != nil && verifyLeft > 0 {
+				vn := n
+				if vn > verifyLeft {
+					vn = verifyLeft
+				}
+				for i := 0; i < vn; i++ {
+					got := dec.Decode(words[i], syms[i].Sel)
+					if want := syms[i].Addr & mask; got != want {
+						ch.Release()
+						return Result{}, fmt.Errorf("codec %s: round-trip mismatch at entry %d: addr %#x decoded as %#x", c.Name(), idx+base+i, want, got)
+					}
+				}
+				verifyLeft -= vn
+				if verifyLeft == 0 {
+					dec = nil
+				}
+			}
+		}
+		idx += len(addrs)
+		ch.Release()
+	}
+	return Result{
+		Codec:       c.Name(),
+		Stream:      r.Name(),
+		BusWidth:    c.BusWidth(),
+		Transitions: b.Transitions(),
+		Cycles:      b.Cycles(),
+		PerLine:     b.PerLine(),
+		MaxPerCycle: b.MaxPerCycle(),
+	}, nil
+}
+
+// MustRunStream is RunStream panicking on error; for benches and tables.
+func MustRunStream(c Codec, r trace.ChunkReader, opts RunOpts) Result {
+	res, err := RunStream(c, r, opts)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"busenc/internal/bus"
+	"busenc/internal/codec"
+	"busenc/internal/trace"
+)
+
+// Streaming multi-codec fan-out. EvaluateStreaming reads a trace
+// exactly once and prices every codec concurrently: a single producer
+// parses chunks, converts them to encoder symbols, and broadcasts each
+// pooled, reference-counted block to one bounded channel per codec
+// worker. Backpressure is structural — when the slowest worker falls
+// Depth chunks behind, the producer blocks, so peak memory is
+//
+//	O(codecs × Depth × chunkLen)
+//
+// symbols regardless of trace length. This is the evaluation path for
+// traces too large to materialize (the ROADMAP's multi-GB serving
+// scenario); for in-memory streams the batched RunFast remains the
+// lower-overhead choice.
+
+// DefaultFanoutDepth is the per-codec bounded channel depth: how many
+// chunks a fast worker may run ahead of the slowest one.
+const DefaultFanoutDepth = 4
+
+// FanoutConfig tunes EvaluateStreaming.
+type FanoutConfig struct {
+	// Depth is the per-codec channel depth in chunks (DefaultFanoutDepth
+	// if <= 0).
+	Depth int
+	// Verify selects decode round-trip checking per worker; the zero
+	// value is codec.VerifyFull, mirroring RunOpts.
+	Verify codec.VerifyMode
+	// PerLine requests per-line transition counts in every Result.
+	PerLine bool
+}
+
+// symBlock is one chunk's worth of encoder symbols, shared read-only by
+// all workers and returned to the pool by the last Release.
+type symBlock struct {
+	syms []codec.Symbol
+	refs atomic.Int32
+}
+
+var symBlockPool = sync.Pool{New: func() any {
+	return &symBlock{syms: make([]codec.Symbol, 0, trace.DefaultChunkLen)}
+}}
+
+func (b *symBlock) release() {
+	n := b.refs.Add(-1)
+	if n > 0 {
+		return
+	}
+	if n < 0 {
+		panic("core: symBlock released more times than retained")
+	}
+	b.syms = b.syms[:0]
+	symBlockPool.Put(b)
+}
+
+// streamWorker accumulates one codec's result over the broadcast blocks.
+type streamWorker struct {
+	c          codec.Codec
+	enc        codec.BatchEncoder
+	b          *bus.Bus
+	dec        codec.Decoder
+	verifyLeft int
+	mask       uint64
+	words      []uint64
+	idx        int
+	in         chan *symBlock
+	err        error
+}
+
+func newStreamWorker(c codec.Codec, cfg FanoutConfig, depth int) *streamWorker {
+	w := &streamWorker{
+		c:    c,
+		enc:  codec.AsBatch(c.NewEncoder()),
+		mask: bus.Mask(c.PayloadWidth()),
+		in:   make(chan *symBlock, depth),
+	}
+	if cfg.PerLine {
+		w.b = bus.New(c.BusWidth())
+	} else {
+		w.b = bus.NewAggregate(c.BusWidth())
+	}
+	switch cfg.Verify {
+	case codec.VerifyFull:
+		w.dec = c.NewDecoder()
+		w.verifyLeft = int(^uint(0) >> 1)
+	case codec.VerifySampled:
+		w.dec = c.NewDecoder()
+		w.verifyLeft = codec.VerifySampleLen
+	}
+	return w
+}
+
+// run drains the worker's channel; after a verification failure it
+// keeps draining (releasing blocks) so the producer can never deadlock
+// on a dead consumer.
+func (w *streamWorker) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for blk := range w.in {
+		if w.err == nil {
+			w.consume(blk)
+		}
+		blk.release()
+	}
+}
+
+func (w *streamWorker) consume(blk *symBlock) {
+	syms := blk.syms
+	n := len(syms)
+	if cap(w.words) < n {
+		w.words = make([]uint64, n)
+	}
+	words := w.words[:n]
+	w.enc.EncodeBatch(syms, words)
+	w.b.Accumulate(words)
+	if w.dec != nil && w.verifyLeft > 0 {
+		vn := n
+		if vn > w.verifyLeft {
+			vn = w.verifyLeft
+		}
+		for i := 0; i < vn; i++ {
+			got := w.dec.Decode(words[i], syms[i].Sel)
+			if want := syms[i].Addr & w.mask; got != want {
+				w.err = fmt.Errorf("codec %s: round-trip mismatch at entry %d: addr %#x decoded as %#x", w.c.Name(), w.idx+i, want, got)
+				return
+			}
+		}
+		w.verifyLeft -= vn
+		if w.verifyLeft == 0 {
+			w.dec = nil
+		}
+	}
+	w.idx += n
+}
+
+func (w *streamWorker) result(stream string) codec.Result {
+	return codec.Result{
+		Codec:       w.c.Name(),
+		Stream:      stream,
+		BusWidth:    w.c.BusWidth(),
+		Transitions: w.b.Transitions(),
+		Cycles:      w.b.Cycles(),
+		PerLine:     w.b.PerLine(),
+		MaxPerCycle: w.b.MaxPerCycle(),
+	}
+}
+
+// EvaluateStreaming reads the trace once and evaluates every named
+// codec concurrently, returning results in the order of codes. width is
+// the payload width for codec construction (0 means core.Width; pass
+// r.Width() to honor the trace header). The reader is consumed to
+// io.EOF; on any error (reader or codec verification) the already-read
+// prefix is discarded and the first error in deterministic order
+// (reader first, then codes order) is returned.
+func EvaluateStreaming(r trace.ChunkReader, width int, codes []string, opts codec.Options, cfg FanoutConfig) ([]codec.Result, error) {
+	if len(codes) == 0 {
+		return nil, fmt.Errorf("core: no codecs to evaluate")
+	}
+	if width <= 0 {
+		width = Width
+	}
+	depth := cfg.Depth
+	if depth <= 0 {
+		depth = DefaultFanoutDepth
+	}
+	workers := make([]*streamWorker, len(codes))
+	for i, code := range codes {
+		c, err := codec.New(code, width, opts)
+		if err != nil {
+			return nil, err
+		}
+		workers[i] = newStreamWorker(c, cfg, depth)
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(workers))
+	for _, w := range workers {
+		go w.run(&wg)
+	}
+	var readErr error
+	for {
+		ch, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			readErr = err
+			break
+		}
+		blk := symBlockPool.Get().(*symBlock)
+		if cap(blk.syms) < ch.Len() {
+			blk.syms = make([]codec.Symbol, 0, ch.Len())
+		}
+		syms := blk.syms[:ch.Len()]
+		for i, a := range ch.Addrs {
+			syms[i] = codec.Symbol{Addr: a, Sel: ch.Kinds[i] == trace.Instr}
+		}
+		blk.syms = syms
+		ch.Release()
+		blk.refs.Store(int32(len(workers)))
+		for _, w := range workers {
+			w.in <- blk
+		}
+	}
+	for _, w := range workers {
+		close(w.in)
+	}
+	wg.Wait()
+	if readErr != nil {
+		return nil, readErr
+	}
+	for _, w := range workers {
+		if w.err != nil {
+			return nil, w.err
+		}
+	}
+	stream := r.Name()
+	results := make([]codec.Result, len(workers))
+	for i, w := range workers {
+		results[i] = w.result(stream)
+	}
+	return results, nil
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"busenc/internal/codec"
+	"busenc/internal/trace"
+)
+
+var streamingCodes = []string{"binary", "gray", "t0", "businvert", "t0bi", "dualt0", "dualt0bi"}
+
+// TestEvaluateStreamingParity: one pass over a serialized trace must
+// price every codec exactly as the materialized fast path does.
+func TestEvaluateStreamingParity(t *testing.T) {
+	sets, err := Streams(Synthetic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sets[0].Muxed
+	var buf bytes.Buffer
+	if err := trace.WriteBinary(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	r, err := trace.OpenBinary(bytes.NewReader(buf.Bytes()), "", trace.NewChunkPool(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := EvaluateStreaming(r, Width, streamingCodes, DefaultOptions, FanoutConfig{Verify: codec.VerifySampled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(streamingCodes) {
+		t.Fatalf("got %d results for %d codes", len(got), len(streamingCodes))
+	}
+	for i, code := range streamingCodes {
+		want, err := codec.RunFast(codec.MustNew(code, Width, DefaultOptions), s, codec.RunOpts{Verify: codec.VerifyNone})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i].Codec != code {
+			t.Errorf("result %d is %q, want %q (order must follow codes)", i, got[i].Codec, code)
+		}
+		if got[i].Transitions != want.Transitions || got[i].Cycles != want.Cycles || got[i].MaxPerCycle != want.MaxPerCycle {
+			t.Errorf("%s: streaming %d/%d/%d != materialized %d/%d/%d", code,
+				got[i].Transitions, got[i].Cycles, got[i].MaxPerCycle,
+				want.Transitions, want.Cycles, want.MaxPerCycle)
+		}
+		if got[i].Stream != s.Name {
+			t.Errorf("%s: stream name %q, want %q", code, got[i].Stream, s.Name)
+		}
+	}
+}
+
+func TestEvaluateStreamingPerLine(t *testing.T) {
+	sets, err := Streams(Synthetic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sets[1].Instr
+	got, err := EvaluateStreaming(s.Chunks(333), Width, []string{"t0"}, DefaultOptions, FanoutConfig{PerLine: true, Verify: codec.VerifyNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := codec.MustRunFast(codec.MustNew("t0", Width, DefaultOptions), s, codec.RunOpts{PerLine: true, Verify: codec.VerifyNone})
+	if len(got[0].PerLine) != len(want.PerLine) {
+		t.Fatalf("per-line width %d != %d", len(got[0].PerLine), len(want.PerLine))
+	}
+	for i := range want.PerLine {
+		if got[0].PerLine[i] != want.PerLine[i] {
+			t.Fatalf("line %d: %d != %d", i, got[0].PerLine[i], want.PerLine[i])
+		}
+	}
+}
+
+func TestEvaluateStreamingUnknownCodec(t *testing.T) {
+	s := trace.New("x", 32)
+	s.Append(0, trace.Instr)
+	if _, err := EvaluateStreaming(s.Chunks(0), Width, []string{"nope"}, DefaultOptions, FanoutConfig{}); err == nil {
+		t.Error("unknown codec accepted")
+	}
+	if _, err := EvaluateStreaming(s.Chunks(0), Width, nil, DefaultOptions, FanoutConfig{}); err == nil {
+		t.Error("empty codec list accepted")
+	}
+}
+
+// erroringReader fails after a few chunks.
+type erroringReader struct {
+	inner trace.ChunkReader
+	left  int
+	err   error
+}
+
+func (e *erroringReader) Next() (*trace.Chunk, error) {
+	if e.left <= 0 {
+		return nil, e.err
+	}
+	e.left--
+	return e.inner.Next()
+}
+func (e *erroringReader) Name() string { return e.inner.Name() }
+func (e *erroringReader) Width() int   { return e.inner.Width() }
+
+func TestEvaluateStreamingReaderError(t *testing.T) {
+	sets, err := Streams(Synthetic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("backend gone")
+	r := &erroringReader{inner: sets[0].Muxed.Chunks(128), left: 5, err: sentinel}
+	_, err = EvaluateStreaming(r, Width, streamingCodes, DefaultOptions, FanoutConfig{Verify: codec.VerifyNone, Depth: 2})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("reader error not propagated: %v", err)
+	}
+}
+
+// brokenStreamCodec always decodes zero, so verification must fail; the
+// other workers keep draining and the producer must not deadlock even
+// with a tiny channel depth.
+type brokenStreamCodec struct{ codec.Codec }
+
+type zeroDecoder struct{}
+
+func (zeroDecoder) Decode(uint64, bool) uint64 { return 0xdead }
+func (zeroDecoder) Reset()                     {}
+
+func (b brokenStreamCodec) Name() string              { return "xbroken" }
+func (b brokenStreamCodec) NewDecoder() codec.Decoder { return zeroDecoder{} }
+
+func init() {
+	codec.Register("xbroken", func(width int, opts codec.Options) (codec.Codec, error) {
+		inner, err := codec.New("binary", width, opts)
+		if err != nil {
+			return nil, err
+		}
+		return brokenStreamCodec{inner}, nil
+	})
+}
+
+func TestEvaluateStreamingVerificationFailure(t *testing.T) {
+	sets, err := Streams(Synthetic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sets[0].Muxed
+	_, err = EvaluateStreaming(s.Chunks(64), Width,
+		[]string{"binary", "xbroken", "t0"}, DefaultOptions,
+		FanoutConfig{Verify: codec.VerifySampled, Depth: 1})
+	if err == nil {
+		t.Fatal("broken decoder not detected")
+	}
+	if got := err.Error(); !contains(got, "xbroken") {
+		t.Errorf("error %q does not name the failing codec", got)
+	}
+}
+
+func contains(s, sub string) bool { return bytes.Contains([]byte(s), []byte(sub)) }

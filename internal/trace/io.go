@@ -5,8 +5,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"strconv"
-	"strings"
 )
 
 // Text format: a human-readable trace file.
@@ -19,6 +17,15 @@ import (
 //	W 10008fa4
 //
 // Lines starting with '#' are comments; each entry line is "<kind> <hex>".
+// The "name:" and "width:" metadata comments apply from the point they
+// appear; WriteText always emits them before the first entry. Width
+// defaults to 32, and an entry whose address does not fit in the
+// declared width is a parse error (it would otherwise be silently
+// truncated by every codec's payload mask).
+//
+// Parsing is served by the streaming reader in streamio.go: ReadText is
+// a convenience that materializes the whole trace; use OpenText (or
+// OpenFile) to iterate pooled chunks in bounded memory.
 
 // WriteText writes the stream in the text trace format.
 func WriteText(w io.Writer, s *Stream) error {
@@ -30,66 +37,41 @@ func WriteText(w io.Writer, s *Stream) error {
 	return bw.Flush()
 }
 
-// ReadText parses a text trace.
-func ReadText(r io.Reader) (*Stream, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<16), 1<<20)
-	s := New("", 32)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" {
-			continue
-		}
-		if strings.HasPrefix(line, "#") {
-			meta := strings.TrimSpace(strings.TrimPrefix(line, "#"))
-			switch {
-			case strings.HasPrefix(meta, "name:"):
-				s.Name = strings.TrimSpace(strings.TrimPrefix(meta, "name:"))
-			case strings.HasPrefix(meta, "width:"):
-				w, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(meta, "width:")))
-				if err != nil {
-					return nil, fmt.Errorf("trace: line %d: bad width: %v", lineNo, err)
-				}
-				s.Width = w
-			}
-			continue
-		}
-		fields := strings.Fields(line)
-		if len(fields) != 2 {
-			return nil, fmt.Errorf("trace: line %d: expected \"<kind> <hex>\", got %q", lineNo, line)
-		}
-		var k Kind
-		switch fields[0] {
-		case "I":
-			k = Instr
-		case "R":
-			k = DataRead
-		case "W":
-			k = DataWrite
-		default:
-			return nil, fmt.Errorf("trace: line %d: unknown kind %q", lineNo, fields[0])
-		}
-		addr, err := strconv.ParseUint(fields[1], 16, 64)
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: bad address: %v", lineNo, err)
-		}
-		s.Entries = append(s.Entries, Entry{Addr: addr, Kind: k})
-	}
-	if err := sc.Err(); err != nil {
+// ReadText parses a text trace, materializing it fully. Errors carry
+// the 1-based line number; use ReadTextNamed to include the filename.
+func ReadText(r io.Reader) (*Stream, error) { return ReadTextNamed(r, "") }
+
+// ReadTextNamed is ReadText with a filename for error positions
+// ("trace: file.txt:17: ...").
+func ReadTextNamed(r io.Reader, file string) (*Stream, error) {
+	cr, err := OpenText(r, file, nil)
+	if err != nil {
 		return nil, err
 	}
-	return s, nil
+	return ReadAll(cr)
 }
 
 // Binary format: a compact delta-encoded trace.
 //
-//	magic "BETR" | u8 version | u8 width | uvarint nameLen | name bytes |
-//	uvarint count | count * (u8 kind | varint addrDelta)
+// Header layout (all multi-byte integers are unsigned LEB128 varints as
+// produced by encoding/binary.PutUvarint):
 //
-// Deltas are signed varints relative to the previous address, which makes
-// sequential traces extremely small.
+//	offset  field
+//	0       magic "BETR" (4 bytes)
+//	4       version (u8; currently 1)
+//	5       width (u8; significant address bits, 1..64)
+//	6       nameLen (uvarint) followed by nameLen bytes of stream name
+//	...     count (uvarint): number of entries that follow
+//
+// Each entry is then one byte of Kind (0=I, 1=R, 2=W) followed by the
+// signed zig-zag varint delta of the address relative to the previous
+// entry's address (the implicit address before the first entry is 0).
+// Delta coding makes sequential traces extremely small: an in-sequence
+// run costs two bytes per reference.
+//
+// The count field lets readers preallocate and detect truncation; it
+// also means WriteBinary needs the whole stream up front. Streaming
+// reads never need the whole trace: OpenBinary decodes pooled chunks.
 
 const binMagic = "BETR"
 
@@ -118,59 +100,15 @@ func WriteBinary(w io.Writer, s *Stream) error {
 	return bw.Flush()
 }
 
-// ReadBinary parses a binary trace.
-func ReadBinary(r io.Reader) (*Stream, error) {
-	br := bufio.NewReader(r)
-	magic := make([]byte, 4)
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
-	}
-	if string(magic) != binMagic {
-		return nil, fmt.Errorf("trace: bad magic %q", magic)
-	}
-	ver, err := br.ReadByte()
+// ReadBinary parses a binary trace, materializing it fully. Use
+// OpenBinary (or OpenFile) to iterate pooled chunks in bounded memory.
+func ReadBinary(r io.Reader) (*Stream, error) { return ReadBinaryNamed(r, "") }
+
+// ReadBinaryNamed is ReadBinary with a filename for error positions.
+func ReadBinaryNamed(r io.Reader, file string) (*Stream, error) {
+	cr, err := OpenBinary(r, file, nil)
 	if err != nil {
 		return nil, err
 	}
-	if ver != 1 {
-		return nil, fmt.Errorf("trace: unsupported version %d", ver)
-	}
-	widthB, err := br.ReadByte()
-	if err != nil {
-		return nil, err
-	}
-	nameLen, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, err
-	}
-	if nameLen > 1<<20 {
-		return nil, fmt.Errorf("trace: unreasonable name length %d", nameLen)
-	}
-	name := make([]byte, nameLen)
-	if _, err := io.ReadFull(br, name); err != nil {
-		return nil, err
-	}
-	count, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, err
-	}
-	s := New(string(name), int(widthB))
-	s.Entries = make([]Entry, 0, count)
-	prev := uint64(0)
-	for i := uint64(0); i < count; i++ {
-		kb, err := br.ReadByte()
-		if err != nil {
-			return nil, fmt.Errorf("trace: entry %d: %w", i, err)
-		}
-		if kb > byte(DataWrite) {
-			return nil, fmt.Errorf("trace: entry %d: bad kind %d", i, kb)
-		}
-		delta, err := binary.ReadVarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("trace: entry %d: %w", i, err)
-		}
-		prev += uint64(delta)
-		s.Entries = append(s.Entries, Entry{Addr: prev, Kind: Kind(kb)})
-	}
-	return s, nil
+	return ReadAll(cr)
 }

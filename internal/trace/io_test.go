@@ -89,12 +89,12 @@ func TestBinaryCompactOnSequential(t *testing.T) {
 }
 
 func TestReadTextParsesMetadata(t *testing.T) {
-	in := "# busenc trace v1\n# name: hello\n# width: 16\nI 400000\nR ff\n\nW 10\n"
+	in := "# busenc trace v1\n# name: hello\n# width: 24\nI 400000\nR ff\n\nW 10\n"
 	s, err := ReadText(strings.NewReader(in))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.Name != "hello" || s.Width != 16 {
+	if s.Name != "hello" || s.Width != 24 {
 		t.Errorf("metadata: name=%q width=%d", s.Name, s.Width)
 	}
 	if s.Len() != 3 {
@@ -109,16 +109,43 @@ func TestReadTextParsesMetadata(t *testing.T) {
 
 func TestReadTextErrors(t *testing.T) {
 	cases := []string{
-		"I\n",          // missing address
-		"X 400000\n",   // unknown kind
-		"I zzz\n",      // bad hex
-		"# width: x\n", // bad width
-		"I 1 2 3\n",    // too many fields
+		"I\n",                        // missing address
+		"X 400000\n",                 // unknown kind
+		"I zzz\n",                    // bad hex
+		"# width: x\n",               // bad width
+		"# width: 65\n",              // width beyond 64 lines
+		"I 1 2 3\n",                  // too many fields
+		"# width: 16\nI 400000\n",    // entry exceeds declared width
+		"I 10000000000000000\n",      // overflows 64 bits
+		"# width: 64\nI 1ffffffffffffffff\n", // overflows even at full width
 	}
 	for _, in := range cases {
 		if _, err := ReadText(strings.NewReader(in)); err == nil {
 			t.Errorf("ReadText(%q) succeeded, want error", in)
 		}
+	}
+}
+
+// TestReadTextErrorPositions pins the satellite contract: every parse
+// error carries the filename (when known) and the 1-based line number.
+func TestReadTextErrorPositions(t *testing.T) {
+	in := "# name: x\nI 400000\nQ 1234\n"
+	_, err := ReadTextNamed(strings.NewReader(in), "prog.trace")
+	if err == nil {
+		t.Fatal("bad kind accepted")
+	}
+	if !strings.Contains(err.Error(), "prog.trace:3:") {
+		t.Errorf("error %q does not carry file:line position", err)
+	}
+	_, err = ReadText(strings.NewReader(in))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("anonymous reader error %q does not carry line number", err)
+	}
+	// Width rejection reports the position of the offending entry.
+	in = "# width: 12\nI fff\nI 1000\n"
+	_, err = ReadTextNamed(strings.NewReader(in), "w.trace")
+	if err == nil || !strings.Contains(err.Error(), "w.trace:3:") || !strings.Contains(err.Error(), "width 12") {
+		t.Errorf("width rejection error %q lacks position or width", err)
 	}
 }
 

@@ -1,0 +1,250 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+)
+
+// Zero-allocation parsing primitives shared by the streaming text and
+// binary trace readers. The readers own one fillBuf each; all scanning
+// happens in place over its window, so the steady-state allocation
+// count of a parse is zero regardless of trace length (errors, which
+// terminate the parse, are the only allocating path).
+
+// maxLineLen bounds a single text line (and the fillBuf growth),
+// matching the 1 MiB limit of the previous bufio.Scanner configuration.
+const maxLineLen = 1 << 20
+
+// fillBufSize is the initial read-buffer size.
+const fillBufSize = 1 << 16
+
+// fillBuf is a minimal buffered reader exposing its raw window:
+// buf[start:end] holds unconsumed bytes. Unlike bufio.Reader it lets
+// the parsers scan the window directly and consume exact byte counts.
+type fillBuf struct {
+	r          io.Reader
+	buf        []byte
+	start, end int
+	eof        bool
+}
+
+func newFillBuf(r io.Reader) *fillBuf {
+	return &fillBuf{r: r, buf: make([]byte, fillBufSize)}
+}
+
+// window returns the unconsumed bytes currently buffered.
+func (f *fillBuf) window() []byte { return f.buf[f.start:f.end] }
+
+// advance consumes n bytes of the window.
+func (f *fillBuf) advance(n int) { f.start += n }
+
+// fill compacts the window to the front of buf and reads more input,
+// growing buf (up to maxLineLen) when the window already fills it. It
+// returns an error only for real read failures; end-of-input just sets
+// f.eof.
+func (f *fillBuf) fill() error {
+	if f.eof {
+		return nil
+	}
+	if f.start > 0 {
+		copy(f.buf, f.buf[f.start:f.end])
+		f.end -= f.start
+		f.start = 0
+	}
+	if f.end == len(f.buf) {
+		if len(f.buf) >= maxLineLen {
+			return io.ErrShortBuffer
+		}
+		nb := make([]byte, 2*len(f.buf))
+		copy(nb, f.buf[:f.end])
+		f.buf = nb
+	}
+	n, err := f.r.Read(f.buf[f.end:])
+	f.end += n
+	if err == io.EOF {
+		f.eof = true
+		return nil
+	}
+	return err
+}
+
+// peek ensures at least n bytes are buffered and returns the window, or
+// io.ErrUnexpectedEOF when the input ends first.
+func (f *fillBuf) peek(n int) ([]byte, error) {
+	for f.end-f.start < n {
+		if f.eof {
+			return nil, io.ErrUnexpectedEOF
+		}
+		if err := f.fill(); err != nil {
+			return nil, err
+		}
+	}
+	return f.window(), nil
+}
+
+// readByte consumes and returns one byte.
+func (f *fillBuf) readByte() (byte, error) {
+	if f.start == f.end {
+		if _, err := f.peek(1); err != nil {
+			return 0, err
+		}
+	}
+	b := f.buf[f.start]
+	f.start++
+	return b, nil
+}
+
+// readUvarint decodes an unsigned LEB128 varint from the buffer,
+// mirroring binary.ReadUvarint's overflow rules.
+func (f *fillBuf) readUvarint() (uint64, error) {
+	var x uint64
+	var s uint
+	for i := 0; ; i++ {
+		b, err := f.readByte()
+		if err != nil {
+			return 0, err
+		}
+		if i == 10 || (i == 9 && b > 1) {
+			return 0, errVarintOverflow
+		}
+		if b < 0x80 {
+			return x | uint64(b)<<s, nil
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+}
+
+// readVarint decodes a signed zig-zag varint.
+func (f *fillBuf) readVarint() (int64, error) {
+	ux, err := f.readUvarint()
+	if err != nil {
+		return 0, err
+	}
+	x := int64(ux >> 1)
+	if ux&1 != 0 {
+		x = ^x
+	}
+	return x, nil
+}
+
+var errVarintOverflow = errors.New("trace: varint overflows 64 bits")
+
+// readLine consumes and returns the next '\n'-terminated line (without
+// the terminator); the final line needs no terminator. It returns
+// io.EOF after the last line. The returned slice aliases the read
+// buffer and is valid only until the next fillBuf call.
+func (f *fillBuf) readLine() ([]byte, error) {
+	for {
+		w := f.window()
+		if i := bytes.IndexByte(w, '\n'); i >= 0 {
+			f.advance(i + 1)
+			return w[:i], nil
+		}
+		if f.eof {
+			if len(w) == 0 {
+				return nil, io.EOF
+			}
+			f.advance(len(w))
+			return w, nil
+		}
+		if err := f.fill(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// peekLine returns the next line without consuming it, plus the number
+// of bytes (line + terminator) a subsequent advance must consume.
+func (f *fillBuf) peekLine() (line []byte, consume int, err error) {
+	for {
+		w := f.window()
+		if i := bytes.IndexByte(w, '\n'); i >= 0 {
+			return w[:i], i + 1, nil
+		}
+		if f.eof {
+			if len(w) == 0 {
+				return nil, 0, io.EOF
+			}
+			return w, len(w), nil
+		}
+		if err := f.fill(); err != nil {
+			return nil, 0, err
+		}
+	}
+}
+
+// trimSpace trims ASCII whitespace (space, tab, CR) in place — the only
+// whitespace the trace text format produces. Allocation-free.
+func trimSpace(b []byte) []byte {
+	for len(b) > 0 && isSpace(b[0]) {
+		b = b[1:]
+	}
+	for len(b) > 0 && isSpace(b[len(b)-1]) {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\r' }
+
+// hexVal maps an ASCII byte to its hex digit value, or 0xFF.
+var hexVal = func() (t [256]byte) {
+	for i := range t {
+		t[i] = 0xFF
+	}
+	for c := byte('0'); c <= '9'; c++ {
+		t[c] = c - '0'
+	}
+	for c := byte('a'); c <= 'f'; c++ {
+		t[c] = c - 'a' + 10
+	}
+	for c := byte('A'); c <= 'F'; c++ {
+		t[c] = c - 'A' + 10
+	}
+	return
+}()
+
+// parseHex parses an unsigned hex number without allocation. It accepts
+// leading zeros of any length but rejects empty input, non-hex bytes,
+// and values that overflow 64 bits.
+func parseHex(b []byte) (uint64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	for len(b) > 1 && b[0] == '0' {
+		b = b[1:]
+	}
+	if len(b) > 16 {
+		return 0, false
+	}
+	var v uint64
+	for _, c := range b {
+		d := hexVal[c]
+		if d == 0xFF {
+			return 0, false
+		}
+		v = v<<4 | uint64(d)
+	}
+	return v, true
+}
+
+// parseDec parses an unsigned decimal number without allocation.
+func parseDec(b []byte) (uint64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	var v uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		d := uint64(c - '0')
+		if v > (1<<64-1-d)/10 {
+			return 0, false
+		}
+		v = v*10 + d
+	}
+	return v, true
+}
