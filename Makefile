@@ -1,20 +1,28 @@
 # CI entry points. `make ci` is what the repository considers green:
-# build, vet, race-enabled tests, and one timed pass of the headline
-# evaluation benchmark.
+# formatting, build, vet, race-enabled tests, a short fuzz smoke of the
+# trace parsers, and one timed pass of the headline evaluation
+# benchmark. `make benchguard` is the separate regression gate: it
+# regenerates the benchmark records and fails if they fall outside the
+# committed records' tolerance bands.
 
 GO ?= go
 
-.PHONY: all ci build vet test test-stream bench benchjson
+.PHONY: all ci build vet fmt-check test test-stream fuzz-smoke bench benchjson benchguard
 
 all: ci
 
-ci: build vet test test-stream bench
+ci: build vet fmt-check test test-stream fuzz-smoke bench
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# gofmt -l prints offending files; any output fails the gate.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test -race ./...
@@ -26,12 +34,28 @@ test-stream:
 	$(GO) vet ./internal/trace ./internal/core
 	$(GO) test -race ./internal/trace ./internal/core
 
+# Short coverage-guided fuzz of the two trace parsers — enough to catch
+# a freshly introduced panic on malformed input without stalling CI.
+# Go allows one -fuzz target per invocation, hence two runs.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzReadText -fuzztime=5s ./internal/trace
+	$(GO) test -run=NONE -fuzz=FuzzReadBinary -fuzztime=5s ./internal/trace
+
 bench:
 	$(GO) test -run=NONE -bench=BenchmarkTable4 -benchtime=1x .
 
-# Regenerate the machine-readable benchmark records (see README
-# "Performance"): BENCH_engine.json compares the seed reference path to
-# the batched engine on Table 4; BENCH_stream.json is written beside it
-# and compares the materialized path to the streaming fan-out.
+# Regenerate the committed machine-readable benchmark records (see
+# README "Performance"): BENCH_engine.json compares the seed reference
+# path to the batched engine on Table 4; BENCH_stream.json compares the
+# materialized path to the streaming fan-out. Both paths are explicit
+# so the pair can never drift apart.
 benchjson:
-	$(GO) run ./cmd/paper -benchjson BENCH_engine.json
+	$(GO) run ./cmd/paper -benchjson BENCH_engine.json -benchstream BENCH_stream.json
+
+# Benchmark-regression gate: generate fresh records into a scratch
+# directory and compare them against the committed ones. Fails on a
+# >25% speedup drop, any parity=false, or an alloc-ratio collapse.
+benchguard:
+	mkdir -p .bench-fresh
+	$(GO) run ./cmd/paper -benchjson .bench-fresh/BENCH_engine.json -benchstream .bench-fresh/BENCH_stream.json
+	$(GO) run ./cmd/benchguard -baseline . -fresh .bench-fresh

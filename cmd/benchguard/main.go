@@ -1,0 +1,57 @@
+// Command benchguard compares freshly generated benchmark records
+// (BENCH_engine.json, BENCH_stream.json) against the committed
+// baselines and exits non-zero when a tolerance band is broken. It is
+// the CI benchmark-regression gate:
+//
+//	paper -benchjson .bench-fresh/BENCH_engine.json \
+//	      -benchstream .bench-fresh/BENCH_stream.json
+//	benchguard -baseline . -fresh .bench-fresh
+//
+// Because records carry machine-relative ratios (speedups, alloc
+// ratios) with a same-machine reference measurement inside, the guard
+// is meaningful even when the baseline was committed on different
+// hardware than the CI runner.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"busenc/internal/bench"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus os.Exit, for testability.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchguard", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baseline := fs.String("baseline", ".", "directory holding the committed BENCH_engine.json and BENCH_stream.json")
+	fresh := fs.String("fresh", "", "directory holding the freshly generated records (required)")
+	slowdown := fs.Float64("tolerance", bench.DefaultTolerance().Slowdown, "allowed fractional speedup drop (0.25 = fresh may fall to 75% of committed)")
+	allocCollapse := fs.Float64("alloc-collapse", bench.DefaultTolerance().AllocCollapse, "factor by which the streaming alloc ratio may shrink before failing")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *fresh == "" {
+		fmt.Fprintln(stderr, "benchguard: -fresh directory is required")
+		fs.Usage()
+		return 2
+	}
+	tol := bench.Tolerance{Slowdown: *slowdown, AllocCollapse: *allocCollapse}
+	violations := bench.Guard(*baseline, *fresh, tol)
+	if len(violations) == 0 {
+		fmt.Fprintf(stdout, "benchguard: ok (%s vs %s, tolerance %.0f%% slowdown, %.1fx alloc collapse)\n",
+			*fresh, *baseline, tol.Slowdown*100, tol.AllocCollapse)
+		return 0
+	}
+	fmt.Fprintf(stderr, "benchguard: %d violation(s):\n", len(violations))
+	for _, v := range violations {
+		fmt.Fprintf(stderr, "  %s\n", v)
+	}
+	return 1
+}

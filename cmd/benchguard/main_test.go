@@ -1,0 +1,119 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"busenc/internal/bench"
+)
+
+func goodEngine() bench.EngineRecord {
+	return bench.EngineRecord{
+		Bench: bench.EngineBenchName, Source: "synthetic", GOMAXPROCS: 1,
+		ReferenceNs: 1_000_000_000, EngineColdNs: 200_000_000, EngineWarmNs: 50_000_000,
+		WarmIters: 5, SpeedupCold: 5, SpeedupWarm: 20, Parity: true,
+		Parallel: bench.ParallelRecord{GOMAXPROCS: 8, EngineWarmNs: 20_000_000, SpeedupWarm: 50, SpeedupVsSerial: 2.5},
+	}
+}
+
+func goodStream() bench.StreamRecord {
+	return bench.StreamRecord{
+		Bench: bench.StreamBenchName, Entries: 1 << 20, FileBytes: 9 << 20,
+		ChunkLen: 4096, Depth: 4, GOMAXPROCS: 8, Codecs: []string{"binary"},
+		MaterializedNs: 800_000_000, MaterializedAllocBytes: 1 << 30,
+		StreamingNs: 500_000_000, StreamingAllocBytes: 1 << 25,
+		SpeedupStreaming: 1.6, AllocRatio: 32, Parity: true,
+	}
+}
+
+func writeDir(t *testing.T, eng bench.EngineRecord, str bench.StreamRecord) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := bench.WriteRecord(filepath.Join(dir, "BENCH_engine.json"), eng); err != nil {
+		t.Fatal(err)
+	}
+	if err := bench.WriteRecord(filepath.Join(dir, "BENCH_stream.json"), str); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func runGuard(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr strings.Builder
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestCLIPassesOnIdenticalRecords(t *testing.T) {
+	dir := writeDir(t, goodEngine(), goodStream())
+	code, out, errOut := runGuard(t, "-baseline", dir, "-fresh", dir)
+	if code != 0 {
+		t.Fatalf("exit %d on identical records; stderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(out, "benchguard: ok") {
+		t.Errorf("pass summary missing:\n%s", out)
+	}
+}
+
+func TestCLIFailsOnSlowdown(t *testing.T) {
+	base := writeDir(t, goodEngine(), goodStream())
+	slow := goodEngine()
+	slow.EngineWarmNs *= 2
+	slow.SpeedupWarm /= 2
+	fresh := writeDir(t, slow, goodStream())
+	code, _, errOut := runGuard(t, "-baseline", base, "-fresh", fresh)
+	if code != 1 {
+		t.Fatalf("exit %d on 2x slowdown, want 1; stderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(errOut, "speedup_warm") {
+		t.Errorf("violation not named:\n%s", errOut)
+	}
+}
+
+func TestCLITighterTolerance(t *testing.T) {
+	base := writeDir(t, goodEngine(), goodStream())
+	slight := goodEngine()
+	slight.SpeedupWarm *= 0.9 // 10% drop: inside the default 25% band
+	fresh := writeDir(t, slight, goodStream())
+	if code, _, errOut := runGuard(t, "-baseline", base, "-fresh", fresh); code != 0 {
+		t.Fatalf("10%% drop failed the default band (exit %d):\n%s", code, errOut)
+	}
+	if code, _, _ := runGuard(t, "-baseline", base, "-fresh", fresh, "-tolerance", "0.05"); code != 1 {
+		t.Error("10% drop passed a 5% band")
+	}
+}
+
+func TestCLIUsageErrors(t *testing.T) {
+	if code, _, errOut := runGuard(t); code != 2 || !strings.Contains(errOut, "-fresh") {
+		t.Errorf("missing -fresh: exit %d, stderr:\n%s", code, errOut)
+	}
+	if code, _, _ := runGuard(t, "-bogus"); code != 2 {
+		t.Errorf("bad flag accepted (exit %d)", code)
+	}
+}
+
+func TestCLIMissingFreshFiles(t *testing.T) {
+	base := writeDir(t, goodEngine(), goodStream())
+	empty := t.TempDir()
+	code, _, errOut := runGuard(t, "-baseline", base, "-fresh", empty)
+	if code != 1 {
+		t.Fatalf("exit %d with empty fresh dir, want 1", code)
+	}
+	if !strings.Contains(errOut, "2 violation") {
+		t.Errorf("want one violation per missing record:\n%s", errOut)
+	}
+	// The committed repo records must pass against themselves.
+	repoDir, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(repoDir, "BENCH_engine.json")); err != nil {
+		t.Skip("committed records not present")
+	}
+	if code, _, errOut := runGuard(t, "-baseline", repoDir, "-fresh", repoDir); code != 0 {
+		t.Errorf("committed records fail against themselves (exit %d):\n%s", code, errOut)
+	}
+}

@@ -1,0 +1,181 @@
+// Command busencd serves the evaluation engine over HTTP for local
+// profiling and observability work: it evaluates trace files through
+// the streaming fan-out on demand and exposes the internal/obs metric
+// registries, expvar, and (optionally) net/http/pprof from the same
+// process, so the hot paths can be inspected while they run.
+//
+//	busencd -listen :8377            # /healthz /metrics /eval /debug/vars
+//	busencd -listen :8377 -pprof     # + /debug/pprof/*
+//
+// This is a debugging daemon for trusted local use: /eval reads trace
+// files by path from the server's filesystem.
+package main
+
+import (
+	"encoding/json"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"sync"
+
+	"busenc/internal/codec"
+	"busenc/internal/core"
+	"busenc/internal/obs"
+	"busenc/internal/trace"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8377", "address to serve on")
+	withPprof := flag.Bool("pprof", false, "also expose /debug/pprof/* (CPU/heap/trace profiling)")
+	flag.Parse()
+
+	obs.Enable()
+	mux := newMux(*withPprof)
+	log.Printf("busencd: serving on %s (pprof=%v)", *listen, *withPprof)
+	log.Fatal(http.ListenAndServe(*listen, mux))
+}
+
+// publishOnce guards the process-global expvar names: expvar panics on
+// duplicate Publish, and tests build several muxes per process.
+var publishOnce sync.Once
+
+// newMux builds the daemon's handler tree. Split from main so tests can
+// drive it through httptest without binding a socket.
+func newMux(withPprof bool) *http.ServeMux {
+	publishOnce.Do(func() {
+		for _, r := range obs.Registries() {
+			r.PublishExpvar("busenc." + r.Name())
+		}
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", handleMetrics)
+	mux.HandleFunc("/eval", handleEval)
+	mux.Handle("/debug/vars", expvar.Handler())
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// handleMetrics dumps every non-empty registry: JSON by default,
+// ?format=table for the human-aligned rendering.
+func handleMetrics(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Query().Get("format") {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		if err := obs.WriteAllJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	case "table":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := obs.WriteAllTable(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	default:
+		http.Error(w, "format must be json or table", http.StatusBadRequest)
+	}
+}
+
+// evalResponse is the JSON reply of /eval.
+type evalResponse struct {
+	Trace   string         `json:"trace"`
+	Stream  string         `json:"stream"`
+	Width   int            `json:"width"`
+	Entries int64          `json:"entries"`
+	Results []codec.Result `json:"results"`
+}
+
+// handleEval prices codecs over a trace file through the streaming
+// fan-out: GET /eval?trace=path[&codes=a,b][&chunklen=N][&depth=N].
+func handleEval(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	path := q.Get("trace")
+	if path == "" {
+		http.Error(w, "missing trace parameter", http.StatusBadRequest)
+		return
+	}
+	codes := splitCodes(q.Get("codes"))
+	cfg := core.FanoutConfig{Verify: codec.VerifySampled}
+	chunkLen, ok := posIntParam(w, q.Get("chunklen"), "chunklen")
+	if !ok {
+		return
+	}
+	cfg.Depth, ok = posIntParam(w, q.Get("depth"), "depth")
+	if !ok {
+		return
+	}
+	var pool *trace.ChunkPool
+	if chunkLen > 0 {
+		pool = trace.NewChunkPool(chunkLen)
+	}
+
+	tr, closer, err := trace.OpenFile(path, pool)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	defer closer.Close()
+	results, err := core.EvaluateStreaming(tr, tr.Width(), codes, core.DefaultOptions, cfg)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	resp := evalResponse{
+		Trace:   path,
+		Stream:  results[0].Stream,
+		Width:   tr.Width(),
+		Entries: results[0].Cycles,
+		Results: results,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(resp)
+}
+
+// posIntParam parses an optional positive-integer query parameter; it
+// writes the 400 itself and reports ok=false on a bad value.
+func posIntParam(w http.ResponseWriter, s, name string) (int, bool) {
+	if s == "" {
+		return 0, true
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n <= 0 {
+		http.Error(w, name+" must be a positive integer", http.StatusBadRequest)
+		return 0, false
+	}
+	return n, true
+}
+
+// paperCodes mirrors cmd/paper: the seven codes of the paper's tables,
+// binary first so savings are always relative to it.
+var paperCodes = []string{"binary", "gray", "t0", "businvert", "t0bi", "dualt0", "dualt0bi"}
+
+func splitCodes(codes string) []string {
+	switch codes {
+	case "", "paper":
+		return paperCodes
+	case "all":
+		return codec.Names()
+	}
+	out := []string{"binary"}
+	for _, c := range strings.Split(codes, ",") {
+		if c = strings.TrimSpace(c); c != "" && c != "binary" {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"busenc/internal/core"
+	"busenc/internal/obs"
+	"busenc/internal/trace"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func writeServerTrace(t *testing.T, n int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := trace.WriteBinary(f, core.ReferenceMuxedStream(n)); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestServerEndpoints(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	srv := httptest.NewServer(newMux(false))
+	defer srv.Close()
+
+	if code, body := get(t, srv, "/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz: %d %q", code, body)
+	}
+
+	// Evaluate a real trace through the fan-out.
+	path := writeServerTrace(t, 2000)
+	code, body := get(t, srv, "/eval?trace="+path+"&codes=t0,gray&chunklen=256")
+	if code != 200 {
+		t.Fatalf("/eval: %d %s", code, body)
+	}
+	var resp evalResponse
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("/eval returned invalid JSON: %v\n%s", err, body)
+	}
+	if resp.Entries != 2000 {
+		t.Errorf("entries = %d, want 2000", resp.Entries)
+	}
+	want := []string{"binary", "t0", "gray"}
+	if len(resp.Results) != len(want) {
+		t.Fatalf("results = %+v, want codes %v", resp.Results, want)
+	}
+	for i, code := range want {
+		if resp.Results[i].Codec != code {
+			t.Errorf("results[%d] = %s, want %s", i, resp.Results[i].Codec, code)
+		}
+		if resp.Results[i].Transitions <= 0 {
+			t.Errorf("%s: no transitions counted", code)
+		}
+	}
+
+	// The evaluation's traffic must now show up in the metrics dump.
+	if code, body := get(t, srv, "/metrics"); code != 200 ||
+		!strings.Contains(body, "trace.chunks_read") {
+		t.Errorf("/metrics: %d\n%s", code, body)
+	}
+	if code, body := get(t, srv, "/metrics?format=table"); code != 200 ||
+		!strings.Contains(body, "core.fanout.blocks_broadcast") {
+		t.Errorf("/metrics?format=table: %d\n%s", code, body)
+	}
+	if code, _ := get(t, srv, "/metrics?format=xml"); code != 400 {
+		t.Errorf("bad format accepted: %d", code)
+	}
+
+	// expvar carries the published registries.
+	if code, body := get(t, srv, "/debug/vars"); code != 200 ||
+		!strings.Contains(body, "busenc.default") {
+		t.Errorf("/debug/vars: %d\n%s", code, body)
+	}
+}
+
+func TestServerEvalErrors(t *testing.T) {
+	srv := httptest.NewServer(newMux(false))
+	defer srv.Close()
+	if code, _ := get(t, srv, "/eval"); code != 400 {
+		t.Errorf("missing trace param: %d, want 400", code)
+	}
+	if code, _ := get(t, srv, "/eval?trace=/no/such/file.bin"); code != 404 {
+		t.Errorf("missing file: %d, want 404", code)
+	}
+	path := writeServerTrace(t, 100)
+	if code, _ := get(t, srv, "/eval?trace="+path+"&chunklen=nope"); code != 400 {
+		t.Errorf("bad chunklen: %d, want 400", code)
+	}
+	if code, _ := get(t, srv, "/eval?trace="+path+"&codes=bogus"); code != 422 {
+		t.Errorf("unknown codec: %d, want 422", code)
+	}
+}
+
+func TestServerPprofGate(t *testing.T) {
+	plain := httptest.NewServer(newMux(false))
+	defer plain.Close()
+	if code, _ := get(t, plain, "/debug/pprof/"); code == 200 {
+		t.Error("pprof exposed without -pprof")
+	}
+	prof := httptest.NewServer(newMux(true))
+	defer prof.Close()
+	if code, body := get(t, prof, "/debug/pprof/"); code != 200 ||
+		!strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index: %d\n%s", code, body)
+	}
+}

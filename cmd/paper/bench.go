@@ -1,12 +1,11 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 	"runtime"
 	"time"
 
+	"busenc/internal/bench"
 	"busenc/internal/codec"
 	"busenc/internal/core"
 )
@@ -17,37 +16,12 @@ import (
 // engine (memoized streams, bulk encode kernels, aggregate counting,
 // sampled verification), checks the two agree transition-for-transition,
 // and writes the numbers as JSON so successive PRs can track the
-// trajectory.
-
-// engineBench is the machine-readable benchmark record. The top-level
-// timings are measured serially (GOMAXPROCS pinned to 1) so successive
-// records stay comparable across machines; Parallel repeats the warm
-// engine run at the process's default GOMAXPROCS so the bounded
-// scheduler's speedup is visible in the trajectory.
-type engineBench struct {
-	Bench        string  `json:"bench"`
-	Source       string  `json:"source"`
-	GOMAXPROCS   int     `json:"gomaxprocs"` // 1: the serial measurement
-	ReferenceNs  int64   `json:"reference_ns"`   // seed path, streams regenerated
-	EngineColdNs int64   `json:"engine_cold_ns"` // first engine call, caches empty
-	EngineWarmNs int64   `json:"engine_warm_ns"` // fastest warm engine call
-	WarmIters    int     `json:"warm_iters"`
-	SpeedupCold  float64 `json:"speedup_cold"`
-	SpeedupWarm  float64 `json:"speedup_warm"`
-	Parity       bool    `json:"parity"` // engine totals == reference totals
-
-	Parallel parallelBench `json:"parallel"`
-}
-
-// parallelBench is the warm engine run at default GOMAXPROCS.
-type parallelBench struct {
-	GOMAXPROCS   int     `json:"gomaxprocs"`
-	EngineWarmNs int64   `json:"engine_warm_ns"`
-	// SpeedupWarm is vs. the serial reference path; SpeedupVsSerial is
-	// the scheduler's own parallel-over-serial warm gain.
-	SpeedupWarm     float64 `json:"speedup_warm"`
-	SpeedupVsSerial float64 `json:"speedup_vs_serial_warm"`
-}
+// trajectory. The record schema lives in internal/bench, shared with
+// cmd/benchguard, which enforces it in CI. The top-level timings are
+// measured serially (GOMAXPROCS pinned to 1) so successive records stay
+// comparable across machines; Parallel repeats the warm engine run at
+// the process's default GOMAXPROCS so the bounded scheduler's speedup
+// is visible in the trajectory.
 
 // referenceTable4 rebuilds Table 4 the way the seed implementation did:
 // streams generated from scratch and every codec run entry-at-a-time on
@@ -162,8 +136,8 @@ func benchEngine(path string, src core.Source, warmIters int) error {
 		return err
 	}
 
-	rec := engineBench{
-		Bench:        "Table4",
+	rec := bench.EngineRecord{
+		Bench:        bench.EngineBenchName,
 		Source:       string(src),
 		GOMAXPROCS:   1,
 		ReferenceNs:  refNs,
@@ -173,19 +147,14 @@ func benchEngine(path string, src core.Source, warmIters int) error {
 		SpeedupCold:  float64(refNs) / float64(coldNs),
 		SpeedupWarm:  float64(refNs) / float64(warmNs),
 		Parity:       parity,
-		Parallel: parallelBench{
+		Parallel: bench.ParallelRecord{
 			GOMAXPROCS:      defaultProcs,
 			EngineWarmNs:    parWarmNs,
 			SpeedupWarm:     float64(refNs) / float64(parWarmNs),
 			SpeedupVsSerial: float64(warmNs) / float64(parWarmNs),
 		},
 	}
-	data, err := json.MarshalIndent(rec, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := bench.WriteRecord(path, rec); err != nil {
 		return err
 	}
 	fmt.Printf("engine bench (%s source): reference %.1f ms, engine cold %.1f ms (%.1fx), warm %.1f ms (%.1fx), warm@%d procs %.1f ms (%.2fx vs serial), parity=%v -> %s\n",

@@ -1,7 +1,6 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -9,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"busenc/internal/bench"
 	"busenc/internal/codec"
 	"busenc/internal/core"
 	"busenc/internal/trace"
@@ -23,25 +23,8 @@ import (
 // to trace length, the streaming path stays flat (pooled chunks +
 // bounded channels).
 
-// streamBench is the machine-readable record written to BENCH_stream.json.
-type streamBench struct {
-	Bench      string   `json:"bench"`
-	Entries    int      `json:"entries"`
-	FileBytes  int64    `json:"file_bytes"`
-	ChunkLen   int      `json:"chunk_len"`
-	Depth      int      `json:"fanout_depth"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	Codecs     []string `json:"codecs"`
-
-	MaterializedNs         int64  `json:"materialized_ns"`
-	MaterializedAllocBytes uint64 `json:"materialized_alloc_bytes"`
-	StreamingNs            int64  `json:"streaming_ns"`
-	StreamingAllocBytes    uint64 `json:"streaming_alloc_bytes"`
-
-	SpeedupStreaming float64 `json:"speedup_streaming"` // materialized/streaming wall time
-	AllocRatio       float64 `json:"alloc_ratio"`       // materialized/streaming alloc bytes
-	Parity           bool    `json:"parity"`
-}
+// The machine-readable record written to BENCH_stream.json is
+// bench.StreamRecord, shared with the cmd/benchguard regression guard.
 
 // timedAlloc runs f between two GC-stabilized memory readings and
 // returns its wall time and the bytes allocated while it ran.
@@ -160,8 +143,8 @@ func benchStream(path string, entries int) error {
 		}
 	}
 
-	rec := streamBench{
-		Bench:      "StreamPipeline",
+	rec := bench.StreamRecord{
+		Bench:      bench.StreamBenchName,
 		Entries:    entries,
 		FileBytes:  fi.Size(),
 		ChunkLen:   trace.DefaultChunkLen,
@@ -177,12 +160,7 @@ func benchStream(path string, entries int) error {
 		AllocRatio:             float64(matAlloc) / float64(max(1, strAlloc)),
 		Parity:                 parity,
 	}
-	data, err := json.MarshalIndent(rec, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := bench.WriteRecord(path, rec); err != nil {
 		return err
 	}
 	fmt.Printf("stream bench: %d entries (%.1f MB on disk), materialized %.1f ms / %.1f MB alloc, streaming %.1f ms / %.1f MB alloc (%.2fx time, %.0fx alloc), parity=%v -> %s\n",

@@ -20,6 +20,7 @@ import (
 	"path/filepath"
 
 	"busenc/internal/core"
+	"busenc/internal/obs"
 )
 
 func main() {
@@ -32,9 +33,20 @@ func main() {
 	stream := flag.Bool("stream", false, "with -trace: use the single-pass bounded-memory streaming fan-out instead of materializing the trace")
 	codes := flag.String("codes", "paper", "with -trace: comma-separated codec list, \"paper\" (the seven paper codes) or \"all\"")
 	chunkLen := flag.Int("chunklen", 0, "with -trace: chunk size in entries (0 = default)")
-	benchJSON := flag.String("benchjson", "", "benchmark the batched evaluation engine against the reference path and write machine-readable results to this file (e.g. BENCH_engine.json); also writes the streaming-pipeline record to BENCH_stream.json beside it, then exits")
+	benchJSON := flag.String("benchjson", "", "benchmark the batched evaluation engine against the reference path and write machine-readable results to this file (e.g. BENCH_engine.json); also writes the streaming-pipeline record (see -benchstream), then exits")
+	benchStreamJSON := flag.String("benchstream", "", "with -benchjson: path for the streaming-pipeline record (default: BENCH_stream.json beside the engine record)")
 	benchEntries := flag.Int("benchentries", 1<<20, "with -benchjson: trace length for the streaming-pipeline benchmark")
+	metrics := flag.String("metrics", "", "enable run-time observability and dump all metric registries on exit: \"table\" or \"json\" (to stderr, so table/trace output stays clean)")
 	flag.Parse()
+
+	if *metrics != "" {
+		if *metrics != "table" && *metrics != "json" {
+			fmt.Fprintf(os.Stderr, "paper: -metrics must be \"table\" or \"json\", got %q\n", *metrics)
+			os.Exit(2)
+		}
+		obs.Enable()
+		defer dumpMetrics(*metrics)
+	}
 
 	src := core.Source(*source)
 	if *benchJSON != "" {
@@ -42,7 +54,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "paper:", err)
 			os.Exit(1)
 		}
-		streamPath := filepath.Join(filepath.Dir(*benchJSON), "BENCH_stream.json")
+		streamPath := *benchStreamJSON
+		if streamPath == "" {
+			streamPath = filepath.Join(filepath.Dir(*benchJSON), "BENCH_stream.json")
+		}
 		if err := benchStream(streamPath, *benchEntries); err != nil {
 			fmt.Fprintln(os.Stderr, "paper:", err)
 			os.Exit(1)
@@ -60,6 +75,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "paper:", err)
 		os.Exit(1)
 	}
+}
+
+// dumpMetrics writes every non-empty registry to stderr in the chosen
+// format. Errors are ignored: a metrics dump must never fail the run it
+// is observing.
+func dumpMetrics(format string) {
+	if format == "json" {
+		obs.WriteAllJSON(os.Stderr)
+		return
+	}
+	obs.WriteAllTable(os.Stderr)
 }
 
 func run(tableNum int, src core.Source, hwStream int, sweep, asJSON bool) error {

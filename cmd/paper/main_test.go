@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"busenc/internal/bench"
 	"busenc/internal/core"
 	"busenc/internal/trace"
 )
@@ -133,7 +134,7 @@ func TestBenchStreamJSON(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var rec streamBench
+	var rec bench.StreamRecord
 	if err := json.Unmarshal(data, &rec); err != nil {
 		t.Fatalf("invalid JSON: %v", err)
 	}
@@ -161,7 +162,7 @@ func TestBenchEngineJSON(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var rec engineBench
+	var rec bench.EngineRecord
 	if err := json.Unmarshal(data, &rec); err != nil {
 		t.Fatalf("invalid JSON: %v", err)
 	}

@@ -1,0 +1,143 @@
+package bench
+
+import "fmt"
+
+// Regression guard. CompareEngine and CompareStream hold a fresh record
+// against a committed baseline and return one Violation per broken
+// tolerance band. The bands are ratio-based (see the package comment):
+//
+//   - parity=false in the fresh record always fails — the engine or the
+//     pipeline no longer reproduces the reference numbers;
+//   - a speedup ratio may drop by at most Tolerance.Slowdown
+//     (fractional, default 0.25: a >25% slowdown relative to the
+//     record's own same-machine baseline fails);
+//   - the streaming alloc ratio may shrink by at most a factor of
+//     Tolerance.AllocCollapse (default 2: the pipeline's bounded-memory
+//     property collapsing by 2x fails even if wall time holds).
+//
+// Boundary semantics are inclusive: a fresh value exactly on the band
+// edge passes; only strictly beyond it fails.
+
+// Tolerance configures the guard's bands.
+type Tolerance struct {
+	// Slowdown is the allowed fractional drop in a speedup ratio
+	// (0.25 = fresh may be as low as 75% of the committed speedup).
+	Slowdown float64
+	// AllocCollapse is the factor by which the streaming alloc ratio may
+	// shrink before the guard fails.
+	AllocCollapse float64
+}
+
+// DefaultTolerance is the band set CI enforces.
+func DefaultTolerance() Tolerance {
+	return Tolerance{Slowdown: 0.25, AllocCollapse: 2}
+}
+
+// Violation is one broken band.
+type Violation struct {
+	Record string  // "engine" or "stream"
+	Field  string  // JSON field name
+	Old    float64 // committed value (0 when not applicable)
+	New    float64 // fresh value
+	Msg    string
+}
+
+func (v Violation) String() string {
+	if v.Old != 0 || v.New != 0 {
+		return fmt.Sprintf("%s: %s: %s (committed %.4g, fresh %.4g)", v.Record, v.Field, v.Msg, v.Old, v.New)
+	}
+	return fmt.Sprintf("%s: %s: %s", v.Record, v.Field, v.Msg)
+}
+
+// speedupDrop checks one ratio band; floor is old*(1-tol), inclusive.
+func speedupDrop(record, field string, old, new, tol float64) *Violation {
+	floor := old * (1 - tol)
+	if new >= floor {
+		return nil
+	}
+	return &Violation{
+		Record: record, Field: field, Old: old, New: new,
+		Msg: fmt.Sprintf("speedup dropped more than %.0f%% below the committed record (floor %.4g)", tol*100, floor),
+	}
+}
+
+// CompareEngine holds a fresh engine record against the committed one.
+func CompareEngine(old, fresh EngineRecord, tol Tolerance) []Violation {
+	var out []Violation
+	if err := old.Validate(); err != nil {
+		out = append(out, Violation{Record: "engine", Field: "baseline", Msg: err.Error()})
+	}
+	if err := fresh.Validate(); err != nil {
+		out = append(out, Violation{Record: "engine", Field: "fresh", Msg: err.Error()})
+		return out
+	}
+	if !fresh.Parity {
+		out = append(out, Violation{Record: "engine", Field: "parity",
+			Msg: "engine and reference transition totals diverge"})
+	}
+	if v := speedupDrop("engine", "speedup_warm", old.SpeedupWarm, fresh.SpeedupWarm, tol.Slowdown); v != nil {
+		out = append(out, *v)
+	}
+	return out
+}
+
+// CompareStream holds a fresh stream record against the committed one.
+func CompareStream(old, fresh StreamRecord, tol Tolerance) []Violation {
+	var out []Violation
+	if err := old.Validate(); err != nil {
+		out = append(out, Violation{Record: "stream", Field: "baseline", Msg: err.Error()})
+	}
+	if err := fresh.Validate(); err != nil {
+		out = append(out, Violation{Record: "stream", Field: "fresh", Msg: err.Error()})
+		return out
+	}
+	if !fresh.Parity {
+		out = append(out, Violation{Record: "stream", Field: "parity",
+			Msg: "streaming and materialized transition totals diverge"})
+	}
+	if v := speedupDrop("stream", "speedup_streaming", old.SpeedupStreaming, fresh.SpeedupStreaming, tol.Slowdown); v != nil {
+		out = append(out, *v)
+	}
+	if tol.AllocCollapse > 0 {
+		floor := old.AllocRatio / tol.AllocCollapse
+		if fresh.AllocRatio < floor {
+			out = append(out, Violation{
+				Record: "stream", Field: "alloc_ratio", Old: old.AllocRatio, New: fresh.AllocRatio,
+				Msg: fmt.Sprintf("alloc ratio collapsed more than %.2gx below the committed record (floor %.4g)", tol.AllocCollapse, floor),
+			})
+		}
+	}
+	return out
+}
+
+// Guard loads the committed and fresh record pair from the two
+// directories (BENCH_engine.json and BENCH_stream.json in each) and
+// returns every violation. Unreadable or invalid files are violations,
+// not errors: the guard's job is to fail loudly, so CI gets one unified
+// report either way.
+func Guard(baselineDir, freshDir string, tol Tolerance) []Violation {
+	var out []Violation
+	oldEng, err := ReadEngine(baselineDir + "/BENCH_engine.json")
+	if err != nil {
+		out = append(out, Violation{Record: "engine", Field: "baseline", Msg: err.Error()})
+	}
+	freshEng, ferr := ReadEngine(freshDir + "/BENCH_engine.json")
+	if ferr != nil {
+		out = append(out, Violation{Record: "engine", Field: "fresh", Msg: ferr.Error()})
+	}
+	if err == nil && ferr == nil {
+		out = append(out, CompareEngine(oldEng, freshEng, tol)...)
+	}
+	oldStr, err := ReadStream(baselineDir + "/BENCH_stream.json")
+	if err != nil {
+		out = append(out, Violation{Record: "stream", Field: "baseline", Msg: err.Error()})
+	}
+	freshStr, ferr := ReadStream(freshDir + "/BENCH_stream.json")
+	if ferr != nil {
+		out = append(out, Violation{Record: "stream", Field: "fresh", Msg: ferr.Error()})
+	}
+	if err == nil && ferr == nil {
+		out = append(out, CompareStream(oldStr, freshStr, tol)...)
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// engineFixture is a healthy committed-style record.
+func engineFixture() EngineRecord {
+	return EngineRecord{
+		Bench: EngineBenchName, Source: "synthetic", GOMAXPROCS: 1,
+		ReferenceNs: 120e6, EngineColdNs: 80e6, EngineWarmNs: 5e6, WarmIters: 5,
+		SpeedupCold: 1.5, SpeedupWarm: 24, Parity: true,
+		Parallel: ParallelRecord{GOMAXPROCS: 4, EngineWarmNs: 4e6, SpeedupWarm: 30, SpeedupVsSerial: 1.25},
+	}
+}
+
+func streamFixture() StreamRecord {
+	return StreamRecord{
+		Bench: StreamBenchName, Entries: 1 << 20, FileBytes: 2.8e6, ChunkLen: 4096,
+		Depth: 4, GOMAXPROCS: 4, Codecs: []string{"binary", "t0"},
+		MaterializedNs: 73e6, MaterializedAllocBytes: 17e6,
+		StreamingNs: 46e6, StreamingAllocBytes: 7e5,
+		SpeedupStreaming: 1.59, AllocRatio: 24.6, Parity: true,
+	}
+}
+
+// TestGuardPassesOnIdenticalRecords: comparing a record against itself
+// must be clean — this is what CI sees when nothing changed.
+func TestGuardPassesOnIdenticalRecords(t *testing.T) {
+	tol := DefaultTolerance()
+	if vs := CompareEngine(engineFixture(), engineFixture(), tol); len(vs) != 0 {
+		t.Errorf("identical engine records flagged: %v", vs)
+	}
+	if vs := CompareStream(streamFixture(), streamFixture(), tol); len(vs) != 0 {
+		t.Errorf("identical stream records flagged: %v", vs)
+	}
+}
+
+// TestGuardFailsOnInjected2xSlowdown is the acceptance criterion: a
+// fresh record whose engine got twice as slow (speedup halved) must be
+// rejected, and the same for the streaming pipeline.
+func TestGuardFailsOnInjected2xSlowdown(t *testing.T) {
+	tol := DefaultTolerance()
+
+	fresh := engineFixture()
+	fresh.EngineWarmNs *= 2
+	fresh.SpeedupWarm /= 2
+	vs := CompareEngine(engineFixture(), fresh, tol)
+	if len(vs) != 1 || vs[0].Field != "speedup_warm" {
+		t.Errorf("2x engine slowdown: violations = %v, want one speedup_warm violation", vs)
+	}
+
+	sfresh := streamFixture()
+	sfresh.StreamingNs *= 2
+	sfresh.SpeedupStreaming /= 2
+	svs := CompareStream(streamFixture(), sfresh, tol)
+	if len(svs) != 1 || svs[0].Field != "speedup_streaming" {
+		t.Errorf("2x stream slowdown: violations = %v, want one speedup_streaming violation", svs)
+	}
+}
+
+// TestGuardBoundary: a fresh speedup exactly on the tolerance floor
+// passes; epsilon below it fails.
+func TestGuardBoundary(t *testing.T) {
+	tol := Tolerance{Slowdown: 0.25, AllocCollapse: 2}
+	old := engineFixture()
+
+	onFloor := engineFixture()
+	onFloor.SpeedupWarm = old.SpeedupWarm * 0.75
+	if vs := CompareEngine(old, onFloor, tol); len(vs) != 0 {
+		t.Errorf("exact boundary rejected: %v", vs)
+	}
+
+	below := engineFixture()
+	below.SpeedupWarm = old.SpeedupWarm*0.75 - 1e-9
+	if vs := CompareEngine(old, below, tol); len(vs) != 1 {
+		t.Errorf("just below boundary accepted: %v", vs)
+	}
+
+	sold := streamFixture()
+	sOnFloor := streamFixture()
+	sOnFloor.AllocRatio = sold.AllocRatio / 2
+	if vs := CompareStream(sold, sOnFloor, tol); len(vs) != 0 {
+		t.Errorf("alloc-ratio exact boundary rejected: %v", vs)
+	}
+	sBelow := streamFixture()
+	sBelow.AllocRatio = sold.AllocRatio/2 - 1e-9
+	if vs := CompareStream(sold, sBelow, tol); len(vs) != 1 || vs[0].Field != "alloc_ratio" {
+		t.Errorf("alloc-ratio collapse accepted: %v", vs)
+	}
+}
+
+// TestGuardParity: parity=false in the fresh record fails regardless of
+// the timings.
+func TestGuardParity(t *testing.T) {
+	fresh := engineFixture()
+	fresh.Parity = false
+	fresh.SpeedupWarm *= 2 // even faster — still must fail
+	vs := CompareEngine(engineFixture(), fresh, DefaultTolerance())
+	if len(vs) != 1 || vs[0].Field != "parity" {
+		t.Errorf("parity=false: violations = %v, want one parity violation", vs)
+	}
+
+	sfresh := streamFixture()
+	sfresh.Parity = false
+	svs := CompareStream(streamFixture(), sfresh, DefaultTolerance())
+	if len(svs) != 1 || svs[0].Field != "parity" {
+		t.Errorf("stream parity=false: violations = %v", svs)
+	}
+}
+
+// TestGuardMissingField: a record the producer never filled in (zero
+// timings, wrong bench identity) is a violation, not a silent pass.
+func TestGuardMissingField(t *testing.T) {
+	fresh := engineFixture()
+	fresh.SpeedupWarm = 0
+	vs := CompareEngine(engineFixture(), fresh, DefaultTolerance())
+	if len(vs) != 1 || !strings.Contains(vs[0].Msg, "speedup_warm") {
+		t.Errorf("zero speedup_warm: violations = %v", vs)
+	}
+
+	wrong := streamFixture()
+	wrong.Bench = "Table4"
+	svs := CompareStream(streamFixture(), wrong, DefaultTolerance())
+	if len(svs) != 1 || !strings.Contains(svs[0].Msg, "bench") {
+		t.Errorf("wrong bench identity: violations = %v", svs)
+	}
+
+	var zero StreamRecord
+	zero.Bench = StreamBenchName
+	zvs := CompareStream(streamFixture(), zero, DefaultTolerance())
+	if len(zvs) != 1 || !strings.Contains(zvs[0].Msg, "materialized_ns") {
+		t.Errorf("all-zero record: violations = %v (want first missing field named)", zvs)
+	}
+}
+
+// TestGuardOnCommittedRecords is the other half of the acceptance
+// criterion: the records committed at the repository root must pass the
+// guard against themselves, and fail once a 2x slowdown is injected.
+func TestGuardOnCommittedRecords(t *testing.T) {
+	root := filepath.Join("..", "..")
+	eng, err := ReadEngine(filepath.Join(root, "BENCH_engine.json"))
+	if err != nil {
+		t.Fatalf("committed engine record unreadable: %v", err)
+	}
+	str, err := ReadStream(filepath.Join(root, "BENCH_stream.json"))
+	if err != nil {
+		t.Fatalf("committed stream record unreadable: %v", err)
+	}
+	tol := DefaultTolerance()
+	if vs := CompareEngine(eng, eng, tol); len(vs) != 0 {
+		t.Errorf("committed engine record fails its own guard: %v", vs)
+	}
+	if vs := CompareStream(str, str, tol); len(vs) != 0 {
+		t.Errorf("committed stream record fails its own guard: %v", vs)
+	}
+
+	slow := eng
+	slow.EngineWarmNs *= 2
+	slow.SpeedupWarm /= 2
+	if vs := CompareEngine(eng, slow, tol); len(vs) == 0 {
+		t.Error("2x slowdown injected into the committed engine record passed the guard")
+	}
+	sslow := str
+	sslow.StreamingNs *= 2
+	sslow.SpeedupStreaming /= 2
+	if vs := CompareStream(str, sslow, tol); len(vs) == 0 {
+		t.Error("2x slowdown injected into the committed stream record passed the guard")
+	}
+}
+
+// TestGuardDirs: the directory-level entry point used by cmd/benchguard
+// reports unreadable files as violations and compares what it can read.
+func TestGuardDirs(t *testing.T) {
+	base := filepath.Join("..", "..")
+	vs := Guard(base, base, DefaultTolerance())
+	if len(vs) != 0 {
+		t.Errorf("committed records against themselves: %v", vs)
+	}
+
+	empty := t.TempDir()
+	vs = Guard(base, empty, DefaultTolerance())
+	if len(vs) != 2 {
+		t.Errorf("missing fresh records: got %d violations (%v), want 2", len(vs), vs)
+	}
+
+	// A fresh dir with a broken engine record still gets the stream pair
+	// compared.
+	broken := t.TempDir()
+	if err := WriteRecord(filepath.Join(broken, "BENCH_engine.json"), EngineRecord{Bench: "bogus"}); err != nil {
+		t.Fatal(err)
+	}
+	str, err := ReadStream(filepath.Join(base, "BENCH_stream.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteRecord(filepath.Join(broken, "BENCH_stream.json"), str); err != nil {
+		t.Fatal(err)
+	}
+	vs = Guard(base, broken, DefaultTolerance())
+	if len(vs) != 1 || vs[0].Record != "engine" {
+		t.Errorf("broken engine + healthy stream: %v, want one engine violation", vs)
+	}
+}

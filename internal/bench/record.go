@@ -1,0 +1,156 @@
+// Package bench defines the machine-readable benchmark records the
+// repository commits (BENCH_engine.json, BENCH_stream.json) and the
+// regression-guard logic that compares fresh records against them.
+// cmd/paper writes these records; cmd/benchguard enforces them in CI.
+//
+// The guard compares machine-relative ratios (speedups, alloc ratios),
+// not raw nanoseconds: a record committed on one machine stays
+// meaningful on a CI runner with a different clock, because each record
+// carries its own same-machine baseline (the seed reference path, or
+// the materialized pipeline).
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// EngineRecord mirrors BENCH_engine.json: one Table 4 regeneration on
+// the seed-style reference path versus the batched evaluation engine,
+// measured serially (GOMAXPROCS=1) with a parallel warm rerun.
+type EngineRecord struct {
+	Bench        string  `json:"bench"`
+	Source       string  `json:"source"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`     // 1: the serial measurement
+	ReferenceNs  int64   `json:"reference_ns"`   // seed path, streams regenerated
+	EngineColdNs int64   `json:"engine_cold_ns"` // first engine call, caches empty
+	EngineWarmNs int64   `json:"engine_warm_ns"` // fastest warm engine call
+	WarmIters    int     `json:"warm_iters"`
+	SpeedupCold  float64 `json:"speedup_cold"`
+	SpeedupWarm  float64 `json:"speedup_warm"`
+	Parity       bool    `json:"parity"` // engine totals == reference totals
+
+	Parallel ParallelRecord `json:"parallel"`
+}
+
+// ParallelRecord is the warm engine rerun at the default GOMAXPROCS.
+type ParallelRecord struct {
+	GOMAXPROCS   int   `json:"gomaxprocs"`
+	EngineWarmNs int64 `json:"engine_warm_ns"`
+	// SpeedupWarm is vs. the serial reference path; SpeedupVsSerial is
+	// the scheduler's own parallel-over-serial warm gain.
+	SpeedupWarm     float64 `json:"speedup_warm"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial_warm"`
+}
+
+// StreamRecord mirrors BENCH_stream.json: all seven paper codecs priced
+// over a serialized trace, materialize-then-run versus the single-pass
+// streaming fan-out.
+type StreamRecord struct {
+	Bench      string   `json:"bench"`
+	Entries    int      `json:"entries"`
+	FileBytes  int64    `json:"file_bytes"`
+	ChunkLen   int      `json:"chunk_len"`
+	Depth      int      `json:"fanout_depth"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Codecs     []string `json:"codecs"`
+
+	MaterializedNs         int64  `json:"materialized_ns"`
+	MaterializedAllocBytes uint64 `json:"materialized_alloc_bytes"`
+	StreamingNs            int64  `json:"streaming_ns"`
+	StreamingAllocBytes    uint64 `json:"streaming_alloc_bytes"`
+
+	SpeedupStreaming float64 `json:"speedup_streaming"` // materialized/streaming wall time
+	AllocRatio       float64 `json:"alloc_ratio"`       // materialized/streaming alloc bytes
+	Parity           bool    `json:"parity"`
+}
+
+// EngineBenchName and StreamBenchName are the identity values of the
+// two record kinds; Validate checks them so a mixed-up file pair is a
+// loud failure, not a silent pass.
+const (
+	EngineBenchName = "Table4"
+	StreamBenchName = "StreamPipeline"
+)
+
+// Validate reports the first structurally missing or nonsensical field.
+// A zero timing or ratio means the producer never filled the field (the
+// guard's "missing field" failure mode).
+func (r EngineRecord) Validate() error {
+	switch {
+	case r.Bench != EngineBenchName:
+		return fmt.Errorf("bench = %q, want %q", r.Bench, EngineBenchName)
+	case r.ReferenceNs <= 0:
+		return fmt.Errorf("missing field reference_ns")
+	case r.EngineWarmNs <= 0:
+		return fmt.Errorf("missing field engine_warm_ns")
+	case r.SpeedupWarm <= 0:
+		return fmt.Errorf("missing field speedup_warm")
+	}
+	return nil
+}
+
+// Validate reports the first structurally missing field of a stream
+// record.
+func (r StreamRecord) Validate() error {
+	switch {
+	case r.Bench != StreamBenchName:
+		return fmt.Errorf("bench = %q, want %q", r.Bench, StreamBenchName)
+	case r.MaterializedNs <= 0:
+		return fmt.Errorf("missing field materialized_ns")
+	case r.StreamingNs <= 0:
+		return fmt.Errorf("missing field streaming_ns")
+	case r.SpeedupStreaming <= 0:
+		return fmt.Errorf("missing field speedup_streaming")
+	case r.AllocRatio <= 0:
+		return fmt.Errorf("missing field alloc_ratio")
+	}
+	return nil
+}
+
+// ReadEngine loads and validates an engine record.
+func ReadEngine(path string) (EngineRecord, error) {
+	var r EngineRecord
+	if err := readJSON(path, &r); err != nil {
+		return r, err
+	}
+	if err := r.Validate(); err != nil {
+		return r, fmt.Errorf("%s: %v", path, err)
+	}
+	return r, nil
+}
+
+// ReadStream loads and validates a stream record.
+func ReadStream(path string) (StreamRecord, error) {
+	var r StreamRecord
+	if err := readJSON(path, &r); err != nil {
+		return r, err
+	}
+	if err := r.Validate(); err != nil {
+		return r, fmt.Errorf("%s: %v", path, err)
+	}
+	return r, nil
+}
+
+func readJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	return nil
+}
+
+// WriteRecord writes a record as indented JSON with a trailing newline,
+// the committed-file convention.
+func WriteRecord(path string, rec any) error {
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return os.WriteFile(path, data, 0o644)
+}

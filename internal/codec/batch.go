@@ -149,6 +149,7 @@ func RunFast(c Codec, s *trace.Stream, opts RunOpts) (Result, error) {
 			}
 		}
 	}
+	RecordRun(c.Name(), int64(len(entries)), b.Transitions())
 	return Result{
 		Codec:       c.Name(),
 		Stream:      s.Name,

@@ -97,6 +97,7 @@ func RunStream(c Codec, r trace.ChunkReader, opts RunOpts) (Result, error) {
 		idx += len(addrs)
 		ch.Release()
 	}
+	RecordRun(c.Name(), int64(idx), b.Transitions())
 	return Result{
 		Codec:       c.Name(),
 		Stream:      r.Name(),

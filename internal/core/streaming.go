@@ -5,6 +5,7 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"busenc/internal/bus"
 	"busenc/internal/codec"
@@ -103,12 +104,27 @@ func newStreamWorker(c codec.Codec, cfg FanoutConfig, depth int) *streamWorker {
 
 // run drains the worker's channel; after a verification failure it
 // keeps draining (releasing blocks) so the producer can never deadlock
-// on a dead consumer.
-func (w *streamWorker) run(wg *sync.WaitGroup) {
+// on a dead consumer. Channel waits are timed only while the histogram
+// is live.
+func (w *streamWorker) run(wg *sync.WaitGroup, m *fanoutMetrics) {
 	defer wg.Done()
-	for blk := range w.in {
+	timed := m.workerWaitNs != nil
+	for {
+		var t0 time.Time
+		if timed {
+			t0 = time.Now()
+		}
+		blk, ok := <-w.in
+		if timed {
+			m.workerWaitNs.Observe(time.Since(t0).Nanoseconds())
+		}
+		if !ok {
+			return
+		}
 		if w.err == nil {
 			w.consume(blk)
+		} else {
+			m.drainEvents.Inc()
 		}
 		blk.release()
 	}
@@ -181,10 +197,14 @@ func EvaluateStreaming(r trace.ChunkReader, width int, codes []string, opts code
 		}
 		workers[i] = newStreamWorker(c, cfg, depth)
 	}
+	m := fanoutBinding.Get()
+	m.depth.Set(int64(depth))
+	m.workers.Set(int64(len(workers)))
+	timed := m.sendWaitNs != nil
 	var wg sync.WaitGroup
 	wg.Add(len(workers))
 	for _, w := range workers {
-		go w.run(&wg)
+		go w.run(&wg, m)
 	}
 	var readErr error
 	for {
@@ -207,9 +227,17 @@ func EvaluateStreaming(r trace.ChunkReader, width int, codes []string, opts code
 		blk.syms = syms
 		ch.Release()
 		blk.refs.Store(int32(len(workers)))
+		var t0 time.Time
+		if timed {
+			t0 = time.Now()
+		}
 		for _, w := range workers {
 			w.in <- blk
 		}
+		if timed {
+			m.sendWaitNs.Observe(time.Since(t0).Nanoseconds())
+		}
+		m.broadcasts.Inc()
 	}
 	for _, w := range workers {
 		close(w.in)
@@ -227,6 +255,7 @@ func EvaluateStreaming(r trace.ChunkReader, width int, codes []string, opts code
 	results := make([]codec.Result, len(workers))
 	for i, w := range workers {
 		results[i] = w.result(stream)
+		codec.RecordRun(results[i].Codec, int64(w.idx), results[i].Transitions)
 	}
 	return results, nil
 }

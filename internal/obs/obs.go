@@ -1,0 +1,344 @@
+// Package obs is the repository's observability layer: lock-cheap
+// counters, gauges and histograms grouped into named registries, with a
+// snapshot/diff API for tests and tools. It exists because the
+// evaluation engine's claims are quantitative — once the hot paths were
+// made fast (batched kernels, streaming fan-out), silent behavioral
+// drift became the main risk, and the counters that guard against it
+// must not slow down the very paths they observe.
+//
+// Two kinds of registries coexist:
+//
+//   - Explicit registries (NewRegistry) are always live. They hold
+//     metrics that are cheap relative to the events they count (e.g.
+//     core's once-per-process MIPS simulation counters).
+//   - The default registry is gated by Enable/Disable. The package-level
+//     Counter/Gauge/Histogram accessors return nil handles while
+//     disabled, and every handle method is a no-op on a nil receiver, so
+//     an instrumented hot path costs one predictable branch per event
+//     when observability is off.
+//
+// Instrumented packages bind their handle bundles through a Binding,
+// which rebuilds the bundle when the enable generation changes — so
+// enabling metrics at process start (cmd flag parsing) is picked up by
+// code that runs afterwards without any registration-order coupling.
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// enabled gates the default registry's accessors; generation counts
+// Enable/Disable transitions so Bindings know when to rebuild.
+var (
+	enabled    atomic.Bool
+	generation atomic.Uint64
+)
+
+// Enable turns the default registry's accessors on. Call it before the
+// instrumented subsystems run (cmd main does this right after flag
+// parsing); code that fetched handles while disabled picks the change up
+// through its Binding on the next event.
+func Enable() {
+	if !enabled.Swap(true) {
+		generation.Add(1)
+	}
+}
+
+// Disable turns the default registry's accessors back off. Metric values
+// already recorded are retained (the registry is not cleared).
+func Disable() {
+	if enabled.Swap(false) {
+		generation.Add(1)
+	}
+}
+
+// Enabled reports whether the default registry's accessors are live.
+func Enabled() bool { return enabled.Load() }
+
+// Generation returns the current enable generation; it changes on every
+// Enable/Disable transition.
+func Generation() uint64 { return generation.Load() }
+
+// Binding caches a bundle of metric handles and rebuilds it when the
+// enable generation changes. Get is an atomic load plus a compare on the
+// fast path, so per-chunk call sites can fetch their bundle every time
+// instead of coupling to initialization order. Concurrent rebuilds are
+// harmless: registries dedupe metrics by name, so racing builders
+// receive the same underlying handles.
+type Binding[T any] struct {
+	build func() T
+	cur   atomic.Pointer[boundValue[T]]
+}
+
+type boundValue[T any] struct {
+	gen uint64
+	v   T
+}
+
+// NewBinding returns a Binding that builds the bundle with build; build
+// typically calls the package-level Counter/Gauge/Histogram accessors,
+// which yield nil (no-op) handles while disabled.
+func NewBinding[T any](build func() T) *Binding[T] {
+	return &Binding[T]{build: build}
+}
+
+// Get returns the bundle for the current enable generation.
+func (b *Binding[T]) Get() T {
+	g := generation.Load()
+	if c := b.cur.Load(); c != nil && c.gen == g {
+		return c.v
+	}
+	c := &boundValue[T]{gen: g, v: b.build()}
+	b.cur.Store(c)
+	return c.v
+}
+
+// Counter is a monotonically increasing atomic counter. All methods are
+// safe for concurrent use and are no-ops on a nil receiver.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on a nil handle).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous atomic value (pool occupancy, fan-out
+// depth). All methods are no-ops on a nil receiver.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value (0 on a nil handle).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the number of power-of-two histogram buckets: bucket i
+// counts observations v with bits.Len64(v) == i, i.e. 2^(i-1) <= v <
+// 2^i (bucket 0 counts v <= 0). 64-bit nanosecond latencies fit without
+// clamping anything meaningful.
+const histBuckets = 64
+
+// Histogram accumulates a distribution in power-of-two buckets with a
+// running count, sum and max — one atomic add per field per Observe, no
+// locks. All methods are no-ops on a nil receiver.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(v))
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketOf(v)].Add(1)
+	for {
+		old := h.max.Load()
+		if v <= old || h.max.CompareAndSwap(old, v) {
+			break
+		}
+	}
+}
+
+// metric is the union stored in a registry.
+type metric struct {
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+func (m metric) kind() string {
+	switch {
+	case m.counter != nil:
+		return "counter"
+	case m.gauge != nil:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Registry is a named collection of metrics. Registration (the
+// Counter/Gauge/Histogram methods) takes a mutex and dedupes by name;
+// the returned handles update lock-free. Explicit registries are always
+// live — gating applies only to the package-level accessors.
+type Registry struct {
+	name    string
+	mu      sync.Mutex
+	metrics map[string]metric
+}
+
+// global registry list, for SnapshotAll and the cmd-level dumps.
+var (
+	regsMu sync.Mutex
+	regs   []*Registry
+)
+
+// NewRegistry creates a registry and adds it to the global list that
+// SnapshotAll walks. Registry names should be unique; metrics within a
+// registry are deduped by name.
+func NewRegistry(name string) *Registry {
+	r := &Registry{name: name, metrics: make(map[string]metric)}
+	regsMu.Lock()
+	regs = append(regs, r)
+	regsMu.Unlock()
+	return r
+}
+
+// Name returns the registry's name.
+func (r *Registry) Name() string { return r.name }
+
+// Counter returns the registry's counter with the given name, creating
+// it on first use. It panics if name is already registered as a
+// different metric kind.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.counter == nil {
+			panic(fmt.Sprintf("obs: %s/%s registered as %s, requested as counter", r.name, name, m.kind()))
+		}
+		return m.counter
+	}
+	c := &Counter{}
+	r.metrics[name] = metric{counter: c}
+	return c
+}
+
+// Gauge returns the registry's gauge with the given name, creating it on
+// first use; it panics on a kind mismatch.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.gauge == nil {
+			panic(fmt.Sprintf("obs: %s/%s registered as %s, requested as gauge", r.name, name, m.kind()))
+		}
+		return m.gauge
+	}
+	g := &Gauge{}
+	r.metrics[name] = metric{gauge: g}
+	return g
+}
+
+// Histogram returns the registry's histogram with the given name,
+// creating it on first use; it panics on a kind mismatch.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		if m.hist == nil {
+			panic(fmt.Sprintf("obs: %s/%s registered as %s, requested as histogram", r.name, name, m.kind()))
+		}
+		return m.hist
+	}
+	h := &Histogram{}
+	r.metrics[name] = metric{hist: h}
+	return h
+}
+
+// names returns the registered metric names, sorted, for stable output.
+func (r *Registry) names() []string {
+	out := make([]string, 0, len(r.metrics))
+	for name := range r.metrics {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// defaultReg backs the gated package-level accessors. It always exists
+// (values survive Disable/Enable cycles); only handle hand-out is gated.
+var defaultReg = NewRegistry("default")
+
+// Default returns the default registry — useful for snapshotting what
+// the gated accessors recorded.
+func Default() *Registry { return defaultReg }
+
+// GetCounter returns the default registry's counter, or nil (a no-op
+// handle) while the package is disabled.
+func GetCounter(name string) *Counter {
+	if !enabled.Load() {
+		return nil
+	}
+	return defaultReg.Counter(name)
+}
+
+// GetGauge returns the default registry's gauge, or nil while disabled.
+func GetGauge(name string) *Gauge {
+	if !enabled.Load() {
+		return nil
+	}
+	return defaultReg.Gauge(name)
+}
+
+// GetHistogram returns the default registry's histogram, or nil while
+// disabled.
+func GetHistogram(name string) *Histogram {
+	if !enabled.Load() {
+		return nil
+	}
+	return defaultReg.Histogram(name)
+}
+
+// Registries returns the current registry list in creation order.
+func Registries() []*Registry {
+	regsMu.Lock()
+	defer regsMu.Unlock()
+	return append([]*Registry(nil), regs...)
+}

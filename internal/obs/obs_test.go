@@ -1,0 +1,301 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilHandlesAreNoOps: every handle method must be callable on nil —
+// that is the whole disabled-path contract.
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Error("nil counter has a value")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Add(-1)
+	if g.Value() != 0 {
+		t.Error("nil gauge has a value")
+	}
+	var h *Histogram
+	h.Observe(100)
+}
+
+// TestGatedAccessors: package-level accessors hand out nil while
+// disabled and live handles while enabled; values recorded while
+// enabled survive a disable/enable cycle.
+func TestGatedAccessors(t *testing.T) {
+	Disable()
+	defer Disable()
+	if GetCounter("test.gated") != nil || GetGauge("test.gated_g") != nil || GetHistogram("test.gated_h") != nil {
+		t.Fatal("disabled accessors returned live handles")
+	}
+	Enable()
+	c := GetCounter("test.gated")
+	if c == nil {
+		t.Fatal("enabled accessor returned nil")
+	}
+	c.Add(7)
+	Disable()
+	Enable()
+	if got := GetCounter("test.gated").Value(); got != 7 {
+		t.Errorf("counter lost its value across a disable/enable cycle: %d", got)
+	}
+}
+
+// TestBindingRebuildsOnGeneration: a bundle fetched while disabled must
+// be replaced by live handles after Enable.
+func TestBindingRebuildsOnGeneration(t *testing.T) {
+	Disable()
+	defer Disable()
+	type bundle struct{ c *Counter }
+	b := NewBinding(func() bundle { return bundle{c: GetCounter("test.binding")} })
+	if b.Get().c != nil {
+		t.Fatal("binding built live handles while disabled")
+	}
+	Enable()
+	if b.Get().c == nil {
+		t.Fatal("binding did not rebuild after Enable")
+	}
+	b.Get().c.Inc()
+	if got := Default().Counter("test.binding").Value(); got != 1 {
+		t.Errorf("bound counter not shared with registry: %d", got)
+	}
+}
+
+// TestRegistryDedup: the same name returns the same handle; a kind
+// mismatch panics.
+func TestRegistryDedup(t *testing.T) {
+	r := NewRegistry("test-dedup")
+	if r.Counter("x") != r.Counter("x") {
+		t.Error("counter not deduped by name")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Error("histogram not deduped by name")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+// TestHistogramBuckets: observations land in the right power-of-two
+// buckets and the count/sum/max bookkeeping holds.
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 1, 2, 3, 4, 1000, -5} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	if s.Count != 8 {
+		t.Errorf("count = %d, want 8", s.Count)
+	}
+	if s.Sum != 1006 {
+		t.Errorf("sum = %d, want 1006", s.Sum)
+	}
+	if s.Max != 1000 {
+		t.Errorf("max = %d, want 1000", s.Max)
+	}
+	want := map[int64]int64{ // lo -> count
+		0:   2, // 0 and -5
+		1:   2, // 1, 1
+		2:   2, // 2, 3
+		4:   1, // 4
+		512: 1, // 1000
+	}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v, want lows %v", s.Buckets, want)
+	}
+	for _, b := range s.Buckets {
+		if b.Count != want[b.Lo] {
+			t.Errorf("bucket [%d,%d) = %d, want %d", b.Lo, b.Hi, b.Count, want[b.Lo])
+		}
+		if b.Lo != 0 && b.Hi != b.Lo*2 {
+			t.Errorf("bucket bounds [%d,%d) not a power-of-two cell", b.Lo, b.Hi)
+		}
+	}
+}
+
+// TestSnapshotDiffUnderConcurrentWriters is the race-enabled contract
+// of the tentpole: many goroutines hammer a registry while another
+// takes snapshots and diffs them; every diff must be internally
+// consistent (non-negative counters, histogram count equal to the sum
+// of its buckets) and the final state must account for every write.
+func TestSnapshotDiffUnderConcurrentWriters(t *testing.T) {
+	r := NewRegistry("test-concurrent")
+	c := r.Counter("ops")
+	g := r.Gauge("inflight")
+	h := r.Histogram("latency")
+
+	const writers = 8
+	const perWriter = 5000
+	var wg sync.WaitGroup
+	wg.Add(writers)
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(int64(i % 4096))
+				g.Add(-1)
+			}
+		}(w)
+	}
+	go func() { wg.Wait(); close(stop) }()
+
+	// Snapshot/diff concurrently with the writers.
+	var prev Snapshot
+	done := false
+	for !done {
+		select {
+		case <-stop:
+			done = true
+		default:
+		}
+		cur := r.Snapshot()
+		d := cur.Diff(prev)
+		if d.Counters["ops"] < 0 {
+			t.Errorf("diff went backwards: %d", d.Counters["ops"])
+		}
+		hd := d.Histograms["latency"]
+		var bucketSum int64
+		for _, b := range hd.Buckets {
+			bucketSum += b.Count
+		}
+		// Mid-flight snapshots may tear between the count and bucket
+		// fields (each is individually atomic), but a diff must never go
+		// backwards.
+		if hd.Count < 0 || bucketSum < 0 {
+			t.Errorf("histogram diff went backwards: count %d, bucket sum %d", hd.Count, bucketSum)
+		}
+		prev = cur
+	}
+	wg.Wait()
+
+	final := r.Snapshot()
+	if got := final.Counters["ops"]; got != writers*perWriter {
+		t.Errorf("ops = %d, want %d", got, writers*perWriter)
+	}
+	if got := final.Gauges["inflight"]; got != 0 {
+		t.Errorf("inflight = %d, want 0", got)
+	}
+	hs := final.Histograms["latency"]
+	if hs.Count != writers*perWriter {
+		t.Errorf("histogram count = %d, want %d", hs.Count, writers*perWriter)
+	}
+	var bucketSum int64
+	for _, b := range hs.Buckets {
+		bucketSum += b.Count
+	}
+	if bucketSum != hs.Count {
+		t.Errorf("bucket sum %d != count %d at quiescence", bucketSum, hs.Count)
+	}
+}
+
+// TestDiffSemantics: counters subtract, gauges stay instantaneous,
+// metrics absent from prev pass through.
+func TestDiffSemantics(t *testing.T) {
+	r := NewRegistry("test-diff")
+	c := r.Counter("n")
+	g := r.Gauge("depth")
+	c.Add(10)
+	g.Set(4)
+	first := r.Snapshot()
+	c.Add(5)
+	g.Set(2)
+	d := r.Snapshot().Diff(first)
+	if d.Counters["n"] != 5 {
+		t.Errorf("counter diff = %d, want 5", d.Counters["n"])
+	}
+	if d.Gauges["depth"] != 2 {
+		t.Errorf("gauge diff = %d, want instantaneous 2", d.Gauges["depth"])
+	}
+	d = r.Snapshot().Diff(Snapshot{})
+	if d.Counters["n"] != 15 {
+		t.Errorf("diff against empty snapshot = %d, want full value 15", d.Counters["n"])
+	}
+}
+
+// TestRendering: the table and JSON forms include every metric.
+func TestRendering(t *testing.T) {
+	r := NewRegistry("test-render")
+	r.Counter("reads").Add(3)
+	r.Gauge("depth").Set(4)
+	r.Histogram("ns").Observe(100)
+	s := r.Snapshot()
+
+	var buf bytes.Buffer
+	if err := s.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"registry test-render", "reads", "depth", "ns", "count 1"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("table missing %q:\n%s", want, buf.String())
+		}
+	}
+
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["reads"] != 3 || back.Gauges["depth"] != 4 || back.Histograms["ns"].Count != 1 {
+		t.Errorf("JSON round trip lost data: %+v", back)
+	}
+}
+
+// TestSnapshotAll: non-empty registries appear, in creation order.
+func TestSnapshotAll(t *testing.T) {
+	a := NewRegistry("test-all-a")
+	NewRegistry("test-all-empty")
+	b := NewRegistry("test-all-b")
+	a.Counter("x").Inc()
+	b.Counter("y").Inc()
+	names := map[string]bool{}
+	order := []string{}
+	for _, s := range SnapshotAll() {
+		names[s.Registry] = true
+		order = append(order, s.Registry)
+	}
+	if !names["test-all-a"] || !names["test-all-b"] {
+		t.Errorf("registries missing from SnapshotAll: %v", order)
+	}
+	if names["test-all-empty"] {
+		t.Error("empty registry included")
+	}
+}
+
+// BenchmarkDisabledCounter measures the no-op cost of the disabled
+// path: a Binding fetch plus a nil-receiver call. This is the per-event
+// overhead an instrumented hot loop pays when observability is off.
+func BenchmarkDisabledCounter(b *testing.B) {
+	Disable()
+	type bundle struct{ c *Counter }
+	bind := NewBinding(func() bundle { return bundle{c: GetCounter("bench.disabled")} })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bind.Get().c.Inc()
+	}
+}
+
+// BenchmarkEnabledHistogram measures the live Observe cost.
+func BenchmarkEnabledHistogram(b *testing.B) {
+	var h Histogram
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}

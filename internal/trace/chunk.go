@@ -62,6 +62,7 @@ func (c *Chunk) Release() {
 	}
 	c.Addrs = c.Addrs[:0]
 	c.Kinds = c.Kinds[:0]
+	metrics().poolInUse.Add(-1)
 	if c.pool != nil {
 		c.pool.pool.Put(c)
 	}
@@ -92,6 +93,7 @@ func NewChunkPool(chunkLen int) *ChunkPool {
 	}
 	p := &ChunkPool{capEntries: chunkLen}
 	p.pool.New = func() any {
+		metrics().poolMisses.Inc()
 		return &Chunk{
 			Addrs: make([]uint64, 0, chunkLen),
 			Kinds: make([]Kind, 0, chunkLen),
@@ -106,6 +108,9 @@ func (p *ChunkPool) Cap() int { return p.capEntries }
 
 // Get returns an empty chunk with one reference held by the caller.
 func (p *ChunkPool) Get() *Chunk {
+	m := metrics()
+	m.poolGets.Inc()
+	m.poolInUse.Add(1)
 	c := p.pool.Get().(*Chunk)
 	c.refs.Store(1)
 	return c

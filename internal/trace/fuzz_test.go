@@ -16,9 +16,9 @@ func FuzzReadText(f *testing.F) {
 		"\n\n",
 		"# busenc trace v1\n# name: prog\n# width: 32\nI 400000\nR 10008fa0\nW 10008fa4\n",
 		"# width: 16\nI ffff\n",
-		"# width: 16\nI 10000\n",  // exceeds declared width
+		"# width: 16\nI 10000\n", // exceeds declared width
 		"# width: 64\nI ffffffffffffffff\n",
-		"# width: 65\n",           // invalid width
+		"# width: 65\n", // invalid width
 		"# name: spaces in name\nI 0\n",
 		"I 0\n# width: 8\nR ff\n", // metadata after entries
 		"X 400000\n",
@@ -82,10 +82,10 @@ func FuzzReadBinary(f *testing.F) {
 	f.Add(mk(100, 3))
 	f.Add([]byte("BETR"))
 	f.Add([]byte{'B', 'E', 'T', 'R', 1, 32, 0, 0})
-	f.Add([]byte{'B', 'E', 'T', 'R', 2, 32, 0, 0})                // bad version
-	f.Add([]byte{'B', 'E', 'T', 'R', 1, 8, 0, 1, 7, 0})           // bad kind
-	f.Add([]byte{'B', 'E', 'T', 'R', 1, 8, 0xFF, 0xFF, 0xFF, 4})  // huge name length
-	f.Add([]byte{'B', 'E', 'T', 'R', 1, 8, 0, 3, 0, 2, 1, 4})     // truncated entries
+	f.Add([]byte{'B', 'E', 'T', 'R', 2, 32, 0, 0})               // bad version
+	f.Add([]byte{'B', 'E', 'T', 'R', 1, 8, 0, 1, 7, 0})          // bad kind
+	f.Add([]byte{'B', 'E', 'T', 'R', 1, 8, 0xFF, 0xFF, 0xFF, 4}) // huge name length
+	f.Add([]byte{'B', 'E', 'T', 'R', 1, 8, 0, 3, 0, 2, 1, 4})    // truncated entries
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := ReadBinary(bytes.NewReader(data))
 		if err != nil {

@@ -109,14 +109,14 @@ func TestReadTextParsesMetadata(t *testing.T) {
 
 func TestReadTextErrors(t *testing.T) {
 	cases := []string{
-		"I\n",                        // missing address
-		"X 400000\n",                 // unknown kind
-		"I zzz\n",                    // bad hex
-		"# width: x\n",               // bad width
-		"# width: 65\n",              // width beyond 64 lines
-		"I 1 2 3\n",                  // too many fields
-		"# width: 16\nI 400000\n",    // entry exceeds declared width
-		"I 10000000000000000\n",      // overflows 64 bits
+		"I\n",                                // missing address
+		"X 400000\n",                         // unknown kind
+		"I zzz\n",                            // bad hex
+		"# width: x\n",                       // bad width
+		"# width: 65\n",                      // width beyond 64 lines
+		"I 1 2 3\n",                          // too many fields
+		"# width: 16\nI 400000\n",            // entry exceeds declared width
+		"I 10000000000000000\n",              // overflows 64 bits
 		"# width: 64\nI 1ffffffffffffffff\n", // overflows even at full width
 	}
 	for _, in := range cases {

@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"io"
+	"time"
+
+	"busenc/internal/obs"
+)
+
+// Observability hooks for the streaming trace layer (see internal/obs).
+// The handles live in the gated default registry: while metrics are
+// disabled every handle is nil and each instrumented event costs one
+// predictable branch; cmd binaries enable the registry at startup.
+//
+// Instrumented sites:
+//
+//   - ChunkPool.Get / Chunk.Release — pool gets, misses (a miss is a
+//     fresh allocation via the pool's New), and the in-use occupancy
+//     gauge (chunks handed out and not yet fully released);
+//   - textChunkReader.Next / binaryChunkReader.Next — chunks and
+//     entries parsed, parse errors (first occurrence only; sticky
+//     repeats are not recounted), and per-Next latency.
+type traceMetrics struct {
+	chunksRead  *obs.Counter   // trace.chunks_read
+	entriesRead *obs.Counter   // trace.entries_read
+	parseErrors *obs.Counter   // trace.parse_errors
+	poolGets    *obs.Counter   // trace.pool.gets
+	poolMisses  *obs.Counter   // trace.pool.misses
+	poolInUse   *obs.Gauge     // trace.pool.in_use
+	readNs      *obs.Histogram // trace.chunk_read_ns
+}
+
+var metricsBinding = obs.NewBinding(func() *traceMetrics {
+	return &traceMetrics{
+		chunksRead:  obs.GetCounter("trace.chunks_read"),
+		entriesRead: obs.GetCounter("trace.entries_read"),
+		parseErrors: obs.GetCounter("trace.parse_errors"),
+		poolGets:    obs.GetCounter("trace.pool.gets"),
+		poolMisses:  obs.GetCounter("trace.pool.misses"),
+		poolInUse:   obs.GetGauge("trace.pool.in_use"),
+		readNs:      obs.GetHistogram("trace.chunk_read_ns"),
+	}
+})
+
+func metrics() *traceMetrics { return metricsBinding.Get() }
+
+// observeNext wraps one parser Next call with chunk/entry/error/latency
+// accounting. sticky reports whether the reader was already in a
+// terminal state, so repeated returns of the same parse error are
+// counted once.
+func observeNext(sticky bool, next func() (*Chunk, error)) (*Chunk, error) {
+	m := metrics()
+	var t0 time.Time
+	if m.readNs != nil {
+		t0 = time.Now()
+	}
+	ch, err := next()
+	if m.readNs != nil {
+		m.readNs.Observe(time.Since(t0).Nanoseconds())
+	}
+	if err == nil {
+		m.chunksRead.Inc()
+		m.entriesRead.Add(int64(ch.Len()))
+	} else if err != io.EOF && !sticky {
+		m.parseErrors.Inc()
+	}
+	return ch, err
+}

@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"busenc/internal/obs"
+)
+
+// TestReaderMetrics: with observability enabled, the text reader
+// accounts for chunks, entries and pool traffic, and a sticky parse
+// error is counted exactly once no matter how often Next is retried.
+func TestReaderMetrics(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+
+	before := obs.Default().Snapshot()
+	r, err := OpenText(strings.NewReader("# width: 16\nI 1\nR 2\nW 3\n"), "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("parsed %d entries, want 3", s.Len())
+	}
+	d := obs.Default().Snapshot().Diff(before)
+	if got := d.Counters["trace.chunks_read"]; got != 1 {
+		t.Errorf("chunks_read = %d, want 1", got)
+	}
+	if got := d.Counters["trace.entries_read"]; got != 3 {
+		t.Errorf("entries_read = %d, want 3", got)
+	}
+	if got := d.Counters["trace.pool.gets"]; got < 1 {
+		t.Errorf("pool.gets = %d, want >= 1", got)
+	}
+	if got := d.Histograms["trace.chunk_read_ns"].Count; got < 1 {
+		t.Errorf("chunk_read_ns observations = %d, want >= 1", got)
+	}
+	if got := d.Gauges["trace.pool.in_use"]; got != 0 {
+		t.Errorf("pool.in_use = %d after ReadAll, want 0", got)
+	}
+
+	// A parse error is counted once, then the sticky repeats are free.
+	before = obs.Default().Snapshot()
+	r, err = OpenText(strings.NewReader("I 1\nbogus line\n"), "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := r.Next(); err == nil {
+			t.Fatal("bad line accepted")
+		}
+	}
+	d = obs.Default().Snapshot().Diff(before)
+	if got := d.Counters["trace.parse_errors"]; got != 1 {
+		t.Errorf("parse_errors = %d after 3 retries of one bad trace, want 1", got)
+	}
+}

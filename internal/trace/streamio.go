@@ -146,6 +146,10 @@ func (t *textChunkReader) entry(line []byte, ch *Chunk) error {
 }
 
 func (t *textChunkReader) Next() (*Chunk, error) {
+	return observeNext(t.err != nil, t.next)
+}
+
+func (t *textChunkReader) next() (*Chunk, error) {
 	if t.err != nil {
 		return nil, t.err
 	}
@@ -272,6 +276,10 @@ func (b *binaryChunkReader) Width() int   { return b.width }
 func (b *binaryChunkReader) EntryCount() (uint64, bool) { return b.total, true }
 
 func (b *binaryChunkReader) Next() (*Chunk, error) {
+	return observeNext(b.err != nil, b.next)
+}
+
+func (b *binaryChunkReader) next() (*Chunk, error) {
 	if b.err != nil {
 		return nil, b.err
 	}
