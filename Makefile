@@ -34,12 +34,14 @@ test-stream:
 	$(GO) vet ./internal/trace ./internal/core
 	$(GO) test -race ./internal/trace ./internal/core
 
-# Short coverage-guided fuzz of the two trace parsers — enough to catch
-# a freshly introduced panic on malformed input without stalling CI.
-# Go allows one -fuzz target per invocation, hence two runs.
+# Short coverage-guided fuzz smoke — enough to catch a freshly
+# introduced panic on malformed input (trace parsers) or a broken
+# snapshot/restore contract (codec state splitting) without stalling
+# CI. Go allows one -fuzz target per invocation, hence separate runs.
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzReadText -fuzztime=5s ./internal/trace
 	$(GO) test -run=NONE -fuzz=FuzzReadBinary -fuzztime=5s ./internal/trace
+	$(GO) test -run=NONE -fuzz=FuzzSnapshotSplit -fuzztime=5s ./internal/codec
 
 bench:
 	$(GO) test -run=NONE -bench=BenchmarkTable4 -benchtime=1x .
@@ -47,15 +49,16 @@ bench:
 # Regenerate the committed machine-readable benchmark records (see
 # README "Performance"): BENCH_engine.json compares the seed reference
 # path to the batched engine on Table 4; BENCH_stream.json compares the
-# materialized path to the streaming fan-out. Both paths are explicit
-# so the pair can never drift apart.
+# materialized path to the streaming fan-out; BENCH_parallel.json
+# compares the warm sequential engine to shard-parallel pricing. All
+# paths are explicit so the records can never drift apart.
 benchjson:
-	$(GO) run ./cmd/paper -benchjson BENCH_engine.json -benchstream BENCH_stream.json
+	$(GO) run ./cmd/paper -benchjson BENCH_engine.json -benchstream BENCH_stream.json -benchparallel BENCH_parallel.json
 
 # Benchmark-regression gate: generate fresh records into a scratch
 # directory and compare them against the committed ones. Fails on a
 # >25% speedup drop, any parity=false, or an alloc-ratio collapse.
 benchguard:
 	mkdir -p .bench-fresh
-	$(GO) run ./cmd/paper -benchjson .bench-fresh/BENCH_engine.json -benchstream .bench-fresh/BENCH_stream.json
+	$(GO) run ./cmd/paper -benchjson .bench-fresh/BENCH_engine.json -benchstream .bench-fresh/BENCH_stream.json -benchparallel .bench-fresh/BENCH_parallel.json
 	$(GO) run ./cmd/benchguard -baseline . -fresh .bench-fresh

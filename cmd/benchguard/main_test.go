@@ -28,6 +28,15 @@ func goodStream() bench.StreamRecord {
 	}
 }
 
+func goodParallel() bench.ParallelEngineRecord {
+	return bench.ParallelEngineRecord{
+		Bench: bench.ParallelBenchName, Source: "synthetic", NumCPU: 8, GOMAXPROCS: 8,
+		Codecs: []string{"binary", "t0", "businvert"}, WarmIters: 5,
+		ReferenceNs: 1_000_000_000, SerialWarmNs: 50_000_000, ParallelWarmNs: 20_000_000,
+		SpeedupParallel: 2.5, SpeedupVsReference: 50, Parity: true,
+	}
+}
+
 func writeDir(t *testing.T, eng bench.EngineRecord, str bench.StreamRecord) string {
 	t.Helper()
 	dir := t.TempDir()
@@ -35,6 +44,9 @@ func writeDir(t *testing.T, eng bench.EngineRecord, str bench.StreamRecord) stri
 		t.Fatal(err)
 	}
 	if err := bench.WriteRecord(filepath.Join(dir, "BENCH_stream.json"), str); err != nil {
+		t.Fatal(err)
+	}
+	if err := bench.WriteRecord(filepath.Join(dir, "BENCH_parallel.json"), goodParallel()); err != nil {
 		t.Fatal(err)
 	}
 	return dir
@@ -102,7 +114,7 @@ func TestCLIMissingFreshFiles(t *testing.T) {
 	if code != 1 {
 		t.Fatalf("exit %d with empty fresh dir, want 1", code)
 	}
-	if !strings.Contains(errOut, "2 violation") {
+	if !strings.Contains(errOut, "3 violation") {
 		t.Errorf("want one violation per missing record:\n%s", errOut)
 	}
 	// The committed repo records must pass against themselves.

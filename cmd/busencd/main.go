@@ -100,6 +100,10 @@ type evalResponse struct {
 
 // handleEval prices codecs over a trace file through the streaming
 // fan-out: GET /eval?trace=path[&codes=a,b][&chunklen=N][&depth=N].
+// With ?parallel=N the trace is materialized instead and each codec is
+// priced over N shards with reseeded encoder state (the obs registries
+// then carry codec.parallel.shards and codec.parallel.shard_ns for the
+// run, alongside core.parallel.*).
 func handleEval(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	path := q.Get("trace")
@@ -117,6 +121,10 @@ func handleEval(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	parallel, ok := posIntParam(w, q.Get("parallel"), "parallel")
+	if !ok {
+		return
+	}
 	var pool *trace.ChunkPool
 	if chunkLen > 0 {
 		pool = trace.NewChunkPool(chunkLen)
@@ -128,7 +136,18 @@ func handleEval(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer closer.Close()
-	results, err := core.EvaluateStreaming(tr, tr.Width(), codes, core.DefaultOptions, cfg)
+	var results []codec.Result
+	if parallel > 0 {
+		s, rerr := trace.ReadAll(tr)
+		if rerr != nil {
+			http.Error(w, rerr.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		results, err = core.EvaluateParallel(s, s.Width, codes, core.DefaultOptions,
+			core.ParallelConfig{Shards: parallel, Verify: codec.VerifySampled})
+	} else {
+		results, err = core.EvaluateStreaming(tr, tr.Width(), codes, core.DefaultOptions, cfg)
+	}
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 		return

@@ -79,6 +79,30 @@ func TestServerEndpoints(t *testing.T) {
 		}
 	}
 
+	// The same trace through the shard-parallel path: identical totals,
+	// and the parallel gauges show up in the metrics dump.
+	code, body = get(t, srv, "/eval?trace="+path+"&codes=t0,gray&parallel=2")
+	if code != 200 {
+		t.Fatalf("/eval?parallel=2: %d %s", code, body)
+	}
+	var presp evalResponse
+	if err := json.Unmarshal([]byte(body), &presp); err != nil {
+		t.Fatalf("/eval?parallel=2 returned invalid JSON: %v\n%s", err, body)
+	}
+	if presp.Entries != resp.Entries || len(presp.Results) != len(resp.Results) {
+		t.Fatalf("parallel eval shape differs: %+v vs %+v", presp, resp)
+	}
+	for i := range resp.Results {
+		if presp.Results[i].Codec != resp.Results[i].Codec ||
+			presp.Results[i].Transitions != resp.Results[i].Transitions {
+			t.Errorf("parallel results[%d] = %+v, want %+v", i, presp.Results[i], resp.Results[i])
+		}
+	}
+	if code, body := get(t, srv, "/metrics"); code != 200 ||
+		!strings.Contains(body, "codec.parallel.shards") {
+		t.Errorf("/metrics after parallel eval missing shard gauge: %d\n%s", code, body)
+	}
+
 	// The evaluation's traffic must now show up in the metrics dump.
 	if code, body := get(t, srv, "/metrics"); code != 200 ||
 		!strings.Contains(body, "trace.chunks_read") {
@@ -114,6 +138,12 @@ func TestServerEvalErrors(t *testing.T) {
 	}
 	if code, _ := get(t, srv, "/eval?trace="+path+"&codes=bogus"); code != 422 {
 		t.Errorf("unknown codec: %d, want 422", code)
+	}
+	if code, _ := get(t, srv, "/eval?trace="+path+"&parallel=-1"); code != 400 {
+		t.Errorf("bad parallel: %d, want 400", code)
+	}
+	if code, _ := get(t, srv, "/eval?trace="+path+"&parallel=2&codes=bogus"); code != 422 {
+		t.Errorf("unknown codec on parallel path: %d, want 422", code)
 	}
 }
 

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"busenc/internal/bench"
+	"busenc/internal/codec"
+	"busenc/internal/core"
+)
+
+// Parallel-engine benchmark (-benchparallel): prices the Table 4 stream
+// suite three ways on the same machine and records the ratios:
+//
+//   - reference: the seed-style per-entry path (streams regenerated,
+//     virtual Encode/Drive/Decode per entry, full verification), serial;
+//   - serial warm: codec.RunFast codec-by-codec over pre-analyzed
+//     streams at GOMAXPROCS=1 — the engine's sequential best;
+//   - parallel warm: core.EvaluateParallel (shard-parallel pricing with
+//     encoder state reseeding) at an elevated GOMAXPROCS.
+//
+// SpeedupParallel = serial_warm / parallel_warm is the shard scaling
+// itself; on a single-CPU machine the shards timeslice one core and the
+// ratio degenerates to ~1x, which is why the record also carries
+// num_cpu and SpeedupVsReference = reference / parallel_warm, a
+// machine-independent floor the guard can always enforce. Parity
+// requires all three paths to agree transition-for-transition.
+
+// benchParallel runs the comparison and writes BENCH_parallel.json.
+// shards=0 lets EvaluateParallel pick GOMAXPROCS shards per codec.
+func benchParallel(path string, src core.Source, shards, warmIters int) error {
+	if warmIters < 1 {
+		warmIters = 1
+	}
+	defaultProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(defaultProcs)
+
+	// Reference timing, serial, streams regenerated (seed semantics).
+	runtime.GOMAXPROCS(1)
+	t0 := time.Now()
+	refTotals, err := referenceTable4(src)
+	if err != nil {
+		return err
+	}
+	refNs := time.Since(t0).Nanoseconds()
+
+	// The suite both warm sweeps share: generated and analyzed once, so
+	// the measurements isolate pricing, not stream construction.
+	sets, err := core.GenerateStreams(src)
+	if err != nil {
+		return err
+	}
+	codes := append([]string{"binary"}, core.ExistingCodes...)
+	for _, set := range sets {
+		set.Muxed.Analyze(uint64(core.Stride))
+	}
+
+	serialSweep := func() (map[string][]int64, error) {
+		totals := make(map[string][]int64, len(sets))
+		for _, set := range sets {
+			row := make([]int64, 0, len(codes))
+			for _, code := range codes {
+				res, err := codec.RunFast(codec.MustNew(code, core.Width, core.DefaultOptions),
+					set.Muxed, codec.RunOpts{Verify: codec.VerifySampled})
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, res.Transitions)
+			}
+			totals[set.Name] = row
+		}
+		return totals, nil
+	}
+	parallelSweep := func() (map[string][]int64, error) {
+		totals := make(map[string][]int64, len(sets))
+		for _, set := range sets {
+			results, err := core.EvaluateParallel(set.Muxed, core.Width, codes, core.DefaultOptions,
+				core.ParallelConfig{Shards: shards, Verify: codec.VerifySampled})
+			if err != nil {
+				return nil, err
+			}
+			row := make([]int64, 0, len(results))
+			for _, res := range results {
+				row = append(row, res.Transitions)
+			}
+			totals[set.Name] = row
+		}
+		return totals, nil
+	}
+	timeSweep := func(sweep func() (map[string][]int64, error)) (map[string][]int64, int64, error) {
+		var totals map[string][]int64
+		best := int64(0)
+		for i := 0; i < warmIters; i++ {
+			t := time.Now()
+			got, err := sweep()
+			if err != nil {
+				return nil, 0, err
+			}
+			if ns := time.Since(t).Nanoseconds(); best == 0 || ns < best {
+				best = ns
+			}
+			totals = got
+		}
+		return totals, best, nil
+	}
+
+	// Serial warm sweep stays pinned to one proc.
+	serTotals, serNs, err := timeSweep(serialSweep)
+	if err != nil {
+		return err
+	}
+
+	// Parallel sweep at an elevated GOMAXPROCS so the shard workers can
+	// actually spread; forced to at least 4 so records from small
+	// machines still exercise the multi-shard path.
+	parProcs := runtime.NumCPU()
+	if parProcs < 4 {
+		parProcs = 4
+	}
+	runtime.GOMAXPROCS(parProcs)
+	parTotals, parNs, err := timeSweep(parallelSweep)
+	runtime.GOMAXPROCS(defaultProcs)
+	if err != nil {
+		return err
+	}
+
+	parity := sameTotals(refTotals, serTotals) && sameTotals(serTotals, parTotals)
+	rec := bench.ParallelEngineRecord{
+		Bench:              bench.ParallelBenchName,
+		Source:             string(src),
+		NumCPU:             runtime.NumCPU(),
+		GOMAXPROCS:         parProcs,
+		Shards:             shards,
+		Codecs:             codes,
+		WarmIters:          warmIters,
+		ReferenceNs:        refNs,
+		SerialWarmNs:       serNs,
+		ParallelWarmNs:     parNs,
+		SpeedupParallel:    float64(serNs) / float64(parNs),
+		SpeedupVsReference: float64(refNs) / float64(parNs),
+		Parity:             parity,
+	}
+	if err := bench.WriteRecord(path, rec); err != nil {
+		return err
+	}
+	fmt.Printf("parallel bench (%s source, %d cpu): reference %.1f ms, serial warm %.1f ms, parallel warm@%d procs %.1f ms (%.2fx vs serial, %.1fx vs reference), parity=%v -> %s\n",
+		src, rec.NumCPU, float64(refNs)/1e6, float64(serNs)/1e6,
+		parProcs, float64(parNs)/1e6, rec.SpeedupParallel, rec.SpeedupVsReference, parity, path)
+	if !parity {
+		return fmt.Errorf("parallel, serial and reference transition totals diverge")
+	}
+	return nil
+}

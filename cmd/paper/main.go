@@ -9,6 +9,8 @@
 //	paper -sweep          # with -table 9: print the crossover summary
 //	paper -trace prog.bin -stream        # price the codecs over a trace file
 //	                                     # in one bounded-memory pass
+//	paper -trace prog.bin -parallel 4    # shard-parallel pricing with
+//	                                     # reseeded encoder state
 //	paper -benchjson BENCH_engine.json   # time the evaluation engine and the
 //	                                     # streaming pipeline (BENCH_stream.json)
 package main
@@ -31,10 +33,12 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit JSON instead of aligned text")
 	tracePath := flag.String("trace", "", "evaluate the codecs over this trace file (text or binary, auto-detected) instead of the benchmark suites")
 	stream := flag.Bool("stream", false, "with -trace: use the single-pass bounded-memory streaming fan-out instead of materializing the trace")
+	parallel := flag.Int("parallel", 0, "with -trace: price each codec over N shards with reseeded encoder state (0 = off; incompatible with -stream)")
 	codes := flag.String("codes", "paper", "with -trace: comma-separated codec list, \"paper\" (the seven paper codes) or \"all\"")
 	chunkLen := flag.Int("chunklen", 0, "with -trace: chunk size in entries (0 = default)")
-	benchJSON := flag.String("benchjson", "", "benchmark the batched evaluation engine against the reference path and write machine-readable results to this file (e.g. BENCH_engine.json); also writes the streaming-pipeline record (see -benchstream), then exits")
+	benchJSON := flag.String("benchjson", "", "benchmark the batched evaluation engine against the reference path and write machine-readable results to this file (e.g. BENCH_engine.json); also writes the streaming-pipeline record (see -benchstream) and the shard-parallel record (see -benchparallel), then exits")
 	benchStreamJSON := flag.String("benchstream", "", "with -benchjson: path for the streaming-pipeline record (default: BENCH_stream.json beside the engine record)")
+	benchParallelJSON := flag.String("benchparallel", "", "with -benchjson: path for the shard-parallel engine record (default: BENCH_parallel.json beside the engine record)")
 	benchEntries := flag.Int("benchentries", 1<<20, "with -benchjson: trace length for the streaming-pipeline benchmark")
 	metrics := flag.String("metrics", "", "enable run-time observability and dump all metric registries on exit: \"table\" or \"json\" (to stderr, so table/trace output stays clean)")
 	flag.Parse()
@@ -62,10 +66,18 @@ func main() {
 			fmt.Fprintln(os.Stderr, "paper:", err)
 			os.Exit(1)
 		}
+		parallelPath := *benchParallelJSON
+		if parallelPath == "" {
+			parallelPath = filepath.Join(filepath.Dir(*benchJSON), "BENCH_parallel.json")
+		}
+		if err := benchParallel(parallelPath, src, 0, 5); err != nil {
+			fmt.Fprintln(os.Stderr, "paper:", err)
+			os.Exit(1)
+		}
 		return
 	}
 	if *tracePath != "" {
-		if err := evalTrace(*tracePath, *codes, *stream, *chunkLen); err != nil {
+		if err := evalTrace(*tracePath, *codes, *stream, *chunkLen, *parallel); err != nil {
 			fmt.Fprintln(os.Stderr, "paper:", err)
 			os.Exit(1)
 		}

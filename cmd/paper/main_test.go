@@ -88,7 +88,7 @@ func TestEvalTraceBothPaths(t *testing.T) {
 	path := writeTestTrace(t, 3000)
 	var outs []string
 	for _, streaming := range []bool{false, true} {
-		out := captureStdout(t, func() error { return evalTrace(path, "paper", streaming, 256) })
+		out := captureStdout(t, func() error { return evalTrace(path, "paper", streaming, 256, 0) })
 		for _, code := range []string{"binary", "t0", "dualt0bi"} {
 			if !strings.Contains(out, code) {
 				t.Errorf("streaming=%v: code %s missing from output:\n%s", streaming, code, out)
@@ -110,9 +110,29 @@ func TestEvalTraceBothPaths(t *testing.T) {
 	}
 }
 
+func TestEvalTraceParallel(t *testing.T) {
+	path := writeTestTrace(t, 3000)
+	seq := captureStdout(t, func() error { return evalTrace(path, "paper", false, 0, 0) })
+	par := captureStdout(t, func() error { return evalTrace(path, "paper", false, 0, 3) })
+	if !strings.Contains(par, "parallel (3 shards)") {
+		t.Errorf("-parallel output does not announce parallel mode:\n%s", par)
+	}
+	// Identical transition table: shard-parallel pricing is exact.
+	strip := func(s string) string {
+		_, rest, _ := strings.Cut(s, "\n")
+		return rest
+	}
+	if strip(seq) != strip(par) {
+		t.Errorf("materialized and parallel tables differ:\n%s\nvs\n%s", seq, par)
+	}
+	if err := evalTrace(path, "paper", true, 0, 2); err == nil {
+		t.Error("-stream combined with -parallel accepted")
+	}
+}
+
 func TestEvalTraceCustomCodes(t *testing.T) {
 	path := writeTestTrace(t, 1000)
-	out := captureStdout(t, func() error { return evalTrace(path, "t0,gray", true, 0) })
+	out := captureStdout(t, func() error { return evalTrace(path, "t0,gray", true, 0, 0) })
 	// binary is always prepended as the savings reference.
 	for _, code := range []string{"binary", "t0", "gray"} {
 		if !strings.Contains(out, code) {
@@ -149,6 +169,33 @@ func TestBenchStreamJSON(t *testing.T) {
 	}
 	if rec.Entries != 20000 || rec.Bench != "StreamPipeline" {
 		t.Errorf("wrong identity: %+v", rec)
+	}
+}
+
+func TestBenchParallelJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_parallel.json")
+	out := captureStdout(t, func() error { return benchParallel(path, core.Synthetic, 0, 1) })
+	if !strings.Contains(out, "parity=true") {
+		t.Errorf("summary missing parity:\n%s", out)
+	}
+	rec, err := bench.ReadParallel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Parity {
+		t.Error("parallel sweep diverged from the serial or reference path")
+	}
+	if rec.ReferenceNs <= 0 || rec.SerialWarmNs <= 0 || rec.ParallelWarmNs <= 0 {
+		t.Errorf("timings not recorded: %+v", rec)
+	}
+	if rec.Bench != "Table4Parallel" || rec.Source != "synthetic" {
+		t.Errorf("wrong identity: %+v", rec)
+	}
+	if rec.GOMAXPROCS < 4 {
+		t.Errorf("parallel sweep at gomaxprocs %d, want >= 4", rec.GOMAXPROCS)
+	}
+	if rec.NumCPU < 1 || len(rec.Codecs) == 0 {
+		t.Errorf("environment not recorded: %+v", rec)
 	}
 }
 

@@ -41,8 +41,12 @@ func parseCodes(codes string) []string {
 }
 
 // evalTrace evaluates the named codecs over the trace file and prints a
-// comparison table.
-func evalTrace(path, codes string, streaming bool, chunkLen int) error {
+// comparison table. parallel > 0 routes the materialized path through
+// core.EvaluateParallel with that many shards per codec.
+func evalTrace(path, codes string, streaming bool, chunkLen, parallel int) error {
+	if streaming && parallel > 0 {
+		return fmt.Errorf("-stream and -parallel are mutually exclusive: the streaming fan-out never materializes the trace, shard-parallel pricing needs it in memory")
+	}
 	names := parseCodes(codes)
 	// Ensure binary leads so savings have a reference.
 	if len(names) == 0 || names[0] != "binary" {
@@ -83,22 +87,33 @@ func evalTrace(path, codes string, streaming bool, chunkLen int) error {
 		}
 		streamName = s.Name
 		entries = int64(s.Len())
-		for _, name := range names {
-			c, err := codec.New(name, s.Width, core.DefaultOptions)
+		if parallel > 0 {
+			results, err = core.EvaluateParallel(s, s.Width, names, core.DefaultOptions,
+				core.ParallelConfig{Shards: parallel, Verify: codec.VerifySampled})
 			if err != nil {
 				return err
 			}
-			res, err := codec.RunFast(c, s, codec.RunOpts{Verify: codec.VerifySampled})
-			if err != nil {
-				return err
+		} else {
+			for _, name := range names {
+				c, err := codec.New(name, s.Width, core.DefaultOptions)
+				if err != nil {
+					return err
+				}
+				res, err := codec.RunFast(c, s, codec.RunOpts{Verify: codec.VerifySampled})
+				if err != nil {
+					return err
+				}
+				results = append(results, res)
 			}
-			results = append(results, res)
 		}
 	}
 
 	mode := "materialized"
-	if streaming {
+	switch {
+	case streaming:
 		mode = "streaming"
+	case parallel > 0:
+		mode = fmt.Sprintf("parallel (%d shards)", parallel)
 	}
 	fmt.Printf("trace %q (%s): %d references, width %d, %s evaluation\n",
 		streamName, path, entries, r.Width(), mode)

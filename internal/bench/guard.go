@@ -110,11 +110,38 @@ func CompareStream(old, fresh StreamRecord, tol Tolerance) []Violation {
 	return out
 }
 
-// Guard loads the committed and fresh record pair from the two
-// directories (BENCH_engine.json and BENCH_stream.json in each) and
-// returns every violation. Unreadable or invalid files are violations,
-// not errors: the guard's job is to fail loudly, so CI gets one unified
-// report either way.
+// CompareParallel holds a fresh parallel-engine record against the
+// committed one. Both speedup ratios are banded: SpeedupParallel
+// guards the shard scaling itself (meaningful once the machine has
+// cores to scale onto), SpeedupVsReference guards the parallel path's
+// absolute throughput against the seed reference on any machine.
+func CompareParallel(old, fresh ParallelEngineRecord, tol Tolerance) []Violation {
+	var out []Violation
+	if err := old.Validate(); err != nil {
+		out = append(out, Violation{Record: "parallel", Field: "baseline", Msg: err.Error()})
+	}
+	if err := fresh.Validate(); err != nil {
+		out = append(out, Violation{Record: "parallel", Field: "fresh", Msg: err.Error()})
+		return out
+	}
+	if !fresh.Parity {
+		out = append(out, Violation{Record: "parallel", Field: "parity",
+			Msg: "parallel, serial and reference transition totals diverge"})
+	}
+	if v := speedupDrop("parallel", "speedup_parallel", old.SpeedupParallel, fresh.SpeedupParallel, tol.Slowdown); v != nil {
+		out = append(out, *v)
+	}
+	if v := speedupDrop("parallel", "speedup_vs_reference", old.SpeedupVsReference, fresh.SpeedupVsReference, tol.Slowdown); v != nil {
+		out = append(out, *v)
+	}
+	return out
+}
+
+// Guard loads the committed and fresh record set from the two
+// directories (BENCH_engine.json, BENCH_stream.json and
+// BENCH_parallel.json in each) and returns every violation. Unreadable
+// or invalid files are violations, not errors: the guard's job is to
+// fail loudly, so CI gets one unified report either way.
 func Guard(baselineDir, freshDir string, tol Tolerance) []Violation {
 	var out []Violation
 	oldEng, err := ReadEngine(baselineDir + "/BENCH_engine.json")
@@ -138,6 +165,17 @@ func Guard(baselineDir, freshDir string, tol Tolerance) []Violation {
 	}
 	if err == nil && ferr == nil {
 		out = append(out, CompareStream(oldStr, freshStr, tol)...)
+	}
+	oldPar, err := ReadParallel(baselineDir + "/BENCH_parallel.json")
+	if err != nil {
+		out = append(out, Violation{Record: "parallel", Field: "baseline", Msg: err.Error()})
+	}
+	freshPar, ferr := ReadParallel(freshDir + "/BENCH_parallel.json")
+	if ferr != nil {
+		out = append(out, Violation{Record: "parallel", Field: "fresh", Msg: ferr.Error()})
+	}
+	if err == nil && ferr == nil {
+		out = append(out, CompareParallel(oldPar, freshPar, tol)...)
 	}
 	return out
 }

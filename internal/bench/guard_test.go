@@ -16,6 +16,15 @@ func engineFixture() EngineRecord {
 	}
 }
 
+func parallelFixture() ParallelEngineRecord {
+	return ParallelEngineRecord{
+		Bench: ParallelBenchName, Source: "synthetic", NumCPU: 8, GOMAXPROCS: 8,
+		Shards: 0, Codecs: []string{"binary", "t0", "businvert"}, WarmIters: 5,
+		ReferenceNs: 120e6, SerialWarmNs: 5e6, ParallelWarmNs: 2e6,
+		SpeedupParallel: 2.5, SpeedupVsReference: 60, Parity: true,
+	}
+}
+
 func streamFixture() StreamRecord {
 	return StreamRecord{
 		Bench: StreamBenchName, Entries: 1 << 20, FileBytes: 2.8e6, ChunkLen: 4096,
@@ -35,6 +44,9 @@ func TestGuardPassesOnIdenticalRecords(t *testing.T) {
 	}
 	if vs := CompareStream(streamFixture(), streamFixture(), tol); len(vs) != 0 {
 		t.Errorf("identical stream records flagged: %v", vs)
+	}
+	if vs := CompareParallel(parallelFixture(), parallelFixture(), tol); len(vs) != 0 {
+		t.Errorf("identical parallel records flagged: %v", vs)
 	}
 }
 
@@ -58,6 +70,15 @@ func TestGuardFailsOnInjected2xSlowdown(t *testing.T) {
 	svs := CompareStream(streamFixture(), sfresh, tol)
 	if len(svs) != 1 || svs[0].Field != "speedup_streaming" {
 		t.Errorf("2x stream slowdown: violations = %v, want one speedup_streaming violation", svs)
+	}
+
+	pfresh := parallelFixture()
+	pfresh.ParallelWarmNs *= 2
+	pfresh.SpeedupParallel /= 2
+	pfresh.SpeedupVsReference /= 2
+	pvs := CompareParallel(parallelFixture(), pfresh, tol)
+	if len(pvs) != 2 || pvs[0].Field != "speedup_parallel" || pvs[1].Field != "speedup_vs_reference" {
+		t.Errorf("2x parallel slowdown: violations = %v, want both speedup violations", pvs)
 	}
 }
 
@@ -109,6 +130,13 @@ func TestGuardParity(t *testing.T) {
 	if len(svs) != 1 || svs[0].Field != "parity" {
 		t.Errorf("stream parity=false: violations = %v", svs)
 	}
+
+	pfresh := parallelFixture()
+	pfresh.Parity = false
+	pvs := CompareParallel(parallelFixture(), pfresh, DefaultTolerance())
+	if len(pvs) != 1 || pvs[0].Field != "parity" {
+		t.Errorf("parallel parity=false: violations = %v", pvs)
+	}
 }
 
 // TestGuardMissingField: a record the producer never filled in (zero
@@ -149,12 +177,19 @@ func TestGuardOnCommittedRecords(t *testing.T) {
 	if err != nil {
 		t.Fatalf("committed stream record unreadable: %v", err)
 	}
+	par, err := ReadParallel(filepath.Join(root, "BENCH_parallel.json"))
+	if err != nil {
+		t.Fatalf("committed parallel record unreadable: %v", err)
+	}
 	tol := DefaultTolerance()
 	if vs := CompareEngine(eng, eng, tol); len(vs) != 0 {
 		t.Errorf("committed engine record fails its own guard: %v", vs)
 	}
 	if vs := CompareStream(str, str, tol); len(vs) != 0 {
 		t.Errorf("committed stream record fails its own guard: %v", vs)
+	}
+	if vs := CompareParallel(par, par, tol); len(vs) != 0 {
+		t.Errorf("committed parallel record fails its own guard: %v", vs)
 	}
 
 	slow := eng
@@ -169,6 +204,13 @@ func TestGuardOnCommittedRecords(t *testing.T) {
 	if vs := CompareStream(str, sslow, tol); len(vs) == 0 {
 		t.Error("2x slowdown injected into the committed stream record passed the guard")
 	}
+	pslow := par
+	pslow.ParallelWarmNs *= 2
+	pslow.SpeedupParallel /= 2
+	pslow.SpeedupVsReference /= 2
+	if vs := CompareParallel(par, pslow, tol); len(vs) == 0 {
+		t.Error("2x slowdown injected into the committed parallel record passed the guard")
+	}
 }
 
 // TestGuardDirs: the directory-level entry point used by cmd/benchguard
@@ -182,12 +224,12 @@ func TestGuardDirs(t *testing.T) {
 
 	empty := t.TempDir()
 	vs = Guard(base, empty, DefaultTolerance())
-	if len(vs) != 2 {
-		t.Errorf("missing fresh records: got %d violations (%v), want 2", len(vs), vs)
+	if len(vs) != 3 {
+		t.Errorf("missing fresh records: got %d violations (%v), want 3", len(vs), vs)
 	}
 
-	// A fresh dir with a broken engine record still gets the stream pair
-	// compared.
+	// A fresh dir with a broken engine record still gets the stream and
+	// parallel pairs compared.
 	broken := t.TempDir()
 	if err := WriteRecord(filepath.Join(broken, "BENCH_engine.json"), EngineRecord{Bench: "bogus"}); err != nil {
 		t.Fatal(err)
@@ -199,8 +241,15 @@ func TestGuardDirs(t *testing.T) {
 	if err := WriteRecord(filepath.Join(broken, "BENCH_stream.json"), str); err != nil {
 		t.Fatal(err)
 	}
+	par, err := ReadParallel(filepath.Join(base, "BENCH_parallel.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteRecord(filepath.Join(broken, "BENCH_parallel.json"), par); err != nil {
+		t.Fatal(err)
+	}
 	vs = Guard(base, broken, DefaultTolerance())
 	if len(vs) != 1 || vs[0].Record != "engine" {
-		t.Errorf("broken engine + healthy stream: %v, want one engine violation", vs)
+		t.Errorf("broken engine + healthy stream/parallel: %v, want one engine violation", vs)
 	}
 }

@@ -66,12 +66,42 @@ type StreamRecord struct {
 	Parity           bool    `json:"parity"`
 }
 
-// EngineBenchName and StreamBenchName are the identity values of the
-// two record kinds; Validate checks them so a mixed-up file pair is a
-// loud failure, not a silent pass.
+// ParallelEngineRecord mirrors BENCH_parallel.json: the Table 4 stream
+// suite priced codec-by-codec on the warm sequential engine path
+// (GOMAXPROCS=1) versus core.EvaluateParallel's shard-parallel pricing
+// at an elevated GOMAXPROCS, with the seed-style reference path timed
+// on the same suite as a second same-machine baseline. On a single-CPU
+// machine SpeedupParallel degenerates to ~1x (shards timeslice one
+// core); SpeedupVsReference stays meaningful everywhere because it
+// compares against the per-entry reference loop.
+type ParallelEngineRecord struct {
+	Bench      string   `json:"bench"`
+	Source     string   `json:"source"`
+	NumCPU     int      `json:"num_cpu"`
+	GOMAXPROCS int      `json:"gomaxprocs"` // procs of the parallel measurement
+	Shards     int      `json:"shards"`     // 0 = GOMAXPROCS
+	Codecs     []string `json:"codecs"`
+	WarmIters  int      `json:"warm_iters"`
+
+	ReferenceNs    int64 `json:"reference_ns"`     // seed-style per-entry path
+	SerialWarmNs   int64 `json:"serial_warm_ns"`   // warm RunFast sweep at GOMAXPROCS=1
+	ParallelWarmNs int64 `json:"parallel_warm_ns"` // warm EvaluateParallel at GOMAXPROCS above
+
+	// SpeedupParallel is serial_warm_ns / parallel_warm_ns — the
+	// shard-parallel gain over the sequential warm engine path.
+	// SpeedupVsReference is reference_ns / parallel_warm_ns.
+	SpeedupParallel    float64 `json:"speedup_parallel"`
+	SpeedupVsReference float64 `json:"speedup_vs_reference"`
+	Parity             bool    `json:"parity"` // parallel totals == serial totals == reference totals
+}
+
+// EngineBenchName, StreamBenchName and ParallelBenchName are the
+// identity values of the record kinds; Validate checks them so a
+// mixed-up file pair is a loud failure, not a silent pass.
 const (
-	EngineBenchName = "Table4"
-	StreamBenchName = "StreamPipeline"
+	EngineBenchName   = "Table4"
+	StreamBenchName   = "StreamPipeline"
+	ParallelBenchName = "Table4Parallel"
 )
 
 // Validate reports the first structurally missing or nonsensical field.
@@ -109,6 +139,28 @@ func (r StreamRecord) Validate() error {
 	return nil
 }
 
+// Validate reports the first structurally missing field of a parallel
+// record.
+func (r ParallelEngineRecord) Validate() error {
+	switch {
+	case r.Bench != ParallelBenchName:
+		return fmt.Errorf("bench = %q, want %q", r.Bench, ParallelBenchName)
+	case r.GOMAXPROCS < 1:
+		return fmt.Errorf("missing field gomaxprocs")
+	case r.ReferenceNs <= 0:
+		return fmt.Errorf("missing field reference_ns")
+	case r.SerialWarmNs <= 0:
+		return fmt.Errorf("missing field serial_warm_ns")
+	case r.ParallelWarmNs <= 0:
+		return fmt.Errorf("missing field parallel_warm_ns")
+	case r.SpeedupParallel <= 0:
+		return fmt.Errorf("missing field speedup_parallel")
+	case r.SpeedupVsReference <= 0:
+		return fmt.Errorf("missing field speedup_vs_reference")
+	}
+	return nil
+}
+
 // ReadEngine loads and validates an engine record.
 func ReadEngine(path string) (EngineRecord, error) {
 	var r EngineRecord
@@ -124,6 +176,18 @@ func ReadEngine(path string) (EngineRecord, error) {
 // ReadStream loads and validates a stream record.
 func ReadStream(path string) (StreamRecord, error) {
 	var r StreamRecord
+	if err := readJSON(path, &r); err != nil {
+		return r, err
+	}
+	if err := r.Validate(); err != nil {
+		return r, fmt.Errorf("%s: %v", path, err)
+	}
+	return r, nil
+}
+
+// ReadParallel loads and validates a parallel-engine record.
+func ReadParallel(path string) (ParallelEngineRecord, error) {
+	var r ParallelEngineRecord
 	if err := readJSON(path, &r); err != nil {
 		return r, err
 	}

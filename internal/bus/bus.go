@@ -137,6 +137,45 @@ func (b *Bus) AvgPerLine() float64 {
 	return b.AvgPerCycle() / float64(b.width)
 }
 
+// Prime sets the line state to word without counting a cycle or any
+// transitions: the bus behaves exactly as if word had been the last word
+// driven by someone else. Shard-parallel pricing uses it to seed a
+// shard's accumulator with the word driven just before the shard
+// boundary, so the boundary transition is counted exactly once — by the
+// shard that drives the following word.
+func (b *Bus) Prime(word uint64) {
+	b.current = word & b.mask
+	b.driven = true
+}
+
+// Merge folds the statistics of o — a bus of the same width that
+// continued counting where b left off — into b: totals, cycles and
+// per-line counts add, the max-per-cycle is the pair's max, and b's line
+// state advances to o's. Per-shard accumulators reduce with Merge
+// without re-walking any words; merging in ascending shard order keeps
+// the reduction deterministic. Merging a full (per-line) bus into an
+// aggregate-only one, or vice versa, loses no aggregate data but keeps
+// only the counts both sides track.
+func (b *Bus) Merge(o *Bus) {
+	if o.width != b.width {
+		panic(fmt.Sprintf("bus: merge of width %d into width %d", o.width, b.width))
+	}
+	b.total += o.total
+	b.cycles += o.cycles
+	if o.maxInWord > b.maxInWord {
+		b.maxInWord = o.maxInWord
+	}
+	if b.perLine != nil && o.perLine != nil {
+		for i, v := range o.perLine {
+			b.perLine[i] += v
+		}
+	}
+	if o.driven {
+		b.current = o.current
+		b.driven = true
+	}
+}
+
 // Reset clears all accumulated statistics and the line state.
 func (b *Bus) Reset() {
 	b.current = 0

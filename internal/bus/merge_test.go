@@ -1,0 +1,87 @@
+package bus
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestMergeMatchesSequential: driving a word sequence split across two
+// buses — the second primed with the word at the split — and merging
+// must reproduce the single-bus statistics exactly, in both modes and
+// at every split point of a small sequence.
+func TestMergeMatchesSequential(t *testing.T) {
+	words := randomWords(300, 7)
+	const width = 29
+	for _, aggOnly := range []bool{false, true} {
+		mk := New
+		if aggOnly {
+			mk = NewAggregate
+		}
+		ref := mk(width)
+		ref.Accumulate(words)
+		for cut := 1; cut < len(words); cut += 13 {
+			lo := mk(width)
+			lo.Accumulate(words[:cut])
+			hi := mk(width)
+			hi.Prime(words[cut-1])
+			hi.Accumulate(words[cut:])
+			lo.Merge(hi)
+			if lo.Transitions() != ref.Transitions() || lo.Cycles() != ref.Cycles() ||
+				lo.MaxPerCycle() != ref.MaxPerCycle() {
+				t.Errorf("aggOnly=%v cut=%d: merged %d/%d/%d vs sequential %d/%d/%d",
+					aggOnly, cut, lo.Transitions(), lo.Cycles(), lo.MaxPerCycle(),
+					ref.Transitions(), ref.Cycles(), ref.MaxPerCycle())
+			}
+			if !reflect.DeepEqual(lo.PerLine(), ref.PerLine()) {
+				t.Errorf("aggOnly=%v cut=%d: per-line counts diverge", aggOnly, cut)
+			}
+			if lo.Current() != ref.Current() {
+				t.Errorf("aggOnly=%v cut=%d: line state %#x, want %#x",
+					aggOnly, cut, lo.Current(), ref.Current())
+			}
+		}
+	}
+}
+
+// TestPrimeCountsNoCycle: a primed bus reports zero cycles and zero
+// transitions until something is driven, and the first drive after a
+// prime counts the transition from the primed word.
+func TestPrimeCountsNoCycle(t *testing.T) {
+	b := NewAggregate(8)
+	b.Prime(0xFF)
+	if b.Cycles() != 0 || b.Transitions() != 0 {
+		t.Errorf("prime counted work: cycles %d transitions %d", b.Cycles(), b.Transitions())
+	}
+	if n := b.Drive(0x0F); n != 4 {
+		t.Errorf("first drive after prime toggled %d lines, want 4", n)
+	}
+	if b.Cycles() != 1 || b.Transitions() != 4 {
+		t.Errorf("after drive: cycles %d transitions %d", b.Cycles(), b.Transitions())
+	}
+}
+
+// TestMergeEmptyShard: merging a primed-but-never-driven bus is a
+// statistics no-op apart from adopting the line state.
+func TestMergeEmptyShard(t *testing.T) {
+	lo := NewAggregate(16)
+	lo.Accumulate([]uint64{1, 2, 3})
+	hi := NewAggregate(16)
+	hi.Prime(0xABC)
+	lo.Merge(hi)
+	if lo.Cycles() != 3 {
+		t.Errorf("cycles = %d, want 3", lo.Cycles())
+	}
+	if lo.Current() != 0xABC {
+		t.Errorf("line state %#x, want %#x", lo.Current(), uint64(0xABC))
+	}
+}
+
+// TestMergeWidthMismatchPanics pins the misuse guard.
+func TestMergeWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("merge of mismatched widths did not panic")
+		}
+	}()
+	New(8).Merge(New(9))
+}

@@ -139,3 +139,23 @@ func (e *adaptiveEnd) Reset() {
 	e.list = e.list[:0]
 	e.prev = 0
 }
+
+// adaptiveState is the Snapshot payload: a deep copy of the
+// move-to-front list. Adaptive is a sweep codec — the list holds the
+// prefix's recent distinct addresses.
+type adaptiveState struct {
+	list []uint64
+	prev uint64
+}
+
+// Snapshot implements StateCodec.
+func (e *adaptiveEnd) Snapshot() State {
+	return adaptiveState{list: append([]uint64(nil), e.list...), prev: e.prev}
+}
+
+// Restore implements StateCodec.
+func (e *adaptiveEnd) Restore(st State) {
+	s := st.(adaptiveState)
+	e.list = append(e.list[:0], s.list...)
+	e.prev = s.prev
+}

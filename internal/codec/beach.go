@@ -155,3 +155,12 @@ func (e beachEnd) transform(v uint64) uint64 {
 func (e beachEnd) Encode(s Symbol) uint64            { return e.transform(s.Addr) }
 func (e beachEnd) Decode(word uint64, _ bool) uint64 { return e.transform(word) }
 func (e beachEnd) Reset()                            {}
+
+// Snapshot implements StateCodec; the XOR network is stateless.
+func (e beachEnd) Snapshot() State { return nil }
+
+// Restore implements StateCodec.
+func (e beachEnd) Restore(State) {}
+
+// SeedFrom implements Seeder: nothing to seed.
+func (e beachEnd) SeedFrom(Symbol) {}

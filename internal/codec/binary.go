@@ -45,6 +45,15 @@ func (e binaryEnd) Encode(s Symbol) uint64            { return s.Addr & e.mask }
 func (e binaryEnd) Decode(word uint64, _ bool) uint64 { return word & e.mask }
 func (e binaryEnd) Reset()                            {}
 
+// Snapshot implements StateCodec; the binary code is stateless.
+func (e binaryEnd) Snapshot() State { return nil }
+
+// Restore implements StateCodec.
+func (e binaryEnd) Restore(State) {}
+
+// SeedFrom implements Seeder: nothing to seed.
+func (e binaryEnd) SeedFrom(Symbol) {}
+
 // EncodeBatch implements BatchEncoder.
 func (e binaryEnd) EncodeBatch(syms []Symbol, out []uint64) {
 	mask := e.mask

@@ -109,6 +109,17 @@ func (e *biEncoder) Encode(s Symbol) uint64 {
 
 func (e *biEncoder) Reset() { e.prev = 0 }
 
+// biState is the Snapshot payload: the previous encoded word. It is a
+// prefix function (the invert decision chains through every prior
+// word), so the encoder is a sweep codec, not a Seeder.
+type biState struct{ prev uint64 }
+
+// Snapshot implements StateCodec.
+func (e *biEncoder) Snapshot() State { return biState{e.prev} }
+
+// Restore implements StateCodec.
+func (e *biEncoder) Restore(st State) { e.prev = st.(biState).prev }
+
 // EncodeBatch implements BatchEncoder. The single-partition case (the
 // classic code, used by every paper table) gets a dedicated loop without
 // the per-group iteration; partitioned variants fall back to the general

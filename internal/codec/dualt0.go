@@ -84,6 +84,23 @@ func (e *dualT0Encoder) Encode(s Symbol) uint64 {
 
 func (e *dualT0Encoder) Reset() { e.ref, e.refValid, e.prevBus = 0, false, 0 }
 
+// dualT0State is the Snapshot payload; ref is the most recent SEL=1
+// address anywhere in the prefix, so dual T0 is a sweep codec.
+type dualT0State struct {
+	ref      uint64
+	refValid bool
+	prevBus  uint64
+}
+
+// Snapshot implements StateCodec.
+func (e *dualT0Encoder) Snapshot() State { return dualT0State{e.ref, e.refValid, e.prevBus} }
+
+// Restore implements StateCodec.
+func (e *dualT0Encoder) Restore(st State) {
+	s := st.(dualT0State)
+	e.ref, e.refValid, e.prevBus = s.ref, s.refValid, s.prevBus
+}
+
 // EncodeBatch implements BatchEncoder with the encoder state in locals.
 func (e *dualT0Encoder) EncodeBatch(syms []Symbol, out []uint64) {
 	t := e.t

@@ -90,6 +90,23 @@ func (e *dualT0BIEncoder) Encode(s Symbol) uint64 {
 
 func (e *dualT0BIEncoder) Reset() { e.ref, e.refValid, e.prevWord = 0, false, 0 }
 
+// dualT0BIState is the Snapshot payload; both fields are prefix
+// functions, so dual T0_BI is a sweep codec.
+type dualT0BIState struct {
+	ref      uint64
+	refValid bool
+	prevWord uint64
+}
+
+// Snapshot implements StateCodec.
+func (e *dualT0BIEncoder) Snapshot() State { return dualT0BIState{e.ref, e.refValid, e.prevWord} }
+
+// Restore implements StateCodec.
+func (e *dualT0BIEncoder) Restore(st State) {
+	s := st.(dualT0BIState)
+	e.ref, e.refValid, e.prevWord = s.ref, s.refValid, s.prevWord
+}
+
 // EncodeBatch implements BatchEncoder with the encoder state in locals.
 func (e *dualT0BIEncoder) EncodeBatch(syms []Symbol, out []uint64) {
 	t := e.t

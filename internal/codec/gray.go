@@ -85,6 +85,15 @@ func (e grayEnd) Decode(word uint64, _ bool) uint64 {
 
 func (e grayEnd) Reset() {}
 
+// Snapshot implements StateCodec; the Gray code is stateless.
+func (e grayEnd) Snapshot() State { return nil }
+
+// Restore implements StateCodec.
+func (e grayEnd) Restore(State) {}
+
+// SeedFrom implements Seeder: nothing to seed.
+func (e grayEnd) SeedFrom(Symbol) {}
+
 // EncodeBatch implements BatchEncoder.
 func (e grayEnd) EncodeBatch(syms []Symbol, out []uint64) {
 	mask, shift, lowMask := e.g.mask, e.g.shift, e.g.lowMask

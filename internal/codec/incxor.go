@@ -88,3 +88,22 @@ func (e *incXorEnd) Decode(word uint64, _ bool) uint64 {
 }
 
 func (e *incXorEnd) Reset() { e.prev, e.valid = 0, false }
+
+// incXorState is the Snapshot payload of the shared INC-XOR end.
+type incXorState struct {
+	prev  uint64
+	valid bool
+}
+
+// Snapshot implements StateCodec.
+func (e *incXorEnd) Snapshot() State { return incXorState{e.prev, e.valid} }
+
+// Restore implements StateCodec.
+func (e *incXorEnd) Restore(st State) {
+	s := st.(incXorState)
+	e.prev, e.valid = s.prev, s.valid
+}
+
+// SeedFrom implements Seeder: the prediction depends only on the
+// previous masked address.
+func (e *incXorEnd) SeedFrom(prev Symbol) { e.prev, e.valid = prev.Addr&e.x.mask, true }

@@ -58,6 +58,20 @@ func (e *offsetEncoder) Encode(s Symbol) uint64 {
 
 func (e *offsetEncoder) Reset() { e.prev = 0 }
 
+// offsetState is the shared Snapshot payload of both offset ends: the
+// previously seen masked address.
+type offsetState struct{ prev uint64 }
+
+// Snapshot implements StateCodec.
+func (e *offsetEncoder) Snapshot() State { return offsetState{e.prev} }
+
+// Restore implements StateCodec.
+func (e *offsetEncoder) Restore(st State) { e.prev = st.(offsetState).prev }
+
+// SeedFrom implements Seeder: the encoder state is exactly the previous
+// masked address.
+func (e *offsetEncoder) SeedFrom(prev Symbol) { e.prev = prev.Addr & e.o.mask }
+
 type offsetDecoder struct {
 	o    *Offset
 	prev uint64
@@ -70,3 +84,13 @@ func (d *offsetDecoder) Decode(word uint64, _ bool) uint64 {
 }
 
 func (d *offsetDecoder) Reset() { d.prev = 0 }
+
+// Snapshot implements StateCodec.
+func (d *offsetDecoder) Snapshot() State { return offsetState{d.prev} }
+
+// Restore implements StateCodec.
+func (d *offsetDecoder) Restore(st State) { d.prev = st.(offsetState).prev }
+
+// SeedFrom implements Seeder, so shard-parallel verification can seed a
+// mid-stream decoder from the last prefix address.
+func (d *offsetDecoder) SeedFrom(prev Symbol) { d.prev = prev.Addr & d.o.mask }

@@ -1,0 +1,283 @@
+package codec
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"busenc/internal/bus"
+	"busenc/internal/trace"
+)
+
+// Shard-parallel stream pricing. Encoder state chains entry-to-entry,
+// so a naive split of a stream across workers is wrong for every code
+// except binary. RunParallel splits the stream into P contiguous shards
+// anyway and makes the split exact by reconstructing each shard's
+// encoder state at its boundary:
+//
+//   - Seeder codecs (state is a function of the previous symbol alone)
+//     get their boundary state in O(1) from the last pre-boundary
+//     symbol;
+//   - every other StateCodec gets it from one sequential state-only
+//     sweep — a pass that runs the batch kernel into a discarded
+//     scratch buffer (no bus counting, no verification) and captures a
+//     Snapshot at each shard boundary. The sweep costs one encode pass
+//     over the prefix, which bounds the theoretical speedup for sweep
+//     codecs at roughly 2x (encode once to seed, once to price) —
+//     still worthwhile because counting, verification and the Result
+//     bookkeeping all parallelize, and because EvaluateParallel runs
+//     many codecs' sweeps concurrently.
+//
+// Each shard worker then re-encodes the single entry just before its
+// boundary (producing the exact word the sequential run drove last),
+// primes its private bus with it (bus.Prime: state only, no cycle), and
+// prices its shard with the regular BatchEncoder chunk loop. The
+// reduction is deterministic: results land in a fixed slice slot per
+// shard, buses merge in ascending shard order (bus.Merge), and the
+// lowest shard's error wins — no atomics or locks anywhere in the hot
+// loop. parallel_test.go pins RunParallel == Run for every registered
+// codec across shard counts {1,2,3,16}, non-dividing stream lengths and
+// adversarial cut positions.
+
+// ParallelOpts tunes RunParallel.
+type ParallelOpts struct {
+	// Shards is the number of contiguous shards P; <= 0 means
+	// GOMAXPROCS. The effective count is clamped so every shard has at
+	// least MinShardLen entries; 1 delegates to RunFast.
+	Shards int
+	// Verify selects decode round-trip checking. Shard 0 verifies its
+	// prefix exactly as RunFast would (so VerifySampled checks the same
+	// first entries); under VerifyFull, later shards also verify when
+	// the codec's decoder can be seeded mid-stream (a Seeder), which
+	// covers the stateless and previous-symbol codes. Prefix-dependent
+	// decoders cannot be verified mid-stream without a full sequential
+	// decode, so their coverage under VerifyFull is shard 0's range.
+	Verify VerifyMode
+	// PerLine requests per-line transition counts in Result.PerLine.
+	PerLine bool
+}
+
+// MinShardLen is the smallest shard worth a goroutine: below this the
+// per-shard seeding and reduction overhead dominates the pricing work.
+const MinShardLen = 512
+
+// RunParallel is the shard-parallel counterpart of RunFast: identical
+// Transitions, Cycles, MaxPerCycle and PerLine for every codec, with
+// the stream priced on up to opts.Shards goroutines. Codecs whose
+// encoders do not implement StateCodec fall back to RunFast, as do
+// streams too short to shard.
+func RunParallel(c Codec, s *trace.Stream, opts ParallelOpts) (Result, error) {
+	p := opts.Shards
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if max := s.Len() / MinShardLen; p > max {
+		p = max
+	}
+	probe := c.NewEncoder()
+	if _, ok := probe.(StateCodec); !ok || p <= 1 {
+		return RunFast(c, s, RunOpts{Verify: opts.Verify, PerLine: opts.PerLine})
+	}
+	cuts := shardCuts(s.Len(), p)
+	return runParallelCuts(c, s, cuts, opts)
+}
+
+// shardCuts returns p+1 ascending cut points over [0, n] with shard
+// sizes as equal as possible (cuts[k] = k*n/p).
+func shardCuts(n, p int) []int {
+	cuts := make([]int, p+1)
+	for k := 0; k <= p; k++ {
+		cuts[k] = k * n / p
+	}
+	return cuts
+}
+
+// runParallelCuts prices the stream over the given cut points. Split
+// from RunParallel so tests can force adversarial boundaries (length-1
+// shards, cuts on chunk edges) that the equal-split policy never
+// produces. Every shard must be non-empty: cuts must be strictly
+// ascending from 0 to s.Len().
+func runParallelCuts(c Codec, s *trace.Stream, cuts []int, opts ParallelOpts) (Result, error) {
+	p := len(cuts) - 1
+	entries := s.Entries
+
+	// Build one seeded encoder per shard: encs[k] holds the state of
+	// the sequential run after entries [0, cuts[k]-1) — i.e. entering
+	// the boundary entry that worker k re-encodes to prime its bus.
+	encs := make([]Encoder, p)
+	encs[0] = c.NewEncoder()
+	var sweepEntries int64
+	if _, ok := encs[0].(Seeder); ok {
+		for k := 1; k < p; k++ {
+			enc := c.NewEncoder()
+			if lead := cuts[k] - 1; lead > 0 {
+				enc.(Seeder).SeedFrom(SymbolOf(entries[lead-1]))
+			}
+			encs[k] = enc
+		}
+	} else {
+		// State-only sweep: run the batch kernel over the prefix into a
+		// pooled scratch buffer, snapshotting at each boundary. Nothing
+		// is counted or verified here — the shards redo that work in
+		// parallel.
+		sweep := c.NewEncoder()
+		sc := sweep.(StateCodec)
+		be := AsBatch(sweep)
+		buf := runBufPool.Get().(*runBuf)
+		j := 0
+		for k := 1; k < p; k++ {
+			lead := cuts[k] - 1
+			for j < lead {
+				m := lead - j
+				if m > runChunk {
+					m = runChunk
+				}
+				syms := buf.syms[:m]
+				for i := 0; i < m; i++ {
+					syms[i] = SymbolOf(entries[j+i])
+				}
+				be.EncodeBatch(syms, buf.words[:m])
+				j += m
+			}
+			enc := c.NewEncoder()
+			enc.(StateCodec).Restore(sc.Snapshot())
+			encs[k] = enc
+		}
+		runBufPool.Put(buf)
+		sweepEntries = int64(cuts[p-1] - 1)
+		if sweepEntries < 0 {
+			sweepEntries = 0
+		}
+	}
+
+	type shardResult struct {
+		b   *bus.Bus
+		err error
+	}
+	results := make([]shardResult, p)
+	timed := parallelTimed()
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for k := 0; k < p; k++ {
+		go func(k int) {
+			defer wg.Done()
+			var t0 time.Time
+			if timed {
+				t0 = time.Now()
+			}
+			b, err := priceShard(c, entries, cuts[k], cuts[k+1], encs[k], opts, k == 0)
+			if timed {
+				RecordShard(time.Since(t0).Nanoseconds())
+			}
+			results[k] = shardResult{b: b, err: err}
+		}(k)
+	}
+	wg.Wait()
+	for k := 0; k < p; k++ {
+		if results[k].err != nil {
+			return Result{}, results[k].err
+		}
+	}
+	merged := results[0].b
+	for k := 1; k < p; k++ {
+		merged.Merge(results[k].b)
+	}
+	RecordParallel(c.Name(), p, sweepEntries)
+	RecordRun(c.Name(), int64(len(entries)), merged.Transitions())
+	return Result{
+		Codec:       c.Name(),
+		Stream:      s.Name,
+		BusWidth:    c.BusWidth(),
+		Transitions: merged.Transitions(),
+		Cycles:      merged.Cycles(),
+		PerLine:     merged.PerLine(),
+		MaxPerCycle: merged.MaxPerCycle(),
+	}, nil
+}
+
+// priceShard prices entries[start:end) on a private bus with an encoder
+// already holding the boundary state, and returns the bus for the
+// ordered reduction. For shards after the first it re-encodes the entry
+// just before start to recover the exact word on the lines at the
+// boundary. first marks shard 0, whose verification is byte-identical
+// to RunFast's; later shards verify only under VerifyFull and only when
+// the decoder is seedable mid-stream.
+func priceShard(c Codec, entries []trace.Entry, start, end int, enc Encoder, opts ParallelOpts, first bool) (*bus.Bus, error) {
+	var b *bus.Bus
+	if opts.PerLine {
+		b = bus.New(c.BusWidth())
+	} else {
+		b = bus.NewAggregate(c.BusWidth())
+	}
+	var dec Decoder
+	verifyLeft := 0
+	if first {
+		switch opts.Verify {
+		case VerifyFull:
+			dec = c.NewDecoder()
+			verifyLeft = end - start
+		case VerifySampled:
+			dec = c.NewDecoder()
+			verifyLeft = VerifySampleLen
+		}
+	} else if opts.Verify == VerifyFull {
+		d := c.NewDecoder()
+		if sd, ok := d.(Seeder); ok {
+			if lead := start - 1; lead > 0 {
+				sd.SeedFrom(SymbolOf(entries[lead-1]))
+			}
+			dec = d
+			verifyLeft = end - start + 1 // boundary entry included
+		}
+	}
+	mask := bus.Mask(c.PayloadWidth())
+	be := AsBatch(enc)
+	buf := runBufPool.Get().(*runBuf)
+	defer runBufPool.Put(buf)
+	if !first {
+		lead := start - 1
+		e := entries[lead]
+		word := enc.Encode(SymbolOf(e))
+		b.Prime(word)
+		if dec != nil && verifyLeft > 0 {
+			got := dec.Decode(word, e.Sel())
+			if want := e.Addr & mask; got != want {
+				return nil, fmt.Errorf("codec %s: round-trip mismatch at entry %d: addr %#x decoded as %#x", c.Name(), lead, want, got)
+			}
+			verifyLeft--
+		}
+	}
+	for base := start; base < end; base += runChunk {
+		hi := base + runChunk
+		if hi > end {
+			hi = end
+		}
+		chunk := entries[base:hi]
+		syms := buf.syms[:len(chunk)]
+		words := buf.words[:len(chunk)]
+		for i, e := range chunk {
+			syms[i] = SymbolOf(e)
+		}
+		be.EncodeBatch(syms, words)
+		b.Accumulate(words)
+		if dec != nil && verifyLeft > 0 {
+			n := len(chunk)
+			if n > verifyLeft {
+				n = verifyLeft
+			}
+			for i := 0; i < n; i++ {
+				e := chunk[i]
+				got := dec.Decode(words[i], e.Sel())
+				if want := e.Addr & mask; got != want {
+					return nil, fmt.Errorf("codec %s: round-trip mismatch at entry %d: addr %#x decoded as %#x", c.Name(), base+i, want, got)
+				}
+			}
+			verifyLeft -= n
+			if verifyLeft == 0 {
+				dec = nil
+			}
+		}
+	}
+	return b, nil
+}

@@ -1,0 +1,119 @@
+package codec
+
+import (
+	"reflect"
+	"testing"
+
+	"busenc/internal/trace"
+)
+
+// sameAggregate compares the counts RunParallel must reproduce exactly.
+func sameAggregate(t *testing.T, label string, got, want Result) {
+	t.Helper()
+	if got.Transitions != want.Transitions || got.Cycles != want.Cycles ||
+		got.MaxPerCycle != want.MaxPerCycle {
+		t.Errorf("%s: got %d/%d/%d, want %d/%d/%d", label,
+			got.Transitions, got.Cycles, got.MaxPerCycle,
+			want.Transitions, want.Cycles, want.MaxPerCycle)
+	}
+}
+
+// TestRunParallelParity pins RunParallel == Run (transitions, cycles,
+// max per cycle, and per-line counts where requested) for every
+// registered codec across shard counts {1, 2, 3, 16} and stream lengths
+// that do not divide evenly.
+func TestRunParallelParity(t *testing.T) {
+	streams := fixtureStreams(9000)
+	streams = append(streams, randomMixStream(32, 19997, 5))
+	for _, c := range allCodecs(t, 32) {
+		for _, s := range streams {
+			ref := MustRun(c, s)
+			for _, shards := range []int{1, 2, 3, 16} {
+				res, err := RunParallel(c, s, ParallelOpts{Shards: shards, Verify: VerifySampled})
+				if err != nil {
+					t.Fatalf("%s/%s shards=%d: %v", c.Name(), s.Name, shards, err)
+				}
+				sameAggregate(t, c.Name()+"/"+s.Name, res, ref)
+			}
+			perLine, err := RunParallel(c, s, ParallelOpts{Shards: 3, Verify: VerifyNone, PerLine: true})
+			if err != nil {
+				t.Fatalf("%s/%s per-line: %v", c.Name(), s.Name, err)
+			}
+			if !reflect.DeepEqual(perLine.PerLine, ref.PerLine) {
+				t.Errorf("%s/%s: per-line counts diverge from Run", c.Name(), s.Name)
+			}
+		}
+	}
+}
+
+// TestRunParallelAdversarialCuts drives runParallelCuts directly with
+// boundaries the equal-split policy never produces: length-1 shards at
+// the front, middle and back, and cuts straddling the batch-chunk edge.
+// VerifyFull is on, so the seedable decoders' mid-stream verification
+// path runs too.
+func TestRunParallelAdversarialCuts(t *testing.T) {
+	s := randomMixStream(32, 2*runChunk+1009, 11)
+	n := s.Len()
+	cutSets := [][]int{
+		{0, 1, 2, n},
+		{0, 1, n - 1, n},
+		{0, runChunk, runChunk + 1, n},
+		{0, n / 2, n/2 + 1, n},
+		{0, n - 1, n},
+	}
+	for _, c := range allCodecs(t, 32) {
+		ref := MustRun(c, s)
+		for _, cuts := range cutSets {
+			res, err := runParallelCuts(c, s, cuts, ParallelOpts{Verify: VerifyFull})
+			if err != nil {
+				t.Fatalf("%s cuts=%v: %v", c.Name(), cuts, err)
+			}
+			sameAggregate(t, c.Name(), res, ref)
+		}
+	}
+}
+
+// TestRunParallelShortStreamAndFallback: streams below the shard
+// minimum and codecs without StateCodec take the sequential RunFast
+// path — and the fallback still verifies, catching a broken decoder.
+func TestRunParallelShortStreamAndFallback(t *testing.T) {
+	short := randomMixStream(32, 100, 3)
+	c := MustNew("t0", 32, Options{Stride: 4})
+	res, err := RunParallel(c, short, ParallelOpts{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameAggregate(t, "short", res, MustRun(c, short))
+
+	if _, err := RunParallel(brokenCodec{}, randomMixStream(8, 2000, 3), ParallelOpts{Shards: 2}); err == nil {
+		t.Error("RunParallel accepted a codec whose decoder is wrong via the fallback path")
+	}
+}
+
+// TestRunParallelEmptyStream: zero entries must behave like RunFast.
+func TestRunParallelEmptyStream(t *testing.T) {
+	c := MustNew("gray", 32, Options{Stride: 4})
+	res, err := RunParallel(c, trace.New("empty", 32), ParallelOpts{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 0 || res.Transitions != 0 {
+		t.Errorf("empty stream priced as %d cycles / %d transitions", res.Cycles, res.Transitions)
+	}
+}
+
+// TestShardCuts pins the splitter's invariants: p+1 ascending cuts
+// covering [0, n] with every shard non-empty when p <= n.
+func TestShardCuts(t *testing.T) {
+	for _, tc := range []struct{ n, p int }{{10, 3}, {19997, 16}, {512, 512}, {7, 7}} {
+		cuts := shardCuts(tc.n, tc.p)
+		if len(cuts) != tc.p+1 || cuts[0] != 0 || cuts[tc.p] != tc.n {
+			t.Fatalf("shardCuts(%d,%d) = %v", tc.n, tc.p, cuts)
+		}
+		for k := 1; k <= tc.p; k++ {
+			if cuts[k] <= cuts[k-1] {
+				t.Fatalf("shardCuts(%d,%d): empty shard at %d: %v", tc.n, tc.p, k, cuts)
+			}
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package codec
+
+// Encoder state capture. Every encoder in the registry implements
+// StateCodec, making its mutable state an explicit, transferable value:
+// Snapshot returns an opaque deep copy and Restore installs one into any
+// encoder instance built by the same Codec. That contract is what lets
+// shard-parallel pricing (parallel.go) hand shard k an encoder carrying
+// exactly the state the sequential run would have had at the shard
+// boundary — the state_test.go property test and FuzzSnapshotSplit pin
+// it for every registered code at arbitrary split points.
+//
+// Codecs whose state is a function of the previous symbol alone also
+// implement Seeder: SeedFrom reconstructs the post-prefix state from the
+// last prefix symbol in O(1), with no sequential sweep. Binary, Gray and
+// Beach are stateless (SeedFrom is a no-op); Offset and IncXor keep only
+// the previous masked address. The prefix-dependent codes — bus-invert
+// (previous *encoded* word), the T0 family (reference registers and
+// frozen bus lines), working-zone (zone registers and LRU ages) and
+// adaptive (the move-to-front list) — cannot be seeded from one symbol
+// and are handled by a sequential state-only sweep instead.
+
+// State is an opaque encoder-state value produced by Snapshot. It owns
+// its memory: mutating the originating encoder after Snapshot must not
+// change a captured State, and Restore must not alias the State into the
+// target (so one State may seed several encoders).
+type State any
+
+// StateCodec is the capability interface for encoder state transfer.
+type StateCodec interface {
+	// Snapshot returns a deep copy of the encoder's mutable state.
+	Snapshot() State
+	// Restore installs a state captured from any encoder (or decoder,
+	// for shared end types) of the same Codec.
+	Restore(State)
+}
+
+// Seeder is the O(1) fast path of StateCodec: SeedFrom puts the
+// encoder in exactly the state it would hold after encoding a sequence
+// whose last symbol was prev. Only codecs whose state is a function of
+// the previous symbol alone can implement it.
+type Seeder interface {
+	SeedFrom(prev Symbol)
+}

@@ -1,0 +1,121 @@
+package codec
+
+import (
+	"testing"
+
+	"busenc/internal/bus"
+	"busenc/internal/trace"
+)
+
+// encodeRange encodes entries[from:to) through enc and returns the words.
+func encodeRange(enc Encoder, s *trace.Stream, from, to int) []uint64 {
+	out := make([]uint64, 0, to-from)
+	for _, e := range s.Entries[from:to] {
+		out = append(out, enc.Encode(SymbolOf(e)))
+	}
+	return out
+}
+
+// checkSnapshotSplit verifies the StateCodec contract for one codec at
+// one split point: Snapshot taken after the prefix, then encoding the
+// suffix, then Restore (into the same encoder and into a fresh one)
+// must reproduce the identical suffix words — and therefore identical
+// transition counts.
+func checkSnapshotSplit(t *testing.T, c Codec, s *trace.Stream, split int) {
+	t.Helper()
+	enc := c.NewEncoder()
+	sc, ok := enc.(StateCodec)
+	if !ok {
+		t.Fatalf("%s: encoder does not implement StateCodec", c.Name())
+	}
+	encodeRange(enc, s, 0, split)
+	st := sc.Snapshot()
+	want := encodeRange(enc, s, split, s.Len())
+
+	// Restore into the mutated original encoder.
+	sc.Restore(st)
+	if got := encodeRange(enc, s, split, s.Len()); !equalWords(got, want) {
+		t.Errorf("%s split=%d: re-encode after Restore diverges", c.Name(), split)
+	}
+
+	// Restore the same State into a fresh instance: Snapshot must not
+	// alias the source encoder's memory.
+	fresh := c.NewEncoder()
+	fresh.(StateCodec).Restore(st)
+	got := encodeRange(fresh, s, split, s.Len())
+	if !equalWords(got, want) {
+		t.Errorf("%s split=%d: fresh encoder after Restore diverges", c.Name(), split)
+	}
+	if gt, wt := bus.CountTransitions(got, c.BusWidth()), bus.CountTransitions(want, c.BusWidth()); gt != wt {
+		t.Errorf("%s split=%d: suffix transition count %d, want %d", c.Name(), split, gt, wt)
+	}
+}
+
+func equalWords(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSnapshotRestoreEveryCodec runs the snapshot property for every
+// registered codec at a spread of split points, including the edges.
+func TestSnapshotRestoreEveryCodec(t *testing.T) {
+	s := randomMixStream(32, 3000, 17)
+	for _, c := range allCodecs(t, 32) {
+		for _, split := range []int{0, 1, 2, 100, 1499, s.Len() - 1, s.Len()} {
+			checkSnapshotSplit(t, c, s, split)
+		}
+	}
+}
+
+// TestSeederMatchesPrefix pins the Seeder contract against the ground
+// truth: SeedFrom(last prefix symbol) on a fresh encoder must yield the
+// same suffix words as an encoder that actually encoded the prefix.
+func TestSeederMatchesPrefix(t *testing.T) {
+	s := randomMixStream(32, 2000, 23)
+	seedable := 0
+	for _, c := range allCodecs(t, 32) {
+		probe := c.NewEncoder()
+		sd, ok := probe.(Seeder)
+		if !ok {
+			continue
+		}
+		seedable++
+		for _, split := range []int{1, 7, 1023, s.Len() - 1} {
+			ref := c.NewEncoder()
+			encodeRange(ref, s, 0, split)
+			want := encodeRange(ref, s, split, s.Len())
+			sd.SeedFrom(SymbolOf(s.Entries[split-1]))
+			if got := encodeRange(probe, s, split, s.Len()); !equalWords(got, want) {
+				t.Errorf("%s split=%d: seeded encoder diverges from prefix-encoded one", c.Name(), split)
+			}
+			probe = c.NewEncoder()
+			sd = probe.(Seeder)
+		}
+	}
+	// binary, gray, beach, offset, incxor — the previous-symbol codes.
+	if seedable != 5 {
+		t.Errorf("seedable codecs = %d, want 5 (did a Seeder appear or vanish?)", seedable)
+	}
+}
+
+// FuzzSnapshotSplit fuzzes the split point and stream seed of the
+// snapshot property across every registered codec.
+func FuzzSnapshotSplit(f *testing.F) {
+	f.Add(int64(1), uint16(0))
+	f.Add(int64(42), uint16(255))
+	f.Add(int64(-7), uint16(511))
+	f.Fuzz(func(t *testing.T, seed int64, rawSplit uint16) {
+		s := randomMixStream(32, 512, seed)
+		split := int(rawSplit) % (s.Len() + 1)
+		for _, c := range allCodecs(t, 32) {
+			checkSnapshotSplit(t, c, s, split)
+		}
+	})
+}

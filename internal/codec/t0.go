@@ -76,6 +76,24 @@ func (e *t0Encoder) Encode(s Symbol) uint64 {
 
 func (e *t0Encoder) Reset() { e.prevAddr, e.prevBus, e.valid = 0, 0, false }
 
+// t0State is the Snapshot payload. prevBus (the frozen payload lines)
+// is a prefix function — it holds the last out-of-sequence address —
+// so T0 is a sweep codec, not a Seeder.
+type t0State struct {
+	prevAddr uint64
+	prevBus  uint64
+	valid    bool
+}
+
+// Snapshot implements StateCodec.
+func (e *t0Encoder) Snapshot() State { return t0State{e.prevAddr, e.prevBus, e.valid} }
+
+// Restore implements StateCodec.
+func (e *t0Encoder) Restore(st State) {
+	s := st.(t0State)
+	e.prevAddr, e.prevBus, e.valid = s.prevAddr, s.prevBus, s.valid
+}
+
 // EncodeBatch implements BatchEncoder: the chunk loop keeps the encoder
 // state in locals, paying the pointer writes once per chunk.
 func (e *t0Encoder) EncodeBatch(syms []Symbol, out []uint64) {

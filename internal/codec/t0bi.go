@@ -95,6 +95,23 @@ func (e *t0biEncoder) Encode(s Symbol) uint64 {
 
 func (e *t0biEncoder) Reset() { e.prevAddr, e.prevWord, e.valid = 0, 0, false }
 
+// t0biState is the Snapshot payload; prevWord chains through every
+// prior invert/freeze decision, so T0_BI is a sweep codec.
+type t0biState struct {
+	prevAddr uint64
+	prevWord uint64
+	valid    bool
+}
+
+// Snapshot implements StateCodec.
+func (e *t0biEncoder) Snapshot() State { return t0biState{e.prevAddr, e.prevWord, e.valid} }
+
+// Restore implements StateCodec.
+func (e *t0biEncoder) Restore(st State) {
+	s := st.(t0biState)
+	e.prevAddr, e.prevWord, e.valid = s.prevAddr, s.prevWord, s.valid
+}
+
 // EncodeBatch implements BatchEncoder with the encoder state in locals.
 func (e *t0biEncoder) EncodeBatch(syms []Symbol, out []uint64) {
 	t := e.t

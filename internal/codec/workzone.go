@@ -105,6 +105,33 @@ func (e *wzEnd) Reset() {
 	e.prev = 0
 }
 
+// wzState is the Snapshot payload: deep copies of the zone registers
+// and LRU ages, so one State can seed several shard encoders without
+// aliasing. Working-zone is a sweep codec — the registers accumulate
+// the whole prefix's locality.
+type wzState struct {
+	regs []uint64
+	age  []int
+	prev uint64
+}
+
+// Snapshot implements StateCodec.
+func (e *wzEnd) Snapshot() State {
+	return wzState{
+		regs: append([]uint64(nil), e.regs...),
+		age:  append([]int(nil), e.age...),
+		prev: e.prev,
+	}
+}
+
+// Restore implements StateCodec.
+func (e *wzEnd) Restore(st State) {
+	s := st.(wzState)
+	copy(e.regs, s.regs)
+	copy(e.age, s.age)
+	e.prev = s.prev
+}
+
 func (e *wzEnd) touch(idx int) {
 	for i := range e.age {
 		e.age[i]++

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+
+	"busenc/internal/codec"
+	"busenc/internal/trace"
+)
+
+// Shard-parallel evaluation of a materialized stream. EvaluateParallel
+// is the third evaluation path next to the batched sequential engine
+// (RunFast via Compare) and the bounded streaming fan-out
+// (EvaluateStreaming): every named codec prices the stream through
+// codec.RunParallel, and the codec-level calls themselves fan out on
+// the bounded scheduler, so a sweep codec's sequential seeding pass
+// overlaps with other codecs' shard work. Results are returned in codes
+// order and errors are deterministic (lowest codec index wins),
+// regardless of scheduling.
+
+// ParallelConfig tunes EvaluateParallel.
+type ParallelConfig struct {
+	// Shards is the per-codec shard count handed to codec.RunParallel;
+	// <= 0 means GOMAXPROCS.
+	Shards int
+	// Verify selects decode round-trip checking (see
+	// codec.ParallelOpts.Verify for mid-stream coverage).
+	Verify codec.VerifyMode
+	// PerLine requests per-line transition counts in every Result.
+	PerLine bool
+}
+
+// EvaluateParallel prices every named codec over a materialized stream
+// with shard-parallel pricing. width is the payload width for codec
+// construction (0 means core.Width). All codec constructions are
+// validated before any pricing starts, so an unknown code fails fast.
+func EvaluateParallel(s *trace.Stream, width int, codes []string, opts codec.Options, cfg ParallelConfig) ([]codec.Result, error) {
+	if len(codes) == 0 {
+		return nil, fmt.Errorf("core: no codecs to evaluate")
+	}
+	if width <= 0 {
+		width = Width
+	}
+	cs := make([]codec.Codec, len(codes))
+	for i, code := range codes {
+		c, err := codec.New(code, width, opts)
+		if err != nil {
+			return nil, err
+		}
+		cs[i] = c
+	}
+	m := parallelBinding.Get()
+	m.shards.Set(int64(cfg.Shards))
+	m.codecs.Set(int64(len(cs)))
+	popts := codec.ParallelOpts{Shards: cfg.Shards, Verify: cfg.Verify, PerLine: cfg.PerLine}
+	results := make([]codec.Result, len(cs))
+	err := forEachN(len(cs), func(i int) error {
+		res, err := codec.RunParallel(cs[i], s, popts)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		parallelEvals.Add(1)
+		parallelEntries.Add(res.Cycles)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}

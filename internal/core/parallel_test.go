@@ -1,0 +1,88 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"busenc/internal/codec"
+)
+
+// TestEvaluateParallelParity: the parallel evaluator must reproduce the
+// sequential engine's results for every requested codec, in codes
+// order, across shard counts.
+func TestEvaluateParallelParity(t *testing.T) {
+	s := ReferenceMuxedStream(20000)
+	codes := []string{"binary", "gray", "t0", "businvert", "t0bi", "dualt0", "dualt0bi"}
+	var want []codec.Result
+	for _, code := range codes {
+		c := codec.MustNew(code, Width, DefaultOptions)
+		res, err := codec.RunFast(c, s, codec.RunOpts{Verify: codec.VerifySampled})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, res)
+	}
+	for _, shards := range []int{0, 1, 3, 16} {
+		got, err := EvaluateParallel(s, Width, codes, DefaultOptions,
+			ParallelConfig{Shards: shards, Verify: codec.VerifySampled})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		for i := range want {
+			if got[i].Codec != want[i].Codec || got[i].Transitions != want[i].Transitions ||
+				got[i].Cycles != want[i].Cycles || got[i].MaxPerCycle != want[i].MaxPerCycle {
+				t.Errorf("shards=%d %s: got %+v, want %+v", shards, codes[i], got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestEvaluateParallelErrors: unknown codecs fail fast, before any
+// pricing, and an empty code list is rejected.
+func TestEvaluateParallelErrors(t *testing.T) {
+	s := ReferenceMuxedStream(1000)
+	if _, err := EvaluateParallel(s, Width, nil, DefaultOptions, ParallelConfig{}); err == nil {
+		t.Error("empty code list accepted")
+	}
+	if _, err := EvaluateParallel(s, Width, []string{"binary", "bogus"}, DefaultOptions, ParallelConfig{}); err == nil {
+		t.Error("unknown codec accepted")
+	}
+}
+
+// TestEngineStatsConcurrent hammers EvaluateParallel from several
+// goroutines while reading StreamEngineStats — the race detector is the
+// real assertion; the counter check pins that concurrent shard workers
+// do not lose increments.
+func TestEngineStatsConcurrent(t *testing.T) {
+	s := ReferenceMuxedStream(4000)
+	codes := []string{"binary", "t0", "businvert"}
+	before := StreamEngineStats()
+	const evals = 4
+	var wg sync.WaitGroup
+	for i := 0; i < evals; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := EvaluateParallel(s, Width, codes, DefaultOptions,
+				ParallelConfig{Shards: 4, Verify: codec.VerifyNone}); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = StreamEngineStats()
+		}
+	}()
+	wg.Wait()
+	<-done
+	after := StreamEngineStats()
+	if got := after.ParallelEvals - before.ParallelEvals; got != evals*int64(len(codes)) {
+		t.Errorf("ParallelEvals grew by %d, want %d", got, evals*len(codes))
+	}
+	if got := after.ParallelEntries - before.ParallelEntries; got != evals*int64(len(codes))*4000 {
+		t.Errorf("ParallelEntries grew by %d, want %d", got, evals*len(codes)*4000)
+	}
+}

@@ -31,10 +31,17 @@ var streamCache sync.Map // Source -> *streamCacheEntry
 // they make the memoization contract measurable ("each MIPS program is
 // assembled and simulated exactly once per process") and show up in
 // every metrics dump alongside the gated hot-path registry.
+// The parallel-evaluation counters are written concurrently by the
+// scheduler's workers (and, beneath them, shard goroutines), so every
+// counter here must stay an obs atomic — StreamEngineStats may be
+// called while an evaluation is in flight and must stay race-clean
+// (core's race test hammers exactly that).
 var (
-	engineReg  = obs.NewRegistry("engine")
-	mipsRuns   = engineReg.Counter("engine.mips_runs")
-	mipsCycles = engineReg.Counter("engine.mips_cycles")
+	engineReg       = obs.NewRegistry("engine")
+	mipsRuns        = engineReg.Counter("engine.mips_runs")
+	mipsCycles      = engineReg.Counter("engine.mips_cycles")
+	parallelEvals   = engineReg.Counter("engine.parallel_evals")
+	parallelEntries = engineReg.Counter("engine.parallel_entries")
 )
 
 // EngineStats reports cumulative work done by the stream layer since
@@ -45,11 +52,22 @@ type EngineStats struct {
 	// MIPSCycles is the total number of simulated CPU cycles across those
 	// runs (from mips.RunStats).
 	MIPSCycles int64
+	// ParallelEvals is the number of codec evaluations completed through
+	// EvaluateParallel.
+	ParallelEvals int64
+	// ParallelEntries is the total entries priced by those evaluations.
+	ParallelEntries int64
 }
 
-// StreamEngineStats returns the current engine counters.
+// StreamEngineStats returns the current engine counters. It is safe to
+// call concurrently with running evaluations.
 func StreamEngineStats() EngineStats {
-	return EngineStats{MIPSRuns: mipsRuns.Value(), MIPSCycles: mipsCycles.Value()}
+	return EngineStats{
+		MIPSRuns:        mipsRuns.Value(),
+		MIPSCycles:      mipsCycles.Value(),
+		ParallelEvals:   parallelEvals.Value(),
+		ParallelEntries: parallelEntries.Value(),
+	}
 }
 
 // Streams returns the nine-benchmark stream sets from the chosen source,
