@@ -1,17 +1,17 @@
 # CI entry points. `make ci` is what the repository considers green:
 # formatting, build, vet, race-enabled tests, a short fuzz smoke of the
-# trace parsers, and one timed pass of the headline evaluation
-# benchmark. `make benchguard` is the separate regression gate: it
-# regenerates the benchmark records and fails if they fall outside the
-# committed records' tolerance bands.
+# trace parsers, a span-tracing smoke of the observability exporter, and
+# one timed pass of the headline evaluation benchmark. `make benchguard`
+# is the separate regression gate: it regenerates the benchmark records
+# and fails if they fall outside the committed records' tolerance bands.
 
 GO ?= go
 
-.PHONY: all ci build vet fmt-check test test-stream fuzz-smoke bench benchjson benchguard
+.PHONY: all ci build vet fmt-check test test-stream fuzz-smoke trace-smoke bench benchjson benchguard
 
 all: ci
 
-ci: build vet fmt-check test test-stream fuzz-smoke bench
+ci: build vet fmt-check test test-stream fuzz-smoke trace-smoke bench
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,17 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzReadText -fuzztime=5s ./internal/trace
 	$(GO) test -run=NONE -fuzz=FuzzReadBinary -fuzztime=5s ./internal/trace
 	$(GO) test -run=NONE -fuzz=FuzzSnapshotSplit -fuzztime=5s ./internal/codec
+
+# Span-tracing smoke: generate a small synthetic trace, evaluate it
+# shard-parallel with the flight recorder exporting a Chrome trace-event
+# file, then validate the file's structure and require the recorded
+# spans to cover at least 95% of the traced wall-clock window — a hole
+# bigger than that means a pipeline stage lost its instrumentation.
+trace-smoke:
+	mkdir -p .trace-smoke
+	$(GO) run ./cmd/tracegen -bench gzip -synthetic -o .trace-smoke/smoke.trace
+	$(GO) run ./cmd/paper -trace .trace-smoke/smoke.trace -parallel 4 -spantrace .trace-smoke/spans.json > /dev/null
+	$(GO) run ./cmd/tracecheck -mincover 0.95 .trace-smoke/spans.json
 
 bench:
 	$(GO) test -run=NONE -bench=BenchmarkTable4 -benchtime=1x .

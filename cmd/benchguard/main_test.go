@@ -85,6 +85,47 @@ func TestCLIFailsOnSlowdown(t *testing.T) {
 	}
 }
 
+func TestCLIViolationFormatting(t *testing.T) {
+	base := writeDir(t, goodEngine(), goodStream())
+	slow := goodEngine()
+	slow.SpeedupWarm = 7.123456 // 20 committed -> fails the 25% band
+	collapsed := goodStream()
+	collapsed.StreamingAllocBytes = collapsed.MaterializedAllocBytes
+	collapsed.AllocRatio = 1 // 32 committed -> collapses past the 2x band
+	fresh := writeDir(t, slow, collapsed)
+	code, _, errOut := runGuard(t, "-baseline", base, "-fresh", fresh)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr:\n%s", code, errOut)
+	}
+	// Every violation line names its record and prints fixed 3-decimal
+	// numbers (no %g scientific or truncated forms).
+	var lines []string
+	for _, line := range strings.Split(errOut, "\n") {
+		if strings.HasPrefix(line, "  ") {
+			lines = append(lines, line)
+		}
+	}
+	if len(lines) < 2 {
+		t.Fatalf("want at least 2 violation lines, got %d:\n%s", len(lines), errOut)
+	}
+	for _, line := range lines {
+		trimmed := strings.TrimSpace(line)
+		if !strings.HasPrefix(trimmed, "engine:") && !strings.HasPrefix(trimmed, "stream:") && !strings.HasPrefix(trimmed, "parallel:") {
+			t.Errorf("violation line does not lead with its record name: %q", line)
+		}
+	}
+	for _, want := range []string{
+		"(committed 20.000, fresh 7.123)", // speedup_warm, 3 decimals fixed
+		"(floor 15.000)",                  // speedup floor
+		"(committed 32.000, fresh 1.000)", // alloc_ratio
+		"more than 2.000x",                // collapse factor
+	} {
+		if !strings.Contains(errOut, want) {
+			t.Errorf("stderr missing %q:\n%s", want, errOut)
+		}
+	}
+}
+
 func TestCLITighterTolerance(t *testing.T) {
 	base := writeDir(t, goodEngine(), goodStream())
 	slight := goodEngine()

@@ -4,7 +4,7 @@
 // registries, expvar, and (optionally) net/http/pprof from the same
 // process, so the hot paths can be inspected while they run.
 //
-//	busencd -listen :8377            # /healthz /metrics /eval /debug/vars
+//	busencd -listen :8377            # /healthz /metrics /spans /eval /debug/vars
 //	busencd -listen :8377 -pprof     # + /debug/pprof/*
 //
 // This is a debugging daemon for trusted local use: /eval reads trace
@@ -35,6 +35,7 @@ func main() {
 	flag.Parse()
 
 	obs.Enable()
+	obs.EnableTracing(obs.TracerConfig{})
 	mux := newMux(*withPprof)
 	log.Printf("busencd: serving on %s (pprof=%v)", *listen, *withPprof)
 	log.Fatal(http.ListenAndServe(*listen, mux))
@@ -58,6 +59,7 @@ func newMux(withPprof bool) *http.ServeMux {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/metrics", handleMetrics)
+	mux.HandleFunc("/spans", handleSpans)
 	mux.HandleFunc("/eval", handleEval)
 	mux.Handle("/debug/vars", expvar.Handler())
 	if withPprof {
@@ -71,7 +73,8 @@ func newMux(withPprof bool) *http.ServeMux {
 }
 
 // handleMetrics dumps every non-empty registry: JSON by default,
-// ?format=table for the human-aligned rendering.
+// ?format=table for the human-aligned rendering, ?format=prometheus for
+// the text exposition a Prometheus scraper expects.
 func handleMetrics(w http.ResponseWriter, r *http.Request) {
 	switch r.URL.Query().Get("format") {
 	case "", "json":
@@ -84,9 +87,47 @@ func handleMetrics(w http.ResponseWriter, r *http.Request) {
 		if err := obs.WriteAllTable(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
+	case "prometheus":
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := obs.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
 	default:
-		http.Error(w, "format must be json or table", http.StatusBadRequest)
+		http.Error(w, "format must be json, table or prometheus", http.StatusBadRequest)
 	}
+}
+
+// spansResponse is the JSON reply of /spans.
+type spansResponse struct {
+	Enabled bool       `json:"tracing_enabled"`
+	Count   int        `json:"count"`
+	Spans   []obs.Span `json:"spans"`
+}
+
+// handleSpans serves the flight recorder's current contents — the most
+// recent spans across the pipeline, start-ordered — optionally filtered
+// by exact stage (?stage=encode) and codec (?codec=t0bi) label.
+func handleSpans(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	stage, code := q.Get("stage"), q.Get("codec")
+	spans := obs.Spans() // a fresh copy, safe to filter in place
+	out := spans[:0]
+	for _, s := range spans {
+		if stage != "" && s.Stage != stage {
+			continue
+		}
+		if code != "" && s.Codec != code {
+			continue
+		}
+		out = append(out, s)
+	}
+	if out == nil {
+		out = []obs.Span{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(spansResponse{Enabled: obs.TracingEnabled(), Count: len(out), Spans: out})
 }
 
 // evalResponse is the JSON reply of /eval.
@@ -108,7 +149,7 @@ func handleEval(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	path := q.Get("trace")
 	if path == "" {
-		http.Error(w, "missing trace parameter", http.StatusBadRequest)
+		httpError(w, http.StatusBadRequest, "missing trace parameter")
 		return
 	}
 	codes := splitCodes(q.Get("codes"))
@@ -132,7 +173,7 @@ func handleEval(w http.ResponseWriter, r *http.Request) {
 
 	tr, closer, err := trace.OpenFile(path, pool)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusNotFound)
+		httpError(w, http.StatusNotFound, "%v", err)
 		return
 	}
 	defer closer.Close()
@@ -140,7 +181,7 @@ func handleEval(w http.ResponseWriter, r *http.Request) {
 	if parallel > 0 {
 		s, rerr := trace.ReadAll(tr)
 		if rerr != nil {
-			http.Error(w, rerr.Error(), http.StatusUnprocessableEntity)
+			httpError(w, http.StatusUnprocessableEntity, "%v", rerr)
 			return
 		}
 		results, err = core.EvaluateParallel(s, s.Width, codes, core.DefaultOptions,
@@ -149,7 +190,7 @@ func handleEval(w http.ResponseWriter, r *http.Request) {
 		results, err = core.EvaluateStreaming(tr, tr.Width(), codes, core.DefaultOptions, cfg)
 	}
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
 	resp := evalResponse{
@@ -165,15 +206,27 @@ func handleEval(w http.ResponseWriter, r *http.Request) {
 	enc.Encode(resp)
 }
 
+// httpError writes /eval's JSON error envelope: {"error": ..., "status":
+// ...} with the matching HTTP status code, so clients can branch on a
+// machine-readable body instead of scraping plain text.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(struct {
+		Error  string `json:"error"`
+		Status int    `json:"status"`
+	}{fmt.Sprintf(format, args...), status})
+}
+
 // posIntParam parses an optional positive-integer query parameter; it
-// writes the 400 itself and reports ok=false on a bad value.
+// writes the 400 envelope itself and reports ok=false on a bad value.
 func posIntParam(w http.ResponseWriter, s, name string) (int, bool) {
 	if s == "" {
 		return 0, true
 	}
 	n, err := strconv.Atoi(s)
 	if err != nil || n <= 0 {
-		http.Error(w, name+" must be a positive integer", http.StatusBadRequest)
+		httpError(w, http.StatusBadRequest, "%s must be a positive integer, got %q", name, s)
 		return 0, false
 	}
 	return n, true

@@ -123,27 +123,115 @@ func TestServerEndpoints(t *testing.T) {
 	}
 }
 
+// decodeErrEnvelope asserts a response body is the JSON error envelope
+// and that its status field echoes the HTTP status.
+func decodeErrEnvelope(t *testing.T, label, body string, wantStatus int) {
+	t.Helper()
+	var env struct {
+		Error  string `json:"error"`
+		Status int    `json:"status"`
+	}
+	if err := json.Unmarshal([]byte(body), &env); err != nil {
+		t.Errorf("%s: body is not a JSON envelope: %v\n%s", label, err, body)
+		return
+	}
+	if env.Error == "" {
+		t.Errorf("%s: envelope has empty error: %s", label, body)
+	}
+	if env.Status != wantStatus {
+		t.Errorf("%s: envelope status = %d, want %d", label, env.Status, wantStatus)
+	}
+}
+
 func TestServerEvalErrors(t *testing.T) {
 	srv := httptest.NewServer(newMux(false))
 	defer srv.Close()
-	if code, _ := get(t, srv, "/eval"); code != 400 {
-		t.Errorf("missing trace param: %d, want 400", code)
-	}
-	if code, _ := get(t, srv, "/eval?trace=/no/such/file.bin"); code != 404 {
-		t.Errorf("missing file: %d, want 404", code)
-	}
 	path := writeServerTrace(t, 100)
-	if code, _ := get(t, srv, "/eval?trace="+path+"&chunklen=nope"); code != 400 {
-		t.Errorf("bad chunklen: %d, want 400", code)
+	cases := []struct {
+		name, url string
+		want      int
+	}{
+		{"missing trace param", "/eval", 400},
+		{"missing file", "/eval?trace=/no/such/file.bin", 404},
+		{"bad chunklen", "/eval?trace=" + path + "&chunklen=nope", 400},
+		{"zero chunklen", "/eval?trace=" + path + "&chunklen=0", 400},
+		{"unknown codec", "/eval?trace=" + path + "&codes=bogus", 422},
+		{"bad parallel", "/eval?trace=" + path + "&parallel=-1", 400},
+		{"non-numeric parallel", "/eval?trace=" + path + "&parallel=two", 400},
+		{"unknown codec on parallel path", "/eval?trace=" + path + "&parallel=2&codes=bogus", 422},
 	}
-	if code, _ := get(t, srv, "/eval?trace="+path+"&codes=bogus"); code != 422 {
-		t.Errorf("unknown codec: %d, want 422", code)
+	for _, tc := range cases {
+		code, body := get(t, srv, tc.url)
+		if code != tc.want {
+			t.Errorf("%s: %d, want %d", tc.name, code, tc.want)
+			continue
+		}
+		decodeErrEnvelope(t, tc.name, body, tc.want)
 	}
-	if code, _ := get(t, srv, "/eval?trace="+path+"&parallel=-1"); code != 400 {
-		t.Errorf("bad parallel: %d, want 400", code)
+}
+
+func TestServerSpansAndPrometheus(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	obs.EnableTracing(obs.TracerConfig{})
+	defer obs.DisableTracing()
+	srv := httptest.NewServer(newMux(false))
+	defer srv.Close()
+
+	// Drive one eval so the flight recorder and histograms have content.
+	path := writeServerTrace(t, 2000)
+	if code, body := get(t, srv, "/eval?trace="+path+"&codes=t0,gray"); code != 200 {
+		t.Fatalf("/eval: %d %s", code, body)
 	}
-	if code, _ := get(t, srv, "/eval?trace="+path+"&parallel=2&codes=bogus"); code != 422 {
-		t.Errorf("unknown codec on parallel path: %d, want 422", code)
+
+	code, body := get(t, srv, "/spans")
+	if code != 200 {
+		t.Fatalf("/spans: %d %s", code, body)
+	}
+	var sresp spansResponse
+	if err := json.Unmarshal([]byte(body), &sresp); err != nil {
+		t.Fatalf("/spans returned invalid JSON: %v\n%s", err, body)
+	}
+	if !sresp.Enabled || sresp.Count == 0 || len(sresp.Spans) != sresp.Count {
+		t.Fatalf("/spans = enabled=%v count=%d len=%d", sresp.Enabled, sresp.Count, len(sresp.Spans))
+	}
+	stages := map[string]bool{}
+	for _, s := range sresp.Spans {
+		stages[s.Stage] = true
+	}
+	for _, stage := range []string{obs.StageRead, obs.StageEncode, obs.StageEval} {
+		if !stages[stage] {
+			t.Errorf("/spans missing stage %q (got %v)", stage, stages)
+		}
+	}
+
+	// Stage and codec filters narrow the set.
+	code, body = get(t, srv, "/spans?stage=encode&codec=t0")
+	if code != 200 {
+		t.Fatalf("/spans?stage=encode&codec=t0: %d %s", code, body)
+	}
+	var fresp spansResponse
+	if err := json.Unmarshal([]byte(body), &fresp); err != nil {
+		t.Fatalf("filtered /spans invalid JSON: %v", err)
+	}
+	if fresp.Count == 0 {
+		t.Error("filtered /spans returned no encode/t0 spans")
+	}
+	for _, s := range fresp.Spans {
+		if s.Stage != "encode" || s.Codec != "t0" {
+			t.Errorf("filter leak: stage=%q codec=%q", s.Stage, s.Codec)
+		}
+	}
+
+	// Prometheus exposition carries typed busenc_ metrics.
+	code, body = get(t, srv, "/metrics?format=prometheus")
+	if code != 200 {
+		t.Fatalf("/metrics?format=prometheus: %d %s", code, body)
+	}
+	for _, want := range []string{"# TYPE busenc_", "busenc_default_trace_chunks_read", "_bucket{le=\"+Inf\"}"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("prometheus exposition missing %q:\n%s", want, body)
+		}
 	}
 }
 

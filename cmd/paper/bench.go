@@ -8,6 +8,7 @@ import (
 	"busenc/internal/bench"
 	"busenc/internal/codec"
 	"busenc/internal/core"
+	"busenc/internal/obs"
 )
 
 // Engine benchmark: times a Table 4 regeneration on the seed-style
@@ -88,25 +89,34 @@ func benchEngine(path string, src core.Source, warmIters int) error {
 	if warmIters < 1 {
 		warmIters = 1
 	}
+	root := obs.StartSpan("bench.engine", obs.StageBench)
 
 	// Serial measurements: pin to one proc so records are comparable
 	// across machines and across the trajectory.
 	defaultProcs := runtime.GOMAXPROCS(1)
+	psp := root.Child("bench.reference", obs.StageBench)
 	t0 := time.Now()
 	refTotals, err := referenceTable4(src)
 	if err != nil {
 		runtime.GOMAXPROCS(defaultProcs)
+		psp.EndErr(err)
+		root.EndErr(err)
 		return err
 	}
 	refNs := time.Since(t0).Nanoseconds()
+	psp.End()
 
+	psp = root.Child("bench.engine_cold", obs.StageBench)
 	t0 = time.Now()
 	tab, err := core.Table4(src)
 	if err != nil {
 		runtime.GOMAXPROCS(defaultProcs)
+		psp.EndErr(err)
+		root.EndErr(err)
 		return err
 	}
 	coldNs := time.Since(t0).Nanoseconds()
+	psp.End()
 	parity := sameTotals(refTotals, engineTotals(tab))
 
 	warm := func(iters int) (int64, error) {
@@ -122,19 +132,28 @@ func benchEngine(path string, src core.Source, warmIters int) error {
 		}
 		return best, nil
 	}
+	psp = root.Child("bench.engine_warm", obs.StageBench)
 	warmNs, err := warm(warmIters)
 	if err != nil {
 		runtime.GOMAXPROCS(defaultProcs)
+		psp.EndErr(err)
+		root.EndErr(err)
 		return err
 	}
+	psp.End()
 
 	// Parallel warm run at the default GOMAXPROCS (the caches are warm
 	// either way, so this isolates the scheduler's gain).
 	runtime.GOMAXPROCS(defaultProcs)
+	psp = root.Child("bench.engine_warm_parallel", obs.StageBench)
 	parWarmNs, err := warm(warmIters)
 	if err != nil {
+		psp.EndErr(err)
+		root.EndErr(err)
 		return err
 	}
+	psp.End()
+	root.End()
 
 	rec := bench.EngineRecord{
 		Bench:        bench.EngineBenchName,

@@ -8,6 +8,7 @@ import (
 	"busenc/internal/bench"
 	"busenc/internal/codec"
 	"busenc/internal/core"
+	"busenc/internal/obs"
 )
 
 // Parallel-engine benchmark (-benchparallel): prices the Table 4 stream
@@ -29,7 +30,9 @@ import (
 
 // benchParallel runs the comparison and writes BENCH_parallel.json.
 // shards=0 lets EvaluateParallel pick GOMAXPROCS shards per codec.
-func benchParallel(path string, src core.Source, shards, warmIters int) error {
+func benchParallel(path string, src core.Source, shards, warmIters int) (err error) {
+	sp := obs.StartSpan("bench.parallel", obs.StageBench)
+	defer func() { sp.EndErr(err) }()
 	if warmIters < 1 {
 		warmIters = 1
 	}

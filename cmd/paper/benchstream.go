@@ -11,6 +11,7 @@ import (
 	"busenc/internal/bench"
 	"busenc/internal/codec"
 	"busenc/internal/core"
+	"busenc/internal/obs"
 	"busenc/internal/trace"
 )
 
@@ -57,7 +58,9 @@ func buildBenchTrace(entries int) *trace.Stream {
 
 // benchStream runs the comparison over a trace of the given length and
 // writes the JSON record to path.
-func benchStream(path string, entries int) error {
+func benchStream(path string, entries int) (err error) {
+	sp := obs.StartSpan("bench.stream", obs.StageBench)
+	defer func() { sp.EndErr(err) }()
 	if entries <= 0 {
 		entries = 1 << 20
 	}

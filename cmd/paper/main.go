@@ -40,16 +40,24 @@ func main() {
 	benchStreamJSON := flag.String("benchstream", "", "with -benchjson: path for the streaming-pipeline record (default: BENCH_stream.json beside the engine record)")
 	benchParallelJSON := flag.String("benchparallel", "", "with -benchjson: path for the shard-parallel engine record (default: BENCH_parallel.json beside the engine record)")
 	benchEntries := flag.Int("benchentries", 1<<20, "with -benchjson: trace length for the streaming-pipeline benchmark")
-	metrics := flag.String("metrics", "", "enable run-time observability and dump all metric registries on exit: \"table\" or \"json\" (to stderr, so table/trace output stays clean)")
+	metrics := flag.String("metrics", "", "enable run-time observability and dump all metric registries on exit: \"table\", \"json\" or \"spans\" (to stderr, so table/trace output stays clean; \"spans\" prints per-stage span latency attribution)")
+	spanTrace := flag.String("spantrace", "", "record pipeline spans and write a Chrome trace-event file (load in Perfetto / chrome://tracing) to this path on exit")
 	flag.Parse()
 
 	if *metrics != "" {
-		if *metrics != "table" && *metrics != "json" {
-			fmt.Fprintf(os.Stderr, "paper: -metrics must be \"table\" or \"json\", got %q\n", *metrics)
+		if *metrics != "table" && *metrics != "json" && *metrics != "spans" {
+			fmt.Fprintf(os.Stderr, "paper: -metrics must be \"table\", \"json\" or \"spans\", got %q\n", *metrics)
 			os.Exit(2)
 		}
 		obs.Enable()
+		if *metrics == "spans" && !obs.TracingEnabled() {
+			obs.EnableTracing(obs.TracerConfig{})
+		}
 		defer dumpMetrics(*metrics)
+	}
+	if *spanTrace != "" {
+		obs.EnableTracing(obs.TracerConfig{})
+		defer writeSpanTrace(*spanTrace)
 	}
 
 	src := core.Source(*source)
@@ -93,11 +101,31 @@ func main() {
 // format. Errors are ignored: a metrics dump must never fail the run it
 // is observing.
 func dumpMetrics(format string) {
-	if format == "json" {
+	switch format {
+	case "json":
 		obs.WriteAllJSON(os.Stderr)
+	case "spans":
+		obs.WriteSpanTable(os.Stderr, obs.Spans())
+	default:
+		obs.WriteAllTable(os.Stderr)
+	}
+}
+
+// writeSpanTrace dumps the flight recorder as a Chrome trace-event file.
+// A failed dump warns rather than failing the run it observed.
+func writeSpanTrace(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paper: -spantrace:", err)
 		return
 	}
-	obs.WriteAllTable(os.Stderr)
+	werr := obs.WriteTraceEvents(f, obs.Spans())
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		fmt.Fprintln(os.Stderr, "paper: -spantrace:", werr)
+	}
 }
 
 func run(tableNum int, src core.Source, hwStream int, sweep, asJSON bool) error {

@@ -11,6 +11,7 @@ import (
 
 	"busenc/internal/bench"
 	"busenc/internal/core"
+	"busenc/internal/obs"
 	"busenc/internal/trace"
 )
 
@@ -141,6 +142,70 @@ func TestEvalTraceCustomCodes(t *testing.T) {
 	}
 	if strings.Contains(out, "dualt0") {
 		t.Errorf("unrequested codec in output:\n%s", out)
+	}
+}
+
+func TestSpanTraceExport(t *testing.T) {
+	obs.EnableTracing(obs.TracerConfig{})
+	defer obs.DisableTracing()
+	path := writeTestTrace(t, 3000)
+	captureStdout(t, func() error { return evalTrace(path, "paper", false, 0, 4) })
+	out := filepath.Join(t.TempDir(), "spans.json")
+	writeSpanTrace(out)
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tf); err != nil {
+		t.Fatalf("span trace is not valid JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph == "X" {
+			names[ev.Name] = true
+		}
+	}
+	// The parallel evaluation must leave its whole span taxonomy in the
+	// file: read, per-codec roots, shard kernels and the merge.
+	for _, want := range []string{"trace.read_all", "core.evaluate_parallel", "codec.run_parallel", "codec.shard", "codec.merge"} {
+		if !names[want] {
+			t.Errorf("span trace missing %q events (got %v)", want, names)
+		}
+	}
+}
+
+func TestDumpMetricsSpans(t *testing.T) {
+	obs.EnableTracing(obs.TracerConfig{})
+	defer obs.DisableTracing()
+	path := writeTestTrace(t, 2000)
+	captureStdout(t, func() error { return evalTrace(path, "t0,gray", true, 0, 0) })
+
+	old := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	dumpMetrics("spans")
+	w.Close()
+	os.Stderr = old
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(buf)
+	for _, want := range []string{"stage", "encode", "eval", "slowest chunk"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("spans dump missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -1,0 +1,136 @@
+// Command tracecheck validates a Chrome trace-event file, such as the
+// one cmd/paper -spantrace writes. It checks the structural invariants
+// Perfetto / chrome://tracing rely on (a non-empty traceEvents array,
+// known phase codes, named events, non-negative timestamps and
+// durations) and computes span coverage: the fraction of the traced
+// wall-clock window [first span start, last span end] covered by the
+// union of all complete ("X") events. -mincover turns the coverage into
+// a pass/fail gate, which is how the CI smoke test asserts the span
+// instrumentation actually brackets the pipeline instead of leaving
+// holes.
+//
+//	tracecheck spans.json                  # validate, report coverage
+//	tracecheck -mincover 0.95 spans.json   # also fail below 95% coverage
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// traceEvent is the subset of the trace-event schema the checker cares
+// about. Unknown fields (args, cat, ...) are ignored by design.
+type traceEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+type traceFile struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+// report summarizes a validated file.
+type report struct {
+	Events   int     // total events
+	Complete int     // ph "X" events
+	WallUs   float64 // traced window in microseconds
+	Coverage float64 // union of X events / wall window, in [0, 1]
+}
+
+// check validates raw trace-event JSON and computes the coverage
+// report. It returns the first structural violation as an error.
+func check(raw []byte) (report, error) {
+	var tf traceFile
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		return report{}, fmt.Errorf("not trace-event JSON: %v", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		return report{}, fmt.Errorf("traceEvents is empty")
+	}
+	type ival struct{ lo, hi float64 }
+	var spans []ival
+	rep := report{Events: len(tf.TraceEvents)}
+	for i, ev := range tf.TraceEvents {
+		switch ev.Ph {
+		case "M": // metadata: names processes/threads, carries no time
+			continue
+		case "X":
+		default:
+			return report{}, fmt.Errorf("event %d (%q): unsupported phase %q", i, ev.Name, ev.Ph)
+		}
+		if ev.Name == "" {
+			return report{}, fmt.Errorf("event %d: empty name", i)
+		}
+		if ev.Ts < 0 || ev.Dur < 0 {
+			return report{}, fmt.Errorf("event %d (%q): negative ts/dur (%g/%g)", i, ev.Name, ev.Ts, ev.Dur)
+		}
+		if ev.Pid <= 0 || ev.Tid <= 0 {
+			return report{}, fmt.Errorf("event %d (%q): missing pid/tid (%d/%d)", i, ev.Name, ev.Pid, ev.Tid)
+		}
+		rep.Complete++
+		spans = append(spans, ival{ev.Ts, ev.Ts + ev.Dur})
+	}
+	if rep.Complete == 0 {
+		return report{}, fmt.Errorf("no complete (\"X\") events")
+	}
+	// Union of intervals over the traced window.
+	sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+	lo, hi := spans[0].lo, spans[0].hi
+	var covered float64
+	curLo, curHi := spans[0].lo, spans[0].hi
+	for _, s := range spans[1:] {
+		if s.hi > hi {
+			hi = s.hi
+		}
+		if s.lo > curHi {
+			covered += curHi - curLo
+			curLo, curHi = s.lo, s.hi
+			continue
+		}
+		if s.hi > curHi {
+			curHi = s.hi
+		}
+	}
+	covered += curHi - curLo
+	rep.WallUs = hi - lo
+	if rep.WallUs > 0 {
+		rep.Coverage = covered / rep.WallUs
+	} else {
+		// Degenerate zero-length window (instantaneous spans): covered.
+		rep.Coverage = 1
+	}
+	return rep, nil
+}
+
+func main() {
+	minCover := flag.Float64("mincover", 0, "fail unless span coverage of the traced window is at least this fraction (0 disables the gate)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-mincover FRAC] <spans.json>")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+	rep, err := check(raw)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("tracecheck: %s: %d events (%d spans), %.1f ms wall, %.1f%% covered\n",
+		path, rep.Events, rep.Complete, rep.WallUs/1e3, rep.Coverage*100)
+	if *minCover > 0 && rep.Coverage < *minCover {
+		fmt.Fprintf(os.Stderr, "tracecheck: %s: coverage %.3f below required %.3f\n", path, rep.Coverage, *minCover)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"busenc/internal/obs"
+)
+
+func TestCheckValidFile(t *testing.T) {
+	// Real exporter output: record a tiny span tree and write it out.
+	tr := obs.NewTracer(obs.TracerConfig{RingSize: 64})
+	root := tr.Start("eval", obs.StageEval).WithStream("s")
+	child := root.Child("encode", obs.StageEncode).WithCodec("t0")
+	child.End()
+	root.End()
+	var buf bytes.Buffer
+	if err := obs.WriteTraceEvents(&buf, tr.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := check(buf.Bytes())
+	if err != nil {
+		t.Fatalf("check rejected exporter output: %v\n%s", err, buf.String())
+	}
+	if rep.Complete != 2 {
+		t.Errorf("complete events = %d, want 2", rep.Complete)
+	}
+	// The child nests inside the root, so the root alone covers the
+	// window: coverage must be exactly 1.
+	if math.Abs(rep.Coverage-1) > 1e-9 {
+		t.Errorf("coverage = %g, want 1", rep.Coverage)
+	}
+}
+
+func TestCheckCoverageUnion(t *testing.T) {
+	// Two 10us spans over a 40us window: 50% coverage, and the overlap
+	// between the first pair must not double-count.
+	raw := []byte(`{"traceEvents": [
+		{"name": "a", "ph": "X", "ts": 0, "dur": 6, "pid": 1, "tid": 1},
+		{"name": "b", "ph": "X", "ts": 4, "dur": 6, "pid": 1, "tid": 2},
+		{"name": "c", "ph": "X", "ts": 30, "dur": 10, "pid": 1, "tid": 1}
+	]}`)
+	rep, err := check(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WallUs != 40 {
+		t.Errorf("wall = %g, want 40", rep.WallUs)
+	}
+	if math.Abs(rep.Coverage-0.5) > 1e-9 {
+		t.Errorf("coverage = %g, want 0.5", rep.Coverage)
+	}
+}
+
+func TestCheckRejections(t *testing.T) {
+	cases := []struct {
+		name, raw, want string
+	}{
+		{"not json", `nope`, "not trace-event JSON"},
+		{"empty", `{"traceEvents": []}`, "empty"},
+		{"bad phase", `{"traceEvents": [{"name": "a", "ph": "B", "ts": 0, "dur": 1, "pid": 1, "tid": 1}]}`, "unsupported phase"},
+		{"unnamed", `{"traceEvents": [{"ph": "X", "ts": 0, "dur": 1, "pid": 1, "tid": 1}]}`, "empty name"},
+		{"negative", `{"traceEvents": [{"name": "a", "ph": "X", "ts": -1, "dur": 1, "pid": 1, "tid": 1}]}`, "negative ts/dur"},
+		{"no tid", `{"traceEvents": [{"name": "a", "ph": "X", "ts": 0, "dur": 1, "pid": 1}]}`, "missing pid/tid"},
+		{"metadata only", `{"traceEvents": [{"name": "process_name", "ph": "M", "pid": 1, "tid": 1}]}`, "no complete"},
+	}
+	for _, tc := range cases {
+		if _, err := check([]byte(tc.raw)); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -42,9 +42,12 @@ type Violation struct {
 	Msg    string
 }
 
+// String renders one error line. The record name always leads, and
+// every number prints with fixed 3-decimal formatting so CI logs stay
+// column-comparable across runs (no %g magnitude-dependent width).
 func (v Violation) String() string {
 	if v.Old != 0 || v.New != 0 {
-		return fmt.Sprintf("%s: %s: %s (committed %.4g, fresh %.4g)", v.Record, v.Field, v.Msg, v.Old, v.New)
+		return fmt.Sprintf("%s: %s: %s (committed %.3f, fresh %.3f)", v.Record, v.Field, v.Msg, v.Old, v.New)
 	}
 	return fmt.Sprintf("%s: %s: %s", v.Record, v.Field, v.Msg)
 }
@@ -57,7 +60,7 @@ func speedupDrop(record, field string, old, new, tol float64) *Violation {
 	}
 	return &Violation{
 		Record: record, Field: field, Old: old, New: new,
-		Msg: fmt.Sprintf("speedup dropped more than %.0f%% below the committed record (floor %.4g)", tol*100, floor),
+		Msg: fmt.Sprintf("speedup dropped more than %.0f%% below the committed record (floor %.3f)", tol*100, floor),
 	}
 }
 
@@ -103,7 +106,7 @@ func CompareStream(old, fresh StreamRecord, tol Tolerance) []Violation {
 		if fresh.AllocRatio < floor {
 			out = append(out, Violation{
 				Record: "stream", Field: "alloc_ratio", Old: old.AllocRatio, New: fresh.AllocRatio,
-				Msg: fmt.Sprintf("alloc ratio collapsed more than %.2gx below the committed record (floor %.4g)", tol.AllocCollapse, floor),
+				Msg: fmt.Sprintf("alloc ratio collapsed more than %.3fx below the committed record (floor %.3f)", tol.AllocCollapse, floor),
 			})
 		}
 	}

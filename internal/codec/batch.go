@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"busenc/internal/bus"
+	"busenc/internal/obs"
 	"busenc/internal/trace"
 )
 
@@ -97,6 +98,7 @@ var runBufPool = sync.Pool{New: func() any {
 // opts.Verify. RunFast is safe for concurrent use across goroutines (each
 // call has its own encoder, decoder, bus and pooled buffers).
 func RunFast(c Codec, s *trace.Stream, opts RunOpts) (Result, error) {
+	root := obs.StartSpan("codec.run_fast", obs.StageEncode).WithCodec(c.Name()).WithStream(s.Name)
 	enc := AsBatch(c.NewEncoder())
 	var b *bus.Bus
 	if opts.PerLine {
@@ -124,6 +126,7 @@ func RunFast(c Codec, s *trace.Stream, opts RunOpts) (Result, error) {
 			end = len(entries)
 		}
 		chunk := entries[base:end]
+		csp := root.Child("codec.chunk", obs.StageEncode).WithChunk(base / runChunk)
 		syms := buf.syms[:len(chunk)]
 		words := buf.words[:len(chunk)]
 		for i, e := range chunk {
@@ -140,7 +143,10 @@ func RunFast(c Codec, s *trace.Stream, opts RunOpts) (Result, error) {
 				e := chunk[i]
 				got := dec.Decode(words[i], e.Sel())
 				if want := e.Addr & mask; got != want {
-					return Result{}, fmt.Errorf("codec %s: round-trip mismatch at entry %d: addr %#x decoded as %#x", c.Name(), base+i, want, got)
+					err := fmt.Errorf("codec %s: round-trip mismatch at entry %d: addr %#x decoded as %#x", c.Name(), base+i, want, got)
+					csp.EndErr(err)
+					root.EndErr(err)
+					return Result{}, err
 				}
 			}
 			verifyLeft -= n
@@ -148,7 +154,9 @@ func RunFast(c Codec, s *trace.Stream, opts RunOpts) (Result, error) {
 				dec = nil
 			}
 		}
+		csp.End()
 	}
+	root.End()
 	RecordRun(c.Name(), int64(len(entries)), b.Transitions())
 	return Result{
 		Codec:       c.Name(),

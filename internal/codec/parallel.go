@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"busenc/internal/bus"
+	"busenc/internal/obs"
 	"busenc/internal/trace"
 )
 
@@ -101,6 +102,7 @@ func shardCuts(n, p int) []int {
 func runParallelCuts(c Codec, s *trace.Stream, cuts []int, opts ParallelOpts) (Result, error) {
 	p := len(cuts) - 1
 	entries := s.Entries
+	root := obs.StartSpan("codec.run_parallel", obs.StageEval).WithCodec(c.Name()).WithStream(s.Name)
 
 	// Build one seeded encoder per shard: encs[k] holds the state of
 	// the sequential run after entries [0, cuts[k]-1) — i.e. entering
@@ -121,6 +123,7 @@ func runParallelCuts(c Codec, s *trace.Stream, cuts []int, opts ParallelOpts) (R
 		// pooled scratch buffer, snapshotting at each boundary. Nothing
 		// is counted or verified here — the shards redo that work in
 		// parallel.
+		ssp := root.Child("codec.seed_sweep", obs.StageEncode)
 		sweep := c.NewEncoder()
 		sc := sweep.(StateCodec)
 		be := AsBatch(sweep)
@@ -149,6 +152,7 @@ func runParallelCuts(c Codec, s *trace.Stream, cuts []int, opts ParallelOpts) (R
 		if sweepEntries < 0 {
 			sweepEntries = 0
 		}
+		ssp.End()
 	}
 
 	type shardResult struct {
@@ -162,6 +166,7 @@ func runParallelCuts(c Codec, s *trace.Stream, cuts []int, opts ParallelOpts) (R
 	for k := 0; k < p; k++ {
 		go func(k int) {
 			defer wg.Done()
+			ksp := root.Child("codec.shard", obs.StageEncode).WithShard(k)
 			var t0 time.Time
 			if timed {
 				t0 = time.Now()
@@ -170,19 +175,24 @@ func runParallelCuts(c Codec, s *trace.Stream, cuts []int, opts ParallelOpts) (R
 			if timed {
 				RecordShard(time.Since(t0).Nanoseconds())
 			}
+			ksp.EndErr(err)
 			results[k] = shardResult{b: b, err: err}
 		}(k)
 	}
 	wg.Wait()
 	for k := 0; k < p; k++ {
 		if results[k].err != nil {
+			root.EndErr(results[k].err)
 			return Result{}, results[k].err
 		}
 	}
+	msp := root.Child("codec.merge", obs.StageMerge)
 	merged := results[0].b
 	for k := 1; k < p; k++ {
 		merged.Merge(results[k].b)
 	}
+	msp.End()
+	root.End()
 	RecordParallel(c.Name(), p, sweepEntries)
 	RecordRun(c.Name(), int64(len(entries)), merged.Transitions())
 	return Result{

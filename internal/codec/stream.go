@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"busenc/internal/bus"
+	"busenc/internal/obs"
 	"busenc/internal/trace"
 )
 
@@ -29,6 +30,7 @@ import (
 // returned as-is. Verification follows opts.Verify; VerifyFull checks
 // every entry just like Run.
 func RunStream(c Codec, r trace.ChunkReader, opts RunOpts) (Result, error) {
+	root := obs.StartSpan("codec.run_stream", obs.StageEncode).WithCodec(c.Name()).WithStream(r.Name())
 	enc := AsBatch(c.NewEncoder())
 	var b *bus.Bus
 	if opts.PerLine {
@@ -50,15 +52,19 @@ func RunStream(c Codec, r trace.ChunkReader, opts RunOpts) (Result, error) {
 	mask := bus.Mask(c.PayloadWidth())
 	buf := runBufPool.Get().(*runBuf)
 	defer runBufPool.Put(buf)
-	idx := 0 // absolute entry index, for mismatch reports
+	idx := 0    // absolute entry index, for mismatch reports
+	chunkN := 0 // reader chunks consumed, for span attribution
 	for {
 		ch, err := r.Next()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
+			root.EndErr(err)
 			return Result{}, err
 		}
+		csp := root.Child("codec.chunk", obs.StageEncode).WithChunk(chunkN)
+		chunkN++
 		addrs, kinds := ch.Addrs, ch.Kinds
 		// Reader chunks can exceed the engine's batch granularity (e.g.
 		// Stream.Chunks(len(stream))); re-chunk to keep the pooled
@@ -85,7 +91,10 @@ func RunStream(c Codec, r trace.ChunkReader, opts RunOpts) (Result, error) {
 					got := dec.Decode(words[i], syms[i].Sel)
 					if want := syms[i].Addr & mask; got != want {
 						ch.Release()
-						return Result{}, fmt.Errorf("codec %s: round-trip mismatch at entry %d: addr %#x decoded as %#x", c.Name(), idx+base+i, want, got)
+						err := fmt.Errorf("codec %s: round-trip mismatch at entry %d: addr %#x decoded as %#x", c.Name(), idx+base+i, want, got)
+						csp.EndErr(err)
+						root.EndErr(err)
+						return Result{}, err
 					}
 				}
 				verifyLeft -= vn
@@ -96,7 +105,9 @@ func RunStream(c Codec, r trace.ChunkReader, opts RunOpts) (Result, error) {
 		}
 		idx += len(addrs)
 		ch.Release()
+		csp.End()
 	}
+	root.End()
 	RecordRun(c.Name(), int64(idx), b.Transitions())
 	return Result{
 		Codec:       c.Name(),

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"busenc/internal/codec"
+	"busenc/internal/obs"
 	"busenc/internal/trace"
 )
 
@@ -48,6 +49,7 @@ func EvaluateParallel(s *trace.Stream, width int, codes []string, opts codec.Opt
 		}
 		cs[i] = c
 	}
+	root := obs.StartSpan("core.evaluate_parallel", obs.StageEval).WithStream(s.Name)
 	m := parallelBinding.Get()
 	m.shards.Set(int64(cfg.Shards))
 	m.codecs.Set(int64(len(cs)))
@@ -63,6 +65,7 @@ func EvaluateParallel(s *trace.Stream, width int, codes []string, opts codec.Opt
 		parallelEntries.Add(res.Cycles)
 		return nil
 	})
+	root.EndErr(err)
 	if err != nil {
 		return nil, err
 	}

@@ -9,6 +9,7 @@ import (
 
 	"busenc/internal/bus"
 	"busenc/internal/codec"
+	"busenc/internal/obs"
 	"busenc/internal/trace"
 )
 
@@ -105,10 +106,13 @@ func newStreamWorker(c codec.Codec, cfg FanoutConfig, depth int) *streamWorker {
 // run drains the worker's channel; after a verification failure it
 // keeps draining (releasing blocks) so the producer can never deadlock
 // on a dead consumer. Channel waits are timed only while the histogram
-// is live.
-func (w *streamWorker) run(wg *sync.WaitGroup, m *fanoutMetrics) {
+// is live. parent is the evaluation's root span handle (a value, so the
+// copy into each worker goroutine is race-free); consumed blocks record
+// as its encode-stage children.
+func (w *streamWorker) run(wg *sync.WaitGroup, m *fanoutMetrics, parent obs.SpanHandle) {
 	defer wg.Done()
 	timed := m.workerWaitNs != nil
+	blkIdx := 0
 	for {
 		var t0 time.Time
 		if timed {
@@ -122,10 +126,13 @@ func (w *streamWorker) run(wg *sync.WaitGroup, m *fanoutMetrics) {
 			return
 		}
 		if w.err == nil {
+			sp := parent.Child("core.worker", obs.StageEncode).WithCodec(w.c.Name()).WithChunk(blkIdx)
 			w.consume(blk)
+			sp.EndErr(w.err)
 		} else {
 			m.drainEvents.Inc()
 		}
+		blkIdx++
 		blk.release()
 	}
 }
@@ -189,10 +196,12 @@ func EvaluateStreaming(r trace.ChunkReader, width int, codes []string, opts code
 	if depth <= 0 {
 		depth = DefaultFanoutDepth
 	}
+	root := obs.StartSpan("core.evaluate_streaming", obs.StageEval).WithStream(r.Name())
 	workers := make([]*streamWorker, len(codes))
 	for i, code := range codes {
 		c, err := codec.New(code, width, opts)
 		if err != nil {
+			root.EndErr(err)
 			return nil, err
 		}
 		workers[i] = newStreamWorker(c, cfg, depth)
@@ -204,9 +213,10 @@ func EvaluateStreaming(r trace.ChunkReader, width int, codes []string, opts code
 	var wg sync.WaitGroup
 	wg.Add(len(workers))
 	for _, w := range workers {
-		go w.run(&wg, m)
+		go w.run(&wg, m, root)
 	}
 	var readErr error
+	chunkN := 0
 	for {
 		ch, err := r.Next()
 		if err == io.EOF {
@@ -216,6 +226,8 @@ func EvaluateStreaming(r trace.ChunkReader, width int, codes []string, opts code
 			readErr = err
 			break
 		}
+		bsp := root.Child("core.broadcast", obs.StageRead).WithChunk(chunkN)
+		chunkN++
 		blk := symBlockPool.Get().(*symBlock)
 		if cap(blk.syms) < ch.Len() {
 			blk.syms = make([]codec.Symbol, 0, ch.Len())
@@ -238,24 +250,30 @@ func EvaluateStreaming(r trace.ChunkReader, width int, codes []string, opts code
 			m.sendWaitNs.Observe(time.Since(t0).Nanoseconds())
 		}
 		m.broadcasts.Inc()
+		bsp.End()
 	}
 	for _, w := range workers {
 		close(w.in)
 	}
 	wg.Wait()
 	if readErr != nil {
+		root.EndErr(readErr)
 		return nil, readErr
 	}
 	for _, w := range workers {
 		if w.err != nil {
+			root.EndErr(w.err)
 			return nil, w.err
 		}
 	}
+	rsp := root.Child("core.reduce", obs.StageReduce)
 	stream := r.Name()
 	results := make([]codec.Result, len(workers))
 	for i, w := range workers {
 		results[i] = w.result(stream)
 		codec.RecordRun(results[i].Codec, int64(w.idx), results[i].Transitions)
 	}
+	rsp.End()
+	root.End()
 	return results, nil
 }

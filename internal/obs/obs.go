@@ -154,8 +154,11 @@ func (g *Gauge) Value() int64 {
 
 // histBuckets is the number of power-of-two histogram buckets: bucket i
 // counts observations v with bits.Len64(v) == i, i.e. 2^(i-1) <= v <
-// 2^i (bucket 0 counts v <= 0). 64-bit nanosecond latencies fit without
-// clamping anything meaningful.
+// 2^i (bucket 0 counts v <= 0). Values whose bit length would exceed
+// the table — a defensive impossibility for int64 inputs, but cheap to
+// guard — clamp into the top bucket rather than indexing out of range,
+// so arbitrarily large span durations are always recordable; the top
+// cell's snapshot upper edge is MaxInt64.
 const histBuckets = 64
 
 // Histogram accumulates a distribution in power-of-two buckets with a

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Prometheus text exposition for the metric registries. The format is
+// the classic text/plain; version=0.0.4 exposition: one # TYPE line per
+// metric family followed by its samples, so `cmd/busencd
+// /metrics?format=prometheus` can be scraped directly. Metric names are
+// busenc_<registry>_<metric> with every non-[a-zA-Z0-9_] byte mapped to
+// '_'; histograms expose the cumulative _bucket{le=...}, _sum and
+// _count triplet, with bucket boundaries at the log2 cell upper edges.
+
+// promName builds a legal exposition metric name.
+func promName(registry, metric string) string {
+	return "busenc_" + sanitizeProm(registry) + "_" + sanitizeProm(metric)
+}
+
+func sanitizeProm(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b[i] = '_'
+			}
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// WritePrometheus writes every non-empty registry's snapshot in
+// Prometheus text exposition format.
+func WritePrometheus(w io.Writer) error {
+	for _, s := range SnapshotAll() {
+		if err := writePromSnapshot(w, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromSnapshot(w io.Writer, s Snapshot) error {
+	for _, name := range sortedKeys(s.Counters) {
+		pn := promName(s.Registry, name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		pn := promName(s.Registry, name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		if err := writePromHistogram(w, promName(s.Registry, name), s.Histograms[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, pn string, h HistogramSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+		return err
+	}
+	buckets := append([]BucketCount(nil), h.Buckets...)
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].Lo < buckets[j].Lo })
+	var cum int64
+	for _, b := range buckets {
+		cum += b.Count
+		if b.Hi == math.MaxInt64 {
+			// The clamped top cell folds into +Inf below.
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", pn, b.Hi, cum); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+		pn, h.Count, pn, h.Sum, pn, h.Count)
+	return err
+}

@@ -5,6 +5,7 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"text/tabwriter"
 )
@@ -88,7 +89,13 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 		if i > 0 {
 			lo = int64(1) << (i - 1)
 		}
-		s.Buckets = append(s.Buckets, BucketCount{Lo: lo, Hi: int64(1) << i, Count: c})
+		// The top cell collects every value bucketOf clamps into it; its
+		// upper edge is MaxInt64, not 1<<64 (which would wrap negative).
+		hi := int64(math.MaxInt64)
+		if i < histBuckets-1 {
+			hi = int64(1) << i
+		}
+		s.Buckets = append(s.Buckets, BucketCount{Lo: lo, Hi: hi, Count: c})
 	}
 	return s
 }

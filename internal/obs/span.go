@@ -1,0 +1,325 @@
+package obs
+
+import (
+	"math/bits"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span tracing with a flight recorder. Where the metrics layer (obs.go)
+// answers "how much", spans answer "where": every read → encode →
+// merge → reduce hop of the evaluation pipeline is individually timed
+// and written into a fixed-size sharded ring buffer — the flight
+// recorder — whose most recent contents can be snapshotted at any time
+// and exported as a Chrome trace-event timeline (traceevent.go), a
+// per-stage latency attribution table (spanstats.go), or raw JSON
+// (cmd/busencd /spans).
+//
+// The gating discipline mirrors the metric registry: tracing is off by
+// default, StartSpan costs one atomic pointer load plus a branch while
+// disabled, and every SpanHandle method is a no-op on the zero handle,
+// so instrumented hot paths allocate nothing and measure nothing until
+// EnableTracing installs a Tracer. Recording is lock-light: spans are
+// spread over GOMAXPROCS ring shards, slots are claimed with an atomic
+// cursor, and the only lock a writer touches is its shard's mutex, held
+// for one struct copy and effectively uncontended thanks to the
+// sharding (it exists so Spans() can take a consistent, race-free cut).
+
+// Canonical pipeline stages. Spans carry free-form stage strings, but
+// the instrumented call sites stick to this taxonomy so exports group
+// predictably (see DESIGN.md section 7).
+const (
+	// StageRead is trace ingestion: chunk parsing (text/binary fill +
+	// parse), materialization, and the fan-out producer's broadcast loop.
+	StageRead = "read"
+	// StageEncode is kernel work: per-chunk batch encodes, per-shard
+	// pricing, and fan-out worker consumption.
+	StageEncode = "encode"
+	// StageMerge is the deterministic combination of per-shard buses.
+	StageMerge = "merge"
+	// StageReduce is result assembly after workers finish.
+	StageReduce = "reduce"
+	// StageEval is a whole evaluation (the root span of a pipeline run).
+	StageEval = "eval"
+	// StageBench marks benchmark-suite phases (cmd/paper -benchjson).
+	StageBench = "bench"
+)
+
+// Span is one timed hop of the pipeline. Shard and Chunk are -1 when
+// the dimension does not apply. Start is nanoseconds since the owning
+// tracer's epoch (a monotonic clock), Dur is the span's wall time.
+type Span struct {
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+	Name   string `json:"name"`
+	Stage  string `json:"stage"`
+	Codec  string `json:"codec,omitempty"`
+	Stream string `json:"stream,omitempty"`
+	Shard  int    `json:"shard"`
+	Chunk  int    `json:"chunk"`
+	Start  int64  `json:"start_ns"`
+	Dur    int64  `json:"dur_ns"`
+	Err    string `json:"err,omitempty"`
+}
+
+// TracerConfig sizes a Tracer.
+type TracerConfig struct {
+	// RingSize is the per-shard slot count, rounded up to a power of
+	// two; <= 0 selects DefaultRingSize. The recorder keeps the most
+	// recent RingSize × shards spans, where shards is GOMAXPROCS
+	// rounded up to a power of two.
+	RingSize int
+	// Sample records one of every Sample root Start calls (<= 1 records
+	// all). The draw happens once per tree: children inherit their
+	// root's fate (dropped with an unsampled parent, always recorded
+	// under a sampled one), so recorded trees stay complete.
+	Sample int
+}
+
+// DefaultRingSize is the per-shard flight-recorder capacity: 2048 slots
+// × ~112 B/span ≈ 224 KiB per shard, a few MiB per process at high core
+// counts — enough to hold a full Table-4-sized evaluation's spans.
+const DefaultRingSize = 2048
+
+// ringShard is one flight-recorder ring. cursor counts slots ever
+// claimed; slot i lives at slots[i&mask]. A writer claims the next slot
+// with the atomic cursor and copies its span in under the shard mutex —
+// held only for the struct copy, and effectively uncontended because
+// spans spread across GOMAXPROCS shards; Spans() takes the same mutex
+// for a consistent cut. The cursor stays atomic so the snapshot side
+// can read progress without tearing.
+type ringShard struct {
+	mu     sync.Mutex
+	cursor atomic.Uint64
+	slots  []Span
+	_      [64]byte // keep neighboring shards' cursors off one cache line
+}
+
+// Tracer produces spans and records them into its flight recorder.
+// All methods are safe for concurrent use; a nil *Tracer is inert.
+type Tracer struct {
+	shards []ringShard
+	mask   uint64 // len(shards) - 1
+	smask  uint64 // per-shard slot mask
+	sample uint64
+	seq    atomic.Uint64
+	epoch  time.Time
+}
+
+// NewTracer builds a standalone tracer. Most callers want the gated
+// package-level EnableTracing/StartSpan instead.
+func NewTracer(cfg TracerConfig) *Tracer {
+	ring := cfg.RingSize
+	if ring <= 0 {
+		ring = DefaultRingSize
+	}
+	ring = 1 << uint(bits.Len(uint(ring-1)))
+	nshards := 1 << uint(bits.Len(uint(runtime.GOMAXPROCS(0)-1)))
+	if nshards < 1 {
+		nshards = 1
+	}
+	t := &Tracer{
+		shards: make([]ringShard, nshards),
+		mask:   uint64(nshards - 1),
+		smask:  uint64(ring - 1),
+		sample: uint64(cfg.Sample),
+		epoch:  time.Now(),
+	}
+	for i := range t.shards {
+		t.shards[i].slots = make([]Span, ring)
+	}
+	return t
+}
+
+// Epoch returns the wall-clock instant span Start offsets are relative
+// to.
+func (t *Tracer) Epoch() time.Time { return t.epoch }
+
+func (t *Tracer) now() int64 { return time.Since(t.epoch).Nanoseconds() }
+
+// SpanHandle is an in-flight span. It is a plain value — copying it
+// (into a goroutine, through a channel) is cheap and safe — and the
+// zero handle is inert, which is how the disabled path stays free.
+type SpanHandle struct {
+	t    *Tracer
+	span Span
+}
+
+// Start begins a root span. On a nil tracer, or when the span loses the
+// sampling draw, it returns the inert zero handle.
+func (t *Tracer) Start(name, stage string) SpanHandle {
+	if t == nil {
+		return SpanHandle{}
+	}
+	id := t.seq.Add(1)
+	if t.sample > 1 && id%t.sample != 0 {
+		return SpanHandle{}
+	}
+	return SpanHandle{t: t, span: Span{
+		ID:    id,
+		Name:  name,
+		Stage: stage,
+		Shard: -1,
+		Chunk: -1,
+		Start: t.now(),
+	}}
+}
+
+// Child begins a span parented to h, inheriting its codec, stream,
+// shard and chunk labels (override with the With* setters). Children
+// share their root's sampling fate rather than drawing again: a child
+// of the zero handle is the zero handle, and a child of a recording
+// handle always records, so sampled trees stay complete.
+func (h SpanHandle) Child(name, stage string) SpanHandle {
+	if h.t == nil {
+		return SpanHandle{}
+	}
+	return SpanHandle{t: h.t, span: Span{
+		ID:     h.t.seq.Add(1),
+		Parent: h.span.ID,
+		Name:   name,
+		Stage:  stage,
+		Codec:  h.span.Codec,
+		Stream: h.span.Stream,
+		Shard:  h.span.Shard,
+		Chunk:  h.span.Chunk,
+		Start:  h.t.now(),
+	}}
+}
+
+// Recording reports whether the handle will produce a span on End.
+func (h SpanHandle) Recording() bool { return h.t != nil }
+
+// WithCodec labels the span with a codec name.
+func (h SpanHandle) WithCodec(codec string) SpanHandle {
+	if h.t != nil {
+		h.span.Codec = codec
+	}
+	return h
+}
+
+// WithStream labels the span with a stream name.
+func (h SpanHandle) WithStream(stream string) SpanHandle {
+	if h.t != nil {
+		h.span.Stream = stream
+	}
+	return h
+}
+
+// WithShard labels the span with a shard index.
+func (h SpanHandle) WithShard(shard int) SpanHandle {
+	if h.t != nil {
+		h.span.Shard = shard
+	}
+	return h
+}
+
+// WithChunk labels the span with a chunk index.
+func (h SpanHandle) WithChunk(chunk int) SpanHandle {
+	if h.t != nil {
+		h.span.Chunk = chunk
+	}
+	return h
+}
+
+// End closes the span and commits it to the flight recorder.
+func (h SpanHandle) End() {
+	if h.t == nil {
+		return
+	}
+	h.span.Dur = h.t.now() - h.span.Start
+	h.t.record(h.span)
+}
+
+// EndErr closes the span, tagging it with err when non-nil.
+func (h SpanHandle) EndErr(err error) {
+	if h.t == nil {
+		return
+	}
+	if err != nil {
+		h.span.Err = err.Error()
+	}
+	h.span.Dur = h.t.now() - h.span.Start
+	h.t.record(h.span)
+}
+
+func (t *Tracer) record(s Span) {
+	sh := &t.shards[s.ID&t.mask]
+	sh.mu.Lock()
+	i := sh.cursor.Add(1) - 1
+	sh.slots[i&t.smask] = s
+	sh.mu.Unlock()
+}
+
+// Spans snapshots the flight recorder: the most recent spans across all
+// shards, sorted by start time (ties by ID). The result is a copy —
+// safe to hold while recording continues. Nil tracers return nil.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	var out []Span
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		n := sh.cursor.Load()
+		ring := uint64(len(sh.slots))
+		if n > ring {
+			// Wrapped: oldest surviving slot is at n&smask.
+			start := n & t.smask
+			out = append(out, sh.slots[start:]...)
+			out = append(out, sh.slots[:start]...)
+		} else {
+			out = append(out, sh.slots[:n]...)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// curTracer gates the package-level span API, mirroring the metric
+// registry's enabled flag: nil while tracing is off.
+var curTracer atomic.Pointer[Tracer]
+
+// EnableTracing installs a fresh tracer behind the package-level span
+// API and returns it. Handles already in flight keep recording into the
+// tracer they started on; new StartSpan calls use the new one.
+func EnableTracing(cfg TracerConfig) *Tracer {
+	t := NewTracer(cfg)
+	curTracer.Store(t)
+	return t
+}
+
+// DisableTracing turns the package-level span API back off. Spans
+// already recorded are discarded with the tracer.
+func DisableTracing() {
+	curTracer.Store(nil)
+}
+
+// TracingEnabled reports whether a tracer is installed.
+func TracingEnabled() bool { return curTracer.Load() != nil }
+
+// CurrentTracer returns the installed tracer, or nil while disabled.
+func CurrentTracer() *Tracer { return curTracer.Load() }
+
+// StartSpan begins a root span on the installed tracer. While tracing
+// is disabled this is one atomic load and a branch, returns the inert
+// zero handle, and allocates nothing.
+func StartSpan(name, stage string) SpanHandle {
+	return curTracer.Load().Start(name, stage)
+}
+
+// Spans snapshots the installed tracer's flight recorder (nil while
+// tracing is disabled).
+func Spans() []Span {
+	return curTracer.Load().Spans()
+}

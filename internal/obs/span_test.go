@@ -1,0 +1,373 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSpanRecording: a parent/child pair round-trips through the flight
+// recorder with labels, linkage and non-negative timing intact.
+func TestSpanRecording(t *testing.T) {
+	tr := NewTracer(TracerConfig{RingSize: 64})
+	p := tr.Start("eval", StageEval).WithStream("gzip").WithCodec("t0")
+	c := p.Child("chunk", StageEncode).WithChunk(3).WithShard(1)
+	time.Sleep(time.Millisecond)
+	c.EndErr(errors.New("boom"))
+	p.End()
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	// Sorted by start: parent first.
+	par, ch := spans[0], spans[1]
+	if par.Name != "eval" || par.Stage != StageEval || par.Stream != "gzip" {
+		t.Errorf("parent = %+v", par)
+	}
+	if ch.Parent != par.ID {
+		t.Errorf("child parent = %d, want %d", ch.Parent, par.ID)
+	}
+	if ch.Codec != "t0" || ch.Stream != "gzip" {
+		t.Errorf("child did not inherit labels: %+v", ch)
+	}
+	if ch.Chunk != 3 || ch.Shard != 1 {
+		t.Errorf("child labels = chunk %d shard %d", ch.Chunk, ch.Shard)
+	}
+	if ch.Err != "boom" {
+		t.Errorf("child err = %q", ch.Err)
+	}
+	if ch.Dur < time.Millisecond.Nanoseconds() {
+		t.Errorf("child dur = %dns, want >= 1ms", ch.Dur)
+	}
+	if par.Shard != -1 || par.Chunk != -1 {
+		t.Errorf("unset dimensions should be -1: %+v", par)
+	}
+}
+
+// TestSpanRingWrap: the recorder keeps only the most recent spans once
+// a ring wraps, and never loses the newest.
+func TestSpanRingWrap(t *testing.T) {
+	tr := NewTracer(TracerConfig{RingSize: 4})
+	const total = 100
+	for i := 0; i < total; i++ {
+		tr.Start("s", StageEncode).WithChunk(i).End()
+	}
+	spans := tr.Spans()
+	cap := 4 * len(tr.shards)
+	if len(spans) > cap {
+		t.Fatalf("recorder returned %d spans, ring capacity %d", len(spans), cap)
+	}
+	last := spans[len(spans)-1]
+	if last.Chunk != total-1 {
+		t.Errorf("newest span lost: last chunk = %d, want %d", last.Chunk, total-1)
+	}
+}
+
+// TestSpanSampling: Sample=4 keeps roughly a quarter and drops whole
+// subtrees with their parents.
+func TestSpanSampling(t *testing.T) {
+	tr := NewTracer(TracerConfig{RingSize: 1024, Sample: 4})
+	kept := 0
+	for i := 0; i < 400; i++ {
+		h := tr.Start("s", StageEncode)
+		if h.Recording() {
+			kept++
+			if c := h.Child("c", StageEncode); !c.Recording() {
+				t.Fatal("child of a sampled-in parent was dropped")
+			} else {
+				c.End()
+			}
+		} else if c := h.Child("c", StageEncode); c.Recording() {
+			t.Fatal("child of a sampled-out parent was recorded")
+		}
+		h.End()
+	}
+	if kept == 0 || kept > 200 {
+		t.Errorf("sample=4 kept %d of 400 roots", kept)
+	}
+}
+
+// TestDisabledTracerInert: the nil tracer and the disabled package API
+// hand out inert handles.
+func TestDisabledTracerInert(t *testing.T) {
+	DisableTracing()
+	h := StartSpan("x", StageRead).WithCodec("t0").WithChunk(1)
+	if h.Recording() {
+		t.Fatal("disabled StartSpan returned a recording handle")
+	}
+	h.Child("y", StageEncode).End()
+	h.End()
+	if Spans() != nil {
+		t.Error("disabled Spans() non-nil")
+	}
+	var nilT *Tracer
+	nilT.Start("x", StageRead).End()
+	if nilT.Spans() != nil {
+		t.Error("nil tracer Spans() non-nil")
+	}
+}
+
+// TestDisabledSpanZeroAlloc is the satellite contract: with tracing
+// off, a full start/label/end sequence performs zero heap allocations.
+func TestDisabledSpanZeroAlloc(t *testing.T) {
+	DisableTracing()
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := StartSpan("codec.chunk", StageEncode).WithCodec("t0").WithStream("gzip").WithChunk(7)
+		c := sp.Child("inner", StageEncode)
+		c.End()
+		sp.EndErr(nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled span path allocates: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestEnableTracingInstallsFreshRecorder: Enable/Disable round trips,
+// and each Enable starts from an empty recorder.
+func TestEnableTracingInstallsFreshRecorder(t *testing.T) {
+	defer DisableTracing()
+	tr := EnableTracing(TracerConfig{RingSize: 16})
+	if !TracingEnabled() || CurrentTracer() != tr {
+		t.Fatal("EnableTracing did not install the tracer")
+	}
+	StartSpan("a", StageRead).End()
+	if got := len(Spans()); got != 1 {
+		t.Fatalf("recorded %d spans, want 1", got)
+	}
+	EnableTracing(TracerConfig{RingSize: 16})
+	if got := len(Spans()); got != 0 {
+		t.Errorf("re-enable kept %d old spans", got)
+	}
+}
+
+// TestSpansConcurrent hammers the recorder from many goroutines while a
+// reader snapshots — the race detector validates the locking story.
+func TestSpansConcurrent(t *testing.T) {
+	tr := NewTracer(TracerConfig{RingSize: 64})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				sp := tr.Start("s", StageEncode).WithShard(w).WithChunk(i)
+				sp.End()
+			}
+		}(w)
+	}
+	go func() { wg.Wait(); close(stop) }()
+	for {
+		select {
+		case <-stop:
+			if n := len(tr.Spans()); n == 0 {
+				t.Error("no spans after concurrent recording")
+			}
+			return
+		default:
+			tr.Spans()
+		}
+	}
+}
+
+// TestWriteTraceEvents: the export is valid trace-event JSON with one
+// complete event per span, metadata lanes, and microsecond timestamps.
+func TestWriteTraceEvents(t *testing.T) {
+	tr := NewTracer(TracerConfig{RingSize: 64})
+	p := tr.Start("eval", StageEval).WithStream("gzip")
+	p.Child("shard", StageEncode).WithCodec("t0").WithShard(0).End()
+	p.Child("shard", StageEncode).WithCodec("t0").WithShard(1).End()
+	p.End()
+
+	var buf bytes.Buffer
+	if err := WriteTraceEvents(&buf, tr.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var complete, meta int
+	tids := map[float64]bool{}
+	for _, ev := range f.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			complete++
+			if ev["name"] == "" || ev["ts"] == nil {
+				t.Errorf("incomplete X event: %v", ev)
+			}
+			tids[ev["tid"].(float64)] = true
+		case "M":
+			meta++
+		default:
+			t.Errorf("unexpected phase %v", ev["ph"])
+		}
+	}
+	if complete != 3 {
+		t.Errorf("complete events = %d, want 3", complete)
+	}
+	// Distinct (stage,codec,shard) combos: eval lane + two shard lanes.
+	if len(tids) != 3 {
+		t.Errorf("lanes = %d, want 3", len(tids))
+	}
+	if meta < 4 { // process_name + 3 thread_name
+		t.Errorf("metadata events = %d, want >= 4", meta)
+	}
+}
+
+// TestAggregateSpansQuantiles pins the attribution math on known
+// durations.
+func TestAggregateSpansQuantiles(t *testing.T) {
+	spans := make([]Span, 0, 100)
+	for i := 1; i <= 100; i++ {
+		spans = append(spans, Span{Stage: StageEncode, Codec: "t0", Dur: int64(i)})
+	}
+	spans = append(spans, Span{Stage: StageRead, Dur: 10_000})
+	stats := AggregateSpans(spans)
+	if len(stats) != 2 {
+		t.Fatalf("groups = %d, want 2", len(stats))
+	}
+	if stats[0].Stage != StageRead {
+		t.Errorf("not sorted by total: %+v", stats)
+	}
+	enc := stats[1]
+	if enc.Count != 100 || enc.MaxNs != 100 {
+		t.Errorf("encode group = %+v", enc)
+	}
+	if enc.P50Ns < 49 || enc.P50Ns > 51 {
+		t.Errorf("p50 = %d, want ~50", enc.P50Ns)
+	}
+	if enc.P95Ns < 94 || enc.P95Ns > 96 {
+		t.Errorf("p95 = %d, want ~95", enc.P95Ns)
+	}
+}
+
+// TestWriteSpanTable: the rendered view names the stages and calls out
+// the slowest shard and chunk.
+func TestWriteSpanTable(t *testing.T) {
+	spans := []Span{
+		{Stage: StageEncode, Codec: "t0", Name: "codec.shard", Shard: 2, Chunk: -1, Dur: 5000},
+		{Stage: StageEncode, Codec: "t0", Name: "codec.chunk", Shard: -1, Chunk: 9, Dur: 800},
+		{Stage: StageRead, Name: "trace.next", Shard: -1, Chunk: 4, Dur: 300},
+	}
+	var buf bytes.Buffer
+	if err := WriteSpanTable(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"encode", "read", "slowest shard: t0 shard 2", "slowest chunk: chunk 9"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := WriteSpanTable(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no spans") {
+		t.Errorf("empty table = %q", buf.String())
+	}
+}
+
+// TestHistogramTopBucketClamp is the overflow satellite: huge
+// observations (far beyond any ~2s span duration) clamp into the top
+// bucket and snapshot with a positive upper edge instead of wrapping
+// negative.
+func TestHistogramTopBucketClamp(t *testing.T) {
+	var h Histogram
+	h.Observe(math.MaxInt64)
+	h.Observe(3) // a small value, so the snapshot has a second bucket
+	s := h.snapshot()
+	if s.Count != 2 || s.Max != math.MaxInt64 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	top := s.Buckets[len(s.Buckets)-1]
+	if top.Lo != 1<<62 || top.Hi != math.MaxInt64 {
+		t.Errorf("top bucket = [%d,%d), want [1<<62, MaxInt64]", top.Lo, top.Hi)
+	}
+	if top.Hi <= top.Lo {
+		t.Errorf("top bucket edge wrapped: hi %d <= lo %d", top.Hi, top.Lo)
+	}
+	if got := bucketOf(math.MaxInt64); got != histBuckets-1 {
+		t.Errorf("bucketOf(MaxInt64) = %d, want %d", got, histBuckets-1)
+	}
+	if got := bucketOf(-1); got != 0 {
+		t.Errorf("bucketOf(-1) = %d, want 0", got)
+	}
+}
+
+// promLine matches legal exposition sample lines.
+var promLine = regexp.MustCompile(`^(# (TYPE|HELP) )?[a-zA-Z_:][a-zA-Z0-9_:]*(_bucket\{le="[^"]+"\})?( (counter|gauge|histogram))?( -?\d+)?$`)
+
+// TestWritePrometheus: counters, gauges and histograms all render as
+// legal text exposition with cumulative buckets.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry("test-prom")
+	r.Counter("a.count").Add(5)
+	r.Gauge("b.depth").Set(-2)
+	h := r.Histogram("c.ns")
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(3)
+
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE busenc_test_prom_a_count counter",
+		"busenc_test_prom_a_count 5",
+		"# TYPE busenc_test_prom_b_depth gauge",
+		"busenc_test_prom_b_depth -2",
+		"# TYPE busenc_test_prom_c_ns histogram",
+		`busenc_test_prom_c_ns_bucket{le="2"} 1`,
+		`busenc_test_prom_c_ns_bucket{le="4"} 3`,
+		`busenc_test_prom_c_ns_bucket{le="+Inf"} 3`,
+		"busenc_test_prom_c_ns_sum 7",
+		"busenc_test_prom_c_ns_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !promLine.MatchString(line) {
+			t.Errorf("illegal exposition line %q", line)
+		}
+	}
+}
+
+// BenchmarkDisabledSpan measures the disabled-tracer hot path — one
+// atomic load, a branch, zero allocations — next to the disabled
+// counter benchmark it mirrors.
+func BenchmarkDisabledSpan(b *testing.B) {
+	DisableTracing()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := StartSpan("bench.disabled", StageEncode).WithChunk(i)
+		sp.End()
+	}
+}
+
+// BenchmarkEnabledSpan measures the live record cost (slot claim +
+// copy into the ring).
+func BenchmarkEnabledSpan(b *testing.B) {
+	tr := NewTracer(TracerConfig{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start("bench.enabled", StageEncode).WithChunk(i)
+		sp.End()
+	}
+}

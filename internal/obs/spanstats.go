@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+)
+
+// Latency attribution over a span snapshot: group spans by (stage,
+// codec), compute exact quantiles from the recorded durations, and call
+// out the slowest shard and chunk. This is the `cmd/paper -metrics
+// spans` view — the quick "where did the time go" answer that doesn't
+// need a trace viewer.
+
+// SpanStat is the aggregate of one (stage, codec) group.
+type SpanStat struct {
+	Stage   string `json:"stage"`
+	Codec   string `json:"codec,omitempty"`
+	Count   int    `json:"count"`
+	TotalNs int64  `json:"total_ns"`
+	P50Ns   int64  `json:"p50_ns"`
+	P95Ns   int64  `json:"p95_ns"`
+	MaxNs   int64  `json:"max_ns"`
+}
+
+// AggregateSpans groups spans by (stage, codec) and returns per-group
+// duration statistics, sorted by total time descending (ties by stage
+// then codec for determinism).
+func AggregateSpans(spans []Span) []SpanStat {
+	type group struct {
+		durs  []int64
+		total int64
+	}
+	groups := make(map[[2]string]*group)
+	for _, s := range spans {
+		k := [2]string{s.Stage, s.Codec}
+		g := groups[k]
+		if g == nil {
+			g = &group{}
+			groups[k] = g
+		}
+		g.durs = append(g.durs, s.Dur)
+		g.total += s.Dur
+	}
+	out := make([]SpanStat, 0, len(groups))
+	for k, g := range groups {
+		sort.Slice(g.durs, func(i, j int) bool { return g.durs[i] < g.durs[j] })
+		out = append(out, SpanStat{
+			Stage:   k[0],
+			Codec:   k[1],
+			Count:   len(g.durs),
+			TotalNs: g.total,
+			P50Ns:   quantile(g.durs, 0.50),
+			P95Ns:   quantile(g.durs, 0.95),
+			MaxNs:   g.durs[len(g.durs)-1],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalNs != out[j].TotalNs {
+			return out[i].TotalNs > out[j].TotalNs
+		}
+		if out[i].Stage != out[j].Stage {
+			return out[i].Stage < out[j].Stage
+		}
+		return out[i].Codec < out[j].Codec
+	})
+	return out
+}
+
+// quantile returns the q-quantile of a sorted non-empty slice using the
+// nearest-rank method (q in [0,1]).
+func quantile(sorted []int64, q float64) int64 {
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// SlowestSpan returns the longest span for which pick returns true.
+func SlowestSpan(spans []Span, pick func(Span) bool) (Span, bool) {
+	var best Span
+	found := false
+	for _, s := range spans {
+		if pick(s) && (!found || s.Dur > best.Dur) {
+			best, found = s, true
+		}
+	}
+	return best, found
+}
+
+// WriteSpanTable renders the attribution view: one row per (stage,
+// codec) with count, total and p50/p95/max latency, followed by
+// slowest-shard and slowest-chunk call-outs.
+func WriteSpanTable(w io.Writer, spans []Span) error {
+	if len(spans) == 0 {
+		_, err := fmt.Fprintln(w, "no spans recorded (is tracing enabled?)")
+		return err
+	}
+	stats := AggregateSpans(spans)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "spans %d\n", len(spans))
+	fmt.Fprintln(tw, "stage\tcodec\tcount\ttotal\tp50\tp95\tmax")
+	for _, st := range stats {
+		codec := st.Codec
+		if codec == "" {
+			codec = "-"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%s\t%s\t%s\n",
+			st.Stage, codec, st.Count,
+			fmtNs(st.TotalNs), fmtNs(st.P50Ns), fmtNs(st.P95Ns), fmtNs(st.MaxNs))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if s, ok := SlowestSpan(spans, func(s Span) bool { return s.Shard >= 0 }); ok {
+		fmt.Fprintf(w, "slowest shard: %s shard %d (%s, %s)\n", s.Codec, s.Shard, s.Name, fmtNs(s.Dur))
+	}
+	if s, ok := SlowestSpan(spans, func(s Span) bool { return s.Chunk >= 0 }); ok {
+		fmt.Fprintf(w, "slowest chunk: chunk %d (%s, %s, %s)\n", s.Chunk, s.Name, s.Stage, fmtNs(s.Dur))
+	}
+	return nil
+}
+
+// fmtNs renders a nanosecond duration in the most readable unit.
+func fmtNs(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

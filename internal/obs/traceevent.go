@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event export. WriteTraceEvents renders a span snapshot
+// in the Trace Event Format (the JSON-array-of-events schema consumed
+// by chrome://tracing and Perfetto's legacy loader): each span becomes
+// one complete event (ph "X") with microsecond timestamps, and each
+// distinct (stage, codec, shard) combination becomes its own named
+// thread lane so the timeline groups the way the pipeline is actually
+// structured — read lanes, one encode lane per codec/shard, merge and
+// reduce lanes.
+
+// traceEvent is one entry of the traceEvents array.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the JSON-object flavor of the format, which lets us set
+// the display unit.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// laneKey groups spans into timeline threads.
+type laneKey struct {
+	stage string
+	codec string
+	shard int
+}
+
+func (k laneKey) label() string {
+	s := k.stage
+	if k.codec != "" {
+		s += " " + k.codec
+	}
+	if k.shard >= 0 {
+		s += fmt.Sprintf(" shard %d", k.shard)
+	}
+	return s
+}
+
+// WriteTraceEvents writes the spans as a Chrome trace-event JSON
+// document loadable in about://tracing and ui.perfetto.dev.
+func WriteTraceEvents(w io.Writer, spans []Span) error {
+	lanes := make(map[laneKey]int)
+	var order []laneKey
+	for _, s := range spans {
+		k := laneKey{stage: s.Stage, codec: s.Codec, shard: s.Shard}
+		if _, ok := lanes[k]; !ok {
+			lanes[k] = 0
+			order = append(order, k)
+		}
+	}
+	// Stable lane numbering: sort by stage, codec, shard so repeated
+	// exports of the same workload produce identical files.
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if a.stage != b.stage {
+			return a.stage < b.stage
+		}
+		if a.codec != b.codec {
+			return a.codec < b.codec
+		}
+		return a.shard < b.shard
+	})
+	for i, k := range order {
+		lanes[k] = i + 1
+	}
+
+	f := traceFile{DisplayTimeUnit: "ms", TraceEvents: make([]traceEvent, 0, len(spans)+len(order)+1)}
+	f.TraceEvents = append(f.TraceEvents, traceEvent{
+		Name: "process_name", Ph: "M", Pid: 1, Tid: 0,
+		Args: map[string]any{"name": "busenc"},
+	})
+	for _, k := range order {
+		f.TraceEvents = append(f.TraceEvents, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: lanes[k],
+			Args: map[string]any{"name": k.label()},
+		})
+	}
+	for _, s := range spans {
+		args := map[string]any{"id": s.ID}
+		if s.Parent != 0 {
+			args["parent"] = s.Parent
+		}
+		if s.Codec != "" {
+			args["codec"] = s.Codec
+		}
+		if s.Stream != "" {
+			args["stream"] = s.Stream
+		}
+		if s.Shard >= 0 {
+			args["shard"] = s.Shard
+		}
+		if s.Chunk >= 0 {
+			args["chunk"] = s.Chunk
+		}
+		if s.Err != "" {
+			args["err"] = s.Err
+		}
+		f.TraceEvents = append(f.TraceEvents, traceEvent{
+			Name: s.Name,
+			Cat:  s.Stage,
+			Ph:   "X",
+			Ts:   float64(s.Start) / 1e3,
+			Dur:  float64(s.Dur) / 1e3,
+			Pid:  1,
+			Tid:  lanes[laneKey{stage: s.Stage, codec: s.Codec, shard: s.Shard}],
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}

@@ -5,6 +5,8 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+
+	"busenc/internal/obs"
 )
 
 // Streaming chunk layer. The batched evaluation engine (PR 1) made codec
@@ -198,7 +200,9 @@ type entryCounter interface {
 // ReadAll drains a ChunkReader into a materialized Stream. It is the
 // compatibility bridge for callers that genuinely need the whole trace
 // in memory; the streaming evaluators never call it.
-func ReadAll(r ChunkReader) (*Stream, error) {
+func ReadAll(r ChunkReader) (_ *Stream, err error) {
+	sp := obs.StartSpan("trace.read_all", obs.StageRead).WithStream(r.Name())
+	defer func() { sp.EndErr(err) }()
 	s := New(r.Name(), r.Width())
 	if ec, ok := r.(entryCounter); ok {
 		if n, known := ec.EntryCount(); known && n <= 1<<30 {

@@ -45,11 +45,13 @@ var metricsBinding = obs.NewBinding(func() *traceMetrics {
 func metrics() *traceMetrics { return metricsBinding.Get() }
 
 // observeNext wraps one parser Next call with chunk/entry/error/latency
-// accounting. sticky reports whether the reader was already in a
-// terminal state, so repeated returns of the same parse error are
-// counted once.
-func observeNext(sticky bool, next func() (*Chunk, error)) (*Chunk, error) {
+// accounting and a read-stage span (stream and chunk index attached, so
+// the flight recorder attributes parse latency to a specific chunk).
+// sticky reports whether the reader was already in a terminal state, so
+// repeated returns of the same parse error are counted once.
+func observeNext(sticky bool, stream string, chunk int, next func() (*Chunk, error)) (*Chunk, error) {
 	m := metrics()
+	sp := obs.StartSpan("trace.next", obs.StageRead).WithStream(stream).WithChunk(chunk)
 	var t0 time.Time
 	if m.readNs != nil {
 		t0 = time.Now()
@@ -61,8 +63,16 @@ func observeNext(sticky bool, next func() (*Chunk, error)) (*Chunk, error) {
 	if err == nil {
 		m.chunksRead.Inc()
 		m.entriesRead.Add(int64(ch.Len()))
-	} else if err != io.EOF && !sticky {
-		m.parseErrors.Inc()
+		sp.End()
+	} else {
+		if err != io.EOF && !sticky {
+			m.parseErrors.Inc()
+		}
+		if err == io.EOF {
+			sp.End() // end-of-stream is a normal read, not a failure
+		} else {
+			sp.EndErr(err)
+		}
 	}
 	return ch, err
 }

@@ -16,14 +16,15 @@ import (
 
 // textChunkReader streams the text trace format (see io.go).
 type textChunkReader struct {
-	f     *fillBuf
-	file  string // for error positions; may be empty
-	line  int
-	name  string
-	width int
-	mask  uint64
-	pool  *ChunkPool
-	err   error // sticky terminal state (io.EOF or a parse error)
+	f      *fillBuf
+	file   string // for error positions; may be empty
+	line   int
+	name   string
+	width  int
+	mask   uint64
+	pool   *ChunkPool
+	chunks int   // chunks returned so far, for span attribution
+	err    error // sticky terminal state (io.EOF or a parse error)
 }
 
 // OpenText returns a streaming reader over a text-format trace. file is
@@ -146,7 +147,11 @@ func (t *textChunkReader) entry(line []byte, ch *Chunk) error {
 }
 
 func (t *textChunkReader) Next() (*Chunk, error) {
-	return observeNext(t.err != nil, t.next)
+	ch, err := observeNext(t.err != nil, t.name, t.chunks, t.next)
+	if err == nil {
+		t.chunks++
+	}
+	return ch, err
 }
 
 func (t *textChunkReader) next() (*Chunk, error) {
@@ -204,6 +209,7 @@ type binaryChunkReader struct {
 	remaining uint64
 	prev      uint64
 	pool      *ChunkPool
+	chunks    int // chunks returned so far, for span attribution
 	err       error
 }
 
@@ -276,7 +282,11 @@ func (b *binaryChunkReader) Width() int   { return b.width }
 func (b *binaryChunkReader) EntryCount() (uint64, bool) { return b.total, true }
 
 func (b *binaryChunkReader) Next() (*Chunk, error) {
-	return observeNext(b.err != nil, b.next)
+	ch, err := observeNext(b.err != nil, b.name, b.chunks, b.next)
+	if err == nil {
+		b.chunks++
+	}
+	return ch, err
 }
 
 func (b *binaryChunkReader) next() (*Chunk, error) {
