@@ -42,6 +42,7 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzReadText -fuzztime=5s ./internal/trace
 	$(GO) test -run=NONE -fuzz=FuzzReadBinary -fuzztime=5s ./internal/trace
 	$(GO) test -run=NONE -fuzz=FuzzSnapshotSplit -fuzztime=5s ./internal/codec
+	$(GO) test -run=NONE -fuzz=FuzzTransposeRoundTrip -fuzztime=5s ./internal/bus
 
 # Span-tracing smoke: generate a small synthetic trace, evaluate it
 # shard-parallel with the flight recorder exporting a Chrome trace-event
@@ -61,15 +62,18 @@ bench:
 # README "Performance"): BENCH_engine.json compares the seed reference
 # path to the batched engine on Table 4; BENCH_stream.json compares the
 # materialized path to the streaming fan-out; BENCH_parallel.json
-# compares the warm sequential engine to shard-parallel pricing. All
-# paths are explicit so the records can never drift apart.
+# compares the warm sequential engine to shard-parallel pricing;
+# BENCH_bitslice.json compares the scalar pricing kernel to the
+# bit-sliced plane kernel on the seedable codec subset. All paths are
+# explicit so the records can never drift apart.
 benchjson:
-	$(GO) run ./cmd/paper -benchjson BENCH_engine.json -benchstream BENCH_stream.json -benchparallel BENCH_parallel.json
+	$(GO) run ./cmd/paper -benchjson BENCH_engine.json -benchstream BENCH_stream.json -benchparallel BENCH_parallel.json -benchbitslice BENCH_bitslice.json
 
 # Benchmark-regression gate: generate fresh records into a scratch
 # directory and compare them against the committed ones. Fails on a
-# >25% speedup drop, any parity=false, or an alloc-ratio collapse.
+# >25% speedup drop, any parity=false, an alloc-ratio collapse, or the
+# bit-sliced kernel's speedup falling below its absolute 5x floor.
 benchguard:
 	mkdir -p .bench-fresh
-	$(GO) run ./cmd/paper -benchjson .bench-fresh/BENCH_engine.json -benchstream .bench-fresh/BENCH_stream.json -benchparallel .bench-fresh/BENCH_parallel.json
+	$(GO) run ./cmd/paper -benchjson .bench-fresh/BENCH_engine.json -benchstream .bench-fresh/BENCH_stream.json -benchparallel .bench-fresh/BENCH_parallel.json -benchbitslice .bench-fresh/BENCH_bitslice.json
 	$(GO) run ./cmd/benchguard -baseline . -fresh .bench-fresh

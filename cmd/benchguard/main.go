@@ -34,6 +34,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fresh := fs.String("fresh", "", "directory holding the freshly generated records (required)")
 	slowdown := fs.Float64("tolerance", bench.DefaultTolerance().Slowdown, "allowed fractional speedup drop (0.25 = fresh may fall to 75% of committed)")
 	allocCollapse := fs.Float64("alloc-collapse", bench.DefaultTolerance().AllocCollapse, "factor by which the streaming alloc ratio may shrink before failing")
+	bitsliceFloor := fs.Float64("bitslice-floor", bench.DefaultTolerance().BitsliceFloor, "absolute minimum scalar/plane speedup the fresh bitslice record must report (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -42,11 +43,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
-	tol := bench.Tolerance{Slowdown: *slowdown, AllocCollapse: *allocCollapse}
+	tol := bench.Tolerance{Slowdown: *slowdown, AllocCollapse: *allocCollapse, BitsliceFloor: *bitsliceFloor}
 	violations := bench.Guard(*baseline, *fresh, tol)
 	if len(violations) == 0 {
-		fmt.Fprintf(stdout, "benchguard: ok (%s vs %s, tolerance %.0f%% slowdown, %.1fx alloc collapse)\n",
-			*fresh, *baseline, tol.Slowdown*100, tol.AllocCollapse)
+		fmt.Fprintf(stdout, "benchguard: ok (%s vs %s, tolerance %.0f%% slowdown, %.1fx alloc collapse, %.1fx bitslice floor)\n",
+			*fresh, *baseline, tol.Slowdown*100, tol.AllocCollapse, tol.BitsliceFloor)
 		return 0
 	}
 	fmt.Fprintf(stderr, "benchguard: %d violation(s):\n", len(violations))

@@ -37,6 +37,15 @@ func goodParallel() bench.ParallelEngineRecord {
 	}
 }
 
+func goodBitslice() bench.BitsliceRecord {
+	return bench.BitsliceRecord{
+		Bench: bench.BitsliceBenchName, Entries: 1 << 20, ChunkLen: 4096,
+		NumCPU: 8, GOMAXPROCS: 1, Codecs: []string{"binary", "gray", "offset", "incxor"},
+		PerLine: true, WarmIters: 5, ScalarNs: 60_000_000, PlaneNs: 10_000_000,
+		SpeedupBitslice: 6, Parity: true,
+	}
+}
+
 func writeDir(t *testing.T, eng bench.EngineRecord, str bench.StreamRecord) string {
 	t.Helper()
 	dir := t.TempDir()
@@ -47,6 +56,9 @@ func writeDir(t *testing.T, eng bench.EngineRecord, str bench.StreamRecord) stri
 		t.Fatal(err)
 	}
 	if err := bench.WriteRecord(filepath.Join(dir, "BENCH_parallel.json"), goodParallel()); err != nil {
+		t.Fatal(err)
+	}
+	if err := bench.WriteRecord(filepath.Join(dir, "BENCH_bitslice.json"), goodBitslice()); err != nil {
 		t.Fatal(err)
 	}
 	return dir
@@ -110,7 +122,8 @@ func TestCLIViolationFormatting(t *testing.T) {
 	}
 	for _, line := range lines {
 		trimmed := strings.TrimSpace(line)
-		if !strings.HasPrefix(trimmed, "engine:") && !strings.HasPrefix(trimmed, "stream:") && !strings.HasPrefix(trimmed, "parallel:") {
+		if !strings.HasPrefix(trimmed, "engine:") && !strings.HasPrefix(trimmed, "stream:") &&
+			!strings.HasPrefix(trimmed, "parallel:") && !strings.HasPrefix(trimmed, "bitslice:") {
 			t.Errorf("violation line does not lead with its record name: %q", line)
 		}
 	}
@@ -139,6 +152,27 @@ func TestCLITighterTolerance(t *testing.T) {
 	}
 }
 
+func TestCLIBitsliceFloor(t *testing.T) {
+	base := writeDir(t, goodEngine(), goodStream())
+	slow := goodBitslice()
+	slow.ScalarNs = 45_000_000
+	slow.SpeedupBitslice = 4.5 // below the default 5x absolute floor
+	fresh := writeDir(t, goodEngine(), goodStream())
+	if err := bench.WriteRecord(filepath.Join(fresh, "BENCH_bitslice.json"), slow); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut := runGuard(t, "-baseline", base, "-fresh", fresh)
+	if code != 1 {
+		t.Fatalf("exit %d with 4.5x bitslice speedup, want 1; stderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(errOut, "speedup_bitslice") || !strings.Contains(errOut, "floor") {
+		t.Errorf("floor violation not named:\n%s", errOut)
+	}
+	if code, _, errOut := runGuard(t, "-baseline", base, "-fresh", fresh, "-bitslice-floor", "4", "-tolerance", "0.3"); code != 0 {
+		t.Errorf("4.5x failed a lowered 4x floor (exit %d):\n%s", code, errOut)
+	}
+}
+
 func TestCLIUsageErrors(t *testing.T) {
 	if code, _, errOut := runGuard(t); code != 2 || !strings.Contains(errOut, "-fresh") {
 		t.Errorf("missing -fresh: exit %d, stderr:\n%s", code, errOut)
@@ -155,7 +189,7 @@ func TestCLIMissingFreshFiles(t *testing.T) {
 	if code != 1 {
 		t.Fatalf("exit %d with empty fresh dir, want 1", code)
 	}
-	if !strings.Contains(errOut, "3 violation") {
+	if !strings.Contains(errOut, "4 violation") {
 		t.Errorf("want one violation per missing record:\n%s", errOut)
 	}
 	// The committed repo records must pass against themselves.

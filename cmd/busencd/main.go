@@ -140,11 +140,12 @@ type evalResponse struct {
 }
 
 // handleEval prices codecs over a trace file through the streaming
-// fan-out: GET /eval?trace=path[&codes=a,b][&chunklen=N][&depth=N].
-// With ?parallel=N the trace is materialized instead and each codec is
-// priced over N shards with reseeded encoder state (the obs registries
-// then carry codec.parallel.shards and codec.parallel.shard_ns for the
-// run, alongside core.parallel.*).
+// fan-out: GET /eval?trace=path[&codes=a,b][&chunklen=N][&depth=N]
+// [&kernel=auto|scalar|plane]. With ?parallel=N the trace is
+// materialized instead and each codec is priced over N shards with
+// reseeded encoder state (the obs registries then carry
+// codec.parallel.shards and codec.parallel.shard_ns for the run,
+// alongside core.parallel.*).
 func handleEval(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	path := q.Get("trace")
@@ -153,7 +154,12 @@ func handleEval(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	codes := splitCodes(q.Get("codes"))
-	cfg := core.FanoutConfig{Verify: codec.VerifySampled}
+	kern, err := codec.ParseKernel(q.Get("kernel"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cfg := core.FanoutConfig{Verify: codec.VerifySampled, Kernel: kern}
 	chunkLen, ok := posIntParam(w, q.Get("chunklen"), "chunklen")
 	if !ok {
 		return
@@ -185,7 +191,7 @@ func handleEval(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		results, err = core.EvaluateParallel(s, s.Width, codes, core.DefaultOptions,
-			core.ParallelConfig{Shards: parallel, Verify: codec.VerifySampled})
+			core.ParallelConfig{Shards: parallel, Verify: codec.VerifySampled, Kernel: kern})
 	} else {
 		results, err = core.EvaluateStreaming(tr, tr.Width(), codes, core.DefaultOptions, cfg)
 	}

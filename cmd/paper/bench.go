@@ -158,6 +158,9 @@ func benchEngine(path string, src core.Source, warmIters int) error {
 	rec := bench.EngineRecord{
 		Bench:        bench.EngineBenchName,
 		Source:       string(src),
+		NumCPU:       runtime.NumCPU(),
+		GoVersion:    runtime.Version(),
+		ChunkLen:     codec.RunChunkLen,
 		GOMAXPROCS:   1,
 		ReferenceNs:  refNs,
 		EngineColdNs: coldNs,

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"busenc/internal/bench"
+	"busenc/internal/codec"
+	"busenc/internal/core"
+	"busenc/internal/obs"
+)
+
+// Bit-sliced kernel benchmark (-benchjson writes BENCH_bitslice.json
+// alongside the other records): prices the seedable plane-codec subset
+// (binary, gray, offset, incxor) over the same materialized trace two
+// ways on the same machine —
+//
+//   - scalar: codec.RunFast per codec with Kernel forced to
+//     KernelScalar, so the batch encode kernels materialize every word
+//     and bus.Accumulate prices one entry at a time;
+//   - plane: one codec.RunPlaneSet sweep, transposing each 64-address
+//     block once and pricing all four codecs on the bit-sliced
+//     XOR+popcount kernels, never materializing the word stream.
+//
+// Both sides request identical statistics (per-line counts, so parity
+// covers Transitions, Cycles, PerLine and MaxPerCycle) with VerifyNone,
+// isolating encode+count. SpeedupBitslice = scalar_ns / plane_ns is a
+// same-machine ratio; the guard's BitsliceFloor band (default 5x)
+// enforces the ISSUE target on every regeneration.
+
+// bitsliceCodes is the seedable subset with plane-domain kernels.
+var bitsliceCodes = []string{"binary", "gray", "offset", "incxor"}
+
+// benchBitslice runs the comparison and writes BENCH_bitslice.json.
+func benchBitslice(path string, entries, warmIters int) (err error) {
+	sp := obs.StartSpan("bench.bitslice", obs.StageBench)
+	defer func() { sp.EndErr(err) }()
+	if entries <= 0 {
+		entries = 1 << 20
+	}
+	if warmIters < 1 {
+		warmIters = 1
+	}
+	s := buildBenchTrace(entries)
+	cs := make([]codec.Codec, len(bitsliceCodes))
+	for i, code := range bitsliceCodes {
+		cs[i] = codec.MustNew(code, core.Width, core.DefaultOptions)
+	}
+	opts := codec.RunOpts{Verify: codec.VerifyNone, PerLine: true}
+
+	// Serial measurement: both paths are single-threaded, so pin to one
+	// proc to keep records insensitive to background scheduling.
+	defaultProcs := runtime.GOMAXPROCS(0)
+	runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(defaultProcs)
+
+	scalarSweep := func() ([]codec.Result, error) {
+		out := make([]codec.Result, len(cs))
+		sopts := opts
+		sopts.Kernel = codec.KernelScalar
+		for i, c := range cs {
+			res, err := codec.RunFast(c, s, sopts)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = res
+		}
+		return out, nil
+	}
+	planeSweep := func() ([]codec.Result, error) {
+		return codec.RunPlaneSet(cs, s, opts)
+	}
+	timeSweep := func(sweep func() ([]codec.Result, error)) ([]codec.Result, int64, error) {
+		var results []codec.Result
+		best := int64(0)
+		for i := 0; i < warmIters; i++ {
+			t := time.Now()
+			got, err := sweep()
+			if err != nil {
+				return nil, 0, err
+			}
+			if ns := time.Since(t).Nanoseconds(); best == 0 || ns < best {
+				best = ns
+			}
+			results = got
+		}
+		return results, best, nil
+	}
+
+	scalarResults, scalarNs, err := timeSweep(scalarSweep)
+	if err != nil {
+		return err
+	}
+	planeResults, planeNs, err := timeSweep(planeSweep)
+	if err != nil {
+		return err
+	}
+
+	parity := len(scalarResults) == len(planeResults)
+	for i := 0; parity && i < len(scalarResults); i++ {
+		parity = sameResult(scalarResults[i], planeResults[i])
+	}
+
+	rec := bench.BitsliceRecord{
+		Bench:           bench.BitsliceBenchName,
+		Entries:         entries,
+		ChunkLen:        codec.RunChunkLen,
+		NumCPU:          runtime.NumCPU(),
+		GoVersion:       runtime.Version(),
+		GOMAXPROCS:      1,
+		Codecs:          bitsliceCodes,
+		PerLine:         true,
+		WarmIters:       warmIters,
+		ScalarNs:        scalarNs,
+		PlaneNs:         planeNs,
+		SpeedupBitslice: float64(scalarNs) / float64(planeNs),
+		Parity:          parity,
+	}
+	if err := bench.WriteRecord(path, rec); err != nil {
+		return err
+	}
+	fmt.Printf("bitslice bench: %d entries x %d codecs, scalar %.1f ms, plane %.1f ms (%.2fx), parity=%v -> %s\n",
+		entries, len(cs), float64(scalarNs)/1e6, float64(planeNs)/1e6, rec.SpeedupBitslice, parity, path)
+	if !parity {
+		return fmt.Errorf("plane-kernel and scalar-kernel results diverge")
+	}
+	return nil
+}
+
+// sameResult compares every statistic a Result carries, per-line counts
+// included.
+func sameResult(a, b codec.Result) bool {
+	if a.Codec != b.Codec || a.Transitions != b.Transitions ||
+		a.Cycles != b.Cycles || a.MaxPerCycle != b.MaxPerCycle ||
+		len(a.PerLine) != len(b.PerLine) {
+		return false
+	}
+	for i := range a.PerLine {
+		if a.PerLine[i] != b.PerLine[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -128,13 +128,22 @@ func benchParallel(path string, src core.Source, shards, warmIters int) (err err
 		return err
 	}
 
+	// The record carries the effective per-codec shard count, not the
+	// flag value: shards=0 delegates to EvaluateParallel, which sizes
+	// the fan-out by the GOMAXPROCS of the parallel measurement.
+	effShards := shards
+	if effShards <= 0 {
+		effShards = parProcs
+	}
 	parity := sameTotals(refTotals, serTotals) && sameTotals(serTotals, parTotals)
 	rec := bench.ParallelEngineRecord{
 		Bench:              bench.ParallelBenchName,
 		Source:             string(src),
 		NumCPU:             runtime.NumCPU(),
+		GoVersion:          runtime.Version(),
+		ChunkLen:           codec.RunChunkLen,
 		GOMAXPROCS:         parProcs,
-		Shards:             shards,
+		Shards:             effShards,
 		Codecs:             codes,
 		WarmIters:          warmIters,
 		ReferenceNs:        refNs,

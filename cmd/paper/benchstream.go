@@ -151,6 +151,8 @@ func benchStream(path string, entries int) (err error) {
 		Entries:    entries,
 		FileBytes:  fi.Size(),
 		ChunkLen:   trace.DefaultChunkLen,
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
 		Depth:      core.DefaultFanoutDepth,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Codecs:     codes,

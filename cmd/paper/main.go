@@ -35,10 +35,12 @@ func main() {
 	stream := flag.Bool("stream", false, "with -trace: use the single-pass bounded-memory streaming fan-out instead of materializing the trace")
 	parallel := flag.Int("parallel", 0, "with -trace: price each codec over N shards with reseeded encoder state (0 = off; incompatible with -stream)")
 	codes := flag.String("codes", "paper", "with -trace: comma-separated codec list, \"paper\" (the seven paper codes) or \"all\"")
+	kernel := flag.String("kernel", "auto", "with -trace: pricing kernel — \"auto\" (plane-capable codecs use the bit-sliced path), \"scalar\" or \"plane\"")
 	chunkLen := flag.Int("chunklen", 0, "with -trace: chunk size in entries (0 = default)")
 	benchJSON := flag.String("benchjson", "", "benchmark the batched evaluation engine against the reference path and write machine-readable results to this file (e.g. BENCH_engine.json); also writes the streaming-pipeline record (see -benchstream) and the shard-parallel record (see -benchparallel), then exits")
 	benchStreamJSON := flag.String("benchstream", "", "with -benchjson: path for the streaming-pipeline record (default: BENCH_stream.json beside the engine record)")
 	benchParallelJSON := flag.String("benchparallel", "", "with -benchjson: path for the shard-parallel engine record (default: BENCH_parallel.json beside the engine record)")
+	benchBitsliceJSON := flag.String("benchbitslice", "", "with -benchjson: path for the bit-sliced kernel record (default: BENCH_bitslice.json beside the engine record)")
 	benchEntries := flag.Int("benchentries", 1<<20, "with -benchjson: trace length for the streaming-pipeline benchmark")
 	metrics := flag.String("metrics", "", "enable run-time observability and dump all metric registries on exit: \"table\", \"json\" or \"spans\" (to stderr, so table/trace output stays clean; \"spans\" prints per-stage span latency attribution)")
 	spanTrace := flag.String("spantrace", "", "record pipeline spans and write a Chrome trace-event file (load in Perfetto / chrome://tracing) to this path on exit")
@@ -82,10 +84,18 @@ func main() {
 			fmt.Fprintln(os.Stderr, "paper:", err)
 			os.Exit(1)
 		}
+		bitslicePath := *benchBitsliceJSON
+		if bitslicePath == "" {
+			bitslicePath = filepath.Join(filepath.Dir(*benchJSON), "BENCH_bitslice.json")
+		}
+		if err := benchBitslice(bitslicePath, *benchEntries, 5); err != nil {
+			fmt.Fprintln(os.Stderr, "paper:", err)
+			os.Exit(1)
+		}
 		return
 	}
 	if *tracePath != "" {
-		if err := evalTrace(*tracePath, *codes, *stream, *chunkLen, *parallel); err != nil {
+		if err := evalTrace(*tracePath, *codes, *stream, *chunkLen, *parallel, *kernel); err != nil {
 			fmt.Fprintln(os.Stderr, "paper:", err)
 			os.Exit(1)
 		}

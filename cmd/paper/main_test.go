@@ -89,7 +89,7 @@ func TestEvalTraceBothPaths(t *testing.T) {
 	path := writeTestTrace(t, 3000)
 	var outs []string
 	for _, streaming := range []bool{false, true} {
-		out := captureStdout(t, func() error { return evalTrace(path, "paper", streaming, 256, 0) })
+		out := captureStdout(t, func() error { return evalTrace(path, "paper", streaming, 256, 0, "auto") })
 		for _, code := range []string{"binary", "t0", "dualt0bi"} {
 			if !strings.Contains(out, code) {
 				t.Errorf("streaming=%v: code %s missing from output:\n%s", streaming, code, out)
@@ -113,8 +113,8 @@ func TestEvalTraceBothPaths(t *testing.T) {
 
 func TestEvalTraceParallel(t *testing.T) {
 	path := writeTestTrace(t, 3000)
-	seq := captureStdout(t, func() error { return evalTrace(path, "paper", false, 0, 0) })
-	par := captureStdout(t, func() error { return evalTrace(path, "paper", false, 0, 3) })
+	seq := captureStdout(t, func() error { return evalTrace(path, "paper", false, 0, 0, "auto") })
+	par := captureStdout(t, func() error { return evalTrace(path, "paper", false, 0, 3, "auto") })
 	if !strings.Contains(par, "parallel (3 shards)") {
 		t.Errorf("-parallel output does not announce parallel mode:\n%s", par)
 	}
@@ -126,14 +126,14 @@ func TestEvalTraceParallel(t *testing.T) {
 	if strip(seq) != strip(par) {
 		t.Errorf("materialized and parallel tables differ:\n%s\nvs\n%s", seq, par)
 	}
-	if err := evalTrace(path, "paper", true, 0, 2); err == nil {
+	if err := evalTrace(path, "paper", true, 0, 2, "auto"); err == nil {
 		t.Error("-stream combined with -parallel accepted")
 	}
 }
 
 func TestEvalTraceCustomCodes(t *testing.T) {
 	path := writeTestTrace(t, 1000)
-	out := captureStdout(t, func() error { return evalTrace(path, "t0,gray", true, 0, 0) })
+	out := captureStdout(t, func() error { return evalTrace(path, "t0,gray", true, 0, 0, "auto") })
 	// binary is always prepended as the savings reference.
 	for _, code := range []string{"binary", "t0", "gray"} {
 		if !strings.Contains(out, code) {
@@ -149,7 +149,7 @@ func TestSpanTraceExport(t *testing.T) {
 	obs.EnableTracing(obs.TracerConfig{})
 	defer obs.DisableTracing()
 	path := writeTestTrace(t, 3000)
-	captureStdout(t, func() error { return evalTrace(path, "paper", false, 0, 4) })
+	captureStdout(t, func() error { return evalTrace(path, "paper", false, 0, 4, "auto") })
 	out := filepath.Join(t.TempDir(), "spans.json")
 	writeSpanTrace(out)
 
@@ -186,7 +186,7 @@ func TestDumpMetricsSpans(t *testing.T) {
 	obs.EnableTracing(obs.TracerConfig{})
 	defer obs.DisableTracing()
 	path := writeTestTrace(t, 2000)
-	captureStdout(t, func() error { return evalTrace(path, "t0,gray", true, 0, 0) })
+	captureStdout(t, func() error { return evalTrace(path, "t0,gray", true, 0, 0, "auto") })
 
 	old := os.Stderr
 	r, w, err := os.Pipe()

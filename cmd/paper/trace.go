@@ -42,10 +42,15 @@ func parseCodes(codes string) []string {
 
 // evalTrace evaluates the named codecs over the trace file and prints a
 // comparison table. parallel > 0 routes the materialized path through
-// core.EvaluateParallel with that many shards per codec.
-func evalTrace(path, codes string, streaming bool, chunkLen, parallel int) error {
+// core.EvaluateParallel with that many shards per codec. kernel picks
+// the pricing kernel ("auto", "scalar" or "plane").
+func evalTrace(path, codes string, streaming bool, chunkLen, parallel int, kernel string) error {
 	if streaming && parallel > 0 {
 		return fmt.Errorf("-stream and -parallel are mutually exclusive: the streaming fan-out never materializes the trace, shard-parallel pricing needs it in memory")
+	}
+	kern, err := codec.ParseKernel(kernel)
+	if err != nil {
+		return err
 	}
 	names := parseCodes(codes)
 	// Ensure binary leads so savings have a reference.
@@ -74,7 +79,7 @@ func evalTrace(path, codes string, streaming bool, chunkLen, parallel int) error
 	var entries int64
 	if streaming {
 		results, err = core.EvaluateStreaming(r, r.Width(), names, core.DefaultOptions,
-			core.FanoutConfig{Verify: codec.VerifySampled})
+			core.FanoutConfig{Verify: codec.VerifySampled, Kernel: kern})
 		if err != nil {
 			return err
 		}
@@ -89,7 +94,7 @@ func evalTrace(path, codes string, streaming bool, chunkLen, parallel int) error
 		entries = int64(s.Len())
 		if parallel > 0 {
 			results, err = core.EvaluateParallel(s, s.Width, names, core.DefaultOptions,
-				core.ParallelConfig{Shards: parallel, Verify: codec.VerifySampled})
+				core.ParallelConfig{Shards: parallel, Verify: codec.VerifySampled, Kernel: kern})
 			if err != nil {
 				return err
 			}
@@ -99,7 +104,7 @@ func evalTrace(path, codes string, streaming bool, chunkLen, parallel int) error
 				if err != nil {
 					return err
 				}
-				res, err := codec.RunFast(c, s, codec.RunOpts{Verify: codec.VerifySampled})
+				res, err := codec.RunFast(c, s, codec.RunOpts{Verify: codec.VerifySampled, Kernel: kern})
 				if err != nil {
 					return err
 				}

@@ -26,11 +26,16 @@ type Tolerance struct {
 	// AllocCollapse is the factor by which the streaming alloc ratio may
 	// shrink before the guard fails.
 	AllocCollapse float64
+	// BitsliceFloor is the absolute minimum the fresh bitslice record's
+	// scalar/plane speedup may report (0 disables the floor). Unlike the
+	// relative bands this needs no committed baseline: the ratio is
+	// same-machine by construction, so the floor holds on any box.
+	BitsliceFloor float64
 }
 
 // DefaultTolerance is the band set CI enforces.
 func DefaultTolerance() Tolerance {
-	return Tolerance{Slowdown: 0.25, AllocCollapse: 2}
+	return Tolerance{Slowdown: 0.25, AllocCollapse: 2, BitsliceFloor: 5}
 }
 
 // Violation is one broken band.
@@ -78,6 +83,9 @@ func CompareEngine(old, fresh EngineRecord, tol Tolerance) []Violation {
 		out = append(out, Violation{Record: "engine", Field: "parity",
 			Msg: "engine and reference transition totals diverge"})
 	}
+	if !SameMachine(old.NumCPU, fresh.NumCPU, old.GoVersion, fresh.GoVersion) {
+		return out // cross-box: parity holds everywhere, ratios do not
+	}
 	if v := speedupDrop("engine", "speedup_warm", old.SpeedupWarm, fresh.SpeedupWarm, tol.Slowdown); v != nil {
 		out = append(out, *v)
 	}
@@ -97,6 +105,9 @@ func CompareStream(old, fresh StreamRecord, tol Tolerance) []Violation {
 	if !fresh.Parity {
 		out = append(out, Violation{Record: "stream", Field: "parity",
 			Msg: "streaming and materialized transition totals diverge"})
+	}
+	if !SameMachine(old.NumCPU, fresh.NumCPU, old.GoVersion, fresh.GoVersion) {
+		return out
 	}
 	if v := speedupDrop("stream", "speedup_streaming", old.SpeedupStreaming, fresh.SpeedupStreaming, tol.Slowdown); v != nil {
 		out = append(out, *v)
@@ -131,6 +142,9 @@ func CompareParallel(old, fresh ParallelEngineRecord, tol Tolerance) []Violation
 		out = append(out, Violation{Record: "parallel", Field: "parity",
 			Msg: "parallel, serial and reference transition totals diverge"})
 	}
+	if !SameMachine(old.NumCPU, fresh.NumCPU, old.GoVersion, fresh.GoVersion) {
+		return out
+	}
 	if v := speedupDrop("parallel", "speedup_parallel", old.SpeedupParallel, fresh.SpeedupParallel, tol.Slowdown); v != nil {
 		out = append(out, *v)
 	}
@@ -140,9 +154,43 @@ func CompareParallel(old, fresh ParallelEngineRecord, tol Tolerance) []Violation
 	return out
 }
 
+// CompareBitslice holds a fresh bitslice record against the committed
+// one. Parity always binds; the absolute BitsliceFloor binds on any
+// machine (the ratio inside a record is same-machine); the relative
+// band vs the committed speedup is skipped across machine boundaries
+// like the other ratio bands.
+func CompareBitslice(old, fresh BitsliceRecord, tol Tolerance) []Violation {
+	var out []Violation
+	if err := old.Validate(); err != nil {
+		out = append(out, Violation{Record: "bitslice", Field: "baseline", Msg: err.Error()})
+	}
+	if err := fresh.Validate(); err != nil {
+		out = append(out, Violation{Record: "bitslice", Field: "fresh", Msg: err.Error()})
+		return out
+	}
+	if !fresh.Parity {
+		out = append(out, Violation{Record: "bitslice", Field: "parity",
+			Msg: "plane-kernel and scalar-kernel results diverge"})
+	}
+	if tol.BitsliceFloor > 0 && fresh.SpeedupBitslice < tol.BitsliceFloor {
+		out = append(out, Violation{
+			Record: "bitslice", Field: "speedup_bitslice",
+			Old: tol.BitsliceFloor, New: fresh.SpeedupBitslice,
+			Msg: fmt.Sprintf("bit-sliced speedup fell below the absolute %.1fx floor", tol.BitsliceFloor),
+		})
+	}
+	if !SameMachine(old.NumCPU, fresh.NumCPU, old.GoVersion, fresh.GoVersion) {
+		return out
+	}
+	if v := speedupDrop("bitslice", "speedup_bitslice", old.SpeedupBitslice, fresh.SpeedupBitslice, tol.Slowdown); v != nil {
+		out = append(out, *v)
+	}
+	return out
+}
+
 // Guard loads the committed and fresh record set from the two
-// directories (BENCH_engine.json, BENCH_stream.json and
-// BENCH_parallel.json in each) and returns every violation. Unreadable
+// directories (BENCH_engine.json, BENCH_stream.json, BENCH_parallel.json
+// and BENCH_bitslice.json in each) and returns every violation. Unreadable
 // or invalid files are violations, not errors: the guard's job is to
 // fail loudly, so CI gets one unified report either way.
 func Guard(baselineDir, freshDir string, tol Tolerance) []Violation {
@@ -179,6 +227,17 @@ func Guard(baselineDir, freshDir string, tol Tolerance) []Violation {
 	}
 	if err == nil && ferr == nil {
 		out = append(out, CompareParallel(oldPar, freshPar, tol)...)
+	}
+	oldBit, err := ReadBitslice(baselineDir + "/BENCH_bitslice.json")
+	if err != nil {
+		out = append(out, Violation{Record: "bitslice", Field: "baseline", Msg: err.Error()})
+	}
+	freshBit, ferr := ReadBitslice(freshDir + "/BENCH_bitslice.json")
+	if ferr != nil {
+		out = append(out, Violation{Record: "bitslice", Field: "fresh", Msg: ferr.Error()})
+	}
+	if err == nil && ferr == nil {
+		out = append(out, CompareBitslice(oldBit, freshBit, tol)...)
 	}
 	return out
 }

@@ -25,6 +25,15 @@ func parallelFixture() ParallelEngineRecord {
 	}
 }
 
+func bitsliceFixture() BitsliceRecord {
+	return BitsliceRecord{
+		Bench: BitsliceBenchName, Entries: 1 << 20, ChunkLen: 4096,
+		NumCPU: 8, GOMAXPROCS: 1, Codecs: []string{"binary", "gray", "offset", "incxor"},
+		PerLine: true, WarmIters: 5, ScalarNs: 60e6, PlaneNs: 10e6,
+		SpeedupBitslice: 6, Parity: true,
+	}
+}
+
 func streamFixture() StreamRecord {
 	return StreamRecord{
 		Bench: StreamBenchName, Entries: 1 << 20, FileBytes: 2.8e6, ChunkLen: 4096,
@@ -47,6 +56,9 @@ func TestGuardPassesOnIdenticalRecords(t *testing.T) {
 	}
 	if vs := CompareParallel(parallelFixture(), parallelFixture(), tol); len(vs) != 0 {
 		t.Errorf("identical parallel records flagged: %v", vs)
+	}
+	if vs := CompareBitslice(bitsliceFixture(), bitsliceFixture(), tol); len(vs) != 0 {
+		t.Errorf("identical bitslice records flagged: %v", vs)
 	}
 }
 
@@ -79,6 +91,16 @@ func TestGuardFailsOnInjected2xSlowdown(t *testing.T) {
 	pvs := CompareParallel(parallelFixture(), pfresh, tol)
 	if len(pvs) != 2 || pvs[0].Field != "speedup_parallel" || pvs[1].Field != "speedup_vs_reference" {
 		t.Errorf("2x parallel slowdown: violations = %v, want both speedup violations", pvs)
+	}
+
+	// A halved bitslice speedup (6 -> 3) breaks both the absolute 5x
+	// floor and the relative band against the committed record.
+	bfresh := bitsliceFixture()
+	bfresh.PlaneNs *= 2
+	bfresh.SpeedupBitslice /= 2
+	bvs := CompareBitslice(bitsliceFixture(), bfresh, tol)
+	if len(bvs) != 2 || bvs[0].Field != "speedup_bitslice" || bvs[1].Field != "speedup_bitslice" {
+		t.Errorf("2x bitslice slowdown: violations = %v, want floor + relative violations", bvs)
 	}
 }
 
@@ -137,6 +159,81 @@ func TestGuardParity(t *testing.T) {
 	if len(pvs) != 1 || pvs[0].Field != "parity" {
 		t.Errorf("parallel parity=false: violations = %v", pvs)
 	}
+
+	bfresh := bitsliceFixture()
+	bfresh.Parity = false
+	bvs := CompareBitslice(bitsliceFixture(), bfresh, DefaultTolerance())
+	if len(bvs) != 1 || bvs[0].Field != "parity" {
+		t.Errorf("bitslice parity=false: violations = %v", bvs)
+	}
+}
+
+// TestGuardBitsliceFloor: the absolute floor binds on any machine —
+// including across machine boundaries where every relative band is
+// skipped — and a disabled floor (0) lets a slow record through.
+func TestGuardBitsliceFloor(t *testing.T) {
+	tol := DefaultTolerance()
+	old := bitsliceFixture()
+
+	crossBox := bitsliceFixture()
+	crossBox.NumCPU = 4 // different machine: relative bands skip
+	crossBox.SpeedupBitslice = 4.9
+	vs := CompareBitslice(old, crossBox, tol)
+	if len(vs) != 1 || vs[0].Field != "speedup_bitslice" || !strings.Contains(vs[0].Msg, "floor") {
+		t.Errorf("cross-box sub-floor speedup: violations = %v, want the absolute floor only", vs)
+	}
+
+	onFloor := bitsliceFixture()
+	onFloor.NumCPU = 4
+	onFloor.SpeedupBitslice = tol.BitsliceFloor
+	if vs := CompareBitslice(old, onFloor, tol); len(vs) != 0 {
+		t.Errorf("speedup exactly on the floor rejected: %v", vs)
+	}
+
+	noFloor := tol
+	noFloor.BitsliceFloor = 0
+	if vs := CompareBitslice(old, crossBox, noFloor); len(vs) != 0 {
+		t.Errorf("disabled floor still flagged: %v", vs)
+	}
+}
+
+// TestSameMachine: unknown identity (zero values from records written
+// before the fields existed) counts as comparable; a mismatch in either
+// CPU count or toolchain skips the ratio bands.
+func TestSameMachine(t *testing.T) {
+	cases := []struct {
+		oldCPU, freshCPU int
+		oldGo, freshGo   string
+		want             bool
+	}{
+		{8, 8, "go1.22.1", "go1.22.1", true},
+		{0, 8, "", "go1.22.1", true},
+		{8, 0, "go1.22.1", "", true},
+		{8, 4, "go1.22.1", "go1.22.1", false},
+		{8, 8, "go1.22.1", "go1.23.0", false},
+	}
+	for _, c := range cases {
+		if got := SameMachine(c.oldCPU, c.freshCPU, c.oldGo, c.freshGo); got != c.want {
+			t.Errorf("SameMachine(%d, %d, %q, %q) = %v, want %v",
+				c.oldCPU, c.freshCPU, c.oldGo, c.freshGo, got, c.want)
+		}
+	}
+
+	// The skip behavior itself: a 2x engine slowdown measured on a
+	// different machine is not a ratio violation, but parity still binds.
+	old := engineFixture()
+	old.NumCPU = 8
+	fresh := engineFixture()
+	fresh.NumCPU = 4
+	fresh.SpeedupWarm /= 2
+	if vs := CompareEngine(old, fresh, DefaultTolerance()); len(vs) != 0 {
+		t.Errorf("cross-box ratio drop flagged: %v", vs)
+	}
+	fresh.Parity = false
+	vs := CompareEngine(old, fresh, DefaultTolerance())
+	if len(vs) != 1 || vs[0].Field != "parity" {
+		t.Errorf("cross-box parity=false: violations = %v", vs)
+	}
 }
 
 // TestGuardMissingField: a record the producer never filled in (zero
@@ -162,6 +259,19 @@ func TestGuardMissingField(t *testing.T) {
 	if len(zvs) != 1 || !strings.Contains(zvs[0].Msg, "materialized_ns") {
 		t.Errorf("all-zero record: violations = %v (want first missing field named)", zvs)
 	}
+
+	bwrong := bitsliceFixture()
+	bwrong.Bench = "bogus"
+	bvs := CompareBitslice(bitsliceFixture(), bwrong, DefaultTolerance())
+	if len(bvs) != 1 || !strings.Contains(bvs[0].Msg, "bench") {
+		t.Errorf("wrong bitslice bench identity: violations = %v", bvs)
+	}
+	bzero := bitsliceFixture()
+	bzero.PlaneNs = 0
+	bzvs := CompareBitslice(bitsliceFixture(), bzero, DefaultTolerance())
+	if len(bzvs) != 1 || !strings.Contains(bzvs[0].Msg, "plane_ns") {
+		t.Errorf("zero plane_ns: violations = %v", bzvs)
+	}
 }
 
 // TestGuardOnCommittedRecords is the other half of the acceptance
@@ -181,6 +291,10 @@ func TestGuardOnCommittedRecords(t *testing.T) {
 	if err != nil {
 		t.Fatalf("committed parallel record unreadable: %v", err)
 	}
+	bit, err := ReadBitslice(filepath.Join(root, "BENCH_bitslice.json"))
+	if err != nil {
+		t.Fatalf("committed bitslice record unreadable: %v", err)
+	}
 	tol := DefaultTolerance()
 	if vs := CompareEngine(eng, eng, tol); len(vs) != 0 {
 		t.Errorf("committed engine record fails its own guard: %v", vs)
@@ -190,6 +304,9 @@ func TestGuardOnCommittedRecords(t *testing.T) {
 	}
 	if vs := CompareParallel(par, par, tol); len(vs) != 0 {
 		t.Errorf("committed parallel record fails its own guard: %v", vs)
+	}
+	if vs := CompareBitslice(bit, bit, tol); len(vs) != 0 {
+		t.Errorf("committed bitslice record fails its own guard: %v", vs)
 	}
 
 	slow := eng
@@ -211,6 +328,12 @@ func TestGuardOnCommittedRecords(t *testing.T) {
 	if vs := CompareParallel(par, pslow, tol); len(vs) == 0 {
 		t.Error("2x slowdown injected into the committed parallel record passed the guard")
 	}
+	bslow := bit
+	bslow.PlaneNs *= 2
+	bslow.SpeedupBitslice /= 2
+	if vs := CompareBitslice(bit, bslow, tol); len(vs) == 0 {
+		t.Error("2x slowdown injected into the committed bitslice record passed the guard")
+	}
 }
 
 // TestGuardDirs: the directory-level entry point used by cmd/benchguard
@@ -224,12 +347,12 @@ func TestGuardDirs(t *testing.T) {
 
 	empty := t.TempDir()
 	vs = Guard(base, empty, DefaultTolerance())
-	if len(vs) != 3 {
-		t.Errorf("missing fresh records: got %d violations (%v), want 3", len(vs), vs)
+	if len(vs) != 4 {
+		t.Errorf("missing fresh records: got %d violations (%v), want 4", len(vs), vs)
 	}
 
-	// A fresh dir with a broken engine record still gets the stream and
-	// parallel pairs compared.
+	// A fresh dir with a broken engine record still gets the stream,
+	// parallel and bitslice pairs compared.
 	broken := t.TempDir()
 	if err := WriteRecord(filepath.Join(broken, "BENCH_engine.json"), EngineRecord{Bench: "bogus"}); err != nil {
 		t.Fatal(err)
@@ -248,8 +371,15 @@ func TestGuardDirs(t *testing.T) {
 	if err := WriteRecord(filepath.Join(broken, "BENCH_parallel.json"), par); err != nil {
 		t.Fatal(err)
 	}
+	bit, err := ReadBitslice(filepath.Join(base, "BENCH_bitslice.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteRecord(filepath.Join(broken, "BENCH_bitslice.json"), bit); err != nil {
+		t.Fatal(err)
+	}
 	vs = Guard(base, broken, DefaultTolerance())
 	if len(vs) != 1 || vs[0].Record != "engine" {
-		t.Errorf("broken engine + healthy stream/parallel: %v, want one engine violation", vs)
+		t.Errorf("broken engine + healthy stream/parallel/bitslice: %v, want one engine violation", vs)
 	}
 }

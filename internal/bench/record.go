@@ -16,16 +16,42 @@ import (
 	"os"
 )
 
+// Machine identity fields. Every record carries the CPU count, Go
+// toolchain version and engine chunk length it was measured with:
+// ratios are same-machine by construction, but a baseline committed on
+// one box compared against a fresh record from a very different one
+// can still misfire (a 4-core laptop's parallel scaling vs a 64-core
+// runner's). The guard uses SameMachine to skip ratio bands across
+// such boundaries instead of failing them; records predating these
+// fields (empty/zero identity) compare unconditionally, preserving the
+// old behavior.
+
+// SameMachine reports whether two records' identity fields describe
+// comparable measurement environments. Unknown identity (zero NumCPU
+// or empty GoVersion on either side) counts as comparable.
+func SameMachine(oldCPU, freshCPU int, oldGo, freshGo string) bool {
+	if oldCPU != 0 && freshCPU != 0 && oldCPU != freshCPU {
+		return false
+	}
+	if oldGo != "" && freshGo != "" && oldGo != freshGo {
+		return false
+	}
+	return true
+}
+
 // EngineRecord mirrors BENCH_engine.json: one Table 4 regeneration on
 // the seed-style reference path versus the batched evaluation engine,
 // measured serially (GOMAXPROCS=1) with a parallel warm rerun.
 type EngineRecord struct {
 	Bench        string  `json:"bench"`
 	Source       string  `json:"source"`
-	GOMAXPROCS   int     `json:"gomaxprocs"`     // 1: the serial measurement
-	ReferenceNs  int64   `json:"reference_ns"`   // seed path, streams regenerated
-	EngineColdNs int64   `json:"engine_cold_ns"` // first engine call, caches empty
-	EngineWarmNs int64   `json:"engine_warm_ns"` // fastest warm engine call
+	NumCPU       int     `json:"num_cpu,omitempty"`
+	GoVersion    string  `json:"go_version,omitempty"`
+	ChunkLen     int     `json:"chunk_len,omitempty"` // engine batch granularity
+	GOMAXPROCS   int     `json:"gomaxprocs"`          // 1: the serial measurement
+	ReferenceNs  int64   `json:"reference_ns"`        // seed path, streams regenerated
+	EngineColdNs int64   `json:"engine_cold_ns"`      // first engine call, caches empty
+	EngineWarmNs int64   `json:"engine_warm_ns"`      // fastest warm engine call
 	WarmIters    int     `json:"warm_iters"`
 	SpeedupCold  float64 `json:"speedup_cold"`
 	SpeedupWarm  float64 `json:"speedup_warm"`
@@ -52,6 +78,8 @@ type StreamRecord struct {
 	Entries    int      `json:"entries"`
 	FileBytes  int64    `json:"file_bytes"`
 	ChunkLen   int      `json:"chunk_len"`
+	NumCPU     int      `json:"num_cpu,omitempty"`
+	GoVersion  string   `json:"go_version,omitempty"`
 	Depth      int      `json:"fanout_depth"`
 	GOMAXPROCS int      `json:"gomaxprocs"`
 	Codecs     []string `json:"codecs"`
@@ -78,8 +106,10 @@ type ParallelEngineRecord struct {
 	Bench      string   `json:"bench"`
 	Source     string   `json:"source"`
 	NumCPU     int      `json:"num_cpu"`
-	GOMAXPROCS int      `json:"gomaxprocs"` // procs of the parallel measurement
-	Shards     int      `json:"shards"`     // 0 = GOMAXPROCS
+	GoVersion  string   `json:"go_version,omitempty"`
+	ChunkLen   int      `json:"chunk_len,omitempty"` // engine batch granularity
+	GOMAXPROCS int      `json:"gomaxprocs"`          // procs of the parallel measurement
+	Shards     int      `json:"shards"`              // effective shard count per codec
 	Codecs     []string `json:"codecs"`
 	WarmIters  int      `json:"warm_iters"`
 
@@ -95,13 +125,42 @@ type ParallelEngineRecord struct {
 	Parity             bool    `json:"parity"` // parallel totals == serial totals == reference totals
 }
 
-// EngineBenchName, StreamBenchName and ParallelBenchName are the
-// identity values of the record kinds; Validate checks them so a
-// mixed-up file pair is a loud failure, not a silent pass.
+// BitsliceRecord mirrors BENCH_bitslice.json: the seedable plane-codec
+// subset (binary, gray, offset, incxor) priced over the same
+// materialized trace twice — codec-by-codec on the scalar batch
+// kernels (Kernel forced to scalar) versus one shared-transpose
+// codec.RunPlaneSet sweep — with identical statistics requested from
+// both (per-line counts and max-per-cycle included, so parity covers
+// every Result field). SpeedupBitslice = scalar_ns / plane_ns is the
+// bit-sliced kernel's same-machine gain, the ratio the ISSUE's ≥5x
+// target and the guard's BitsliceFloor band police.
+type BitsliceRecord struct {
+	Bench      string   `json:"bench"`
+	Entries    int      `json:"entries"`
+	ChunkLen   int      `json:"chunk_len"`
+	NumCPU     int      `json:"num_cpu"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Codecs     []string `json:"codecs"`
+	PerLine    bool     `json:"per_line"`
+	WarmIters  int      `json:"warm_iters"`
+
+	ScalarNs int64 `json:"scalar_ns"` // best warm scalar-kernel sweep
+	PlaneNs  int64 `json:"plane_ns"`  // best warm RunPlaneSet sweep
+
+	SpeedupBitslice float64 `json:"speedup_bitslice"` // scalar/plane wall time
+	Parity          bool    `json:"parity"`           // all Result fields identical
+}
+
+// EngineBenchName, StreamBenchName, ParallelBenchName and
+// BitsliceBenchName are the identity values of the record kinds;
+// Validate checks them so a mixed-up file pair is a loud failure, not
+// a silent pass.
 const (
 	EngineBenchName   = "Table4"
 	StreamBenchName   = "StreamPipeline"
 	ParallelBenchName = "Table4Parallel"
+	BitsliceBenchName = "Bitslice"
 )
 
 // Validate reports the first structurally missing or nonsensical field.
@@ -161,6 +220,26 @@ func (r ParallelEngineRecord) Validate() error {
 	return nil
 }
 
+// Validate reports the first structurally missing field of a bitslice
+// record.
+func (r BitsliceRecord) Validate() error {
+	switch {
+	case r.Bench != BitsliceBenchName:
+		return fmt.Errorf("bench = %q, want %q", r.Bench, BitsliceBenchName)
+	case r.Entries <= 0:
+		return fmt.Errorf("missing field entries")
+	case r.ScalarNs <= 0:
+		return fmt.Errorf("missing field scalar_ns")
+	case r.PlaneNs <= 0:
+		return fmt.Errorf("missing field plane_ns")
+	case r.SpeedupBitslice <= 0:
+		return fmt.Errorf("missing field speedup_bitslice")
+	case len(r.Codecs) == 0:
+		return fmt.Errorf("missing field codecs")
+	}
+	return nil
+}
+
 // ReadEngine loads and validates an engine record.
 func ReadEngine(path string) (EngineRecord, error) {
 	var r EngineRecord
@@ -188,6 +267,18 @@ func ReadStream(path string) (StreamRecord, error) {
 // ReadParallel loads and validates a parallel-engine record.
 func ReadParallel(path string) (ParallelEngineRecord, error) {
 	var r ParallelEngineRecord
+	if err := readJSON(path, &r); err != nil {
+		return r, err
+	}
+	if err := r.Validate(); err != nil {
+		return r, fmt.Errorf("%s: %v", path, err)
+	}
+	return r, nil
+}
+
+// ReadBitslice loads and validates a bitslice record.
+func ReadBitslice(path string) (BitsliceRecord, error) {
+	var r BitsliceRecord
 	if err := readJSON(path, &r); err != nil {
 		return r, err
 	}

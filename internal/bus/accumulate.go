@@ -42,6 +42,13 @@ func (b *Bus) Accumulate(words []uint64) {
 		for ; i < len(words); i++ {
 			w := words[i] & mask
 			diff := cur ^ w
+			if diff == 0 {
+				// Repeated address: nothing toggles, so the popcount, the
+				// max comparison and the per-line scan are all dead weight.
+				// DMA/burst traces repeat addresses often enough that the
+				// early exit is worth its branch (cur is unchanged too).
+				continue
+			}
 			n := bits.OnesCount64(diff)
 			total += int64(n)
 			if n > maxN {

@@ -66,6 +66,52 @@ const (
 // VerifySampleLen is the number of leading entries VerifySampled checks.
 const VerifySampleLen = 1024
 
+// Kernel selects the pricing kernel the RunFast family uses.
+type Kernel int
+
+const (
+	// KernelAuto picks the plane-domain bit-sliced path whenever the
+	// codec implements PlaneEncoder and the verify mode permits it
+	// (VerifyFull needs every encoded word and so forces the scalar
+	// path). This is the zero value: eligible codecs get the fast
+	// kernel without callers opting in, and parity tests pin the two
+	// paths bit-identical.
+	KernelAuto Kernel = iota
+	// KernelScalar forces the word-at-a-time scalar path.
+	KernelScalar
+	// KernelPlane requires the plane-domain path: evaluation fails if
+	// the codec has no plane kernel or the verify mode demands the
+	// scalar path. For tests and benchmarks that must not silently
+	// fall back.
+	KernelPlane
+)
+
+// String names the kernel for flags and error messages.
+func (k Kernel) String() string {
+	switch k {
+	case KernelScalar:
+		return "scalar"
+	case KernelPlane:
+		return "plane"
+	default:
+		return "auto"
+	}
+}
+
+// ParseKernel maps a flag or query-parameter value to a Kernel. The
+// empty string means KernelAuto, matching the zero value.
+func ParseKernel(s string) (Kernel, error) {
+	switch s {
+	case "", "auto":
+		return KernelAuto, nil
+	case "scalar":
+		return KernelScalar, nil
+	case "plane":
+		return KernelPlane, nil
+	}
+	return KernelAuto, fmt.Errorf("codec: unknown kernel %q (want auto, scalar or plane)", s)
+}
+
 // RunOpts tunes the RunFast evaluation path.
 type RunOpts struct {
 	// Verify selects the decode round-trip checking mode.
@@ -74,12 +120,18 @@ type RunOpts struct {
 	// false (the default) the counting loop is aggregate-only and
 	// Result.PerLine is nil.
 	PerLine bool
+	// Kernel selects the pricing kernel (KernelAuto by default).
+	Kernel Kernel
 }
 
 // runChunk is the batch granularity: large enough to amortize the chunk
 // setup, small enough that the symbol+word buffers stay cache-resident
 // (4096 × 24 B ≈ 96 KiB).
 const runChunk = 4096
+
+// RunChunkLen is the engine batch granularity, exported for benchmark
+// records (bench.*Record.ChunkLen identity fields).
+const RunChunkLen = runChunk
 
 type runBuf struct {
 	syms  []Symbol
@@ -98,6 +150,11 @@ var runBufPool = sync.Pool{New: func() any {
 // opts.Verify. RunFast is safe for concurrent use across goroutines (each
 // call has its own encoder, decoder, bus and pooled buffers).
 func RunFast(c Codec, s *trace.Stream, opts RunOpts) (Result, error) {
+	if usePlane, err := PlaneEligible(c, opts.Kernel, opts.Verify); err != nil {
+		return Result{}, err
+	} else if usePlane {
+		return runFastPlane(c, s, opts)
+	}
 	root := obs.StartSpan("codec.run_fast", obs.StageEncode).WithCodec(c.Name()).WithStream(s.Name)
 	enc := AsBatch(c.NewEncoder())
 	var b *bus.Bus

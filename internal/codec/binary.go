@@ -61,3 +61,10 @@ func (e binaryEnd) EncodeBatch(syms []Symbol, out []uint64) {
 		out[i] = syms[i].Addr & mask
 	}
 }
+
+// EncodePlanes implements PlaneEncoder: the identity code's encoded
+// planes are the address planes themselves (the bus never reads planes
+// at or above the width, so no masking is needed).
+func (b *Binary) EncodePlanes(blk *PlaneBlock, _ *[64]uint64) (*[64]uint64, uint64) {
+	return blk.A, blk.Last & b.mask
+}

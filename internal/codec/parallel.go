@@ -57,6 +57,9 @@ type ParallelOpts struct {
 	Verify VerifyMode
 	// PerLine requests per-line transition counts in Result.PerLine.
 	PerLine bool
+	// Kernel selects the pricing kernel per shard (KernelAuto by
+	// default), with the same routing rules as RunOpts.Kernel.
+	Kernel Kernel
 }
 
 // MinShardLen is the smallest shard worth a goroutine: below this the
@@ -78,7 +81,7 @@ func RunParallel(c Codec, s *trace.Stream, opts ParallelOpts) (Result, error) {
 	}
 	probe := c.NewEncoder()
 	if _, ok := probe.(StateCodec); !ok || p <= 1 {
-		return RunFast(c, s, RunOpts{Verify: opts.Verify, PerLine: opts.PerLine})
+		return RunFast(c, s, RunOpts{Verify: opts.Verify, PerLine: opts.PerLine, Kernel: opts.Kernel})
 	}
 	cuts := shardCuts(s.Len(), p)
 	return runParallelCuts(c, s, cuts, opts)
@@ -214,6 +217,11 @@ func runParallelCuts(c Codec, s *trace.Stream, cuts []int, opts ParallelOpts) (R
 // to RunFast's; later shards verify only under VerifyFull and only when
 // the decoder is seedable mid-stream.
 func priceShard(c Codec, entries []trace.Entry, start, end int, enc Encoder, opts ParallelOpts, first bool) (*bus.Bus, error) {
+	if usePlane, err := PlaneEligible(c, opts.Kernel, opts.Verify); err != nil {
+		return nil, err
+	} else if usePlane {
+		return priceShardPlane(c, entries, start, end, enc, opts, first)
+	}
 	var b *bus.Bus
 	if opts.PerLine {
 		b = bus.New(c.BusWidth())
@@ -290,4 +298,29 @@ func priceShard(c Codec, entries []trace.Entry, start, end int, enc Encoder, opt
 		}
 	}
 	return b, nil
+}
+
+// priceShardPlane prices a shard on the plane path. Mid-stream seeding
+// maps directly onto PlaneSet.Prime: the boundary entry's re-encoded
+// word (exactly what the scalar path feeds bus.Prime) plus its raw
+// address as the carried-in predecessor. VerifyFull never routes here,
+// so only shard 0 can owe a verification sample — replayed scalar-ly
+// like runFastPlane's.
+func priceShardPlane(c Codec, entries []trace.Entry, start, end int, enc Encoder, opts ParallelOpts, first bool) (*bus.Bus, error) {
+	if first && opts.Verify == VerifySampled {
+		if err := verifyPrefix(c, entries[start:end], VerifySampleLen); err != nil {
+			return nil, err
+		}
+	}
+	ps, err := NewPlaneSet([]Codec{c}, opts.PerLine)
+	if err != nil {
+		return nil, err
+	}
+	if !first {
+		lead := start - 1
+		word := enc.Encode(SymbolOf(entries[lead]))
+		ps.Prime(entries[lead].Addr, []uint64{word})
+	}
+	ps.ConsumeEntries(entries[start:end])
+	return ps.Bus(0), nil
 }

@@ -30,6 +30,11 @@ import (
 // returned as-is. Verification follows opts.Verify; VerifyFull checks
 // every entry just like Run.
 func RunStream(c Codec, r trace.ChunkReader, opts RunOpts) (Result, error) {
+	if usePlane, err := PlaneEligible(c, opts.Kernel, opts.Verify); err != nil {
+		return Result{}, err
+	} else if usePlane {
+		return runStreamPlane(c, r, opts)
+	}
 	root := obs.StartSpan("codec.run_stream", obs.StageEncode).WithCodec(c.Name()).WithStream(r.Name())
 	enc := AsBatch(c.NewEncoder())
 	var b *bus.Bus
@@ -118,6 +123,70 @@ func RunStream(c Codec, r trace.ChunkReader, opts RunOpts) (Result, error) {
 		PerLine:     b.PerLine(),
 		MaxPerCycle: b.MaxPerCycle(),
 	}, nil
+}
+
+// runStreamPlane is RunStream's plane-domain path. Reader chunks carry
+// addresses in SoA form, so they feed the plane set with no
+// symbol-gather at all — the chunk view goes straight into the
+// transpose. Sampled verification replays the leading entries through a
+// scalar encoder/decoder pair as the chunks stream past.
+func runStreamPlane(c Codec, r trace.ChunkReader, opts RunOpts) (Result, error) {
+	root := obs.StartSpan("codec.run_stream", obs.StageEncode).WithCodec(c.Name()).WithStream(r.Name())
+	ps, err := NewPlaneSet([]Codec{c}, opts.PerLine)
+	if err != nil {
+		root.EndErr(err)
+		return Result{}, err
+	}
+	var enc Encoder
+	var dec Decoder
+	verifyLeft := 0
+	if opts.Verify == VerifySampled {
+		enc, dec = c.NewEncoder(), c.NewDecoder()
+		verifyLeft = VerifySampleLen
+	}
+	mask := bus.Mask(c.PayloadWidth())
+	idx := 0
+	chunkN := 0
+	for {
+		ch, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			root.EndErr(err)
+			return Result{}, err
+		}
+		csp := root.Child("codec.chunk", obs.StageEncode).WithChunk(chunkN)
+		chunkN++
+		addrs, kinds := ch.Addrs, ch.Kinds
+		if verifyLeft > 0 {
+			vn := len(addrs)
+			if vn > verifyLeft {
+				vn = verifyLeft
+			}
+			for i := 0; i < vn; i++ {
+				sel := kinds[i] == trace.Instr
+				word := enc.Encode(Symbol{Addr: addrs[i], Sel: sel})
+				got := dec.Decode(word, sel)
+				if want := addrs[i] & mask; got != want {
+					ch.Release()
+					err := fmt.Errorf("codec %s: round-trip mismatch at entry %d: addr %#x decoded as %#x", c.Name(), idx+i, want, got)
+					csp.EndErr(err)
+					root.EndErr(err)
+					return Result{}, err
+				}
+			}
+			verifyLeft -= vn
+		}
+		ps.Consume(addrs)
+		idx += len(addrs)
+		ch.Release()
+		csp.End()
+	}
+	root.End()
+	res := ps.Results(r.Name())[0]
+	RecordRun(c.Name(), int64(idx), res.Transitions)
+	return res, nil
 }
 
 // MustRunStream is RunStream panicking on error; for benches and tables.

@@ -28,6 +28,9 @@ type ParallelConfig struct {
 	Verify codec.VerifyMode
 	// PerLine requests per-line transition counts in every Result.
 	PerLine bool
+	// Kernel selects the pricing kernel per shard (codec.KernelAuto by
+	// default; see codec.RunOpts.Kernel for the routing rules).
+	Kernel codec.Kernel
 }
 
 // EvaluateParallel prices every named codec over a materialized stream
@@ -53,7 +56,7 @@ func EvaluateParallel(s *trace.Stream, width int, codes []string, opts codec.Opt
 	m := parallelBinding.Get()
 	m.shards.Set(int64(cfg.Shards))
 	m.codecs.Set(int64(len(cs)))
-	popts := codec.ParallelOpts{Shards: cfg.Shards, Verify: cfg.Verify, PerLine: cfg.PerLine}
+	popts := codec.ParallelOpts{Shards: cfg.Shards, Verify: cfg.Verify, PerLine: cfg.PerLine, Kernel: cfg.Kernel}
 	results := make([]codec.Result, len(cs))
 	err := forEachN(len(cs), func(i int) error {
 		res, err := codec.RunParallel(cs[i], s, popts)

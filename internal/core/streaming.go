@@ -41,6 +41,11 @@ type FanoutConfig struct {
 	Verify codec.VerifyMode
 	// PerLine requests per-line transition counts in every Result.
 	PerLine bool
+	// Kernel selects the pricing kernel per worker (codec.KernelAuto by
+	// default): plane-capable codecs price on the bit-sliced path, the
+	// rest on their scalar batch kernels, under the same routing rules
+	// as codec.RunOpts.Kernel.
+	Kernel codec.Kernel
 }
 
 // symBlock is one chunk's worth of encoder symbols, shared read-only by
@@ -78,15 +83,41 @@ type streamWorker struct {
 	idx        int
 	in         chan *symBlock
 	err        error
+
+	// Plane-path state: when ps is non-nil the worker prices on the
+	// bit-sliced plane kernel (b aliases ps's bus so result() needs no
+	// special case); vEnc re-encodes the verification sample scalar-ly,
+	// and addrs is the worker-local SoA gather buffer.
+	ps    *codec.PlaneSet
+	vEnc  codec.Encoder
+	addrs []uint64
 }
 
-func newStreamWorker(c codec.Codec, cfg FanoutConfig, depth int) *streamWorker {
+func newStreamWorker(c codec.Codec, cfg FanoutConfig, depth int) (*streamWorker, error) {
 	w := &streamWorker{
 		c:    c,
-		enc:  codec.AsBatch(c.NewEncoder()),
 		mask: bus.Mask(c.PayloadWidth()),
 		in:   make(chan *symBlock, depth),
 	}
+	usePlane, err := codec.PlaneEligible(c, cfg.Kernel, cfg.Verify)
+	if err != nil {
+		return nil, err
+	}
+	if usePlane {
+		ps, err := codec.NewPlaneSet([]codec.Codec{c}, cfg.PerLine)
+		if err != nil {
+			return nil, err
+		}
+		w.ps = ps
+		w.b = ps.Bus(0)
+		if cfg.Verify == codec.VerifySampled {
+			w.vEnc = c.NewEncoder()
+			w.dec = c.NewDecoder()
+			w.verifyLeft = codec.VerifySampleLen
+		}
+		return w, nil
+	}
+	w.enc = codec.AsBatch(c.NewEncoder())
 	if cfg.PerLine {
 		w.b = bus.New(c.BusWidth())
 	} else {
@@ -100,7 +131,7 @@ func newStreamWorker(c codec.Codec, cfg FanoutConfig, depth int) *streamWorker {
 		w.dec = c.NewDecoder()
 		w.verifyLeft = codec.VerifySampleLen
 	}
-	return w
+	return w, nil
 }
 
 // run drains the worker's channel; after a verification failure it
@@ -138,6 +169,10 @@ func (w *streamWorker) run(wg *sync.WaitGroup, m *fanoutMetrics, parent obs.Span
 }
 
 func (w *streamWorker) consume(blk *symBlock) {
+	if w.ps != nil {
+		w.consumePlane(blk)
+		return
+	}
 	syms := blk.syms
 	n := len(syms)
 	if cap(w.words) < n {
@@ -163,6 +198,42 @@ func (w *streamWorker) consume(blk *symBlock) {
 			w.dec = nil
 		}
 	}
+	w.idx += n
+}
+
+// consumePlane prices one block on the plane path: the SoA address
+// gather happens here, in the worker's goroutine, so the producer's
+// broadcast loop stays untouched. Sampled verification re-encodes the
+// leading entries scalar-ly, exactly like codec.RunStream's plane path.
+func (w *streamWorker) consumePlane(blk *symBlock) {
+	syms := blk.syms
+	n := len(syms)
+	if cap(w.addrs) < n {
+		w.addrs = make([]uint64, n)
+	}
+	addrs := w.addrs[:n]
+	for i := range syms {
+		addrs[i] = syms[i].Addr
+	}
+	if w.dec != nil && w.verifyLeft > 0 {
+		vn := n
+		if vn > w.verifyLeft {
+			vn = w.verifyLeft
+		}
+		for i := 0; i < vn; i++ {
+			word := w.vEnc.Encode(syms[i])
+			got := w.dec.Decode(word, syms[i].Sel)
+			if want := syms[i].Addr & w.mask; got != want {
+				w.err = fmt.Errorf("codec %s: round-trip mismatch at entry %d: addr %#x decoded as %#x", w.c.Name(), w.idx+i, want, got)
+				return
+			}
+		}
+		w.verifyLeft -= vn
+		if w.verifyLeft == 0 {
+			w.dec = nil
+		}
+	}
+	w.ps.Consume(addrs)
 	w.idx += n
 }
 
@@ -204,7 +275,10 @@ func EvaluateStreaming(r trace.ChunkReader, width int, codes []string, opts code
 			root.EndErr(err)
 			return nil, err
 		}
-		workers[i] = newStreamWorker(c, cfg, depth)
+		if workers[i], err = newStreamWorker(c, cfg, depth); err != nil {
+			root.EndErr(err)
+			return nil, err
+		}
 	}
 	m := fanoutBinding.Get()
 	m.depth.Set(int64(depth))

@@ -17,32 +17,54 @@ import (
 //   - ChunkPool.Get / Chunk.Release — pool gets, misses (a miss is a
 //     fresh allocation via the pool's New), and the in-use occupancy
 //     gauge (chunks handed out and not yet fully released);
-//   - textChunkReader.Next / binaryChunkReader.Next — chunks and
-//     entries parsed, parse errors (first occurrence only; sticky
-//     repeats are not recounted), and per-Next latency.
+//   - textChunkReader.Next / binaryChunkReader.Next /
+//     memChunkReader.Next — chunks and entries parsed, parse errors
+//     (first occurrence only; sticky repeats are not recounted), and
+//     per-Next latency;
+//   - OpenMmap / OpenFile zero-copy routing — views opened, opens that
+//     fell back to a heap read, and bytes currently mapped (raised on
+//     map, lowered on close).
 type traceMetrics struct {
-	chunksRead  *obs.Counter   // trace.chunks_read
-	entriesRead *obs.Counter   // trace.entries_read
-	parseErrors *obs.Counter   // trace.parse_errors
-	poolGets    *obs.Counter   // trace.pool.gets
-	poolMisses  *obs.Counter   // trace.pool.misses
-	poolInUse   *obs.Gauge     // trace.pool.in_use
-	readNs      *obs.Histogram // trace.chunk_read_ns
+	chunksRead    *obs.Counter   // trace.chunks_read
+	entriesRead   *obs.Counter   // trace.entries_read
+	parseErrors   *obs.Counter   // trace.parse_errors
+	poolGets      *obs.Counter   // trace.pool.gets
+	poolMisses    *obs.Counter   // trace.pool.misses
+	poolInUse     *obs.Gauge     // trace.pool.in_use
+	readNs        *obs.Histogram // trace.chunk_read_ns
+	mmapOpens     *obs.Counter   // trace.mmap.opens
+	mmapFallbacks *obs.Counter   // trace.mmap.fallback_reads
+	mmapBytes     *obs.Gauge     // trace.mmap.bytes_mapped
 }
 
 var metricsBinding = obs.NewBinding(func() *traceMetrics {
 	return &traceMetrics{
-		chunksRead:  obs.GetCounter("trace.chunks_read"),
-		entriesRead: obs.GetCounter("trace.entries_read"),
-		parseErrors: obs.GetCounter("trace.parse_errors"),
-		poolGets:    obs.GetCounter("trace.pool.gets"),
-		poolMisses:  obs.GetCounter("trace.pool.misses"),
-		poolInUse:   obs.GetGauge("trace.pool.in_use"),
-		readNs:      obs.GetHistogram("trace.chunk_read_ns"),
+		chunksRead:    obs.GetCounter("trace.chunks_read"),
+		entriesRead:   obs.GetCounter("trace.entries_read"),
+		parseErrors:   obs.GetCounter("trace.parse_errors"),
+		poolGets:      obs.GetCounter("trace.pool.gets"),
+		poolMisses:    obs.GetCounter("trace.pool.misses"),
+		poolInUse:     obs.GetGauge("trace.pool.in_use"),
+		readNs:        obs.GetHistogram("trace.chunk_read_ns"),
+		mmapOpens:     obs.GetCounter("trace.mmap.opens"),
+		mmapFallbacks: obs.GetCounter("trace.mmap.fallback_reads"),
+		mmapBytes:     obs.GetGauge("trace.mmap.bytes_mapped"),
 	}
 })
 
 func metrics() *traceMetrics { return metricsBinding.Get() }
+
+// recordMmapOpen counts one zero-copy open of n bytes; fallback marks
+// the read-into-memory path (no mapping to account for).
+func recordMmapOpen(n int64, fallback bool) {
+	m := metrics()
+	m.mmapOpens.Inc()
+	if fallback {
+		m.mmapFallbacks.Inc()
+	} else {
+		m.mmapBytes.Add(n)
+	}
+}
 
 // observeNext wraps one parser Next call with chunk/entry/error/latency
 // accounting and a read-stage span (stream and chunk index attached, so

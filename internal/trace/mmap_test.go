@@ -1,0 +1,208 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeBinaryFile materializes s as a binary trace file and returns
+// its path.
+func writeBinaryFile(t *testing.T, s *Stream) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.betr")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestNewMemReaderParity(t *testing.T) {
+	s := randomStream(5000, 11)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	// Small pool: many chunk boundaries inside the decode loop.
+	r, err := NewMemReader(buf.Bytes(), "mem", NewChunkPool(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != s.Name || r.Width() != s.Width {
+		t.Fatalf("header mismatch: %q/%d vs %q/%d", r.Name(), r.Width(), s.Name, s.Width)
+	}
+	if n, ok := r.(entryCounter).EntryCount(); !ok || n != uint64(len(s.Entries)) {
+		t.Fatalf("EntryCount = %d,%v; want %d,true", n, ok, len(s.Entries))
+	}
+	got, err := ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !streamsEqual(s, got) {
+		t.Error("mem reader mismatch vs original stream")
+	}
+}
+
+func TestOpenMmapParity(t *testing.T) {
+	s := randomStream(3000, 12)
+	path := writeBinaryFile(t, s)
+	r, closer, err := OpenMmap(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	got, err := ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !streamsEqual(s, got) {
+		t.Error("mmap reader mismatch vs original stream")
+	}
+	if err := closer.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := closer.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestOpenFileRoutesBinaryToMmap(t *testing.T) {
+	s := randomStream(100, 13)
+	path := writeBinaryFile(t, s)
+	r, closer, err := OpenFile(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	if _, ok := r.(*memChunkReader); !ok {
+		t.Fatalf("OpenFile on a regular binary file returned %T; want *memChunkReader", r)
+	}
+	got, err := ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !streamsEqual(s, got) {
+		t.Error("OpenFile mmap route mismatch vs original stream")
+	}
+}
+
+func TestOpenFileTextStaysBuffered(t *testing.T) {
+	s := randomStream(50, 14)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.txt")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, closer, err := OpenFile(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	if _, ok := r.(*memChunkReader); ok {
+		t.Fatal("OpenFile routed a text trace to the memory reader")
+	}
+	got, err := ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !streamsEqual(s, got) {
+		t.Error("OpenFile text route mismatch vs original stream")
+	}
+}
+
+func TestOpenMmapRejectsNonRegular(t *testing.T) {
+	if _, _, err := OpenMmap(t.TempDir(), nil); err == nil {
+		t.Fatal("OpenMmap on a directory succeeded")
+	}
+}
+
+func TestNewMemReaderErrors(t *testing.T) {
+	s := randomStream(200, 15)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+
+	if _, err := NewMemReader([]byte("nope"), "f", nil); err == nil || !strings.Contains(err.Error(), "bad magic") {
+		t.Errorf("bad magic: got %v", err)
+	}
+	if _, err := NewMemReader(whole[:2], "f", nil); err == nil {
+		t.Error("truncated magic accepted")
+	}
+	// Truncate inside the entry payload: the header parses, decoding
+	// fails at some entry with a positioned error.
+	r, err := NewMemReader(whole[:len(whole)-3], "f", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ReadAll(r)
+	if err == nil || !strings.Contains(err.Error(), "entry") {
+		t.Errorf("truncated payload: got %v", err)
+	}
+	// Bad kind byte in the first entry.
+	bad := append([]byte(nil), whole...)
+	hdrEnd := len(whole) - binaryPayloadLen(s)
+	bad[hdrEnd] = 0x7F
+	r, err = NewMemReader(bad, "f", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err = ReadAll(r); err == nil || !strings.Contains(err.Error(), "bad kind") {
+		t.Errorf("bad kind: got %v", err)
+	}
+}
+
+// binaryPayloadLen computes the byte length of s's entry payload by
+// re-encoding only the entries (total file minus header).
+func binaryPayloadLen(s *Stream) int {
+	var whole, hdr bytes.Buffer
+	if err := WriteBinary(&whole, s); err != nil {
+		panic(err)
+	}
+	empty := New(s.Name, s.Width)
+	if err := WriteBinary(&hdr, empty); err != nil {
+		panic(err)
+	}
+	// Headers differ only in the entry-count varint; recompute exactly.
+	return whole.Len() - (hdr.Len() - uvarintLen(0) + uvarintLen(uint64(len(s.Entries))))
+}
+
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+func BenchmarkMemReaderNext(b *testing.B) {
+	s := randomStream(1<<16, 16)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, s); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(s.Entries)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := NewMemReader(data, "", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReadAll(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

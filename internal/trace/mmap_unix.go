@@ -1,0 +1,19 @@
+//go:build linux || darwin
+
+package trace
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only. Empty files are rejected
+// (mmap of length 0 is an error) so callers fall back to reading.
+func mapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 || int64(int(size)) != size {
+		return nil, syscall.EINVAL
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func unmapFile(data []byte) error { return syscall.Munmap(data) }

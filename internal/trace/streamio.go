@@ -332,12 +332,34 @@ func (b *binaryChunkReader) next() (*Chunk, error) {
 
 // OpenFile opens a trace file and auto-detects its format from the
 // magic bytes: files starting with "BETR" stream as binary, anything
-// else as text. The returned Closer closes the underlying file and
-// must be called when done (also after read errors).
+// else as text. Regular binary files take the zero-copy mmap path
+// (decoding straight from the mapped view, no buffered-read copies);
+// pipes, FIFOs, text traces and platforms without mmap stream through
+// the buffered parser. The returned Closer closes the underlying file
+// (and unmaps the view on the zero-copy path) and must be called when
+// done (also after read errors).
 func OpenFile(path string, pool *ChunkPool) (ChunkReader, io.Closer, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, nil, err
+	}
+	// Zero-copy fast path: a regular file with the binary magic maps
+	// directly. ReadAt leaves the offset alone, so the buffered path
+	// below still starts at byte 0 when mapping is not possible.
+	if st, serr := f.Stat(); serr == nil && st.Mode().IsRegular() && st.Size() >= int64(len(binMagic)) {
+		var magic [len(binMagic)]byte
+		if _, rerr := f.ReadAt(magic[:], 0); rerr == nil && string(magic[:]) == binMagic {
+			if data, merr := mapFile(f, st.Size()); merr == nil {
+				mr, err := newMemReader(data, path, pool, true)
+				if err != nil {
+					unmapFile(data)
+					f.Close()
+					return nil, nil, err
+				}
+				recordMmapOpen(int64(len(data)), false)
+				return mr, &mappedCloser{data: data, unmap: true, f: f}, nil
+			}
+		}
 	}
 	fb := newFillBuf(f)
 	w, err := fb.peek(len(binMagic))
