@@ -7,11 +7,15 @@
 
 GO ?= go
 
-.PHONY: all ci build vet fmt-check test test-stream fuzz-smoke trace-smoke bench benchjson benchguard
+.PHONY: all ci build vet fmt-check test test-stream fuzz-smoke trace-smoke dist-smoke bench benchjson benchguard
 
 all: ci
 
-ci: build vet fmt-check test test-stream fuzz-smoke trace-smoke bench
+ci: build vet fmt-check test test-stream fuzz-smoke trace-smoke dist-smoke bench
+
+# `make test` already races the dist package once; dist-smoke is the
+# named CI scenario on top (see its comment below), cheap enough to
+# repeat.
 
 build:
 	$(GO) build ./...
@@ -55,6 +59,18 @@ trace-smoke:
 	$(GO) run ./cmd/paper -trace .trace-smoke/smoke.trace -parallel 4 -spantrace .trace-smoke/spans.json > /dev/null
 	$(GO) run ./cmd/tracecheck -mincover 0.95 .trace-smoke/spans.json
 
+# Distributed-sweep smoke: the exact CI scenario lives in
+# TestDistSmoke — a 3-worker sweep over a 2^18-entry trace with one
+# worker killed mid-sweep and the coordinator stopped at a checkpoint,
+# then resumed to results bit-identical to codec.RunFast for every
+# registered codec. The coordinator/worker machinery is the most
+# concurrent code in the tree, so the whole dist package (and the CLI
+# that drives it) runs under the race detector here.
+dist-smoke:
+	$(GO) vet ./internal/dist ./cmd/busencsweep
+	$(GO) test -race -run TestDistSmoke -v ./internal/dist
+	$(GO) test -race ./internal/dist ./cmd/busencsweep
+
 bench:
 	$(GO) test -run=NONE -bench=BenchmarkTable4 -benchtime=1x .
 
@@ -64,16 +80,23 @@ bench:
 # materialized path to the streaming fan-out; BENCH_parallel.json
 # compares the warm sequential engine to shard-parallel pricing;
 # BENCH_bitslice.json compares the scalar pricing kernel to the
-# bit-sliced plane kernel on the seedable codec subset. All paths are
-# explicit so the records can never drift apart.
+# bit-sliced plane kernel on the seedable codec subset;
+# BENCH_dist.json compares a serial decode+price pass to the
+# coordinator/worker distributed sweep with real worker processes. All
+# paths are explicit so the records can never drift apart.
 benchjson:
 	$(GO) run ./cmd/paper -benchjson BENCH_engine.json -benchstream BENCH_stream.json -benchparallel BENCH_parallel.json -benchbitslice BENCH_bitslice.json
+	$(GO) run ./cmd/paper -benchdist BENCH_dist.json
 
 # Benchmark-regression gate: generate fresh records into a scratch
 # directory and compare them against the committed ones. Fails on a
-# >25% speedup drop, any parity=false, an alloc-ratio collapse, or the
-# bit-sliced kernel's speedup falling below its absolute 5x floor.
+# >25% speedup drop, any parity=false, an alloc-ratio collapse, the
+# bit-sliced kernel's speedup falling below its absolute 5x floor, or
+# the distributed sweep falling below its absolute 1.3x floor on boxes
+# with >= 4 CPUs (smaller boxes skip that floor with an explicit
+# "skipped: num_cpu=N" note — loudly, never silently).
 benchguard:
 	mkdir -p .bench-fresh
 	$(GO) run ./cmd/paper -benchjson .bench-fresh/BENCH_engine.json -benchstream .bench-fresh/BENCH_stream.json -benchparallel .bench-fresh/BENCH_parallel.json -benchbitslice .bench-fresh/BENCH_bitslice.json
+	$(GO) run ./cmd/paper -benchdist .bench-fresh/BENCH_dist.json
 	$(GO) run ./cmd/benchguard -baseline . -fresh .bench-fresh

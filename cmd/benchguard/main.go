@@ -35,6 +35,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	slowdown := fs.Float64("tolerance", bench.DefaultTolerance().Slowdown, "allowed fractional speedup drop (0.25 = fresh may fall to 75% of committed)")
 	allocCollapse := fs.Float64("alloc-collapse", bench.DefaultTolerance().AllocCollapse, "factor by which the streaming alloc ratio may shrink before failing")
 	bitsliceFloor := fs.Float64("bitslice-floor", bench.DefaultTolerance().BitsliceFloor, "absolute minimum scalar/plane speedup the fresh bitslice record must report (0 disables)")
+	distFloor := fs.Float64("dist-floor", bench.DefaultTolerance().DistFloor, "absolute minimum distributed-sweep speedup on boxes with >= 4 CPUs (0 disables; smaller boxes skip it loudly)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -43,11 +44,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
-	tol := bench.Tolerance{Slowdown: *slowdown, AllocCollapse: *allocCollapse, BitsliceFloor: *bitsliceFloor}
-	violations := bench.Guard(*baseline, *fresh, tol)
+	tol := bench.Tolerance{Slowdown: *slowdown, AllocCollapse: *allocCollapse, BitsliceFloor: *bitsliceFloor, DistFloor: *distFloor}
+	violations, notes := bench.GuardNotes(*baseline, *fresh, tol)
+	for _, n := range notes {
+		fmt.Fprintf(stdout, "benchguard: note: %s\n", n)
+	}
 	if len(violations) == 0 {
-		fmt.Fprintf(stdout, "benchguard: ok (%s vs %s, tolerance %.0f%% slowdown, %.1fx alloc collapse, %.1fx bitslice floor)\n",
-			*fresh, *baseline, tol.Slowdown*100, tol.AllocCollapse, tol.BitsliceFloor)
+		fmt.Fprintf(stdout, "benchguard: ok (%s vs %s, tolerance %.0f%% slowdown, %.1fx alloc collapse, %.1fx bitslice floor, %.1fx dist floor)\n",
+			*fresh, *baseline, tol.Slowdown*100, tol.AllocCollapse, tol.BitsliceFloor, tol.DistFloor)
 		return 0
 	}
 	fmt.Fprintf(stderr, "benchguard: %d violation(s):\n", len(violations))

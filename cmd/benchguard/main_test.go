@@ -46,6 +46,14 @@ func goodBitslice() bench.BitsliceRecord {
 	}
 }
 
+func goodDist() bench.DistRecord {
+	return bench.DistRecord{
+		Bench: bench.DistBenchName, Entries: 1 << 18, NumCPU: 8, GOMAXPROCS: 8,
+		Workers: 3, Shards: 12, Codecs: []string{"binary", "gray", "t0"}, WarmIters: 3,
+		SerialWarmNs: 90_000_000, DistWarmNs: 45_000_000, SpeedupDist: 2, Parity: true,
+	}
+}
+
 func writeDir(t *testing.T, eng bench.EngineRecord, str bench.StreamRecord) string {
 	t.Helper()
 	dir := t.TempDir()
@@ -59,6 +67,9 @@ func writeDir(t *testing.T, eng bench.EngineRecord, str bench.StreamRecord) stri
 		t.Fatal(err)
 	}
 	if err := bench.WriteRecord(filepath.Join(dir, "BENCH_bitslice.json"), goodBitslice()); err != nil {
+		t.Fatal(err)
+	}
+	if err := bench.WriteRecord(filepath.Join(dir, "BENCH_dist.json"), goodDist()); err != nil {
 		t.Fatal(err)
 	}
 	return dir
@@ -173,6 +184,64 @@ func TestCLIBitsliceFloor(t *testing.T) {
 	}
 }
 
+func TestCLIDistFloor(t *testing.T) {
+	base := writeDir(t, goodEngine(), goodStream())
+	slow := goodDist()
+	slow.DistWarmNs = 80_000_000
+	slow.SpeedupDist = 1.125 // below the default 1.3x floor on an 8-CPU box
+	fresh := writeDir(t, goodEngine(), goodStream())
+	if err := bench.WriteRecord(filepath.Join(fresh, "BENCH_dist.json"), slow); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut := runGuard(t, "-baseline", base, "-fresh", fresh)
+	if code != 1 {
+		t.Fatalf("exit %d with 1.125x dist speedup, want 1; stderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(errOut, "speedup_dist") || !strings.Contains(errOut, "floor") {
+		t.Errorf("dist floor violation not named:\n%s", errOut)
+	}
+	if code, _, errOut := runGuard(t, "-baseline", base, "-fresh", fresh, "-dist-floor", "1.1", "-tolerance", "0.5"); code != 0 {
+		t.Errorf("1.125x failed a lowered 1.1x floor (exit %d):\n%s", code, errOut)
+	}
+}
+
+// TestCLISkipNotesOnOneCPUBox: records measured on a 1-CPU box pass the
+// guard, but the skipped speedup bands are announced on stdout — the
+// skip is loud, never silent.
+func TestCLISkipNotesOnOneCPUBox(t *testing.T) {
+	onecpu := func(dir string) {
+		par := goodParallel()
+		par.NumCPU = 1
+		par.SpeedupParallel = 0.9 // no scaling to show on one core
+		if err := bench.WriteRecord(filepath.Join(dir, "BENCH_parallel.json"), par); err != nil {
+			t.Fatal(err)
+		}
+		dst := goodDist()
+		dst.NumCPU = 1
+		dst.SpeedupDist = 0.8
+		if err := bench.WriteRecord(filepath.Join(dir, "BENCH_dist.json"), dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := writeDir(t, goodEngine(), goodStream())
+	onecpu(base)
+	fresh := writeDir(t, goodEngine(), goodStream())
+	onecpu(fresh)
+	code, out, errOut := runGuard(t, "-baseline", base, "-fresh", fresh)
+	if code != 0 {
+		t.Fatalf("exit %d on a 1-CPU record set, want 0; stderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(out, "speedup_parallel enforcement skipped: num_cpu=1") {
+		t.Errorf("parallel skip note missing from stdout:\n%s", out)
+	}
+	if !strings.Contains(out, "speedup_dist floor skipped: num_cpu=1") {
+		t.Errorf("dist skip note missing from stdout:\n%s", out)
+	}
+	if !strings.Contains(out, "benchguard: ok") {
+		t.Errorf("pass summary missing:\n%s", out)
+	}
+}
+
 func TestCLIUsageErrors(t *testing.T) {
 	if code, _, errOut := runGuard(t); code != 2 || !strings.Contains(errOut, "-fresh") {
 		t.Errorf("missing -fresh: exit %d, stderr:\n%s", code, errOut)
@@ -189,7 +258,7 @@ func TestCLIMissingFreshFiles(t *testing.T) {
 	if code != 1 {
 		t.Fatalf("exit %d with empty fresh dir, want 1", code)
 	}
-	if !strings.Contains(errOut, "4 violation") {
+	if !strings.Contains(errOut, "5 violation") {
 		t.Errorf("want one violation per missing record:\n%s", errOut)
 	}
 	// The committed repo records must pass against themselves.

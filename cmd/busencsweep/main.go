@@ -1,0 +1,225 @@
+// Command busencsweep prices bus-encoding codecs over huge traces by
+// distributing contiguous shards to a pool of worker processes.
+//
+// Usage:
+//
+//	busencsweep -trace huge.betr                       # all codecs, one worker
+//	busencsweep -trace huge.betr -workers 8 -shards 64 # real fan-out
+//	busencsweep -trace huge.betr -checkpoint sweep.json  # resumable: rerun the
+//	                                                     # same command after a
+//	                                                     # kill to pick up where
+//	                                                     # the journal left off
+//	busencsweep -worker                                # internal: protocol
+//	                                                   # worker on stdin/stdout
+//
+// The trace is planned into byte-range shards over one mmap view (text
+// traces are converted to a temporary BETR file once); workers share
+// the file through the page cache, so nothing is copied. Results are
+// bit-identical to a sequential run for every codec.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"busenc/internal/codec"
+	"busenc/internal/dist"
+	"busenc/internal/obs"
+	"busenc/internal/trace"
+)
+
+func main() {
+	worker := flag.Bool("worker", false, "run as a protocol worker on stdin/stdout (internal; spawned by the coordinator)")
+	failAfter := flag.Int("failafter", 0, "with -worker: die without replying after pricing this many jobs (fault injection)")
+	tracePath := flag.String("trace", "", "trace file to price (text or BETR, auto-detected)")
+	workers := flag.Int("workers", 1, "worker processes to spawn")
+	shards := flag.Int("shards", 0, "contiguous shards to plan (0 = 4 per worker)")
+	checkpoint := flag.String("checkpoint", "", "journal path for checkpoint/resume; rerunning the same sweep against an existing journal resumes it")
+	codes := flag.String("codes", "all", "comma-separated codec list, \"paper\" (the seven paper codes) or \"all\"")
+	stride := flag.Uint64("stride", 4, "in-sequence stride S for the stride-aware codes (t0*, dualt0*, gray, incxor); 4 matches the paper's word-addressed MIPS and the other CLIs")
+	verify := flag.String("verify", "sampled", "decode verification: \"full\", \"sampled\" or \"none\"")
+	perLine := flag.Bool("perline", false, "collect per-line transition counts")
+	kernel := flag.String("kernel", "auto", "pricing kernel: \"auto\", \"scalar\" or \"plane\"")
+	killWorker := flag.String("killworker", "", "fault injection: \"id:jobs\" kills worker id's first life after that many jobs (it respawns; the orphaned shard is retried)")
+	stopAfter := flag.Int("stopafter", 0, "fault injection: stop the coordinator after this many shard results are journaled (requires -checkpoint to be resumable)")
+	asJSON := flag.Bool("json", false, "emit JSON instead of an aligned table")
+	metrics := flag.Bool("metrics", false, "enable observability counters and dump them to stderr on exit")
+	flag.Parse()
+
+	if *worker {
+		if err := dist.ServeWorker(os.Stdin, os.Stdout, dist.WorkerOpts{FailAfter: *failAfter}); err != nil {
+			fmt.Fprintln(os.Stderr, "busencsweep worker:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *metrics {
+		obs.Enable()
+		defer func() { obs.Default().Snapshot().WriteTable(os.Stderr) }()
+	}
+	if err := run(*tracePath, *workers, *shards, *checkpoint, *codes, *verify, *kernel, *killWorker, *stride, *perLine, *stopAfter, *asJSON, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "busencsweep:", err)
+		os.Exit(1)
+	}
+}
+
+// paperCodes mirrors cmd/paper's default set.
+var paperCodes = []string{"binary", "gray", "t0", "businvert", "t0bi", "dualt0", "dualt0bi"}
+
+// run is the coordinator: plan, sweep, print. Factored from main for
+// main_test.go.
+func run(tracePath string, workers, shards int, checkpoint, codes, verify, kernel, killWorker string, stride uint64, perLine bool, stopAfter int, asJSON bool, out *os.File) error {
+	if tracePath == "" {
+		return fmt.Errorf("-trace is required (or -worker for worker mode)")
+	}
+	width, err := traceWidth(tracePath)
+	if err != nil {
+		return err
+	}
+	specs, err := parseSpecs(codes, width, stride)
+	if err != nil {
+		return err
+	}
+	vm, err := parseVerify(verify)
+	if err != nil {
+		return err
+	}
+	kern, err := codec.ParseKernel(kernel)
+	if err != nil {
+		return err
+	}
+	spawn, err := selfSpawner(killWorker)
+	if err != nil {
+		return err
+	}
+	results, err := dist.Sweep(tracePath, dist.Opts{
+		Workers:    workers,
+		Shards:     shards,
+		Codecs:     specs,
+		Verify:     vm,
+		PerLine:    perLine,
+		Kernel:     kern,
+		Checkpoint: checkpoint,
+		Spawn:      spawn,
+		StopAfter:  stopAfter,
+	})
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(results)
+	}
+	return printTable(out, results)
+}
+
+// traceWidth reads just the trace header for the bus width.
+func traceWidth(path string) (int, error) {
+	r, closer, err := trace.OpenFile(path, nil)
+	if err != nil {
+		return 0, err
+	}
+	defer closer.Close()
+	return r.Width(), nil
+}
+
+// parseSpecs expands the -codes flag into wire specs at the given
+// width and stride.
+func parseSpecs(codes string, width int, stride uint64) ([]dist.CodecSpec, error) {
+	var names []string
+	switch codes {
+	case "", "all":
+		specs := dist.AllSpecs(width)
+		for i := range specs {
+			specs[i].Stride = stride
+		}
+		return specs, nil
+	case "paper":
+		names = paperCodes
+	default:
+		for _, c := range strings.Split(codes, ",") {
+			if c = strings.TrimSpace(c); c != "" {
+				names = append(names, c)
+			}
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("empty codec list %q", codes)
+	}
+	specs := make([]dist.CodecSpec, len(names))
+	for i, n := range names {
+		specs[i] = dist.CodecSpec{Name: n, Width: width, Stride: stride}
+	}
+	return specs, nil
+}
+
+func parseVerify(s string) (codec.VerifyMode, error) {
+	switch s {
+	case "full":
+		return codec.VerifyFull, nil
+	case "", "sampled":
+		return codec.VerifySampled, nil
+	case "none":
+		return codec.VerifyNone, nil
+	}
+	return 0, fmt.Errorf("-verify must be \"full\", \"sampled\" or \"none\", got %q", s)
+}
+
+// selfSpawner re-executes this binary with -worker. The -killworker
+// fault knob ("id:jobs") adds -failafter to the first life of the
+// chosen worker; its respawn is healthy.
+func selfSpawner(killWorker string) (dist.Spawner, error) {
+	self, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	killID, killJobs := -1, 0
+	if killWorker != "" {
+		id, jobs, ok := strings.Cut(killWorker, ":")
+		if ok {
+			killID, err = strconv.Atoi(id)
+			if err == nil {
+				killJobs, err = strconv.Atoi(jobs)
+			}
+		}
+		if !ok || err != nil || killJobs <= 0 {
+			return nil, fmt.Errorf("-killworker must be \"id:jobs\", got %q", killWorker)
+		}
+	}
+	return dist.SpawnerFunc(func(id, gen int) (dist.Transport, error) {
+		argv := []string{self, "-worker"}
+		if id == killID && gen == 0 {
+			argv = append(argv, "-failafter", strconv.Itoa(killJobs))
+		}
+		return dist.ExecSpawner(argv, nil).Spawn(id, gen)
+	}), nil
+}
+
+// printTable renders the results like cmd/paper's trace mode: absolute
+// transition counts plus savings relative to the first codec.
+func printTable(out *os.File, results []codec.Result) error {
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "codec\ttransitions\tavg/cycle\tsaved%")
+	var base float64
+	for i, r := range results {
+		avg := 0.0
+		if r.Cycles > 0 {
+			avg = float64(r.Transitions) / float64(r.Cycles)
+		}
+		if i == 0 {
+			base = float64(r.Transitions)
+		}
+		saved := 0.0
+		if base > 0 {
+			saved = 100 * (1 - float64(r.Transitions)/base)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%.3f\t%.1f\n", r.Codec, r.Transitions, avg, saved)
+	}
+	return w.Flush()
+}

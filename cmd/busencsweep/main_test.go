@@ -1,0 +1,165 @@
+package main
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"busenc/internal/codec"
+	"busenc/internal/dist"
+	"busenc/internal/trace"
+)
+
+// The coordinator spawns os.Executable() with -worker — under `go
+// test` that is this test binary, so TestMain recognizes the worker
+// argv shape and becomes a protocol worker instead of running tests.
+func TestMain(m *testing.M) {
+	if len(os.Args) > 1 && os.Args[1] == "-worker" {
+		fa := 0
+		for i, a := range os.Args {
+			if a == "-failafter" && i+1 < len(os.Args) {
+				fa, _ = strconv.Atoi(os.Args[i+1])
+			}
+		}
+		if err := dist.ServeWorker(os.Stdin, os.Stdout, dist.WorkerOpts{FailAfter: fa}); err != nil {
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func testTrace(t *testing.T, n int) (string, *trace.Stream) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	s := trace.New("cli", 32)
+	addr := rng.Uint64() >> 32
+	for i := 0; i < n; i++ {
+		if rng.Intn(3) == 0 {
+			addr = rng.Uint64() >> 32
+		} else {
+			addr += 4
+		}
+		s.Append(addr, trace.Instr)
+	}
+	path := filepath.Join(t.TempDir(), "cli.betr")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteBinary(f, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, s
+}
+
+func runToFile(t *testing.T, fn func(out *os.File) error) string {
+	t.Helper()
+	out, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+	if err := fn(out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestRunTable: the coordinator path end to end with real subprocess
+// workers, table output.
+func TestRunTable(t *testing.T) {
+	path, _ := testTrace(t, 8000)
+	got := runToFile(t, func(out *os.File) error {
+		return run(path, 2, 4, "", "paper", "sampled", "auto", "", 4, false, 0, false, out)
+	})
+	for _, name := range []string{"binary", "gray", "t0bi", "saved%"} {
+		if !strings.Contains(got, name) {
+			t.Errorf("table output missing %q:\n%s", name, got)
+		}
+	}
+}
+
+// TestRunKillAndResume: the CLI fault knobs compose — kill one
+// worker's first life, stop the coordinator at the checkpoint, rerun
+// the same sweep, and end with results bit-identical to RunFast.
+func TestRunKillAndResume(t *testing.T) {
+	path, s := testTrace(t, 12000)
+	ckpt := filepath.Join(t.TempDir(), "sweep.json")
+	err := run(path, 3, 9, ckpt, "all", "none", "auto", "0:1", 4, false, 4, true, nil)
+	if err == nil || !strings.Contains(err.Error(), "stopped") {
+		t.Fatalf("first run: err = %v, want checkpoint stop", err)
+	}
+	got := runToFile(t, func(out *os.File) error {
+		return run(path, 3, 9, ckpt, "all", "none", "auto", "", 4, false, 0, true, out)
+	})
+	var results []codec.Result
+	if err := json.Unmarshal([]byte(got), &results); err != nil {
+		t.Fatalf("bad JSON output: %v\n%s", err, got)
+	}
+	for _, r := range results {
+		c, err := codec.New(r.Codec, s.Width, codec.Options{Stride: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := codec.RunFast(c, s, codec.RunOpts{Verify: codec.VerifyNone})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Transitions != want.Transitions || r.Cycles != want.Cycles || r.MaxPerCycle != want.MaxPerCycle {
+			t.Errorf("codec %s: CLI %+v != RunFast %+v", r.Codec, r, want)
+		}
+	}
+}
+
+func TestParseSpecs(t *testing.T) {
+	specs, err := parseSpecs("binary, gray", 16, 4)
+	if err != nil || len(specs) != 2 || specs[0].Name != "binary" || specs[1].Width != 16 || specs[1].Stride != 4 {
+		t.Fatalf("parseSpecs: %v %v", specs, err)
+	}
+	all, err := parseSpecs("all", 16, 8)
+	if err != nil || len(all) != len(codec.Names()) {
+		t.Fatalf("all: %d specs, err %v", len(all), err)
+	}
+	for _, spec := range all {
+		if spec.Stride != 8 {
+			t.Fatalf("spec %s stride = %d, want 8", spec.Name, spec.Stride)
+		}
+	}
+	if _, err := parseSpecs(" , ", 16, 4); err == nil {
+		t.Error("blank list accepted")
+	}
+}
+
+func TestParseVerify(t *testing.T) {
+	for s, want := range map[string]codec.VerifyMode{
+		"full": codec.VerifyFull, "sampled": codec.VerifySampled, "none": codec.VerifyNone, "": codec.VerifySampled,
+	} {
+		got, err := parseVerify(s)
+		if err != nil || got != want {
+			t.Errorf("parseVerify(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := parseVerify("maybe"); err == nil {
+		t.Error("bad mode accepted")
+	}
+}
+
+func TestSelfSpawnerBadKillSpec(t *testing.T) {
+	for _, bad := range []string{"x", "0:", "0:0", "a:b"} {
+		if _, err := selfSpawner(bad); err == nil {
+			t.Errorf("killworker %q accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"busenc/internal/bench"
+	"busenc/internal/codec"
+	"busenc/internal/core"
+	"busenc/internal/dist"
+	"busenc/internal/obs"
+	"busenc/internal/trace"
+)
+
+// Distributed-sweep benchmark (-benchdist): serialize a large synthetic
+// trace to disk, then price every registered codec over it two ways on
+// the same machine —
+//
+//   - serial: decode the file and codec.RunFast codec by codec, the
+//     sequential end-to-end best;
+//   - distributed: dist.Sweep with real worker processes (this binary
+//     re-executed with the hidden -distworker flag, exactly how
+//     cmd/busencsweep fans out).
+//
+// Each timed distributed iteration includes planning, the boundary
+// state sweep, worker spawn, shard pricing and the merge — the honest
+// end-to-end cost a user pays for `busencsweep -workers N`. Parity
+// requires the merged distributed results to match RunFast field for
+// field on every codec. The guard's absolute speedup floor binds only
+// on boxes with >= 4 CPUs (see bench.CompareDist); the record always
+// carries num_cpu so the skip is explicit.
+
+// benchDist runs the comparison and writes BENCH_dist.json.
+func benchDist(path string, entries, warmIters int) (err error) {
+	sp := obs.StartSpan("bench.dist", obs.StageBench)
+	defer func() { sp.EndErr(err) }()
+	if entries <= 0 {
+		entries = 1 << 20
+	}
+	if warmIters < 1 {
+		warmIters = 1
+	}
+	s := buildBenchTrace(entries)
+	tmp, err := os.CreateTemp(filepath.Dir(path), "busenc-bench-*.betr")
+	if err != nil {
+		return err
+	}
+	tmpPath := tmp.Name()
+	defer os.Remove(tmpPath)
+	if err := trace.WriteBinary(tmp, s); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+
+	// Paper-default codec parameters (stride 4, word-addressed MIPS) so
+	// the record prices the same workload semantics as every other
+	// bench and CLI.
+	specs := dist.AllSpecs(core.Width)
+	codes := make([]string, len(specs))
+	for i, spec := range specs {
+		specs[i].Stride = uint64(core.Stride)
+		codes[i] = spec.Name
+	}
+
+	serialSweep := func() ([]codec.Result, error) {
+		r, closer, err := trace.OpenFile(tmpPath, nil)
+		if err != nil {
+			return nil, err
+		}
+		decoded, err := trace.ReadAll(r)
+		closer.Close()
+		if err != nil {
+			return nil, err
+		}
+		results := make([]codec.Result, 0, len(specs))
+		for _, spec := range specs {
+			c, err := spec.New()
+			if err != nil {
+				return nil, err
+			}
+			res, err := codec.RunFast(c, decoded, codec.RunOpts{Verify: codec.VerifyNone})
+			if err != nil {
+				return nil, err
+			}
+			results = append(results, res)
+		}
+		return results, nil
+	}
+
+	workers := runtime.NumCPU()
+	if workers < 2 {
+		workers = 2 // exercise the multi-process path even on one core
+	}
+	if workers > 8 {
+		workers = 8
+	}
+	shards := 4 * workers
+	self, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	distSweep := func() ([]codec.Result, error) {
+		return dist.Sweep(tmpPath, dist.Opts{
+			Workers: workers,
+			Shards:  shards,
+			Codecs:  specs,
+			Verify:  codec.VerifyNone,
+			Spawn:   dist.ExecSpawner([]string{self, "-distworker"}, nil),
+		})
+	}
+
+	timeSweep := func(sweep func() ([]codec.Result, error)) ([]codec.Result, int64, error) {
+		var results []codec.Result
+		best := int64(0)
+		for i := 0; i < warmIters; i++ {
+			t := time.Now()
+			got, err := sweep()
+			if err != nil {
+				return nil, 0, err
+			}
+			if ns := time.Since(t).Nanoseconds(); best == 0 || ns < best {
+				best = ns
+			}
+			results = got
+		}
+		return results, best, nil
+	}
+
+	serResults, serNs, err := timeSweep(serialSweep)
+	if err != nil {
+		return err
+	}
+	distResults, distNs, err := timeSweep(distSweep)
+	if err != nil {
+		return err
+	}
+
+	parity := len(serResults) == len(distResults)
+	if parity {
+		for i, want := range serResults {
+			got := distResults[i]
+			if got.Codec != want.Codec || got.Transitions != want.Transitions ||
+				got.Cycles != want.Cycles || got.MaxPerCycle != want.MaxPerCycle {
+				parity = false
+				break
+			}
+		}
+	}
+	rec := bench.DistRecord{
+		Bench:        bench.DistBenchName,
+		Entries:      entries,
+		NumCPU:       runtime.NumCPU(),
+		GoVersion:    runtime.Version(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Workers:      workers,
+		Shards:       shards,
+		Codecs:       codes,
+		WarmIters:    warmIters,
+		SerialWarmNs: serNs,
+		DistWarmNs:   distNs,
+		SpeedupDist:  float64(serNs) / float64(distNs),
+		Parity:       parity,
+	}
+	if err := bench.WriteRecord(path, rec); err != nil {
+		return err
+	}
+	fmt.Printf("dist bench (%d entries, %d cpu): serial warm %.1f ms, distributed warm (%d workers, %d shards) %.1f ms (%.2fx), parity=%v -> %s\n",
+		entries, rec.NumCPU, float64(serNs)/1e6, workers, shards, float64(distNs)/1e6, rec.SpeedupDist, parity, path)
+	if !parity {
+		return fmt.Errorf("distributed sweep and sequential RunFast results diverge")
+	}
+	return nil
+}

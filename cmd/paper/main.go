@@ -22,6 +22,7 @@ import (
 	"path/filepath"
 
 	"busenc/internal/core"
+	"busenc/internal/dist"
 	"busenc/internal/obs"
 )
 
@@ -42,6 +43,8 @@ func main() {
 	benchParallelJSON := flag.String("benchparallel", "", "with -benchjson: path for the shard-parallel engine record (default: BENCH_parallel.json beside the engine record)")
 	benchBitsliceJSON := flag.String("benchbitslice", "", "with -benchjson: path for the bit-sliced kernel record (default: BENCH_bitslice.json beside the engine record)")
 	benchEntries := flag.Int("benchentries", 1<<20, "with -benchjson: trace length for the streaming-pipeline benchmark")
+	benchDistJSON := flag.String("benchdist", "", "benchmark the distributed coordinator/worker sweep against a serial decode+price pass and write the record to this path (e.g. BENCH_dist.json), then exit")
+	distWorker := flag.Bool("distworker", false, "internal: run as a distributed-sweep protocol worker on stdin/stdout (spawned by -benchdist)")
 	metrics := flag.String("metrics", "", "enable run-time observability and dump all metric registries on exit: \"table\", \"json\" or \"spans\" (to stderr, so table/trace output stays clean; \"spans\" prints per-stage span latency attribution)")
 	spanTrace := flag.String("spantrace", "", "record pipeline spans and write a Chrome trace-event file (load in Perfetto / chrome://tracing) to this path on exit")
 	flag.Parse()
@@ -62,6 +65,20 @@ func main() {
 		defer writeSpanTrace(*spanTrace)
 	}
 
+	if *distWorker {
+		if err := dist.ServeWorker(os.Stdin, os.Stdout, dist.WorkerOpts{}); err != nil {
+			fmt.Fprintln(os.Stderr, "paper worker:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *benchDistJSON != "" {
+		if err := benchDist(*benchDistJSON, *benchEntries, 3); err != nil {
+			fmt.Fprintln(os.Stderr, "paper:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	src := core.Source(*source)
 	if *benchJSON != "" {
 		if err := benchEngine(*benchJSON, src, 5); err != nil {

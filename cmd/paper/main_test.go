@@ -11,9 +11,23 @@ import (
 
 	"busenc/internal/bench"
 	"busenc/internal/core"
+	"busenc/internal/dist"
 	"busenc/internal/obs"
 	"busenc/internal/trace"
 )
+
+// benchDist spawns os.Executable() with -distworker — under `go test`
+// that is this test binary, so TestMain recognizes the worker argv
+// shape and becomes a protocol worker instead of running tests.
+func TestMain(m *testing.M) {
+	if len(os.Args) > 1 && os.Args[1] == "-distworker" {
+		if err := dist.ServeWorker(os.Stdin, os.Stdout, dist.WorkerOpts{}); err != nil {
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
 
 func captureStdout(t *testing.T, f func() error) string {
 	t.Helper()
@@ -260,6 +274,33 @@ func TestBenchParallelJSON(t *testing.T) {
 		t.Errorf("parallel sweep at gomaxprocs %d, want >= 4", rec.GOMAXPROCS)
 	}
 	if rec.NumCPU < 1 || len(rec.Codecs) == 0 {
+		t.Errorf("environment not recorded: %+v", rec)
+	}
+}
+
+func TestBenchDistJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess benchmark in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_dist.json")
+	out := captureStdout(t, func() error { return benchDist(path, 30000, 1) })
+	if !strings.Contains(out, "parity=true") {
+		t.Errorf("summary missing parity:\n%s", out)
+	}
+	rec, err := bench.ReadDist(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Parity {
+		t.Error("distributed sweep diverged from the serial path")
+	}
+	if rec.SerialWarmNs <= 0 || rec.DistWarmNs <= 0 || rec.SpeedupDist <= 0 {
+		t.Errorf("timings not recorded: %+v", rec)
+	}
+	if rec.Bench != "DistSweep" || rec.Entries != 30000 {
+		t.Errorf("wrong identity: %+v", rec)
+	}
+	if rec.NumCPU < 1 || rec.Workers < 2 || rec.Shards < rec.Workers || len(rec.Codecs) == 0 {
 		t.Errorf("environment not recorded: %+v", rec)
 	}
 }

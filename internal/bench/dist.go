@@ -1,0 +1,128 @@
+package bench
+
+import "fmt"
+
+// Distributed-sweep benchmark record (BENCH_dist.json) and its guard
+// bands. The record compares end-to-end pricing of a BETR trace —
+// decode plus RunFast per codec, serially — against the distributed
+// coordinator/worker sweep over the same file with a persistent worker
+// pool. Unlike the in-process shard records, the honest multi-core
+// claim here is gated on the machine actually having cores: the
+// absolute floor binds only when the measuring box reports num_cpu >=
+// DistFloorMinCPU, and a box below that skips the floor loudly (an
+// explicit note in the guard output), never silently passes.
+
+// DistBenchName is the identity value of a dist record.
+const DistBenchName = "DistSweep"
+
+// DistFloorMinCPU is the smallest CPU count on which the absolute
+// distributed-speedup floor is enforceable: below this the workers
+// timeslice the same cores as the serial baseline and the ratio
+// measures scheduling noise, not scaling.
+const DistFloorMinCPU = 4
+
+// DistRecord mirrors BENCH_dist.json.
+type DistRecord struct {
+	Bench      string   `json:"bench"`
+	Entries    int      `json:"entries"`
+	NumCPU     int      `json:"num_cpu"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Workers    int      `json:"workers"`
+	Shards     int      `json:"shards"`
+	Codecs     []string `json:"codecs"`
+	WarmIters  int      `json:"warm_iters"`
+
+	// SerialWarmNs is the best warm end-to-end serial pass: decode the
+	// BETR file, RunFast every codec. DistWarmNs is the best warm
+	// distributed sweep over the same file on an already-spawned worker
+	// pool (spawn cost is paid once, like a long-lived sweep amortizes
+	// it).
+	SerialWarmNs int64 `json:"serial_warm_ns"`
+	DistWarmNs   int64 `json:"dist_warm_ns"`
+
+	SpeedupDist float64 `json:"speedup_dist"` // serial/dist wall time
+	Parity      bool    `json:"parity"`       // dist results == RunFast results, all codecs
+}
+
+// Validate reports the first structurally missing field of a dist
+// record.
+func (r DistRecord) Validate() error {
+	switch {
+	case r.Bench != DistBenchName:
+		return fmt.Errorf("bench = %q, want %q", r.Bench, DistBenchName)
+	case r.Entries <= 0:
+		return fmt.Errorf("missing field entries")
+	case r.NumCPU <= 0:
+		return fmt.Errorf("missing field num_cpu")
+	case r.Workers <= 0:
+		return fmt.Errorf("missing field workers")
+	case r.Shards <= 0:
+		return fmt.Errorf("missing field shards")
+	case r.SerialWarmNs <= 0:
+		return fmt.Errorf("missing field serial_warm_ns")
+	case r.DistWarmNs <= 0:
+		return fmt.Errorf("missing field dist_warm_ns")
+	case r.SpeedupDist <= 0:
+		return fmt.Errorf("missing field speedup_dist")
+	case len(r.Codecs) == 0:
+		return fmt.Errorf("missing field codecs")
+	}
+	return nil
+}
+
+// ReadDist loads and validates a dist record.
+func ReadDist(path string) (DistRecord, error) {
+	var r DistRecord
+	if err := readJSON(path, &r); err != nil {
+		return r, err
+	}
+	if err := r.Validate(); err != nil {
+		return r, fmt.Errorf("%s: %v", path, err)
+	}
+	return r, nil
+}
+
+// CompareDist holds a fresh dist record against the committed one.
+// Parity always binds. The absolute DistFloor binds whenever the fresh
+// record's machine has DistFloorMinCPU or more CPUs; on smaller boxes
+// the floor is skipped with an explicit note (never a silent pass).
+// The relative band against the committed speedup applies only across
+// a same-machine boundary, like every other ratio band.
+func CompareDist(old, fresh DistRecord, tol Tolerance) ([]Violation, []string) {
+	var out []Violation
+	var notes []string
+	if err := old.Validate(); err != nil {
+		out = append(out, Violation{Record: "dist", Field: "baseline", Msg: err.Error()})
+	}
+	if err := fresh.Validate(); err != nil {
+		out = append(out, Violation{Record: "dist", Field: "fresh", Msg: err.Error()})
+		return out, notes
+	}
+	if !fresh.Parity {
+		out = append(out, Violation{Record: "dist", Field: "parity",
+			Msg: "distributed sweep and sequential RunFast results diverge"})
+	}
+	if tol.DistFloor > 0 {
+		if fresh.NumCPU >= DistFloorMinCPU {
+			if fresh.SpeedupDist < tol.DistFloor {
+				out = append(out, Violation{
+					Record: "dist", Field: "speedup_dist",
+					Old: tol.DistFloor, New: fresh.SpeedupDist,
+					Msg: fmt.Sprintf("distributed speedup fell below the absolute %.1fx floor on a %d-CPU box", tol.DistFloor, fresh.NumCPU),
+				})
+			}
+		} else {
+			notes = append(notes, fmt.Sprintf(
+				"dist: speedup_dist floor skipped: num_cpu=%d (absolute %.1fx floor needs >= %d CPUs)",
+				fresh.NumCPU, tol.DistFloor, DistFloorMinCPU))
+		}
+	}
+	if !SameMachine(old.NumCPU, fresh.NumCPU, old.GoVersion, fresh.GoVersion) {
+		return out, notes
+	}
+	if v := speedupDrop("dist", "speedup_dist", old.SpeedupDist, fresh.SpeedupDist, tol.Slowdown); v != nil {
+		out = append(out, *v)
+	}
+	return out, notes
+}

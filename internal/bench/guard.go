@@ -31,11 +31,15 @@ type Tolerance struct {
 	// relative bands this needs no committed baseline: the ratio is
 	// same-machine by construction, so the floor holds on any box.
 	BitsliceFloor float64
+	// DistFloor is the absolute minimum distributed-sweep speedup (0
+	// disables it). It binds only when the measuring box has at least
+	// DistFloorMinCPU CPUs; smaller boxes skip it with an explicit note.
+	DistFloor float64
 }
 
 // DefaultTolerance is the band set CI enforces.
 func DefaultTolerance() Tolerance {
-	return Tolerance{Slowdown: 0.25, AllocCollapse: 2, BitsliceFloor: 5}
+	return Tolerance{Slowdown: 0.25, AllocCollapse: 2, BitsliceFloor: 5, DistFloor: 1.3}
 }
 
 // Violation is one broken band.
@@ -125,33 +129,50 @@ func CompareStream(old, fresh StreamRecord, tol Tolerance) []Violation {
 }
 
 // CompareParallel holds a fresh parallel-engine record against the
+// committed one. It is CompareParallelNotes without the skip notes —
+// kept for callers that only care about hard failures.
+func CompareParallel(old, fresh ParallelEngineRecord, tol Tolerance) []Violation {
+	out, _ := CompareParallelNotes(old, fresh, tol)
+	return out
+}
+
+// CompareParallelNotes holds a fresh parallel-engine record against the
 // committed one. Both speedup ratios are banded: SpeedupParallel
 // guards the shard scaling itself (meaningful once the machine has
 // cores to scale onto), SpeedupVsReference guards the parallel path's
-// absolute throughput against the seed reference on any machine.
-func CompareParallel(old, fresh ParallelEngineRecord, tol Tolerance) []Violation {
+// absolute throughput against the seed reference on any machine. On a
+// single-CPU box shard scaling is physically impossible, so the
+// speedup_parallel band is skipped — loudly, via a returned note —
+// rather than failing or silently passing.
+func CompareParallelNotes(old, fresh ParallelEngineRecord, tol Tolerance) ([]Violation, []string) {
 	var out []Violation
+	var notes []string
 	if err := old.Validate(); err != nil {
 		out = append(out, Violation{Record: "parallel", Field: "baseline", Msg: err.Error()})
 	}
 	if err := fresh.Validate(); err != nil {
 		out = append(out, Violation{Record: "parallel", Field: "fresh", Msg: err.Error()})
-		return out
+		return out, notes
 	}
 	if !fresh.Parity {
 		out = append(out, Violation{Record: "parallel", Field: "parity",
 			Msg: "parallel, serial and reference transition totals diverge"})
 	}
-	if !SameMachine(old.NumCPU, fresh.NumCPU, old.GoVersion, fresh.GoVersion) {
-		return out
+	if fresh.NumCPU == 1 {
+		notes = append(notes, "parallel: speedup_parallel enforcement skipped: num_cpu=1")
 	}
-	if v := speedupDrop("parallel", "speedup_parallel", old.SpeedupParallel, fresh.SpeedupParallel, tol.Slowdown); v != nil {
-		out = append(out, *v)
+	if !SameMachine(old.NumCPU, fresh.NumCPU, old.GoVersion, fresh.GoVersion) {
+		return out, notes
+	}
+	if fresh.NumCPU != 1 {
+		if v := speedupDrop("parallel", "speedup_parallel", old.SpeedupParallel, fresh.SpeedupParallel, tol.Slowdown); v != nil {
+			out = append(out, *v)
+		}
 	}
 	if v := speedupDrop("parallel", "speedup_vs_reference", old.SpeedupVsReference, fresh.SpeedupVsReference, tol.Slowdown); v != nil {
 		out = append(out, *v)
 	}
-	return out
+	return out, notes
 }
 
 // CompareBitslice holds a fresh bitslice record against the committed
@@ -189,12 +210,23 @@ func CompareBitslice(old, fresh BitsliceRecord, tol Tolerance) []Violation {
 }
 
 // Guard loads the committed and fresh record set from the two
-// directories (BENCH_engine.json, BENCH_stream.json, BENCH_parallel.json
-// and BENCH_bitslice.json in each) and returns every violation. Unreadable
+// directories and returns every violation. It is GuardNotes without
+// the skip notes.
+func Guard(baselineDir, freshDir string, tol Tolerance) []Violation {
+	out, _ := GuardNotes(baselineDir, freshDir, tol)
+	return out
+}
+
+// GuardNotes loads the committed and fresh record set from the two
+// directories (BENCH_engine.json, BENCH_stream.json,
+// BENCH_parallel.json, BENCH_bitslice.json and BENCH_dist.json in
+// each) and returns every violation plus every skip note (bands that
+// could not bind on this machine and were skipped loudly). Unreadable
 // or invalid files are violations, not errors: the guard's job is to
 // fail loudly, so CI gets one unified report either way.
-func Guard(baselineDir, freshDir string, tol Tolerance) []Violation {
+func GuardNotes(baselineDir, freshDir string, tol Tolerance) ([]Violation, []string) {
 	var out []Violation
+	var notes []string
 	oldEng, err := ReadEngine(baselineDir + "/BENCH_engine.json")
 	if err != nil {
 		out = append(out, Violation{Record: "engine", Field: "baseline", Msg: err.Error()})
@@ -226,7 +258,9 @@ func Guard(baselineDir, freshDir string, tol Tolerance) []Violation {
 		out = append(out, Violation{Record: "parallel", Field: "fresh", Msg: ferr.Error()})
 	}
 	if err == nil && ferr == nil {
-		out = append(out, CompareParallel(oldPar, freshPar, tol)...)
+		vs, ns := CompareParallelNotes(oldPar, freshPar, tol)
+		out = append(out, vs...)
+		notes = append(notes, ns...)
 	}
 	oldBit, err := ReadBitslice(baselineDir + "/BENCH_bitslice.json")
 	if err != nil {
@@ -239,5 +273,18 @@ func Guard(baselineDir, freshDir string, tol Tolerance) []Violation {
 	if err == nil && ferr == nil {
 		out = append(out, CompareBitslice(oldBit, freshBit, tol)...)
 	}
-	return out
+	oldDist, err := ReadDist(baselineDir + "/BENCH_dist.json")
+	if err != nil {
+		out = append(out, Violation{Record: "dist", Field: "baseline", Msg: err.Error()})
+	}
+	freshDist, ferr := ReadDist(freshDir + "/BENCH_dist.json")
+	if ferr != nil {
+		out = append(out, Violation{Record: "dist", Field: "fresh", Msg: ferr.Error()})
+	}
+	if err == nil && ferr == nil {
+		vs, ns := CompareDist(oldDist, freshDist, tol)
+		out = append(out, vs...)
+		notes = append(notes, ns...)
+	}
+	return out, notes
 }

@@ -34,6 +34,14 @@ func bitsliceFixture() BitsliceRecord {
 	}
 }
 
+func distFixture() DistRecord {
+	return DistRecord{
+		Bench: DistBenchName, Entries: 1 << 18, NumCPU: 8, GOMAXPROCS: 8,
+		Workers: 3, Shards: 12, Codecs: []string{"binary", "gray", "t0"}, WarmIters: 3,
+		SerialWarmNs: 90e6, DistWarmNs: 45e6, SpeedupDist: 2, Parity: true,
+	}
+}
+
 func streamFixture() StreamRecord {
 	return StreamRecord{
 		Bench: StreamBenchName, Entries: 1 << 20, FileBytes: 2.8e6, ChunkLen: 4096,
@@ -59,6 +67,9 @@ func TestGuardPassesOnIdenticalRecords(t *testing.T) {
 	}
 	if vs := CompareBitslice(bitsliceFixture(), bitsliceFixture(), tol); len(vs) != 0 {
 		t.Errorf("identical bitslice records flagged: %v", vs)
+	}
+	if vs, notes := CompareDist(distFixture(), distFixture(), tol); len(vs) != 0 || len(notes) != 0 {
+		t.Errorf("identical dist records flagged: %v (notes %v)", vs, notes)
 	}
 }
 
@@ -101,6 +112,16 @@ func TestGuardFailsOnInjected2xSlowdown(t *testing.T) {
 	bvs := CompareBitslice(bitsliceFixture(), bfresh, tol)
 	if len(bvs) != 2 || bvs[0].Field != "speedup_bitslice" || bvs[1].Field != "speedup_bitslice" {
 		t.Errorf("2x bitslice slowdown: violations = %v, want floor + relative violations", bvs)
+	}
+
+	// A halved dist speedup (2 -> 1) on an 8-CPU box breaks both the
+	// absolute 1.3x floor and the relative band.
+	dfresh := distFixture()
+	dfresh.DistWarmNs *= 2
+	dfresh.SpeedupDist /= 2
+	dvs, _ := CompareDist(distFixture(), dfresh, tol)
+	if len(dvs) != 2 || dvs[0].Field != "speedup_dist" || dvs[1].Field != "speedup_dist" {
+		t.Errorf("2x dist slowdown: violations = %v, want floor + relative violations", dvs)
 	}
 }
 
@@ -166,6 +187,14 @@ func TestGuardParity(t *testing.T) {
 	if len(bvs) != 1 || bvs[0].Field != "parity" {
 		t.Errorf("bitslice parity=false: violations = %v", bvs)
 	}
+
+	dfresh := distFixture()
+	dfresh.Parity = false
+	dfresh.NumCPU = 1 // parity binds even where the speedup floor skips
+	dvs, _ := CompareDist(distFixture(), dfresh, DefaultTolerance())
+	if len(dvs) != 1 || dvs[0].Field != "parity" {
+		t.Errorf("dist parity=false: violations = %v", dvs)
+	}
 }
 
 // TestGuardBitsliceFloor: the absolute floor binds on any machine —
@@ -194,6 +223,86 @@ func TestGuardBitsliceFloor(t *testing.T) {
 	noFloor.BitsliceFloor = 0
 	if vs := CompareBitslice(old, crossBox, noFloor); len(vs) != 0 {
 		t.Errorf("disabled floor still flagged: %v", vs)
+	}
+}
+
+// TestGuardDistFloor: the absolute distributed-speedup floor binds only
+// on machines with DistFloorMinCPU or more CPUs; below that it is
+// skipped with an explicit note, never a silent pass.
+func TestGuardDistFloor(t *testing.T) {
+	tol := DefaultTolerance()
+	old := distFixture()
+
+	slow := distFixture()
+	slow.SpeedupDist = 1.1 // below the 1.3x floor on an 8-CPU box
+	vs, notes := CompareDist(old, slow, tol)
+	if len(vs) != 2 || vs[0].Field != "speedup_dist" || !strings.Contains(vs[0].Msg, "floor") {
+		t.Errorf("sub-floor speedup on 8 CPUs: violations = %v, want floor + relative", vs)
+	}
+	if len(notes) != 0 {
+		t.Errorf("floor bound yet notes emitted: %v", notes)
+	}
+
+	// Same sub-floor speedup on a 1-CPU box: no violation, loud note.
+	oneCPU := distFixture()
+	oneCPU.NumCPU = 1
+	oneCPU.SpeedupDist = 0.9
+	vs, notes = CompareDist(old, oneCPU, tol)
+	if len(vs) != 0 {
+		t.Errorf("1-CPU box flagged for missing scaling: %v", vs)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "skipped: num_cpu=1") {
+		t.Errorf("notes = %v, want one explicit skipped: num_cpu=1 note", notes)
+	}
+
+	// Exactly DistFloorMinCPU CPUs and exactly on the floor: binds and
+	// passes (cross-box, so the relative band is out of the picture).
+	onFloor := distFixture()
+	onFloor.NumCPU = DistFloorMinCPU
+	onFloor.SpeedupDist = tol.DistFloor
+	if vs, notes := CompareDist(old, onFloor, tol); len(vs) != 0 || len(notes) != 0 {
+		t.Errorf("speedup exactly on the floor at %d CPUs: violations %v, notes %v", DistFloorMinCPU, vs, notes)
+	}
+
+	noFloor := tol
+	noFloor.DistFloor = 0
+	if vs, notes := CompareDist(old, slow, noFloor); len(vs) != 1 || len(notes) != 0 {
+		t.Errorf("disabled floor: violations = %v (want relative band only), notes %v", vs, notes)
+	}
+}
+
+// TestGuardParallelSkipNote: on a 1-CPU box the shard-scaling band is
+// skipped with an explicit note, while the vs-reference band and parity
+// keep binding.
+func TestGuardParallelSkipNote(t *testing.T) {
+	tol := DefaultTolerance()
+	old := parallelFixture()
+	old.NumCPU = 1
+
+	fresh := parallelFixture()
+	fresh.NumCPU = 1
+	fresh.SpeedupParallel = 0.4 // would break the relative band if it bound
+	vs, notes := CompareParallelNotes(old, fresh, tol)
+	if len(vs) != 0 {
+		t.Errorf("1-CPU shard scaling flagged: %v", vs)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "skipped: num_cpu=1") {
+		t.Errorf("notes = %v, want one explicit skipped: num_cpu=1 note", notes)
+	}
+
+	// The absolute-throughput band still binds on the same box.
+	fresh.SpeedupVsReference /= 2
+	vs, _ = CompareParallelNotes(old, fresh, tol)
+	if len(vs) != 1 || vs[0].Field != "speedup_vs_reference" {
+		t.Errorf("1-CPU vs-reference slowdown: violations = %v", vs)
+	}
+
+	// On a multi-core box the band binds and no note is emitted.
+	multi := parallelFixture()
+	multi.SpeedupParallel = 0.4
+	vs, notes = CompareParallelNotes(parallelFixture(), multi, tol)
+	if len(vs) != 1 || vs[0].Field != "speedup_parallel" || len(notes) != 0 {
+		t.Errorf("8-CPU scaling collapse: violations = %v, notes = %v", vs, notes)
 	}
 }
 
@@ -295,6 +404,10 @@ func TestGuardOnCommittedRecords(t *testing.T) {
 	if err != nil {
 		t.Fatalf("committed bitslice record unreadable: %v", err)
 	}
+	dst, err := ReadDist(filepath.Join(root, "BENCH_dist.json"))
+	if err != nil {
+		t.Fatalf("committed dist record unreadable: %v", err)
+	}
 	tol := DefaultTolerance()
 	if vs := CompareEngine(eng, eng, tol); len(vs) != 0 {
 		t.Errorf("committed engine record fails its own guard: %v", vs)
@@ -307,6 +420,9 @@ func TestGuardOnCommittedRecords(t *testing.T) {
 	}
 	if vs := CompareBitslice(bit, bit, tol); len(vs) != 0 {
 		t.Errorf("committed bitslice record fails its own guard: %v", vs)
+	}
+	if vs, _ := CompareDist(dst, dst, tol); len(vs) != 0 {
+		t.Errorf("committed dist record fails its own guard: %v", vs)
 	}
 
 	slow := eng
@@ -347,12 +463,12 @@ func TestGuardDirs(t *testing.T) {
 
 	empty := t.TempDir()
 	vs = Guard(base, empty, DefaultTolerance())
-	if len(vs) != 4 {
-		t.Errorf("missing fresh records: got %d violations (%v), want 4", len(vs), vs)
+	if len(vs) != 5 {
+		t.Errorf("missing fresh records: got %d violations (%v), want 5", len(vs), vs)
 	}
 
 	// A fresh dir with a broken engine record still gets the stream,
-	// parallel and bitslice pairs compared.
+	// parallel, bitslice and dist pairs compared.
 	broken := t.TempDir()
 	if err := WriteRecord(filepath.Join(broken, "BENCH_engine.json"), EngineRecord{Bench: "bogus"}); err != nil {
 		t.Fatal(err)
@@ -378,8 +494,15 @@ func TestGuardDirs(t *testing.T) {
 	if err := WriteRecord(filepath.Join(broken, "BENCH_bitslice.json"), bit); err != nil {
 		t.Fatal(err)
 	}
+	dst, err := ReadDist(filepath.Join(base, "BENCH_dist.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteRecord(filepath.Join(broken, "BENCH_dist.json"), dst); err != nil {
+		t.Fatal(err)
+	}
 	vs = Guard(base, broken, DefaultTolerance())
 	if len(vs) != 1 || vs[0].Record != "engine" {
-		t.Errorf("broken engine + healthy stream/parallel/bitslice: %v, want one engine violation", vs)
+		t.Errorf("broken engine + healthy stream/parallel/bitslice/dist: %v, want one engine violation", vs)
 	}
 }

@@ -1,6 +1,7 @@
 package bus
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 )
@@ -84,4 +85,167 @@ func TestMergeWidthMismatchPanics(t *testing.T) {
 		}
 	}()
 	New(8).Merge(New(9))
+}
+
+// TestMergeSlots pins the ordered reduction's edge cases: empty and
+// single-entry shards merge like any other, the lowest-indexed error
+// suppresses everything after it, and slot counts beyond the in-process
+// shard fan-out (>16) still reduce to the sequential statistics.
+func TestMergeSlots(t *testing.T) {
+	const width = 23
+	words := randomWords(500, 11)
+
+	// slotsFor cuts words at the given points (ascending, possibly
+	// repeated for empty shards) and builds one primed accumulator per
+	// shard, exactly as shard workers do.
+	slotsFor := func(cuts []int) []*Bus {
+		slots := make([]*Bus, 0, len(cuts)+1)
+		prev := 0
+		for i := 0; i <= len(cuts); i++ {
+			end := len(words)
+			if i < len(cuts) {
+				end = cuts[i]
+			}
+			b := New(width)
+			if prev > 0 {
+				b.Prime(words[prev-1])
+			}
+			b.Accumulate(words[prev:end])
+			slots = append(slots, b)
+			prev = end
+		}
+		return slots
+	}
+	manyCuts := func(n int) []int {
+		cuts := make([]int, n)
+		for i := range cuts {
+			cuts[i] = (i + 1) * len(words) / (n + 1)
+		}
+		return cuts
+	}
+
+	errMid := fmt.Errorf("shard 2 exploded")
+	errHigh := fmt.Errorf("shard 4 exploded")
+	cases := []struct {
+		name    string
+		cuts    []int
+		errs    func(n int) []error
+		wantErr error
+	}{
+		{name: "two shards", cuts: []int{250}},
+		{name: "empty middle shard", cuts: []int{200, 200}},
+		{name: "empty first shard", cuts: []int{0, 300}},
+		{name: "single-entry shard", cuts: []int{100, 101}},
+		{name: "25 slots", cuts: manyCuts(24)},
+		{name: "nil errs slice", cuts: []int{250}, errs: func(int) []error { return nil }},
+		{
+			name: "error in middle shard",
+			cuts: manyCuts(5),
+			errs: func(n int) []error {
+				errs := make([]error, n)
+				errs[2] = errMid
+				errs[4] = errHigh
+				return errs
+			},
+			wantErr: errMid,
+		},
+	}
+
+	ref := New(width)
+	ref.Accumulate(words)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			slots := slotsFor(tc.cuts)
+			var errs []error
+			if tc.errs != nil {
+				errs = tc.errs(len(slots))
+			}
+			got, err := MergeSlots(slots, errs)
+			if tc.wantErr != nil {
+				if err != tc.wantErr {
+					t.Fatalf("error = %v, want lowest-shard error %v", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("MergeSlots: %v", err)
+			}
+			if got.Transitions() != ref.Transitions() || got.Cycles() != ref.Cycles() ||
+				got.MaxPerCycle() != ref.MaxPerCycle() || got.Current() != ref.Current() {
+				t.Errorf("merged %d/%d/%d/%#x vs sequential %d/%d/%d/%#x",
+					got.Transitions(), got.Cycles(), got.MaxPerCycle(), got.Current(),
+					ref.Transitions(), ref.Cycles(), ref.MaxPerCycle(), ref.Current())
+			}
+			if !reflect.DeepEqual(got.PerLine(), ref.PerLine()) {
+				t.Errorf("per-line counts diverge from sequential")
+			}
+		})
+	}
+
+	t.Run("empty input", func(t *testing.T) {
+		if b, err := MergeSlots(nil, nil); b != nil || err != nil {
+			t.Errorf("MergeSlots(nil) = %v, %v; want nil, nil", b, err)
+		}
+	})
+	t.Run("lost shard", func(t *testing.T) {
+		slots := slotsFor([]int{250})
+		slots[1] = nil
+		if _, err := MergeSlots(slots, make([]error, 2)); err == nil {
+			t.Error("nil bus in an error-free slot did not fail")
+		}
+	})
+	t.Run("mismatched errs length", func(t *testing.T) {
+		if _, err := MergeSlots(slotsFor([]int{250}), make([]error, 1)); err == nil {
+			t.Error("errs shorter than slots did not fail")
+		}
+	})
+}
+
+// TestStatsRoundTrip: a bus rebuilt from its Stats snapshot merges and
+// keeps counting exactly like the original — the property the
+// distributed sweep's wire transfer depends on.
+func TestStatsRoundTrip(t *testing.T) {
+	words := randomWords(400, 3)
+	const width = 31
+	for _, aggOnly := range []bool{false, true} {
+		mk := New
+		if aggOnly {
+			mk = NewAggregate
+		}
+		ref := mk(width)
+		ref.Accumulate(words)
+
+		lo := mk(width)
+		lo.Accumulate(words[:150])
+		hi := mk(width)
+		hi.Prime(words[149])
+		hi.Accumulate(words[150:])
+
+		rlo, err := FromStats(width, lo.Stats())
+		if err != nil {
+			t.Fatalf("FromStats(lo): %v", err)
+		}
+		rhi, err := FromStats(width, hi.Stats())
+		if err != nil {
+			t.Fatalf("FromStats(hi): %v", err)
+		}
+		rlo.Merge(rhi)
+		if rlo.Transitions() != ref.Transitions() || rlo.Cycles() != ref.Cycles() ||
+			rlo.MaxPerCycle() != ref.MaxPerCycle() || rlo.Current() != ref.Current() {
+			t.Errorf("aggOnly=%v: rebuilt merge diverges from sequential", aggOnly)
+		}
+		if !reflect.DeepEqual(rlo.PerLine(), ref.PerLine()) {
+			t.Errorf("aggOnly=%v: rebuilt per-line counts diverge", aggOnly)
+		}
+		// The rebuilt bus must also keep counting: drive one more word
+		// on both and compare.
+		ref.Drive(0x5A5A)
+		rlo.Drive(0x5A5A)
+		if rlo.Transitions() != ref.Transitions() || rlo.MaxPerCycle() != ref.MaxPerCycle() {
+			t.Errorf("aggOnly=%v: rebuilt bus counts diverge after further drives", aggOnly)
+		}
+	}
+	if _, err := FromStats(8, Stats{PerLine: make([]int64, 9)}); err == nil {
+		t.Error("per-line width mismatch did not fail")
+	}
 }

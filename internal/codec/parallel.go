@@ -1,7 +1,6 @@
 package codec
 
 import (
-	"fmt"
 	"runtime"
 	"sync"
 	"time"
@@ -158,11 +157,8 @@ func runParallelCuts(c Codec, s *trace.Stream, cuts []int, opts ParallelOpts) (R
 		ssp.End()
 	}
 
-	type shardResult struct {
-		b   *bus.Bus
-		err error
-	}
-	results := make([]shardResult, p)
+	buses := make([]*bus.Bus, p)
+	errs := make([]error, p)
 	timed := parallelTimed()
 	var wg sync.WaitGroup
 	wg.Add(p)
@@ -174,25 +170,30 @@ func runParallelCuts(c Codec, s *trace.Stream, cuts []int, opts ParallelOpts) (R
 			if timed {
 				t0 = time.Now()
 			}
-			b, err := priceShard(c, entries, cuts[k], cuts[k+1], encs[k], opts, k == 0)
+			bd := Boundary{First: k == 0}
+			if k > 0 {
+				lead := cuts[k] - 1
+				bd.Prev = entries[lead]
+				if lead > 0 {
+					bd.SeedSym = SymbolOf(entries[lead-1])
+					bd.HaveSeedSym = true
+				}
+			}
+			b, err := priceShard(c, entries[cuts[k]:cuts[k+1]], bd, cuts[k], encs[k], opts)
 			if timed {
 				RecordShard(time.Since(t0).Nanoseconds())
 			}
 			ksp.EndErr(err)
-			results[k] = shardResult{b: b, err: err}
+			buses[k], errs[k] = b, err
 		}(k)
 	}
 	wg.Wait()
-	for k := 0; k < p; k++ {
-		if results[k].err != nil {
-			root.EndErr(results[k].err)
-			return Result{}, results[k].err
-		}
-	}
 	msp := root.Child("codec.merge", obs.StageMerge)
-	merged := results[0].b
-	for k := 1; k < p; k++ {
-		merged.Merge(results[k].b)
+	merged, err := bus.MergeSlots(buses, errs)
+	if err != nil {
+		msp.EndErr(err)
+		root.EndErr(err)
+		return Result{}, err
 	}
 	msp.End()
 	root.End()
@@ -207,120 +208,4 @@ func runParallelCuts(c Codec, s *trace.Stream, cuts []int, opts ParallelOpts) (R
 		PerLine:     merged.PerLine(),
 		MaxPerCycle: merged.MaxPerCycle(),
 	}, nil
-}
-
-// priceShard prices entries[start:end) on a private bus with an encoder
-// already holding the boundary state, and returns the bus for the
-// ordered reduction. For shards after the first it re-encodes the entry
-// just before start to recover the exact word on the lines at the
-// boundary. first marks shard 0, whose verification is byte-identical
-// to RunFast's; later shards verify only under VerifyFull and only when
-// the decoder is seedable mid-stream.
-func priceShard(c Codec, entries []trace.Entry, start, end int, enc Encoder, opts ParallelOpts, first bool) (*bus.Bus, error) {
-	if usePlane, err := PlaneEligible(c, opts.Kernel, opts.Verify); err != nil {
-		return nil, err
-	} else if usePlane {
-		return priceShardPlane(c, entries, start, end, enc, opts, first)
-	}
-	var b *bus.Bus
-	if opts.PerLine {
-		b = bus.New(c.BusWidth())
-	} else {
-		b = bus.NewAggregate(c.BusWidth())
-	}
-	var dec Decoder
-	verifyLeft := 0
-	if first {
-		switch opts.Verify {
-		case VerifyFull:
-			dec = c.NewDecoder()
-			verifyLeft = end - start
-		case VerifySampled:
-			dec = c.NewDecoder()
-			verifyLeft = VerifySampleLen
-		}
-	} else if opts.Verify == VerifyFull {
-		d := c.NewDecoder()
-		if sd, ok := d.(Seeder); ok {
-			if lead := start - 1; lead > 0 {
-				sd.SeedFrom(SymbolOf(entries[lead-1]))
-			}
-			dec = d
-			verifyLeft = end - start + 1 // boundary entry included
-		}
-	}
-	mask := bus.Mask(c.PayloadWidth())
-	be := AsBatch(enc)
-	buf := runBufPool.Get().(*runBuf)
-	defer runBufPool.Put(buf)
-	if !first {
-		lead := start - 1
-		e := entries[lead]
-		word := enc.Encode(SymbolOf(e))
-		b.Prime(word)
-		if dec != nil && verifyLeft > 0 {
-			got := dec.Decode(word, e.Sel())
-			if want := e.Addr & mask; got != want {
-				return nil, fmt.Errorf("codec %s: round-trip mismatch at entry %d: addr %#x decoded as %#x", c.Name(), lead, want, got)
-			}
-			verifyLeft--
-		}
-	}
-	for base := start; base < end; base += runChunk {
-		hi := base + runChunk
-		if hi > end {
-			hi = end
-		}
-		chunk := entries[base:hi]
-		syms := buf.syms[:len(chunk)]
-		words := buf.words[:len(chunk)]
-		for i, e := range chunk {
-			syms[i] = SymbolOf(e)
-		}
-		be.EncodeBatch(syms, words)
-		b.Accumulate(words)
-		if dec != nil && verifyLeft > 0 {
-			n := len(chunk)
-			if n > verifyLeft {
-				n = verifyLeft
-			}
-			for i := 0; i < n; i++ {
-				e := chunk[i]
-				got := dec.Decode(words[i], e.Sel())
-				if want := e.Addr & mask; got != want {
-					return nil, fmt.Errorf("codec %s: round-trip mismatch at entry %d: addr %#x decoded as %#x", c.Name(), base+i, want, got)
-				}
-			}
-			verifyLeft -= n
-			if verifyLeft == 0 {
-				dec = nil
-			}
-		}
-	}
-	return b, nil
-}
-
-// priceShardPlane prices a shard on the plane path. Mid-stream seeding
-// maps directly onto PlaneSet.Prime: the boundary entry's re-encoded
-// word (exactly what the scalar path feeds bus.Prime) plus its raw
-// address as the carried-in predecessor. VerifyFull never routes here,
-// so only shard 0 can owe a verification sample — replayed scalar-ly
-// like runFastPlane's.
-func priceShardPlane(c Codec, entries []trace.Entry, start, end int, enc Encoder, opts ParallelOpts, first bool) (*bus.Bus, error) {
-	if first && opts.Verify == VerifySampled {
-		if err := verifyPrefix(c, entries[start:end], VerifySampleLen); err != nil {
-			return nil, err
-		}
-	}
-	ps, err := NewPlaneSet([]Codec{c}, opts.PerLine)
-	if err != nil {
-		return nil, err
-	}
-	if !first {
-		lead := start - 1
-		word := enc.Encode(SymbolOf(entries[lead]))
-		ps.Prime(entries[lead].Addr, []uint64{word})
-	}
-	ps.ConsumeEntries(entries[start:end])
-	return ps.Bus(0), nil
 }

@@ -1,0 +1,227 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire format for encoder states. Snapshot/Restore (state.go) move
+// encoder state between instances inside one process as opaque values;
+// the distributed sweep (internal/dist) has to move the same state to a
+// worker process, so every concrete state type gets a stable byte
+// encoding: one tag byte naming the type, then the fields in little-
+// endian fixed width (uvarint-prefixed lengths for slices). The format
+// is an internal hand-off between a coordinator and workers built from
+// the same binary — the tag table may be renumbered freely between
+// versions, it is never persisted beyond a checkpoint journal that
+// records the producing plan's digest.
+//
+// MarshalState(Snapshot()) followed by Restore(UnmarshalState(...)) in
+// another process must be indistinguishable from handing the Snapshot
+// over directly; wire_test.go pins that round trip for every registered
+// codec at arbitrary split points.
+
+// State wire tags, one per concrete Snapshot payload type. Tag 0 is the
+// nil state of the stateless codes (binary, gray, beach).
+const (
+	wireNil = iota
+	wireBI
+	wireOffset
+	wireIncXor
+	wireT0
+	wireT0BI
+	wireDualT0
+	wireDualT0BI
+	wireWorkZone
+	wireAdaptive
+)
+
+// wireBuf is a minimal append-only encoder.
+type wireBuf struct{ b []byte }
+
+func (w *wireBuf) u64(v uint64) { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
+func (w *wireBuf) boolean(v bool) {
+	if v {
+		w.b = append(w.b, 1)
+	} else {
+		w.b = append(w.b, 0)
+	}
+}
+func (w *wireBuf) u64s(vs []uint64) {
+	w.b = binary.AppendUvarint(w.b, uint64(len(vs)))
+	for _, v := range vs {
+		w.u64(v)
+	}
+}
+func (w *wireBuf) ints(vs []int) {
+	w.b = binary.AppendUvarint(w.b, uint64(len(vs)))
+	for _, v := range vs {
+		w.u64(uint64(v))
+	}
+}
+
+// wireDec decodes the same format, remembering the first error so call
+// sites stay linear.
+type wireDec struct {
+	b   []byte
+	err error
+}
+
+func (d *wireDec) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("codec: truncated state")
+	}
+}
+
+func (d *wireDec) u64() uint64 {
+	if d.err != nil || len(d.b) < 8 {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v
+}
+
+func (d *wireDec) boolean() bool {
+	if d.err != nil || len(d.b) < 1 {
+		d.fail()
+		return false
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v != 0
+}
+
+func (d *wireDec) length() int {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 || v > 1<<20 {
+		d.fail()
+		return 0
+	}
+	d.b = d.b[n:]
+	return int(v)
+}
+
+func (d *wireDec) u64s() []uint64 {
+	n := d.length()
+	if d.err != nil {
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = d.u64()
+	}
+	return out
+}
+
+func (d *wireDec) ints() []int {
+	n := d.length()
+	if d.err != nil {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(d.u64())
+	}
+	return out
+}
+
+// MarshalState serializes a Snapshot payload for cross-process
+// transfer. Every state type a registered codec can produce is
+// supported; an unknown type is an error (a newly added codec whose
+// state was not taught to the wire layer), never a silent drop.
+func MarshalState(st State) ([]byte, error) {
+	var w wireBuf
+	switch s := st.(type) {
+	case nil:
+		w.b = append(w.b, wireNil)
+	case biState:
+		w.b = append(w.b, wireBI)
+		w.u64(s.prev)
+	case offsetState:
+		w.b = append(w.b, wireOffset)
+		w.u64(s.prev)
+	case incXorState:
+		w.b = append(w.b, wireIncXor)
+		w.u64(s.prev)
+		w.boolean(s.valid)
+	case t0State:
+		w.b = append(w.b, wireT0)
+		w.u64(s.prevAddr)
+		w.u64(s.prevBus)
+		w.boolean(s.valid)
+	case t0biState:
+		w.b = append(w.b, wireT0BI)
+		w.u64(s.prevAddr)
+		w.u64(s.prevWord)
+		w.boolean(s.valid)
+	case dualT0State:
+		w.b = append(w.b, wireDualT0)
+		w.u64(s.ref)
+		w.boolean(s.refValid)
+		w.u64(s.prevBus)
+	case dualT0BIState:
+		w.b = append(w.b, wireDualT0BI)
+		w.u64(s.ref)
+		w.boolean(s.refValid)
+		w.u64(s.prevWord)
+	case wzState:
+		w.b = append(w.b, wireWorkZone)
+		w.u64s(s.regs)
+		w.ints(s.age)
+		w.u64(s.prev)
+	case adaptiveState:
+		w.b = append(w.b, wireAdaptive)
+		w.u64s(s.list)
+		w.u64(s.prev)
+	default:
+		return nil, fmt.Errorf("codec: state type %T has no wire encoding", st)
+	}
+	return w.b, nil
+}
+
+// UnmarshalState reverses MarshalState. The returned State owns its
+// memory (slices are freshly allocated), preserving the Snapshot
+// aliasing contract.
+func UnmarshalState(data []byte) (State, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("codec: empty state")
+	}
+	d := wireDec{b: data[1:]}
+	var st State
+	switch data[0] {
+	case wireNil:
+		st = nil
+	case wireBI:
+		st = biState{prev: d.u64()}
+	case wireOffset:
+		st = offsetState{prev: d.u64()}
+	case wireIncXor:
+		st = incXorState{prev: d.u64(), valid: d.boolean()}
+	case wireT0:
+		st = t0State{prevAddr: d.u64(), prevBus: d.u64(), valid: d.boolean()}
+	case wireT0BI:
+		st = t0biState{prevAddr: d.u64(), prevWord: d.u64(), valid: d.boolean()}
+	case wireDualT0:
+		st = dualT0State{ref: d.u64(), refValid: d.boolean(), prevBus: d.u64()}
+	case wireDualT0BI:
+		st = dualT0BIState{ref: d.u64(), refValid: d.boolean(), prevWord: d.u64()}
+	case wireWorkZone:
+		st = wzState{regs: d.u64s(), age: d.ints(), prev: d.u64()}
+	case wireAdaptive:
+		st = adaptiveState{list: d.u64s(), prev: d.u64()}
+	default:
+		return nil, fmt.Errorf("codec: unknown state tag %d", data[0])
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.b) != 0 {
+		return nil, fmt.Errorf("codec: %d trailing state bytes", len(d.b))
+	}
+	return st, nil
+}

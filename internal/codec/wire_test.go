@@ -1,0 +1,69 @@
+package codec
+
+import (
+	"testing"
+)
+
+// TestStateWireRoundTripEveryCodec pins the wire layer's core property:
+// Marshal(Snapshot) then Restore(Unmarshal) into a fresh encoder — the
+// distributed sweep's cross-process hand-off — must reproduce the same
+// suffix words as the uninterrupted encoder, for every registered codec
+// at a spread of split points.
+func TestStateWireRoundTripEveryCodec(t *testing.T) {
+	s := randomMixStream(32, 2000, 23)
+	for _, c := range allCodecs(t, 32) {
+		for _, split := range []int{0, 1, 2, 137, 999, s.Len()} {
+			enc := c.NewEncoder()
+			encodeRange(enc, s, 0, split)
+			st := enc.(StateCodec).Snapshot()
+			want := encodeRange(enc, s, split, s.Len())
+
+			data, err := MarshalState(st)
+			if err != nil {
+				t.Fatalf("%s split=%d: MarshalState: %v", c.Name(), split, err)
+			}
+			back, err := UnmarshalState(data)
+			if err != nil {
+				t.Fatalf("%s split=%d: UnmarshalState: %v", c.Name(), split, err)
+			}
+			fresh := c.NewEncoder()
+			fresh.(StateCodec).Restore(back)
+			if got := encodeRange(fresh, s, split, s.Len()); !equalWords(got, want) {
+				t.Errorf("%s split=%d: suffix diverges after wire round trip", c.Name(), split)
+			}
+		}
+	}
+}
+
+// TestStateWireRejectsGarbage pins the decoder's failure modes: empty
+// input, unknown tags, truncation at every byte of a real encoding, and
+// trailing bytes must all error, never panic or return a bogus state.
+func TestStateWireRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalState(nil); err == nil {
+		t.Error("empty state decoded")
+	}
+	if _, err := UnmarshalState([]byte{0xFF}); err == nil {
+		t.Error("unknown tag decoded")
+	}
+	if _, err := MarshalState("not a state"); err == nil {
+		t.Error("foreign state type marshaled")
+	}
+
+	s := randomMixStream(32, 500, 5)
+	for _, c := range allCodecs(t, 32) {
+		enc := c.NewEncoder()
+		encodeRange(enc, s, 0, s.Len())
+		data, err := MarshalState(enc.(StateCodec).Snapshot())
+		if err != nil {
+			t.Fatalf("%s: MarshalState: %v", c.Name(), err)
+		}
+		for cut := 1; cut < len(data); cut++ {
+			if _, err := UnmarshalState(data[:cut]); err == nil {
+				t.Errorf("%s: truncation at %d/%d decoded", c.Name(), cut, len(data))
+			}
+		}
+		if _, err := UnmarshalState(append(append([]byte(nil), data...), 0)); err == nil {
+			t.Errorf("%s: trailing byte accepted", c.Name())
+		}
+	}
+}

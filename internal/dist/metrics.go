@@ -1,0 +1,79 @@
+package dist
+
+import "busenc/internal/obs"
+
+// Observability for the distributed sweep, in the same gated style as
+// codec's: counters live in the default registry, cost one branch when
+// metrics are disabled, and cover the lifecycle events the tests and
+// the flight recorder care about — spawns, deaths, retries, journal
+// activity — not per-entry work (the workers count that themselves).
+
+// RecordPlan publishes one completed planning scan.
+func RecordPlan(entries int64, shards int) {
+	if !obs.Enabled() {
+		return
+	}
+	obs.GetCounter("dist.plans").Inc()
+	obs.GetGauge("dist.plan.shards").Set(int64(shards))
+	obs.GetGauge("dist.plan.entries").Set(entries)
+}
+
+// RecordSeedSweep publishes the entries re-encoded by the coordinator's
+// state-only boundary sweep (summed across prefix-dependent codecs).
+func RecordSeedSweep(entries int64) {
+	if !obs.Enabled() {
+		return
+	}
+	obs.GetCounter("dist.seed_sweep.entries").Add(entries)
+}
+
+// RecordResume publishes how many shards a resumed sweep recovered from
+// the checkpoint instead of re-pricing.
+func RecordResume(shards int) {
+	if !obs.Enabled() || shards == 0 {
+		return
+	}
+	obs.GetCounter("dist.resume.shards_recovered").Add(int64(shards))
+}
+
+// RecordWorkerSpawn counts one worker (re)spawn.
+func RecordWorkerSpawn() {
+	if !obs.Enabled() {
+		return
+	}
+	obs.GetCounter("dist.worker.spawns").Inc()
+}
+
+// RecordWorkerDeath counts one worker death observed by the
+// coordinator (EOF or protocol failure with work possibly in flight).
+func RecordWorkerDeath() {
+	if !obs.Enabled() {
+		return
+	}
+	obs.GetCounter("dist.worker.deaths").Inc()
+}
+
+// RecordShardRetry counts one shard re-dispatched after its worker
+// died.
+func RecordShardRetry() {
+	if !obs.Enabled() {
+		return
+	}
+	obs.GetCounter("dist.shard.retries").Inc()
+}
+
+// RecordShardDone counts one shard result accepted by the coordinator.
+func RecordShardDone() {
+	if !obs.Enabled() {
+		return
+	}
+	obs.GetCounter("dist.shard.done").Inc()
+}
+
+// RecordHeartbeat counts one ping/pong round trip.
+func RecordHeartbeat() {
+	if !obs.Enabled() {
+		return
+	}
+	obs.GetCounter("dist.heartbeats").Inc()
+}

@@ -1,0 +1,146 @@
+package dist
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"busenc/internal/bus"
+	"busenc/internal/codec"
+	"busenc/internal/trace"
+)
+
+// WorkerOpts tunes ServeWorker.
+type WorkerOpts struct {
+	// FailAfter, when positive, makes the worker exit without replying
+	// once it has priced that many jobs — the fault injection knob
+	// behind the kill-a-worker-mid-sweep tests and the CLI's
+	// -failafter flag. The coordinator sees a dead pipe with a job in
+	// flight, exactly like a real crash.
+	FailAfter int
+}
+
+// errFailInjected is returned by ServeWorker when FailAfter trips; the
+// process wrapper turns it into a silent nonzero exit.
+var errFailInjected = fmt.Errorf("dist: injected worker failure")
+
+// ServeWorker runs the worker side of the shard protocol over the
+// given byte streams (stdin/stdout for a real worker process, an
+// in-memory pipe in tests): announce with a hello, then price every
+// job the coordinator sends until shutdown or EOF. Trace views are
+// mmap'd once per path and shared read-only with the coordinator
+// through the page cache — a worker never copies shard bytes.
+func ServeWorker(r io.Reader, w io.Writer, opts WorkerOpts) error {
+	c := newConn(r, w)
+	if err := c.send(msg{Type: msgHello, Version: protoVersion, PID: os.Getpid()}); err != nil {
+		return err
+	}
+	views := map[string]mappedView{}
+	defer func() {
+		for _, v := range views {
+			v.closer.Close()
+		}
+	}()
+	jobs := 0
+	for {
+		m, err := c.recv()
+		if err != nil {
+			if err == io.EOF {
+				return nil // coordinator closed the pipe; clean exit
+			}
+			return err
+		}
+		switch m.Type {
+		case msgPing:
+			if err := c.send(msg{Type: msgPong}); err != nil {
+				return err
+			}
+		case msgShutdown:
+			return nil
+		case msgJob:
+			if m.Job == nil {
+				return fmt.Errorf("dist: job frame without a job")
+			}
+			if opts.FailAfter > 0 && jobs >= opts.FailAfter {
+				return errFailInjected
+			}
+			jobs++
+			res := priceJob(m.Job, views)
+			if err := c.send(msg{Type: msgResult, Result: res}); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("dist: unexpected %q frame", m.Type)
+		}
+	}
+}
+
+type mappedView struct {
+	data   []byte
+	closer io.Closer
+}
+
+// priceJob prices one shard for every codec in the job. Any error —
+// opening the trace, decoding the range, a verification mismatch — is
+// reported in the result rather than killing the worker, so a bad
+// shard fails the sweep through the ordered merge (lowest shard wins)
+// instead of looking like a worker crash.
+func priceJob(j *Job, views map[string]mappedView) *ShardResult {
+	res := &ShardResult{Shard: j.Shard}
+	v, ok := views[j.TracePath]
+	if !ok {
+		data, closer, err := trace.MapBytes(j.TracePath)
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		v = mappedView{data: data, closer: closer}
+		views[j.TracePath] = v
+	}
+	r, err := trace.NewMemRangeReader(v.data, j.Stream, j.Width, j.Cut, j.N, j.TracePath, nil)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	s, err := trace.ReadAll(r)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	opts := codec.ParallelOpts{
+		Verify:  codec.VerifyMode(j.Verify),
+		PerLine: j.PerLine,
+		Kernel:  codec.Kernel(j.Kernel),
+	}
+	res.Stats = make(map[string]bus.Stats, len(j.Codecs))
+	for _, cj := range j.Codecs {
+		c, err := cj.Spec.New()
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		bd := codec.Boundary{First: j.Cut.Entry == 0}
+		if !bd.First {
+			bd.Prev = trace.Entry{Addr: j.Cut.PrevAddr, Kind: j.Cut.PrevKind}
+			if j.Cut.Entry >= 2 {
+				bd.SeedSym = codec.SymbolOf(trace.Entry{Addr: j.Cut.Prev2Addr, Kind: j.Cut.Prev2Kind})
+				bd.HaveSeedSym = true
+			}
+			if len(cj.State) > 0 {
+				st, err := codec.UnmarshalState(cj.State)
+				if err != nil {
+					res.Err = err.Error()
+					return res
+				}
+				bd.State = st
+			}
+		}
+		b, err := codec.PriceShard(c, s.Entries, bd, int(j.Cut.Entry), opts)
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		res.Stats[cj.Spec.Name] = b.Stats()
+	}
+	return res
+}

@@ -1,0 +1,138 @@
+package dist
+
+import (
+	"fmt"
+	"io"
+)
+
+// heartbeatEvery is how many jobs a worker prices between ping/pong
+// liveness checks. Every spawn also begins with one, so a worker that
+// starts but cannot speak the protocol is caught before it is handed a
+// shard.
+const heartbeatEvery = 16
+
+// workerSlot is one position in the pool, surviving the workers that
+// fill it: when the current worker dies the slot respawns (gen+1) and
+// the in-flight shard is retried, up to retryLimit retries per shard.
+type workerSlot struct {
+	id         int
+	gen        int
+	sp         Spawner
+	t          Transport
+	retryLimit int
+	sincePing  int
+}
+
+func newWorkerSlot(id int, sp Spawner, retryLimit int) *workerSlot {
+	return &workerSlot{id: id, sp: sp, retryLimit: retryLimit}
+}
+
+// ensure has a live, handshaken worker in the slot.
+func (w *workerSlot) ensure() error {
+	if w.t != nil {
+		return nil
+	}
+	t, err := w.sp.Spawn(w.id, w.gen)
+	if err != nil {
+		return fmt.Errorf("dist: spawn worker %d (gen %d): %w", w.id, w.gen, err)
+	}
+	RecordWorkerSpawn()
+	m, err := t.Recv()
+	if err == nil && (m.Type != msgHello || m.Version != protoVersion) {
+		err = fmt.Errorf("dist: worker %d: bad hello (type %q version %d, want %d)", w.id, m.Type, m.Version, protoVersion)
+	}
+	if err == nil {
+		err = pingPong(t)
+	}
+	if err != nil {
+		t.Close()
+		return fmt.Errorf("dist: worker %d handshake: %w", w.id, err)
+	}
+	w.t = t
+	w.sincePing = 0
+	return nil
+}
+
+// pingPong is one heartbeat round trip.
+func pingPong(t Transport) error {
+	if err := t.Send(msg{Type: msgPing}); err != nil {
+		return err
+	}
+	m, err := t.Recv()
+	if err != nil {
+		return err
+	}
+	if m.Type != msgPong {
+		return fmt.Errorf("dist: %q in reply to ping", m.Type)
+	}
+	RecordHeartbeat()
+	return nil
+}
+
+// price runs one job on the slot's worker, respawning and retrying on
+// worker death until the shard's retry budget is spent. The returned
+// error is an infrastructure failure (the sweep cannot finish), never
+// a pricing error — those travel inside the ShardResult.
+func (w *workerSlot) price(j *Job) (*ShardResult, error) {
+	retries := 0
+	for {
+		res, err := w.tryPrice(j)
+		if err == nil {
+			return res, nil
+		}
+		RecordWorkerDeath()
+		if w.t != nil {
+			w.t.Close()
+			w.t = nil
+		}
+		w.gen++
+		if retries >= w.retryLimit {
+			return nil, fmt.Errorf("dist: shard %d: worker %d died %d times (last: %v)", j.Shard, w.id, retries+1, err)
+		}
+		retries++
+		RecordShardRetry()
+	}
+}
+
+// tryPrice is one attempt: ensure a worker, heartbeat if due, send the
+// job, wait for the result. Any transport error means the worker died.
+func (w *workerSlot) tryPrice(j *Job) (*ShardResult, error) {
+	if err := w.ensure(); err != nil {
+		return nil, err
+	}
+	if w.sincePing >= heartbeatEvery {
+		if err := pingPong(w.t); err != nil {
+			return nil, err
+		}
+		w.sincePing = 0
+	}
+	if err := w.t.Send(msg{Type: msgJob, Job: j}); err != nil {
+		return nil, err
+	}
+	m, err := w.t.Recv()
+	if err != nil {
+		if err == io.EOF {
+			err = fmt.Errorf("dist: worker %d exited with shard %d in flight", w.id, j.Shard)
+		}
+		return nil, err
+	}
+	if m.Type != msgResult || m.Result == nil {
+		return nil, fmt.Errorf("dist: worker %d: %q frame in reply to job", w.id, m.Type)
+	}
+	if m.Result.Shard != j.Shard {
+		return nil, fmt.Errorf("dist: worker %d: result for shard %d, want %d", w.id, m.Result.Shard, j.Shard)
+	}
+	w.sincePing++
+	return m.Result, nil
+}
+
+// close shuts the slot's worker down politely; errors are irrelevant
+// (the worker may already be gone).
+func (w *workerSlot) close() {
+	if w.t == nil {
+		return
+	}
+	w.t.Send(msg{Type: msgShutdown})
+	w.t.Close()
+	w.t = nil
+}

@@ -206,3 +206,64 @@ func BenchmarkMemReaderNext(b *testing.B) {
 		}
 	}
 }
+
+func TestOpenMmapZeroLengthFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.betr")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := OpenMmap(path, nil)
+	if err == nil {
+		t.Fatal("OpenMmap on a zero-length file succeeded")
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Errorf("error %q does not name the file", err)
+	}
+}
+
+// TestOpenMmapTruncatedMidVarint: a BETR file cut mid-record must fail
+// with a positioned error — at open time when the header itself is cut,
+// at decode time when an entry's delta varint is — never panic. The
+// stream uses large address jumps so every delta varint is multi-byte
+// and a one-byte truncation lands inside one.
+func TestOpenMmapTruncatedMidVarint(t *testing.T) {
+	s := New("wide", 48)
+	for i := 0; i < 64; i++ {
+		s.Append(uint64(i)*0x1234_5678_9ABC, Instr)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		name string
+		keep int
+	}{
+		{"mid-header", 6},               // inside magic/version/name-length region
+		{"mid-payload", len(whole) - 1}, // inside the last entry's delta varint
+		{"mid-middle", len(whole) / 2},
+	} {
+		path := filepath.Join(dir, tc.name+".betr")
+		if err := os.WriteFile(path, whole[:tc.keep], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r, closer, err := OpenMmap(path, nil)
+		if err == nil {
+			// Header parsed; the truncation must surface while decoding.
+			_, err = ReadAll(r)
+			closer.Close()
+			if err == nil {
+				t.Errorf("%s: truncated file decoded cleanly", tc.name)
+				continue
+			}
+			if !strings.Contains(err.Error(), "entry") {
+				t.Errorf("%s: decode error %q not positioned at an entry", tc.name, err)
+			}
+		}
+		if !strings.Contains(err.Error(), path) {
+			t.Errorf("%s: error %q does not name the file", tc.name, err)
+		}
+	}
+}
