@@ -54,6 +54,16 @@ func goodDist() bench.DistRecord {
 	}
 }
 
+func goodServe() bench.ServeRecord {
+	return bench.ServeRecord{
+		Bench: bench.ServeBenchName, NumCPU: 8, GoVersion: "go1.22.1", GOMAXPROCS: 8,
+		Tenants: 32, Workers: 4, QueueCap: 8, DurationNs: 5_000_000_000,
+		JobsDone: 400, SyncEvals: 120, Uploads: 40, CacheHits: 90, QueueFull503: 3,
+		P50Ns: 4_000_000, P95Ns: 20_000_000, P99Ns: 45_000_000,
+		ThroughputJPS: 104, Parity: true,
+	}
+}
+
 func writeDir(t *testing.T, eng bench.EngineRecord, str bench.StreamRecord) string {
 	t.Helper()
 	dir := t.TempDir()
@@ -70,6 +80,9 @@ func writeDir(t *testing.T, eng bench.EngineRecord, str bench.StreamRecord) stri
 		t.Fatal(err)
 	}
 	if err := bench.WriteRecord(filepath.Join(dir, "BENCH_dist.json"), goodDist()); err != nil {
+		t.Fatal(err)
+	}
+	if err := bench.WriteRecord(filepath.Join(dir, "BENCH_serve.json"), goodServe()); err != nil {
 		t.Fatal(err)
 	}
 	return dir
@@ -205,6 +218,42 @@ func TestCLIDistFloor(t *testing.T) {
 	}
 }
 
+// TestCLIServeInvariants: a fresh serve record that lost jobs across
+// the drain, or lost parity, fails regardless of throughput.
+func TestCLIServeInvariants(t *testing.T) {
+	base := writeDir(t, goodEngine(), goodStream())
+	lost := goodServe()
+	lost.LostJobs = 1
+	lost.Parity = false
+	lost.ThroughputJPS *= 2 // faster, and still must fail
+	fresh := writeDir(t, goodEngine(), goodStream())
+	if err := bench.WriteRecord(filepath.Join(fresh, "BENCH_serve.json"), lost); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut := runGuard(t, "-baseline", base, "-fresh", fresh)
+	if code != 1 {
+		t.Fatalf("exit %d with lost jobs, want 1; stderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(errOut, "lost_jobs") || !strings.Contains(errOut, "parity") {
+		t.Errorf("serve invariant violations not named:\n%s", errOut)
+	}
+
+	// A cross-machine throughput drop is a loud skip, not a failure.
+	cross := goodServe()
+	cross.NumCPU = 2
+	cross.ThroughputJPS = 1
+	if err := bench.WriteRecord(filepath.Join(fresh, "BENCH_serve.json"), cross); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errOut := runGuard(t, "-baseline", base, "-fresh", fresh)
+	if code != 0 {
+		t.Fatalf("exit %d on a cross-machine serve record, want 0; stderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(out, "throughput_jps band skipped") {
+		t.Errorf("serve skip note missing from stdout:\n%s", out)
+	}
+}
+
 // TestCLISkipNotesOnOneCPUBox: records measured on a 1-CPU box pass the
 // guard, but the skipped speedup bands are announced on stdout — the
 // skip is loud, never silent.
@@ -258,7 +307,7 @@ func TestCLIMissingFreshFiles(t *testing.T) {
 	if code != 1 {
 		t.Fatalf("exit %d with empty fresh dir, want 1", code)
 	}
-	if !strings.Contains(errOut, "5 violation") {
+	if !strings.Contains(errOut, "6 violation") {
 		t.Errorf("want one violation per missing record:\n%s", errOut)
 	}
 	// The committed repo records must pass against themselves.

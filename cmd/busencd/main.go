@@ -1,53 +1,134 @@
-// Command busencd serves the evaluation engine over HTTP for local
-// profiling and observability work: it evaluates trace files through
-// the streaming fan-out on demand and exposes the internal/obs metric
-// registries, expvar, and (optionally) net/http/pprof from the same
-// process, so the hot paths can be inspected while they run.
+// Command busencd is the multi-tenant evaluation daemon: it serves the
+// internal/serve job queue over HTTP — streamed trace upload into a
+// content-addressed store, enqueue-and-poll evaluation with per-tenant
+// fairness and quotas, a bytes-bounded result cache — alongside the
+// observability surface (metrics, spans, expvar, optional pprof) of
+// the original debugging daemon.
 //
-//	busencd -listen :8377            # /healthz /metrics /spans /eval /debug/vars
-//	busencd -listen :8377 -pprof     # + /debug/pprof/*
+//	busencd -listen :8377             # service + observability endpoints
+//	busencd -listen 127.0.0.1:0       # ephemeral port, printed on stdout
+//	busencd -listen :8377 -pprof      # + /debug/pprof/*
 //
-// This is a debugging daemon for trusted local use: /eval reads trace
-// files by path from the server's filesystem.
+// Endpoints: POST/GET /traces, GET /eval (sync for small traces, 202 +
+// /jobs/{id} otherwise), GET /jobs[/{id}], /healthz /metrics /spans
+// /debug/vars. SIGTERM/SIGINT starts a graceful drain: intake answers
+// 503 + Retry-After while every accepted job runs to completion, then
+// the HTTP server shuts down. /eval still accepts server-local file
+// paths for trusted local profiling.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
-	"strconv"
-	"strings"
+	"os"
+	"os/signal"
 	"sync"
+	"syscall"
+	"time"
 
-	"busenc/internal/codec"
-	"busenc/internal/core"
 	"busenc/internal/obs"
-	"busenc/internal/trace"
+	"busenc/internal/serve"
 )
 
 func main() {
-	listen := flag.String("listen", "127.0.0.1:8377", "address to serve on")
-	withPprof := flag.Bool("pprof", false, "also expose /debug/pprof/* (CPU/heap/trace profiling)")
+	var (
+		listen     = flag.String("listen", "127.0.0.1:8377", "address to serve on (port 0 picks one; the bound address is printed on stdout)")
+		withPprof  = flag.Bool("pprof", false, "also expose /debug/pprof/* (CPU/heap/trace profiling)")
+		storeDir   = flag.String("store", "", "trace store directory (default: a fresh temp dir)")
+		workers    = flag.Int("workers", 0, "evaluation worker pool size (default GOMAXPROCS)")
+		queueCap   = flag.Int("queue-cap", serve.DefaultQueueCap, "max waiting jobs before /eval answers 503")
+		cacheBytes = flag.Int64("cache-bytes", serve.DefaultCacheBytes, "result cache bound in bytes (negative disables)")
+		maxUpload  = flag.Int64("max-upload", serve.DefaultMaxUploadBytes, "max bytes of one POST /traces body")
+		syncMax    = flag.Int64("sync-max-entries", serve.DefaultSyncMaxEntries, "largest known trace evaluated synchronously on /eval")
+		rate       = flag.Float64("rate", 0, "per-tenant request rate limit per second (0 = unlimited)")
+		burst      = flag.Float64("burst", 0, "per-tenant request burst (default: the rate)")
+		maxJobs    = flag.Int("max-queued-jobs", 0, "per-tenant concurrent job quota (0 = unlimited)")
+		maxBytes   = flag.Int64("max-trace-bytes", 0, "per-tenant stored trace byte quota (0 = unlimited)")
+		drainWait  = flag.Duration("drain-timeout", 60*time.Second, "max time to wait for in-flight jobs on shutdown")
+		linger     = flag.Duration("drain-linger", 200*time.Millisecond, "grace for final /jobs polls after the drain completes")
+	)
 	flag.Parse()
 
 	obs.Enable()
 	obs.EnableTracing(obs.TracerConfig{})
-	mux := newMux(*withPprof)
-	log.Printf("busencd: serving on %s (pprof=%v)", *listen, *withPprof)
-	log.Fatal(http.ListenAndServe(*listen, mux))
+
+	dir := *storeDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "busencd-store-")
+		if err != nil {
+			log.Fatalf("busencd: %v", err)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	srv, err := serve.New(serve.Config{
+		Workers:        *workers,
+		QueueCap:       *queueCap,
+		CacheBytes:     *cacheBytes,
+		StoreDir:       dir,
+		MaxUploadBytes: *maxUpload,
+		SyncMaxEntries: *syncMax,
+		Quotas: serve.Quotas{
+			RatePerSec:    *rate,
+			RateBurst:     *burst,
+			MaxQueuedJobs: *maxJobs,
+			MaxTraceBytes: *maxBytes,
+		},
+	})
+	if err != nil {
+		log.Fatalf("busencd: %v", err)
+	}
+	srv.Start()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("busencd: %v", err)
+	}
+	// The bound address goes to stdout so wrappers (busencload -spawn)
+	// can parse it when -listen used port 0.
+	fmt.Printf("busencd: listening on %s (pprof=%v store=%s)\n", ln.Addr(), *withPprof, dir)
+
+	hs := &http.Server{Handler: newMux(*withPprof, srv)}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigc:
+		log.Printf("busencd: %v: draining (timeout %s)", sig, *drainWait)
+	case err := <-errc:
+		log.Fatalf("busencd: %v", err)
+	}
+
+	// Drain: intake 503s while accepted jobs run to completion. The HTTP
+	// server keeps answering /jobs polls throughout, plus a short linger
+	// so clients can collect their final results before the socket dies.
+	drained := srv.Drain(*drainWait)
+	time.Sleep(*linger)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	hs.Shutdown(ctx)
+	if !drained {
+		log.Fatalf("busencd: drain timed out with jobs in flight")
+	}
+	log.Printf("busencd: drained cleanly")
 }
 
 // publishOnce guards the process-global expvar names: expvar panics on
 // duplicate Publish, and tests build several muxes per process.
 var publishOnce sync.Once
 
-// newMux builds the daemon's handler tree. Split from main so tests can
-// drive it through httptest without binding a socket.
-func newMux(withPprof bool) *http.ServeMux {
+// newMux builds the daemon's handler tree over a serve.Server. Split
+// from main so tests can drive it through httptest without a socket.
+func newMux(withPprof bool, srv *serve.Server) *http.ServeMux {
 	publishOnce.Do(func() {
 		for _, r := range obs.Registries() {
 			r.PublishExpvar("busenc." + r.Name())
@@ -55,12 +136,12 @@ func newMux(withPprof bool) *http.ServeMux {
 	})
 
 	mux := http.NewServeMux()
+	srv.Register(mux) // /traces /eval /jobs /jobs/{id}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/metrics", handleMetrics)
 	mux.HandleFunc("/spans", handleSpans)
-	mux.HandleFunc("/eval", handleEval)
 	mux.Handle("/debug/vars", expvar.Handler())
 	if withPprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -128,132 +209,4 @@ func handleSpans(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(spansResponse{Enabled: obs.TracingEnabled(), Count: len(out), Spans: out})
-}
-
-// evalResponse is the JSON reply of /eval.
-type evalResponse struct {
-	Trace   string         `json:"trace"`
-	Stream  string         `json:"stream"`
-	Width   int            `json:"width"`
-	Entries int64          `json:"entries"`
-	Results []codec.Result `json:"results"`
-}
-
-// handleEval prices codecs over a trace file through the streaming
-// fan-out: GET /eval?trace=path[&codes=a,b][&chunklen=N][&depth=N]
-// [&kernel=auto|scalar|plane]. With ?parallel=N the trace is
-// materialized instead and each codec is priced over N shards with
-// reseeded encoder state (the obs registries then carry
-// codec.parallel.shards and codec.parallel.shard_ns for the run,
-// alongside core.parallel.*).
-func handleEval(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	path := q.Get("trace")
-	if path == "" {
-		httpError(w, http.StatusBadRequest, "missing trace parameter")
-		return
-	}
-	codes := splitCodes(q.Get("codes"))
-	kern, err := codec.ParseKernel(q.Get("kernel"))
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	cfg := core.FanoutConfig{Verify: codec.VerifySampled, Kernel: kern}
-	chunkLen, ok := posIntParam(w, q.Get("chunklen"), "chunklen")
-	if !ok {
-		return
-	}
-	cfg.Depth, ok = posIntParam(w, q.Get("depth"), "depth")
-	if !ok {
-		return
-	}
-	parallel, ok := posIntParam(w, q.Get("parallel"), "parallel")
-	if !ok {
-		return
-	}
-	var pool *trace.ChunkPool
-	if chunkLen > 0 {
-		pool = trace.NewChunkPool(chunkLen)
-	}
-
-	tr, closer, err := trace.OpenFile(path, pool)
-	if err != nil {
-		httpError(w, http.StatusNotFound, "%v", err)
-		return
-	}
-	defer closer.Close()
-	var results []codec.Result
-	if parallel > 0 {
-		s, rerr := trace.ReadAll(tr)
-		if rerr != nil {
-			httpError(w, http.StatusUnprocessableEntity, "%v", rerr)
-			return
-		}
-		results, err = core.EvaluateParallel(s, s.Width, codes, core.DefaultOptions,
-			core.ParallelConfig{Shards: parallel, Verify: codec.VerifySampled, Kernel: kern})
-	} else {
-		results, err = core.EvaluateStreaming(tr, tr.Width(), codes, core.DefaultOptions, cfg)
-	}
-	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "%v", err)
-		return
-	}
-	resp := evalResponse{
-		Trace:   path,
-		Stream:  results[0].Stream,
-		Width:   tr.Width(),
-		Entries: results[0].Cycles,
-		Results: results,
-	}
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(resp)
-}
-
-// httpError writes /eval's JSON error envelope: {"error": ..., "status":
-// ...} with the matching HTTP status code, so clients can branch on a
-// machine-readable body instead of scraping plain text.
-func httpError(w http.ResponseWriter, status int, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(struct {
-		Error  string `json:"error"`
-		Status int    `json:"status"`
-	}{fmt.Sprintf(format, args...), status})
-}
-
-// posIntParam parses an optional positive-integer query parameter; it
-// writes the 400 envelope itself and reports ok=false on a bad value.
-func posIntParam(w http.ResponseWriter, s, name string) (int, bool) {
-	if s == "" {
-		return 0, true
-	}
-	n, err := strconv.Atoi(s)
-	if err != nil || n <= 0 {
-		httpError(w, http.StatusBadRequest, "%s must be a positive integer, got %q", name, s)
-		return 0, false
-	}
-	return n, true
-}
-
-// paperCodes mirrors cmd/paper: the seven codes of the paper's tables,
-// binary first so savings are always relative to it.
-var paperCodes = []string{"binary", "gray", "t0", "businvert", "t0bi", "dualt0", "dualt0bi"}
-
-func splitCodes(codes string) []string {
-	switch codes {
-	case "", "paper":
-		return paperCodes
-	case "all":
-		return codec.Names()
-	}
-	out := []string{"binary"}
-	for _, c := range strings.Split(codes, ",") {
-		if c = strings.TrimSpace(c); c != "" && c != "binary" {
-			out = append(out, c)
-		}
-	}
-	return out
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -9,11 +10,26 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"busenc/internal/core"
 	"busenc/internal/obs"
+	"busenc/internal/serve"
 	"busenc/internal/trace"
 )
+
+// newTestMux builds the daemon handler tree over a fresh serve.Server
+// (temp store, started workers) for httptest use.
+func newTestMux(t *testing.T, withPprof bool) *http.ServeMux {
+	t.Helper()
+	srv, err := serve.New(serve.Config{StoreDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	t.Cleanup(func() { srv.Drain(5 * time.Second) })
+	return newMux(withPprof, srv)
+}
 
 func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
 	t.Helper()
@@ -46,7 +62,7 @@ func writeServerTrace(t *testing.T, n int) string {
 func TestServerEndpoints(t *testing.T) {
 	obs.Enable()
 	defer obs.Disable()
-	srv := httptest.NewServer(newMux(false))
+	srv := httptest.NewServer(newTestMux(t, false))
 	defer srv.Close()
 
 	if code, body := get(t, srv, "/healthz"); code != 200 || !strings.Contains(body, "ok") {
@@ -59,7 +75,7 @@ func TestServerEndpoints(t *testing.T) {
 	if code != 200 {
 		t.Fatalf("/eval: %d %s", code, body)
 	}
-	var resp evalResponse
+	var resp serve.EvalResponse
 	if err := json.Unmarshal([]byte(body), &resp); err != nil {
 		t.Fatalf("/eval returned invalid JSON: %v\n%s", err, body)
 	}
@@ -85,7 +101,7 @@ func TestServerEndpoints(t *testing.T) {
 	if code != 200 {
 		t.Fatalf("/eval?parallel=2: %d %s", code, body)
 	}
-	var presp evalResponse
+	var presp serve.EvalResponse
 	if err := json.Unmarshal([]byte(body), &presp); err != nil {
 		t.Fatalf("/eval?parallel=2 returned invalid JSON: %v\n%s", err, body)
 	}
@@ -144,7 +160,7 @@ func decodeErrEnvelope(t *testing.T, label, body string, wantStatus int) {
 }
 
 func TestServerEvalErrors(t *testing.T) {
-	srv := httptest.NewServer(newMux(false))
+	srv := httptest.NewServer(newTestMux(t, false))
 	defer srv.Close()
 	path := writeServerTrace(t, 100)
 	cases := []struct {
@@ -175,7 +191,7 @@ func TestServerSpansAndPrometheus(t *testing.T) {
 	defer obs.Disable()
 	obs.EnableTracing(obs.TracerConfig{})
 	defer obs.DisableTracing()
-	srv := httptest.NewServer(newMux(false))
+	srv := httptest.NewServer(newTestMux(t, false))
 	defer srv.Close()
 
 	// Drive one eval so the flight recorder and histograms have content.
@@ -236,15 +252,92 @@ func TestServerSpansAndPrometheus(t *testing.T) {
 }
 
 func TestServerPprofGate(t *testing.T) {
-	plain := httptest.NewServer(newMux(false))
+	plain := httptest.NewServer(newTestMux(t, false))
 	defer plain.Close()
 	if code, _ := get(t, plain, "/debug/pprof/"); code == 200 {
 		t.Error("pprof exposed without -pprof")
 	}
-	prof := httptest.NewServer(newMux(true))
+	prof := httptest.NewServer(newTestMux(t, true))
 	defer prof.Close()
 	if code, body := get(t, prof, "/debug/pprof/"); code != 200 ||
 		!strings.Contains(body, "goroutine") {
 		t.Errorf("pprof index: %d\n%s", code, body)
+	}
+}
+
+// TestServerServiceRoundTrip drives the daemon's service surface:
+// streamed upload, async enqueue, long-poll to completion, cache hit on
+// the synchronous repeat.
+func TestServerServiceRoundTrip(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	srv := httptest.NewServer(newTestMux(t, false))
+	defer srv.Close()
+
+	var buf bytes.Buffer
+	if err := trace.WriteBinary(&buf, core.ReferenceMuxedStream(500)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/traces", "application/octet-stream", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 201 {
+		t.Fatalf("upload: %d %s", resp.StatusCode, body)
+	}
+	var meta serve.TraceMeta
+	if err := json.Unmarshal(body, &meta); err != nil {
+		t.Fatal(err)
+	}
+	if meta.Entries != 500 {
+		t.Fatalf("uploaded meta = %+v", meta)
+	}
+
+	code, body2 := get(t, srv, "/eval?trace="+meta.Digest+"&codes=t0&mode=async")
+	if code != 202 {
+		t.Fatalf("async eval: %d %s", code, body2)
+	}
+	var enq struct {
+		ID       string `json:"id"`
+		Location string `json:"location"`
+	}
+	if err := json.Unmarshal([]byte(body2), &enq); err != nil {
+		t.Fatal(err)
+	}
+	code, body2 = get(t, srv, enq.Location+"?wait=5s")
+	if code != 200 {
+		t.Fatalf("job poll: %d %s", code, body2)
+	}
+	var snap serve.Snapshot
+	if err := json.Unmarshal([]byte(body2), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != serve.JobDone || len(snap.Results) != 2 {
+		t.Fatalf("job = %+v, want done with binary+t0", snap)
+	}
+
+	// Same key synchronously: served from the result cache.
+	code, body2 = get(t, srv, "/eval?trace="+meta.Digest+"&codes=t0")
+	if code != 200 {
+		t.Fatalf("sync repeat: %d %s", code, body2)
+	}
+	var eresp serve.EvalResponse
+	if err := json.Unmarshal([]byte(body2), &eresp); err != nil {
+		t.Fatal(err)
+	}
+	if !eresp.Cached {
+		t.Error("synchronous repeat of an async-evaluated key missed the cache")
+	}
+	if eresp.Results[1].Transitions != snap.Results[1].Transitions {
+		t.Errorf("cached transitions diverge: %d vs %d",
+			eresp.Results[1].Transitions, snap.Results[1].Transitions)
+	}
+
+	// Queue metrics from the async path are visible on /metrics.
+	if code, body := get(t, srv, "/metrics"); code != 200 ||
+		!strings.Contains(body, "serve.jobs.done") {
+		t.Errorf("/metrics missing serve counters: %d", code)
 	}
 }

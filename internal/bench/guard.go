@@ -219,8 +219,9 @@ func Guard(baselineDir, freshDir string, tol Tolerance) []Violation {
 
 // GuardNotes loads the committed and fresh record set from the two
 // directories (BENCH_engine.json, BENCH_stream.json,
-// BENCH_parallel.json, BENCH_bitslice.json and BENCH_dist.json in
-// each) and returns every violation plus every skip note (bands that
+// BENCH_parallel.json, BENCH_bitslice.json, BENCH_dist.json and
+// BENCH_serve.json in each) and returns every violation plus every
+// skip note (bands that
 // could not bind on this machine and were skipped loudly). Unreadable
 // or invalid files are violations, not errors: the guard's job is to
 // fail loudly, so CI gets one unified report either way.
@@ -283,6 +284,19 @@ func GuardNotes(baselineDir, freshDir string, tol Tolerance) ([]Violation, []str
 	}
 	if err == nil && ferr == nil {
 		vs, ns := CompareDist(oldDist, freshDist, tol)
+		out = append(out, vs...)
+		notes = append(notes, ns...)
+	}
+	oldServe, err := ReadServe(baselineDir + "/BENCH_serve.json")
+	if err != nil {
+		out = append(out, Violation{Record: "serve", Field: "baseline", Msg: err.Error()})
+	}
+	freshServe, ferr := ReadServe(freshDir + "/BENCH_serve.json")
+	if ferr != nil {
+		out = append(out, Violation{Record: "serve", Field: "fresh", Msg: ferr.Error()})
+	}
+	if err == nil && ferr == nil {
+		vs, ns := CompareServe(oldServe, freshServe, tol)
 		out = append(out, vs...)
 		notes = append(notes, ns...)
 	}

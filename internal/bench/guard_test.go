@@ -42,6 +42,16 @@ func distFixture() DistRecord {
 	}
 }
 
+func serveFixture() ServeRecord {
+	return ServeRecord{
+		Bench: ServeBenchName, NumCPU: 8, GoVersion: "go1.22.1", GOMAXPROCS: 8,
+		Tenants: 32, Workers: 4, QueueCap: 8, DurationNs: 5e9,
+		JobsDone: 400, SyncEvals: 120, Uploads: 40, CacheHits: 90, QueueFull503: 3,
+		LostJobs: 0, P50Ns: 4e6, P95Ns: 20e6, P99Ns: 45e6,
+		ThroughputJPS: 104, Parity: true,
+	}
+}
+
 func streamFixture() StreamRecord {
 	return StreamRecord{
 		Bench: StreamBenchName, Entries: 1 << 20, FileBytes: 2.8e6, ChunkLen: 4096,
@@ -70,6 +80,60 @@ func TestGuardPassesOnIdenticalRecords(t *testing.T) {
 	}
 	if vs, notes := CompareDist(distFixture(), distFixture(), tol); len(vs) != 0 || len(notes) != 0 {
 		t.Errorf("identical dist records flagged: %v (notes %v)", vs, notes)
+	}
+	if vs, notes := CompareServe(serveFixture(), serveFixture(), tol); len(vs) != 0 || len(notes) != 0 {
+		t.Errorf("identical serve records flagged: %v (notes %v)", vs, notes)
+	}
+}
+
+// TestGuardServe pins the serve record's bands: the zero-lost-jobs and
+// parity invariants bind everywhere, the throughput floor binds only
+// same-machine (skipped with a note across boxes).
+func TestGuardServe(t *testing.T) {
+	tol := DefaultTolerance()
+	old := serveFixture()
+
+	lost := serveFixture()
+	lost.LostJobs = 2
+	vs, _ := CompareServe(old, lost, tol)
+	if len(vs) != 1 || vs[0].Field != "lost_jobs" {
+		t.Errorf("lost jobs: violations = %v, want one lost_jobs violation", vs)
+	}
+
+	bad := serveFixture()
+	bad.Parity = false
+	vs, _ = CompareServe(old, bad, tol)
+	if len(vs) != 1 || vs[0].Field != "parity" {
+		t.Errorf("parity=false: violations = %v", vs)
+	}
+
+	slow := serveFixture()
+	slow.ThroughputJPS = old.ThroughputJPS * 0.5 // beyond the 25% band
+	vs, notes := CompareServe(old, slow, tol)
+	if len(vs) != 1 || vs[0].Field != "throughput_jps" || len(notes) != 0 {
+		t.Errorf("2x throughput drop: violations = %v, notes = %v", vs, notes)
+	}
+	onFloor := serveFixture()
+	onFloor.ThroughputJPS = old.ThroughputJPS * (1 - tol.Slowdown)
+	if vs, _ := CompareServe(old, onFloor, tol); len(vs) != 0 {
+		t.Errorf("throughput exactly on the floor rejected: %v", vs)
+	}
+
+	// Cross-machine: the ratio band skips loudly, the invariants hold.
+	cross := serveFixture()
+	cross.NumCPU = 2
+	cross.ThroughputJPS = 1 // would break the band if it bound
+	vs, notes = CompareServe(old, cross, tol)
+	if len(vs) != 0 {
+		t.Errorf("cross-box throughput drop flagged: %v", vs)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "skipped") {
+		t.Errorf("notes = %v, want one explicit skip note", notes)
+	}
+	cross.LostJobs = 1
+	vs, _ = CompareServe(old, cross, tol)
+	if len(vs) != 1 || vs[0].Field != "lost_jobs" {
+		t.Errorf("cross-box lost jobs: violations = %v", vs)
 	}
 }
 
@@ -408,6 +472,10 @@ func TestGuardOnCommittedRecords(t *testing.T) {
 	if err != nil {
 		t.Fatalf("committed dist record unreadable: %v", err)
 	}
+	srv, err := ReadServe(filepath.Join(root, "BENCH_serve.json"))
+	if err != nil {
+		t.Fatalf("committed serve record unreadable: %v", err)
+	}
 	tol := DefaultTolerance()
 	if vs := CompareEngine(eng, eng, tol); len(vs) != 0 {
 		t.Errorf("committed engine record fails its own guard: %v", vs)
@@ -423,6 +491,9 @@ func TestGuardOnCommittedRecords(t *testing.T) {
 	}
 	if vs, _ := CompareDist(dst, dst, tol); len(vs) != 0 {
 		t.Errorf("committed dist record fails its own guard: %v", vs)
+	}
+	if vs, _ := CompareServe(srv, srv, tol); len(vs) != 0 {
+		t.Errorf("committed serve record fails its own guard: %v", vs)
 	}
 
 	slow := eng
@@ -463,12 +534,12 @@ func TestGuardDirs(t *testing.T) {
 
 	empty := t.TempDir()
 	vs = Guard(base, empty, DefaultTolerance())
-	if len(vs) != 5 {
-		t.Errorf("missing fresh records: got %d violations (%v), want 5", len(vs), vs)
+	if len(vs) != 6 {
+		t.Errorf("missing fresh records: got %d violations (%v), want 6", len(vs), vs)
 	}
 
 	// A fresh dir with a broken engine record still gets the stream,
-	// parallel, bitslice and dist pairs compared.
+	// parallel, bitslice, dist and serve pairs compared.
 	broken := t.TempDir()
 	if err := WriteRecord(filepath.Join(broken, "BENCH_engine.json"), EngineRecord{Bench: "bogus"}); err != nil {
 		t.Fatal(err)
@@ -501,8 +572,15 @@ func TestGuardDirs(t *testing.T) {
 	if err := WriteRecord(filepath.Join(broken, "BENCH_dist.json"), dst); err != nil {
 		t.Fatal(err)
 	}
+	srv, err := ReadServe(filepath.Join(base, "BENCH_serve.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteRecord(filepath.Join(broken, "BENCH_serve.json"), srv); err != nil {
+		t.Fatal(err)
+	}
 	vs = Guard(base, broken, DefaultTolerance())
 	if len(vs) != 1 || vs[0].Record != "engine" {
-		t.Errorf("broken engine + healthy stream/parallel/bitslice/dist: %v, want one engine violation", vs)
+		t.Errorf("broken engine + healthy stream/parallel/bitslice/dist/serve: %v, want one engine violation", vs)
 	}
 }

@@ -1,0 +1,130 @@
+package bench
+
+import "fmt"
+
+// Service load-harness record (BENCH_serve.json) and its guard bands.
+// The record captures one cmd/busencload run against a live busencd:
+// mixed upload/eval/poll traffic from N concurrent tenants, including a
+// forced queue-full 503 and a mid-run SIGTERM drain. Two fields are
+// correctness invariants and bind on any machine: Parity (every job's
+// results match an in-process evaluation of the same stream) and
+// LostJobs (every 202-accepted job reached a terminal state across the
+// drain — the zero-lost-jobs guarantee). The throughput band, like
+// every other ratio in this package, only binds across a same-machine
+// boundary; a cross-box comparison skips it with an explicit note.
+
+// ServeBenchName is the identity value of a serve record.
+const ServeBenchName = "ServeLoad"
+
+// ServeRecord mirrors BENCH_serve.json.
+type ServeRecord struct {
+	Bench      string `json:"bench"`
+	NumCPU     int    `json:"num_cpu"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	Tenants    int   `json:"tenants"`
+	Workers    int   `json:"workers"`
+	QueueCap   int   `json:"queue_cap"`
+	DurationNs int64 `json:"duration_ns"`
+
+	// Traffic totals over the run.
+	JobsDone     int64 `json:"jobs_done"`      // async jobs that reached "done"
+	SyncEvals    int64 `json:"sync_evals"`     // synchronous /eval responses
+	Uploads      int64 `json:"uploads"`        // accepted POST /traces
+	CacheHits    int64 `json:"cache_hits"`     // responses served from the result cache
+	QueueFull503 int64 `json:"queue_full_503"` // backpressure rejections observed
+	LostJobs     int64 `json:"lost_jobs"`      // accepted jobs that never went terminal
+
+	// End-to-end eval latency percentiles (enqueue/request to result).
+	P50Ns int64 `json:"p50_ns"`
+	P95Ns int64 `json:"p95_ns"`
+	P99Ns int64 `json:"p99_ns"`
+
+	// ThroughputJPS is completed evaluations (sync + async) per second.
+	ThroughputJPS float64 `json:"throughput_jps"`
+
+	// Parity is true when every collected result matched the in-process
+	// reference evaluation of the same generated stream.
+	Parity bool `json:"parity"`
+}
+
+// Validate reports the first structurally missing field of a serve
+// record.
+func (r ServeRecord) Validate() error {
+	switch {
+	case r.Bench != ServeBenchName:
+		return fmt.Errorf("bench = %q, want %q", r.Bench, ServeBenchName)
+	case r.NumCPU <= 0:
+		return fmt.Errorf("missing field num_cpu")
+	case r.Tenants <= 0:
+		return fmt.Errorf("missing field tenants")
+	case r.Workers <= 0:
+		return fmt.Errorf("missing field workers")
+	case r.QueueCap <= 0:
+		return fmt.Errorf("missing field queue_cap")
+	case r.DurationNs <= 0:
+		return fmt.Errorf("missing field duration_ns")
+	case r.JobsDone <= 0:
+		return fmt.Errorf("missing field jobs_done")
+	case r.P50Ns <= 0 || r.P95Ns <= 0 || r.P99Ns <= 0:
+		return fmt.Errorf("missing latency percentiles")
+	case r.ThroughputJPS <= 0:
+		return fmt.Errorf("missing field throughput_jps")
+	}
+	return nil
+}
+
+// ReadServe loads and validates a serve record.
+func ReadServe(path string) (ServeRecord, error) {
+	var r ServeRecord
+	if err := readJSON(path, &r); err != nil {
+		return r, err
+	}
+	if err := r.Validate(); err != nil {
+		return r, fmt.Errorf("%s: %v", path, err)
+	}
+	return r, nil
+}
+
+// CompareServe holds a fresh serve record against the committed one.
+// Parity and the zero-lost-jobs invariant always bind; the throughput
+// floor (relative tol.Slowdown band against the committed record) binds
+// only across a same-machine boundary and is skipped with a note
+// otherwise — never silently.
+func CompareServe(old, fresh ServeRecord, tol Tolerance) ([]Violation, []string) {
+	var out []Violation
+	var notes []string
+	if err := old.Validate(); err != nil {
+		out = append(out, Violation{Record: "serve", Field: "baseline", Msg: err.Error()})
+	}
+	if err := fresh.Validate(); err != nil {
+		out = append(out, Violation{Record: "serve", Field: "fresh", Msg: err.Error()})
+		return out, notes
+	}
+	if !fresh.Parity {
+		out = append(out, Violation{Record: "serve", Field: "parity",
+			Msg: "load-harness results diverge from the in-process reference evaluation"})
+	}
+	if fresh.LostJobs > 0 {
+		out = append(out, Violation{Record: "serve", Field: "lost_jobs",
+			New: float64(fresh.LostJobs),
+			Msg: "accepted jobs never reached a terminal state (drain dropped work)"})
+	}
+	if !SameMachine(old.NumCPU, fresh.NumCPU, old.GoVersion, fresh.GoVersion) {
+		notes = append(notes, fmt.Sprintf(
+			"serve: throughput_jps band skipped: cross-machine baseline (%d/%s vs %d/%s)",
+			old.NumCPU, old.GoVersion, fresh.NumCPU, fresh.GoVersion))
+		return out, notes
+	}
+	floor := old.ThroughputJPS * (1 - tol.Slowdown)
+	if fresh.ThroughputJPS < floor {
+		out = append(out, Violation{
+			Record: "serve", Field: "throughput_jps",
+			Old: old.ThroughputJPS, New: fresh.ThroughputJPS,
+			Msg: fmt.Sprintf("service throughput dropped more than %.0f%% below the committed record (floor %.3f)",
+				tol.Slowdown*100, floor),
+		})
+	}
+	return out, notes
+}

@@ -1,0 +1,67 @@
+package serve
+
+import "busenc/internal/obs"
+
+// Observability hooks for the service layer (see internal/obs). The
+// handles live in the gated default registry like the trace metrics:
+// while metrics are disabled every handle is nil and each instrumented
+// event costs one predictable branch; cmd/busencd enables the registry
+// at startup.
+//
+// Instrumented sites:
+//
+//   - Queue.Enqueue / worker loop — queue depth gauge (jobs waiting,
+//     not yet picked by a worker), enqueue/done/failed counters,
+//     queue-full and drain rejections, and the wait (enqueue→start) and
+//     run (start→done) latency histograms;
+//   - Cache.Get / Cache.Put — hit/miss/eviction counters and the
+//     resident-bytes gauge;
+//   - Store.Put and the upload handler — accepted/rejected uploads and
+//     stored bytes;
+//   - tenant admission — token-bucket rate rejections and quota
+//     rejections (queued-job and trace-byte quotas).
+type serveMetrics struct {
+	queueDepth   *obs.Gauge     // serve.queue.depth
+	enqueued     *obs.Counter   // serve.jobs.enqueued
+	jobsDone     *obs.Counter   // serve.jobs.done
+	jobsFailed   *obs.Counter   // serve.jobs.failed
+	jobsSync     *obs.Counter   // serve.jobs.sync
+	queueFull    *obs.Counter   // serve.queue.full_rejects
+	drainRejects *obs.Counter   // serve.queue.drain_rejects
+	waitNs       *obs.Histogram // serve.queue.wait_ns
+	runNs        *obs.Histogram // serve.job.run_ns
+	cacheHits    *obs.Counter   // serve.cache.hits
+	cacheMisses  *obs.Counter   // serve.cache.misses
+	cacheEvicts  *obs.Counter   // serve.cache.evictions
+	cacheBytes   *obs.Gauge     // serve.cache.bytes
+	uploads      *obs.Counter   // serve.uploads.accepted
+	uploadErrs   *obs.Counter   // serve.uploads.rejected
+	storedBytes  *obs.Gauge     // serve.store.bytes
+	rateRejects  *obs.Counter   // serve.tenant.rate_rejects
+	quotaRejects *obs.Counter   // serve.tenant.quota_rejects
+}
+
+var metricsBinding = obs.NewBinding(func() *serveMetrics {
+	return &serveMetrics{
+		queueDepth:   obs.GetGauge("serve.queue.depth"),
+		enqueued:     obs.GetCounter("serve.jobs.enqueued"),
+		jobsDone:     obs.GetCounter("serve.jobs.done"),
+		jobsFailed:   obs.GetCounter("serve.jobs.failed"),
+		jobsSync:     obs.GetCounter("serve.jobs.sync"),
+		queueFull:    obs.GetCounter("serve.queue.full_rejects"),
+		drainRejects: obs.GetCounter("serve.queue.drain_rejects"),
+		waitNs:       obs.GetHistogram("serve.queue.wait_ns"),
+		runNs:        obs.GetHistogram("serve.job.run_ns"),
+		cacheHits:    obs.GetCounter("serve.cache.hits"),
+		cacheMisses:  obs.GetCounter("serve.cache.misses"),
+		cacheEvicts:  obs.GetCounter("serve.cache.evictions"),
+		cacheBytes:   obs.GetGauge("serve.cache.bytes"),
+		uploads:      obs.GetCounter("serve.uploads.accepted"),
+		uploadErrs:   obs.GetCounter("serve.uploads.rejected"),
+		storedBytes:  obs.GetGauge("serve.store.bytes"),
+		rateRejects:  obs.GetCounter("serve.tenant.rate_rejects"),
+		quotaRejects: obs.GetCounter("serve.tenant.quota_rejects"),
+	}
+})
+
+func metrics() *serveMetrics { return metricsBinding.Get() }

@@ -1,0 +1,232 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"busenc/internal/codec"
+)
+
+// stubEval returns an Evaluator that records run order and optionally
+// blocks until released.
+func stubEval(order *[]string, mu *sync.Mutex, block chan struct{}) Evaluator {
+	return func(spec JobSpec) ([]codec.Result, int, int64, error) {
+		if block != nil {
+			<-block
+		}
+		if mu != nil {
+			mu.Lock()
+			*order = append(*order, spec.Source)
+			mu.Unlock()
+		}
+		return fakeResults("binary"), 32, 500, nil
+	}
+}
+
+// TestQueueTenantFairness: with one worker, jobs from a backlogged
+// tenant interleave round-robin with a later tenant's instead of
+// starving it: A1 A2 A3 then B1 must run A1 B1 A2 A3.
+func TestQueueTenantFairness(t *testing.T) {
+	var order []string
+	var mu sync.Mutex
+	gate := make(chan struct{})
+	q := NewQueue(16, func(spec JobSpec) ([]codec.Result, int, int64, error) {
+		<-gate // hold the single worker until all jobs are enqueued
+		mu.Lock()
+		order = append(order, spec.Source)
+		mu.Unlock()
+		return fakeResults("binary"), 32, 500, nil
+	}, nil, nil)
+
+	var jobs []*Job
+	for _, e := range []struct{ tenant, src string }{
+		{"A", "A1"}, {"A", "A2"}, {"A", "A3"}, {"B", "B1"},
+	} {
+		j, err := q.Enqueue(e.tenant, JobSpec{Source: e.src, Codes: []string{"binary"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	q.Start(1)
+	close(gate)
+	for _, j := range jobs {
+		<-j.Done()
+	}
+	q.Drain(time.Second)
+	q.Close()
+
+	want := []string{"A1", "B1", "A2", "A3"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Errorf("run order = %v, want %v", order, want)
+	}
+}
+
+// TestQueueFullAndQuota: a stalled queue rejects at capacity with
+// ErrQueueFull, and a tenant over its job quota is rejected without
+// consuming queue capacity.
+func TestQueueFullAndQuota(t *testing.T) {
+	tenants := NewTenants(Quotas{MaxQueuedJobs: 2})
+	q := NewQueue(2, stubEval(nil, nil, nil), nil, tenants) // workers never started
+	if _, err := q.Enqueue("t1", JobSpec{Source: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Enqueue("t2", JobSpec{Source: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Enqueue("t3", JobSpec{Source: "c"}); err != ErrQueueFull {
+		t.Errorf("third enqueue: err = %v, want ErrQueueFull", err)
+	}
+
+	// Tenant quota binds before global capacity.
+	tq := NewQueue(16, stubEval(nil, nil, nil), nil, NewTenants(Quotas{MaxQueuedJobs: 1}))
+	if _, err := tq.Enqueue("t1", JobSpec{Source: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tq.Enqueue("t1", JobSpec{Source: "b"}); err == nil {
+		t.Error("tenant over job quota was admitted")
+	}
+	if _, err := tq.Enqueue("t2", JobSpec{Source: "c"}); err != nil {
+		t.Errorf("unrelated tenant rejected: %v", err)
+	}
+	if w, _ := tq.Depth(); w != 2 {
+		t.Errorf("waiting = %d, want 2", w)
+	}
+}
+
+// TestQueueDrain: Drain lets every accepted job finish, rejects new
+// work with ErrDraining, and reports completion.
+func TestQueueDrain(t *testing.T) {
+	var done atomic.Int64
+	q := NewQueue(64, func(spec JobSpec) ([]codec.Result, int, int64, error) {
+		time.Sleep(time.Millisecond)
+		done.Add(1)
+		return fakeResults("binary"), 32, 500, nil
+	}, nil, nil)
+	q.Start(2)
+	var jobs []*Job
+	for i := 0; i < 20; i++ {
+		j, err := q.Enqueue(fmt.Sprintf("t%d", i%4), JobSpec{Source: fmt.Sprintf("s%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	if !q.Drain(5 * time.Second) {
+		t.Fatal("drain timed out")
+	}
+	if _, err := q.Enqueue("t0", JobSpec{Source: "late"}); err != ErrDraining {
+		t.Errorf("enqueue after drain: err = %v, want ErrDraining", err)
+	}
+	if n := done.Load(); n != 20 {
+		t.Errorf("only %d of 20 accepted jobs ran to completion", n)
+	}
+	for _, j := range jobs {
+		if !j.Terminal() {
+			t.Errorf("job %s not terminal after drain", j.ID)
+		}
+		if snap := j.Snapshot(); snap.State != JobDone {
+			t.Errorf("job %s state = %s, want done", j.ID, snap.State)
+		}
+	}
+	q.Close()
+}
+
+// TestQueueCachedJob: two jobs with the same digest-keyed spec share
+// one evaluation; the second is served from the cache and marked so.
+func TestQueueCachedJob(t *testing.T) {
+	var evals atomic.Int64
+	cache := NewCache(1 << 20)
+	q := NewQueue(16, func(spec JobSpec) ([]codec.Result, int, int64, error) {
+		evals.Add(1)
+		return fakeResults("binary", "gray"), 32, 500, nil
+	}, cache, nil)
+	q.Start(1)
+	spec := JobSpec{Source: testDigest, Codes: []string{"binary", "gray"}, Stride: 4}
+	j1, err := q.Enqueue("a", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j1.Done()
+	j2, err := q.Enqueue("b", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j2.Done()
+	q.Drain(time.Second)
+	q.Close()
+
+	if n := evals.Load(); n != 1 {
+		t.Errorf("evaluator ran %d times, want 1 (second job should hit the cache)", n)
+	}
+	s1, s2 := j1.Snapshot(), j2.Snapshot()
+	if s1.Cached || !s2.Cached {
+		t.Errorf("cached flags = %v/%v, want false/true", s1.Cached, s2.Cached)
+	}
+	if len(s2.Results) != 2 || s2.Results[0].Transitions != s1.Results[0].Transitions {
+		t.Errorf("cached results diverge: %+v vs %+v", s2.Results, s1.Results)
+	}
+
+	// A path-keyed (non-digest) job must never populate or hit the cache.
+	j3, err := q2path(t, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j3.Snapshot().Cached {
+		t.Error("path-sourced job claims a cache hit")
+	}
+}
+
+func q2path(t *testing.T, cache *Cache) (*Job, error) {
+	t.Helper()
+	q := NewQueue(4, stubEval(nil, nil, nil), cache, nil)
+	q.Start(1)
+	defer q.Close()
+	j, err := q.Enqueue("a", JobSpec{Source: "/tmp/some/path", Codes: []string{"binary"}})
+	if err != nil {
+		return nil, err
+	}
+	<-j.Done()
+	q.Drain(time.Second)
+	return j, nil
+}
+
+// TestQueueConcurrentEnqueue races many producers against the worker
+// pool and the drain path (the -race criterion for the queue).
+func TestQueueConcurrentEnqueue(t *testing.T) {
+	q := NewQueue(1024, stubEval(nil, nil, nil), NewCache(1<<20), NewTenants(Quotas{}))
+	q.Start(4)
+	var wg sync.WaitGroup
+	var accepted atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				j, err := q.Enqueue(fmt.Sprintf("t%d", g), JobSpec{
+					Source: testDigest, Codes: []string{"binary"}, Stride: uint64(i%3 + 1),
+				})
+				if err == nil {
+					accepted.Add(1)
+					_ = j.Snapshot() // racy-read check under -race
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if !q.Drain(10 * time.Second) {
+		t.Fatal("drain timed out")
+	}
+	q.Close()
+	if accepted.Load() == 0 {
+		t.Fatal("no jobs accepted")
+	}
+	for _, s := range q.Jobs("") {
+		if s.State != JobDone {
+			t.Errorf("job %s state = %s after drain", s.ID, s.State)
+		}
+	}
+}

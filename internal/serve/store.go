@@ -1,0 +1,219 @@
+package serve
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"busenc/internal/trace"
+)
+
+// Trace store. POST /traces streams a text or BETR trace body straight
+// through the chunk parsers — the body is never buffered whole — while
+// a tee computes the SHA-256 digest and spools the bytes to a temp file
+// in the store directory. Only after the parser has validated every
+// entry is the temp file renamed to its content address
+// (<hex-digest>.trace), so the store never contains a partially
+// written or malformed trace. Uploads are content-addressed and
+// deduplicated: re-uploading an existing digest is a cheap no-op that
+// returns the same address.
+
+// TraceMeta describes one stored trace.
+type TraceMeta struct {
+	// Digest is the content address ("sha256:" + hex of the raw bytes).
+	Digest string `json:"digest"`
+	// Bytes is the stored file size.
+	Bytes int64 `json:"bytes"`
+	// Entries, Width and Name are the parsed trace properties.
+	Entries int64  `json:"entries"`
+	Width   int    `json:"width"`
+	Name    string `json:"name"`
+}
+
+// Store is a content-addressed trace store over one directory.
+type Store struct {
+	dir string
+
+	mu sync.Mutex
+	m  map[string]TraceMeta // digest → meta
+}
+
+// NewStore opens (creating if needed) a store rooted at dir.
+func NewStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir, m: make(map[string]TraceMeta)}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// errTooLarge marks an upload that hit the size cap; the HTTP layer
+// maps it to 413 instead of the parser's positioned 400.
+var errTooLarge = errors.New("serve: upload exceeds the size cap")
+
+// capReader bounds an upload body and remembers whether the cap was the
+// reason reads stopped, so the handler can distinguish "too large"
+// from a genuine parse error at the same offset.
+type capReader struct {
+	r       io.Reader
+	left    int64
+	tripped bool
+}
+
+func (c *capReader) Read(p []byte) (int, error) {
+	if c.left <= 0 {
+		c.tripped = true
+		return 0, errTooLarge
+	}
+	if int64(len(p)) > c.left {
+		p = p[:c.left]
+	}
+	n, err := c.r.Read(p)
+	c.left -= int64(n)
+	return n, err
+}
+
+// Ingest streams one trace body into the store: parse-validate, digest,
+// spool, rename. maxBytes caps the accepted body size (0 = no cap).
+// The returned error is errTooLarge (or wraps it) when the cap tripped;
+// any other error is a positioned parse error from the trace layer.
+func (s *Store) Ingest(body io.Reader, maxBytes int64) (TraceMeta, error) {
+	tmp, err := os.CreateTemp(s.dir, "ingest-*")
+	if err != nil {
+		return TraceMeta{}, err
+	}
+	defer func() {
+		tmp.Close()
+		os.Remove(tmp.Name()) // no-op once renamed
+	}()
+
+	src := body
+	cr := &capReader{r: body, left: maxBytes}
+	if maxBytes > 0 {
+		src = cr
+	}
+	sum := sha256.New()
+	spool := bufio.NewWriter(io.MultiWriter(tmp, sum))
+	tee := io.TeeReader(src, spool)
+
+	meta, err := parseTrace(tee)
+	if err != nil {
+		if cr.tripped {
+			return TraceMeta{}, fmt.Errorf("%w (max %d bytes)", errTooLarge, maxBytes)
+		}
+		return TraceMeta{}, err
+	}
+	if err := spool.Flush(); err != nil {
+		return TraceMeta{}, err
+	}
+	if err := tmp.Sync(); err != nil {
+		return TraceMeta{}, err
+	}
+	st, err := tmp.Stat()
+	if err != nil {
+		return TraceMeta{}, err
+	}
+	meta.Bytes = st.Size()
+	meta.Digest = "sha256:" + hex.EncodeToString(sum.Sum(nil))
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[meta.Digest]; ok {
+		return s.m[meta.Digest], nil // dedup: keep the original file
+	}
+	if err := os.Rename(tmp.Name(), s.path(meta.Digest)); err != nil {
+		return TraceMeta{}, err
+	}
+	s.m[meta.Digest] = meta
+	metrics().uploads.Inc()
+	metrics().storedBytes.Add(meta.Bytes)
+	return meta, nil
+}
+
+// parseTrace validates a trace body through the streaming chunk
+// parsers (never materializing it) and returns its parsed properties.
+// The format is sniffed from the BETR magic, mirroring trace.OpenFile.
+func parseTrace(r io.Reader) (TraceMeta, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic, _ := br.Peek(4)
+	var (
+		cr  trace.ChunkReader
+		err error
+	)
+	if string(magic) == "BETR" {
+		cr, err = trace.OpenBinary(br, "upload", nil)
+	} else {
+		cr, err = trace.OpenText(br, "upload", nil)
+	}
+	if err != nil {
+		return TraceMeta{}, err
+	}
+	var entries int64
+	for {
+		ch, err := cr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return TraceMeta{}, err
+		}
+		entries += int64(ch.Len())
+		ch.Release()
+	}
+	return TraceMeta{Entries: entries, Width: cr.Width(), Name: cr.Name()}, nil
+}
+
+// path maps a digest to its file. The "sha256:" prefix is stripped and
+// the hex remainder validated by Lookup before any filesystem use.
+func (s *Store) path(digest string) string {
+	return filepath.Join(s.dir, strings.TrimPrefix(digest, "sha256:")+".trace")
+}
+
+// Lookup returns the metadata for a stored digest.
+func (s *Store) Lookup(digest string) (TraceMeta, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.m[digest]
+	return m, ok
+}
+
+// Open returns a ChunkReader over a stored trace.
+func (s *Store) Open(digest string, pool *trace.ChunkPool) (trace.ChunkReader, io.Closer, error) {
+	if _, ok := s.Lookup(digest); !ok {
+		return nil, nil, fmt.Errorf("serve: unknown trace digest %q", digest)
+	}
+	return trace.OpenFile(s.path(digest), pool)
+}
+
+// List returns the stored metadata sorted by digest.
+func (s *Store) List() []TraceMeta {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]TraceMeta, 0, len(s.m))
+	for _, m := range s.m {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Digest < out[j].Digest })
+	return out
+}
+
+// IsDigest reports whether ref names a stored-trace address
+// ("sha256:<64 hex>") as opposed to a filesystem path.
+func IsDigest(ref string) bool {
+	const p = "sha256:"
+	if !strings.HasPrefix(ref, p) || len(ref) != len(p)+64 {
+		return false
+	}
+	_, err := hex.DecodeString(ref[len(p):])
+	return err == nil
+}

@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Per-tenant admission control. Every request names a tenant (the
+// X-Tenant header; "anon" when absent) and is admitted against three
+// independent budgets before it touches the queue or the store:
+//
+//   - a token-bucket request rate (RatePerSec refill, RateBurst cap),
+//   - a queued-job quota (jobs enqueued and not yet terminal),
+//   - a stored-trace byte quota (uploads the tenant still owns).
+//
+// The budgets are deliberately per-tenant rather than global: the queue
+// already bounds global memory, and fairness between tenants is the
+// queue's round-robin job — quotas exist so one tenant can neither
+// starve the bucket of another nor fill the store.
+
+// Quotas configures per-tenant budgets. Zero values disable the
+// corresponding budget (no rate limit / unlimited jobs / unlimited
+// bytes), so the zero Quotas admits everything.
+type Quotas struct {
+	// RatePerSec is the token-bucket refill rate in requests per second
+	// (0 disables rate limiting).
+	RatePerSec float64
+	// RateBurst is the bucket capacity in requests (defaults to
+	// RatePerSec when 0 and rate limiting is on).
+	RateBurst float64
+	// MaxQueuedJobs bounds jobs a tenant may have enqueued-or-running at
+	// once (0 = unlimited).
+	MaxQueuedJobs int
+	// MaxTraceBytes bounds the total stored trace bytes a tenant owns
+	// (0 = unlimited).
+	MaxTraceBytes int64
+}
+
+// tenant is the mutable per-tenant state. All fields are guarded by mu.
+type tenant struct {
+	id string
+
+	mu          sync.Mutex
+	tokens      float64
+	last        time.Time // last refill instant
+	queued      int       // jobs enqueued and not yet terminal
+	storedBytes int64     // trace bytes owned in the store
+	digests     map[string]int64
+}
+
+// Tenants is the tenant registry: it lazily creates per-tenant state on
+// first sight and applies one Quotas set to every tenant.
+type Tenants struct {
+	quotas Quotas
+	now    func() time.Time // injectable clock for tests
+
+	mu sync.Mutex
+	m  map[string]*tenant
+}
+
+// NewTenants returns a registry enforcing the given quotas.
+func NewTenants(q Quotas) *Tenants {
+	if q.RatePerSec > 0 && q.RateBurst <= 0 {
+		q.RateBurst = q.RatePerSec
+	}
+	return &Tenants{quotas: q, now: time.Now, m: make(map[string]*tenant)}
+}
+
+// get returns (creating if needed) the tenant record.
+func (ts *Tenants) get(id string) *tenant {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	t := ts.m[id]
+	if t == nil {
+		t = &tenant{
+			id:      id,
+			tokens:  ts.quotas.RateBurst,
+			last:    ts.now(),
+			digests: make(map[string]int64),
+		}
+		ts.m[id] = t
+	}
+	return t
+}
+
+// Allow spends one request token from the tenant's bucket, refilling by
+// elapsed wall time first. It reports false — and counts a rate
+// rejection — when the bucket is empty.
+func (ts *Tenants) Allow(id string) bool {
+	if ts.quotas.RatePerSec <= 0 {
+		return true
+	}
+	t := ts.get(id)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := ts.now()
+	if dt := now.Sub(t.last).Seconds(); dt > 0 {
+		t.tokens += dt * ts.quotas.RatePerSec
+		if t.tokens > ts.quotas.RateBurst {
+			t.tokens = ts.quotas.RateBurst
+		}
+	}
+	t.last = now
+	if t.tokens < 1 {
+		metrics().rateRejects.Inc()
+		return false
+	}
+	t.tokens--
+	return true
+}
+
+// AdmitJob reserves one queued-job slot; the caller must pair a
+// successful admit with exactly one ReleaseJob when the job reaches a
+// terminal state (or failed to enqueue after all).
+func (ts *Tenants) AdmitJob(id string) error {
+	t := ts.get(id)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if max := ts.quotas.MaxQueuedJobs; max > 0 && t.queued >= max {
+		metrics().quotaRejects.Inc()
+		return fmt.Errorf("tenant %q job quota exhausted (%d queued, max %d)", id, t.queued, max)
+	}
+	t.queued++
+	return nil
+}
+
+// ReleaseJob returns a queued-job slot.
+func (ts *Tenants) ReleaseJob(id string) {
+	t := ts.get(id)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.queued > 0 {
+		t.queued--
+	}
+}
+
+// AdmitBytes charges size stored bytes for digest to the tenant. A
+// digest the tenant already owns is free (re-uploading is idempotent);
+// exceeding the byte quota is an error and charges nothing.
+func (ts *Tenants) AdmitBytes(id, digest string, size int64) error {
+	t := ts.get(id)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.digests[digest]; ok {
+		return nil
+	}
+	if max := ts.quotas.MaxTraceBytes; max > 0 && t.storedBytes+size > max {
+		metrics().quotaRejects.Inc()
+		return fmt.Errorf("tenant %q trace-byte quota exhausted (%d stored + %d new > max %d)",
+			id, t.storedBytes, size, max)
+	}
+	t.storedBytes += size
+	t.digests[digest] = size
+	return nil
+}
+
+// QueuedJobs reports the tenant's current queued-or-running job count.
+func (ts *Tenants) QueuedJobs(id string) int {
+	t := ts.get(id)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.queued
+}
+
+// StoredBytes reports the tenant's charged store bytes.
+func (ts *Tenants) StoredBytes(id string) int64 {
+	t := ts.get(id)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.storedBytes
+}
+
+// ValidTenant reports whether id is an acceptable tenant identifier:
+// 1..64 characters from [A-Za-z0-9_.-].
+func ValidTenant(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '_', c == '-', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTokenBucket drives the rate limiter on a fake clock: burst
+// admits, empty bucket rejects, elapsed time refills.
+func TestTokenBucket(t *testing.T) {
+	ts := NewTenants(Quotas{RatePerSec: 2, RateBurst: 3})
+	now := time.Unix(1000, 0)
+	ts.now = func() time.Time { return now }
+
+	for i := 0; i < 3; i++ {
+		if !ts.Allow("t") {
+			t.Fatalf("burst request %d rejected", i)
+		}
+	}
+	if ts.Allow("t") {
+		t.Error("empty bucket admitted a request")
+	}
+	now = now.Add(500 * time.Millisecond) // refills 1 token at 2/s
+	if !ts.Allow("t") {
+		t.Error("refilled token rejected")
+	}
+	if ts.Allow("t") {
+		t.Error("second request on one refilled token admitted")
+	}
+	// A long idle period caps at the burst, not unbounded.
+	now = now.Add(time.Hour)
+	for i := 0; i < 3; i++ {
+		if !ts.Allow("t") {
+			t.Fatalf("post-idle request %d rejected", i)
+		}
+	}
+	if ts.Allow("t") {
+		t.Error("bucket exceeded its burst cap after idling")
+	}
+	// Tenants are isolated.
+	if !ts.Allow("other") {
+		t.Error("fresh tenant rejected because another drained its bucket")
+	}
+}
+
+// TestByteQuota: uploads charge per digest once, re-uploads are free,
+// and the quota rejects without charging.
+func TestByteQuota(t *testing.T) {
+	ts := NewTenants(Quotas{MaxTraceBytes: 100})
+	if err := ts.AdmitBytes("t", "sha256:aa", 60); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.AdmitBytes("t", "sha256:aa", 60); err != nil {
+		t.Errorf("re-upload of an owned digest charged: %v", err)
+	}
+	if err := ts.AdmitBytes("t", "sha256:bb", 60); err == nil {
+		t.Error("over-quota upload admitted")
+	}
+	if got := ts.StoredBytes("t"); got != 60 {
+		t.Errorf("stored bytes = %d, want 60 (failed admit must not charge)", got)
+	}
+	if err := ts.AdmitBytes("t", "sha256:cc", 40); err != nil {
+		t.Errorf("exactly-at-quota upload rejected: %v", err)
+	}
+	if err := ts.AdmitBytes("other", "sha256:bb", 60); err != nil {
+		t.Errorf("unrelated tenant hit a shared quota: %v", err)
+	}
+}
+
+// TestJobQuota pairs AdmitJob/ReleaseJob.
+func TestJobQuota(t *testing.T) {
+	ts := NewTenants(Quotas{MaxQueuedJobs: 2})
+	if err := ts.AdmitJob("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.AdmitJob("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.AdmitJob("t"); err == nil {
+		t.Error("third concurrent job admitted over quota 2")
+	}
+	ts.ReleaseJob("t")
+	if err := ts.AdmitJob("t"); err != nil {
+		t.Errorf("released slot not reusable: %v", err)
+	}
+	if got := ts.QueuedJobs("t"); got != 2 {
+		t.Errorf("queued = %d, want 2", got)
+	}
+}
+
+func TestValidTenant(t *testing.T) {
+	for _, ok := range []string{"a", "tenant-1", "A_b.c", "anon"} {
+		if !ValidTenant(ok) {
+			t.Errorf("ValidTenant(%q) = false", ok)
+		}
+	}
+	long := make([]byte, 65)
+	for i := range long {
+		long[i] = 'a'
+	}
+	for _, bad := range []string{"", "has space", "semi;colon", "slash/y", string(long)} {
+		if ValidTenant(bad) {
+			t.Errorf("ValidTenant(%q) = true", bad)
+		}
+	}
+}
