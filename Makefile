@@ -11,11 +11,11 @@
 
 GO ?= go
 
-.PHONY: all ci build vet fmt-check lint staticcheck test test-stream fuzz-smoke trace-smoke dist-smoke serve-smoke bench benchjson benchguard
+.PHONY: all ci build vet fmt-check lint staticcheck test test-stream fuzz-smoke trace-smoke dist-smoke serve-smoke net-smoke bench benchjson benchguard
 
 all: ci
 
-ci: lint build test test-stream fuzz-smoke trace-smoke dist-smoke serve-smoke bench
+ci: lint build test test-stream fuzz-smoke trace-smoke dist-smoke serve-smoke net-smoke bench
 
 # `make test` already races the dist package once; dist-smoke is the
 # named CI scenario on top (see its comment below), cheap enough to
@@ -78,16 +78,19 @@ trace-smoke:
 	$(GO) run ./cmd/paper -trace .trace-smoke/smoke.trace -parallel 4 -spantrace .trace-smoke/spans.json > /dev/null
 	$(GO) run ./cmd/tracecheck -mincover 0.95 .trace-smoke/spans.json
 
-# Distributed-sweep smoke: the exact CI scenario lives in
+# Distributed-sweep smoke: the exact CI scenarios live in
 # TestDistSmoke — a 3-worker sweep over a 2^18-entry trace with one
 # worker killed mid-sweep and the coordinator stopped at a checkpoint,
 # then resumed to results bit-identical to codec.RunFast for every
-# registered codec. The coordinator/worker machinery is the most
-# concurrent code in the tree, so the whole dist package (and the CLI
-# that drives it) runs under the race detector here.
+# registered codec — and TestNetSmoke, the same kill + checkpoint +
+# resume over two loopback TCP busencd peers. The coordinator/worker
+# machinery is the most concurrent code in the tree, so the whole dist
+# package (and the CLI that drives it) runs under the race detector
+# here.
 dist-smoke:
 	$(GO) vet ./internal/dist ./cmd/busencsweep
 	$(GO) test -race -run TestDistSmoke -v ./internal/dist
+	$(GO) test -race -run TestNetSmoke -v ./internal/serve
 	$(GO) test -race ./internal/dist ./cmd/busencsweep
 
 # Multi-tenant service smoke — the exact CI scenario: build the daemon
@@ -105,6 +108,37 @@ serve-smoke:
 	$(GO) build -o .serve-smoke/busencd ./cmd/busencd
 	$(GO) build -o .serve-smoke/busencload ./cmd/busencload
 	.serve-smoke/busencload -spawn .serve-smoke/busencd -tenants 32 -duration 5s -smoke -spansout .serve-smoke/spans.json
+
+# Networked-pricing smoke — the CI scenario: two real busencd daemons
+# on loopback ports (one carrying -dist-failafter 1 so its first /dist
+# connection dies mid-sweep and is redialed), a busencsweep coordinator
+# pricing over both via -peers, a second sweep against the now-warm
+# stores (the trace ships by digest, so the re-sweep uploads nothing),
+# then a fresh BENCH_dist.json with the tcp sub-record for the CI
+# artifact upload.
+net-smoke:
+	mkdir -p .net-smoke/store1 .net-smoke/store2
+	$(GO) build -o .net-smoke/busencd ./cmd/busencd
+	$(GO) build -o .net-smoke/busencsweep ./cmd/busencsweep
+	$(GO) run ./cmd/tracegen -bench gzip -synthetic -o .net-smoke/smoke.trace
+	@set -e; \
+	.net-smoke/busencd -listen 127.0.0.1:0 -store .net-smoke/store1 -dist-failafter 1 > .net-smoke/peer1.log 2>&1 & P1=$$!; \
+	.net-smoke/busencd -listen 127.0.0.1:0 -store .net-smoke/store2 > .net-smoke/peer2.log 2>&1 & P2=$$!; \
+	trap 'kill $$P1 $$P2 2>/dev/null || true' EXIT; \
+	A1=; A2=; \
+	for i in $$(seq 1 100); do \
+		A1=$$(sed -n 's/^busencd: listening on \([^ ]*\).*/\1/p' .net-smoke/peer1.log); \
+		A2=$$(sed -n 's/^busencd: listening on \([^ ]*\).*/\1/p' .net-smoke/peer2.log); \
+		if [ -n "$$A1" ] && [ -n "$$A2" ]; then break; fi; sleep 0.1; \
+	done; \
+	if [ -z "$$A1" ] || [ -z "$$A2" ]; then \
+		echo "net-smoke: peers failed to start"; cat .net-smoke/peer1.log .net-smoke/peer2.log; exit 1; fi; \
+	echo "net-smoke: peers $$A1 $$A2"; \
+	.net-smoke/busencsweep -trace .net-smoke/smoke.trace -workers 0 -peers $$A1,$$A2 -shards 16 > .net-smoke/sweep1.txt; \
+	.net-smoke/busencsweep -trace .net-smoke/smoke.trace -workers 0 -peers $$A1,$$A2 -shards 16 > .net-smoke/sweep2.txt; \
+	cmp .net-smoke/sweep1.txt .net-smoke/sweep2.txt; \
+	echo "net-smoke: networked sweeps reproduce bit-identically"; cat .net-smoke/sweep2.txt
+	$(GO) run ./cmd/paper -benchdist .net-smoke/BENCH_dist.json
 
 bench:
 	$(GO) test -run=NONE -bench=BenchmarkTable4 -benchtime=1x .
@@ -132,10 +166,14 @@ benchjson:
 # Benchmark-regression gate: generate fresh records into a scratch
 # directory and compare them against the committed ones. Fails on a
 # >25% speedup drop, any parity=false, an alloc-ratio collapse, the
-# bit-sliced kernel's speedup falling below its absolute 5x floor, or
-# the distributed sweep falling below its absolute 1.3x floor on boxes
-# with >= 4 CPUs (smaller boxes skip that floor with an explicit
-# "skipped: num_cpu=N" note — loudly, never silently).
+# bit-sliced kernel's speedup falling below its absolute 5x floor, the
+# distributed sweep falling below its absolute 1.3x floor on boxes with
+# >= 4 CPUs, the networked sweep's pipelined dispatch falling below its
+# 1.2x floor over lock-step on boxes with >= 2 CPUs and >= 2 peers
+# (smaller boxes skip the floors with explicit "skipped: num_cpu=N"
+# notes — loudly, never silently), or the digest-dedup re-sweep
+# shipping any trace bytes (that one always binds: it is correctness,
+# not performance).
 benchguard:
 	mkdir -p .bench-fresh .serve-smoke
 	$(GO) run ./cmd/paper -benchjson .bench-fresh/BENCH_engine.json -benchstream .bench-fresh/BENCH_stream.json -benchparallel .bench-fresh/BENCH_parallel.json -benchbitslice .bench-fresh/BENCH_bitslice.json

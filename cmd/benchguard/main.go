@@ -36,6 +36,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	allocCollapse := fs.Float64("alloc-collapse", bench.DefaultTolerance().AllocCollapse, "factor by which the streaming alloc ratio may shrink before failing")
 	bitsliceFloor := fs.Float64("bitslice-floor", bench.DefaultTolerance().BitsliceFloor, "absolute minimum scalar/plane speedup the fresh bitslice record must report (0 disables)")
 	distFloor := fs.Float64("dist-floor", bench.DefaultTolerance().DistFloor, "absolute minimum distributed-sweep speedup on boxes with >= 4 CPUs (0 disables; smaller boxes skip it loudly)")
+	tcpFloor := fs.Float64("tcp-floor", bench.DefaultTolerance().TCPPipelineFloor, "absolute minimum pipelined-over-lockstep speedup for the networked sweep on boxes with >= 2 CPUs and >= 2 peers (0 disables; otherwise skipped loudly)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -44,14 +45,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
-	tol := bench.Tolerance{Slowdown: *slowdown, AllocCollapse: *allocCollapse, BitsliceFloor: *bitsliceFloor, DistFloor: *distFloor}
+	tol := bench.Tolerance{Slowdown: *slowdown, AllocCollapse: *allocCollapse, BitsliceFloor: *bitsliceFloor, DistFloor: *distFloor, TCPPipelineFloor: *tcpFloor}
 	violations, notes := bench.GuardNotes(*baseline, *fresh, tol)
 	for _, n := range notes {
 		fmt.Fprintf(stdout, "benchguard: note: %s\n", n)
 	}
 	if len(violations) == 0 {
-		fmt.Fprintf(stdout, "benchguard: ok (%s vs %s, tolerance %.0f%% slowdown, %.1fx alloc collapse, %.1fx bitslice floor, %.1fx dist floor)\n",
-			*fresh, *baseline, tol.Slowdown*100, tol.AllocCollapse, tol.BitsliceFloor, tol.DistFloor)
+		fmt.Fprintf(stdout, "benchguard: ok (%s vs %s, tolerance %.0f%% slowdown, %.1fx alloc collapse, %.1fx bitslice floor, %.1fx dist floor, %.1fx tcp floor)\n",
+			*fresh, *baseline, tol.Slowdown*100, tol.AllocCollapse, tol.BitsliceFloor, tol.DistFloor, tol.TCPPipelineFloor)
 		return 0
 	}
 	fmt.Fprintf(stderr, "benchguard: %d violation(s):\n", len(violations))

@@ -51,6 +51,11 @@ func goodDist() bench.DistRecord {
 		Bench: bench.DistBenchName, Entries: 1 << 18, NumCPU: 8, GOMAXPROCS: 8,
 		Workers: 3, Shards: 12, Codecs: []string{"binary", "gray", "t0"}, WarmIters: 3,
 		SerialWarmNs: 90_000_000, DistWarmNs: 45_000_000, SpeedupDist: 2, Parity: true,
+		TCP: &bench.DistTCPRecord{
+			Peers: 2, Window: 4, Shards: 48, Entries: 1 << 18,
+			PipelinedNs: 50_000_000, InFlight1Ns: 80_000_000, SpeedupPipelined: 1.6, Parity: true,
+			TraceShipBytes: 2_200_000, DedupReshipBytes: 0, DedupHits: 2,
+		},
 	}
 }
 
@@ -215,6 +220,40 @@ func TestCLIDistFloor(t *testing.T) {
 	}
 	if code, _, errOut := runGuard(t, "-baseline", base, "-fresh", fresh, "-dist-floor", "1.1", "-tolerance", "0.5"); code != 0 {
 		t.Errorf("1.125x failed a lowered 1.1x floor (exit %d):\n%s", code, errOut)
+	}
+}
+
+// TestCLITCPFloor: the networked sub-record's pipelining floor and
+// dedup invariant bind through the CLI, and -tcp-floor lowers the bar.
+func TestCLITCPFloor(t *testing.T) {
+	base := writeDir(t, goodEngine(), goodStream())
+	slow := goodDist()
+	slow.TCP.PipelinedNs = slow.TCP.InFlight1Ns
+	slow.TCP.SpeedupPipelined = 1.05 // below the default 1.2x floor on an 8-CPU box
+	fresh := writeDir(t, goodEngine(), goodStream())
+	if err := bench.WriteRecord(filepath.Join(fresh, "BENCH_dist.json"), slow); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut := runGuard(t, "-baseline", base, "-fresh", fresh)
+	if code != 1 {
+		t.Fatalf("exit %d with 1.05x pipelining gain, want 1; stderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(errOut, "tcp.speedup_pipelined") || !strings.Contains(errOut, "floor") {
+		t.Errorf("tcp floor violation not named:\n%s", errOut)
+	}
+	if code, _, errOut := runGuard(t, "-baseline", base, "-fresh", fresh, "-tcp-floor", "1.0", "-tolerance", "0.5"); code != 0 {
+		t.Errorf("1.05x failed a lowered 1.0x floor (exit %d):\n%s", code, errOut)
+	}
+
+	// Broken dedup (a re-sweep that shipped bytes) fails even when fast.
+	leak := goodDist()
+	leak.TCP.DedupReshipBytes = 4096
+	if err := bench.WriteRecord(filepath.Join(fresh, "BENCH_dist.json"), leak); err != nil {
+		t.Fatal(err)
+	}
+	code, _, errOut = runGuard(t, "-baseline", base, "-fresh", fresh)
+	if code != 1 || !strings.Contains(errOut, "tcp.dedup_reship_bytes") {
+		t.Errorf("dedup re-ship not flagged (exit %d):\n%s", code, errOut)
 	}
 }
 

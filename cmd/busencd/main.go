@@ -9,9 +9,11 @@
 //	busencd -listen 127.0.0.1:0       # ephemeral port, printed on stdout
 //	busencd -listen :8377 -pprof      # + /debug/pprof/*
 //
-// Endpoints: POST/GET /traces, GET /eval (sync for small traces, 202 +
-// /jobs/{id} otherwise), GET /jobs[/{id}], /healthz /metrics /spans
-// /debug/vars. SIGTERM/SIGINT starts a graceful drain: intake answers
+// Endpoints: POST/GET /traces, GET /traces/{digest}, GET /eval (sync
+// for small traces, 202 + /jobs/{id} otherwise), GET /jobs[/{id}],
+// GET /dist (peer protocol upgrade for networked distributed pricing),
+// /healthz /metrics /spans /debug/vars. SIGTERM/SIGINT starts a
+// graceful drain: intake answers
 // 503 + Retry-After while every accepted job runs to completion, then
 // the HTTP server shuts down. /eval still accepts server-local file
 // paths for trusted local profiling.
@@ -53,6 +55,7 @@ func main() {
 		maxBytes   = flag.Int64("max-trace-bytes", 0, "per-tenant stored trace byte quota (0 = unlimited)")
 		drainWait  = flag.Duration("drain-timeout", 60*time.Second, "max time to wait for in-flight jobs on shutdown")
 		linger     = flag.Duration("drain-linger", 200*time.Millisecond, "grace for final /jobs polls after the drain completes")
+		distFail   = flag.Int("dist-failafter", 0, "fault injection: the first /dist peer connection dies after pricing N shards (0 = off)")
 	)
 	flag.Parse()
 
@@ -75,6 +78,7 @@ func main() {
 		StoreDir:       dir,
 		MaxUploadBytes: *maxUpload,
 		SyncMaxEntries: *syncMax,
+		DistFailAfter:  *distFail,
 		Quotas: serve.Quotas{
 			RatePerSec:    *rate,
 			RateBurst:     *burst,
@@ -136,10 +140,7 @@ func newMux(withPprof bool, srv *serve.Server) *http.ServeMux {
 	})
 
 	mux := http.NewServeMux()
-	srv.Register(mux) // /traces /eval /jobs /jobs/{id}
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	srv.Register(mux) // /traces /eval /jobs /jobs/{id} /healthz /dist
 	mux.HandleFunc("/metrics", handleMetrics)
 	mux.HandleFunc("/spans", handleSpans)
 	mux.Handle("/debug/vars", expvar.Handler())

@@ -1,5 +1,6 @@
 // Command busencsweep prices bus-encoding codecs over huge traces by
-// distributing contiguous shards to a pool of worker processes.
+// distributing contiguous shards to a pool of worker processes and/or
+// networked busencd peers.
 //
 // Usage:
 //
@@ -9,13 +10,19 @@
 //	                                                     # same command after a
 //	                                                     # kill to pick up where
 //	                                                     # the journal left off
+//	busencsweep -trace huge.betr -peers h1:8377,h2:8377  # price on remote
+//	                                                     # busencd daemons (mixes
+//	                                                     # with -workers > 0)
 //	busencsweep -worker                                # internal: protocol
 //	                                                   # worker on stdin/stdout
 //
 // The trace is planned into byte-range shards over one mmap view (text
-// traces are converted to a temporary BETR file once); workers share
-// the file through the page cache, so nothing is copied. Results are
-// bit-identical to a sequential run for every codec.
+// traces are converted to a temporary BETR file once); local workers
+// share the file through the page cache, so nothing is copied. Remote
+// peers receive the trace once, content-addressed by SHA-256 digest —
+// a re-sweep against a peer that already holds the trace ships zero
+// bytes. Results are bit-identical to a sequential run for every
+// codec, over any mix of local workers and peers.
 package main
 
 import (
@@ -37,7 +44,9 @@ func main() {
 	worker := flag.Bool("worker", false, "run as a protocol worker on stdin/stdout (internal; spawned by the coordinator)")
 	failAfter := flag.Int("failafter", 0, "with -worker: die without replying after pricing this many jobs (fault injection)")
 	tracePath := flag.String("trace", "", "trace file to price (text or BETR, auto-detected)")
-	workers := flag.Int("workers", 1, "worker processes to spawn")
+	workers := flag.Int("workers", 1, "worker processes to spawn (with -peers, 0 means peers only)")
+	peers := flag.String("peers", "", "comma-separated busencd peer addresses (host:port) to price on over TCP")
+	window := flag.Int("window", 0, "max jobs in flight per worker/peer (0 = default, 1 = lock-step)")
 	shards := flag.Int("shards", 0, "contiguous shards to plan (0 = 4 per worker)")
 	checkpoint := flag.String("checkpoint", "", "journal path for checkpoint/resume; rerunning the same sweep against an existing journal resumes it")
 	codes := flag.String("codes", "all", "comma-separated codec list, \"paper\" (the seven paper codes) or \"all\"")
@@ -62,56 +71,106 @@ func main() {
 		obs.Enable()
 		defer func() { obs.Default().Snapshot().WriteTable(os.Stderr) }()
 	}
-	if err := run(*tracePath, *workers, *shards, *checkpoint, *codes, *verify, *kernel, *killWorker, *stride, *perLine, *stopAfter, *asJSON, os.Stdout); err != nil {
+	cfg := sweepConfig{
+		trace:      *tracePath,
+		workers:    *workers,
+		peers:      splitPeers(*peers),
+		window:     *window,
+		shards:     *shards,
+		checkpoint: *checkpoint,
+		codes:      *codes,
+		verify:     *verify,
+		kernel:     *kernel,
+		killWorker: *killWorker,
+		stride:     *stride,
+		perLine:    *perLine,
+		stopAfter:  *stopAfter,
+		asJSON:     *asJSON,
+	}
+	if err := run(cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "busencsweep:", err)
 		os.Exit(1)
 	}
 }
 
+// splitPeers expands the -peers comma list, dropping blanks.
+func splitPeers(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 // paperCodes mirrors cmd/paper's default set.
 var paperCodes = []string{"binary", "gray", "t0", "businvert", "t0bi", "dualt0", "dualt0bi"}
 
+// sweepConfig is the parsed flag set of one coordinator run.
+type sweepConfig struct {
+	trace      string
+	workers    int
+	peers      []string
+	window     int
+	shards     int
+	checkpoint string
+	codes      string
+	verify     string
+	kernel     string
+	killWorker string
+	stride     uint64
+	perLine    bool
+	stopAfter  int
+	asJSON     bool
+}
+
 // run is the coordinator: plan, sweep, print. Factored from main for
 // main_test.go.
-func run(tracePath string, workers, shards int, checkpoint, codes, verify, kernel, killWorker string, stride uint64, perLine bool, stopAfter int, asJSON bool, out *os.File) error {
-	if tracePath == "" {
+func run(cfg sweepConfig, out *os.File) error {
+	if cfg.trace == "" {
 		return fmt.Errorf("-trace is required (or -worker for worker mode)")
 	}
-	width, err := traceWidth(tracePath)
+	width, err := traceWidth(cfg.trace)
 	if err != nil {
 		return err
 	}
-	specs, err := parseSpecs(codes, width, stride)
+	specs, err := parseSpecs(cfg.codes, width, cfg.stride)
 	if err != nil {
 		return err
 	}
-	vm, err := parseVerify(verify)
+	vm, err := parseVerify(cfg.verify)
 	if err != nil {
 		return err
 	}
-	kern, err := codec.ParseKernel(kernel)
+	kern, err := codec.ParseKernel(cfg.kernel)
 	if err != nil {
 		return err
 	}
-	spawn, err := selfSpawner(killWorker)
+	spawn, err := selfSpawner(cfg.killWorker)
 	if err != nil {
 		return err
 	}
-	results, err := dist.Sweep(tracePath, dist.Opts{
-		Workers:    workers,
-		Shards:     shards,
+	results, err := dist.Sweep(cfg.trace, dist.Opts{
+		Workers:    cfg.workers,
+		Peers:      cfg.peers,
+		Window:     cfg.window,
+		Shards:     cfg.shards,
 		Codecs:     specs,
 		Verify:     vm,
-		PerLine:    perLine,
+		PerLine:    cfg.perLine,
 		Kernel:     kern,
-		Checkpoint: checkpoint,
+		Checkpoint: cfg.checkpoint,
 		Spawn:      spawn,
-		StopAfter:  stopAfter,
+		StopAfter:  cfg.stopAfter,
 	})
 	if err != nil {
 		return err
 	}
-	if asJSON {
+	if cfg.asJSON {
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
 		return enc.Encode(results)

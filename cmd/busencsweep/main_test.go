@@ -82,7 +82,7 @@ func runToFile(t *testing.T, fn func(out *os.File) error) string {
 func TestRunTable(t *testing.T) {
 	path, _ := testTrace(t, 8000)
 	got := runToFile(t, func(out *os.File) error {
-		return run(path, 2, 4, "", "paper", "sampled", "auto", "", 4, false, 0, false, out)
+		return run(sweepConfig{trace: path, workers: 2, shards: 4, codes: "paper", verify: "sampled", kernel: "auto", stride: 4}, out)
 	})
 	for _, name := range []string{"binary", "gray", "t0bi", "saved%"} {
 		if !strings.Contains(got, name) {
@@ -97,12 +97,16 @@ func TestRunTable(t *testing.T) {
 func TestRunKillAndResume(t *testing.T) {
 	path, s := testTrace(t, 12000)
 	ckpt := filepath.Join(t.TempDir(), "sweep.json")
-	err := run(path, 3, 9, ckpt, "all", "none", "auto", "0:1", 4, false, 4, true, nil)
+	base := sweepConfig{trace: path, workers: 3, shards: 9, checkpoint: ckpt, codes: "all", verify: "none", kernel: "auto", stride: 4, asJSON: true}
+	first := base
+	first.killWorker = "0:1"
+	first.stopAfter = 4
+	err := run(first, nil)
 	if err == nil || !strings.Contains(err.Error(), "stopped") {
 		t.Fatalf("first run: err = %v, want checkpoint stop", err)
 	}
 	got := runToFile(t, func(out *os.File) error {
-		return run(path, 3, 9, ckpt, "all", "none", "auto", "", 4, false, 0, true, out)
+		return run(base, out)
 	})
 	var results []codec.Result
 	if err := json.Unmarshal([]byte(got), &results); err != nil {

@@ -2,6 +2,8 @@ package main
 
 import (
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -12,6 +14,7 @@ import (
 	"busenc/internal/core"
 	"busenc/internal/dist"
 	"busenc/internal/obs"
+	"busenc/internal/serve"
 	"busenc/internal/trace"
 )
 
@@ -32,6 +35,13 @@ import (
 // field on every codec. The guard's absolute speedup floor binds only
 // on boxes with >= 4 CPUs (see bench.CompareDist); the record always
 // carries num_cpu so the skip is explicit.
+//
+// The tcp sub-record repeats the sweep over two loopback busencd peers
+// speaking the /dist upgrade protocol, comparing the pipelined
+// in-flight window against lock-step window=1 dispatch (the pipelining
+// floor binds on >= 2 CPUs with >= 2 peers), and proves digest dedup:
+// the re-sweep's trace upload must be zero bytes because both peers
+// already hold the trace content-addressed by SHA-256.
 
 // benchDist runs the comparison and writes BENCH_dist.json.
 func benchDist(path string, entries, warmIters int) (err error) {
@@ -141,17 +151,26 @@ func benchDist(path string, entries, warmIters int) (err error) {
 		return err
 	}
 
-	parity := len(serResults) == len(distResults)
-	if parity {
-		for i, want := range serResults {
-			got := distResults[i]
-			if got.Codec != want.Codec || got.Transitions != want.Transitions ||
-				got.Cycles != want.Cycles || got.MaxPerCycle != want.MaxPerCycle {
-				parity = false
-				break
+	sameResults := func(got, want []codec.Result) bool {
+		if len(got) != len(want) {
+			return false
+		}
+		for i, w := range want {
+			g := got[i]
+			if g.Codec != w.Codec || g.Transitions != w.Transitions ||
+				g.Cycles != w.Cycles || g.MaxPerCycle != w.MaxPerCycle {
+				return false
 			}
 		}
+		return true
 	}
+	parity := sameResults(distResults, serResults)
+
+	tcp, err := benchDistTCP(tmpPath, specs, entries, warmIters, serResults, sameResults, timeSweep)
+	if err != nil {
+		return err
+	}
+
 	rec := bench.DistRecord{
 		Bench:        bench.DistBenchName,
 		Entries:      entries,
@@ -166,14 +185,112 @@ func benchDist(path string, entries, warmIters int) (err error) {
 		DistWarmNs:   distNs,
 		SpeedupDist:  float64(serNs) / float64(distNs),
 		Parity:       parity,
+		TCP:          tcp,
 	}
 	if err := bench.WriteRecord(path, rec); err != nil {
 		return err
 	}
 	fmt.Printf("dist bench (%d entries, %d cpu): serial warm %.1f ms, distributed warm (%d workers, %d shards) %.1f ms (%.2fx), parity=%v -> %s\n",
 		entries, rec.NumCPU, float64(serNs)/1e6, workers, shards, float64(distNs)/1e6, rec.SpeedupDist, parity, path)
+	fmt.Printf("dist bench tcp (%d peers, %d shards): pipelined (window %d) %.1f ms vs lock-step %.1f ms (%.2fx), shipped %d B once, re-ship %d B (%d dedup hits), parity=%v\n",
+		tcp.Peers, tcp.Shards, tcp.Window, float64(tcp.PipelinedNs)/1e6, float64(tcp.InFlight1Ns)/1e6,
+		tcp.SpeedupPipelined, tcp.TraceShipBytes, tcp.DedupReshipBytes, tcp.DedupHits, tcp.Parity)
 	if !parity {
 		return fmt.Errorf("distributed sweep and sequential RunFast results diverge")
 	}
+	if !tcp.Parity {
+		return fmt.Errorf("networked sweep and sequential RunFast results diverge")
+	}
+	if tcp.DedupReshipBytes != 0 {
+		return fmt.Errorf("re-sweep against warm peers shipped %d trace bytes, want 0 (digest dedup broken)", tcp.DedupReshipBytes)
+	}
 	return nil
+}
+
+// benchDistTCP measures the networked variant: the same sweep over two
+// loopback busencd peers, pipelined window vs lock-step, plus the
+// digest-dedup re-ship evidence.
+func benchDistTCP(tmpPath string, specs []dist.CodecSpec, entries, warmIters int,
+	serResults []codec.Result, sameResults func(got, want []codec.Result) bool,
+	timeSweep func(func() ([]codec.Result, error)) ([]codec.Result, int64, error)) (*bench.DistTCPRecord, error) {
+
+	const (
+		tcpPeers  = 2
+		tcpWindow = 8
+		// Dispatch-bound on purpose: many small shards put the per-shard
+		// round trip on the critical path, which is exactly what the
+		// in-flight window is meant to hide.
+		tcpShards = 128
+	)
+	peers := make([]string, 0, tcpPeers)
+	for i := 0; i < tcpPeers; i++ {
+		dir, err := os.MkdirTemp("", "busenc-bench-peer-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		srv, err := serve.New(serve.Config{StoreDir: dir})
+		if err != nil {
+			return nil, err
+		}
+		mux := http.NewServeMux()
+		srv.Register(mux)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		hs := &http.Server{Handler: mux}
+		go hs.Serve(ln)
+		defer hs.Close()
+		peers = append(peers, ln.Addr().String())
+	}
+
+	tcpSweep := func(window int, ns *dist.NetStats) ([]codec.Result, error) {
+		return dist.Sweep(tmpPath, dist.Opts{
+			Peers:  peers,
+			Window: window,
+			Shards: tcpShards,
+			Codecs: specs,
+			Verify: codec.VerifyNone,
+			Net:    ns,
+		})
+	}
+
+	// Cold sweep: ships the trace into both peers' stores exactly once
+	// and warms their mmap caches; every timed iteration after it pays
+	// only dispatch and pricing.
+	var ship dist.NetStats
+	if _, err := tcpSweep(tcpWindow, &ship); err != nil {
+		return nil, fmt.Errorf("networked warm-up sweep: %w", err)
+	}
+	pipeResults, pipeNs, err := timeSweep(func() ([]codec.Result, error) { return tcpSweep(tcpWindow, nil) })
+	if err != nil {
+		return nil, fmt.Errorf("pipelined networked sweep: %w", err)
+	}
+	lockResults, lockNs, err := timeSweep(func() ([]codec.Result, error) { return tcpSweep(1, nil) })
+	if err != nil {
+		return nil, fmt.Errorf("lock-step networked sweep: %w", err)
+	}
+	// Re-sweep with fresh counters: the digest probe must find both
+	// peers warm, so zero trace bytes move.
+	var reship dist.NetStats
+	reResults, err := tcpSweep(tcpWindow, &reship)
+	if err != nil {
+		return nil, fmt.Errorf("dedup re-sweep: %w", err)
+	}
+
+	return &bench.DistTCPRecord{
+		Peers:            tcpPeers,
+		Window:           tcpWindow,
+		Shards:           tcpShards,
+		Entries:          entries,
+		PipelinedNs:      pipeNs,
+		InFlight1Ns:      lockNs,
+		SpeedupPipelined: float64(lockNs) / float64(pipeNs),
+		Parity: sameResults(pipeResults, serResults) &&
+			sameResults(lockResults, serResults) && sameResults(reResults, serResults),
+		TraceShipBytes:   ship.TraceShipBytes.Load(),
+		DedupReshipBytes: reship.TraceShipBytes.Load(),
+		DedupHits:        reship.TraceDedupHits.Load(),
+	}, nil
 }

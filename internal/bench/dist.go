@@ -21,6 +21,12 @@ const DistBenchName = "DistSweep"
 // measures scheduling noise, not scaling.
 const DistFloorMinCPU = 4
 
+// TCPFloorMinCPU is the smallest CPU count on which the pipelining
+// floor of the tcp sub-record is enforceable: on one CPU the loopback
+// peers timeslice the coordinator's core, so keeping the wire full
+// cannot beat lock-step dispatch by any honest margin.
+const TCPFloorMinCPU = 2
+
 // DistRecord mirrors BENCH_dist.json.
 type DistRecord struct {
 	Bench      string   `json:"bench"`
@@ -43,6 +49,63 @@ type DistRecord struct {
 
 	SpeedupDist float64 `json:"speedup_dist"` // serial/dist wall time
 	Parity      bool    `json:"parity"`       // dist results == RunFast results, all codecs
+
+	// TCP is the networked variant: the same sweep over loopback busencd
+	// peers speaking the /dist upgrade protocol.
+	TCP *DistTCPRecord `json:"tcp,omitempty"`
+}
+
+// DistTCPRecord is the networked sub-record of BENCH_dist.json: the
+// sweep dispatched to busencd peers over loopback TCP, measured with
+// the pipelined in-flight window against lock-step (window=1)
+// dispatch, plus the digest-dedup evidence that a re-sweep ships zero
+// trace bytes.
+type DistTCPRecord struct {
+	Peers   int `json:"peers"`
+	Window  int `json:"window"` // pipelined in-flight window per peer
+	Shards  int `json:"shards"`
+	Entries int `json:"entries"`
+
+	// PipelinedNs is the best warm networked sweep with the in-flight
+	// window open; InFlight1Ns is the same sweep with window=1 —
+	// lock-step request/response, one RTT of dead wire per shard.
+	PipelinedNs int64 `json:"pipelined_ns"`
+	InFlight1Ns int64 `json:"inflight1_ns"`
+
+	SpeedupPipelined float64 `json:"speedup_pipelined"` // inflight1/pipelined wall time
+	Parity           bool    `json:"parity"`            // networked results == RunFast results, all codecs
+
+	// TraceShipBytes is what the first sweep uploaded to the peers'
+	// content-addressed stores; DedupReshipBytes is what the re-sweep
+	// shipped (must be 0 — the digest probe found every peer warm), and
+	// DedupHits counts those probe hits.
+	TraceShipBytes   int64 `json:"trace_ship_bytes"`
+	DedupReshipBytes int64 `json:"dedup_reship_bytes"`
+	DedupHits        int64 `json:"dedup_hits"`
+}
+
+// Validate reports the first structurally missing field of a tcp
+// sub-record.
+func (r DistTCPRecord) Validate() error {
+	switch {
+	case r.Peers <= 0:
+		return fmt.Errorf("missing field tcp.peers")
+	case r.Window <= 1:
+		return fmt.Errorf("tcp.window = %d, want > 1 (pipelined)", r.Window)
+	case r.Shards <= 0:
+		return fmt.Errorf("missing field tcp.shards")
+	case r.Entries <= 0:
+		return fmt.Errorf("missing field tcp.entries")
+	case r.PipelinedNs <= 0:
+		return fmt.Errorf("missing field tcp.pipelined_ns")
+	case r.InFlight1Ns <= 0:
+		return fmt.Errorf("missing field tcp.inflight1_ns")
+	case r.SpeedupPipelined <= 0:
+		return fmt.Errorf("missing field tcp.speedup_pipelined")
+	case r.TraceShipBytes <= 0:
+		return fmt.Errorf("missing field tcp.trace_ship_bytes")
+	}
+	return nil
 }
 
 // Validate reports the first structurally missing field of a dist
@@ -84,10 +147,14 @@ func ReadDist(path string) (DistRecord, error) {
 }
 
 // CompareDist holds a fresh dist record against the committed one.
-// Parity always binds. The absolute DistFloor binds whenever the fresh
-// record's machine has DistFloorMinCPU or more CPUs; on smaller boxes
-// the floor is skipped with an explicit note (never a silent pass).
-// The relative band against the committed speedup applies only across
+// Parity always binds — for the process-worker sweep and the tcp
+// sub-record alike — and so does the tcp dedup invariant (a re-sweep
+// must ship zero trace bytes; dedup is correctness, not speed). The
+// absolute DistFloor binds whenever the fresh record's machine has
+// DistFloorMinCPU or more CPUs; the tcp pipelining floor binds with
+// TCPFloorMinCPU or more CPUs and at least two peers; on smaller boxes
+// each floor is skipped with an explicit note (never a silent pass).
+// The relative bands against the committed speedups apply only across
 // a same-machine boundary, like every other ratio band.
 func CompareDist(old, fresh DistRecord, tol Tolerance) ([]Violation, []string) {
 	var out []Violation
@@ -118,11 +185,63 @@ func CompareDist(old, fresh DistRecord, tol Tolerance) ([]Violation, []string) {
 				fresh.NumCPU, tol.DistFloor, DistFloorMinCPU))
 		}
 	}
+	out = append(out, compareDistTCP(old, fresh, tol, &notes)...)
 	if !SameMachine(old.NumCPU, fresh.NumCPU, old.GoVersion, fresh.GoVersion) {
 		return out, notes
 	}
 	if v := speedupDrop("dist", "speedup_dist", old.SpeedupDist, fresh.SpeedupDist, tol.Slowdown); v != nil {
 		out = append(out, *v)
 	}
+	if old.TCP != nil && fresh.TCP != nil {
+		if v := speedupDrop("dist", "tcp.speedup_pipelined", old.TCP.SpeedupPipelined, fresh.TCP.SpeedupPipelined, tol.Slowdown); v != nil {
+			out = append(out, *v)
+		}
+	}
 	return out, notes
+}
+
+// compareDistTCP runs the machine-independent tcp sub-record checks:
+// presence, structure, parity, the zero-byte dedup re-ship invariant,
+// and the CPU/peer-gated pipelining floor.
+func compareDistTCP(old, fresh DistRecord, tol Tolerance, notes *[]string) []Violation {
+	var out []Violation
+	if fresh.TCP == nil {
+		out = append(out, Violation{Record: "dist", Field: "tcp",
+			Msg: "fresh record has no tcp sub-record (networked sweep not measured)"})
+		return out
+	}
+	tcp := *fresh.TCP
+	if err := tcp.Validate(); err != nil {
+		out = append(out, Violation{Record: "dist", Field: "tcp", Msg: err.Error()})
+		return out
+	}
+	if !tcp.Parity {
+		out = append(out, Violation{Record: "dist", Field: "tcp.parity",
+			Msg: "networked sweep and sequential RunFast results diverge"})
+	}
+	if tcp.DedupReshipBytes != 0 {
+		out = append(out, Violation{
+			Record: "dist", Field: "tcp.dedup_reship_bytes",
+			New: float64(tcp.DedupReshipBytes),
+			Msg: "re-sweep against warm peers shipped trace bytes; digest dedup is broken",
+		})
+	}
+	if tol.TCPPipelineFloor > 0 {
+		switch {
+		case fresh.NumCPU < TCPFloorMinCPU:
+			*notes = append(*notes, fmt.Sprintf(
+				"dist: tcp.speedup_pipelined floor skipped: num_cpu=%d (absolute %.1fx floor needs >= %d CPUs)",
+				fresh.NumCPU, tol.TCPPipelineFloor, TCPFloorMinCPU))
+		case tcp.Peers < 2:
+			*notes = append(*notes, fmt.Sprintf(
+				"dist: tcp.speedup_pipelined floor skipped: peers=%d (needs >= 2)", tcp.Peers))
+		case tcp.SpeedupPipelined < tol.TCPPipelineFloor:
+			out = append(out, Violation{
+				Record: "dist", Field: "tcp.speedup_pipelined",
+				Old: tol.TCPPipelineFloor, New: tcp.SpeedupPipelined,
+				Msg: fmt.Sprintf("pipelined dispatch fell below the absolute %.1fx floor over window=1 on a %d-CPU box", tol.TCPPipelineFloor, fresh.NumCPU),
+			})
+		}
+	}
+	return out
 }

@@ -35,11 +35,16 @@ type Tolerance struct {
 	// disables it). It binds only when the measuring box has at least
 	// DistFloorMinCPU CPUs; smaller boxes skip it with an explicit note.
 	DistFloor float64
+	// TCPPipelineFloor is the absolute minimum the networked sweep's
+	// pipelined dispatch may gain over lock-step window=1 dispatch (0
+	// disables it). It binds only with TCPFloorMinCPU or more CPUs and
+	// at least two peers; otherwise it is skipped with an explicit note.
+	TCPPipelineFloor float64
 }
 
 // DefaultTolerance is the band set CI enforces.
 func DefaultTolerance() Tolerance {
-	return Tolerance{Slowdown: 0.25, AllocCollapse: 2, BitsliceFloor: 5, DistFloor: 1.3}
+	return Tolerance{Slowdown: 0.25, AllocCollapse: 2, BitsliceFloor: 5, DistFloor: 1.3, TCPPipelineFloor: 1.2}
 }
 
 // Violation is one broken band.

@@ -39,6 +39,11 @@ func distFixture() DistRecord {
 		Bench: DistBenchName, Entries: 1 << 18, NumCPU: 8, GOMAXPROCS: 8,
 		Workers: 3, Shards: 12, Codecs: []string{"binary", "gray", "t0"}, WarmIters: 3,
 		SerialWarmNs: 90e6, DistWarmNs: 45e6, SpeedupDist: 2, Parity: true,
+		TCP: &DistTCPRecord{
+			Peers: 2, Window: 4, Shards: 64, Entries: 1 << 18,
+			PipelinedNs: 50e6, InFlight1Ns: 80e6, SpeedupPipelined: 1.6, Parity: true,
+			TraceShipBytes: 2.2e6, DedupReshipBytes: 0, DedupHits: 2,
+		},
 	}
 }
 
@@ -307,7 +312,8 @@ func TestGuardDistFloor(t *testing.T) {
 		t.Errorf("floor bound yet notes emitted: %v", notes)
 	}
 
-	// Same sub-floor speedup on a 1-CPU box: no violation, loud note.
+	// Same sub-floor speedup on a 1-CPU box: no violation, loud notes —
+	// one for the dist floor, one for the tcp pipelining floor.
 	oneCPU := distFixture()
 	oneCPU.NumCPU = 1
 	oneCPU.SpeedupDist = 0.9
@@ -315,8 +321,8 @@ func TestGuardDistFloor(t *testing.T) {
 	if len(vs) != 0 {
 		t.Errorf("1-CPU box flagged for missing scaling: %v", vs)
 	}
-	if len(notes) != 1 || !strings.Contains(notes[0], "skipped: num_cpu=1") {
-		t.Errorf("notes = %v, want one explicit skipped: num_cpu=1 note", notes)
+	if len(notes) != 2 || !strings.Contains(notes[0], "skipped: num_cpu=1") || !strings.Contains(notes[1], "skipped: num_cpu=1") {
+		t.Errorf("notes = %v, want explicit skipped: num_cpu=1 notes for both floors", notes)
 	}
 
 	// Exactly DistFloorMinCPU CPUs and exactly on the floor: binds and
@@ -332,6 +338,96 @@ func TestGuardDistFloor(t *testing.T) {
 	noFloor.DistFloor = 0
 	if vs, notes := CompareDist(old, slow, noFloor); len(vs) != 1 || len(notes) != 0 {
 		t.Errorf("disabled floor: violations = %v (want relative band only), notes %v", vs, notes)
+	}
+}
+
+// TestGuardDistTCP pins the networked sub-record's bands: the record
+// must exist, its parity and zero-byte dedup re-ship invariants bind
+// on any machine, and the pipelining floor is gated on CPUs and peer
+// count with loud skips.
+func TestGuardDistTCP(t *testing.T) {
+	tol := DefaultTolerance()
+	old := distFixture()
+
+	missing := distFixture()
+	missing.TCP = nil
+	vs, _ := CompareDist(old, missing, tol)
+	if len(vs) != 1 || vs[0].Field != "tcp" || !strings.Contains(vs[0].Msg, "no tcp sub-record") {
+		t.Errorf("missing tcp sub-record: violations = %v, want one tcp violation", vs)
+	}
+
+	noParity := distFixture()
+	noParity.TCP.Parity = false
+	vs, _ = CompareDist(old, noParity, tol)
+	if len(vs) != 1 || vs[0].Field != "tcp.parity" {
+		t.Errorf("tcp parity=false: violations = %v", vs)
+	}
+
+	reship := distFixture()
+	reship.TCP.DedupReshipBytes = 4096
+	vs, _ = CompareDist(old, reship, tol)
+	if len(vs) != 1 || vs[0].Field != "tcp.dedup_reship_bytes" {
+		t.Errorf("re-ship bytes: violations = %v", vs)
+	}
+
+	// Sub-floor pipelining gain on a capable box breaks the absolute
+	// floor and the relative band.
+	slow := distFixture()
+	slow.TCP.PipelinedNs = slow.TCP.InFlight1Ns
+	slow.TCP.SpeedupPipelined = 1.0
+	vs, notes := CompareDist(old, slow, tol)
+	if len(vs) != 2 || vs[0].Field != "tcp.speedup_pipelined" || vs[1].Field != "tcp.speedup_pipelined" {
+		t.Errorf("sub-floor pipelining: violations = %v, want floor + relative", vs)
+	}
+	if len(notes) != 0 {
+		t.Errorf("floor bound yet notes emitted: %v", notes)
+	}
+
+	// One peer: the floor cannot bind (nothing to overlap), loud note.
+	// Cross-box (different NumCPU) so the relative bands stay out of it.
+	onePeer := distFixture()
+	onePeer.NumCPU = 4
+	onePeer.TCP.Peers = 1
+	onePeer.TCP.SpeedupPipelined = 0.9
+	vs, notes = CompareDist(old, onePeer, tol)
+	if len(vs) != 0 {
+		t.Errorf("one-peer box flagged: %v", vs)
+	}
+	found := false
+	for _, n := range notes {
+		if strings.Contains(n, "peers=1") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("notes = %v, want an explicit peers=1 skip note", notes)
+	}
+
+	// Exactly on the floor at exactly TCPFloorMinCPU CPUs: binds, passes.
+	onFloor := distFixture()
+	onFloor.NumCPU = TCPFloorMinCPU
+	onFloor.TCP.SpeedupPipelined = tol.TCPPipelineFloor
+	vs, notes = CompareDist(old, onFloor, tol)
+	for _, v := range vs {
+		if strings.HasPrefix(v.Field, "tcp") {
+			t.Errorf("pipelining exactly on the floor rejected: %v", v)
+		}
+	}
+
+	// A baseline without a tcp sub-record (pre-networking) skips the
+	// relative band but still enforces the fresh record's floor.
+	oldNoTCP := distFixture()
+	oldNoTCP.TCP = nil
+	vs, _ = CompareDist(oldNoTCP, slow, tol)
+	if len(vs) != 1 || vs[0].Field != "tcp.speedup_pipelined" {
+		t.Errorf("nil-baseline tcp: violations = %v, want the absolute floor only", vs)
+	}
+
+	noFloor := tol
+	noFloor.TCPPipelineFloor = 0
+	vs, notes = CompareDist(old, slow, noFloor)
+	if len(vs) != 1 || len(notes) != 0 {
+		t.Errorf("disabled tcp floor: violations = %v (want relative band only), notes %v", vs, notes)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"time"
 
 	"busenc/internal/bus"
 	"busenc/internal/codec"
@@ -17,13 +18,13 @@ import (
 )
 
 // Coordinator: plan -> seed sweep -> dispatch -> merge. Concurrency is
-// deliberately boring — one goroutine per worker pulling shard indices
-// off a channel (so in-flight work is bounded at one shard per worker),
-// results funneled to the coordinator goroutine over a channel, no
-// shared mutable state beyond the counters. Determinism comes from the
-// merge, not the schedule: results land in fixed per-shard slots and
-// buses merge in ascending shard order, so any interleaving of workers
-// produces the same totals.
+// deliberately boring — one goroutine per slot (local worker process or
+// TCP peer) pulling shard indices off a shared queue with a bounded
+// in-flight window (see dispatch.go), results funneled to the
+// coordinator goroutine over a channel, no shared mutable state beyond
+// the counters. Determinism comes from the merge, not the schedule:
+// results land in fixed per-shard slots and buses merge in ascending
+// shard order, so any interleaving of workers produces the same totals.
 
 // Spawner creates worker transports. id is the worker's slot in the
 // pool; gen counts respawns of that slot (0 for the first spawn), which
@@ -52,11 +53,13 @@ var ErrStopped = errors.New("dist: sweep stopped at checkpoint")
 
 // Opts configures a distributed sweep.
 type Opts struct {
-	// Workers is the worker-pool size; <= 0 means 1.
+	// Workers is the local worker-pool size; <= 0 means 1, unless
+	// Peers is non-empty, in which case <= 0 means no local workers
+	// (a peers-only sweep needs no Spawn at all).
 	Workers int
 	// Shards is the number of contiguous shards; <= 0 means 4 per
-	// worker, the smallest count that keeps the pool busy while shard
-	// runtimes vary.
+	// slot (workers + peers), the smallest count that keeps the pool
+	// busy while shard runtimes vary.
 	Shards int
 	// Codecs are the codes to price, all in one pass per shard.
 	Codecs []CodecSpec
@@ -67,9 +70,27 @@ type Opts struct {
 	Kernel  codec.Kernel
 	// Checkpoint is the journal path; empty disables checkpointing.
 	Checkpoint string
-	// Spawn creates workers. Required (cmd/busencsweep passes the
-	// re-exec spawner, tests pass in-process pipes).
+	// Spawn creates local workers. Required when Workers > 0
+	// (cmd/busencsweep passes the re-exec spawner, tests pass
+	// in-process pipes).
 	Spawn Spawner
+	// Peers are busencd addresses (host:port) to price shards on over
+	// TCP. Each peer is one slot in the pool, mixed freely with local
+	// workers. The trace is shipped once per peer by SHA-256 digest
+	// into its content-addressed store before dispatch; a peer that
+	// already holds the digest receives zero trace bytes.
+	Peers []string
+	// Window bounds in-flight shards per slot; <= 0 means
+	// DefaultWindow. Window 1 reproduces the old lock-step dispatch.
+	Window int
+	// HeartbeatInterval and HeartbeatTimeout tune liveness probing of
+	// busy slots; <= 0 means the defaults. A slot silent past the
+	// timeout is declared dead and its shards re-dispatch.
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+	// Net, when non-nil, accumulates network-transport counters
+	// (frames, bytes, redispatches, trace shipping) for the caller.
+	Net *NetStats
 	// StopAfter, when positive, stops the sweep after that many shard
 	// results have been journaled, returning ErrStopped — the
 	// coordinator half of the kill/resume tests.
@@ -89,16 +110,20 @@ func Sweep(path string, opts Opts) ([]codec.Result, error) {
 	if len(opts.Codecs) == 0 {
 		return nil, fmt.Errorf("dist: no codecs requested")
 	}
-	if opts.Spawn == nil {
-		return nil, fmt.Errorf("dist: no worker spawner")
-	}
 	workers := opts.Workers
 	if workers <= 0 {
-		workers = 1
+		if len(opts.Peers) > 0 {
+			workers = 0
+		} else {
+			workers = 1
+		}
+	}
+	if workers > 0 && opts.Spawn == nil {
+		return nil, fmt.Errorf("dist: no worker spawner")
 	}
 	shards := opts.Shards
 	if shards <= 0 {
-		shards = 4 * workers
+		shards = 4 * (workers + len(opts.Peers))
 	}
 
 	root := obs.StartSpan("dist.sweep", obs.StageEval).WithStream(path)
@@ -138,8 +163,31 @@ func Sweep(path string, opts Opts) ([]codec.Result, error) {
 	}
 	ssp.End()
 
+	// Slot pool: one config per local worker plus one per TCP peer.
+	// Peers are handshaken (version via /healthz) and the trace is
+	// shipped by digest before any shard is dispatched, so a dispatch
+	// never stalls on a bulk upload.
+	cfgs := make([]slotConfig, 0, workers+len(opts.Peers))
+	for i := 0; i < workers; i++ {
+		cfgs = append(cfgs, slotConfig{spawn: opts.Spawn})
+	}
+	if len(opts.Peers) > 0 {
+		ns := opts.Net
+		if ns == nil {
+			ns = &NetStats{}
+		}
+		ref, err := shipTrace(root, plan, opts.Peers, ns)
+		if err != nil {
+			root.EndErr(err)
+			return nil, err
+		}
+		for _, addr := range opts.Peers {
+			cfgs = append(cfgs, slotConfig{spawn: peerSpawner(addr, ns), ref: ref})
+		}
+	}
+
 	// Dispatch: fan the not-yet-done shards out to the pool.
-	stats, err := dispatch(root, plan, opts, workers, shards, states, prior, jr)
+	stats, err := dispatch(root, plan, opts, cfgs, shards, states, prior, jr)
 	if err != nil {
 		root.EndErr(err)
 		return nil, err
@@ -383,167 +431,6 @@ func boundaryStates(plan *planned, specs []CodecSpec, shards int, prior *journal
 // only such shards require an explicit boundary state.
 func needsState(plan *planned, k int) bool {
 	return plan.idx.Cuts[k].Entry > 0 && plan.idx.Cuts[k].Entry < plan.idx.Cuts[k+1].Entry
-}
-
-// delivery is one shard outcome funneled back to the coordinator
-// goroutine. fatal marks worker-infrastructure failures (a slot died
-// past its retry budget); err without fatal is a shard-level pricing
-// error, which participates in the ordered lowest-shard-wins merge
-// like an in-process shard error would.
-type delivery struct {
-	shard int
-	stats map[string]bus.Stats
-	err   error
-	fatal bool
-}
-
-// dispatch runs the worker pool over every shard the journal does not
-// already hold and returns the per-shard stats slots (journal-recovered
-// slots included). In-flight work is bounded at one shard per worker:
-// workers pull shard indices off an unbuffered channel, and the
-// delivery channel is buffered to the shard count so no worker ever
-// blocks handing a result back.
-func dispatch(root obs.SpanHandle, plan *planned, opts Opts, workers, shards int, states []map[string][]byte, prior *journalState, jr *journal) ([]map[string]bus.Stats, error) {
-	dsp := root.Child("dist.dispatch", obs.StageEval)
-	stats := make([]map[string]bus.Stats, shards)
-	shardErrs := make([]error, shards)
-	var pendingShards []int
-	for k := 0; k < shards; k++ {
-		if st, ok := prior.done[k]; ok {
-			stats[k] = st
-			continue
-		}
-		pendingShards = append(pendingShards, k)
-	}
-	retryLimit := opts.RetryLimit
-	if retryLimit <= 0 {
-		retryLimit = 1
-	}
-
-	jobs := make(chan int)
-	deliveries := make(chan delivery, shards+workers)
-	stop := make(chan struct{})
-	var stopOnce sync.Once
-	halt := func() { stopOnce.Do(func() { close(stop) }) }
-
-	// Producer: feed pending shards until drained or halted.
-	go func() {
-		defer close(jobs)
-		for _, k := range pendingShards {
-			select {
-			case jobs <- k:
-			case <-stop:
-				return
-			}
-		}
-	}()
-
-	var wg sync.WaitGroup
-	for id := 0; id < workers; id++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			w := newWorkerSlot(id, opts.Spawn, retryLimit)
-			defer w.close()
-			for shard := range jobs {
-				ksp := root.Child("dist.shard", obs.StageEncode).WithShard(shard)
-				res, err := w.price(buildJob(plan, opts, shard, states[shard]))
-				ksp.EndErr(err)
-				if err != nil {
-					// Worker slot died past its retry budget: this
-					// sweep cannot finish.
-					deliveries <- delivery{shard: shard, err: err, fatal: true}
-					halt()
-					return
-				}
-				var shardErr error
-				if res.Err != "" {
-					shardErr = errors.New(res.Err)
-				}
-				deliveries <- delivery{shard: shard, stats: res.Stats, err: shardErr}
-			}
-		}(id)
-	}
-	done := make(chan struct{})
-	go func() { wg.Wait(); close(done) }()
-
-	completed := 0
-	stopped := false
-	var fatal error
-	handle := func(d delivery) {
-		if d.fatal {
-			if fatal == nil {
-				fatal = d.err
-			}
-			halt()
-			return
-		}
-		shardErrs[d.shard] = d.err
-		stats[d.shard] = d.stats
-		completed++
-		RecordShardDone()
-		if jr != nil && d.err == nil {
-			if err := jr.append(journalRec{Type: recDone, Shard: d.shard, Stats: d.stats, Digest: statsDigest(d.stats)}); err != nil {
-				if fatal == nil {
-					fatal = err
-				}
-				halt()
-				return
-			}
-		}
-		if opts.StopAfter > 0 && completed >= opts.StopAfter && completed < len(pendingShards) {
-			stopped = true
-			halt()
-		}
-	}
-collect:
-	for completed < len(pendingShards) && fatal == nil && !stopped {
-		select {
-		case d := <-deliveries:
-			handle(d)
-		case <-done:
-			break collect
-		}
-	}
-	halt()
-	wg.Wait()
-	// Workers have exited; pick up anything still buffered (a shard
-	// finishing concurrently with the stop is still a finished shard
-	// and still gets journaled).
-	for {
-		select {
-		case d := <-deliveries:
-			if !stopped || !d.fatal {
-				handle(d)
-			}
-		default:
-			if fatal != nil {
-				dsp.EndErr(fatal)
-				return nil, fatal
-			}
-			if stopped || (opts.StopAfter > 0 && completed < len(pendingShards)) {
-				dsp.EndErr(ErrStopped)
-				return nil, fmt.Errorf("%w (%d/%d shards journaled)", ErrStopped, completed+len(prior.done), shards)
-			}
-			// Shard-level pricing errors: lowest shard wins, matching
-			// bus.MergeSlots.
-			for k := 0; k < shards; k++ {
-				if shardErrs[k] != nil {
-					dsp.EndErr(shardErrs[k])
-					return nil, shardErrs[k]
-				}
-			}
-			for k := 0; k < shards; k++ {
-				if stats[k] == nil {
-					err := fmt.Errorf("dist: shard %d never completed", k)
-					dsp.EndErr(err)
-					return nil, err
-				}
-			}
-			dsp.End()
-			return stats, nil
-		}
-	}
 }
 
 // buildJob assembles the wire job for one shard.

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"busenc/internal/codec"
 	"busenc/internal/trace"
@@ -209,7 +210,9 @@ func TestWorkerDeathRetry(t *testing.T) {
 	path := writeBETR(t, s)
 	specs := AllSpecs(width)
 	// Worker 0's first life dies after pricing 1 job; every other life
-	// is healthy.
+	// is healthy. One slot makes the death deterministic: the pipelined
+	// window guarantees the first life receives a second job frame (9
+	// shards, one slot), which is what trips FailAfter.
 	sp := &countingSpawner{inner: InProcSpawner(func(id, gen int) WorkerOpts {
 		if id == 0 && gen == 0 {
 			return WorkerOpts{FailAfter: 1}
@@ -217,7 +220,7 @@ func TestWorkerDeathRetry(t *testing.T) {
 		return WorkerOpts{}
 	})}
 	res, err := Sweep(path, Opts{
-		Workers: 3, Shards: 9, Codecs: specs, Verify: codec.VerifyNone, Spawn: sp,
+		Workers: 1, Shards: 9, Codecs: specs, Verify: codec.VerifyNone, Spawn: sp,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -400,5 +403,62 @@ func TestSweepBadSpec(t *testing.T) {
 	})
 	if err == nil || !strings.Contains(err.Error(), "no-such-codec") {
 		t.Fatalf("err = %v, want unknown-codec failure", err)
+	}
+}
+
+// TestPipelinedWindowParity: the in-flight window is a latency knob,
+// never a correctness knob — any window size produces bit-identical
+// results, including window 1 (the old lock-step dispatch).
+func TestPipelinedWindowParity(t *testing.T) {
+	const width = 32
+	s := mixStream(width, 10000, 54)
+	path := writeBETR(t, s)
+	specs := AllSpecs(width)
+	want := wantResults(t, s, specs, codec.VerifyNone, false)
+	for _, window := range []int{1, 2, 8} {
+		res, err := Sweep(path, Opts{
+			Workers: 2, Shards: 8, Codecs: specs, Verify: codec.VerifyNone,
+			Window: window, Spawn: InProcSpawner(nil),
+		})
+		if err != nil {
+			t.Fatalf("window=%d: %v", window, err)
+		}
+		checkParity(t, res, want)
+	}
+}
+
+// TestHeartbeatTimeoutRedispatch: a worker that wedges (keeps the
+// connection open but answers nothing) is detected by the heartbeat
+// timeout; its in-flight shards re-dispatch and parity holds.
+func TestHeartbeatTimeoutRedispatch(t *testing.T) {
+	const width = 32
+	s := mixStream(width, 8000, 55)
+	path := writeBETR(t, s)
+	specs := AllSpecs(width)
+	var ns NetStats
+	// Worker 0's first life stalls after one job: it reads every frame
+	// (so pipelined sends never block) but stops replying, even to
+	// pings — the wedged-peer failure mode EOF detection cannot see.
+	sp := InProcSpawner(func(id, gen int) WorkerOpts {
+		if id == 0 && gen == 0 {
+			return WorkerOpts{StallAfter: 1}
+		}
+		return WorkerOpts{}
+	})
+	res, err := Sweep(path, Opts{
+		Workers: 2, Shards: 8, Codecs: specs, Verify: codec.VerifyNone,
+		Spawn: sp, Net: &ns,
+		HeartbeatInterval: 10 * time.Millisecond,
+		HeartbeatTimeout:  150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkParity(t, res, wantResults(t, s, specs, codec.VerifyNone, false))
+	if n := ns.HeartbeatTimeouts.Load(); n < 1 {
+		t.Errorf("heartbeat timeouts = %d, want >= 1", n)
+	}
+	if n := ns.Redispatches.Load(); n < 1 {
+		t.Errorf("redispatches = %d, want >= 1", n)
 	}
 }

@@ -77,3 +77,58 @@ func RecordHeartbeat() {
 	}
 	obs.GetCounter("dist.heartbeats").Inc()
 }
+
+// dist.net.* counters cover the TCP peer transport: frame/byte volume
+// at the framing layer, trace shipping and digest dedup at the store
+// layer, and the supervision events (redispatch, heartbeat timeout)
+// that make networked sweeps loss-free. They surface alongside every
+// other counter in /metrics?format=prometheus and cmd/paper -metrics.
+
+func recordNetSend(bytes int) {
+	if !obs.Enabled() {
+		return
+	}
+	obs.GetCounter("dist.net.frames_sent").Inc()
+	obs.GetCounter("dist.net.bytes_sent").Add(int64(bytes))
+}
+
+func recordNetRecv(bytes int) {
+	if !obs.Enabled() {
+		return
+	}
+	obs.GetCounter("dist.net.frames_recv").Inc()
+	obs.GetCounter("dist.net.bytes_recv").Add(int64(bytes))
+}
+
+// recordRedispatch counts one shard re-queued after its worker died or
+// timed out (a subset of dist.shard.retries scoped to the dispatcher).
+func recordRedispatch() {
+	if !obs.Enabled() {
+		return
+	}
+	obs.GetCounter("dist.net.redispatches").Inc()
+}
+
+// recordHeartbeatTimeout counts one worker declared dead for silence.
+func recordHeartbeatTimeout() {
+	if !obs.Enabled() {
+		return
+	}
+	obs.GetCounter("dist.net.heartbeat_timeouts").Inc()
+}
+
+// recordTraceShip counts one trace upload to a peer.
+func recordTraceShip(bytes int) {
+	if !obs.Enabled() {
+		return
+	}
+	obs.GetCounter("dist.net.trace_ship_bytes").Add(int64(bytes))
+}
+
+// recordTraceDedup counts one peer that already held the digest.
+func recordTraceDedup() {
+	if !obs.Enabled() {
+		return
+	}
+	obs.GetCounter("dist.net.trace_dedup_hits").Inc()
+}

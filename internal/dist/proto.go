@@ -48,10 +48,13 @@ const (
 	msgShutdown = "shutdown"
 )
 
-// protoVersion is bumped whenever the job or result schema changes
-// incompatibly. The hello handshake rejects mismatches loudly instead
-// of mispricing quietly.
-const protoVersion = 1
+// ProtoVersion is bumped whenever the job or result schema — or the
+// dispatch contract — changes incompatibly. The hello handshake (and
+// the /healthz peer handshake in internal/serve) rejects mismatches
+// loudly instead of mispricing quietly. Version 2 introduced pipelined
+// dispatch: a worker must answer pings concurrently with pricing, and
+// may hold several jobs in flight.
+const ProtoVersion = 2
 
 // msg is the single envelope every frame carries.
 type msg struct {
@@ -139,11 +142,14 @@ type ShardResult struct {
 	Err   string               `json:"err,omitempty"`
 }
 
-// conn frames messages over a byte stream.
+// conn frames messages over a byte stream. stats is non-nil only on
+// network transports: the framing layer is where every frame and byte
+// crossing the wire is visible, so the dist.net.* counters hook here.
 type conn struct {
-	r   *bufio.Reader
-	w   io.Writer
-	buf []byte
+	r     *bufio.Reader
+	w     io.Writer
+	buf   []byte
+	stats *NetStats
 }
 
 func newConn(r io.Reader, w io.Writer) *conn {
@@ -161,8 +167,15 @@ func (c *conn) send(m msg) error {
 	if _, err := c.w.Write(hdr[:]); err != nil {
 		return err
 	}
-	_, err = c.w.Write(body)
-	return err
+	if _, err := c.w.Write(body); err != nil {
+		return err
+	}
+	if c.stats != nil {
+		c.stats.FramesSent.Add(1)
+		c.stats.BytesSent.Add(int64(4 + len(body)))
+		recordNetSend(4 + len(body))
+	}
+	return nil
 }
 
 // recv reads one framed message. io.EOF (possibly wrapped as
@@ -186,6 +199,11 @@ func (c *conn) recv() (msg, error) {
 	var m msg
 	if err := json.Unmarshal(body, &m); err != nil {
 		return msg{}, fmt.Errorf("dist: bad frame: %w", err)
+	}
+	if c.stats != nil {
+		c.stats.FramesRecv.Add(1)
+		c.stats.BytesRecv.Add(int64(4 + n))
+		recordNetRecv(4 + int(n))
 	}
 	return m, nil
 }

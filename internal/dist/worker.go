@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
+	"sync/atomic"
 
 	"busenc/internal/bus"
 	"busenc/internal/codec"
@@ -18,6 +20,18 @@ type WorkerOpts struct {
 	// -failafter flag. The coordinator sees a dead pipe with a job in
 	// flight, exactly like a real crash.
 	FailAfter int
+	// StallAfter, when positive, makes the worker go silent once it
+	// has priced that many jobs: it keeps reading frames (so the
+	// coordinator's pipelined sends never block) but answers nothing,
+	// not even pings — the fault injection knob behind the
+	// heartbeat-timeout tests. A crash looks like EOF; a stall looks
+	// like a wedged peer.
+	StallAfter int
+	// Resolve, when non-nil, maps Job.TracePath references to local
+	// filesystem paths before mapping. The /dist endpoint uses it to
+	// confine workers to the peer's content-addressed trace store
+	// ("sha256:..." refs only); nil means paths are used as-is.
+	Resolve func(ref string) (string, error)
 }
 
 // errFailInjected is returned by ServeWorker when FailAfter trips; the
@@ -25,14 +39,25 @@ type WorkerOpts struct {
 var errFailInjected = fmt.Errorf("dist: injected worker failure")
 
 // ServeWorker runs the worker side of the shard protocol over the
-// given byte streams (stdin/stdout for a real worker process, an
-// in-memory pipe in tests): announce with a hello, then price every
-// job the coordinator sends until shutdown or EOF. Trace views are
-// mmap'd once per path and shared read-only with the coordinator
-// through the page cache — a worker never copies shard bytes.
+// given byte streams (stdin/stdout for a real worker process, a
+// hijacked TCP connection on a busencd peer, an in-memory pipe in
+// tests): announce with a hello, then price every job the coordinator
+// sends until shutdown or EOF. The coordinator pipelines: jobs arrive
+// ahead of the results for earlier ones, and pings arrive while a
+// shard is pricing — so a reader goroutine keeps draining frames
+// (answering pings immediately) while the pricer works through the
+// job queue in order. Trace views are mmap'd once per path and shared
+// read-only through the page cache — a worker never copies shard
+// bytes.
 func ServeWorker(r io.Reader, w io.Writer, opts WorkerOpts) error {
 	c := newConn(r, w)
-	if err := c.send(msg{Type: msgHello, Version: protoVersion, PID: os.Getpid()}); err != nil {
+	var wmu sync.Mutex // hello/pong/result writes interleave across goroutines
+	send := func(m msg) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		return c.send(m)
+	}
+	if err := send(msg{Type: msgHello, Version: ProtoVersion, PID: os.Getpid()}); err != nil {
 		return err
 	}
 	views := map[string]mappedView{}
@@ -41,37 +66,76 @@ func ServeWorker(r io.Reader, w io.Writer, opts WorkerOpts) error {
 			v.closer.Close()
 		}
 	}()
-	jobs := 0
-	for {
-		m, err := c.recv()
-		if err != nil {
-			if err == io.EOF {
-				return nil // coordinator closed the pipe; clean exit
+
+	var stalled atomic.Bool
+	jobs := make(chan *Job, 64)
+	errc := make(chan error, 1)
+	done := make(chan struct{})
+	defer close(done) // unblocks the reader if the pricer exits first
+	fail := func(err error) {
+		select {
+		case errc <- err:
+		default:
+		}
+	}
+	go func() {
+		defer close(jobs)
+		for {
+			m, err := c.recv()
+			if err != nil {
+				if err != io.EOF {
+					fail(err)
+				}
+				return
 			}
+			switch m.Type {
+			case msgPing:
+				if stalled.Load() {
+					continue
+				}
+				if err := send(msg{Type: msgPong}); err != nil {
+					fail(err)
+					return
+				}
+			case msgShutdown:
+				return
+			case msgJob:
+				if m.Job == nil {
+					fail(fmt.Errorf("dist: job frame without a job"))
+					return
+				}
+				select {
+				case jobs <- m.Job:
+				case <-done:
+					return
+				}
+			default:
+				fail(fmt.Errorf("dist: unexpected %q frame", m.Type))
+				return
+			}
+		}
+	}()
+
+	priced := 0
+	for j := range jobs {
+		if opts.FailAfter > 0 && priced >= opts.FailAfter {
+			return errFailInjected
+		}
+		if opts.StallAfter > 0 && priced >= opts.StallAfter {
+			stalled.Store(true)
+			continue // swallow the job; keep draining frames silently
+		}
+		res := priceJob(j, views, opts.Resolve)
+		priced++
+		if err := send(msg{Type: msgResult, Result: res}); err != nil {
 			return err
 		}
-		switch m.Type {
-		case msgPing:
-			if err := c.send(msg{Type: msgPong}); err != nil {
-				return err
-			}
-		case msgShutdown:
-			return nil
-		case msgJob:
-			if m.Job == nil {
-				return fmt.Errorf("dist: job frame without a job")
-			}
-			if opts.FailAfter > 0 && jobs >= opts.FailAfter {
-				return errFailInjected
-			}
-			jobs++
-			res := priceJob(m.Job, views)
-			if err := c.send(msg{Type: msgResult, Result: res}); err != nil {
-				return err
-			}
-		default:
-			return fmt.Errorf("dist: unexpected %q frame", m.Type)
-		}
+	}
+	select {
+	case err := <-errc:
+		return err
+	default:
+		return nil
 	}
 }
 
@@ -81,15 +145,24 @@ type mappedView struct {
 }
 
 // priceJob prices one shard for every codec in the job. Any error —
-// opening the trace, decoding the range, a verification mismatch — is
-// reported in the result rather than killing the worker, so a bad
-// shard fails the sweep through the ordered merge (lowest shard wins)
-// instead of looking like a worker crash.
-func priceJob(j *Job, views map[string]mappedView) *ShardResult {
+// resolving or opening the trace, decoding the range, a verification
+// mismatch — is reported in the result rather than killing the worker,
+// so a bad shard fails the sweep through the ordered merge (lowest
+// shard wins) instead of looking like a worker crash.
+func priceJob(j *Job, views map[string]mappedView, resolve func(string) (string, error)) *ShardResult {
 	res := &ShardResult{Shard: j.Shard}
 	v, ok := views[j.TracePath]
 	if !ok {
-		data, closer, err := trace.MapBytes(j.TracePath)
+		path := j.TracePath
+		if resolve != nil {
+			p, err := resolve(j.TracePath)
+			if err != nil {
+				res.Err = err.Error()
+				return res
+			}
+			path = p
+		}
+		data, closer, err := trace.MapBytes(path)
 		if err != nil {
 			res.Err = err.Error()
 			return res

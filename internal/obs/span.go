@@ -46,6 +46,10 @@ const (
 	StageEval = "eval"
 	// StageBench marks benchmark-suite phases (cmd/paper -benchjson).
 	StageBench = "bench"
+	// StageNet is network transport work: peer dialing, digest-based
+	// trace shipping, and anything else on the wire between a dist
+	// coordinator and its busencd peers.
+	StageNet = "net"
 )
 
 // Span is one timed hop of the pipeline. Shard and Chunk are -1 when

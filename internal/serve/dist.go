@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+
+	"busenc/internal/dist"
+	"busenc/internal/obs"
+)
+
+// /dist: the peer side of networked distributed pricing. A dist
+// coordinator upgrades the connection (HTTP/1.1 101, Upgrade:
+// busenc-dist) and then speaks the exact length-prefixed job protocol
+// local workers speak over stdin/stdout — dist.ServeWorker runs the
+// connection. Jobs reference traces by "sha256:..." digest only; the
+// resolver confines every worker to the content-addressed store, so a
+// peer never opens a coordinator-controlled filesystem path.
+
+// handleDist upgrades one connection into a dist worker.
+func (s *Server) handleDist(w http.ResponseWriter, r *http.Request) {
+	if !strings.EqualFold(r.Header.Get("Upgrade"), dist.UpgradeProtocol) {
+		Error(w, http.StatusBadRequest, "want Upgrade: %s", dist.UpgradeProtocol)
+		return
+	}
+	if s.queue.Draining() {
+		unavailable(w, "server is draining")
+		return
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		Error(w, http.StatusInternalServerError, "connection cannot be hijacked")
+		return
+	}
+	conn, bufrw, err := hj.Hijack()
+	if err != nil {
+		Error(w, http.StatusInternalServerError, "hijack: %v", err)
+		return
+	}
+	defer conn.Close()
+	fmt.Fprintf(bufrw, "HTTP/1.1 101 Switching Protocols\r\nUpgrade: %s\r\nConnection: Upgrade\r\n\r\n", dist.UpgradeProtocol)
+	if err := bufrw.Flush(); err != nil {
+		return
+	}
+
+	wo := dist.WorkerOpts{Resolve: s.resolveTrace}
+	// Fault injection for the peer-kill tests and smoke scenarios: only
+	// the first /dist connection of the process gets the failure, so a
+	// redialed (respawned) peer slot is healthy — mirroring the
+	// gen-0-only injection of the local spawner tests.
+	if s.cfg.DistFailAfter > 0 && s.distConns.Add(1) == 1 {
+		wo.FailAfter = s.cfg.DistFailAfter
+	}
+	sp := obs.StartSpan("serve.dist_conn", obs.StageNet).WithStream(conn.RemoteAddr().String())
+	err = dist.ServeWorker(bufrw.Reader, conn, wo)
+	sp.EndErr(err)
+}
+
+// resolveTrace maps a job's trace ref to a store path. Only stored
+// digests resolve; filesystem paths are refused outright.
+func (s *Server) resolveTrace(ref string) (string, error) {
+	if !IsDigest(ref) {
+		return "", fmt.Errorf("serve: dist jobs must reference traces by digest, got %q", ref)
+	}
+	if _, ok := s.store.Lookup(ref); !ok {
+		return "", fmt.Errorf("serve: unknown trace digest %q", ref)
+	}
+	return s.store.path(ref), nil
+}

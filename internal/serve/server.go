@@ -20,6 +20,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"busenc/internal/codec"
@@ -51,6 +52,10 @@ type Config struct {
 	SyncMaxEntries int64
 	// Options are the codec parameters (core.DefaultOptions when zero).
 	Options codec.Options
+	// DistFailAfter injects a worker fault into the first /dist
+	// connection of the process: its dist worker dies after pricing
+	// that many shards. Test/smoke-only knob; 0 disables.
+	DistFailAfter int
 }
 
 // Defaults for Config's zero values.
@@ -64,11 +69,12 @@ const (
 // Server ties the store, tenants, cache and queue together under an
 // http.Handler surface.
 type Server struct {
-	cfg     Config
-	store   *Store
-	tenants *Tenants
-	cache   *Cache
-	queue   *Queue
+	cfg       Config
+	store     *Store
+	tenants   *Tenants
+	cache     *Cache
+	queue     *Queue
+	distConns atomic.Int64
 }
 
 // New builds a Server (without starting workers; call Start).
@@ -130,12 +136,16 @@ func (s *Server) Drain(timeout time.Duration) bool {
 }
 
 // Register installs the service endpoints on a mux: POST /traces,
-// GET /traces, GET/POST /eval, GET /jobs and GET /jobs/{id}.
+// GET /traces, GET /traces/{digest}, GET/POST /eval, GET /jobs,
+// GET /jobs/{id}, GET /healthz and the /dist peer upgrade.
 func (s *Server) Register(mux *http.ServeMux) {
 	mux.HandleFunc("/traces", s.handleTraces)
+	mux.HandleFunc("/traces/", s.handleTraceByDigest)
 	mux.HandleFunc("/eval", s.HandleEval)
 	mux.HandleFunc("/jobs", s.handleJobs)
 	mux.HandleFunc("/jobs/", s.handleJob)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/dist", s.handleDist)
 }
 
 // Error writes the service's JSON error envelope ({"error","status"})
