@@ -135,9 +135,10 @@ net-smoke:
 		echo "net-smoke: peers failed to start"; cat .net-smoke/peer1.log .net-smoke/peer2.log; exit 1; fi; \
 	echo "net-smoke: peers $$A1 $$A2"; \
 	.net-smoke/busencsweep -trace .net-smoke/smoke.trace -workers 0 -peers $$A1,$$A2 -shards 16 > .net-smoke/sweep1.txt; \
-	.net-smoke/busencsweep -trace .net-smoke/smoke.trace -workers 0 -peers $$A1,$$A2 -shards 16 > .net-smoke/sweep2.txt; \
+	.net-smoke/busencsweep -trace .net-smoke/smoke.trace -workers 0 -peers $$A1,$$A2 -shards 16 -spantrace .net-smoke/merged-trace.json > .net-smoke/sweep2.txt; \
 	cmp .net-smoke/sweep1.txt .net-smoke/sweep2.txt; \
-	echo "net-smoke: networked sweeps reproduce bit-identically"; cat .net-smoke/sweep2.txt
+	echo "net-smoke: networked sweeps reproduce bit-identically (tracing on/off)"; cat .net-smoke/sweep2.txt
+	$(GO) run ./cmd/tracecheck -mincover 0.95 -minprocs 3 .net-smoke/merged-trace.json
 	$(GO) run ./cmd/paper -benchdist .net-smoke/BENCH_dist.json
 
 bench:

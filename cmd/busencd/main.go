@@ -21,7 +21,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"expvar"
 	"flag"
 	"fmt"
@@ -140,9 +139,8 @@ func newMux(withPprof bool, srv *serve.Server) *http.ServeMux {
 	})
 
 	mux := http.NewServeMux()
-	srv.Register(mux) // /traces /eval /jobs /jobs/{id} /healthz /dist
-	mux.HandleFunc("/metrics", handleMetrics)
-	mux.HandleFunc("/spans", handleSpans)
+	srv.Register(mux) // /traces /eval /jobs /jobs/{id} /healthz /spans /slo /dist
+	mux.HandleFunc("/metrics", handleMetrics(srv))
 	mux.Handle("/debug/vars", expvar.Handler())
 	if withPprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -156,58 +154,32 @@ func newMux(withPprof bool, srv *serve.Server) *http.ServeMux {
 
 // handleMetrics dumps every non-empty registry: JSON by default,
 // ?format=table for the human-aligned rendering, ?format=prometheus for
-// the text exposition a Prometheus scraper expects.
-func handleMetrics(w http.ResponseWriter, r *http.Request) {
-	switch r.URL.Query().Get("format") {
-	case "", "json":
-		w.Header().Set("Content-Type", "application/json")
-		if err := obs.WriteAllJSON(w); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+// the text exposition a Prometheus scraper expects (with the serve
+// layer's per-tenant SLO histograms appended).
+func handleMetrics(srv *serve.Server) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Query().Get("format") {
+		case "", "json":
+			w.Header().Set("Content-Type", "application/json")
+			if err := obs.WriteAllJSON(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		case "table":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			if err := obs.WriteAllTable(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		case "prometheus":
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := obs.WritePrometheus(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			if err := srv.SLO().WritePrometheus(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		default:
+			http.Error(w, "format must be json, table or prometheus", http.StatusBadRequest)
 		}
-	case "table":
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		if err := obs.WriteAllTable(w); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	case "prometheus":
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		if err := obs.WritePrometheus(w); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-		}
-	default:
-		http.Error(w, "format must be json, table or prometheus", http.StatusBadRequest)
 	}
-}
-
-// spansResponse is the JSON reply of /spans.
-type spansResponse struct {
-	Enabled bool       `json:"tracing_enabled"`
-	Count   int        `json:"count"`
-	Spans   []obs.Span `json:"spans"`
-}
-
-// handleSpans serves the flight recorder's current contents — the most
-// recent spans across the pipeline, start-ordered — optionally filtered
-// by exact stage (?stage=encode) and codec (?codec=t0bi) label.
-func handleSpans(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	stage, code := q.Get("stage"), q.Get("codec")
-	spans := obs.Spans() // a fresh copy, safe to filter in place
-	out := spans[:0]
-	for _, s := range spans {
-		if stage != "" && s.Stage != stage {
-			continue
-		}
-		if code != "" && s.Codec != code {
-			continue
-		}
-		out = append(out, s)
-	}
-	if out == nil {
-		out = []obs.Span{}
-	}
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(spansResponse{Enabled: obs.TracingEnabled(), Count: len(out), Spans: out})
 }

@@ -204,12 +204,18 @@ func TestServerSpansAndPrometheus(t *testing.T) {
 	if code != 200 {
 		t.Fatalf("/spans: %d %s", code, body)
 	}
-	var sresp spansResponse
+	var sresp serve.SpansResponse
 	if err := json.Unmarshal([]byte(body), &sresp); err != nil {
 		t.Fatalf("/spans returned invalid JSON: %v\n%s", err, body)
 	}
 	if !sresp.Enabled || sresp.Count == 0 || len(sresp.Spans) != sresp.Count {
 		t.Fatalf("/spans = enabled=%v count=%d len=%d", sresp.Enabled, sresp.Count, len(sresp.Spans))
+	}
+	// The export identifies its recorder: pid, host and tracer epoch are
+	// what a sweep coordinator uses to place this peer's lane on its own
+	// timebase.
+	if sresp.PID != os.Getpid() || sresp.Epoch == 0 {
+		t.Errorf("/spans recorder identity = pid %d epoch %d", sresp.PID, sresp.Epoch)
 	}
 	stages := map[string]bool{}
 	for _, s := range sresp.Spans {
@@ -226,7 +232,7 @@ func TestServerSpansAndPrometheus(t *testing.T) {
 	if code != 200 {
 		t.Fatalf("/spans?stage=encode&codec=t0: %d %s", code, body)
 	}
-	var fresp spansResponse
+	var fresp serve.SpansResponse
 	if err := json.Unmarshal([]byte(body), &fresp); err != nil {
 		t.Fatalf("filtered /spans invalid JSON: %v", err)
 	}
@@ -239,15 +245,40 @@ func TestServerSpansAndPrometheus(t *testing.T) {
 		}
 	}
 
-	// Prometheus exposition carries typed busenc_ metrics.
+	// Prometheus exposition carries typed busenc_ metrics, with the
+	// labeled per-tenant SLO series appended (the /eval above ran as the
+	// "anon" tenant through the timed /eval route).
 	code, body = get(t, srv, "/metrics?format=prometheus")
 	if code != 200 {
 		t.Fatalf("/metrics?format=prometheus: %d %s", code, body)
 	}
-	for _, want := range []string{"# TYPE busenc_", "busenc_default_trace_chunks_read", "_bucket{le=\"+Inf\"}"} {
+	for _, want := range []string{
+		"# TYPE busenc_", "busenc_default_trace_chunks_read", "_bucket{le=\"+Inf\"}",
+		"# TYPE busenc_serve_slo_latency_ns histogram",
+		`busenc_serve_slo_latency_ns_count{route="/eval",tenant="anon"}`,
+	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("prometheus exposition missing %q:\n%s", want, body)
 		}
+	}
+
+	// The JSON SLO summary reports the same traffic.
+	code, body = get(t, srv, "/slo")
+	if code != 200 {
+		t.Fatalf("/slo: %d %s", code, body)
+	}
+	var slo serve.SLOSnapshot
+	if err := json.Unmarshal([]byte(body), &slo); err != nil {
+		t.Fatalf("/slo returned invalid JSON: %v\n%s", err, body)
+	}
+	found := false
+	for _, req := range slo.Requests {
+		if req.Tenant == "anon" && req.Route == "/eval" && req.Count > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("/slo missing the anon /eval series: %+v", slo.Requests)
 	}
 }
 

@@ -58,6 +58,7 @@ func main() {
 	stopAfter := flag.Int("stopafter", 0, "fault injection: stop the coordinator after this many shard results are journaled (requires -checkpoint to be resumable)")
 	asJSON := flag.Bool("json", false, "emit JSON instead of an aligned table")
 	metrics := flag.Bool("metrics", false, "enable observability counters and dump them to stderr on exit")
+	spantrace := flag.String("spantrace", "", "write the sweep's merged distributed trace (coordinator + every worker/peer lane, clock-aligned) to this file as Chrome trace-event JSON")
 	flag.Parse()
 
 	if *worker {
@@ -86,6 +87,7 @@ func main() {
 		perLine:    *perLine,
 		stopAfter:  *stopAfter,
 		asJSON:     *asJSON,
+		spantrace:  *spantrace,
 	}
 	if err := run(cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "busencsweep:", err)
@@ -126,6 +128,7 @@ type sweepConfig struct {
 	perLine    bool
 	stopAfter  int
 	asJSON     bool
+	spantrace  string
 }
 
 // run is the coordinator: plan, sweep, print. Factored from main for
@@ -154,6 +157,18 @@ func run(cfg sweepConfig, out *os.File) error {
 	if err != nil {
 		return err
 	}
+	// -spantrace turns the sweep into a distributed trace: the
+	// coordinator records its own spans, jobs carry the minted trace
+	// context to every worker and peer, and their span dumps are
+	// harvested and clock-aligned into one merged timeline at the end.
+	// Harvesting only observes — the results are bit-identical either
+	// way.
+	var harvest *dist.SpanHarvest
+	var tracer *obs.Tracer
+	if cfg.spantrace != "" {
+		tracer = obs.EnableTracing(obs.TracerConfig{})
+		harvest = &dist.SpanHarvest{}
+	}
 	results, err := dist.Sweep(cfg.trace, dist.Opts{
 		Workers:    cfg.workers,
 		Peers:      cfg.peers,
@@ -166,9 +181,17 @@ func run(cfg sweepConfig, out *os.File) error {
 		Checkpoint: cfg.checkpoint,
 		Spawn:      spawn,
 		StopAfter:  cfg.stopAfter,
+		Harvest:    harvest,
 	})
 	if err != nil {
 		return err
+	}
+	if harvest != nil {
+		if err := writeSpanTrace(cfg.spantrace, harvest, tracer); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "busencsweep: merged trace %s written to %s\n",
+			harvest.TraceID(), cfg.spantrace)
 	}
 	if cfg.asJSON {
 		enc := json.NewEncoder(out)
@@ -176,6 +199,20 @@ func run(cfg sweepConfig, out *os.File) error {
 		return enc.Encode(results)
 	}
 	return printTable(out, results)
+}
+
+// writeSpanTrace merges the coordinator's recorded spans with every
+// harvested worker/peer dump into one clock-aligned trace-event file.
+func writeSpanTrace(path string, h *dist.SpanHarvest, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := obs.WriteMergedTraceEvents(f, h.Merged(tr.Spans(), tr.Epoch()))
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }
 
 // traceWidth reads just the trace header for the bus width.

@@ -11,6 +11,7 @@ import (
 
 	"busenc/internal/codec"
 	"busenc/internal/dist"
+	"busenc/internal/obs"
 	"busenc/internal/trace"
 )
 
@@ -123,6 +124,54 @@ func TestRunKillAndResume(t *testing.T) {
 		}
 		if r.Transitions != want.Transitions || r.Cycles != want.Cycles || r.MaxPerCycle != want.MaxPerCycle {
 			t.Errorf("codec %s: CLI %+v != RunFast %+v", r.Codec, r, want)
+		}
+	}
+}
+
+// TestRunSpanTrace: -spantrace writes a merged multi-process timeline
+// (coordinator + one lane per subprocess worker) and leaves the sweep
+// results identical to an untraced run.
+func TestRunSpanTrace(t *testing.T) {
+	defer obs.DisableTracing()
+	path, _ := testTrace(t, 8000)
+	traceOut := filepath.Join(t.TempDir(), "merged.json")
+	base := sweepConfig{trace: path, workers: 2, shards: 4, codes: "paper", verify: "none", kernel: "auto", stride: 4, asJSON: true}
+	traced := base
+	traced.spantrace = traceOut
+	got := runToFile(t, func(out *os.File) error { return run(traced, out) })
+	plain := runToFile(t, func(out *os.File) error { return run(base, out) })
+	if got != plain {
+		t.Errorf("traced results differ from untraced:\n%s\nvs\n%s", got, plain)
+	}
+
+	raw, err := os.ReadFile(traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Pid  int    `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		t.Fatalf("merged trace is not JSON: %v", err)
+	}
+	pids := map[int]bool{}
+	names := map[string]bool{}
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph == "X" {
+			pids[ev.Pid] = true
+			names[ev.Name] = true
+		}
+	}
+	if len(pids) != 3 {
+		t.Errorf("merged trace has %d pid lanes, want coordinator + 2 workers", len(pids))
+	}
+	for _, want := range []string{"dist.sweep", "dist.shard_price", "dist.worker_conn"} {
+		if !names[want] {
+			t.Errorf("merged trace missing %q spans (got %v)", want, names)
 		}
 	}
 }

@@ -54,6 +54,130 @@ func TestCheckCoverageUnion(t *testing.T) {
 	}
 }
 
+// TestCheckMultiPidLanes: per-process coverage over merged distributed
+// traces — gaps and overlaps are attributed to the right lane, and a
+// hole in one peer's lane is visible even when the whole-file union
+// looks complete.
+func TestCheckMultiPidLanes(t *testing.T) {
+	cases := []struct {
+		name    string
+		raw     string
+		lanes   int
+		overall float64
+		cover   map[int]float64 // pid → lane coverage
+	}{
+		{
+			// Coordinator covers [0,100]; worker lane has a 50% hole that
+			// the coordinator's span hides from the overall union.
+			name: "worker hole hidden by coordinator",
+			raw: `{"traceEvents": [
+				{"name": "sweep", "ph": "X", "ts": 0, "dur": 100, "pid": 1, "tid": 1},
+				{"name": "price", "ph": "X", "ts": 10, "dur": 20, "pid": 2, "tid": 1},
+				{"name": "price", "ph": "X", "ts": 70, "dur": 20, "pid": 2, "tid": 1}
+			]}`,
+			lanes:   2,
+			overall: 1,
+			cover:   map[int]float64{1: 1, 2: 0.5},
+		},
+		{
+			// Overlapping spans within one lane must not double-count.
+			name: "overlap within a lane",
+			raw: `{"traceEvents": [
+				{"name": "a", "ph": "X", "ts": 0, "dur": 6, "pid": 3, "tid": 1},
+				{"name": "b", "ph": "X", "ts": 4, "dur": 6, "pid": 3, "tid": 2},
+				{"name": "c", "ph": "X", "ts": 30, "dur": 10, "pid": 3, "tid": 1}
+			]}`,
+			lanes:   1,
+			overall: 0.5,
+			cover:   map[int]float64{3: 0.5},
+		},
+		{
+			// Disjoint lanes: each is fully covered over its own window
+			// even though the lanes are far apart on the shared timeline.
+			name: "disjoint lanes each complete",
+			raw: `{"traceEvents": [
+				{"name": "m", "ph": "M", "pid": 1, "tid": 1},
+				{"name": "a", "ph": "X", "ts": 0, "dur": 10, "pid": 1, "tid": 1},
+				{"name": "b", "ph": "X", "ts": 1000, "dur": 10, "pid": 2, "tid": 1}
+			]}`,
+			lanes:   2,
+			overall: 20.0 / 1010.0,
+			cover:   map[int]float64{1: 1, 2: 1},
+		},
+		{
+			// An instantaneous lane (zero-length window) counts as covered.
+			name: "degenerate lane",
+			raw: `{"traceEvents": [
+				{"name": "a", "ph": "X", "ts": 0, "dur": 50, "pid": 1, "tid": 1},
+				{"name": "tick", "ph": "X", "ts": 25, "dur": 0, "pid": 2, "tid": 1}
+			]}`,
+			lanes:   2,
+			overall: 1,
+			cover:   map[int]float64{1: 1, 2: 1},
+		},
+	}
+	for _, tc := range cases {
+		rep, err := check([]byte(tc.raw))
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if len(rep.Lanes) != tc.lanes {
+			t.Errorf("%s: lanes = %d, want %d", tc.name, len(rep.Lanes), tc.lanes)
+			continue
+		}
+		if math.Abs(rep.Coverage-tc.overall) > 1e-9 {
+			t.Errorf("%s: overall coverage = %g, want %g", tc.name, rep.Coverage, tc.overall)
+		}
+		for _, lane := range rep.Lanes {
+			want, ok := tc.cover[lane.Pid]
+			if !ok {
+				t.Errorf("%s: unexpected lane pid %d", tc.name, lane.Pid)
+				continue
+			}
+			if math.Abs(lane.Coverage-want) > 1e-9 {
+				t.Errorf("%s: pid %d coverage = %g, want %g", tc.name, lane.Pid, lane.Coverage, want)
+			}
+		}
+		// Lanes come out in ascending pid order.
+		for i := 1; i < len(rep.Lanes); i++ {
+			if rep.Lanes[i].Pid <= rep.Lanes[i-1].Pid {
+				t.Errorf("%s: lanes out of order: %v", tc.name, rep.Lanes)
+			}
+		}
+	}
+}
+
+// TestCheckMergedExporterOutput: a real WriteMergedTraceEvents file
+// round-trips through check with one lane per process.
+func TestCheckMergedExporterOutput(t *testing.T) {
+	procs := []obs.ProcessTrace{
+		{Label: "coordinator", Host: "c", PID: 100, EpochUnixNs: 1_000_000, Spans: []obs.Span{
+			{ID: 1, Name: "dist.sweep", Stage: obs.StageEval, Start: 0, Dur: 9000},
+		}},
+		{Label: "worker", Host: "w", PID: 200, EpochUnixNs: 1_002_000, Spans: []obs.Span{
+			{ID: 2, Name: "dist.shard_price", Stage: obs.StageEncode, Start: 0, Dur: 4000},
+			{ID: 3, Name: "dist.shard_price", Stage: obs.StageEncode, Start: 4000, Dur: 3000},
+		}},
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteMergedTraceEvents(&buf, procs); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := check(buf.Bytes())
+	if err != nil {
+		t.Fatalf("check rejected merged exporter output: %v\n%s", err, buf.String())
+	}
+	if len(rep.Lanes) != 2 || rep.Complete != 3 {
+		t.Fatalf("report = %+v, want 2 lanes / 3 spans", rep)
+	}
+	for _, lane := range rep.Lanes {
+		if math.Abs(lane.Coverage-1) > 1e-9 {
+			t.Errorf("pid %d coverage = %g, want 1 (contiguous spans)", lane.Pid, lane.Coverage)
+		}
+	}
+}
+
 func TestCheckRejections(t *testing.T) {
 	cases := []struct {
 		name, raw, want string

@@ -91,6 +91,13 @@ type Opts struct {
 	// Net, when non-nil, accumulates network-transport counters
 	// (frames, bytes, redispatches, trace shipping) for the caller.
 	Net *NetStats
+	// Harvest, when non-nil, turns on distributed tracing: the sweep
+	// mints a trace ID, propagates span context in every job, and
+	// collects every worker's and peer's tagged spans (with clock-offset
+	// estimates) into Harvest at sweep end. Harvest.Merged then yields
+	// the multi-process timeline. Harvesting only observes — results
+	// are bit-identical with it on or off.
+	Harvest *SpanHarvest
 	// StopAfter, when positive, stops the sweep after that many shard
 	// results have been journaled, returning ErrStopped — the
 	// coordinator half of the kill/resume tests.
@@ -126,7 +133,12 @@ func Sweep(path string, opts Opts) ([]codec.Result, error) {
 		shards = 4 * (workers + len(opts.Peers))
 	}
 
-	root := obs.StartSpan("dist.sweep", obs.StageEval).WithStream(path)
+	var rootCtx obs.SpanContext
+	if opts.Harvest != nil {
+		opts.Harvest.start(obs.NewTraceID())
+		rootCtx.Trace = opts.Harvest.TraceID()
+	}
+	root := obs.StartSpanCtx("dist.sweep", obs.StageEval, rootCtx).WithStream(path)
 
 	// Plan: one scan of the byte view yields the shard descriptors.
 	psp := root.Child("dist.plan", obs.StageRead)
@@ -191,6 +203,15 @@ func Sweep(path string, opts Opts) ([]codec.Result, error) {
 	if err != nil {
 		root.EndErr(err)
 		return nil, err
+	}
+
+	// Span harvest from TCP peers: their recorders outlive the /dist
+	// connections, so tagged spans are pulled over plain HTTP once
+	// dispatch is done. Best-effort — a harvest failure costs spans,
+	// not the sweep.
+	if opts.Harvest != nil && len(opts.Peers) > 0 {
+		hsp := root.Child("dist.net.span_harvest", obs.StageNet)
+		hsp.EndErr(harvestPeerSpans(opts.Peers, opts.Harvest))
 	}
 
 	// Merge: ascending shard order, per codec.

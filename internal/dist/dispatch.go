@@ -74,6 +74,7 @@ type dispatcher struct {
 	hbTimeout  time.Duration
 	retryLimit int
 	net        *NetStats
+	harvest    *SpanHarvest
 
 	// work is the shard queue. Buffered to the shard count and never
 	// closed: slots learn the sweep is over from stop, not from the
@@ -125,6 +126,24 @@ type slot struct {
 	readerDead bool // the reader goroutine's terminal error frame was consumed
 	inflight   map[int]obs.SpanHandle
 	lastRecv   time.Time
+	worker     string // "host/pid" of the current worker, from its hello
+	pingSent   int64  // unix ns of the unanswered heartbeat ping, 0 when none
+}
+
+// recordClock funnels one clock-offset sample everywhere it is wanted:
+// the caller's NetStats, the sweep's span harvest, and the gated
+// dist.net.clock_* metrics.
+func (sl *slot) recordClock(offsetNs, rttNs int64) {
+	if sl.worker == "" {
+		return
+	}
+	if sl.d.net != nil {
+		sl.d.net.RecordClockSample(sl.worker, offsetNs, rttNs)
+	}
+	if sl.d.harvest != nil {
+		sl.d.harvest.recordClock(sl.worker, offsetNs, rttNs)
+	}
+	recordClockSample(offsetNs, rttNs)
 }
 
 // run drives the slot until the sweep halts or its spawn budget is
@@ -197,32 +216,46 @@ func (sl *slot) ensure() error {
 	if err == nil && (m.Type != msgHello || m.Version != ProtoVersion) {
 		err = fmt.Errorf("dist: worker %d: bad hello (type %q version %d, want %d)", sl.id, m.Type, m.Version, ProtoVersion)
 	}
+	var offset, rtt int64
+	var sampled bool
 	if err == nil {
-		err = pingPong(t)
+		sl.worker = workerKey(m.Host, m.PID)
+		offset, rtt, sampled, err = pingPong(t)
 	}
 	if err != nil {
 		t.Close()
 		return fmt.Errorf("dist: worker %d handshake: %w", sl.id, err)
+	}
+	if sampled {
+		sl.recordClock(offset, rtt)
 	}
 	sl.t = t
 	return nil
 }
 
 // pingPong is one synchronous heartbeat round trip, used only during
-// the handshake (steady-state heartbeats are pipelined in serve).
-func pingPong(t Transport) error {
+// the handshake (steady-state heartbeats are pipelined in serve). The
+// pong's wall clock yields the slot's first clock-offset sample;
+// sampled is false against a worker whose pong carried no clock.
+func pingPong(t Transport) (offsetNs, rttNs int64, sampled bool, err error) {
+	t0 := time.Now().UnixNano()
 	if err := t.Send(msg{Type: msgPing}); err != nil {
-		return err
+		return 0, 0, false, err
 	}
 	m, err := t.Recv()
+	t1 := time.Now().UnixNano()
 	if err != nil {
-		return err
+		return 0, 0, false, err
 	}
 	if m.Type != msgPong {
-		return fmt.Errorf("dist: %q in reply to ping", m.Type)
+		return 0, 0, false, fmt.Errorf("dist: %q in reply to ping", m.Type)
 	}
 	RecordHeartbeat()
-	return nil
+	if m.Now == 0 {
+		return 0, 0, false, nil
+	}
+	offsetNs, rttNs = clockOffset(t0, t1, m.Now)
+	return offsetNs, rttNs, true, nil
 }
 
 // serve drives one worker life: keep the in-flight window full, match
@@ -234,6 +267,7 @@ func (sl *slot) serve(pending int) (died bool) {
 	sl.inflight = make(map[int]obs.SpanHandle, sl.d.window)
 	sl.frames = make(chan recvFrame, 2*sl.d.window+8)
 	sl.readerDead = false
+	sl.pingSent = 0
 	go func(t Transport, frames chan<- recvFrame) {
 		for {
 			m, err := t.Recv()
@@ -315,6 +349,13 @@ func (sl *slot) serve(pending int) (died bool) {
 					sl.id, sl.d.hbTimeout, len(sl.inflight)))
 				return true
 			}
+			// Remember the send instant of at most one outstanding ping
+			// so its pong yields a clock-offset sample; if an earlier
+			// ping is still unanswered, keep its timestamp (pairing the
+			// pong with the later send would understate the RTT).
+			if sl.pingSent == 0 {
+				sl.pingSent = time.Now().UnixNano()
+			}
 			if err := sl.t.Send(msg{Type: msgPing}); err != nil {
 				sl.die(err)
 				return true
@@ -330,6 +371,11 @@ func (sl *slot) onFrame(m msg) error {
 	case msgPong:
 		RecordHeartbeat()
 		sl.lastRecv = time.Now()
+		if m.Now != 0 && sl.pingSent != 0 {
+			off, rtt := clockOffset(sl.pingSent, time.Now().UnixNano(), m.Now)
+			sl.recordClock(off, rtt)
+			sl.pingSent = 0
+		}
 		return nil
 	case msgResult:
 		if m.Result == nil {
@@ -370,6 +416,10 @@ func (sl *slot) dispatch(shard int) error {
 	if sl.cfg.ref != "" {
 		j.TracePath = sl.cfg.ref
 	}
+	if h := sl.d.harvest; h != nil {
+		j.Trace = h.TraceID()
+		j.Span = sp.Context().Parent // 0 when tracing is off; workers then root their spans
+	}
 	sl.inflight[shard] = sp
 	sl.lastRecv = time.Now()
 	return sl.t.Send(msg{Type: msgJob, Job: j})
@@ -391,7 +441,8 @@ func (sl *slot) die(err error) {
 
 // shutdown is the polite halt path: forward any results the worker
 // already framed (a shard priced concurrently with the stop is still
-// priced), send shutdown, reap.
+// priced), harvest the worker's spans when the sweep is collecting
+// them, send shutdown, reap.
 func (sl *slot) shutdown() {
 drain:
 	for {
@@ -412,8 +463,52 @@ drain:
 		sp.End()
 		delete(sl.inflight, shard)
 	}
+	if h := sl.d.harvest; h != nil && !sl.readerDead {
+		// The spans must cross the still-open connection before the
+		// shutdown frame: pipe workers lose their recorder with the
+		// process, and a TCP peer's connection-bracket span only closes
+		// with the connection — the post-dispatch HTTP harvest could
+		// race past it. Peers whose connection died are still picked up
+		// by that HTTP pass (the dumps dedup by span ID).
+		sl.harvestSpans(h)
+	}
 	sl.t.Send(msg{Type: msgShutdown})
 	sl.reap()
+}
+
+// harvestSpans asks the live worker for its tagged spans and waits for
+// the dump, forwarding any results still racing in. Bounded by the
+// heartbeat timeout: a worker that dies mid-harvest costs its spans,
+// never the sweep.
+func (sl *slot) harvestSpans(h *SpanHarvest) {
+	if sl.t.Send(msg{Type: msgSpans, Trace: h.TraceID()}) != nil {
+		return
+	}
+	deadline := time.NewTimer(sl.d.hbTimeout)
+	defer deadline.Stop()
+	for {
+		select {
+		case f := <-sl.frames:
+			if f.err != nil {
+				sl.readerDead = true
+				return
+			}
+			switch f.m.Type {
+			case msgSpans:
+				if f.m.Spans != nil {
+					h.addDump(f.m.Spans)
+					recordSpanHarvest(len(f.m.Spans.Spans))
+				}
+				return
+			case msgResult:
+				if f.m.Result != nil {
+					sl.finish(*f.m.Result)
+				}
+			}
+		case <-deadline.C:
+			return
+		}
+	}
 }
 
 // reap closes the transport and drains the reader goroutine to its
@@ -467,7 +562,7 @@ func dispatch(root obs.SpanHandle, plan *planned, opts Opts, cfgs []slotConfig, 
 	d := &dispatcher{
 		root: root, plan: plan, opts: opts, states: states,
 		window: window, hbEvery: hbEvery, hbTimeout: hbTimeout,
-		retryLimit: retryLimit, net: opts.Net,
+		retryLimit: retryLimit, net: opts.Net, harvest: opts.Harvest,
 		work:       make(chan int, shards),
 		deliveries: make(chan delivery, 2*shards+len(cfgs)*(window+retryLimit+3)+16),
 		stop:       make(chan struct{}),

@@ -132,3 +132,26 @@ func recordTraceDedup() {
 	}
 	obs.GetCounter("dist.net.trace_dedup_hits").Inc()
 }
+
+// recordClockSample publishes one RTT-midpoint clock-offset sample:
+// the latest offset as a gauge (the number added to a worker's clock
+// to reach the coordinator's) and the round trip it rode on into a
+// histogram, so /metrics shows both the alignment and its error bound.
+func recordClockSample(offsetNs, rttNs int64) {
+	if !obs.Enabled() {
+		return
+	}
+	obs.GetCounter("dist.net.clock_samples").Inc()
+	obs.GetGauge("dist.net.clock_offset_ns").Set(offsetNs)
+	obs.GetHistogram("dist.net.clock_rtt_ns").Observe(rttNs)
+}
+
+// recordSpanHarvest counts one span dump collected from a worker or
+// peer at sweep end, and the spans it carried.
+func recordSpanHarvest(spans int) {
+	if !obs.Enabled() {
+		return
+	}
+	obs.GetCounter("dist.net.span_dumps").Inc()
+	obs.GetCounter("dist.net.spans_harvested").Add(int64(spans))
+}

@@ -10,6 +10,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -35,9 +36,12 @@ const UpgradeProtocol = "busenc-dist"
 // shard pricing itself is governed by heartbeats, not deadlines.
 const dialTimeout = 10 * time.Second
 
-// NetStats accumulates network-transport counters for one sweep. All
-// fields are atomics: the framing layer and every slot goroutine add
-// concurrently. The same numbers feed the gated dist.net.* metrics.
+// NetStats accumulates network-transport counters for one sweep. The
+// counter fields are atomics: the framing layer and every slot
+// goroutine add concurrently. The same numbers feed the gated
+// dist.net.* metrics. Per-worker clock-offset estimates (one sample
+// per ping/pong round trip, narrowest RTT retained) live behind the
+// mutex.
 type NetStats struct {
 	FramesSent        atomic.Int64
 	FramesRecv        atomic.Int64
@@ -47,6 +51,37 @@ type NetStats struct {
 	TraceDedupHits    atomic.Int64 // peers that already held the digest
 	Redispatches      atomic.Int64 // shards requeued after a worker death
 	HeartbeatTimeouts atomic.Int64
+
+	mu     sync.Mutex
+	clocks map[string]ClockEstimate // worker "host/pid" -> best offset estimate
+}
+
+// RecordClockSample folds one RTT-midpoint offset sample for a worker
+// in, keeping the estimate from the narrowest round trip.
+func (ns *NetStats) RecordClockSample(key string, offsetNs, rttNs int64) {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if ns.clocks == nil {
+		ns.clocks = make(map[string]ClockEstimate)
+	}
+	e, ok := ns.clocks[key]
+	if !ok || rttNs < e.RTTNs {
+		e.OffsetNs = offsetNs
+		e.RTTNs = rttNs
+	}
+	e.Samples++
+	ns.clocks[key] = e
+}
+
+// Clocks returns a copy of the per-worker clock estimates.
+func (ns *NetStats) Clocks() map[string]ClockEstimate {
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	out := make(map[string]ClockEstimate, len(ns.clocks))
+	for k, v := range ns.clocks {
+		out[k] = v
+	}
+	return out
 }
 
 // PeerHealth is the GET /healthz reply of a busencd peer — the

@@ -46,6 +46,7 @@ const (
 	msgJob      = "job"
 	msgResult   = "result"
 	msgShutdown = "shutdown"
+	msgSpans    = "spans"
 )
 
 // ProtoVersion is bumped whenever the job or result schema — or the
@@ -53,16 +54,24 @@ const (
 // the /healthz peer handshake in internal/serve) rejects mismatches
 // loudly instead of mispricing quietly. Version 2 introduced pipelined
 // dispatch: a worker must answer pings concurrently with pricing, and
-// may hold several jobs in flight.
-const ProtoVersion = 2
+// may hold several jobs in flight. Version 3 added distributed
+// tracing: hellos carry the worker's hostname, pongs carry the
+// worker's wall clock (the coordinator's clock-offset sample), jobs
+// carry trace/parent-span context, and a spans request/reply pair
+// harvests the worker's tagged spans before shutdown.
+const ProtoVersion = 3
 
 // msg is the single envelope every frame carries.
 type msg struct {
 	Type    string       `json:"type"`
 	Version int          `json:"version,omitempty"` // hello
 	PID     int          `json:"pid,omitempty"`     // hello
+	Host    string       `json:"host,omitempty"`    // hello
+	Now     int64        `json:"now,omitempty"`     // pong: worker wall clock, unix ns
+	Trace   string       `json:"trace,omitempty"`   // spans request: trace ID to dump
 	Job     *Job         `json:"job,omitempty"`
 	Result  *ShardResult `json:"result,omitempty"`
+	Spans   *SpanDump    `json:"spans,omitempty"` // spans reply
 }
 
 // CodecSpec names a codec and the knobs needed to reconstruct it in
@@ -130,6 +139,12 @@ type Job struct {
 	Verify    int            `json:"verify"`
 	PerLine   bool           `json:"per_line"`
 	Kernel    int            `json:"kernel"`
+	// Trace and Span carry the coordinator's distributed-trace context:
+	// the sweep-wide trace ID and the coordinator-side dist.shard span
+	// the worker's spans should parent to. Empty/zero when the sweep is
+	// not harvesting spans.
+	Trace string `json:"trace,omitempty"`
+	Span  uint64 `json:"span,omitempty"`
 }
 
 // ShardResult carries one shard's accumulators back: a bus.Stats

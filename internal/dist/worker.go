@@ -6,9 +6,11 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"busenc/internal/bus"
 	"busenc/internal/codec"
+	"busenc/internal/obs"
 	"busenc/internal/trace"
 )
 
@@ -57,7 +59,8 @@ func ServeWorker(r io.Reader, w io.Writer, opts WorkerOpts) error {
 		defer wmu.Unlock()
 		return c.send(m)
 	}
-	if err := send(msg{Type: msgHello, Version: ProtoVersion, PID: os.Getpid()}); err != nil {
+	hostname, _ := os.Hostname()
+	if err := send(msg{Type: msgHello, Version: ProtoVersion, PID: os.Getpid(), Host: hostname}); err != nil {
 		return err
 	}
 	views := map[string]mappedView{}
@@ -68,6 +71,8 @@ func ServeWorker(r io.Reader, w io.Writer, opts WorkerOpts) error {
 	}()
 
 	var stalled atomic.Bool
+	var ct connTrace // the connection-bracket span for harvested sweeps
+	defer ct.finish()
 	jobs := make(chan *Job, 64)
 	errc := make(chan error, 1)
 	done := make(chan struct{})
@@ -93,7 +98,19 @@ func ServeWorker(r io.Reader, w io.Writer, opts WorkerOpts) error {
 				if stalled.Load() {
 					continue
 				}
-				if err := send(msg{Type: msgPong}); err != nil {
+				if err := send(msg{Type: msgPong, Now: time.Now().UnixNano()}); err != nil {
+					fail(err)
+					return
+				}
+			case msgSpans:
+				if stalled.Load() {
+					continue
+				}
+				// The coordinator only asks once its jobs are all
+				// answered; close the connection-bracket span so the
+				// dump includes it.
+				ct.finish()
+				if err := send(msg{Type: msgSpans, Spans: spanDump(m.Trace)}); err != nil {
 					fail(err)
 					return
 				}
@@ -125,7 +142,15 @@ func ServeWorker(r io.Reader, w io.Writer, opts WorkerOpts) error {
 			stalled.Store(true)
 			continue // swallow the job; keep draining frames silently
 		}
-		res := priceJob(j, views, opts.Resolve)
+		ct.begin(j.Trace)
+		sp := obs.StartSpanCtx("dist.shard_price", obs.StageEncode,
+			obs.SpanContext{Trace: j.Trace, Parent: j.Span}).WithShard(j.Shard).WithStream(j.Stream)
+		res := priceJob(j, views, opts.Resolve, sp)
+		if res.Err != "" {
+			sp.EndErr(fmt.Errorf("%s", res.Err))
+		} else {
+			sp.End()
+		}
 		priced++
 		if err := send(msg{Type: msgResult, Result: res}); err != nil {
 			return err
@@ -139,6 +164,45 @@ func ServeWorker(r io.Reader, w io.Writer, opts WorkerOpts) error {
 	}
 }
 
+// connTrace brackets one worker connection's traced lifetime with a
+// dist.worker_conn span: begun on the first job that carries trace
+// context, ended right before the spans dump (or on connection close).
+// The span exists so every worker's pid lane in the merged timeline is
+// covered end to end, not just during shard pricing — tracecheck's
+// per-lane -mincover leans on it. begin also turns tracing on in
+// worker processes that were started without it: the coordinator's
+// choice to harvest is the worker's signal to record.
+type connTrace struct {
+	mu   sync.Mutex
+	sp   obs.SpanHandle
+	open bool
+}
+
+func (ct *connTrace) begin(trace string) {
+	if trace == "" {
+		return
+	}
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	if ct.open {
+		return
+	}
+	if !obs.TracingEnabled() {
+		obs.EnableTracing(obs.TracerConfig{})
+	}
+	ct.sp = obs.StartSpanCtx("dist.worker_conn", obs.StageEval, obs.SpanContext{Trace: trace})
+	ct.open = true
+}
+
+func (ct *connTrace) finish() {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	if ct.open {
+		ct.sp.End()
+		ct.open = false
+	}
+}
+
 type mappedView struct {
 	data   []byte
 	closer io.Closer
@@ -148,8 +212,11 @@ type mappedView struct {
 // resolving or opening the trace, decoding the range, a verification
 // mismatch — is reported in the result rather than killing the worker,
 // so a bad shard fails the sweep through the ordered merge (lowest
-// shard wins) instead of looking like a worker crash.
-func priceJob(j *Job, views map[string]mappedView, resolve func(string) (string, error)) *ShardResult {
+// shard wins) instead of looking like a worker crash. sp is the
+// shard-level span (inert when the sweep is not harvesting); each
+// codec prices under its own child so the merged timeline attributes
+// time per codec per peer.
+func priceJob(j *Job, views map[string]mappedView, resolve func(string) (string, error), sp obs.SpanHandle) *ShardResult {
 	res := &ShardResult{Shard: j.Shard}
 	v, ok := views[j.TracePath]
 	if !ok {
@@ -187,8 +254,10 @@ func priceJob(j *Job, views map[string]mappedView, resolve func(string) (string,
 	}
 	res.Stats = make(map[string]bus.Stats, len(j.Codecs))
 	for _, cj := range j.Codecs {
+		csp := sp.Child("dist.codec_price", obs.StageEncode).WithCodec(cj.Spec.Name)
 		c, err := cj.Spec.New()
 		if err != nil {
+			csp.EndErr(err)
 			res.Err = err.Error()
 			return res
 		}
@@ -202,6 +271,7 @@ func priceJob(j *Job, views map[string]mappedView, resolve func(string) (string,
 			if len(cj.State) > 0 {
 				st, err := codec.UnmarshalState(cj.State)
 				if err != nil {
+					csp.EndErr(err)
 					res.Err = err.Error()
 					return res
 				}
@@ -210,9 +280,11 @@ func priceJob(j *Job, views map[string]mappedView, resolve func(string) (string,
 		}
 		b, err := codec.PriceShard(c, s.Entries, bd, int(j.Cut.Entry), opts)
 		if err != nil {
+			csp.EndErr(err)
 			res.Err = err.Error()
 			return res
 		}
+		csp.End()
 		res.Stats[cj.Spec.Name] = b.Stats()
 	}
 	return res

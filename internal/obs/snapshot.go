@@ -74,6 +74,43 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
+// Snapshot freezes the histogram's current state. It works on any
+// *Histogram, including standalone zero-value histograms that were
+// never attached to a registry (the serve SLO layer relies on this).
+func (h *Histogram) Snapshot() HistogramSnapshot { return h.snapshot() }
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the bucketized
+// counts, returning the upper edge of the bucket holding the q-th
+// observation — a conservative (over-)estimate with power-of-two
+// resolution. The top bucket reports the exact observed Max instead of
+// its MaxInt64 edge. Empty snapshots return 0.
+func (h HistogramSnapshot) Quantile(q float64) int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(h.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for _, b := range h.Buckets {
+		seen += b.Count
+		if seen >= rank {
+			if b.Hi == math.MaxInt64 {
+				return h.Max
+			}
+			return b.Hi
+		}
+	}
+	return h.Max
+}
+
 func (h *Histogram) snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{
 		Count: h.count.Load(),

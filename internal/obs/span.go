@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"math/bits"
 	"runtime"
 	"sort"
@@ -55,9 +57,13 @@ const (
 // Span is one timed hop of the pipeline. Shard and Chunk are -1 when
 // the dimension does not apply. Start is nanoseconds since the owning
 // tracer's epoch (a monotonic clock), Dur is the span's wall time.
+// Trace, when non-empty, ties the span into a cross-process trace tree:
+// it is inherited from the root's SpanContext (StartCtx) down through
+// Child, and Parent may then name a span recorded by another process.
 type Span struct {
 	ID     uint64 `json:"id"`
 	Parent uint64 `json:"parent,omitempty"`
+	Trace  string `json:"trace,omitempty"`
 	Name   string `json:"name"`
 	Stage  string `json:"stage"`
 	Codec  string `json:"codec,omitempty"`
@@ -152,9 +158,27 @@ type SpanHandle struct {
 	span Span
 }
 
+// SpanContext is the cross-process span propagation payload: the
+// sweep-wide trace ID plus the ID of the span the next root should
+// parent to. It is a plain value (two words) so carrying it through
+// wire frames and disabled call sites allocates nothing; the zero
+// context means "no inherited trace".
+type SpanContext struct {
+	Trace  string `json:"trace,omitempty"`
+	Parent uint64 `json:"parent,omitempty"`
+}
+
 // Start begins a root span. On a nil tracer, or when the span loses the
 // sampling draw, it returns the inert zero handle.
 func (t *Tracer) Start(name, stage string) SpanHandle {
+	return t.StartCtx(name, stage, SpanContext{})
+}
+
+// StartCtx begins a root span under an inherited cross-process context:
+// the span carries ctx.Trace and parents to ctx.Parent, a span ID that
+// may belong to another process's recorder. The zero context degrades
+// to a plain Start.
+func (t *Tracer) StartCtx(name, stage string, ctx SpanContext) SpanHandle {
 	if t == nil {
 		return SpanHandle{}
 	}
@@ -163,12 +187,14 @@ func (t *Tracer) Start(name, stage string) SpanHandle {
 		return SpanHandle{}
 	}
 	return SpanHandle{t: t, span: Span{
-		ID:    id,
-		Name:  name,
-		Stage: stage,
-		Shard: -1,
-		Chunk: -1,
-		Start: t.now(),
+		ID:     id,
+		Parent: ctx.Parent,
+		Trace:  ctx.Trace,
+		Name:   name,
+		Stage:  stage,
+		Shard:  -1,
+		Chunk:  -1,
+		Start:  t.now(),
 	}}
 }
 
@@ -184,6 +210,7 @@ func (h SpanHandle) Child(name, stage string) SpanHandle {
 	return SpanHandle{t: h.t, span: Span{
 		ID:     h.t.seq.Add(1),
 		Parent: h.span.ID,
+		Trace:  h.span.Trace,
 		Name:   name,
 		Stage:  stage,
 		Codec:  h.span.Codec,
@@ -196,6 +223,16 @@ func (h SpanHandle) Child(name, stage string) SpanHandle {
 
 // Recording reports whether the handle will produce a span on End.
 func (h SpanHandle) Recording() bool { return h.t != nil }
+
+// Context returns the propagation payload that parents remote spans to
+// h: its trace ID and its own span ID as the parent. The zero handle
+// returns the zero context, so disabled paths ship nothing.
+func (h SpanHandle) Context() SpanContext {
+	if h.t == nil {
+		return SpanContext{}
+	}
+	return SpanContext{Trace: h.span.Trace, Parent: h.span.ID}
+}
 
 // WithCodec labels the span with a codec name.
 func (h SpanHandle) WithCodec(codec string) SpanHandle {
@@ -320,6 +357,22 @@ func CurrentTracer() *Tracer { return curTracer.Load() }
 // zero handle, and allocates nothing.
 func StartSpan(name, stage string) SpanHandle {
 	return curTracer.Load().Start(name, stage)
+}
+
+// StartSpanCtx begins a root span under an inherited cross-process
+// context on the installed tracer. The disabled-path cost contract is
+// identical to StartSpan: one atomic load, a branch, zero allocations.
+func StartSpanCtx(name, stage string, ctx SpanContext) SpanHandle {
+	return curTracer.Load().StartCtx(name, stage, ctx)
+}
+
+// NewTraceID mints a sweep-wide trace identifier: 8 random bytes, hex
+// encoded. IDs only need to be unique among traces a recorder might
+// hold at once, so 64 bits is plenty and keeps every span's tag small.
+func NewTraceID() string {
+	var b [8]byte
+	rand.Read(b[:]) // crypto/rand.Read never fails on supported platforms
+	return hex.EncodeToString(b[:])
 }
 
 // Spans snapshots the installed tracer's flight recorder (nil while

@@ -115,17 +115,76 @@ func TestDisabledTracerInert(t *testing.T) {
 }
 
 // TestDisabledSpanZeroAlloc is the satellite contract: with tracing
-// off, a full start/label/end sequence performs zero heap allocations.
+// off, a full start/label/end sequence — including the cross-process
+// context-propagation fields (StartSpanCtx with a populated context,
+// Context() extraction, Child) — performs zero heap allocations and
+// costs one atomic load plus a branch per Start.
 func TestDisabledSpanZeroAlloc(t *testing.T) {
 	DisableTracing()
+	ctx := SpanContext{Trace: "deadbeef01020304", Parent: 42}
 	allocs := testing.AllocsPerRun(1000, func() {
 		sp := StartSpan("codec.chunk", StageEncode).WithCodec("t0").WithStream("gzip").WithChunk(7)
 		c := sp.Child("inner", StageEncode)
 		c.End()
 		sp.EndErr(nil)
+
+		rsp := StartSpanCtx("dist.shard_price", StageEncode, ctx).WithShard(3)
+		if rsp.Context() != (SpanContext{}) {
+			t.Fatal("disabled handle leaked a non-zero context")
+		}
+		rc := rsp.Child("codec_price", StageEncode)
+		rc.End()
+		rsp.End()
 	})
 	if allocs != 0 {
 		t.Fatalf("disabled span path allocates: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestSpanContextPropagation: StartCtx roots a span under an inherited
+// trace/parent, Child carries the trace tag down, and Context() hands
+// out the payload the next process should parent to.
+func TestSpanContextPropagation(t *testing.T) {
+	tr := NewTracer(TracerConfig{RingSize: 64})
+	root := tr.StartCtx("dist.worker_conn", StageEval, SpanContext{Trace: "cafe0123", Parent: 99})
+	child := root.Child("dist.shard_price", StageEncode).WithShard(2)
+	ctx := child.Context()
+	child.End()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	r, c := spans[0], spans[1]
+	if r.Trace != "cafe0123" || r.Parent != 99 {
+		t.Errorf("root trace/parent = %q/%d, want cafe0123/99", r.Trace, r.Parent)
+	}
+	if c.Trace != "cafe0123" {
+		t.Errorf("child did not inherit trace: %q", c.Trace)
+	}
+	if c.Parent != r.ID {
+		t.Errorf("child parent = %d, want %d", c.Parent, r.ID)
+	}
+	if ctx.Trace != "cafe0123" || ctx.Parent != c.ID {
+		t.Errorf("Context() = %+v, want trace cafe0123 parent %d", ctx, c.ID)
+	}
+	if (tr.Start("plain", StageRead)).Context().Trace != "" {
+		t.Error("plain Start picked up a trace tag")
+	}
+}
+
+// TestNewTraceID: IDs are 16 hex chars and distinct across mints.
+func TestNewTraceID(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if len(a) != 16 || len(b) != 16 {
+		t.Fatalf("trace ID lengths = %d/%d, want 16", len(a), len(b))
+	}
+	if a == b {
+		t.Fatalf("two mints collided: %q", a)
+	}
+	if _, err := json.Marshal(a); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -221,6 +280,132 @@ func TestWriteTraceEvents(t *testing.T) {
 	}
 	if meta < 4 { // process_name + 3 thread_name
 		t.Errorf("metadata events = %d, want >= 4", meta)
+	}
+}
+
+// TestWriteMergedTraceEvents: each process gets its own pid lane with
+// host/os_pid/epoch metadata, and timestamps are rebased onto the
+// shared wall clock so cross-process ordering is honest.
+func TestWriteMergedTraceEvents(t *testing.T) {
+	procs := []ProcessTrace{
+		{
+			Label: "coordinator", Host: "alpha", PID: 100, EpochUnixNs: 1_000_000,
+			Spans: []Span{{ID: 1, Name: "dist.sweep", Stage: StageEval, Shard: -1, Chunk: -1, Start: 5_000, Dur: 90_000}},
+		},
+		{
+			Label: "worker beta/200", Host: "beta", PID: 200, EpochUnixNs: 1_010_000,
+			Spans: []Span{{ID: 7, Trace: "cafe0123", Parent: 1, Name: "dist.shard_price", Stage: StageEncode, Shard: 0, Chunk: -1, Start: 0, Dur: 40_000}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteMergedTraceEvents(&buf, procs); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("merged export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	pids := map[float64]bool{}
+	var coordTs, workTs float64 = -1, -1
+	for _, ev := range f.TraceEvents {
+		pids[ev["pid"].(float64)] = true
+		if ev["ph"] == "M" && ev["name"] == "process_name" {
+			args := ev["args"].(map[string]any)
+			if args["host"] == nil || args["os_pid"] == nil || args["epoch_unix_ns"] == nil {
+				t.Errorf("process_name metadata incomplete: %v", args)
+			}
+		}
+		if ev["ph"] == "X" {
+			switch ev["name"] {
+			case "dist.sweep":
+				coordTs = ev["ts"].(float64)
+			case "dist.shard_price":
+				workTs = ev["ts"].(float64)
+				args := ev["args"].(map[string]any)
+				if args["trace"] != "cafe0123" || args["parent"] != float64(1) {
+					t.Errorf("worker span lost context args: %v", args)
+				}
+			}
+		}
+	}
+	if len(pids) != 2 {
+		t.Fatalf("pid lanes = %d, want 2", len(pids))
+	}
+	// Coordinator span starts at wall 1_005_000, worker at 1_010_000:
+	// after rebasing onto the earliest span, ts are 0µs and 5µs.
+	if coordTs != 0 || workTs != 5 {
+		t.Errorf("rebased ts = coord %v, worker %v; want 0 and 5", coordTs, workTs)
+	}
+}
+
+// TestWriteMergedTraceEventsDeterministic is the satellite contract:
+// merging the same span sets twice yields byte-identical files.
+func TestWriteMergedTraceEventsDeterministic(t *testing.T) {
+	procs := []ProcessTrace{
+		{Label: "coordinator", Host: "a", PID: 1, EpochUnixNs: 500, Spans: []Span{
+			{ID: 1, Name: "dist.sweep", Stage: StageEval, Shard: -1, Chunk: -1, Start: 10, Dur: 400},
+			{ID: 2, Parent: 1, Name: "dist.shard", Stage: StageEncode, Codec: "businv", Shard: 1, Chunk: -1, Start: 20, Dur: 100},
+		}},
+		{Label: "worker b/2", Host: "b", PID: 2, EpochUnixNs: 700, Spans: []Span{
+			{ID: 3, Trace: "feed0456", Name: "dist.shard_price", Stage: StageEncode, Codec: "gray", Shard: 0, Chunk: 3, Start: 5, Dur: 50, Stream: "s", Err: "boom"},
+		}},
+	}
+	var a, b bytes.Buffer
+	if err := WriteMergedTraceEvents(&a, procs); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMergedTraceEvents(&b, procs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("merged output not deterministic:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	if a.Len() == 0 {
+		t.Fatal("empty merged output")
+	}
+	// Empty input still renders a loadable (if blank) file, twice the same.
+	a.Reset()
+	b.Reset()
+	if err := WriteMergedTraceEvents(&a, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMergedTraceEvents(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("empty merged output not deterministic")
+	}
+}
+
+// TestHistogramSnapshotQuantile pins the exported bucket-quantile
+// estimate the serve SLO layer reports.
+func TestHistogramSnapshotQuantile(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Observe(3) // bucket [2,4)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1000) // bucket [512,1024)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); got != 4 {
+		t.Errorf("p50 = %d, want bucket edge 4", got)
+	}
+	if got := s.Quantile(0.99); got != 1024 {
+		t.Errorf("p99 = %d, want bucket edge 1024", got)
+	}
+	if got := s.Quantile(1); got != 1024 {
+		t.Errorf("p100 = %d, want 1024", got)
+	}
+	var top Histogram
+	top.Observe(math.MaxInt64)
+	if got := top.Snapshot().Quantile(0.5); got != math.MaxInt64 {
+		t.Errorf("top-bucket quantile = %d, want observed max", got)
+	}
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %d, want 0", got)
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
+	"os"
 	"sort"
 )
 
@@ -15,6 +17,13 @@ import (
 // thread lane so the timeline groups the way the pipeline is actually
 // structured — read lanes, one encode lane per codec/shard, merge and
 // reduce lanes.
+//
+// WriteMergedTraceEvents generalizes the export to several processes:
+// each ProcessTrace becomes one pid lane, its spans rebased from the
+// process-local tracer epoch onto a shared wall-clock timebase via
+// EpochUnixNs (which the caller has already clock-offset-corrected for
+// remote processes — see internal/dist's span harvest). The output is
+// deterministic: same inputs, byte-identical file.
 
 // traceEvent is one entry of the traceEvents array.
 type traceEvent struct {
@@ -35,6 +44,20 @@ type traceFile struct {
 	DisplayTimeUnit string       `json:"displayTimeUnit"`
 }
 
+// ProcessTrace is one process's lane in a merged timeline: a span
+// snapshot plus the identity and timebase metadata offline tooling
+// needs to align it without a live handshake. EpochUnixNs is the wall
+// clock (unix nanoseconds) the spans' Start offsets are relative to —
+// for a remote process, already shifted onto the coordinator's clock
+// by its estimated offset.
+type ProcessTrace struct {
+	Label       string // pid-lane display name ("coordinator", "worker host/123", ...)
+	Host        string
+	PID         int   // OS pid (display metadata; the lane index is the trace-event pid)
+	EpochUnixNs int64 // wall-clock instant Span.Start offsets are relative to
+	Spans       []Span
+}
+
 // laneKey groups spans into timeline threads.
 type laneKey struct {
 	stage string
@@ -53,9 +76,10 @@ func (k laneKey) label() string {
 	return s
 }
 
-// WriteTraceEvents writes the spans as a Chrome trace-event JSON
-// document loadable in about://tracing and ui.perfetto.dev.
-func WriteTraceEvents(w io.Writer, spans []Span) error {
+// spanLanes assigns stable thread-lane numbers to one process's spans:
+// sorted by (stage, codec, shard) so repeated exports of the same
+// workload produce identical files.
+func spanLanes(spans []Span) (map[laneKey]int, []laneKey) {
 	lanes := make(map[laneKey]int)
 	var order []laneKey
 	for _, s := range spans {
@@ -65,8 +89,6 @@ func WriteTraceEvents(w io.Writer, spans []Span) error {
 			order = append(order, k)
 		}
 	}
-	// Stable lane numbering: sort by stage, codec, shard so repeated
-	// exports of the same workload produce identical files.
 	sort.Slice(order, func(i, j int) bool {
 		a, b := order[i], order[j]
 		if a.stage != b.stage {
@@ -80,48 +102,105 @@ func WriteTraceEvents(w io.Writer, spans []Span) error {
 	for i, k := range order {
 		lanes[k] = i + 1
 	}
+	return lanes, order
+}
 
-	f := traceFile{DisplayTimeUnit: "ms", TraceEvents: make([]traceEvent, 0, len(spans)+len(order)+1)}
-	f.TraceEvents = append(f.TraceEvents, traceEvent{
-		Name: "process_name", Ph: "M", Pid: 1, Tid: 0,
-		Args: map[string]any{"name": "busenc"},
-	})
-	for _, k := range order {
-		f.TraceEvents = append(f.TraceEvents, traceEvent{
-			Name: "thread_name", Ph: "M", Pid: 1, Tid: lanes[k],
-			Args: map[string]any{"name": k.label()},
-		})
+// WriteTraceEvents writes a single-process span snapshot as a Chrome
+// trace-event JSON document loadable in about://tracing and
+// ui.perfetto.dev. The process metadata (host, pid, tracer epoch) is
+// taken from this process and the installed tracer, so the exported
+// file is alignable offline against other processes' exports.
+func WriteTraceEvents(w io.Writer, spans []Span) error {
+	host, _ := os.Hostname()
+	var epoch int64
+	if t := CurrentTracer(); t != nil {
+		epoch = t.Epoch().UnixNano()
 	}
-	for _, s := range spans {
-		args := map[string]any{"id": s.ID}
-		if s.Parent != 0 {
-			args["parent"] = s.Parent
+	return WriteMergedTraceEvents(w, []ProcessTrace{{
+		Label:       "busenc",
+		Host:        host,
+		PID:         os.Getpid(),
+		EpochUnixNs: epoch,
+		Spans:       spans,
+	}})
+}
+
+// WriteMergedTraceEvents writes one timeline containing every process's
+// spans: process i becomes trace-event pid i+1 (callers put the
+// coordinator first), each with its own named thread lanes. Timestamps
+// are rebased so the earliest span across all processes sits at ts 0;
+// because every EpochUnixNs is on the same (coordinator) clock, spans
+// from different processes land in true wall-clock order. The output
+// depends only on the input value — merging the same span sets twice
+// yields byte-identical files.
+func WriteMergedTraceEvents(w io.Writer, procs []ProcessTrace) error {
+	base := int64(math.MaxInt64)
+	haveSpan := false
+	for _, p := range procs {
+		for _, s := range p.Spans {
+			if t := p.EpochUnixNs + s.Start; t < base {
+				base = t
+				haveSpan = true
+			}
 		}
-		if s.Codec != "" {
-			args["codec"] = s.Codec
-		}
-		if s.Stream != "" {
-			args["stream"] = s.Stream
-		}
-		if s.Shard >= 0 {
-			args["shard"] = s.Shard
-		}
-		if s.Chunk >= 0 {
-			args["chunk"] = s.Chunk
-		}
-		if s.Err != "" {
-			args["err"] = s.Err
-		}
+	}
+	if !haveSpan {
+		base = 0
+	}
+	var f traceFile
+	f.DisplayTimeUnit = "ms"
+	for pi, p := range procs {
+		pid := pi + 1
+		lanes, order := spanLanes(p.Spans)
 		f.TraceEvents = append(f.TraceEvents, traceEvent{
-			Name: s.Name,
-			Cat:  s.Stage,
-			Ph:   "X",
-			Ts:   float64(s.Start) / 1e3,
-			Dur:  float64(s.Dur) / 1e3,
-			Pid:  1,
-			Tid:  lanes[laneKey{stage: s.Stage, codec: s.Codec, shard: s.Shard}],
-			Args: args,
+			Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+			Args: map[string]any{
+				"name":          p.Label,
+				"host":          p.Host,
+				"os_pid":        p.PID,
+				"epoch_unix_ns": p.EpochUnixNs,
+			},
 		})
+		for _, k := range order {
+			f.TraceEvents = append(f.TraceEvents, traceEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: lanes[k],
+				Args: map[string]any{"name": k.label()},
+			})
+		}
+		for _, s := range p.Spans {
+			args := map[string]any{"id": s.ID}
+			if s.Parent != 0 {
+				args["parent"] = s.Parent
+			}
+			if s.Trace != "" {
+				args["trace"] = s.Trace
+			}
+			if s.Codec != "" {
+				args["codec"] = s.Codec
+			}
+			if s.Stream != "" {
+				args["stream"] = s.Stream
+			}
+			if s.Shard >= 0 {
+				args["shard"] = s.Shard
+			}
+			if s.Chunk >= 0 {
+				args["chunk"] = s.Chunk
+			}
+			if s.Err != "" {
+				args["err"] = s.Err
+			}
+			f.TraceEvents = append(f.TraceEvents, traceEvent{
+				Name: s.Name,
+				Cat:  s.Stage,
+				Ph:   "X",
+				Ts:   float64(p.EpochUnixNs+s.Start-base) / 1e3,
+				Dur:  float64(s.Dur) / 1e3,
+				Pid:  pid,
+				Tid:  lanes[laneKey{stage: s.Stage, codec: s.Codec, shard: s.Shard}],
+				Args: args,
+			})
+		}
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(f)

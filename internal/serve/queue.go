@@ -141,6 +141,9 @@ type Queue struct {
 	eval     Evaluator
 	cache    *Cache
 	tenants  *Tenants
+	// onWait, when set before Start, observes each job's queue wait
+	// attributed to its tenant (the SLO layer hangs off it).
+	onWait func(tenant string, waitNs int64)
 
 	mu       sync.Mutex
 	cond     *sync.Cond // signaled when work arrives or state flips
@@ -352,6 +355,9 @@ func (q *Queue) runJob(job *Job) {
 	enq := job.enqueued
 	job.mu.Unlock()
 	m.waitNs.Observe(start.Sub(enq).Nanoseconds())
+	if q.onWait != nil {
+		q.onWait(job.Tenant, start.Sub(enq).Nanoseconds())
+	}
 
 	sp := obs.StartSpan("serve.job", obs.StageEval).WithStream(job.Tenant).WithCodec(strings.Join(job.Spec.Codes, ","))
 	results, width, entries, cached, err := q.evaluate(job.Spec)

@@ -74,6 +74,7 @@ type Server struct {
 	tenants   *Tenants
 	cache     *Cache
 	queue     *Queue
+	slo       *SLO
 	distConns atomic.Int64
 }
 
@@ -105,11 +106,13 @@ func New(cfg Config) (*Server, error) {
 		cfg:     cfg,
 		store:   store,
 		tenants: NewTenants(cfg.Quotas),
+		slo:     NewSLO(0),
 	}
 	if cfg.CacheBytes >= 0 {
 		s.cache = NewCache(cfg.CacheBytes)
 	}
 	s.queue = NewQueue(cfg.QueueCap, DefaultEvaluator(store, cfg.Options), s.cache, s.tenants)
+	s.queue.onWait = s.slo.ObserveQueueWait
 	return s, nil
 }
 
@@ -126,6 +129,9 @@ func (s *Server) Store() *Store { return s.store }
 // Cache exposes the result cache (nil when disabled).
 func (s *Server) Cache() *Cache { return s.cache }
 
+// SLO exposes the per-tenant service-level accumulator.
+func (s *Server) SLO() *SLO { return s.slo }
+
 // Drain stops intake and waits for every accepted job to finish, then
 // stops the workers. It reports whether the queue fully drained within
 // the timeout (<= 0 waits forever).
@@ -137,15 +143,36 @@ func (s *Server) Drain(timeout time.Duration) bool {
 
 // Register installs the service endpoints on a mux: POST /traces,
 // GET /traces, GET /traces/{digest}, GET/POST /eval, GET /jobs,
-// GET /jobs/{id}, GET /healthz and the /dist peer upgrade.
+// GET /jobs/{id}, GET /healthz, GET /spans, GET /slo and the /dist
+// peer upgrade. Request-bearing routes are wrapped so every response's
+// wall time lands in the per-tenant SLO histograms under a fixed route
+// label; /dist is hijacked into the peer protocol, so its connection
+// lifetime is not a request latency and it stays untimed.
 func (s *Server) Register(mux *http.ServeMux) {
-	mux.HandleFunc("/traces", s.handleTraces)
-	mux.HandleFunc("/traces/", s.handleTraceByDigest)
-	mux.HandleFunc("/eval", s.HandleEval)
-	mux.HandleFunc("/jobs", s.handleJobs)
-	mux.HandleFunc("/jobs/", s.handleJob)
-	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/traces", s.timed("/traces", s.handleTraces))
+	mux.HandleFunc("/traces/", s.timed("/traces/{digest}", s.handleTraceByDigest))
+	mux.HandleFunc("/eval", s.timed("/eval", s.HandleEval))
+	mux.HandleFunc("/jobs", s.timed("/jobs", s.handleJobs))
+	mux.HandleFunc("/jobs/", s.timed("/jobs/{id}", s.handleJob))
+	mux.HandleFunc("/healthz", s.timed("/healthz", s.handleHealthz))
+	mux.HandleFunc("/spans", s.handleSpans)
+	mux.HandleFunc("/slo", s.handleSLO)
 	mux.HandleFunc("/dist", s.handleDist)
+}
+
+// timed wraps a handler so its wall time is observed under the given
+// route label. The route is the registration pattern, never the raw
+// request path — SLO cardinality stays (tenants × registered routes).
+func (s *Server) timed(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		tenant, ok := TenantOf(r)
+		if !ok {
+			tenant = "invalid"
+		}
+		s.slo.ObserveRequest(tenant, route, time.Since(start))
+	}
 }
 
 // Error writes the service's JSON error envelope ({"error","status"})

@@ -1,0 +1,258 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"busenc/internal/obs"
+)
+
+// Per-tenant service-level metrics. The gated obs registry aggregates
+// per metric name with no label dimension, so the SLOs busencload
+// measures from the outside — per-tenant, per-route latency and queue
+// wait — were invisible from inside the daemon. SLO keeps its own
+// always-on histograms (obs.Histogram zero values, lock-free on the
+// observe path) keyed by (tenant, route), with the tenant dimension
+// capped: once DefaultSLOMaxTenants distinct tenants have been seen,
+// later ones fold into the "~other" label, so a tenant-ID cardinality
+// attack cannot grow the metric surface without bound. Routes are a
+// fixed enum (one per registered pattern), never derived from the
+// request path.
+
+// DefaultSLOMaxTenants bounds the tenant label dimension.
+const DefaultSLOMaxTenants = 64
+
+// sloOverflowTenant absorbs observations from tenants beyond the cap.
+const sloOverflowTenant = "~other"
+
+// sloKey is one labeled latency series.
+type sloKey struct {
+	tenant string
+	route  string
+}
+
+// SLO accumulates per-tenant request latency (by route) and queue-wait
+// histograms. The maps are mutex-guarded; each histogram is internally
+// atomic, so steady-state observation is one map lookup under a
+// short-held lock plus a lock-free Observe.
+type SLO struct {
+	maxTenants int
+
+	mu        sync.Mutex
+	tenants   map[string]bool // distinct tenants admitted into the label space
+	latency   map[sloKey]*obs.Histogram
+	queueWait map[string]*obs.Histogram
+}
+
+// NewSLO builds the accumulator; maxTenants <= 0 selects the default
+// cap.
+func NewSLO(maxTenants int) *SLO {
+	if maxTenants <= 0 {
+		maxTenants = DefaultSLOMaxTenants
+	}
+	return &SLO{
+		maxTenants: maxTenants,
+		tenants:    make(map[string]bool),
+		latency:    make(map[sloKey]*obs.Histogram),
+		queueWait:  make(map[string]*obs.Histogram),
+	}
+}
+
+// fold admits a tenant into the label space or maps it to the overflow
+// label. Caller holds s.mu.
+func (s *SLO) fold(tenant string) string {
+	if s.tenants[tenant] {
+		return tenant
+	}
+	if len(s.tenants) >= s.maxTenants {
+		return sloOverflowTenant
+	}
+	s.tenants[tenant] = true
+	return tenant
+}
+
+// ObserveRequest records one served request's wall time.
+func (s *SLO) ObserveRequest(tenant, route string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	k := sloKey{tenant: s.fold(tenant), route: route}
+	h, ok := s.latency[k]
+	if !ok {
+		h = &obs.Histogram{}
+		s.latency[k] = h
+	}
+	s.mu.Unlock()
+	h.Observe(d.Nanoseconds())
+}
+
+// ObserveQueueWait records how long one of the tenant's jobs sat
+// queued before a worker picked it up.
+func (s *SLO) ObserveQueueWait(tenant string, waitNs int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	t := s.fold(tenant)
+	h, ok := s.queueWait[t]
+	if !ok {
+		h = &obs.Histogram{}
+		s.queueWait[t] = h
+	}
+	s.mu.Unlock()
+	h.Observe(waitNs)
+}
+
+// SLORouteSnapshot is one (tenant, route) latency series, summarized.
+type SLORouteSnapshot struct {
+	Tenant string  `json:"tenant"`
+	Route  string  `json:"route"`
+	Count  int64   `json:"count"`
+	MeanNs float64 `json:"mean_ns"`
+	P50Ns  int64   `json:"p50_ns"`
+	P95Ns  int64   `json:"p95_ns"`
+	P99Ns  int64   `json:"p99_ns"`
+	MaxNs  int64   `json:"max_ns"`
+}
+
+// SLOWaitSnapshot is one tenant's queue-wait series, summarized.
+type SLOWaitSnapshot struct {
+	Tenant string  `json:"tenant"`
+	Count  int64   `json:"count"`
+	MeanNs float64 `json:"mean_ns"`
+	P50Ns  int64   `json:"p50_ns"`
+	P95Ns  int64   `json:"p95_ns"`
+	P99Ns  int64   `json:"p99_ns"`
+	MaxNs  int64   `json:"max_ns"`
+}
+
+// SLOSnapshot is the GET /slo reply: every labeled series, summarized
+// with bucket-quantile estimates, in stable (tenant, route) order.
+type SLOSnapshot struct {
+	Requests  []SLORouteSnapshot `json:"requests"`
+	QueueWait []SLOWaitSnapshot  `json:"queue_wait"`
+}
+
+// Snapshot freezes the current SLO state.
+func (s *SLO) Snapshot() SLOSnapshot {
+	s.mu.Lock()
+	lat := make(map[sloKey]*obs.Histogram, len(s.latency))
+	for k, h := range s.latency {
+		lat[k] = h
+	}
+	qw := make(map[string]*obs.Histogram, len(s.queueWait))
+	for t, h := range s.queueWait {
+		qw[t] = h
+	}
+	s.mu.Unlock()
+
+	var out SLOSnapshot
+	for k, h := range lat {
+		hs := h.Snapshot()
+		out.Requests = append(out.Requests, SLORouteSnapshot{
+			Tenant: k.tenant, Route: k.route,
+			Count: hs.Count, MeanNs: hs.Mean(), MaxNs: hs.Max,
+			P50Ns: hs.Quantile(0.50), P95Ns: hs.Quantile(0.95), P99Ns: hs.Quantile(0.99),
+		})
+	}
+	sort.Slice(out.Requests, func(i, j int) bool {
+		a, b := out.Requests[i], out.Requests[j]
+		if a.Tenant != b.Tenant {
+			return a.Tenant < b.Tenant
+		}
+		return a.Route < b.Route
+	})
+	for t, h := range qw {
+		hs := h.Snapshot()
+		out.QueueWait = append(out.QueueWait, SLOWaitSnapshot{
+			Tenant: t,
+			Count:  hs.Count, MeanNs: hs.Mean(), MaxNs: hs.Max,
+			P50Ns: hs.Quantile(0.50), P95Ns: hs.Quantile(0.95), P99Ns: hs.Quantile(0.99),
+		})
+	}
+	sort.Slice(out.QueueWait, func(i, j int) bool {
+		return out.QueueWait[i].Tenant < out.QueueWait[j].Tenant
+	})
+	return out
+}
+
+// WritePrometheus appends the labeled SLO series to a text exposition:
+// busenc_serve_slo_latency_ns{route,tenant} and
+// busenc_serve_slo_queue_wait_ns{tenant} histograms with cumulative
+// power-of-two buckets, in stable label order.
+func (s *SLO) WritePrometheus(w io.Writer) error {
+	s.mu.Lock()
+	latKeys := make([]sloKey, 0, len(s.latency))
+	for k := range s.latency {
+		latKeys = append(latKeys, k)
+	}
+	qwKeys := make([]string, 0, len(s.queueWait))
+	for t := range s.queueWait {
+		qwKeys = append(qwKeys, t)
+	}
+	lat := make(map[sloKey]obs.HistogramSnapshot, len(latKeys))
+	for _, k := range latKeys {
+		lat[k] = s.latency[k].Snapshot()
+	}
+	qw := make(map[string]obs.HistogramSnapshot, len(qwKeys))
+	for _, t := range qwKeys {
+		qw[t] = s.queueWait[t].Snapshot()
+	}
+	s.mu.Unlock()
+
+	sort.Slice(latKeys, func(i, j int) bool {
+		if latKeys[i].tenant != latKeys[j].tenant {
+			return latKeys[i].tenant < latKeys[j].tenant
+		}
+		return latKeys[i].route < latKeys[j].route
+	})
+	sort.Strings(qwKeys)
+
+	if len(latKeys) > 0 {
+		if _, err := fmt.Fprintf(w, "# TYPE busenc_serve_slo_latency_ns histogram\n"); err != nil {
+			return err
+		}
+		for _, k := range latKeys {
+			labels := fmt.Sprintf(`route=%q,tenant=%q`, k.route, k.tenant)
+			if err := writePromHistogram(w, "busenc_serve_slo_latency_ns", labels, lat[k]); err != nil {
+				return err
+			}
+		}
+	}
+	if len(qwKeys) > 0 {
+		if _, err := fmt.Fprintf(w, "# TYPE busenc_serve_slo_queue_wait_ns histogram\n"); err != nil {
+			return err
+		}
+		for _, t := range qwKeys {
+			labels := fmt.Sprintf(`tenant=%q`, t)
+			if err := writePromHistogram(w, "busenc_serve_slo_queue_wait_ns", labels, qw[t]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writePromHistogram renders one labeled histogram series with
+// cumulative le buckets.
+func writePromHistogram(w io.Writer, name, labels string, hs obs.HistogramSnapshot) error {
+	cum := int64(0)
+	for _, b := range hs.Buckets {
+		cum += b.Count
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s,le=\"%d\"} %d\n", name, labels, b.Hi, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, labels, hs.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum{%s} %d\n", name, labels, hs.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, hs.Count)
+	return err
+}

@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSLOSnapshotAndOrder: observations land in the right (tenant,
+// route) series and the snapshot comes out in stable sorted order with
+// sane quantiles.
+func TestSLOSnapshotAndOrder(t *testing.T) {
+	s := NewSLO(0)
+	for i := 0; i < 100; i++ {
+		s.ObserveRequest("alice", "/eval", 3*time.Nanosecond)
+	}
+	s.ObserveRequest("alice", "/eval", 1000*time.Nanosecond)
+	s.ObserveRequest("alice", "/jobs", 5*time.Nanosecond)
+	s.ObserveRequest("bob", "/eval", 7*time.Nanosecond)
+	s.ObserveQueueWait("bob", 42)
+
+	snap := s.Snapshot()
+	var keys []string
+	for _, r := range snap.Requests {
+		keys = append(keys, r.Tenant+" "+r.Route)
+	}
+	want := []string{"alice /eval", "alice /jobs", "bob /eval"}
+	if strings.Join(keys, ",") != strings.Join(want, ",") {
+		t.Fatalf("request series = %v, want %v", keys, want)
+	}
+	ae := snap.Requests[0]
+	if ae.Count != 101 {
+		t.Errorf("alice /eval count = %d, want 101", ae.Count)
+	}
+	if ae.P50Ns > ae.P99Ns || ae.P99Ns > ae.MaxNs {
+		t.Errorf("quantiles out of order: p50 %d p99 %d max %d", ae.P50Ns, ae.P99Ns, ae.MaxNs)
+	}
+	if ae.MaxNs != 1000 {
+		t.Errorf("alice /eval max = %d, want 1000", ae.MaxNs)
+	}
+	if len(snap.QueueWait) != 1 || snap.QueueWait[0].Tenant != "bob" || snap.QueueWait[0].Count != 1 {
+		t.Errorf("queue-wait series = %+v", snap.QueueWait)
+	}
+}
+
+// TestSLOTenantCardinalityCap: tenants beyond the cap fold into the
+// overflow label instead of growing the metric surface.
+func TestSLOTenantCardinalityCap(t *testing.T) {
+	s := NewSLO(3)
+	for i := 0; i < 10; i++ {
+		s.ObserveRequest(fmt.Sprintf("t%d", i), "/eval", time.Nanosecond)
+	}
+	snap := s.Snapshot()
+	if len(snap.Requests) != 4 {
+		t.Fatalf("series = %d, want 3 admitted + overflow", len(snap.Requests))
+	}
+	var overflow *SLORouteSnapshot
+	for i := range snap.Requests {
+		if snap.Requests[i].Tenant == sloOverflowTenant {
+			overflow = &snap.Requests[i]
+		}
+	}
+	if overflow == nil || overflow.Count != 7 {
+		t.Fatalf("overflow series = %+v, want 7 folded observations", overflow)
+	}
+	// An admitted tenant keeps its own series even after the cap hits.
+	s.ObserveRequest("t0", "/eval", time.Nanosecond)
+	for _, r := range s.Snapshot().Requests {
+		if r.Tenant == "t0" && r.Count != 2 {
+			t.Errorf("t0 count = %d, want 2", r.Count)
+		}
+	}
+}
+
+// TestSLOWritePrometheus: the text exposition is well-formed, labeled,
+// cumulative and deterministic.
+func TestSLOWritePrometheus(t *testing.T) {
+	s := NewSLO(0)
+	s.ObserveRequest("alice", "/eval", 3*time.Nanosecond)
+	s.ObserveRequest("alice", "/eval", 100*time.Nanosecond)
+	s.ObserveQueueWait("alice", 9)
+
+	var a, b bytes.Buffer
+	if err := s.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("exposition not deterministic across writes")
+	}
+	out := a.String()
+	for _, want := range []string{
+		"# TYPE busenc_serve_slo_latency_ns histogram",
+		`busenc_serve_slo_latency_ns_bucket{route="/eval",tenant="alice",le="+Inf"} 2`,
+		`busenc_serve_slo_latency_ns_sum{route="/eval",tenant="alice"} 103`,
+		`busenc_serve_slo_latency_ns_count{route="/eval",tenant="alice"} 2`,
+		"# TYPE busenc_serve_slo_queue_wait_ns histogram",
+		`busenc_serve_slo_queue_wait_ns_count{tenant="alice"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Bucket counts are cumulative: every _bucket line's value must be
+	// monotonically non-decreasing within one series.
+	last := int64(-1)
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, `busenc_serve_slo_latency_ns_bucket{route="/eval",tenant="alice",le=`) {
+			continue
+		}
+		var v int64
+		if _, err := fmt.Sscanf(line[strings.LastIndex(line, "} ")+2:], "%d", &v); err != nil {
+			t.Fatalf("unparseable bucket line %q: %v", line, err)
+		}
+		if v < last {
+			t.Errorf("bucket counts not cumulative: %d after %d in %q", v, last, line)
+		}
+		last = v
+	}
+	if last != 2 {
+		t.Errorf("final cumulative bucket = %d, want 2", last)
+	}
+
+	// A nil SLO is inert (handlers guard with it).
+	var nilSLO *SLO
+	nilSLO.ObserveRequest("x", "/eval", time.Nanosecond)
+	nilSLO.ObserveQueueWait("x", 1)
+}

@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"net/http"
+	"os"
+
+	"busenc/internal/obs"
+)
+
+// GET /spans is the flight-recorder export — and, since the trace
+// harvest went cross-process, also the wire format dist.fetchPeerSpans
+// reads when a sweep coordinator collects a TCP peer's lane: the pid,
+// host and epoch_unix_ns fields are what let the coordinator place this
+// process's spans on its own timebase, so their names are part of the
+// peer protocol and must not drift.
+
+// SpansResponse is the JSON reply of GET /spans.
+type SpansResponse struct {
+	Enabled bool       `json:"tracing_enabled"`
+	PID     int        `json:"pid"`
+	Host    string     `json:"host"`
+	Epoch   int64      `json:"epoch_unix_ns"`
+	Count   int        `json:"count"`
+	Spans   []obs.Span `json:"spans"`
+}
+
+// handleSpans serves the flight recorder's current contents — the most
+// recent spans across the pipeline, start-ordered — optionally filtered
+// by exact stage (?stage=encode), codec (?codec=t0bi) or distributed
+// trace ID (?trace=cafe0123deadbeef) label, with the recorder's
+// identity (pid, host, tracer epoch) alongside.
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		Error(w, http.StatusMethodNotAllowed, "method %s not allowed on /spans", r.Method)
+		return
+	}
+	q := r.URL.Query()
+	stage, code, trace := q.Get("stage"), q.Get("codec"), q.Get("trace")
+	resp := SpansResponse{Enabled: obs.TracingEnabled(), PID: os.Getpid()}
+	resp.Host, _ = os.Hostname()
+	if tr := obs.CurrentTracer(); tr != nil {
+		resp.Epoch = tr.Epoch().UnixNano()
+	}
+	spans := obs.Spans() // a fresh copy, safe to filter in place
+	out := spans[:0]
+	for _, sp := range spans {
+		if stage != "" && sp.Stage != stage {
+			continue
+		}
+		if code != "" && sp.Codec != code {
+			continue
+		}
+		if trace != "" && sp.Trace != trace {
+			continue
+		}
+		out = append(out, sp)
+	}
+	if out == nil {
+		out = []obs.Span{}
+	}
+	resp.Count = len(out)
+	resp.Spans = out
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSLO serves GET /slo: the per-tenant, per-route latency and
+// queue-wait summary.
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		Error(w, http.StatusMethodNotAllowed, "method %s not allowed on /slo", r.Method)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.slo.Snapshot())
+}
